@@ -1,0 +1,660 @@
+(* Experiment harness: regenerates every table and figure of the
+   paper's evaluation plus the extension experiments (E1-E16 of
+   DESIGN.md), then runs the Bechamel performance benches.
+
+   Usage:
+     main.exe            run everything (experiments + perf)
+     main.exe e1 .. e16  run selected experiments
+     main.exe perf       run only the performance benches
+     main.exe quick      run experiments only (no perf) *)
+
+let iv = Intvec.of_ints
+let im = Intmat.of_ints
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Figure 1: feasible vs non-feasible conflict vectors on the
+   2-D index set [0,4]^2. *)
+
+let e1 () =
+  section "E1 / Figure 1: conflict vectors on J = [0,4]^2";
+  let mu = [| 4; 4 |] in
+  let show name t gamma =
+    let free = Conflict.is_conflict_free ~mu t in
+    let hits = Conflict.all_in_box ~mu t in
+    Printf.printf "gamma%s = %s: %s (%d colliding offsets in the box)\n" name gamma
+      (if free then "feasible -> conflict-free mapping" else "NON-feasible -> conflicts")
+      (List.length hits);
+    List.iter (fun g -> Printf.printf "    offset %s\n" (Intvec.to_string g)) hits
+  in
+  (* A 1x2 mapping whose kernel is spanned by the displayed vector. *)
+  show "1" (im [ [ 1; -1 ] ]) "(1,1)";
+  show "2" (im [ [ 5; -3 ] ]) "(3,5)";
+  print_endline "Paper: gamma1 collides on the diagonal; gamma2 meets no lattice point."
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Example 2.1: conflict vectors of T in Equation 2.8. *)
+
+let e2 () =
+  section "E2 / Example 2.1: the mapping T of Equation 2.8 (mu = 6)";
+  let t = im [ [ 1; 7; 1; 1 ]; [ 1; 7; 1; 0 ] ] in
+  let mu = [| 6; 6; 6; 6 |] in
+  let tbl = Table.create [ "vector"; "kernel?"; "feasible (Thm 2.2)?"; "paper" ] in
+  List.iter
+    (fun (name, v, paper) ->
+      let g = iv v in
+      Table.add_row tbl
+        [
+          name;
+          string_of_bool (Intvec.is_zero (Intmat.mul_vec t g));
+          string_of_bool (Conflict.is_feasible ~mu g);
+          paper;
+        ])
+    [
+      ("gamma1 = (0,1,-7,0)", [ 0; 1; -7; 0 ], "feasible");
+      ("gamma2 = (7,-1,0,0)", [ 7; -1; 0; 0 ], "feasible");
+      ("gamma3 = (1,0,-1,0)", [ 1; 0; -1; 0 ], "NOT feasible");
+    ];
+  Table.print tbl;
+  Printf.printf "Overall: conflict-free = %b (paper: false)\n"
+    (Conflict.is_conflict_free ~mu t)
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Example 4.2: Hermite normal form of Equation 2.8. *)
+
+let e3 () =
+  section "E3 / Example 4.2: Hermite normal form of T (Equation 2.8)";
+  let t = im [ [ 1; 7; 1; 1 ]; [ 1; 7; 1; 0 ] ] in
+  let res = Hnf.compute t in
+  Printf.printf "T U = H with U unimodular (verified: %b)\n" (Hnf.verify t res);
+  Printf.printf "H =\n%s\nU =\n%s\nV = U^-1 =\n%s\n"
+    (Intmat.to_string res.Hnf.h) (Intmat.to_string res.Hnf.u) (Intmat.to_string res.Hnf.v);
+  print_endline "Conflict-vector generators (last two columns of U):";
+  List.iter
+    (fun g -> Printf.printf "  %s\n" (Intvec.to_string g))
+    (Hnf.kernel_basis t);
+  print_endline
+    "Paper's generators u3 = (-1,0,1,0), u4 = (-7,1,0,0) span the same lattice."
+
+(* ------------------------------------------------------------------ *)
+(* E4/E5 — Equations 3.5 and 3.7: closed-form conflict vectors. *)
+
+let closed_form_table name s pis =
+  section name;
+  let c = Conflict.f_coefficient_matrix ~s in
+  Printf.printf "Coefficient matrix C with gamma(Pi) = lambda * C Pi^T (Prop 3.2):\n%s\n"
+    (Intmat.to_string c);
+  let tbl = Table.create [ "Pi"; "gamma (canonical)" ] in
+  List.iter
+    (fun pi ->
+      let t = Intmat.append_row s (iv pi) in
+      let g =
+        match Conflict.single_conflict_vector t with
+        | Some g -> Intvec.to_string g
+        | None -> "rank deficient"
+      in
+      Table.add_row tbl
+        [ "(" ^ String.concat "," (List.map string_of_int pi) ^ ")"; g ])
+    pis;
+  Table.print tbl
+
+let e4 () =
+  closed_form_table
+    "E4 / Example 3.1: matmul, S = [1,1,-1]; gamma ~ (-p2-p3, p1+p3, p1-p2)"
+    Matmul.paper_s [ [ 1; 4; 1 ]; [ 2; 1; 3 ]; [ 1; 2; 3 ] ]
+
+let e5 () =
+  closed_form_table
+    "E5 / Example 3.2: transitive closure, S = [0,0,1]; gamma ~ (p2, -p1, 0)"
+    Transitive_closure.paper_s [ [ 5; 1; 1 ]; [ 9; 1; 1 ]; [ 7; 2; 1 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Example 5.1: time-optimal schedule for matrix multiplication. *)
+
+let e6 () =
+  section "E6 / Example 5.1: optimal schedules for matmul (S = [1,1,-1])";
+  let tbl =
+    Table.create
+      [ "mu"; "paper t = mu(mu+2)+1"; "Procedure 5.1"; "ILP (5.1)-(5.2)"; "[23] t' = mu(mu+3)+1" ]
+  in
+  List.iter
+    (fun mu ->
+      let alg = Matmul.algorithm ~mu in
+      let p51 =
+        match Procedure51.optimize alg ~s:Matmul.paper_s with
+        | Some r -> r.Procedure51.total_time
+        | None -> -1
+      in
+      let ilp =
+        match Ilp_form.optimize alg ~s:Matmul.paper_s with
+        | Some sol -> sol.Ilp_form.objective + 1
+        | None -> -1
+      in
+      Table.add_int_row tbl (string_of_int mu)
+        [ Matmul.optimal_total_time ~mu; p51; ilp; Matmul.lee_kedem_total_time ~mu ])
+    [ 2; 3; 4; 5; 6; 7; 8; 12; 16; 20 ];
+  Table.print tbl;
+  let sol = Option.get (Ilp_form.optimize (Matmul.algorithm ~mu:4) ~s:Matmul.paper_s) in
+  Printf.printf
+    "At mu = 4 the ILP picks Pi = %s from branch '%s' (paper: Pi2 = (1,4,1) or Pi3 = (4,1,1));\n\
+     all enumerated LP vertices were integral: %b (appendix claim).\n"
+    (Intvec.to_string sol.Ilp_form.pi) sol.Ilp_form.branch sol.Ilp_form.integral_vertices
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Figure 2: the linear array for matmul. *)
+
+let e7 () =
+  section "E7 / Figure 2: linear array for matmul, T = [[1,1,-1],[1,4,1]]";
+  let mu = 4 in
+  let alg = Matmul.algorithm ~mu in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu) in
+  let procs = Tmap.processors tm alg.Algorithm.index_set in
+  Printf.printf "%d processors: PE %d .. PE %d (paper: 13 PEs)\n" (List.length procs)
+    (List.hd procs).(0)
+    (List.nth procs (List.length procs - 1)).(0);
+  match Tmap.find_routing tm ~d:alg.Algorithm.dependences with
+  | None -> print_endline "no routing found (unexpected)"
+  | Some r ->
+    let tbl = Table.create [ "stream"; "direction (S d)"; "hops"; "buffers"; "paper" ] in
+    let names = [| "B (d1)"; "A (d2)"; "C (d3)" |] in
+    let paper =
+      [| "left-to-right, 0 buffers"; "left-to-right, 3 buffers"; "right-to-left, 0 buffers" |]
+    in
+    let sd = Intmat.mul Matmul.paper_s alg.Algorithm.dependences in
+    Array.iteri
+      (fun i name ->
+        Table.add_row tbl
+          [
+            name;
+            Zint.to_string (Intmat.get sd 0 i);
+            string_of_int r.Tmap.hops.(i);
+            string_of_int r.Tmap.buffers.(i);
+            paper.(i);
+          ])
+      names;
+    Table.print tbl;
+    Printf.printf "K = I (single primitive per stream) => no data link collisions.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Figure 3: the execution table. *)
+
+let e8 () =
+  section "E8 / Figure 3: execution of matmul (mu = 4) on the linear array";
+  let mu = 4 in
+  let rng = Random.State.make [| 1990 |] in
+  let a = Matmul.random_matrix ~rng (mu + 1) and b = Matmul.random_matrix ~rng (mu + 1) in
+  let alg = Matmul.algorithm ~mu in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu) in
+  print_string (Trace.linear_array_table alg tm);
+  let r = Exec.run alg (Matmul.semantics ~a ~b) tm in
+  Printf.printf
+    "\nmakespan = %d (paper: %d)   PEs = %d   conflicts = %d   link collisions = %d\n\
+     buffers per stream = (%s) (paper: 3 on the A stream)   values correct = %b\n"
+    r.Exec.makespan (Matmul.optimal_total_time ~mu) r.Exec.num_processors
+    (List.length r.Exec.conflicts) (List.length r.Exec.collisions)
+    (String.concat "," (Array.to_list (Array.map string_of_int r.Exec.max_buffer_occupancy)))
+    r.Exec.values_ok
+
+(* ------------------------------------------------------------------ *)
+(* E9 — Example 5.2: transitive closure. *)
+
+let e9 () =
+  section "E9 / Example 5.2: optimal schedules for transitive closure (S = [0,0,1])";
+  let tbl =
+    Table.create
+      [ "mu"; "paper t = mu(mu+3)+1"; "Procedure 5.1"; "ILP (5.4)"; "[22] t' = mu(2mu+3)+1"; "speedup" ]
+  in
+  List.iter
+    (fun mu ->
+      let alg = Transitive_closure.algorithm ~mu in
+      let p51 =
+        match Procedure51.optimize alg ~s:Transitive_closure.paper_s with
+        | Some r -> r.Procedure51.total_time
+        | None -> -1
+      in
+      let ilp =
+        match Ilp_form.optimize alg ~s:Transitive_closure.paper_s with
+        | Some sol -> sol.Ilp_form.objective + 1
+        | None -> -1
+      in
+      let t_prior = Transitive_closure.prior_total_time ~mu in
+      Table.add_row tbl
+        [
+          string_of_int mu;
+          string_of_int (Transitive_closure.optimal_total_time ~mu);
+          string_of_int p51;
+          string_of_int ilp;
+          string_of_int t_prior;
+          Printf.sprintf "%.2fx" (float_of_int t_prior /. float_of_int p51);
+        ])
+    [ 2; 3; 4; 5; 6; 7; 8; 12; 16 ];
+  Table.print tbl;
+  (* Simulation of the optimal mapping at mu = 4. *)
+  let mu = 4 in
+  let alg = Transitive_closure.algorithm ~mu in
+  let tm = Tmap.make ~s:Transitive_closure.paper_s ~pi:(Transitive_closure.optimal_pi ~mu) in
+  let r = Exec.run alg Dataflow.semantics tm in
+  Printf.printf
+    "Simulated at mu = 4: makespan = %d, PEs = %d, conflicts = %d, collisions = %d, dataflow ok = %b\n"
+    r.Exec.makespan r.Exec.num_processors (List.length r.Exec.conflicts)
+    (List.length r.Exec.collisions) r.Exec.values_ok
+
+(* ------------------------------------------------------------------ *)
+(* E10 — 5-D bit-level matmul to a 2-D array (formulation (5.5)-(5.6) /
+   Proposition 8.1). *)
+
+let e10 () =
+  section "E10: 5-D bit-level matmul -> 2-D array (Prop 8.1 + Theorem 4.7)";
+  let alg = Bit_matmul.algorithm ~mu_word:2 ~mu_bit:2 in
+  let s = Bit_matmul.example_s in
+  match Procedure51.optimize ~max_objective:40 alg ~s with
+  | None -> print_endline "no schedule found"
+  | Some r ->
+    let pi = r.Procedure51.pi in
+    let t = Intmat.append_row s pi in
+    Printf.printf "S =\n%s\noptimal Pi = %s, total time = %d (tried %d candidates)\n"
+      (Intmat.to_string s) (Intvec.to_string pi) r.Procedure51.total_time
+      r.Procedure51.candidates_tried;
+    (match Prop81.compute ~s ~pi with
+    | Some p ->
+      Printf.printf "Prop 8.1: h33 = %s, h34 = %s, h35 = %s\n  u4 = %s\n  u5 = %s\n"
+        (Zint.to_string p.Prop81.h33) (Zint.to_string p.Prop81.h34) (Zint.to_string p.Prop81.h35)
+        (Intvec.to_string p.Prop81.u4) (Intvec.to_string p.Prop81.u5);
+      let canon b = (Hnf.compute (Intmat.of_cols b)).Hnf.h in
+      Printf.printf "Closed-form generators span the HNF kernel lattice: %b\n"
+        (Intmat.equal (canon [ p.Prop81.u4; p.Prop81.u5 ]) (canon (Hnf.kernel_basis t)))
+    | None -> print_endline "Prop 8.1 not applicable (unexpected)");
+    let r' = Exec.run alg Dataflow.semantics (Tmap.make ~s ~pi) in
+    Printf.printf "Simulated: makespan = %d, PEs = %d, conflicts = %d, dataflow ok = %b\n"
+      r'.Exec.makespan r'.Exec.num_processors (List.length r'.Exec.conflicts) r'.Exec.values_ok;
+    (* The executable serpentine variant computes real bit-level
+       products through the same 2-D array family. *)
+    let mu_word = 2 and mu_bit = 2 in
+    let chained = Bit_matmul.chained_algorithm ~mu_word ~mu_bit in
+    let rng = Random.State.make [| 8 |] in
+    let a = Bit_matmul.random_word_matrix ~rng ~size:(mu_word + 1) ~mu_bit in
+    let b = Bit_matmul.random_word_matrix ~rng ~size:(mu_word + 1) ~mu_bit in
+    (match Procedure51.optimize ~max_objective:40 chained ~s with
+    | Some rc ->
+      let repc =
+        Exec.run chained (Bit_matmul.semantics ~a ~b) (Tmap.make ~s ~pi:rc.Procedure51.pi)
+      in
+      Printf.printf
+        "Executable bit-level variant: Pi = %s, t = %d, real products correct = %b\n"
+        (Intvec.to_string rc.Procedure51.pi) rc.Procedure51.total_time repc.Exec.values_ok
+    | None -> print_endline "no schedule for the chained variant")
+
+(* ------------------------------------------------------------------ *)
+(* E11 — validation sweep of Theorems 4.3-4.8 against the box oracle. *)
+
+let e11 () =
+  section "E11: closed-form conditions vs exact box oracle (random sweep)";
+  let rng = Random.State.make [| 77 |] in
+  let trials = 3000 in
+  let stats = Hashtbl.create 16 in
+  let bump key =
+    Hashtbl.replace stats key (1 + try Hashtbl.find stats key with Not_found -> 0)
+  in
+  for _ = 1 to trials do
+    let codim = 2 + Random.State.int rng 2 in
+    let n = codim + 1 + Random.State.int rng 2 in
+    let k = n - codim in
+    let t = Intmat.make k n (fun _ _ -> Zint.of_int (Random.State.int rng 15 - 7)) in
+    if Intmat.rank t = k then begin
+      let mu = Array.init n (fun _ -> 1 + Random.State.int rng 4) in
+      let oracle = Conflict.is_conflict_free ~mu t in
+      let inp = Theorems.make_input ~mu t in
+      if codim = 2 then begin
+        let thm = Theorems.nec_suff_n_minus_2 inp in
+        if thm && not oracle then bump "4.7 sufficiency VIOLATED";
+        if (not thm) && oracle then bump "4.7 necessity violated";
+        if thm = oracle then bump "4.7 agrees"
+      end
+      else begin
+        let printed = Theorems.nec_suff_n_minus_3 inp in
+        let corrected = Theorems.corrected_sufficient_n_minus_3 inp in
+        if printed && not oracle then bump "4.8 (printed) sufficiency VIOLATED";
+        if corrected && not oracle then bump "4.8 (corrected) sufficiency VIOLATED";
+        if (not printed) && oracle then bump "4.8 necessity violated";
+        if printed = oracle then bump "4.8 agrees"
+      end;
+      if fst (Theorems.decide ~mu t) <> oracle then bump "decide WRONG"
+    end
+  done;
+  let tbl = Table.create [ "event"; "count"; "trials" ] in
+  List.iter
+    (fun (k, v) -> Table.add_row tbl [ k; string_of_int v; string_of_int trials ])
+    (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats []));
+  Table.print tbl;
+  print_endline
+    "Reproduction finding: Theorem 4.7 is sufficient but not necessary as printed;\n\
+     Theorem 4.8 as printed also misses conflict vectors with a zero beta component\n\
+     (pairwise column combinations); the corrected variant restores sufficiency.\n\
+     The unified decision procedure (exact fallback) never disagrees with the oracle."
+
+(* ------------------------------------------------------------------ *)
+(* E12 — optimizer cross-check and search effort. *)
+
+let e12 () =
+  section "E12: Procedure 5.1 vs ILP formulation (cross-check + effort)";
+  let tbl =
+    Table.create [ "workload"; "mu"; "P5.1 time"; "ILP time"; "agree"; "candidates tried" ]
+  in
+  let row name mu p51 ilp =
+    match (p51, ilp) with
+    | Some a, Some b ->
+      Table.add_row tbl
+        [
+          name;
+          string_of_int mu;
+          string_of_int a.Procedure51.total_time;
+          string_of_int (b.Ilp_form.objective + 1);
+          string_of_bool (a.Procedure51.total_time = b.Ilp_form.objective + 1);
+          string_of_int a.Procedure51.candidates_tried;
+        ]
+    | _ -> ()
+  in
+  List.iter
+    (fun mu ->
+      let alg = Matmul.algorithm ~mu in
+      row "matmul" mu
+        (Procedure51.optimize alg ~s:Matmul.paper_s)
+        (Ilp_form.optimize alg ~s:Matmul.paper_s))
+    [ 2; 3; 4; 5; 6 ];
+  List.iter
+    (fun mu ->
+      let alg = Transitive_closure.algorithm ~mu in
+      row "transitive closure" mu
+        (Procedure51.optimize alg ~s:Transitive_closure.paper_s)
+        (Ilp_form.optimize alg ~s:Transitive_closure.paper_s))
+    [ 2; 3; 4; 5 ];
+  Table.print tbl
+
+(* ------------------------------------------------------------------ *)
+(* E13 — Problem 6.1 (paper's future work): space-optimal arrays. *)
+
+let e13 () =
+  section "E13 / Problem 6.1: space-optimal conflict-free arrays (extension)";
+  let tbl =
+    Table.create
+      [ "workload"; "Pi (given)"; "paper's S"; "paper PEs"; "best S found"; "PEs"; "wire" ]
+  in
+  let row name alg pi paper_s =
+    let paper_procs =
+      List.length (Tmap.processors (Tmap.make ~s:paper_s ~pi) alg.Algorithm.index_set)
+    in
+    match Space_opt.optimize alg ~pi ~k:2 with
+    | Some r ->
+      Table.add_row tbl
+        [
+          name;
+          Intvec.to_string pi;
+          Intmat.to_string paper_s;
+          string_of_int paper_procs;
+          Intmat.to_string r.Space_opt.s;
+          string_of_int r.Space_opt.processors;
+          string_of_int r.Space_opt.wire_length;
+        ]
+    | None -> Table.add_row tbl [ name; Intvec.to_string pi; Intmat.to_string paper_s; string_of_int paper_procs; "none"; "-"; "-" ]
+  in
+  row "matmul mu=4" (Matmul.algorithm ~mu:4) (Matmul.optimal_pi ~mu:4) Matmul.paper_s;
+  row "matmul mu=6" (Matmul.algorithm ~mu:6) (Matmul.optimal_pi ~mu:6) Matmul.paper_s;
+  row "transitive closure mu=4" (Transitive_closure.algorithm ~mu:4)
+    (Transitive_closure.optimal_pi ~mu:4) Transitive_closure.paper_s;
+  Table.print tbl;
+  print_endline
+    "For matmul the search finds a 9-PE linear array (S = [0,1,-1]) under the same\n\
+     optimal schedule — fewer processors than the paper's 13-PE S = [1,1,-1]."
+
+(* ------------------------------------------------------------------ *)
+(* E14 — loop-nest front end: Definition 2.1's program class, end to
+   end. *)
+
+let e14 () =
+  section "E14: nested-loop source -> (J, D) -> optimal array (extension)";
+  let programs =
+    [
+      "for i = 0..4, j = 0..4, k = 0..4 { C[i,j] = C[i,j] + A[i,k] * B[k,j] }";
+      "for i = 0..7, k = 0..3 { Y[i] = Y[i] + W[k] * X[i-k] }";
+      "for t = 0..9, i = 0..7 { A[t,i] = A[t-1,i-1] + A[t-1,i] + A[t-1,i+1] }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      Printf.printf "\n%s\n" src;
+      match Loopnest.parse_result src with
+      | Error e -> print_endline ("  " ^ Loopnest.error_to_string e)
+      | Ok a ->
+        List.iter
+          (fun (d, why) -> Printf.printf "  d = %s  (%s)\n" (Intvec.to_string d) why)
+          a.Loopnest.dependence_origin;
+        let alg = a.Loopnest.algorithm in
+        let mu = Index_set.bounds alg.Algorithm.index_set in
+        (* Problem 6.2: jointly time-optimal, then array-cheapest. *)
+        (match Space_opt.optimize_joint alg ~k:2 with
+        | Some (pi, so) ->
+          Printf.printf "  linear array (Problem 6.2): S = %s, %d PEs, Pi = %s, t = %d\n"
+            (Intmat.to_string so.Space_opt.s) so.Space_opt.processors
+            (Intvec.to_string pi)
+            (Schedule.total_time ~mu pi)
+        | None -> print_endline "  no conflict-free linear array in the unit family"))
+    programs
+
+(* ------------------------------------------------------------------ *)
+(* E15 — Section 3's motivating workload: 4-D bit-level convolution on
+   a 2-D bit-plane array, via the Theorem 3.1 closed form. *)
+
+let e15 () =
+  section "E15: 4-D bit-level convolution -> 2-D bit-plane array (Theorem 3.1)";
+  let alg = Bit_convolution.algorithm ~mu_sample:3 ~mu_tap:2 ~mu_bit:2 in
+  let s = Bit_convolution.bitplane_s in
+  match Procedure51.optimize alg ~s with
+  | None -> print_endline "no schedule found"
+  | Some r ->
+    let tm = Tmap.make ~s ~pi:r.Procedure51.pi in
+    let t = Tmap.matrix tm in
+    Printf.printf "S (bit-plane) =\n%s\noptimal Pi = %s, total time = %d\n"
+      (Intmat.to_string s) (Intvec.to_string r.Procedure51.pi) r.Procedure51.total_time;
+    (match Conflict.single_conflict_vector t with
+    | Some g -> Printf.printf "Theorem 3.1 conflict vector: %s (feasible)\n" (Intvec.to_string g)
+    | None -> ());
+    let stats = Stats.compute alg tm in
+    Format.printf "%a@." Stats.pp stats;
+    print_endline "PE load map (firings per bit-plane PE):";
+    print_string (Trace.grid_activity alg tm);
+    let rep = Exec.run alg Dataflow.semantics tm in
+    Printf.printf "simulation clean: %b\n" (Exec.is_clean rep)
+
+(* ------------------------------------------------------------------ *)
+(* E16 — Problems 2.1/6.2 combined: the achievable (time, processors)
+   trade-off (extension). *)
+
+let e16 () =
+  section "E16: time/processor Pareto fronts over unit linear arrays (extension)";
+  (* Under Definition 2.2 only computational conflicts matter; the
+     stricter [23]-style model also excludes link collisions —
+     Linkcheck supplies that filter analytically. *)
+  let collision_free alg pi s =
+    let tm = Tmap.make ~s ~pi in
+    match Tmap.find_routing tm ~d:alg.Algorithm.dependences with
+    | Some routing -> Linkcheck.predict alg tm routing = []
+    | None -> false
+  in
+  let show name alg =
+    List.iter
+      (fun (model, accept) ->
+        Printf.printf "\n%s — %s:\n" name model;
+        let front = Enumerate.pareto_front ~accept alg ~k:2 in
+        let tbl = Table.create [ "total time"; "processors"; "Pi"; "S" ] in
+        List.iter
+          (fun p ->
+            Table.add_row tbl
+              [
+                string_of_int p.Enumerate.total_time;
+                string_of_int p.Enumerate.processors;
+                Intvec.to_string p.Enumerate.pi;
+                Intmat.to_string p.Enumerate.s;
+              ])
+          front;
+        Table.print tbl)
+      [
+        ("Definition 2.2 (conflicts only)", fun _ _ -> true);
+        ("plus link-collision freedom", collision_free alg);
+      ]
+  in
+  show "matmul mu=4" (Matmul.algorithm ~mu:4);
+  show "transitive closure mu=4" (Transitive_closure.algorithm ~mu:4);
+  let alg4 = Matmul.algorithm ~mu:4 in
+  let all = Enumerate.all_optimal_schedules alg4 ~s:Matmul.paper_s in
+  Printf.printf
+    "\nAll time-optimal schedules for matmul mu=4 with the paper's S (Problem 2.1):\n";
+  let tbl = Table.create [ "Pi"; "buffers per stream"; "total buffers" ] in
+  List.iter
+    (fun pi ->
+      match Tmap.find_routing (Tmap.make ~s:Matmul.paper_s ~pi) ~d:alg4.Algorithm.dependences with
+      | Some r ->
+        Table.add_row tbl
+          [
+            Intvec.to_string pi;
+            "(" ^ String.concat "," (Array.to_list (Array.map string_of_int r.Tmap.buffers)) ^ ")";
+            string_of_int (Array.fold_left ( + ) 0 r.Tmap.buffers);
+          ]
+      | None -> ())
+    all;
+  Table.print tbl;
+  (match Enumerate.best_by_buffers alg4 ~s:Matmul.paper_s with
+  | Some (pi, r) ->
+    Printf.printf
+      "Buffer-minimal time-optimal schedule (paper's future-work criterion): Pi = %s, %d registers\n"
+      (Intvec.to_string pi)
+      (Array.fold_left ( + ) 0 r.Tmap.buffers)
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Performance benches (Bechamel). *)
+
+let perf () =
+  section "Performance benches (Bechamel, ns/run)";
+  let open Bechamel in
+  let rng = Random.State.make [| 4242 |] in
+  let random_t k n = Intmat.make k n (fun _ _ -> Zint.of_int (Random.State.int rng 15 - 7)) in
+  let t35 = random_t 3 5 in
+  let t_mm = Intmat.append_row Matmul.paper_s (Matmul.optimal_pi ~mu:4) in
+  let mu3 = [| 4; 4; 4 |] in
+  let alg_mm = Matmul.algorithm ~mu:4 in
+  let mm_a = Matmul.random_matrix ~rng 5 and mm_b = Matmul.random_matrix ~rng 5 in
+  let tm_mm = Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu:4) in
+  let alg_tc = Transitive_closure.algorithm ~mu:4 in
+  let tm_tc = Tmap.make ~s:Transitive_closure.paper_s ~pi:(Transitive_closure.optimal_pi ~mu:4) in
+  let big_a = Zint.pow (Zint.of_int 3) 400 and big_b = Zint.pow (Zint.of_int 7) 150 in
+  let t5bit = Intmat.append_row Bit_matmul.example_s (iv [ 1; 7; 13; 3; 4 ]) in
+  let mu5 = [| 2; 2; 2; 2; 2 |] in
+  let tests =
+    [
+      Test.make ~name:"zint/divmod-big" (Staged.stage (fun () -> Zint.divmod big_a big_b));
+      Test.make ~name:"hnf/min-abs-3x5" (Staged.stage (fun () -> Hnf.compute t35));
+      Test.make ~name:"hnf/gcdext-3x5 (ablation-hnf-pivot)"
+        (Staged.stage (fun () -> Hnf.compute ~strategy:Hnf.Gcdext t35));
+      Test.make ~name:"conflict/box-oracle-matmul (ablation-conflict-check)"
+        (Staged.stage (fun () -> Conflict.is_conflict_free ~mu:mu3 t_mm));
+      Test.make ~name:"conflict/closed-form-matmul (ablation-conflict-check)"
+        (Staged.stage (fun () -> Theorems.decide ~mu:mu3 t_mm));
+      Test.make ~name:"conflict/box-oracle-5d"
+        (Staged.stage (fun () -> Conflict.is_conflict_free ~mu:mu5 t5bit));
+      Test.make ~name:"conflict/decide-5d"
+        (Staged.stage (fun () -> Theorems.decide ~mu:mu5 t5bit));
+      Test.make ~name:"optimize/procedure51-matmul-mu4 (ablation-optimizer)"
+        (Staged.stage (fun () -> Procedure51.optimize alg_mm ~s:Matmul.paper_s));
+      Test.make ~name:"optimize/ilp-form-matmul-mu4 (ablation-optimizer)"
+        (Staged.stage (fun () -> Ilp_form.optimize alg_mm ~s:Matmul.paper_s));
+      Test.make ~name:"optimize/procedure51-tc-mu4"
+        (Staged.stage (fun () -> Procedure51.optimize alg_tc ~s:Transitive_closure.paper_s));
+      Test.make ~name:"simulate/matmul-mu4-figure3"
+        (Staged.stage (fun () -> Exec.run alg_mm (Matmul.semantics ~a:mm_a ~b:mm_b) tm_mm));
+      Test.make ~name:"simulate/tc-mu4"
+        (Staged.stage (fun () -> Exec.run alg_tc Dataflow.semantics tm_tc));
+      Test.make ~name:"prop81/closed-form-u"
+        (Staged.stage (fun () -> Prop81.compute ~s:Bit_matmul.example_s ~pi:(iv [ 1; 7; 13; 3; 4 ])));
+      (* Large-mu conflict decision: the box oracle's work grows with
+         the box volume; the LLL-lattice oracle does not. *)
+      (let t_large = Intmat.append_row Matmul.paper_s (iv [ 1; 50; 1 ]) in
+       let mu_large = [| 50; 50; 50 |] in
+       Test.make ~name:"conflict/box-oracle-mu50 (ablation-lattice)"
+         (Staged.stage (fun () -> Conflict.find_conflict ~mu:mu_large t_large)));
+      (let t_large = Intmat.append_row Matmul.paper_s (iv [ 1; 50; 1 ]) in
+       let mu_large = [| 50; 50; 50 |] in
+       Test.make ~name:"conflict/lattice-oracle-mu50 (ablation-lattice)"
+         (Staged.stage (fun () -> Conflict.find_conflict_lattice ~mu:mu_large t_large)));
+      (let alg = Matmul.algorithm ~mu:4 in
+       Test.make ~name:"space-opt/matmul-mu4-linear"
+         (Staged.stage (fun () -> Space_opt.optimize alg ~pi:(Matmul.optimal_pi ~mu:4) ~k:2)));
+      Test.make ~name:"frontend/parse-matmul"
+        (Staged.stage (fun () ->
+             Loopnest.parse
+               "for i = 0..4, j = 0..4, k = 0..4 { C[i,j] = C[i,j] + A[i,k] * B[k,j] }"));
+      (let basis =
+         [ iv [ 23; -11; 7; 2 ]; iv [ 5; 19; -3; 8 ]; iv [ -9; 4; 31; -6 ] ]
+       in
+       Test.make ~name:"lll/reduce-3x4" (Staged.stage (fun () -> Lll.reduce basis)));
+      (let alg5 = Bit_matmul.algorithm ~mu_word:2 ~mu_bit:2 in
+       Test.make ~name:"optimize/5d-prop81-screen (ablation-5d-screen)"
+         (Staged.stage (fun () ->
+              Ilp_form.optimize_5d_to_2d ~max_objective:40 alg5 ~s:Bit_matmul.example_s)));
+      (let alg5 = Bit_matmul.algorithm ~mu_word:2 ~mu_bit:2 in
+       Test.make ~name:"optimize/5d-procedure51 (ablation-5d-screen)"
+         (Staged.stage (fun () ->
+              Procedure51.optimize ~max_objective:40 alg5 ~s:Bit_matmul.example_s)));
+      (let alg8 = Matmul.algorithm ~mu:8 in
+       let rng8 = Random.State.make [| 88 |] in
+       let a8 = Matmul.random_matrix ~rng:rng8 9 and b8 = Matmul.random_matrix ~rng:rng8 9 in
+       let tm8 = Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu:8) in
+       Test.make ~name:"simulate/matmul-mu8-729pts"
+         (Staged.stage (fun () -> Exec.run alg8 (Matmul.semantics ~a:a8 ~b:b8) tm8)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"shang-fortes" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name res ->
+      match Analyze.OLS.estimates res with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some _ | None -> ())
+    results;
+  let tbl = Table.create [ "bench"; "ns/run" ] in
+  List.iter
+    (fun (name, est) -> Table.add_row tbl [ name; Printf.sprintf "%.0f" est ])
+    (List.sort compare !rows);
+  Table.print tbl
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
+    ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    List.iter (fun (_, f) -> f ()) experiments;
+    perf ()
+  | [ "quick" ] -> List.iter (fun (_, f) -> f ()) experiments
+  | [ "perf" ] -> perf ()
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt (String.lowercase_ascii name) experiments with
+        | Some f -> f ()
+        | None ->
+          if name = "perf" then perf ()
+          else Printf.eprintf "unknown experiment %s (e1..e14, perf, quick)\n" name)
+      names

@@ -1,0 +1,356 @@
+(* Command-line front end for the Shang-Fortes mapping machinery.
+
+   $ shangfortes hnf -m "1,7,1,1;1,7,1,0"
+   $ shangfortes analyze -m "1,1,-1;1,4,1" --mu 4,4,4
+   $ shangfortes optimize --algorithm matmul --mu 4 -s "1,1,-1"
+   $ shangfortes simulate --algorithm tc --mu 4 -s "0,0,1" --pi 5,1,1 *)
+
+open Cmdliner
+
+let parse_vector s =
+  try List.map (fun x -> int_of_string (String.trim x)) (String.split_on_char ',' s)
+  with Failure _ -> failwith ("cannot parse vector: " ^ s)
+
+let parse_matrix s =
+  let rows = List.map parse_vector (String.split_on_char ';' s) in
+  Intmat.of_ints rows
+
+(* ------------------------------- hnf ------------------------------- *)
+
+let hnf_cmd =
+  let matrix =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "m"; "matrix" ] ~docv:"ROWS" ~doc:"Matrix, rows separated by ';'.")
+  in
+  let run m =
+    let t = parse_matrix m in
+    let res = Hnf.compute t in
+    Printf.printf "T =\n%s\nH = T U =\n%s\nU =\n%s\nV = U^-1 =\n%s\nrank = %d\nverified: %b\n"
+      (Intmat.to_string t) (Intmat.to_string res.Hnf.h) (Intmat.to_string res.Hnf.u)
+      (Intmat.to_string res.Hnf.v) res.Hnf.rank (Hnf.verify t res);
+    match Hnf.kernel_basis t with
+    | [] -> print_endline "kernel: trivial"
+    | basis ->
+      print_endline "kernel basis (conflict-vector generators):";
+      List.iter (fun g -> Printf.printf "  %s\n" (Intvec.to_string g)) basis
+  in
+  Cmd.v
+    (Cmd.info "hnf" ~doc:"Hermite normal form with multiplier U and V = U^-1 (Theorem 4.1)")
+    Term.(const run $ matrix)
+
+(* ----------------------------- analyze ----------------------------- *)
+
+let mu_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "mu" ] ~docv:"MU" ~doc:"Index-set upper bounds, comma separated.")
+
+let analyze_cmd =
+  let matrix =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "m"; "matrix" ] ~docv:"ROWS"
+          ~doc:"Mapping matrix T = [S; Pi], rows separated by ';' (last row is Pi).")
+  in
+  let run m mu_s =
+    let t = parse_matrix m in
+    let mu = Array.of_list (parse_vector mu_s) in
+    if Array.length mu <> Intmat.cols t then failwith "mu arity does not match T";
+    let k = Intmat.rows t and n = Intmat.cols t in
+    Printf.printf "T (%dx%d) =\n%s\nrank = %d (need %d for a (k-1)-dimensional array)\n"
+      k n (Intmat.to_string t) (Intmat.rank t) k;
+    let free, how = Theorems.decide ~mu t in
+    let how_s =
+      match how with
+      | Theorems.Full_rank_square -> "square full-rank test"
+      | Theorems.Adjugate_form -> "Theorem 3.1 (adjugate closed form)"
+      | Theorems.Column_infeasible -> "Theorem 4.4 (a kernel column fits in the box)"
+      | Theorems.Hermite_n_minus_2 -> "Theorem 4.7 (sufficient)"
+      | Theorems.Hermite_n_minus_3 -> "corrected Theorem 4.8 (sufficient)"
+      | Theorems.Gcd_sufficient -> "Theorem 4.5 (gcd, sufficient)"
+      | Theorems.Box_oracle -> "exact box oracle"
+    in
+    Printf.printf "conflict-free on J = [0,mu]: %b   [decided by %s]\n" free how_s;
+    (match Conflict.find_conflict ~mu t with
+    | Some g -> Printf.printf "witness conflict vector: %s\n" (Intvec.to_string g)
+    | None -> ());
+    match Conflict.kernel_basis t with
+    | [] -> ()
+    | basis ->
+      print_endline "conflict-vector generators:";
+      List.iter
+        (fun g ->
+          Printf.printf "  %s  (feasible: %b)\n" (Intvec.to_string g)
+            (Conflict.is_feasible ~mu g))
+        basis
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Conflict analysis of a mapping matrix (Theorems 2.2, 3.1, 4.3-4.8)")
+    Term.(const run $ matrix $ mu_arg)
+
+(* ------------------------- shared: algorithms ---------------------- *)
+
+let builtin_algorithm name mu =
+  match name with
+  | "matmul" -> (Matmul.algorithm ~mu, Some Matmul.paper_s)
+  | "tc" | "transitive-closure" -> (Transitive_closure.algorithm ~mu, Some Transitive_closure.paper_s)
+  | "convolution" -> (Convolution.algorithm ~mu_ij:mu ~mu_pq:(max 1 (mu / 2)), Some Convolution.example_s)
+  | "bitmm" | "bit-matmul" -> (Bit_matmul.algorithm ~mu_word:mu ~mu_bit:mu, Some Bit_matmul.example_s)
+  | "lu" -> (Lu.algorithm ~mu, Some Lu.example_s)
+  | other -> failwith ("unknown algorithm: " ^ other ^ " (matmul|tc|convolution|bitmm|lu)")
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt string "matmul"
+    & info [ "a"; "algorithm" ] ~docv:"NAME" ~doc:"matmul, tc, convolution, bitmm or lu.")
+
+let mu_int_arg =
+  Arg.(value & opt int 4 & info [ "mu" ] ~docv:"N" ~doc:"Problem size (loop upper bound).")
+
+let s_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "space" ] ~docv:"ROWS"
+        ~doc:"Space mapping S, rows separated by ';' (default: the paper's choice).")
+
+(* ----------------------------- optimize ---------------------------- *)
+
+let optimize_cmd =
+  let method_arg =
+    Arg.(
+      value
+      & opt string "p51"
+      & info [ "method" ] ~docv:"M" ~doc:"p51 (Procedure 5.1) or ilp (formulation (5.1)-(5.2)).")
+  in
+  let routing_arg =
+    Arg.(value & flag & info [ "routing" ] ~doc:"Require SD = PK routing on nearest-neighbor links.")
+  in
+  let bound_arg =
+    Arg.(value & opt (some int) None & info [ "max-objective" ] ~docv:"N" ~doc:"Search bound.")
+  in
+  let run name mu s_opt method_ routing bound =
+    let alg, default_s = builtin_algorithm name mu in
+    let s =
+      match (s_opt, default_s) with
+      | Some s, _ -> parse_matrix s
+      | None, Some s -> s
+      | None, None -> failwith "no default space mapping; pass -s"
+    in
+    match method_ with
+    | "p51" ->
+      (match Procedure51.optimize ~require_routing:routing ?max_objective:bound alg ~s with
+      | Some r ->
+        Printf.printf "Pi = %s\ntotal time = %d\ncandidates tried = %d\n"
+          (Intvec.to_string r.Procedure51.pi) r.Procedure51.total_time
+          r.Procedure51.candidates_tried;
+        (match r.Procedure51.routing with
+        | Some rt ->
+          Printf.printf "hops = (%s)  buffers = (%s)\n"
+            (String.concat "," (Array.to_list (Array.map string_of_int rt.Tmap.hops)))
+            (String.concat "," (Array.to_list (Array.map string_of_int rt.Tmap.buffers)))
+        | None -> ())
+      | None -> print_endline "no conflict-free schedule within the search bound")
+    | "ilp" ->
+      (match Ilp_form.optimize alg ~s with
+      | Some sol ->
+        Printf.printf "Pi = %s\ntotal time = %d\nbinding branch: %s\ngamma = %s\n"
+          (Intvec.to_string sol.Ilp_form.pi)
+          (sol.Ilp_form.objective + 1)
+          sol.Ilp_form.branch
+          (Intvec.to_string sol.Ilp_form.gamma)
+      | None -> print_endline "no solution")
+    | other -> failwith ("unknown method: " ^ other)
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Find the time-optimal conflict-free schedule (Problem 2.2)")
+    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ method_arg $ routing_arg $ bound_arg)
+
+(* ----------------------------- simulate ---------------------------- *)
+
+let simulate_cmd =
+  let pi_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "pi" ] ~docv:"PI" ~doc:"Linear schedule vector, comma separated.")
+  in
+  let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the execution table.") in
+  let run name mu s_opt pi_s trace =
+    let alg, default_s = builtin_algorithm name mu in
+    let s =
+      match (s_opt, default_s) with
+      | Some s, _ -> parse_matrix s
+      | None, Some s -> s
+      | None, None -> failwith "no default space mapping; pass -s"
+    in
+    let pi = Intvec.of_ints (parse_vector pi_s) in
+    let tm = Tmap.make ~s ~pi in
+    let r = Exec.run alg Dataflow.semantics tm in
+    Printf.printf
+      "makespan = %d\nprocessors = %d\ncomputations = %d\nconflicts = %d\n\
+       causality violations = %d\nlink collisions = %d\nbuffers = (%s)\n\
+       dataflow correct = %b\nutilization = %.3f\n"
+      r.Exec.makespan r.Exec.num_processors r.Exec.computations
+      (List.length r.Exec.conflicts)
+      (List.length r.Exec.causality_violations)
+      (List.length r.Exec.collisions)
+      (String.concat "," (Array.to_list (Array.map string_of_int r.Exec.max_buffer_occupancy)))
+      r.Exec.values_ok r.Exec.utilization;
+    List.iter
+      (fun c ->
+        Printf.printf "conflict at t=%d pe=(%s): %d points\n" c.Exec.time
+          (String.concat "," (Array.to_list (Array.map string_of_int c.Exec.pe)))
+          (List.length c.Exec.points))
+      r.Exec.conflicts;
+    if trace then
+      if Tmap.k tm = 2 then print_string (Trace.linear_array_table alg tm)
+      else print_string (Trace.firing_list alg tm)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Cycle-accurate simulation of an algorithm under a mapping")
+    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg $ trace_arg)
+
+(* ------------------------------ parse ------------------------------ *)
+
+let parse_cmd =
+  let src_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE"
+          ~doc:"Loop nest, e.g. 'for i = 0..4, j = 0..4, k = 0..4 { C[i,j] = C[i,j] + A[i,k]*B[k,j] }'.")
+  in
+  let optimize_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "optimize" ] ~docv:"S"
+          ~doc:"Also find the time-optimal schedule for this space mapping (rows ';'-separated).")
+  in
+  let space_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "array-dim" ] ~docv:"K"
+          ~doc:"Also search the cheapest conflict-free K-dimensional array (Problem 6.1).")
+  in
+  let run src opt_s array_dim =
+    match Loopnest.parse_result src with
+    | Error e ->
+      prerr_endline (Loopnest.error_to_string e);
+      exit 1
+    | Ok a ->
+      Format.printf "%a@." Loopnest.pp_analysis a;
+      let alg = a.Loopnest.algorithm in
+      let pi_found = ref None in
+      (match opt_s with
+      | None -> ()
+      | Some s ->
+        let s = parse_matrix s in
+        (match Procedure51.optimize alg ~s with
+        | Some r ->
+          pi_found := Some r.Procedure51.pi;
+          Printf.printf "optimal Pi = %s, total time = %d\n"
+            (Intvec.to_string r.Procedure51.pi) r.Procedure51.total_time
+        | None -> print_endline "no conflict-free schedule found"));
+      match array_dim with
+      | None -> ()
+      | Some dim ->
+        let pi =
+          match !pi_found with
+          | Some pi -> pi
+          | None -> (
+            (* Use the cost-minimal free schedule as Problem 6.1's
+               given Pi. *)
+            match Procedure51.minimal_schedule alg with
+            | Some pi -> pi
+            | None -> failwith "no valid schedule exists")
+        in
+        (match Space_opt.optimize alg ~pi ~k:(dim + 1) with
+        | Some r ->
+          Printf.printf "space-optimal S =\n%s\nprocessors = %d, wire length = %d\n"
+            (Intmat.to_string r.Space_opt.s) r.Space_opt.processors r.Space_opt.wire_length
+        | None -> print_endline "no conflict-free space mapping in the searched family")
+  in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:"Extract (J, D) from a nested-loop program; optionally optimize and place it")
+    Term.(const run $ src_arg $ optimize_arg $ space_arg)
+
+(* ------------------------------ pareto ------------------------------ *)
+
+let pareto_cmd =
+  let dim_arg =
+    Arg.(value & opt int 1 & info [ "array-dim" ] ~docv:"K" ~doc:"Array dimension (default 1).")
+  in
+  let collision_free_arg =
+    Arg.(
+      value & flag
+      & info [ "collision-free" ]
+          ~doc:"Also require link-collision freedom ([23]'s stricter model).")
+  in
+  let run name mu dim collision_free =
+    let alg, _ = builtin_algorithm name mu in
+    let accept pi s =
+      (not collision_free)
+      ||
+      let tm = Tmap.make ~s ~pi in
+      match Tmap.find_routing tm ~d:alg.Algorithm.dependences with
+      | Some routing -> Linkcheck.predict alg tm routing = []
+      | None -> false
+    in
+    let front = Enumerate.pareto_front ~accept alg ~k:(dim + 1) in
+    if front = [] then print_endline "no achievable points found"
+    else
+      List.iter
+        (fun p ->
+          Printf.printf "t = %-4d PEs = %-4d Pi = %-12s S = %s\n" p.Enumerate.total_time
+            p.Enumerate.processors
+            (Intvec.to_string p.Enumerate.pi)
+            (Intmat.to_string p.Enumerate.s))
+        front
+  in
+  Cmd.v
+    (Cmd.info "pareto" ~doc:"Achievable (total time, processors) trade-off (Problems 2.1/6.2)")
+    Term.(const run $ algorithm_arg $ mu_int_arg $ dim_arg $ collision_free_arg)
+
+(* ------------------------------ stats ------------------------------ *)
+
+let stats_cmd =
+  let pi_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "pi" ] ~docv:"PI" ~doc:"Linear schedule vector, comma separated.")
+  in
+  let run name mu s_opt pi_s =
+    let alg, default_s = builtin_algorithm name mu in
+    let s =
+      match (s_opt, default_s) with
+      | Some s, _ -> parse_matrix s
+      | None, Some s -> s
+      | None, None -> failwith "no default space mapping; pass -s"
+    in
+    let tm = Tmap.make ~s ~pi:(Intvec.of_ints (parse_vector pi_s)) in
+    Format.printf "%a@." Stats.pp (Stats.compute alg tm)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Array statistics of a mapping (PEs, utilization, wire length)")
+    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg)
+
+(* ------------------------------- main ------------------------------ *)
+
+let () =
+  let doc = "time-optimal conflict-free mappings of uniform dependence algorithms" in
+  let info = Cmd.info "shangfortes" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ hnf_cmd; analyze_cmd; optimize_cmd; simulate_cmd; parse_cmd; pareto_cmd; stats_cmd ]))

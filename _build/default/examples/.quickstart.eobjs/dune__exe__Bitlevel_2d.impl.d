@@ -1,0 +1,1 @@
+examples/bitlevel_2d.ml: Algorithm Bit_matmul Conflict Dataflow Exec Hnf Index_set Intmat Intvec List Printf Procedure51 Prop81 Theorems Tmap Zint

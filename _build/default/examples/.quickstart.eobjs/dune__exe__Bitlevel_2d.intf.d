@@ -1,0 +1,1 @@
+examples/bitlevel_2d.mli:

@@ -1,0 +1,1 @@
+examples/from_source.ml: Algorithm Array Exec Fir Format Index_set Intmat Intvec List Loopnest Printf Procedure51 Space_opt String Tmap

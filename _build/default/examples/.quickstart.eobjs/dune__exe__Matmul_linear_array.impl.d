@@ -1,0 +1,1 @@
+examples/matmul_linear_array.ml: Algorithm Array Conflict Exec Index_set Intvec List Matmul Printf Procedure51 Random String Sys Tmap Trace

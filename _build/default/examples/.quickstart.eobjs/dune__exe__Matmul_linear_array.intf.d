@@ -1,0 +1,1 @@
+examples/matmul_linear_array.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithm Conflict Exec Index_set Intmat Intvec List Matmul Printf Procedure51 Random Tmap

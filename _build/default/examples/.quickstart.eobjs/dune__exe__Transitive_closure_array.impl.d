@@ -1,0 +1,1 @@
+examples/transitive_closure_array.ml: Array Dataflow Exec Ilp_form Intvec List Printf Procedure51 Random Sys Tmap Transitive_closure

@@ -1,0 +1,1 @@
+lib/algorithms/bit_convolution.ml: Algorithm Index_set Intmat

@@ -1,0 +1,1 @@
+lib/algorithms/bit_convolution.mli: Algorithm Intmat

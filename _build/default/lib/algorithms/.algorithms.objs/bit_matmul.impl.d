@@ -1,0 +1,1 @@
+lib/algorithms/bit_matmul.ml: Algorithm Array Format Index_set Intmat Random

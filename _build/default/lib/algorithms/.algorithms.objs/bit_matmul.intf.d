@@ -1,0 +1,1 @@
+lib/algorithms/bit_matmul.mli: Algorithm Intmat Random

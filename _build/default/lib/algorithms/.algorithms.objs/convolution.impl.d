@@ -1,0 +1,1 @@
+lib/algorithms/convolution.ml: Algorithm Array Format Index_set Intmat

@@ -1,0 +1,1 @@
+lib/algorithms/convolution.mli: Algorithm Intmat

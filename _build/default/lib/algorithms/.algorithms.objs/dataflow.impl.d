@@ -1,0 +1,1 @@
+lib/algorithms/dataflow.ml: Algorithm Array Format Index_set Int

@@ -1,0 +1,1 @@
+lib/algorithms/fir.ml: Algorithm Array Format Index_set

@@ -1,0 +1,1 @@
+lib/algorithms/fir.mli: Algorithm

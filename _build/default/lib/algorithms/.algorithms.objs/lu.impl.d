@@ -1,0 +1,1 @@
+lib/algorithms/lu.ml: Algorithm Array Format Index_set Intmat Qnum Random

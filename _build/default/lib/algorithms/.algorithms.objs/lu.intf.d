@@ -1,0 +1,1 @@
+lib/algorithms/lu.mli: Algorithm Intmat Qnum Random

@@ -1,0 +1,1 @@
+lib/algorithms/matmul.ml: Algorithm Array Format Index_set Intmat Intvec Random

@@ -1,0 +1,1 @@
+lib/algorithms/matmul.mli: Algorithm Intmat Intvec Random

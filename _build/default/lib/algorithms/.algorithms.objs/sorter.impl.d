@@ -1,0 +1,1 @@
+lib/algorithms/sorter.ml: Algorithm Array Format Index_set Int Stdlib

@@ -1,0 +1,1 @@
+lib/algorithms/stencil.ml: Algorithm Array Format Index_set Int

@@ -1,0 +1,1 @@
+lib/algorithms/stencil.mli: Algorithm

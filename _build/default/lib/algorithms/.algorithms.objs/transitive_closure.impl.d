@@ -1,0 +1,1 @@
+lib/algorithms/transitive_closure.ml: Algorithm Array Index_set Intmat Intvec

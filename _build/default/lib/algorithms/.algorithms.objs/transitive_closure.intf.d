@@ -1,0 +1,1 @@
+lib/algorithms/transitive_closure.mli: Algorithm Intmat Intvec

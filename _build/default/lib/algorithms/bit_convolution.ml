@@ -1,0 +1,13 @@
+let algorithm ~mu_sample ~mu_tap ~mu_bit =
+  Algorithm.make ~name:"bit-convolution"
+    ~index_set:(Index_set.make [| mu_sample; mu_tap; mu_bit; mu_bit |])
+    ~dependences:
+      [
+        [ 0; 1; 0; 0 ];  (* partial-sum accumulation over the taps *)
+        [ 0; 0; 1; 0 ];  (* carry chain along the coefficient-bit axis *)
+        [ 0; 0; 0; 1 ];  (* carry chain along the input-bit axis *)
+        [ 1; 0; 0; 0 ];  (* coefficient bits ride along the samples *)
+        [ 1; 1; 0; 0 ];  (* input bits ride along the (i, k) diagonal *)
+      ]
+
+let bitplane_s = Intmat.of_ints [ [ 0; 0; 1; 0 ]; [ 0; 0; 0; 1 ] ]

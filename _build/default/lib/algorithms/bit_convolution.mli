@@ -1,0 +1,19 @@
+(** Bit-level 1-D convolution as a 4-dimensional uniform dependence
+    algorithm — the exact scenario Section 3 names for the Theorem 3.1
+    machinery: "the mapping of 4-dimensional convolution algorithm at
+    bit-level [26] into a 2-dimensional systolic array".
+
+    Index point [(i, k, bw, bx)]: output sample [i], tap [k], bit [bw]
+    of the coefficient, bit [bx] of the input sample.  Dependences:
+    accumulation over taps, carry chains along both bit axes,
+    coefficient-bit reuse along [i], and input-bit reuse along the
+    [(1,1,0,0)] diagonal.  Being 4-dimensional, mapping it onto a 2-D
+    array uses [T ∈ Z^{3×4} = Z^{(n-1)×n}] — the closed-form single
+    conflict vector applies.  Simulation uses {!Dataflow} fingerprints
+    (see DESIGN.md substitutions). *)
+
+val algorithm : mu_sample:int -> mu_tap:int -> mu_bit:int -> Algorithm.t
+
+val bitplane_s : Intmat.t
+(** [S = [[0,0,1,0]; [0,0,0,1]]]: one PE per (coefficient-bit,
+    input-bit) pair — the RAB-style bit-plane layout. *)

@@ -1,0 +1,42 @@
+(** Bit-level matrix multiplication as a 5-dimensional uniform
+    dependence algorithm — the shape of the RAB kernels that motivate
+    the paper (Sections 1 and 5; see DESIGN.md substitutions).
+
+    Index point [(i, j, k, ba, bb)]: word-level point [(i, j, k)] of the
+    product, bit [ba] of the [A] operand, bit [bb] of the [B] operand.
+    Dependences: accumulation along [k], carry/shift chains along the
+    two bit axes, and operand-bit propagation along [i] and [j].
+    Simulation uses the {!Dataflow} fingerprint semantics — the paper
+    only ever uses this algorithm's structure, in formulation
+    (5.5)-(5.6) and Proposition 8.1. *)
+
+val algorithm : mu_word:int -> mu_bit:int -> Algorithm.t
+(** Words range over [[0, mu_word]^3], bits over [[0, mu_bit]^2]. *)
+
+val example_s : Intmat.t
+(** [S = [[1,0,0,1,0]; [0,1,0,0,1]]]: word coordinates plus bit offsets,
+    a 2-D bit-level array layout.  Satisfies the Proposition 8.1
+    normalization ([s11 = 1], [s22 - s21 s12 = 1]). *)
+
+(** {1 Executable variant}
+
+    [chained_algorithm] replaces the two abstract carry-chain axes with
+    a serpentine accumulation order (innermost [bb], then [ba], then
+    [k]) whose dependences are still uniform — the row-carry trick of
+    the 4-D convolution instance applied twice.  Each point multiplies
+    one bit of [A] by one bit of [B], weights it by [2^(ba+bb)] and
+    adds it to the running sum (carry-save style), so simulation
+    computes real products, checked against word-level
+    multiplication. *)
+
+val chained_algorithm : mu_word:int -> mu_bit:int -> Algorithm.t
+
+type value = { a_bit : int; b_bit : int; sum : int }
+
+val semantics : a:int array array -> b:int array array -> value Algorithm.semantics
+(** Entries of [a] and [b] must fit in [mu_bit + 1] bits (unsigned). *)
+
+val product_of_values :
+  mu_word:int -> mu_bit:int -> (int array -> value) -> int array array
+
+val random_word_matrix : rng:Random.State.t -> size:int -> mu_bit:int -> int array array

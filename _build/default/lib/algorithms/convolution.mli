@@ -1,0 +1,36 @@
+(** 2-D convolution as a 4-dimensional uniform dependence algorithm —
+    the word-level stand-in for the paper's motivating "4-dimensional
+    bit-level convolution" (Section 3; see DESIGN.md substitutions).
+
+    [y(i,j) = Σ_{p,q} ker(p,q) * img(i-p, j-q)] on the index cube
+    [(i, j, p, q) ∈ [0,mu_i]×[0,mu_j]×[0,mu_p]×[0,mu_q]], with six
+    uniform dependences:
+
+    - [d_1 = (0,0,0,1)]: partial sum along [q];
+    - [d_2 = (0,0,1,-mu_q)]: row-sum carry from [(p-1, mu_q)] to [(p, 0)];
+    - [d_3 = (1,0,0,0)], [d_4 = (0,1,0,0)]: kernel coefficient
+      propagation (invariant in [i] and [j]);
+    - [d_5 = (1,0,1,0)], [d_6 = (0,1,0,1)]: image pixel propagation
+      (invariant along both diagonals).
+
+    Being 4-dimensional with full integer semantics, this is the
+    natural Theorem 3.1 workload: mapping it to a 2-D array uses
+    [T ∈ Z^{3×4} = Z^{(n-1)×n}]. *)
+
+val algorithm : mu_ij:int -> mu_pq:int -> Algorithm.t
+(** Output size [mu_ij + 1] square, kernel size [mu_pq + 1] square. *)
+
+type value = { y : int; k : int; x : int }
+
+val semantics :
+  ker:int array array -> img:int array array -> value Algorithm.semantics
+(** Pixels outside the image are zero (zero padding). *)
+
+val output_of_values : mu_ij:int -> mu_pq:int -> (int array -> value) -> int array array
+
+val reference_convolution :
+  ker:int array array -> img:int array array -> out_size:int -> int array array
+
+val example_s : Intmat.t
+(** A 2×4 space mapping onto a 2-D array used by the examples:
+    [[1,0,1,0]; [0,1,0,1]] (output-plus-kernel projection). *)

@@ -1,0 +1,17 @@
+(** Generic dataflow-fingerprint semantics, usable with any uniform
+    dependence algorithm.
+
+    Every computation produces an integer fingerprint mixing its index
+    point with the fingerprints of its operands.  Simulated execution
+    reproduces the reference fingerprints exactly iff every operand
+    reached the right point — i.e. the array executed the true
+    dataflow.  This is the semantics used for algorithms whose
+    arithmetic the paper never specifies (the reindexed transitive
+    closure of [17], the RAB bit-level kernels), where the mapping
+    claims under test are purely structural. *)
+
+val semantics : int Algorithm.semantics
+
+val fingerprint_all : Algorithm.t -> int
+(** Combined fingerprint of the whole index set under the reference
+    evaluator; a convenient one-number regression check. *)

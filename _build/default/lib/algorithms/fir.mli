@@ -1,0 +1,19 @@
+(** FIR filter (1-D convolution) as a 2-dimensional uniform dependence
+    algorithm — the smallest member of the paper's DSP workload family
+    and the classic linear-systolic-array example.
+
+    [y(i) = Σ_k w(k) x(i-k)] on [(i, k) ∈ [0,mu_i] × [0,mu_k]]:
+    accumulation along [k] ([d_1 = (0,1)]), coefficient reuse along [i]
+    ([d_2 = (1,0)]), input sample reuse along the diagonal
+    ([d_3 = (1,1)]).  Exactly the structure the {!Loopnest} front end
+    extracts from [Y[i] = Y[i] + W[k] * X[i-k]]. *)
+
+val algorithm : mu_i:int -> mu_k:int -> Algorithm.t
+
+type value = { y : int; w : int; x : int }
+
+val semantics : w:int array -> x:int array -> value Algorithm.semantics
+(** Samples [x] outside the signal are zero. *)
+
+val output_of_values : mu_i:int -> mu_k:int -> (int array -> value) -> int array
+val reference_fir : w:int array -> x:int array -> out_size:int -> int array

@@ -1,0 +1,40 @@
+(** LU decomposition dependence structure on the rectangular hull of
+    its triangular index set — listed by the paper alongside matrix
+    multiplication and convolution as a standard bit-level target
+    (Section 1).
+
+    The classic systolic LU recurrence updates
+    [a(k+1; i, j) = a(k; i, j) - l(k; i) u(k; j)] with the pivot row
+    and column propagating through the mesh; on the rectangular hull
+    this gives the three unit dependences plus two diagonal propagation
+    vectors.  Simulation uses the {!Dataflow} fingerprint semantics. *)
+
+val algorithm : mu:int -> Algorithm.t
+
+val example_s : Intmat.t
+(** [S = [1, 0, 0]]: project onto the pivot axis (linear array). *)
+
+(** {1 Executable variant}
+
+    Gentleman-Kung-style LU without pivoting, made uniform on the cube
+    [(k, i, j) ∈ [0,mu]^3] with [D = I]: the matrix state flows along
+    [k] ([d_1]), the pivot row's [u(k,j)] values travel down the rows
+    ([d_2]) and the multipliers [l(i,k)] travel across the columns
+    ([d_3]).  Values are exact rationals ({!Qnum.t}), so the factors
+    are checked by the identity [L U = A] — no numerics involved.
+    Requires nonzero leading minors; {!random_dominant_matrix} supplies
+    strictly diagonally dominant inputs. *)
+
+val executable_algorithm : mu:int -> Algorithm.t
+
+type value = { a : Qnum.t; u : Qnum.t; l : Qnum.t }
+
+val semantics : a:Qnum.t array array -> value Algorithm.semantics
+(** [a] must be (mu+1)×(mu+1) with nonzero leading principal minors. *)
+
+val factors_of_values :
+  mu:int -> (int array -> value) -> Qnum.t array array * Qnum.t array array
+(** [(l, u)] with [l] unit lower triangular and [u] upper triangular. *)
+
+val matmul_q : Qnum.t array array -> Qnum.t array array -> Qnum.t array array
+val random_dominant_matrix : rng:Random.State.t -> int -> Qnum.t array array

@@ -1,0 +1,23 @@
+(** Odd-even transposition sort as a 2-dimensional uniform dependence
+    algorithm — the classic linear-systolic sorting network, and a
+    workload whose semantics (compare-exchange) differs per point
+    parity, exercising Definition 2.1's allowance for different
+    functions [g_j] at different points.
+
+    Index point [(t, i)]: the value held by cell [i] after step [t].
+    At step [t], cells [i] and [i+1] with [i ≡ t (mod 2)] compare and
+    exchange.  Dependences: [(1,-1)], [(1,0)], [(1,1)] — each cell
+    reads its own and (at most) both neighbours' previous values and
+    keeps min or max according to the parity.  After [n] steps the row
+    is sorted (checked against [List.sort]). *)
+
+val algorithm : steps:int -> cells:int -> Algorithm.t
+(** [J = [0, steps] × [0, cells]]; sorting [cells + 1] values needs
+    [steps >= cells]. *)
+
+val semantics : initial:int array -> int Algorithm.semantics
+(** [initial] has [cells + 1] entries, the row at [t = 0]. *)
+
+val row_of_values : steps:int -> cells:int -> (int array -> int) -> int array
+
+val is_sorted : int array -> bool

@@ -1,0 +1,23 @@
+(** A 3-point explicit stencil (1-D heat/diffusion sweep) as a
+    2-dimensional uniform dependence algorithm:
+
+    [a(t, i) = c_l a(t-1, i-1) + c_c a(t-1, i) + c_r a(t-1, i+1)]
+
+    on [(t, i) ∈ [0,mu_t] × [0,mu_i]], with the flow dependences
+    [(1,1)], [(1,0)] and [(1,-1)] — exactly what the {!Loopnest} front
+    end extracts from the corresponding source.  Full integer
+    semantics: simulation computes real sweeps and is checked against
+    a direct iteration.  Cells outside the rod are held at zero
+    (absorbing boundary); row [t = 0] takes the initial values. *)
+
+val algorithm : mu_t:int -> mu_i:int -> Algorithm.t
+
+val semantics : coeffs:int * int * int -> initial:int array -> int Algorithm.semantics
+(** [coeffs = (c_l, c_c, c_r)]; [initial] has [mu_i + 1] cells. *)
+
+val row_of_values : mu_t:int -> mu_i:int -> (int array -> int) -> int array
+(** The final row [t = mu_t]. *)
+
+val reference_sweeps :
+  coeffs:int * int * int -> initial:int array -> steps:int -> int array
+(** Direct iteration, the ground truth. *)

@@ -1,0 +1,23 @@
+let algorithm ~mu =
+  Algorithm.make ~name:"transitive-closure"
+    ~index_set:(Index_set.cube ~n:3 ~mu)
+    ~dependences:
+      [ [ 0; 0; 1 ]; [ 0; 1; 0 ]; [ 1; -1; -1 ]; [ 1; -1; 0 ]; [ 1; 0; -1 ] ]
+
+let paper_s = Intmat.of_ints [ [ 0; 0; 1 ] ]
+let optimal_pi ~mu = Intvec.of_ints [ mu + 1; 1; 1 ]
+let prior_pi ~mu = Intvec.of_ints [ (2 * mu) + 1; 1; 1 ]
+let optimal_total_time ~mu = (mu * (mu + 3)) + 1
+let prior_total_time ~mu = (mu * ((2 * mu) + 3)) + 1
+
+let warshall a =
+  let n = Array.length a in
+  let c = Array.map Array.copy a in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if c.(i).(k) && c.(k).(j) then c.(i).(j) <- true
+      done
+    done
+  done;
+  c

@@ -1,0 +1,30 @@
+(** The reindexed transitive closure algorithm of [17] as used in
+    Examples 3.2 and 5.2: a 3-dimensional uniform dependence algorithm
+    on [J = [0, mu]^3] with the five dependence vectors of
+    Equation 3.6.
+
+    The paper evaluates only the structural mapping properties of this
+    algorithm (schedule length, conflicts, routing); the arithmetic of
+    the reindexed recurrence is defined in [17], which is not
+    reproduced here, so simulation uses the {!Dataflow} fingerprint
+    semantics (see DESIGN.md, substitutions).  A direct Warshall
+    closure is provided for the example program. *)
+
+val algorithm : mu:int -> Algorithm.t
+
+val paper_s : Intmat.t
+(** [S = [0, 0, 1]], the space mapping of [22] reused by the paper. *)
+
+val optimal_pi : mu:int -> Intvec.t
+(** [Pi° = [mu+1, 1, 1]] — total time [mu(mu+3) + 1] (Example 5.2). *)
+
+val prior_pi : mu:int -> Intvec.t
+(** [Pi' = [2 mu + 1, 1, 1]] found by the heuristic of [22] — total
+    time [mu(2 mu + 3) + 1]. *)
+
+val optimal_total_time : mu:int -> int
+val prior_total_time : mu:int -> int
+
+val warshall : bool array array -> bool array array
+(** Reference transitive closure (reflexive-transitive reachability is
+    NOT implied: pure Warshall on the given relation). *)

@@ -1,0 +1,637 @@
+type error =
+  | Parse_error of string
+  | Non_uniform of string
+  | Unknown_variable of string
+  | Empty_index_set of string
+  | No_alignment of string
+
+exception Error of error
+
+let error_to_string = function
+  | Parse_error s -> "parse error: " ^ s
+  | Non_uniform s -> "non-uniform program: " ^ s
+  | Unknown_variable s -> "unknown loop variable: " ^ s
+  | Empty_index_set s -> "empty index set: " ^ s
+  | No_alignment s -> "no valid alignment: " ^ s
+
+let fail e = raise (Error e)
+
+(* ------------------------------- lexer ------------------------------ *)
+
+type token =
+  | FOR
+  | IDENT of string
+  | INT of int
+  | EQUALS
+  | DOTDOT
+  | COMMA
+  | SEMI
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | EOF
+
+let token_to_string = function
+  | FOR -> "for"
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | EQUALS -> "="
+  | DOTDOT -> ".."
+  | COMMA -> ","
+  | SEMI -> ";"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | EOF -> "<eof>"
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_digit c = c >= '0' && c <= '9' in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && (is_alpha src.[!i] || is_digit src.[!i]) do incr i done;
+      let word = String.sub src start (!i - start) in
+      emit (if word = "for" then FOR else IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else begin
+      (match c with
+      | '=' -> emit EQUALS
+      | '.' ->
+        if !i + 1 < n && src.[!i + 1] = '.' then begin emit DOTDOT; incr i end
+        else fail (Parse_error "single '.'")
+      | ',' -> emit COMMA
+      | ';' -> emit SEMI
+      | '{' -> emit LBRACE
+      | '}' -> emit RBRACE
+      | '[' -> emit LBRACKET
+      | ']' -> emit RBRACKET
+      | '(' -> emit LPAREN
+      | ')' -> emit RPAREN
+      | '+' -> emit PLUS
+      | '-' -> emit MINUS
+      | '*' -> emit STAR
+      | c -> fail (Parse_error (Printf.sprintf "unexpected character %C" c)));
+      incr i
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+(* ------------------------------ parser ------------------------------ *)
+
+type affine = { coeffs : int array; const : int }
+
+type array_ref = { array_name : string; indices : affine list }
+
+type parser_state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t =
+  if peek st = t then advance st
+  else
+    fail
+      (Parse_error
+         (Printf.sprintf "expected '%s' but found '%s'" (token_to_string t)
+            (token_to_string (peek st))))
+
+let parse_int st =
+  match peek st with
+  | INT n -> advance st; n
+  | MINUS ->
+    advance st;
+    (match peek st with
+    | INT n -> advance st; -n
+    | t -> fail (Parse_error ("expected integer after '-', found " ^ token_to_string t)))
+  | t -> fail (Parse_error ("expected integer, found " ^ token_to_string t))
+
+(* Affine index expression over the loop variables [vars]. *)
+let parse_affine st vars =
+  let nv = List.length vars in
+  let coeffs = Array.make nv 0 in
+  let const = ref 0 in
+  let var_index name =
+    let rec go i = function
+      | [] -> fail (Unknown_variable name)
+      | v :: rest -> if v = name then i else go (i + 1) rest
+    in
+    go 0 vars
+  in
+  let add_term sign =
+    match peek st with
+    | INT n -> (
+      advance st;
+      match peek st with
+      | STAR -> (
+        advance st;
+        match peek st with
+        | IDENT v ->
+          advance st;
+          let idx = var_index v in
+          coeffs.(idx) <- coeffs.(idx) + (sign * n)
+        | t -> fail (Parse_error ("expected variable after '*', found " ^ token_to_string t)))
+      | _ -> const := !const + (sign * n))
+    | IDENT v ->
+      advance st;
+      let idx = var_index v in
+      coeffs.(idx) <- coeffs.(idx) + sign
+    | t -> fail (Parse_error ("expected index term, found " ^ token_to_string t))
+  in
+  let first_sign = if peek st = MINUS then (advance st; -1) else 1 in
+  add_term first_sign;
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | PLUS -> advance st; add_term 1
+    | MINUS -> advance st; add_term (-1)
+    | _ -> continue := false
+  done;
+  { coeffs; const = !const }
+
+let parse_ref st vars name =
+  expect st LBRACKET;
+  let indices = ref [ parse_affine st vars ] in
+  while peek st = COMMA do
+    advance st;
+    indices := parse_affine st vars :: !indices
+  done;
+  expect st RBRACKET;
+  { array_name = name; indices = List.rev !indices }
+
+(* Right-hand side: we only need the referenced arrays; arithmetic
+   structure is irrelevant to (J, D). *)
+let rec parse_expr_refs st vars acc =
+  let acc = parse_term_refs st vars acc in
+  match peek st with
+  | PLUS | MINUS ->
+    advance st;
+    parse_expr_refs st vars acc
+  | _ -> acc
+
+and parse_term_refs st vars acc =
+  let acc = parse_factor_refs st vars acc in
+  match peek st with
+  | STAR ->
+    advance st;
+    parse_term_refs st vars acc
+  | _ -> acc
+
+and parse_factor_refs st vars acc =
+  match peek st with
+  | INT _ -> advance st; acc
+  | MINUS -> advance st; parse_factor_refs st vars acc
+  | LPAREN ->
+    advance st;
+    let acc = parse_expr_refs st vars acc in
+    expect st RPAREN;
+    acc
+  | IDENT name ->
+    advance st;
+    if peek st = LBRACKET then parse_ref st vars name :: acc
+    else fail (Parse_error ("scalar reference '" ^ name ^ "' is not supported"))
+  | t -> fail (Parse_error ("expected expression, found " ^ token_to_string t))
+
+type stmt = { lhs : array_ref; rhs_refs : array_ref list }
+
+type nest = {
+  vars : string list;
+  lower : int array;
+  upper : int array;
+  stmts : stmt list;
+}
+
+let parse_stmt st vars =
+  let lhs =
+    match peek st with
+    | IDENT name -> advance st; parse_ref st vars name
+    | t -> fail (Parse_error ("expected assignment, found " ^ token_to_string t))
+  in
+  expect st EQUALS;
+  let refs = List.rev (parse_expr_refs st vars []) in
+  { lhs; rhs_refs = refs }
+
+let parse_nest src =
+  let st = { toks = tokenize src } in
+  expect st FOR;
+  let vars = ref [] and lowers = ref [] and uppers = ref [] in
+  let parse_bind () =
+    match peek st with
+    | IDENT v ->
+      advance st;
+      expect st EQUALS;
+      let lo = parse_int st in
+      expect st DOTDOT;
+      let hi = parse_int st in
+      vars := v :: !vars;
+      lowers := lo :: !lowers;
+      uppers := hi :: !uppers
+    | t -> fail (Parse_error ("expected loop variable, found " ^ token_to_string t))
+  in
+  parse_bind ();
+  while peek st = COMMA do
+    advance st;
+    parse_bind ()
+  done;
+  let vars = List.rev !vars in
+  expect st LBRACE;
+  let stmts = ref [ parse_stmt st vars ] in
+  while peek st = SEMI do
+    advance st;
+    if peek st <> RBRACE then stmts := parse_stmt st vars :: !stmts
+  done;
+  expect st RBRACE;
+  expect st EOF;
+  {
+    vars;
+    lower = Array.of_list (List.rev !lowers);
+    upper = Array.of_list (List.rev !uppers);
+    stmts = List.rev !stmts;
+  }
+
+(* ----------------------------- analysis ----------------------------- *)
+
+type analysis = {
+  algorithm : Algorithm.t;
+  loop_vars : string list;
+  shifts : int array;
+  dependence_origin : (Intvec.t * string) list;
+  alignment : (string * int array) list;
+}
+
+(* Access function of a reference after normalizing loop lower bounds
+   to zero: index = F j + f with j = var - lower. *)
+let access_of_ref nest (r : array_ref) =
+  let nv = List.length nest.vars in
+  let rows = List.length r.indices in
+  let f_mat =
+    Intmat.make rows nv (fun i j -> Zint.of_int (List.nth r.indices i).coeffs.(j))
+  in
+  let offset =
+    Array.of_list
+      (List.map
+         (fun (a : affine) ->
+           let c = ref a.const in
+           Array.iteri (fun i co -> c := !c + (co * nest.lower.(i))) a.coeffs;
+           Zint.of_int !c)
+         r.indices)
+  in
+  (f_mat, offset)
+
+let ref_to_string (r : array_ref) nest =
+  let affine_to_string (a : affine) =
+    let buf = Buffer.create 8 in
+    let first = ref true in
+    Array.iteri
+      (fun i c ->
+        if c <> 0 then begin
+          let v = List.nth nest.vars i in
+          if c = 1 then begin
+            if not !first then Buffer.add_char buf '+';
+            Buffer.add_string buf v
+          end
+          else if c = -1 then Buffer.add_string buf ("-" ^ v)
+          else begin
+            if c > 0 && not !first then Buffer.add_char buf '+';
+            Buffer.add_string buf (string_of_int c ^ "*" ^ v)
+          end;
+          first := false
+        end)
+      a.coeffs;
+    if a.const <> 0 || !first then begin
+      if a.const >= 0 && not !first then Buffer.add_char buf '+';
+      Buffer.add_string buf (string_of_int a.const)
+    end;
+    Buffer.contents buf
+  in
+  r.array_name ^ "[" ^ String.concat "," (List.map affine_to_string r.indices) ^ "]"
+
+(* Integral solution of F d = diff, via the Hermite normal form. *)
+let solve_integral f diff =
+  let res = Hnf.compute f in
+  let r = res.Hnf.rank in
+  let n = Intmat.cols f in
+  let l = Ratmat.of_intmat (Intmat.sub_cols res.Hnf.h 0 (Stdlib.max r 1)) in
+  let b = Array.map Qnum.of_zint diff in
+  if r = 0 then if Array.for_all Zint.is_zero diff then Some (Intvec.zero n) else None
+  else
+    match Ratmat.solve l b with
+    | None -> None
+    | Some y ->
+      if Array.for_all Qnum.is_integer y then begin
+        let ext = Array.make n Zint.zero in
+        Array.iteri (fun i v -> ext.(i) <- Qnum.to_zint_exn v) y;
+        Some (Intmat.mul_vec res.Hnf.u ext)
+      end
+      else None
+
+(* A cross-statement flow dependence before alignment. *)
+type cross_dep = {
+  writer : int;
+  reader : int;
+  raw : Intvec.t;
+  label : string;
+}
+
+let l1_norm v =
+  Array.fold_left (fun acc x -> acc + abs (Zint.to_int x)) 0 v
+
+(* Does some small Pi satisfy Pi D > 0 for this dependence set? *)
+let schedulable nv deps =
+  if deps = [] then true
+  else begin
+    let d = Intmat.of_cols deps in
+    let respects pi =
+      Array.for_all
+        (fun x -> Zint.sign x > 0)
+        (Intmat.vec_mul (Intvec.of_int_array pi) d)
+    in
+    let found = ref false in
+    let pi = Array.make nv 0 in
+    let rec go i =
+      if !found then ()
+      else if i = nv then begin
+        if respects pi then found := true
+      end
+      else
+        for v = -3 to 3 do
+          pi.(i) <- v;
+          go (i + 1);
+          pi.(i) <- 0
+        done
+    in
+    go 0;
+    !found
+  end
+
+let analyze ?(alignment_bound = 2) nest =
+  let nv = List.length nest.vars in
+  let mu = Array.init nv (fun i -> nest.upper.(i) - nest.lower.(i)) in
+  Array.iteri
+    (fun i m ->
+      if m < 1 then
+        fail
+          (Empty_index_set
+             (Printf.sprintf "loop %s has fewer than two iterations" (List.nth nest.vars i))))
+    mu;
+  let stmts = Array.of_list nest.stmts in
+  let ns = Array.length stmts in
+  (* Map written arrays to their (unique) writing statement. *)
+  let writers = Hashtbl.create 8 in
+  Array.iteri
+    (fun idx st ->
+      if Hashtbl.mem writers st.lhs.array_name then
+        fail (Non_uniform (st.lhs.array_name ^ " is written by more than one statement"));
+      Hashtbl.add writers st.lhs.array_name idx)
+    stmts;
+  (* Offset-independent dependences (self flows, accumulations, input
+     reuse) and offset-dependent cross-statement flows. *)
+  let static : (Intvec.t * string) list ref = ref [] in
+  let cross : cross_dep list ref = ref [] in
+  let add_static d why =
+    if not (Intvec.is_zero d) then
+      match List.find_opt (fun (d', _) -> Intvec.equal d' d) !static with
+      | Some _ -> ()
+      | None -> static := (d, why) :: !static
+  in
+  Array.iteri
+    (fun reader_idx st ->
+      let f_lhs, off_lhs = access_of_ref nest st.lhs in
+      List.iter
+        (fun (r : array_ref) ->
+          let f_r, off_r = access_of_ref nest r in
+          let rname = ref_to_string r nest in
+          match Hashtbl.find_opt writers r.array_name with
+          | None ->
+            (* Pure input: localize its reuse along the access kernel,
+               and across sibling references reading the same array at
+               a constant offset (A[i,j] vs A[i-1,j]). *)
+            List.iter
+              (fun g -> add_static (Intvec.normalize_sign g) (Printf.sprintf "input reuse of %s" rname))
+              (Hnf.kernel_basis f_r);
+            Array.iter
+              (fun (st' : stmt) ->
+                List.iter
+                  (fun (r' : array_ref) ->
+                    if r'.array_name = r.array_name && r' != r then begin
+                      let f', off' = access_of_ref nest r' in
+                      if Intmat.equal f' f_r then begin
+                        let diff =
+                          Array.init (Array.length off_r) (fun i -> Zint.sub off'.(i) off_r.(i))
+                        in
+                        if not (Array.for_all Zint.is_zero diff) then
+                          match solve_integral f_r diff with
+                          | Some d ->
+                            add_static (Intvec.normalize_sign d)
+                              (Printf.sprintf "input reuse between %s and %s" rname
+                                 (ref_to_string r' nest))
+                          | None -> ()
+                      end
+                    end)
+                  st'.rhs_refs)
+              stmts
+          | Some writer_idx when writer_idx = reader_idx ->
+            if not (Intmat.equal f_r f_lhs) then
+              fail
+                (Non_uniform
+                   (Printf.sprintf "%s and %s access %s with different index matrices"
+                      (ref_to_string st.lhs nest) rname r.array_name));
+            let diff =
+              Array.init (Array.length off_lhs) (fun i -> Zint.sub off_lhs.(i) off_r.(i))
+            in
+            let kernel = List.map Intvec.normalize_sign (Hnf.kernel_basis f_lhs) in
+            if Array.for_all Zint.is_zero diff then begin
+              if kernel = [] then
+                fail
+                  (Non_uniform (Printf.sprintf "%s reads exactly the element it writes" rname));
+              List.iter (fun g -> add_static g (Printf.sprintf "accumulation of %s" rname)) kernel
+            end
+            else begin
+              match solve_integral f_lhs diff with
+              | None ->
+                fail
+                  (Non_uniform
+                     (Printf.sprintf "offset between %s and %s has no integral solution"
+                        (ref_to_string st.lhs nest) rname))
+              | Some d ->
+                add_static d (Printf.sprintf "flow from %s" rname);
+                List.iter (fun g -> add_static g (Printf.sprintf "reuse of %s" rname)) kernel
+            end
+          | Some writer_idx ->
+            let wst = stmts.(writer_idx) in
+            let f_w, off_w = access_of_ref nest wst.lhs in
+            if not (Intmat.equal f_r f_w) then
+              fail
+                (Non_uniform
+                   (Printf.sprintf "%s and %s access %s with different index matrices"
+                      (ref_to_string wst.lhs nest) rname r.array_name));
+            if Hnf.kernel_basis f_w <> [] then
+              fail
+                (Non_uniform
+                   (Printf.sprintf
+                      "cross-statement access %s has ambiguous writers (non-injective %s)"
+                      rname
+                      (ref_to_string wst.lhs nest)));
+            let diff =
+              Array.init (Array.length off_w) (fun i -> Zint.sub off_w.(i) off_r.(i))
+            in
+            (match solve_integral f_w diff with
+            | None ->
+              fail
+                (Non_uniform
+                   (Printf.sprintf "offset between %s and %s has no integral solution"
+                      (ref_to_string wst.lhs nest) rname))
+            | Some raw ->
+              cross :=
+                {
+                  writer = writer_idx;
+                  reader = reader_idx;
+                  raw;
+                  label =
+                    Printf.sprintf "cross flow %s -> statement %d" rname (reader_idx + 1);
+                }
+                :: !cross))
+        st.rhs_refs)
+    stmts;
+  let static = List.rev !static in
+  let cross = List.rev !cross in
+  (* Choose alignment offsets (first statement pinned at zero). *)
+  let offsets = Array.make ns (Array.make nv 0) in
+  if ns > 1 && cross <> [] then begin
+    let b = alignment_bound in
+    let best = ref None in
+    let candidate = Array.init ns (fun _ -> Array.make nv 0) in
+    let aligned_dep (c : cross_dep) =
+      Array.init nv (fun r ->
+          Zint.add c.raw.(r)
+            (Zint.of_int (candidate.(c.reader).(r) - candidate.(c.writer).(r))))
+    in
+    let evaluate () =
+      let ok = ref true in
+      let cost = ref 0 in
+      let deps = ref [] in
+      List.iter
+        (fun c ->
+          let d = aligned_dep c in
+          if Intvec.is_zero d then begin
+            if c.writer >= c.reader then ok := false
+          end
+          else begin
+            cost := !cost + l1_norm d;
+            deps := d :: !deps
+          end)
+        cross;
+      if !ok then begin
+        let all = List.map fst static @ !deps in
+        if schedulable nv all then begin
+          (* Secondary criterion: prefer small offsets, so that the
+             zero alignment wins all else being equal. *)
+          let offcost =
+            Array.fold_left
+              (fun acc o -> Array.fold_left (fun a x -> a + abs x) acc o)
+              0 candidate
+          in
+          match !best with
+          | Some ((bcost, boff), _) when (bcost, boff) <= (!cost, offcost) -> ()
+          | Some _ | None ->
+            best := Some ((!cost, offcost), Array.map Array.copy candidate)
+        end
+      end
+    in
+    (* Enumerate offsets for statements 1..ns-1. *)
+    let rec go s coord =
+      if s = ns then evaluate ()
+      else if coord = nv then go (s + 1) 0
+      else
+        for v = -b to b do
+          candidate.(s).(coord) <- v;
+          go s (coord + 1);
+          candidate.(s).(coord) <- 0
+        done
+    in
+    go 1 0;
+    match !best with
+    | Some (_, chosen) -> Array.blit chosen 0 offsets 0 ns
+    | None ->
+      fail
+        (No_alignment
+           (Printf.sprintf "searched offsets up to +/-%d in %d dimensions" b nv))
+  end;
+  (* Final dependence list. *)
+  let deps : (Intvec.t * string) list ref = ref [] in
+  let add d why =
+    if not (Intvec.is_zero d) then
+      match List.find_opt (fun (d', _) -> Intvec.equal d' d) !deps with
+      | Some _ -> ()
+      | None -> deps := (d, why) :: !deps
+  in
+  List.iter (fun (d, why) -> add d why) static;
+  List.iter
+    (fun (c : cross_dep) ->
+      let d =
+        Array.init nv (fun r ->
+            Zint.add c.raw.(r) (Zint.of_int (offsets.(c.reader).(r) - offsets.(c.writer).(r))))
+      in
+      add d c.label)
+    cross;
+  let deps = List.rev !deps in
+  if deps = [] then
+    fail (Non_uniform "the statement induces no dependences (pointwise map)");
+  let dependences = List.map (fun (d, _) -> Intvec.to_ints d) deps in
+  let name = stmts.(0).lhs.array_name ^ "-nest" in
+  {
+    algorithm = Algorithm.make ~name ~index_set:(Index_set.make mu) ~dependences;
+    loop_vars = nest.vars;
+    shifts = Array.copy nest.lower;
+    dependence_origin = deps;
+    alignment =
+      Array.to_list (Array.mapi (fun i o -> (stmts.(i).lhs.array_name, Array.copy o)) offsets);
+  }
+
+let parse ?alignment_bound src = analyze ?alignment_bound (parse_nest src)
+
+let parse_result ?alignment_bound src =
+  match parse ?alignment_bound src with
+  | a -> Ok a
+  | exception Error e -> Error e
+
+let pp_analysis fmt a =
+  Format.fprintf fmt "@[<v>algorithm %s: n = %d, |J| = %d@," a.algorithm.Algorithm.name
+    (Algorithm.dim a.algorithm)
+    (Index_set.cardinal a.algorithm.Algorithm.index_set);
+  Format.fprintf fmt "loop variables: %s@," (String.concat ", " a.loop_vars);
+  if List.length a.alignment > 1 then
+    List.iter
+      (fun (name, o) ->
+        Format.fprintf fmt "alignment %s: (%s)@," name
+          (String.concat "," (Array.to_list (Array.map string_of_int o))))
+      a.alignment;
+  List.iter
+    (fun (d, why) -> Format.fprintf fmt "d = %s  (%s)@," (Intvec.to_string d) why)
+    a.dependence_origin;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,92 @@
+(** A small front end from nested-loop programs to uniform dependence
+    algorithms — the program class of Definition 2.1's discussion:
+    "a single statement appears in the body of a multiply nested loop
+    and the indices of the variable in the left hand side differ by a
+    constant from the corresponding indices in each reference to the
+    same variable in the right hand side".
+
+    Input syntax (whitespace-insensitive):
+
+    {v
+    for i = 0..4, j = 0..4, k = 0..4 {
+      C[i,j] = C[i,j] + A[i,k] * B[k,j]
+    }
+    v}
+
+    Index expressions are affine in the loop variables with integer
+    coefficients ([i], [i-1], [2*i+k-3], ...).  Loop lower bounds may
+    be any integer; the index set is shifted to start at 0
+    (Assumption 2.1).
+
+    Dependence extraction:
+    - a right-hand-side reference to the {e same} array as the left
+      side induces the flow dependence [d] with [F d = f_lhs - f_rhs]
+      (solved exactly over the integers through the Hermite normal
+      form of the shared access matrix [F]), plus one accumulation /
+      broadcast dependence per generator of [ker F] — e.g.
+      [C[i,j] = C[i,j] + ...] yields the [e_k] accumulation vector;
+    - a reference to a {e different} array (a pure input) is localized:
+      the value is reused along [ker F], so one propagation dependence
+      per kernel generator is emitted ([A[i,k]] in matmul rides along
+      [e_j]); an injective access needs no dependence.
+
+    Kernel generators are oriented lexicographically positive, and
+    duplicate dependences are merged.
+
+    {b Multiple statements} (the paper's pointer to the alignment
+    method of [14]/[24]) are separated by [';']:
+
+    {v
+    for i = 0..4, j = 0..4 {
+      B[i,j] = A[i,j] + A[i,j];
+      C[i,j] = B[i,j] + B[i-1,j]
+    }
+    v}
+
+    The statements are fused into one uniform dependence body per
+    index point; each statement [s] receives an integral alignment
+    offset [o_s] (the first statement is pinned at 0) and every
+    cross-statement flow dependence becomes
+    [d_raw + o_reader - o_writer].  Offsets are chosen to minimize the
+    total L1 length of the cross dependences, subject to validity
+    (a zero dependence is only allowed when the writer precedes the
+    reader in the body) and schedulability (some [Pi D > 0] must
+    exist). *)
+
+type error =
+  | Parse_error of string        (** Syntax error with position info. *)
+  | Non_uniform of string        (** Same-array accesses whose matrices differ,
+                                     offsets with no integral solution,
+                                     ambiguous or duplicate writers. *)
+  | Unknown_variable of string
+  | Empty_index_set of string
+  | No_alignment of string       (** No valid statement alignment in the
+                                     searched offset range. *)
+
+exception Error of error
+
+val error_to_string : error -> string
+
+(** The analyzed program. *)
+type analysis = {
+  algorithm : Algorithm.t;
+  loop_vars : string list;
+  shifts : int array;
+  (** Amount subtracted from each loop variable to normalize lower
+      bounds to 0. *)
+  dependence_origin : (Intvec.t * string) list;
+  (** For each dependence column: which reference produced it and
+      why (flow / accumulation / input reuse / cross-statement flow). *)
+  alignment : (string * int array) list;
+  (** Chosen alignment offset per statement (keyed by the written
+      array); all zeros for single-statement programs. *)
+}
+
+val parse : ?alignment_bound:int -> string -> analysis
+(** @raise Error on malformed or non-uniform programs.
+    [alignment_bound] (default 2) bounds the per-coordinate magnitude
+    of the searched statement offsets. *)
+
+val parse_result : ?alignment_bound:int -> string -> (analysis, error) Stdlib.result
+
+val pp_analysis : Format.formatter -> analysis -> unit

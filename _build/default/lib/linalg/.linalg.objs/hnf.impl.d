@@ -1,0 +1,1 @@
+lib/linalg/hnf.ml: Array Intmat List Zint

@@ -1,0 +1,1 @@
+lib/linalg/intmat.ml: Array Format Intvec List Stdlib String Zint

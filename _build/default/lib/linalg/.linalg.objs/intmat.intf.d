@@ -1,0 +1,1 @@
+lib/linalg/intmat.mli: Format Intvec Zint

@@ -1,0 +1,1 @@
+lib/linalg/intvec.ml: Array Format List Stdlib Zint

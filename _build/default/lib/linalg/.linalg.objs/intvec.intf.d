@@ -1,0 +1,1 @@
+lib/linalg/intvec.mli: Format Zint

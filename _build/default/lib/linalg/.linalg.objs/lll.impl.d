@@ -1,0 +1,1 @@
+lib/linalg/lll.ml: Array Intvec List Qnum Stdlib Zint

@@ -1,0 +1,1 @@
+lib/linalg/lll.mli: Intvec Qnum

@@ -1,0 +1,1 @@
+lib/linalg/ratmat.ml: Array Format Intmat List Qnum

@@ -1,0 +1,1 @@
+lib/linalg/ratmat.mli: Format Intmat Qnum

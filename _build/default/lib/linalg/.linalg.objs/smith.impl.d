@@ -1,0 +1,1 @@
+lib/linalg/smith.ml: Array Intmat List Stdlib Zint

@@ -1,0 +1,1 @@
+lib/linalg/smith.mli: Intmat Zint

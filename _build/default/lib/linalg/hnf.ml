@@ -1,0 +1,180 @@
+type strategy = Min_abs | Gcdext
+
+type result = { h : Intmat.t; u : Intmat.t; v : Intmat.t; rank : int }
+
+(* Unimodular column operations, applied simultaneously to the working
+   matrix [h] and the multiplier [u]; the inverse row operation is
+   applied to [v] so that [u * v = I] is an invariant throughout. *)
+
+let swap_cols h u v j1 j2 =
+  if j1 <> j2 then begin
+    let swap_col m =
+      for i = 0 to Array.length m - 1 do
+        let t = m.(i).(j1) in
+        m.(i).(j1) <- m.(i).(j2);
+        m.(i).(j2) <- t
+      done
+    in
+    swap_col h;
+    swap_col u;
+    let t = v.(j1) in
+    v.(j1) <- v.(j2);
+    v.(j2) <- t
+  end
+
+let negate_col h u v j =
+  let neg_col m =
+    for i = 0 to Array.length m - 1 do
+      m.(i).(j) <- Zint.neg m.(i).(j)
+    done
+  in
+  neg_col h;
+  neg_col u;
+  v.(j) <- Array.map Zint.neg v.(j)
+
+(* C_j <- C_j - q * C_p  (inverse on V: row p <- row p + q * row j). *)
+let submul_col h u v ~p ~j q =
+  if not (Zint.is_zero q) then begin
+    let op m =
+      for i = 0 to Array.length m - 1 do
+        m.(i).(j) <- Zint.sub m.(i).(j) (Zint.mul q m.(i).(p))
+      done
+    in
+    op h;
+    op u;
+    for c = 0 to Array.length v.(p) - 1 do
+      v.(p).(c) <- Zint.add v.(p).(c) (Zint.mul q v.(j).(c))
+    done
+  end
+
+(* Right-multiply columns (p, j) of [h] and [u] by the 2×2 matrix
+   [[m00 m01] [m10 m11]] (determinant ±1): new C_p = m00*C_p + m10*C_j,
+   new C_j = m01*C_p + m11*C_j.  The inverse acts on rows (p, j) of
+   [v] from the left. *)
+let transform2 h u v ~p ~j m00 m01 m10 m11 =
+  let d = Zint.sub (Zint.mul m00 m11) (Zint.mul m01 m10) in
+  assert (Zint.is_one d || Zint.equal d Zint.minus_one);
+  let op m =
+    for i = 0 to Array.length m - 1 do
+      let cp = m.(i).(p) and cj = m.(i).(j) in
+      m.(i).(p) <- Zint.add (Zint.mul m00 cp) (Zint.mul m10 cj);
+      m.(i).(j) <- Zint.add (Zint.mul m01 cp) (Zint.mul m11 cj)
+    done
+  in
+  op h;
+  op u;
+  (* inverse of M with det d = ±1 is d * [[m11 -m01] [-m10 m00]] *)
+  let i00 = Zint.mul d m11 and i01 = Zint.mul d (Zint.neg m01) in
+  let i10 = Zint.mul d (Zint.neg m10) and i11 = Zint.mul d m00 in
+  let rp = v.(p) and rj = v.(j) in
+  let n = Array.length rp in
+  let new_rp = Array.init n (fun c -> Zint.add (Zint.mul i00 rp.(c)) (Zint.mul i01 rj.(c))) in
+  let new_rj = Array.init n (fun c -> Zint.add (Zint.mul i10 rp.(c)) (Zint.mul i11 rj.(c))) in
+  v.(p) <- new_rp;
+  v.(j) <- new_rj
+
+(* Clear row [i] to the right of column [p] with Euclidean reductions,
+   always keeping the smallest-magnitude entry as the pivot.  Returns
+   true iff a pivot was produced at (i, p). *)
+let clear_row_min_abs h u v ~i ~p n =
+  let progress = ref true in
+  let produced = ref false in
+  while !progress do
+    let pick = ref (-1) in
+    for j = p to n - 1 do
+      if not (Zint.is_zero h.(i).(j))
+         && (!pick < 0
+             || Zint.compare (Zint.abs h.(i).(j)) (Zint.abs h.(i).(!pick)) < 0)
+      then pick := j
+    done;
+    if !pick < 0 then progress := false
+    else begin
+      produced := true;
+      swap_cols h u v p !pick;
+      let remaining = ref false in
+      for j = p + 1 to n - 1 do
+        if not (Zint.is_zero h.(i).(j)) then begin
+          let q = Zint.div h.(i).(j) h.(i).(p) in
+          submul_col h u v ~p ~j q;
+          if not (Zint.is_zero h.(i).(j)) then remaining := true
+        end
+      done;
+      progress := !remaining
+    end
+  done;
+  !produced
+
+(* Clear row [i] right of column [p] in one pass of Blankinship gcd
+   transforms: each nonzero entry is folded into the pivot via the
+   extended gcd.  Returns true iff a pivot was produced at (i, p). *)
+let clear_row_gcdext h u v ~i ~p n =
+  (* Move the first nonzero into position p. *)
+  let pick = ref (-1) in
+  for j = p to n - 1 do
+    if !pick < 0 && not (Zint.is_zero h.(i).(j)) then pick := j
+  done;
+  if !pick < 0 then false
+  else begin
+    swap_cols h u v p !pick;
+    for j = p + 1 to n - 1 do
+      let b = h.(i).(j) in
+      if not (Zint.is_zero b) then begin
+        let a = h.(i).(p) in
+        let g, x, y = Zint.gcdext a b in
+        transform2 h u v ~p ~j x (Zint.neg (Zint.divexact b g)) y (Zint.divexact a g)
+      end
+    done;
+    true
+  end
+
+let compute ?(strategy = Min_abs) ?(reduce = true) t =
+  let k = Intmat.rows t and n = Intmat.cols t in
+  let h = Intmat.copy t in
+  let u = Intmat.identity n in
+  let v = Intmat.identity n in
+  let p = ref 0 in
+  for i = 0 to k - 1 do
+    if !p < n then begin
+      let produced =
+        match strategy with
+        | Min_abs -> clear_row_min_abs h u v ~i ~p:!p n
+        | Gcdext -> clear_row_gcdext h u v ~i ~p:!p n
+      in
+      if produced then begin
+        if reduce then begin
+          if Zint.sign h.(i).(!p) < 0 then negate_col h u v !p;
+          (* Canonical form: entries left of the pivot in row i reduced
+             into [0, pivot). *)
+          for j = 0 to !p - 1 do
+            let q = Zint.fdiv h.(i).(j) h.(i).(!p) in
+            submul_col h u v ~p:!p ~j q
+          done
+        end;
+        incr p
+      end
+    end
+  done;
+  { h; u; v; rank = !p }
+
+let kernel_basis ?strategy t =
+  let { u; rank; _ } = compute ?strategy t in
+  let n = Intmat.cols t in
+  List.init (n - rank) (fun i -> Intmat.col u (rank + i))
+
+let verify t { h; u; v; rank } =
+  let k = Intmat.rows t and n = Intmat.cols t in
+  let shapes_ok = Intmat.rows h = k && Intmat.cols h = n && Intmat.rows u = n in
+  shapes_ok
+  && Intmat.equal (Intmat.mul t u) h
+  && Intmat.equal (Intmat.mul u v) (Intmat.identity n)
+  && Intmat.is_unimodular u
+  && rank = Intmat.rank t
+  &&
+  (* Zero block: columns >= rank of H are entirely zero. *)
+  (let ok = ref true in
+   for i = 0 to k - 1 do
+     for j = rank to n - 1 do
+       if not (Zint.is_zero h.(i).(j)) then ok := false
+     done
+   done;
+   !ok)

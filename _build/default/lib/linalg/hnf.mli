@@ -1,0 +1,41 @@
+(** Column-style Hermite normal form, the engine behind the paper's
+    Theorem 4.1/4.2.
+
+    For [T ∈ Z^{k×n}] we compute a unimodular [U ∈ Z^{n×n}] such that
+    [T U = H = [L 0]] where [L] is lower triangular with nonzero
+    diagonal (when [rank T = k]).  Both [U] and its exact inverse
+    [V = U⁻¹] are tracked during elimination (so [T = H V] without any
+    matrix inversion at the end).
+
+    All conflict vectors of a mapping matrix [T] are the integral
+    relatively-prime combinations of the last [n - rank] columns of [U]
+    (Theorem 4.2(3)); {!kernel_basis} returns exactly those columns. *)
+
+type strategy =
+  | Min_abs  (** Euclidean elimination with smallest-magnitude pivot —
+                 slows coefficient growth (default). *)
+  | Gcdext   (** One-pass Blankinship gcd transforms — the textbook
+                 method, kept for the coefficient-growth ablation. *)
+
+type result = {
+  h : Intmat.t;  (** k×n Hermite form [L 0]. *)
+  u : Intmat.t;  (** n×n unimodular multiplier, [T U = H]. *)
+  v : Intmat.t;  (** [V = U⁻¹], so [T = H V]. *)
+  rank : int;    (** Number of pivots = rank of [T]. *)
+}
+
+val compute : ?strategy:strategy -> ?reduce:bool -> Intmat.t -> result
+(** [compute t] eliminates above-diagonal entries row by row with
+    unimodular column operations.  With [reduce] (default [true]) the
+    entries left of each pivot are reduced modulo the pivot and pivots
+    are made positive, giving the canonical form; with [~reduce:false]
+    only the [L 0] shape is guaranteed (all the paper needs). *)
+
+val kernel_basis : ?strategy:strategy -> Intmat.t -> Intvec.t list
+(** Lattice basis of [{x ∈ Z^n : T x = 0}]: the last [n - rank] columns
+    of [U].  Every returned vector is primitive (its entries are
+    relatively prime) because columns of a unimodular matrix are. *)
+
+val verify : Intmat.t -> result -> bool
+(** Check all claimed identities ([TU = H], [UV = I], shape of [H],
+    unimodularity) — used by tests and as an internal sanity oracle. *)

@@ -1,0 +1,84 @@
+type t = Zint.t array
+
+let of_ints l = Array.of_list (List.map Zint.of_int l)
+let of_int_array a = Array.map Zint.of_int a
+let to_ints v = Array.to_list (Array.map Zint.to_int v)
+
+let dim = Array.length
+let zero n = Array.make n Zint.zero
+
+let unit n i =
+  let v = Array.make n Zint.zero in
+  v.(i) <- Zint.one;
+  v
+
+let get v i = v.(i)
+
+let equal a b =
+  dim a = dim b
+  &&
+  let rec go i = i >= dim a || (Zint.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let c = Stdlib.compare (dim a) (dim b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= dim a then 0
+      else
+        let c = Zint.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let map2 f a b =
+  if dim a <> dim b then invalid_arg "Intvec.map2: dimension mismatch";
+  Array.init (dim a) (fun i -> f a.(i) b.(i))
+
+let add = map2 Zint.add
+let sub = map2 Zint.sub
+let neg v = Array.map Zint.neg v
+let scale c v = Array.map (Zint.mul c) v
+let scale_int c v = scale (Zint.of_int c) v
+
+let dot a b =
+  if dim a <> dim b then invalid_arg "Intvec.dot: dimension mismatch";
+  let acc = ref Zint.zero in
+  for i = 0 to dim a - 1 do
+    acc := Zint.add !acc (Zint.mul a.(i) b.(i))
+  done;
+  !acc
+
+let is_zero v = Array.for_all Zint.is_zero v
+
+let content v = Array.fold_left Zint.gcd Zint.zero v
+
+let is_primitive v = Zint.is_one (content v)
+
+let primitive_part v =
+  let g = content v in
+  if Zint.is_zero g || Zint.is_one g then v
+  else Array.map (fun x -> Zint.divexact x g) v
+
+let first_nonzero v =
+  let rec go i =
+    if i >= dim v then None
+    else if Zint.is_zero v.(i) then go (i + 1)
+    else Some i
+  in
+  go 0
+
+let normalize_sign v =
+  match first_nonzero v with
+  | Some i when Zint.sign v.(i) < 0 -> neg v
+  | Some _ | None -> v
+
+let linf_norm v = Array.fold_left (fun acc x -> Zint.max acc (Zint.abs x)) Zint.zero v
+
+let pp fmt v =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Zint.pp)
+    (Array.to_list v)
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,54 @@
+(** Dense integer (column) vectors over {!Zint}.
+
+    The representation is a plain [Zint.t array]; vectors are treated as
+    immutable by every function here (none of them mutates its
+    arguments). *)
+
+type t = Zint.t array
+
+val of_ints : int list -> t
+val of_int_array : int array -> t
+val to_ints : t -> int list
+(** @raise Failure if an entry overflows native [int]. *)
+
+val dim : t -> int
+val zero : int -> t
+val unit : int -> int -> t
+(** [unit n i] is the [i]-th standard basis vector of dimension [n]. *)
+
+val get : t -> int -> Zint.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Zint.t -> t -> t
+val scale_int : int -> t -> t
+val dot : t -> t -> Zint.t
+
+val is_zero : t -> bool
+
+val content : t -> Zint.t
+(** Gcd of the entries (non-negative); zero for the zero vector. *)
+
+val is_primitive : t -> bool
+(** True iff the entries are relatively prime (content = 1). *)
+
+val primitive_part : t -> t
+(** [primitive_part v] divides out the content.  Identity on the zero
+    vector. *)
+
+val first_nonzero : t -> int option
+(** Index of the first (lowest-index) nonzero entry. *)
+
+val normalize_sign : t -> t
+(** Scale by -1 if needed so the first nonzero entry is positive — the
+    paper's convention for canonical conflict vectors. *)
+
+val linf_norm : t -> Zint.t
+(** Max of absolute values of entries. *)
+
+val map2 : (Zint.t -> Zint.t -> Zint.t) -> t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,95 @@
+(* Textbook LLL with exact rational Gram-Schmidt.  Basis sizes in this
+   repository are tiny (<= 6 vectors of dimension <= 8), so the
+   orthogonalization is recomputed from scratch after every change —
+   simplicity over the incremental update formulas. *)
+
+let q_dot a b =
+  let acc = ref Qnum.zero in
+  Array.iteri (fun i x -> acc := Qnum.add !acc (Qnum.mul x b.(i))) a;
+  !acc
+
+let to_q v = Array.map Qnum.of_zint v
+
+let gram_schmidt basis =
+  let bs = Array.of_list (List.map to_q basis) in
+  let m = Array.length bs in
+  let star = Array.make m [||] in
+  let mu = Array.make_matrix m m Qnum.zero in
+  let norms = Array.make m Qnum.zero in
+  for i = 0 to m - 1 do
+    let v = Array.copy bs.(i) in
+    for j = 0 to i - 1 do
+      if Qnum.is_zero norms.(j) then invalid_arg "Lll: dependent basis";
+      let c = Qnum.div (q_dot bs.(i) star.(j)) norms.(j) in
+      mu.(i).(j) <- c;
+      for t = 0 to Array.length v - 1 do
+        v.(t) <- Qnum.sub v.(t) (Qnum.mul c star.(j).(t))
+      done
+    done;
+    star.(i) <- v;
+    norms.(i) <- q_dot v v;
+    if Qnum.is_zero norms.(i) then invalid_arg "Lll: dependent basis"
+  done;
+  (mu, norms)
+
+(* Nearest integer to a rational (ties toward +inf, any tie rule works
+   for size reduction). *)
+let round_q x =
+  Zint.fdiv
+    (Zint.add (Zint.mul Zint.two (Qnum.num x)) (Qnum.den x))
+    (Zint.mul Zint.two (Qnum.den x))
+
+let default_delta = Qnum.of_ints 3 4
+
+let reduce ?(delta = default_delta) basis =
+  if basis = [] then invalid_arg "Lll.reduce: empty basis";
+  let b = Array.of_list (List.map Array.copy basis) in
+  let m = Array.length b in
+  let size_reduce mu k =
+    for j = k - 1 downto 0 do
+      let r = round_q mu.(k).(j) in
+      if not (Zint.is_zero r) then
+        b.(k) <- Intvec.sub b.(k) (Intvec.scale r b.(j))
+    done
+  in
+  let k = ref 1 in
+  while !k < m do
+    let mu, _ = gram_schmidt (Array.to_list b) in
+    size_reduce mu !k;
+    let mu, norms = gram_schmidt (Array.to_list b) in
+    (* Lovász condition: ||b*_k||^2 >= (delta - mu_{k,k-1}^2) ||b*_{k-1}||^2 *)
+    let lhs = norms.(!k) in
+    let c = mu.(!k).(!k - 1) in
+    let rhs = Qnum.mul (Qnum.sub delta (Qnum.mul c c)) norms.(!k - 1) in
+    if Qnum.compare lhs rhs >= 0 then incr k
+    else begin
+      let t = b.(!k) in
+      b.(!k) <- b.(!k - 1);
+      b.(!k - 1) <- t;
+      k := Stdlib.max (!k - 1) 1
+    end
+  done;
+  (* Final full size reduction pass. *)
+  for i = 1 to m - 1 do
+    let mu, _ = gram_schmidt (Array.to_list b) in
+    size_reduce mu i
+  done;
+  Array.to_list b
+
+let is_reduced ?(delta = default_delta) basis =
+  match basis with
+  | [] -> invalid_arg "Lll.is_reduced: empty basis"
+  | _ ->
+    let mu, norms = gram_schmidt basis in
+    let m = List.length basis in
+    let half = Qnum.of_ints 1 2 in
+    let ok = ref true in
+    for i = 1 to m - 1 do
+      for j = 0 to i - 1 do
+        if Qnum.compare (Qnum.abs mu.(i).(j)) half > 0 then ok := false
+      done;
+      let c = mu.(i).(i - 1) in
+      let rhs = Qnum.mul (Qnum.sub delta (Qnum.mul c c)) norms.(i - 1) in
+      if Qnum.compare norms.(i) rhs < 0 then ok := false
+    done;
+    !ok

@@ -1,0 +1,24 @@
+(** Lenstra-Lenstra-Lovász lattice basis reduction over {!Zint}, with
+    exact rational Gram-Schmidt (no floating point).
+
+    Used to make conflict detection scale: the box oracle of
+    [Conflict] enumerates O((2 mu + 1)^n) points, while the conflict
+    vectors of a mapping live in the rank-(n-k) kernel lattice of [T];
+    reducing that lattice basis first makes coefficient-space
+    enumeration tight and essentially independent of [mu].  (The paper
+    never needed this because its closed forms stop at k = n-3; the
+    exact fallback for the cases its theorems cannot decide does.) *)
+
+val reduce : ?delta:Qnum.t -> Intvec.t list -> Intvec.t list
+(** [reduce basis] LLL-reduces a list of linearly independent integer
+    vectors (default Lovász parameter [delta = 3/4]).  The result spans
+    the same lattice, is size-reduced ([|mu_ij| <= 1/2]) and satisfies
+    the Lovász condition.
+    @raise Invalid_argument on an empty or dependent input basis. *)
+
+val is_reduced : ?delta:Qnum.t -> Intvec.t list -> bool
+(** Check both LLL conditions — used by tests. *)
+
+val gram_schmidt : Intvec.t list -> Qnum.t array array * Qnum.t array
+(** [(mu, norms)] where [mu.(i).(j)] (for [j < i]) is the Gram-Schmidt
+    coefficient and [norms.(i)] is [||b*_i||²].  Exposed for tests. *)

@@ -1,0 +1,111 @@
+type t = Qnum.t array array
+
+let rows m = Array.length m
+let cols m = if rows m = 0 then 0 else Array.length m.(0)
+let make r c f = Array.init r (fun i -> Array.init c (fun j -> f i j))
+let of_intmat m = make (Intmat.rows m) (Intmat.cols m) (fun i j -> Qnum.of_zint (Intmat.get m i j))
+let identity n = make n n (fun i j -> if i = j then Qnum.one else Qnum.zero)
+let transpose m = make (cols m) (rows m) (fun i j -> m.(j).(i))
+
+let equal a b =
+  rows a = rows b && cols a = cols b
+  &&
+  let ok = ref true in
+  for i = 0 to rows a - 1 do
+    for j = 0 to cols a - 1 do
+      if not (Qnum.equal a.(i).(j) b.(i).(j)) then ok := false
+    done
+  done;
+  !ok
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Ratmat.mul: dimension mismatch";
+  make (rows a) (cols b) (fun i j ->
+      let acc = ref Qnum.zero in
+      for k = 0 to cols a - 1 do
+        acc := Qnum.add !acc (Qnum.mul a.(i).(k) b.(k).(j))
+      done;
+      !acc)
+
+let mul_vec m v =
+  if Array.length v <> cols m then invalid_arg "Ratmat.mul_vec: dimension mismatch";
+  Array.init (rows m) (fun i ->
+      let acc = ref Qnum.zero in
+      for j = 0 to cols m - 1 do
+        acc := Qnum.add !acc (Qnum.mul m.(i).(j) v.(j))
+      done;
+      !acc)
+
+(* Gauss-Jordan on a working copy; returns the pivot columns. *)
+let reduce work =
+  let r = Array.length work and c = if Array.length work = 0 then 0 else Array.length work.(0) in
+  let pivots = ref [] in
+  let pr = ref 0 in
+  let j = ref 0 in
+  while !pr < r && !j < c do
+    let p = ref (-1) in
+    for i = !pr to r - 1 do
+      if !p < 0 && not (Qnum.is_zero work.(i).(!j)) then p := i
+    done;
+    if !p < 0 then incr j
+    else begin
+      let tmp = work.(!p) in
+      work.(!p) <- work.(!pr);
+      work.(!pr) <- tmp;
+      let inv = Qnum.inv work.(!pr).(!j) in
+      for k = 0 to c - 1 do
+        work.(!pr).(k) <- Qnum.mul work.(!pr).(k) inv
+      done;
+      for i = 0 to r - 1 do
+        if i <> !pr && not (Qnum.is_zero work.(i).(!j)) then begin
+          let f = work.(i).(!j) in
+          for k = 0 to c - 1 do
+            work.(i).(k) <- Qnum.sub work.(i).(k) (Qnum.mul f work.(!pr).(k))
+          done
+        end
+      done;
+      pivots := (!pr, !j) :: !pivots;
+      incr pr;
+      incr j
+    end
+  done;
+  List.rev !pivots
+
+let rank m =
+  let work = Array.map Array.copy m in
+  List.length (reduce work)
+
+let inverse m =
+  let n = rows m in
+  if n <> cols m then invalid_arg "Ratmat.inverse: non-square matrix";
+  let work = make n (2 * n) (fun i j -> if j < n then m.(i).(j) else if j - n = i then Qnum.one else Qnum.zero) in
+  let pivots = reduce work in
+  (* Singular iff fewer than n pivots land in the left block. *)
+  if List.length (List.filter (fun (_, j) -> j < n) pivots) < n then None
+  else Some (make n n (fun i j -> work.(i).(n + j)))
+
+let solve a b =
+  let r = rows a and c = cols a in
+  if Array.length b <> r then invalid_arg "Ratmat.solve: dimension mismatch";
+  let work = make r (c + 1) (fun i j -> if j < c then a.(i).(j) else b.(i)) in
+  let pivots = reduce work in
+  (* Inconsistent iff a pivot lands in the augmented column. *)
+  if List.exists (fun (_, j) -> j = c) pivots then None
+  else begin
+    let x = Array.make c Qnum.zero in
+    List.iter (fun (i, j) -> x.(j) <- work.(i).(c)) pivots;
+    Some x
+  end
+
+let pp fmt m =
+  for i = 0 to rows m - 1 do
+    Format.pp_print_string fmt (if i = 0 then "[" else " ");
+    Format.pp_print_string fmt "[";
+    for j = 0 to cols m - 1 do
+      if j > 0 then Format.pp_print_string fmt " ";
+      Qnum.pp fmt m.(i).(j)
+    done;
+    Format.pp_print_string fmt "]";
+    if i = rows m - 1 then Format.pp_print_string fmt "]"
+    else Format.pp_print_cut fmt ()
+  done

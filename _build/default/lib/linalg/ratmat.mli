@@ -1,0 +1,30 @@
+(** Dense rational matrices and Gauss-Jordan elimination over {!Qnum}.
+
+    Used wherever the paper's machinery leaves the integers: inverting
+    the nonsingular block [B] of Theorem 3.1 conceptually, solving for
+    LP vertices in the appendix derivations, and cross-checking the
+    integer kernels computed by {!Hnf}. *)
+
+type t = Qnum.t array array
+
+val of_intmat : Intmat.t -> t
+val make : int -> int -> (int -> int -> Qnum.t) -> t
+val rows : t -> int
+val cols : t -> int
+val identity : int -> t
+val equal : t -> t -> bool
+val mul : t -> t -> t
+val mul_vec : t -> Qnum.t array -> Qnum.t array
+val transpose : t -> t
+
+val rank : t -> int
+
+val inverse : t -> t option
+(** [None] when singular. *)
+
+val solve : t -> Qnum.t array -> Qnum.t array option
+(** [solve a b] finds some [x] with [a x = b], or [None] when the system
+    is inconsistent.  If the system is underdetermined, free variables
+    are set to zero. *)
+
+val pp : Format.formatter -> t -> unit

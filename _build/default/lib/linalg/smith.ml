@@ -1,0 +1,175 @@
+type result = {
+  s : Intmat.t;
+  l : Intmat.t;
+  r : Intmat.t;
+  invariant_factors : Zint.t list;
+}
+
+(* Row and column operations on the working matrix [s], mirrored into
+   the unimodular accumulators [l] (rows, left) and [r] (columns,
+   right) so that [l * a * r = s] holds throughout. *)
+
+let swap_rows s l i1 i2 =
+  if i1 <> i2 then begin
+    let t = s.(i1) in s.(i1) <- s.(i2); s.(i2) <- t;
+    let t = l.(i1) in l.(i1) <- l.(i2); l.(i2) <- t
+  end
+
+let swap_cols s r j1 j2 =
+  if j1 <> j2 then begin
+    let swap m =
+      for i = 0 to Array.length m - 1 do
+        let t = m.(i).(j1) in
+        m.(i).(j1) <- m.(i).(j2);
+        m.(i).(j2) <- t
+      done
+    in
+    swap s; swap r
+  end
+
+(* row i2 <- row i2 - q * row i1 *)
+let submul_row s l i1 i2 q =
+  if not (Zint.is_zero q) then begin
+    let op m =
+      for j = 0 to Array.length m.(i2) - 1 do
+        m.(i2).(j) <- Zint.sub m.(i2).(j) (Zint.mul q m.(i1).(j))
+      done
+    in
+    op s; op l
+  end
+
+let negate_row s l i =
+  s.(i) <- Array.map Zint.neg s.(i);
+  l.(i) <- Array.map Zint.neg l.(i)
+
+(* Rows (i1, i2) <- M * rows, M = [[m00 m01] [m10 m11]], det M = ±1. *)
+let transform2_rows s l i1 i2 m00 m01 m10 m11 =
+  let op m =
+    let r1 = m.(i1) and r2 = m.(i2) in
+    let w = Array.length r1 in
+    let n1 = Array.init w (fun c -> Zint.add (Zint.mul m00 r1.(c)) (Zint.mul m01 r2.(c))) in
+    let n2 = Array.init w (fun c -> Zint.add (Zint.mul m10 r1.(c)) (Zint.mul m11 r2.(c))) in
+    m.(i1) <- n1;
+    m.(i2) <- n2
+  in
+  op s; op l
+
+(* Columns (j1, j2) <- cols * M^T analog: new c1 = m00 c1 + m01 c2,
+   new c2 = m10 c1 + m11 c2, det M = ±1. *)
+let transform2_cols s r j1 j2 m00 m01 m10 m11 =
+  let op m =
+    for i = 0 to Array.length m - 1 do
+      let c1 = m.(i).(j1) and c2 = m.(i).(j2) in
+      m.(i).(j1) <- Zint.add (Zint.mul m00 c1) (Zint.mul m01 c2);
+      m.(i).(j2) <- Zint.add (Zint.mul m10 c1) (Zint.mul m11 c2)
+    done
+  in
+  op s; op r
+
+let compute a =
+  let k = Intmat.rows a and n = Intmat.cols a in
+  let s = Intmat.copy a in
+  let l = Intmat.identity k in
+  let r = Intmat.identity n in
+  let rank = Stdlib.min k n in
+  let t = ref 0 in
+  let continue_outer = ref true in
+  while !continue_outer && !t < rank do
+    (* Bring the smallest-magnitude nonzero entry to the corner. *)
+    let bi = ref (-1) and bj = ref (-1) in
+    for i = !t to k - 1 do
+      for j = !t to n - 1 do
+        if not (Zint.is_zero s.(i).(j))
+           && (!bi < 0
+               || Zint.compare (Zint.abs s.(i).(j)) (Zint.abs s.(!bi).(!bj)) < 0)
+        then begin bi := i; bj := j end
+      done
+    done;
+    if !bi < 0 then continue_outer := false
+    else begin
+      swap_rows s l !t !bi;
+      swap_cols s r !t !bj;
+      (* A positive corner guarantees that gcdext returns the trivial
+         Bezout pair (1, 0) whenever the corner already divides the
+         entry, so clearing never reintroduces entries without strictly
+         shrinking the corner. *)
+      if Zint.sign s.(!t).(!t) < 0 then negate_row s l !t;
+      (* Clear column t and row t with gcdext (Blankinship) transforms.
+         Clearing the row can dirty the column and vice versa, but each
+         bounce replaces the corner by a proper divisor of itself, so
+         the loop ends after at most log(corner) bounces. *)
+      let dirty = ref true in
+      while !dirty do
+        dirty := false;
+        for i = !t + 1 to k - 1 do
+          let b = s.(i).(!t) in
+          if not (Zint.is_zero b) then begin
+            let a0 = s.(!t).(!t) in
+            let g, x, y = Zint.gcdext a0 b in
+            transform2_rows s l !t i x y
+              (Zint.neg (Zint.divexact b g))
+              (Zint.divexact a0 g)
+          end
+        done;
+        for j = !t + 1 to n - 1 do
+          let b = s.(!t).(j) in
+          if not (Zint.is_zero b) then begin
+            let a0 = s.(!t).(!t) in
+            let g, x, y = Zint.gcdext a0 b in
+            transform2_cols s r !t j x y
+              (Zint.neg (Zint.divexact b g))
+              (Zint.divexact a0 g)
+          end
+        done;
+        (* Column entries may have been re-introduced by the column
+           transforms. *)
+        for i = !t + 1 to k - 1 do
+          if not (Zint.is_zero s.(i).(!t)) then dirty := true
+        done
+      done;
+      (* Enforce divisibility: the corner must divide every entry of the
+         trailing block; otherwise fold the offending row in and redo
+         the pivot step (the corner then shrinks to a proper divisor). *)
+      let offender = ref None in
+      for i = !t + 1 to k - 1 do
+        for j = !t + 1 to n - 1 do
+          if !offender = None && not (Zint.divisible s.(i).(j) s.(!t).(!t)) then
+            offender := Some i
+        done
+      done;
+      match !offender with
+      | Some i ->
+        (* row t <- row t + row i, then re-run the pivot step at t. *)
+        submul_row s l i !t Zint.minus_one
+      | None ->
+        if Zint.sign s.(!t).(!t) < 0 then negate_row s l !t;
+        incr t
+    end
+  done;
+  let invariant_factors =
+    List.filter (fun d -> not (Zint.is_zero d))
+      (List.init rank (fun i -> s.(i).(i)))
+  in
+  { s; l; r; invariant_factors }
+
+let verify a { s; l; r; invariant_factors } =
+  let k = Intmat.rows a and n = Intmat.cols a in
+  Intmat.equal (Intmat.mul (Intmat.mul l a) r) s
+  && Intmat.is_unimodular l
+  && Intmat.is_unimodular r
+  && (* diagonal *)
+  (let ok = ref true in
+   for i = 0 to k - 1 do
+     for j = 0 to n - 1 do
+       if i <> j && not (Zint.is_zero s.(i).(j)) then ok := false
+     done
+   done;
+   !ok)
+  && (* divisibility chain and signs *)
+  (let rec chain = function
+     | d1 :: (d2 :: _ as rest) ->
+       Zint.sign d1 > 0 && Zint.divisible d2 d1 && chain rest
+     | [ d ] -> Zint.sign d > 0
+     | [] -> true
+   in
+   chain invariant_factors)

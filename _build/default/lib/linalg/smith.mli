@@ -1,0 +1,18 @@
+(** Smith normal form over {!Zint}.
+
+    For [A ∈ Z^{k×n}] computes unimodular [L ∈ Z^{k×k}], [R ∈ Z^{n×n}]
+    with [L A R = S] diagonal, diagonal entries non-negative and each
+    dividing the next.  Not required by the paper's main theorems, but
+    the natural companion of {!Hnf}: it yields the invariant factors of
+    the conflict-vector lattice and is used in tests as an independent
+    cross-check of kernel ranks. *)
+
+type result = {
+  s : Intmat.t;          (** k×n diagonal Smith form. *)
+  l : Intmat.t;          (** k×k unimodular, rows side. *)
+  r : Intmat.t;          (** n×n unimodular, columns side. *)
+  invariant_factors : Zint.t list;  (** Nonzero diagonal entries, in order. *)
+}
+
+val compute : Intmat.t -> result
+val verify : Intmat.t -> result -> bool

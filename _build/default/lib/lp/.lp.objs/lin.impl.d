@@ -1,0 +1,1 @@
+lib/lp/lin.ml: Array Format List Qnum

@@ -1,0 +1,1 @@
+lib/lp/lin.mli: Format Qnum

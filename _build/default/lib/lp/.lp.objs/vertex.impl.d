@@ -1,0 +1,1 @@
+lib/lp/vertex.ml: Array Lin List Qnum Ratmat

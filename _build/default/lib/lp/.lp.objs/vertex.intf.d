@@ -1,0 +1,1 @@
+lib/lp/vertex.mli: Lin Qnum

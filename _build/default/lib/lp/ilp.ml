@@ -1,0 +1,61 @@
+type outcome =
+  | Optimal of { x : Zint.t array; obj : Qnum.t }
+  | Unbounded
+  | Infeasible
+
+type stats = { nodes : int; lp_solves : int }
+
+let first_fractional x =
+  let rec go i =
+    if i >= Array.length x then None
+    else if Qnum.is_integer x.(i) then go (i + 1)
+    else Some i
+  in
+  go 0
+
+let solve_with_stats ?(max_nodes = 100_000) (p : Simplex.problem) =
+  let nodes = ref 0 and lp_solves = ref 0 in
+  let incumbent = ref None in
+  let better obj =
+    match !incumbent with
+    | None -> true
+    | Some (_, best) -> Qnum.compare obj best < 0
+  in
+  let root_unbounded = ref false in
+  let rec branch extra ~depth =
+    incr nodes;
+    if !nodes > max_nodes then failwith "Ilp.solve: node limit exceeded";
+    incr lp_solves;
+    match Simplex.solve { p with constraints = extra @ p.constraints } with
+    | Simplex.Infeasible -> ()
+    | Simplex.Unbounded ->
+      (* An unbounded relaxation anywhere makes the integer problem
+         unbounded whenever it is feasible there; we report it
+         conservatively rather than search an infinite ray. *)
+      ignore depth;
+      root_unbounded := true
+    | Simplex.Optimal { x; obj } ->
+      if better obj then begin
+        match first_fractional x with
+        | None ->
+          let xi = Array.map Qnum.to_zint_exn x in
+          incumbent := Some (xi, obj)
+        | Some i ->
+          let n = p.nvars in
+          let lo = Qnum.of_zint (Qnum.floor x.(i)) in
+          let hi = Qnum.of_zint (Qnum.ceil x.(i)) in
+          branch (Lin.(var n i <=. lo) :: extra) ~depth:(depth + 1);
+          branch (Lin.(var n i >=. hi) :: extra) ~depth:(depth + 1)
+      end
+  in
+  branch [] ~depth:0;
+  let outcome =
+    if !root_unbounded then Unbounded
+    else
+      match !incumbent with
+      | Some (x, obj) -> Optimal { x; obj }
+      | None -> Infeasible
+  in
+  (outcome, { nodes = !nodes; lp_solves = !lp_solves })
+
+let solve ?max_nodes p = fst (solve_with_stats ?max_nodes p)

@@ -1,0 +1,19 @@
+(** Exact integer linear programming by branch and bound over
+    {!Simplex} relaxations.
+
+    All variables are required to be integral.  This is the general
+    backstop for the paper's Problem 2.2 formulation; the appendix's
+    special cases never branch because their relaxations already have
+    integral extreme points (a fact asserted by a test). *)
+
+type outcome =
+  | Optimal of { x : Zint.t array; obj : Qnum.t }
+  | Unbounded      (** The relaxation is unbounded. *)
+  | Infeasible
+
+type stats = { nodes : int; lp_solves : int }
+
+val solve : ?max_nodes:int -> Simplex.problem -> outcome
+(** @raise Failure when [max_nodes] (default 100_000) is exceeded. *)
+
+val solve_with_stats : ?max_nodes:int -> Simplex.problem -> outcome * stats

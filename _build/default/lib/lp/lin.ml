@@ -1,0 +1,69 @@
+type expr = Qnum.t array
+
+type cmp = Le | Ge | Eq
+
+type constr = { coeffs : expr; cmp : cmp; rhs : Qnum.t }
+
+let zero_expr n = Array.make n Qnum.zero
+
+let var n i =
+  let e = zero_expr n in
+  e.(i) <- Qnum.one;
+  e
+
+let of_ints l = Array.of_list (List.map Qnum.of_int l)
+let scale c e = Array.map (Qnum.mul c) e
+
+let add a b =
+  if Array.length a <> Array.length b then invalid_arg "Lin.add: dimension mismatch";
+  Array.init (Array.length a) (fun i -> Qnum.add a.(i) b.(i))
+
+let neg e = Array.map Qnum.neg e
+let sub a b = add a (neg b)
+
+let eval e x =
+  if Array.length e <> Array.length x then invalid_arg "Lin.eval: dimension mismatch";
+  let acc = ref Qnum.zero in
+  Array.iteri (fun i c -> acc := Qnum.add !acc (Qnum.mul c x.(i))) e;
+  !acc
+
+let ( <=. ) coeffs rhs = { coeffs; cmp = Le; rhs }
+let ( >=. ) coeffs rhs = { coeffs; cmp = Ge; rhs }
+let ( =. ) coeffs rhs = { coeffs; cmp = Eq; rhs }
+
+let le_int e k = e <=. Qnum.of_int k
+let ge_int e k = e >=. Qnum.of_int k
+let eq_int e k = e =. Qnum.of_int k
+
+let satisfies x { coeffs; cmp; rhs } =
+  let v = eval coeffs x in
+  match cmp with
+  | Le -> Qnum.compare v rhs <= 0
+  | Ge -> Qnum.compare v rhs >= 0
+  | Eq -> Qnum.equal v rhs
+
+let pp_constr fmt { coeffs; cmp; rhs } =
+  let first = ref true in
+  Array.iteri
+    (fun i c ->
+      if not (Qnum.is_zero c) then begin
+        if !first then begin
+          if Qnum.equal c Qnum.minus_one then Format.fprintf fmt "-"
+          else if not (Qnum.equal c Qnum.one) then Format.fprintf fmt "%a*" Qnum.pp c
+        end
+        else if Qnum.sign c < 0 then begin
+          Format.fprintf fmt " - ";
+          let a = Qnum.abs c in
+          if not (Qnum.equal a Qnum.one) then Format.fprintf fmt "%a*" Qnum.pp a
+        end
+        else begin
+          Format.fprintf fmt " + ";
+          if not (Qnum.equal c Qnum.one) then Format.fprintf fmt "%a*" Qnum.pp c
+        end;
+        Format.fprintf fmt "x%d" i;
+        first := false
+      end)
+    coeffs;
+  if !first then Format.fprintf fmt "0";
+  let op = match cmp with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
+  Format.fprintf fmt " %s %a" op Qnum.pp rhs

@@ -1,0 +1,36 @@
+(** Small builder for linear expressions and constraints over a fixed
+    number of variables, shared by {!Simplex}, {!Ilp} and {!Vertex}.
+
+    An expression is just a dense coefficient vector; the builder only
+    exists so that the paper's formulations (Sections 5 and 8) read the
+    way they are written. *)
+
+type expr = Qnum.t array
+(** Coefficient vector of length [nvars]. *)
+
+type cmp = Le | Ge | Eq
+
+type constr = { coeffs : expr; cmp : cmp; rhs : Qnum.t }
+
+val zero_expr : int -> expr
+val var : int -> int -> expr
+(** [var n i] is the expression [x_i] over [n] variables. *)
+
+val of_ints : int list -> expr
+val scale : Qnum.t -> expr -> expr
+val add : expr -> expr -> expr
+val sub : expr -> expr -> expr
+val neg : expr -> expr
+
+val eval : expr -> Qnum.t array -> Qnum.t
+
+val ( <=. ) : expr -> Qnum.t -> constr
+val ( >=. ) : expr -> Qnum.t -> constr
+val ( =. ) : expr -> Qnum.t -> constr
+
+val le_int : expr -> int -> constr
+val ge_int : expr -> int -> constr
+val eq_int : expr -> int -> constr
+
+val satisfies : Qnum.t array -> constr -> bool
+val pp_constr : Format.formatter -> constr -> unit

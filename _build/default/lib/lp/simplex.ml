@@ -1,0 +1,208 @@
+type problem = {
+  nvars : int;
+  objective : Lin.expr;
+  constraints : Lin.constr list;
+}
+
+type outcome =
+  | Optimal of { x : Qnum.t array; obj : Qnum.t }
+  | Unbounded
+  | Infeasible
+
+(* Tableau rows have length [ncols + 1]; the last entry is the rhs.
+   [basis.(i)] is the column basic in row [i].  The objective row [z]
+   has the same length; z.(ncols) is the negated objective value. *)
+type tableau = {
+  mutable rows : Qnum.t array array;
+  mutable basis : int array;
+  mutable ncols : int;
+  z : Qnum.t array;
+}
+
+let q = Qnum.of_int
+
+let pivot t ~row ~col =
+  let r = t.rows.(row) in
+  let inv = Qnum.inv r.(col) in
+  for j = 0 to t.ncols do
+    r.(j) <- Qnum.mul r.(j) inv
+  done;
+  let eliminate target =
+    let f = target.(col) in
+    if not (Qnum.is_zero f) then
+      for j = 0 to t.ncols do
+        target.(j) <- Qnum.sub target.(j) (Qnum.mul f r.(j))
+      done
+  in
+  Array.iteri (fun i row' -> if i <> row then eliminate row') t.rows;
+  eliminate t.z;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering column = smallest index with negative reduced
+   cost among [allowed]; leaving row = lexicographically safe min-ratio
+   with smallest basic index as tie-break. *)
+let rec iterate t ~allowed =
+  let entering = ref (-1) in
+  for j = t.ncols - 1 downto 0 do
+    if allowed j && Qnum.sign t.z.(j) < 0 then entering := j
+  done;
+  if !entering < 0 then `Optimal
+  else begin
+    let col = !entering in
+    let leaving = ref (-1) in
+    let best = ref Qnum.zero in
+    Array.iteri
+      (fun i r ->
+        if Qnum.sign r.(col) > 0 then begin
+          let ratio = Qnum.div r.(t.ncols) r.(col) in
+          if !leaving < 0
+             || Qnum.compare ratio !best < 0
+             || (Qnum.equal ratio !best && t.basis.(i) < t.basis.(!leaving))
+          then begin
+            leaving := i;
+            best := ratio
+          end
+        end)
+      t.rows;
+    if !leaving < 0 then `Unbounded
+    else begin
+      pivot t ~row:!leaving ~col;
+      iterate t ~allowed
+    end
+  end
+
+(* Install costs [c] (length ncols) into the objective row and cancel
+   the reduced costs of the current basic variables. *)
+let set_objective t c =
+  Array.blit c 0 t.z 0 t.ncols;
+  t.z.(t.ncols) <- Qnum.zero;
+  Array.iteri
+    (fun i bj ->
+      let cb = t.z.(bj) in
+      if not (Qnum.is_zero cb) then
+        for j = 0 to t.ncols do
+          t.z.(j) <- Qnum.sub t.z.(j) (Qnum.mul cb t.rows.(i).(j))
+        done)
+    t.basis
+
+let solve_internal { nvars; objective; constraints } =
+  let cons = Array.of_list constraints in
+  let m = Array.length cons in
+  (* Structural columns: x_i = u_i - w_i with u, w >= 0. *)
+  let ns = 2 * nvars in
+  (* Count slack/surplus columns and artificial columns. *)
+  let nslack = ref 0 and nart = ref 0 in
+  Array.iter
+    (fun (c : Lin.constr) ->
+      match c.cmp with
+      | Lin.Le | Lin.Ge -> incr nslack
+      | Lin.Eq -> ())
+    cons;
+  (* Every row whose slack cannot serve as the initial basic variable
+     needs an artificial; conservatively give one to each row and let
+     phase 1 drive them out (Le rows with nonneg rhs reuse the slack). *)
+  Array.iter (fun _ -> incr nart) cons;
+  let art_start = ns + !nslack in
+  let ncols = ns + !nslack + !nart in
+  let rows = Array.init m (fun _ -> Array.make (ncols + 1) Qnum.zero) in
+  let basis = Array.make m (-1) in
+  let next_slack = ref ns and next_art = ref art_start in
+  Array.iteri
+    (fun i (c : Lin.constr) ->
+      if Array.length c.coeffs <> nvars then
+        invalid_arg "Simplex.solve: constraint arity mismatch";
+      (* Orient the row so that rhs >= 0. *)
+      let flip = Qnum.sign c.rhs < 0 in
+      let sgn v = if flip then Qnum.neg v else v in
+      let cmp =
+        match (c.cmp, flip) with
+        | Lin.Eq, _ -> Lin.Eq
+        | Lin.Le, false | Lin.Ge, true -> Lin.Le
+        | Lin.Ge, false | Lin.Le, true -> Lin.Ge
+      in
+      let r = rows.(i) in
+      for v = 0 to nvars - 1 do
+        let a = sgn c.coeffs.(v) in
+        r.(2 * v) <- a;
+        r.((2 * v) + 1) <- Qnum.neg a
+      done;
+      r.(ncols) <- sgn c.rhs;
+      (match cmp with
+      | Lin.Le ->
+        r.(!next_slack) <- Qnum.one;
+        basis.(i) <- !next_slack;
+        incr next_slack
+      | Lin.Ge ->
+        r.(!next_slack) <- Qnum.minus_one;
+        incr next_slack
+      | Lin.Eq -> ());
+      if basis.(i) < 0 then begin
+        r.(!next_art) <- Qnum.one;
+        basis.(i) <- !next_art;
+        incr next_art
+      end)
+    cons;
+  let t = { rows; basis; ncols; z = Array.make (ncols + 1) Qnum.zero } in
+  (* Phase 1: minimize the sum of artificial variables. *)
+  let phase1_cost = Array.make ncols Qnum.zero in
+  for j = art_start to ncols - 1 do
+    phase1_cost.(j) <- Qnum.one
+  done;
+  set_objective t phase1_cost;
+  (match iterate t ~allowed:(fun _ -> true) with
+  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+  | `Optimal -> ());
+  if Qnum.sign (Qnum.neg t.z.(t.ncols)) > 0 then Infeasible
+  else begin
+    (* Drive any remaining basic artificials out; drop redundant rows. *)
+    let keep = Array.make (Array.length t.rows) true in
+    Array.iteri
+      (fun i bj ->
+        if bj >= art_start then begin
+          let piv = ref (-1) in
+          for j = art_start - 1 downto 0 do
+            if not (Qnum.is_zero t.rows.(i).(j)) then piv := j
+          done;
+          if !piv >= 0 then pivot t ~row:i ~col:!piv else keep.(i) <- false
+        end)
+      t.basis;
+    let kept = ref [] and kept_basis = ref [] in
+    Array.iteri
+      (fun i r ->
+        if keep.(i) then begin
+          kept := r :: !kept;
+          kept_basis := t.basis.(i) :: !kept_basis
+        end)
+      t.rows;
+    t.rows <- Array.of_list (List.rev !kept);
+    t.basis <- Array.of_list (List.rev !kept_basis);
+    (* Phase 2 with the real objective over the split variables. *)
+    let phase2_cost = Array.make ncols Qnum.zero in
+    for v = 0 to nvars - 1 do
+      phase2_cost.(2 * v) <- objective.(v);
+      phase2_cost.((2 * v) + 1) <- Qnum.neg objective.(v)
+    done;
+    set_objective t phase2_cost;
+    match iterate t ~allowed:(fun j -> j < art_start) with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let value = Array.make ncols Qnum.zero in
+      Array.iteri (fun i bj -> value.(bj) <- t.rows.(i).(t.ncols)) t.basis;
+      let x =
+        Array.init nvars (fun v -> Qnum.sub value.(2 * v) value.((2 * v) + 1))
+      in
+      Optimal { x; obj = Lin.eval objective x }
+  end
+
+let solve p = solve_internal p
+
+let maximize p =
+  match solve_internal { p with objective = Lin.neg p.objective } with
+  | Optimal { x; _ } -> Optimal { x; obj = Lin.eval p.objective x }
+  | (Unbounded | Infeasible) as o -> o
+
+let feasible p =
+  match solve_internal { p with objective = Array.make p.nvars (q 0) } with
+  | Optimal { x; _ } -> Some x
+  | Unbounded -> None (* cannot happen with a zero objective *)
+  | Infeasible -> None

@@ -1,0 +1,28 @@
+(** Exact two-phase primal simplex over {!Qnum}.
+
+    Variables are free (unrestricted in sign) by default and are split
+    into positive and negative parts internally; add explicit [>=]
+    constraints for sign restrictions.  Bland's rule is used throughout,
+    so the method terminates on every input.  All arithmetic is exact,
+    which is what makes the paper's appendix argument ("all extreme
+    points of these polyhedra are integral") directly observable in the
+    solver output. *)
+
+type problem = {
+  nvars : int;
+  objective : Lin.expr;        (** Minimized. *)
+  constraints : Lin.constr list;
+}
+
+type outcome =
+  | Optimal of { x : Qnum.t array; obj : Qnum.t }
+  | Unbounded
+  | Infeasible
+
+val solve : problem -> outcome
+
+val maximize : problem -> outcome
+(** Same problem record, but the objective is maximized. *)
+
+val feasible : problem -> Qnum.t array option
+(** Any feasible point (phase 1 only), ignoring the objective. *)

@@ -1,0 +1,58 @@
+(* Enumerate size-n subsets of the constraint list, solve each as an
+   equality system, and keep solutions feasible for all constraints. *)
+
+let subsets n l =
+  let rec go k rest =
+    if k = 0 then [ [] ]
+    else
+      match rest with
+      | [] -> []
+      | x :: tl ->
+        List.map (fun s -> x :: s) (go (k - 1) tl) @ go k tl
+  in
+  go n l
+
+let enumerate ~nvars constraints =
+  let m = List.length constraints in
+  if m < nvars then []
+  else begin
+    let candidates =
+      List.filter_map
+        (fun (subset : Lin.constr list) ->
+          let a =
+            Ratmat.make nvars nvars (fun i j -> (List.nth subset i).Lin.coeffs.(j))
+          in
+          let b = Array.of_list (List.map (fun c -> c.Lin.rhs) subset) in
+          (* A vertex needs the n active constraints to be independent. *)
+          if Ratmat.rank a < nvars then None
+          else
+            match Ratmat.solve a b with
+            | Some x when List.for_all (Lin.satisfies x) constraints -> Some x
+            | Some _ | None -> None)
+        (subsets nvars constraints)
+    in
+    (* Deduplicate. *)
+    List.sort_uniq
+      (fun x y ->
+        let rec cmp i =
+          if i >= nvars then 0
+          else
+            let c = Qnum.compare x.(i) y.(i) in
+            if c <> 0 then c else cmp (i + 1)
+        in
+        cmp 0)
+      candidates
+  end
+
+let minimize ~nvars objective constraints =
+  let vertices = enumerate ~nvars constraints in
+  List.fold_left
+    (fun best x ->
+      let v = Lin.eval objective x in
+      match best with
+      | Some (_, bv) when Qnum.compare bv v <= 0 -> best
+      | Some _ | None -> Some (x, v))
+    None vertices
+
+let all_integral vertices =
+  List.for_all (fun x -> Array.for_all Qnum.is_integer x) vertices

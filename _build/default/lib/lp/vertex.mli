@@ -1,0 +1,24 @@
+(** Extreme-point enumeration for small polyhedra.
+
+    This is the appendix's solution technique made executable: the
+    paper's LP subproblems have {-1, 0, 1} constraint coefficients, so
+    all extreme points are integral and the optimum of each convex
+    subproblem is attained at one of them.  We enumerate every
+    n-subset of constraints, solve it as an equality system and keep
+    the solutions satisfying all constraints. *)
+
+val enumerate : nvars:int -> Lin.constr list -> Qnum.t array list
+(** All extreme points (vertices) of the polyhedron.  Exponential in
+    [nvars]; intended for the paper-sized systems (n <= 6). *)
+
+val minimize : nvars:int -> Lin.expr -> Lin.constr list ->
+  (Qnum.t array * Qnum.t) option
+(** Best vertex under the objective; [None] when the polyhedron has no
+    vertex.  Only meaningful when the objective is bounded below on the
+    polyhedron (true for all of the paper's formulations, where every
+    variable is bounded below and objective coefficients are
+    non-negative). *)
+
+val all_integral : Qnum.t array list -> bool
+(** Check the appendix's integrality claim on an enumerated vertex
+    set. *)

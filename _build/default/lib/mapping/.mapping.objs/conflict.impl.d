@@ -1,0 +1,1 @@
+lib/mapping/conflict.ml: Array Hashtbl Hnf Index_set Intmat Intvec List Lll Qnum Ratmat Zint

@@ -1,0 +1,1 @@
+lib/mapping/conflict.mli: Index_set Intmat Intvec

@@ -1,0 +1,1 @@
+lib/mapping/enumerate.ml: Algorithm Array Index_set Intmat Intvec List Procedure51 Schedule Space_opt Theorems Tmap

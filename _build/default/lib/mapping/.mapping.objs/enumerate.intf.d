@@ -1,0 +1,1 @@
+lib/mapping/enumerate.mli: Algorithm Intmat Intvec Tmap

@@ -1,0 +1,1 @@
+lib/mapping/ilp_form.ml: Algorithm Array Conflict Index_set Intmat Intvec Lin List Printf Procedure51 Prop81 Qnum Schedule Simplex Stdlib Vertex Zint

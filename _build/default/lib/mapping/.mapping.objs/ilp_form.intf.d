@@ -1,0 +1,1 @@
+lib/mapping/ilp_form.mli: Algorithm Intmat Intvec Simplex

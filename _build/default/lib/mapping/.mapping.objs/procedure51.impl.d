@@ -1,0 +1,1 @@
+lib/mapping/procedure51.ml: Algorithm Array Conflict Index_set Intmat Intvec List Schedule Theorems Tmap

@@ -1,0 +1,1 @@
+lib/mapping/procedure51.mli: Algorithm Intmat Intvec Tmap

@@ -1,0 +1,1 @@
+lib/mapping/prop81.ml: Array Conflict Intmat Intvec List Zint

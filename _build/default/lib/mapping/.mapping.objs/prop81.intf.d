@@ -1,0 +1,1 @@
+lib/mapping/prop81.mli: Intmat Intvec Zint

@@ -1,0 +1,1 @@
+lib/mapping/schedule.ml: Array Index_set Intmat Intvec Zint

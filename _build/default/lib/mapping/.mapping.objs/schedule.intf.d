@@ -1,0 +1,1 @@
+lib/mapping/schedule.mli: Index_set Intmat Intvec

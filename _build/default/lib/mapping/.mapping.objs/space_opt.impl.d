@@ -1,0 +1,1 @@
+lib/mapping/space_opt.ml: Algorithm Array Index_set Intmat Intvec List Procedure51 Schedule Theorems Tmap Zint

@@ -1,0 +1,1 @@
+lib/mapping/space_opt.mli: Algorithm Intmat Intvec

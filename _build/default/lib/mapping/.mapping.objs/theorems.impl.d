@@ -1,0 +1,1 @@
+lib/mapping/theorems.ml: Array Conflict Hnf Intmat List Zint

@@ -1,0 +1,1 @@
+lib/mapping/theorems.mli: Hnf Intmat

@@ -1,0 +1,1 @@
+lib/mapping/tmap.ml: Array Hashtbl Ilp Index_set Intmat Intvec Lin List Option Qnum Schedule Simplex Zint

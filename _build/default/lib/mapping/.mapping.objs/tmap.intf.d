@@ -1,0 +1,1 @@
+lib/mapping/tmap.mli: Index_set Intmat Intvec

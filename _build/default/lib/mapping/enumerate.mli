@@ -1,0 +1,46 @@
+(** Problem 2.1 made constructive: enumerate conflict-free mappings
+    rather than merely testing one.
+
+    [all_optimal_schedules] lists {e every} time-optimal conflict-free
+    schedule for a fixed space mapping — the full candidate set a
+    designer would pick from using secondary criteria (buffers, wire
+    directions).  [pareto_front] explores the time/processor trade-off
+    over the unit space-mapping family of [Space_opt], answering the
+    question behind the paper's Problems 6.1/6.2: which (total time,
+    array size) pairs are achievable at all? *)
+
+val all_optimal_schedules :
+  ?max_objective:int -> Algorithm.t -> s:Intmat.t -> Intvec.t list
+(** All conflict-free, full-rank, dependence-respecting [Pi] at the
+    minimal total-time level; [] when none exists within the bound. *)
+
+val best_by_buffers :
+  ?max_objective:int -> Algorithm.t -> s:Intmat.t -> (Intvec.t * Tmap.routing) option
+(** The paper's conclusion names buffer counts as the next optimization
+    criterion.  Among {e all} time-optimal conflict-free schedules,
+    return one minimizing the total number of delay registers
+    [Σ_i (Pi d_i - hops_i)] (ties: fewest total hops), with its
+    routing.  [None] when no schedule or no routing exists. *)
+
+type pareto_point = {
+  total_time : int;
+  processors : int;
+  pi : Intvec.t;
+  s : Intmat.t;
+}
+
+val pareto_front :
+  ?entry_bound:int ->
+  ?time_slack:int ->
+  ?accept:(Intvec.t -> Intmat.t -> bool) ->
+  Algorithm.t ->
+  k:int ->
+  pareto_point list
+(** Non-dominated (total time, processors) pairs, smallest time first.
+    Schedules are scanned from the joint optimum's time level up to
+    [time_slack] extra levels (default 8); for each valid schedule the
+    cheapest conflict-free array of the unit family gives the processor
+    count.  [accept pi s] (default: accept all) can impose additional
+    model constraints on each candidate point — e.g. link-collision
+    freedom via [Linkcheck.predict], which Definition 2.2 does not
+    require but [23]'s stricter model does. *)

@@ -1,0 +1,63 @@
+(** The integer-programming route to Problem 2.2 (formulations
+    (5.1)-(5.2) and the appendix's convex-subset partitioning).
+
+    For [T ∈ Z^{(n-1)×n}] the conflict vector is a linear function of
+    [Pi] (Proposition 3.2): [gamma(Pi) = C Pi^T] with [C] from
+    {!Conflict.f_coefficient_matrix}.  The disjunctive conflict-freedom
+    constraint [∃i |f_i| > mu_i] is partitioned into [2n] convex
+    branches ([f_i >= mu_i + 1] or [-f_i >= mu_i + 1]), each
+    intersected with the dependence constraints [Pi D >= 1]; when the
+    dependences force every [pi_i >= 1] the objective is linear and the
+    appendix's observation applies: every extreme point is integral, so
+    each branch is solved by vertex enumeration with an exact ILP
+    fallback.  Candidate optima are screened by the gcd check the paper
+    postpones (the canonical conflict vector is the primitive part of
+    [C Pi^T]) and by rank, exactly as in Examples 5.1/5.2. *)
+
+type branch = {
+  description : string;
+  problem : Simplex.problem;
+}
+
+type solution = {
+  pi : Intvec.t;
+  objective : int;             (** [Σ pi_i mu_i] = total time - 1. *)
+  branch : string;             (** The binding disjunct ([|f_i| > mu_i])
+                                   at the optimum. *)
+  gamma : Intvec.t;            (** Canonical conflict vector of the result. *)
+  integral_vertices : bool;    (** The appendix integrality observation,
+                                   verified on this instance. *)
+}
+
+val branches : Algorithm.t -> s:Intmat.t -> branch list
+(** The [2n] convex subproblems.  Dependence constraints are encoded as
+    [Pi d >= 1] (equivalent to [Pi d > 0] over the integers).
+    @raise Invalid_argument unless [S] is (n-2)×n. *)
+
+val optimize_5d_to_2d :
+  ?max_objective:int -> Algorithm.t -> s:Intmat.t -> (Intvec.t * int) option
+(** Formulation (5.5)-(5.6) as the paper uses it: optimize the schedule
+    of a 5-dimensional algorithm onto a 2-dimensional array, screening
+    candidates with the Proposition 8.1 closed-form kernel generators
+    (no Hermite reduction of [T] per candidate).  Returns [(Pi°, total
+    time)].  Equivalent to Procedure 5.1 with the [Prop81.decide]
+    conflict test; the perf bench compares the two screens.
+    @raise Invalid_argument unless [S] satisfies [Prop81.applicable]. *)
+
+val optimize : ?positivity_required:bool -> Algorithm.t -> s:Intmat.t -> solution option
+(** Solve every branch's LP relaxation for a lower bound, then scan
+    integer points level by level from that bound, accepting the first
+    one that passes the exact checks the paper postpones (rank,
+    [Pi D > 0], feasibility of the {e primitive part} of the conflict
+    vector).  The level scan is necessary for exactness: the postponed
+    gcd condition can reject every {e vertex} of the optimal face while
+    an interior lattice point of the same face survives — this happens
+    for matrix multiplication at every odd [mu] (see EXPERIMENTS.md,
+    E6).
+
+    With [positivity_required] (default [true]) the function insists
+    that the dependence constraints imply [pi_i >= 1] — the premise
+    under which the linear objective [Σ pi_i mu_i] equals
+    [Σ |pi_i| mu_i]; it is verified on the solution and an exception is
+    raised if violated, rather than silently returning a non-optimal
+    schedule.  @raise Failure in that case. *)

@@ -1,0 +1,101 @@
+type conflict_check = Exact | Theorem
+
+type result = {
+  pi : Intvec.t;
+  total_time : int;
+  candidates_tried : int;
+  routing : Tmap.routing option;
+}
+
+(* Enumerate all pi with Sigma |pi_i| * mu_i = cost.  Components are
+   chosen left to right; each nonzero magnitude branches on sign. *)
+let candidates_at_cost ~mu cost =
+  let n = Array.length mu in
+  let acc = ref [] in
+  let pi = Array.make n 0 in
+  let rec go i remaining =
+    if i = n then begin
+      if remaining = 0 then acc := Intvec.of_int_array pi :: !acc
+    end
+    else begin
+      let w = mu.(i) in
+      let max_mag = remaining / w in
+      for mag = 0 to max_mag do
+        if mag = 0 then begin
+          pi.(i) <- 0;
+          go (i + 1) remaining
+        end
+        else begin
+          pi.(i) <- mag;
+          go (i + 1) (remaining - (mag * w));
+          pi.(i) <- -mag;
+          go (i + 1) (remaining - (mag * w));
+          pi.(i) <- 0
+        end
+      done
+    end
+  in
+  go 0 cost;
+  List.rev !acc
+
+let default_max_objective mu =
+  Array.fold_left (fun acc m -> acc + (m * (m + 1))) 0 mu
+
+let minimal_schedule ?max_objective (alg : Algorithm.t) =
+  let mu = Index_set.bounds alg.Algorithm.index_set in
+  let d = alg.Algorithm.dependences in
+  let max_objective =
+    match max_objective with Some m -> m | None -> default_max_objective mu
+  in
+  let rec by_cost cost =
+    if cost > max_objective then None
+    else
+      match
+        List.find_opt (fun pi -> Schedule.respects pi d) (candidates_at_cost ~mu cost)
+      with
+      | Some pi -> Some pi
+      | None -> by_cost (cost + 1)
+  in
+  by_cost 1
+
+let optimize ?(check = Theorem) ?p ?(require_routing = false) ?max_objective
+    (alg : Algorithm.t) ~s =
+  let mu = Index_set.bounds alg.Algorithm.index_set in
+  let d = alg.Algorithm.dependences in
+  let k = Intmat.rows s + 1 in
+  let max_objective =
+    match max_objective with Some m -> m | None -> default_max_objective mu
+  in
+  let tried = ref 0 in
+  let attempt pi =
+    incr tried;
+    if not (Schedule.respects pi d) then None
+    else begin
+      let tm = Tmap.make ~s ~pi in
+      let t = Tmap.matrix tm in
+      if Intmat.rank t <> k then None
+      else begin
+        let free =
+          match check with
+          | Exact -> Conflict.is_conflict_free ~mu t
+          | Theorem -> fst (Theorems.decide ~mu t)
+        in
+        if not free then None
+        else if require_routing then
+          match Tmap.find_routing ?p tm ~d with
+          | Some routing -> Some (pi, Some routing)
+          | None -> None
+        else Some (pi, None)
+      end
+    end
+  in
+  let rec by_cost cost =
+    if cost > max_objective then None
+    else
+      let winners = List.filter_map attempt (candidates_at_cost ~mu cost) in
+      match winners with
+      | (pi, routing) :: _ ->
+        Some { pi; total_time = cost + 1; candidates_tried = !tried; routing }
+      | [] -> by_cost (cost + 1)
+  in
+  by_cost 1

@@ -1,0 +1,47 @@
+(** Procedure 5.1: find the time-optimal conflict-free schedule [Pi°]
+    for a given space mapping [S] by enumerating candidates in
+    increasing total-execution-time order.
+
+    Candidates with equal objective [Σ |pi_i| mu_i] are generated
+    together (the sorting of Step 3 is implicit in the cost-level
+    enumeration); each candidate is screened by the four conditions of
+    Step 5: [Pi D > 0], [rank T = k], conflict-freedom, and — when an
+    interconnection matrix is supplied — the routing condition
+    [SD = PK]. *)
+
+type conflict_check =
+  | Exact    (** The box oracle of {!Conflict} — always correct. *)
+  | Theorem  (** The cheapest applicable closed-form condition via
+                 {!Theorems.decide}. *)
+
+type result = {
+  pi : Intvec.t;
+  total_time : int;        (** Equation 2.7. *)
+  candidates_tried : int;  (** Search effort, for the complexity bench. *)
+  routing : Tmap.routing option;
+}
+
+val optimize :
+  ?check:conflict_check ->
+  ?p:Intmat.t ->
+  ?require_routing:bool ->
+  ?max_objective:int ->
+  Algorithm.t ->
+  s:Intmat.t ->
+  result option
+(** [optimize alg ~s] returns the schedule minimizing Equation 2.7, or
+    [None] if no valid schedule exists with objective up to
+    [max_objective] (default [Σ mu_i * (mu_i + 1)], enough for every
+    example in the paper).  When [require_routing] is set (default
+    [false]), candidates whose dependences cannot be routed on [p]
+    (default nearest-neighbor links) are rejected — condition 2 of
+    Definition 2.2. *)
+
+val candidates_at_cost : mu:int array -> int -> Intvec.t list
+(** All integral [Pi] with [Σ |pi_i| mu_i] equal to the given cost —
+    the paper's candidate set [C_l], exposed for tests. *)
+
+val minimal_schedule : ?max_objective:int -> Algorithm.t -> Intvec.t option
+(** The cost-minimal [Pi] with [Pi D > 0] and nothing else — the
+    "free" schedule used as Problem 6.1's given input when no space
+    mapping has been chosen yet. *)

@@ -1,0 +1,113 @@
+type t = {
+  h33 : Zint.t;
+  h34 : Zint.t;
+  h35 : Zint.t;
+  u4 : Intvec.t;
+  u5 : Intvec.t;
+}
+
+let applicable ~s =
+  Intmat.rows s = 2 && Intmat.cols s = 5
+  && Zint.is_one (Intmat.get s 0 0)
+  && Zint.is_one
+       (Zint.sub (Intmat.get s 1 1) (Zint.mul (Intmat.get s 1 0) (Intmat.get s 0 1)))
+
+(* w_j = (c_{1j}, c_{2j}, e_j) spans ker S over Z (Equations 8.5); the
+   leading 2x2 block of S is unimodular, so the free coordinates
+   (3,4,5) determine integral coordinates (1,2). *)
+let w_vector s j =
+  let g r c = Intmat.get s r c in
+  let s12 = g 0 1 and s21 = g 1 0 in
+  let s1j = g 0 j and s2j = g 1 j in
+  let c2 = Zint.sub (Zint.mul s21 s1j) s2j in
+  let c1 = Zint.sub (Zint.neg (Zint.mul s12 c2)) s1j in
+  Array.init 5 (fun i ->
+      if i = 0 then c1 else if i = 1 then c2 else if i = j then Zint.one else Zint.zero)
+
+let compute ~s ~pi =
+  if not (applicable ~s) then None
+  else begin
+    let w3 = w_vector s 2 and w4 = w_vector s 3 and w5 = w_vector s 4 in
+    let h33 = Intvec.dot pi w3 in
+    let h34 = Intvec.dot pi w4 in
+    let h35 = Intvec.dot pi w5 in
+    let combine coeffs vecs =
+      List.fold_left2
+        (fun acc c v -> Intvec.add acc (Intvec.scale c v))
+        (Intvec.zero 5) coeffs vecs
+    in
+    let g1, p1, q1 = Zint.gcdext h33 h34 in
+    if Zint.is_zero g1 && Zint.is_zero h35 then None (* rank T < 3 *)
+    else if Zint.is_zero g1 then
+      (* h33 = h34 = 0: the kernel equation only kills w5. *)
+      Some { h33; h34; h35; u4 = w3; u5 = w4 }
+    else begin
+      let u4 =
+        combine [ Zint.divexact h34 g1; Zint.neg (Zint.divexact h33 g1) ] [ w3; w4 ]
+      in
+      let g2 = Zint.gcd g1 h35 in
+      let f = Zint.divexact h35 g2 in
+      let u5 =
+        combine
+          [ Zint.neg (Zint.mul p1 f); Zint.neg (Zint.mul q1 f); Zint.divexact g1 g2 ]
+          [ w3; w4; w5 ]
+      in
+      Some { h33; h34; h35; u4; u5 }
+    end
+  end
+(* appended to prop81.ml *)
+
+(* Theorem 2.2 per-vector feasibility, locally. *)
+let feasible ~mu v =
+  let ok = ref false in
+  Array.iteri
+    (fun i x -> if Zint.compare (Zint.abs x) (Zint.of_int mu.(i)) > 0 then ok := true)
+    v;
+  !ok
+
+let screen ~mu { u4; u5; _ } =
+  if Array.length mu <> 5 then invalid_arg "Prop81.screen: mu must have 5 entries";
+  (* Necessary: the generators and their unit combinations must escape
+     the box (beta in {e1, e2, e1+e2, e1-e2}). *)
+  let necessary =
+    feasible ~mu u4 && feasible ~mu u5
+    && feasible ~mu (Intvec.add u4 u5)
+    && feasible ~mu (Intvec.sub u4 u5)
+  in
+  if not necessary then Some false
+  else begin
+    (* Sufficient: Theorem 4.7's conditions on the generator pair. *)
+    let n = 5 in
+    let cond1 =
+      let rec go i =
+        i < n
+        && ((let a = u4.(i) and b = u5.(i) in
+             Zint.sign (Zint.mul a b) >= 0
+             && Zint.compare (Zint.abs (Zint.add a b)) (Zint.of_int mu.(i)) > 0)
+            || go (i + 1))
+      in
+      go 0
+    in
+    let cond2 =
+      let rec go j =
+        j < n
+        && ((let a = u4.(j) and b = u5.(j) in
+             Zint.sign (Zint.mul a b) <= 0
+             && Zint.compare (Zint.abs (Zint.sub a b)) (Zint.of_int mu.(j)) > 0)
+            || go (j + 1))
+      in
+      go 0
+    in
+    if cond1 && cond2 then Some true else None
+  end
+
+let decide ~mu ~s ~pi =
+  match compute ~s ~pi with
+  | None ->
+    (* rank T < 3: with a 2-dimensional kernel... the proposition does
+       not apply; defer to the generic machinery. *)
+    Conflict.is_conflict_free ~mu (Intmat.append_row s pi)
+  | Some r -> (
+    match screen ~mu r with
+    | Some b -> b
+    | None -> Conflict.conflict_in_lattice ~mu [ r.u4; r.u5 ] = None)

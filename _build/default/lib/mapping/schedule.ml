@@ -1,0 +1,29 @@
+let respects pi d =
+  let prods = Intmat.vec_mul pi d in
+  Array.for_all (fun x -> Zint.sign x > 0) prods
+
+let time_of pi j =
+  if Array.length j <> Intvec.dim pi then
+    invalid_arg "Schedule.time_of: arity mismatch";
+  let acc = ref Zint.zero in
+  Array.iteri (fun i x -> acc := Zint.add !acc (Zint.mul_int pi.(i) x)) j;
+  Zint.to_int !acc
+
+let objective ~mu pi =
+  if Array.length mu <> Intvec.dim pi then
+    invalid_arg "Schedule.objective: arity mismatch";
+  let acc = ref Zint.zero in
+  Array.iteri (fun i m -> acc := Zint.add !acc (Zint.mul_int (Zint.abs pi.(i)) m)) mu;
+  Zint.to_int !acc
+
+let total_time ~mu pi = 1 + objective ~mu pi
+
+let makespan_oracle iset pi =
+  let best_min = ref max_int and best_max = ref min_int in
+  Index_set.iter
+    (fun j ->
+      let t = time_of pi j in
+      if t < !best_min then best_min := t;
+      if t > !best_max then best_max := t)
+    iset;
+  !best_max - !best_min + 1

@@ -1,0 +1,24 @@
+(** Linear schedules [Pi ∈ Z^{1×n}] (Definition 2.2, condition 1 and
+    Equations 2.4/2.7).
+
+    A schedule is represented as an {!Intvec.t} treated as a row
+    vector; the computation indexed by [j] executes at time [Pi j]. *)
+
+val respects : Intvec.t -> Intmat.t -> bool
+(** [respects pi d] is [Pi D > 0]: every dependence is strictly
+    delayed, so the partial order of the algorithm is preserved. *)
+
+val time_of : Intvec.t -> int array -> int
+(** [time_of pi j] is [Pi j]. *)
+
+val total_time : mu:int array -> Intvec.t -> int
+(** Equation 2.7: [1 + Σ |pi_i| mu_i] — the exact makespan on a
+    constant-bounded index set. *)
+
+val makespan_oracle : Index_set.t -> Intvec.t -> int
+(** Equation 2.4 computed by brute force over the index set:
+    [max { Pi (j1 - j2) } + 1].  Exponential; used by tests to validate
+    {!total_time}. *)
+
+val objective : mu:int array -> Intvec.t -> int
+(** The paper's objective [f = total_time - 1 = Σ |pi_i| mu_i]. *)

@@ -1,0 +1,215 @@
+type input = {
+  hnf : Hnf.result;
+  mu : int array;
+}
+
+let make_input ~mu t =
+  if Array.length mu <> Intmat.cols t then
+    invalid_arg "Theorems.make_input: arity mismatch";
+  { hnf = Hnf.compute t; mu }
+
+let dims { hnf; mu } =
+  let n = Array.length mu in
+  (n, hnf.Hnf.rank)
+
+(* u entry helpers; columns are 0-indexed, so the paper's u_{i,n}
+   is [u i (n-1)]. *)
+let uget inp i j = Intmat.get inp.hnf.Hnf.u i j
+
+let kernel_columns inp =
+  let n, k = dims inp in
+  List.init (n - k) (fun c -> Intmat.col inp.hnf.Hnf.u (k + c))
+
+let necessary_cond2 inp =
+  let n, k = dims inp in
+  let v = inp.hnf.Hnf.v in
+  let column_ok j =
+    let ok = ref false in
+    for i = 0 to k - 1 do
+      if not (Zint.is_zero (Intmat.get v i j)) then ok := true
+    done;
+    !ok
+  in
+  let all = ref true in
+  for j = 0 to n - 1 do
+    if not (column_ok j) then all := false
+  done;
+  !all
+
+let necessary_cond3 inp =
+  List.for_all (Conflict.is_feasible ~mu:inp.mu) (kernel_columns inp)
+
+(* Theorem 4.5: choose n-k rows of U whose kernel-column restriction is
+   nonsingular while each chosen row's gcd over the kernel columns is
+   >= mu_i + 1. *)
+let sufficient_cond4 inp =
+  let n, k = dims inp in
+  let d = n - k in
+  if d = 0 then true
+  else begin
+    let row_gcd i =
+      let g = ref Zint.zero in
+      for c = k to n - 1 do
+        g := Zint.gcd !g (uget inp i c)
+      done;
+      !g
+    in
+    let candidate_rows =
+      List.filter
+        (fun i -> Zint.compare (row_gcd i) (Zint.of_int (inp.mu.(i) + 1)) >= 0)
+        (List.init n (fun i -> i))
+    in
+    (* Search for a size-d subset with nonsingular restriction. *)
+    let rec subsets sz = function
+      | [] -> if sz = 0 then [ [] ] else []
+      | x :: rest ->
+        if sz = 0 then [ [] ]
+        else
+          List.map (fun s -> x :: s) (subsets (sz - 1) rest) @ subsets sz rest
+    in
+    List.exists
+      (fun rows ->
+        let m =
+          Intmat.make d d (fun a b -> uget inp (List.nth rows a) (k + b))
+        in
+        not (Zint.is_zero (Intmat.det m)))
+      (subsets d candidate_rows)
+  end
+
+let require_codim inp d name =
+  let n, k = dims inp in
+  if n - k <> d then invalid_arg (name ^ ": wrong codimension")
+
+(* Theorem 4.6 (sufficient, k = n-2). *)
+let sufficient_cond5 inp =
+  require_codim inp 2 "Theorems.sufficient_cond5";
+  let n, k = dims inp in
+  let c1 = k and c2 = k + 1 in
+  let cond_at i =
+    let a = uget inp i c1 and b = uget inp i c2 in
+    let g = Zint.gcd a b in
+    if Zint.compare g (Zint.of_int (inp.mu.(i) + 1)) < 0 then false
+    else begin
+      (* The coprime (beta1, beta2) annihilating row i:
+         (b/g, -a/g); check some other row escapes its box. *)
+      let b1 = Zint.divexact b g and b2 = Zint.neg (Zint.divexact a g) in
+      let escapes j =
+        let v = Zint.add (Zint.mul b1 (uget inp j c1)) (Zint.mul b2 (uget inp j c2)) in
+        Zint.compare (Zint.abs v) (Zint.of_int inp.mu.(j)) > 0
+      in
+      let rec any j = j < n && ((j <> i && escapes j) || any (j + 1)) in
+      any 0
+    end
+  in
+  let rec exists i = i < n && (cond_at i || exists (i + 1)) in
+  exists 0
+
+(* Sign compatibility with zero counting as either sign. *)
+let sign_match x s = Zint.sign x * s >= 0
+
+(* Theorem 4.7 (k = n-2): conditions (1) same-sign sum, (2)
+   opposite-sign difference, (3) kernel columns feasible. *)
+let nec_suff_n_minus_2 inp =
+  require_codim inp 2 "Theorems.nec_suff_n_minus_2";
+  let n, k = dims inp in
+  let c1 = k and c2 = k + 1 in
+  let cond1 =
+    let rec go i =
+      i < n
+      && ((let a = uget inp i c1 and b = uget inp i c2 in
+           Zint.sign (Zint.mul a b) >= 0
+           && Zint.compare (Zint.abs (Zint.add a b)) (Zint.of_int inp.mu.(i)) > 0)
+          || go (i + 1))
+    in
+    go 0
+  in
+  let cond2 =
+    let rec go j =
+      j < n
+      && ((let a = uget inp j c1 and b = uget inp j c2 in
+           Zint.sign (Zint.mul a b) <= 0
+           && Zint.compare (Zint.abs (Zint.sub a b)) (Zint.of_int inp.mu.(j)) > 0)
+          || go (j + 1))
+    in
+    go 0
+  in
+  cond1 && cond2 && necessary_cond3 inp
+
+(* Theorem 4.8 (k = n-3): for each of the four sign patterns of
+   (beta_{n-2}, beta_{n-1}, beta_n) up to global negation there must be
+   a row whose kernel entries match the pattern and whose patterned sum
+   escapes the box; plus feasibility of the kernel columns. *)
+let nec_suff_n_minus_3 inp =
+  require_codim inp 3 "Theorems.nec_suff_n_minus_3";
+  let n, k = dims inp in
+  let patterns = [ [| 1; 1; 1 |]; [| 1; 1; -1 |]; [| 1; -1; 1 |]; [| -1; 1; 1 |] ] in
+  let row_matches i pat =
+    let ok = ref true in
+    let sum = ref Zint.zero in
+    for c = 0 to 2 do
+      let x = uget inp i (k + c) in
+      if not (sign_match x pat.(c)) then ok := false;
+      sum := Zint.add !sum (Zint.mul_int x pat.(c))
+    done;
+    !ok && Zint.compare (Zint.abs !sum) (Zint.of_int inp.mu.(i)) > 0
+  in
+  List.for_all
+    (fun pat ->
+      let rec go i = i < n && (row_matches i pat || go (i + 1)) in
+      go 0)
+    patterns
+  && necessary_cond3 inp
+
+(* Theorem 4.7-style pairwise check on two kernel columns [ca], [cb]:
+   for both relative signs there is a sign-matched row escaping its
+   bound.  Covers all conflict vectors beta_a u_a + beta_b u_b with
+   both coefficients nonzero. *)
+let pair_covered inp ca cb =
+  let n, _ = dims inp in
+  let escape sigma =
+    let rec go i =
+      i < n
+      && ((let a = uget inp i ca and b = Zint.mul_int (uget inp i cb) sigma in
+           Zint.sign (Zint.mul a b) >= 0
+           && Zint.compare (Zint.abs (Zint.add a b)) (Zint.of_int inp.mu.(i)) > 0)
+          || go (i + 1))
+    in
+    go 0
+  in
+  escape 1 && escape (-1)
+
+let corrected_sufficient_n_minus_3 inp =
+  require_codim inp 3 "Theorems.corrected_sufficient_n_minus_3";
+  let _, k = dims inp in
+  nec_suff_n_minus_3 inp
+  && pair_covered inp k (k + 1)
+  && pair_covered inp k (k + 2)
+  && pair_covered inp (k + 1) (k + 2)
+
+type method_used =
+  | Full_rank_square
+  | Adjugate_form
+  | Column_infeasible
+  | Hermite_n_minus_2
+  | Hermite_n_minus_3
+  | Gcd_sufficient
+  | Box_oracle
+
+let decide ~mu t =
+  let n = Intmat.cols t and k = Intmat.rows t in
+  if k >= n then (Intmat.rank t = n, Full_rank_square)
+  else if k = n - 1 && Intmat.rank t = n - 1 then
+    match Conflict.single_conflict_vector t with
+    | Some gamma -> (Conflict.is_feasible ~mu gamma, Adjugate_form)
+    | None -> assert false (* full rank guarantees a nonzero minor *)
+  else begin
+    let inp = make_input ~mu t in
+    let _, rank = dims inp in
+    if rank <> Intmat.rows t then (Conflict.is_conflict_free ~mu t, Box_oracle)
+    else if not (necessary_cond3 inp) then (false, Column_infeasible)
+    else if n - rank = 2 && nec_suff_n_minus_2 inp then (true, Hermite_n_minus_2)
+    else if n - rank = 3 && corrected_sufficient_n_minus_3 inp then
+      (true, Hermite_n_minus_3)
+    else if n - rank > 3 && sufficient_cond4 inp then (true, Gcd_sufficient)
+    else (Conflict.is_conflict_free ~mu t, Box_oracle)
+  end

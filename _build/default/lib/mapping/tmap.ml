@@ -1,0 +1,108 @@
+type t = { s : Intmat.t; pi : Intvec.t }
+
+let make ~s ~pi =
+  if Intmat.cols s <> Intvec.dim pi then
+    invalid_arg "Tmap.make: S and Pi disagree on the algorithm dimension";
+  { s; pi }
+
+let of_rows rows =
+  match List.rev rows with
+  | [] | [ _ ] -> invalid_arg "Tmap.of_rows: need at least two rows"
+  | pi :: srows_rev ->
+    make
+      ~s:(Intmat.of_ints (List.rev srows_rev))
+      ~pi:(Intvec.of_ints pi)
+
+let matrix t = Intmat.append_row t.s t.pi
+let n t = Intmat.cols t.s
+let k t = Intmat.rows t.s + 1
+
+let space_of t j =
+  if Array.length j <> n t then invalid_arg "Tmap.space_of: arity mismatch";
+  Array.init (Intmat.rows t.s) (fun r ->
+      let acc = ref 0 in
+      Array.iteri (fun c x -> acc := !acc + (Zint.to_int (Intmat.get t.s r c) * x)) j;
+      !acc)
+
+let time_of t j = Schedule.time_of t.pi j
+
+let has_full_rank t = Intmat.rank (matrix t) = k t
+
+let processors t iset =
+  let seen = Hashtbl.create 256 in
+  Index_set.iter
+    (fun j ->
+      let p = space_of t j in
+      let key = Array.to_list p in
+      if not (Hashtbl.mem seen key) then Hashtbl.add seen key p)
+    iset;
+  List.sort compare (Hashtbl.fold (fun _ p acc -> Array.copy p :: acc) seen [])
+
+type routing = {
+  k_matrix : Intmat.t;
+  hops : int array;
+  buffers : int array;
+}
+
+let nearest_neighbor_primitives dim =
+  if dim = 0 then Intmat.zero 0 0
+  else
+    Intmat.make dim (2 * dim) (fun i j ->
+        if j = 2 * i then Zint.one
+        else if j = (2 * i) + 1 then Zint.minus_one
+        else Zint.zero)
+
+(* Route one dependence: find non-negative integral [kcol] minimizing
+   total hops subject to [P kcol = sd] and [Σ kcol <= slack]. *)
+let route_column p sd slack =
+  let r = Intmat.cols p in
+  if r = 0 then
+    (* 0-dimensional array (k = 1): every dependence stays in place. *)
+    if Array.for_all Zint.is_zero sd then Some [||] else None
+  else begin
+    let rows = Intmat.rows p in
+    let ones = Array.make r Qnum.one in
+    let eqs =
+      List.init rows (fun i ->
+          let coeffs = Array.init r (fun j -> Qnum.of_zint (Intmat.get p i j)) in
+          Lin.(coeffs =. Qnum.of_zint sd.(i)))
+    in
+    let nonneg = List.init r (fun j -> Lin.(ge_int (var r j) 0)) in
+    let budget = Lin.(ones <=. Qnum.of_int slack) in
+    let problem =
+      Simplex.{ nvars = r; objective = ones; constraints = (budget :: eqs) @ nonneg }
+    in
+    match Ilp.solve problem with
+    | Ilp.Optimal { x; _ } -> Some x
+    | Ilp.Infeasible -> None
+    | Ilp.Unbounded -> assert false (* objective is a sum of nonnegative vars *)
+  end
+
+let find_routing ?p t ~d =
+  let dim = k t - 1 in
+  let p = match p with Some p -> p | None -> nearest_neighbor_primitives dim in
+  if Intmat.rows p <> dim then invalid_arg "Tmap.find_routing: P has wrong height";
+  let m = Intmat.cols d in
+  let sd = Intmat.mul t.s d in
+  let slack i =
+    let pid = Intvec.dot t.pi (Intmat.col d i) in
+    Zint.to_int pid
+  in
+  let cols =
+    List.init m (fun i -> route_column p (Intmat.col sd i) (slack i))
+  in
+  if List.exists (fun c -> c = None) cols then None
+  else begin
+    let r = Intmat.cols p in
+    let kcols = List.map Option.get cols in
+    let k_matrix =
+      if r = 0 then Intmat.zero 0 m
+      else Intmat.of_cols kcols
+    in
+    let hops =
+      Array.of_list
+        (List.map (fun c -> Array.fold_left (fun a x -> a + Zint.to_int x) 0 c) kcols)
+    in
+    let buffers = Array.init m (fun i -> slack i - hops.(i)) in
+    Some { k_matrix; hops; buffers }
+  end

@@ -1,0 +1,47 @@
+type t = {
+  headers : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_int_row t label ints =
+  add_row t (label :: List.map string_of_int ints)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let buf = Buffer.create 1024 in
+  let emit row =
+    List.iteri
+      (fun c cell ->
+        if c > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (Printf.sprintf "%*s" (List.nth widths c) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  Buffer.add_string buf
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | Some s ->
+    print_newline ();
+    print_endline s;
+    print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (render t)

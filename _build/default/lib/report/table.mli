@@ -1,0 +1,17 @@
+(** Aligned plain-text tables for the experiment harness. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the arity differs from the header. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** First cell a label, the rest integers. *)
+
+val render : t -> string
+
+val print : ?title:string -> t -> unit
+(** Render to stdout with an optional underlined title. *)

@@ -1,0 +1,1 @@
+lib/systolic/exec.ml: Algorithm Array Hashtbl Index_set Intmat Intvec List Schedule Tmap Zint

@@ -1,0 +1,1 @@
+lib/systolic/exec.mli: Algorithm Intmat Tmap

@@ -1,0 +1,1 @@
+lib/systolic/linkcheck.ml: Algorithm Array Conflict Exec Hnf Index_set Intmat Intvec List Lll Qnum Ratmat Stdlib Tmap Zint

@@ -1,0 +1,1 @@
+lib/systolic/linkcheck.mli: Algorithm Intvec Tmap

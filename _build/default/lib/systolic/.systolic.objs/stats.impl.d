@@ -1,0 +1,1 @@
+lib/systolic/stats.ml: Algorithm Array Format Hashtbl Index_set Intmat List Schedule Tmap Zint

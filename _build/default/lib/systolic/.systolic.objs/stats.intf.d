@@ -1,0 +1,1 @@
+lib/systolic/stats.mli: Algorithm Format Tmap

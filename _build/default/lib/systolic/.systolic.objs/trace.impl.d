@@ -1,0 +1,1 @@
+lib/systolic/trace.ml: Algorithm Array Buffer Exec Hashtbl List Printf String Tmap

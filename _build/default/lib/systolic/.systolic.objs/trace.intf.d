@@ -1,0 +1,1 @@
+lib/systolic/trace.mli: Algorithm Tmap

@@ -1,0 +1,212 @@
+type conflict = {
+  time : int;
+  pe : int array;
+  points : int array list;
+}
+
+type collision = {
+  link_pe : int array;
+  primitive : int array;
+  stream : int;
+  at_time : int;
+  count : int;
+}
+
+type 'v report = {
+  makespan : int;
+  num_processors : int;
+  computations : int;
+  conflicts : conflict list;
+  causality_violations : (int array * int) list;
+  collisions : collision list;
+  max_buffer_occupancy : int array;
+  routing : Tmap.routing option;
+  values_ok : bool;
+  utilization : float;
+}
+
+let schedule_table (alg : Algorithm.t) tm =
+  let events = ref [] in
+  Index_set.iter
+    (fun j ->
+      let j = Array.copy j in
+      events := (Tmap.time_of tm j, (Tmap.space_of tm j, j)) :: !events)
+    alg.Algorithm.index_set;
+  let by_time = Hashtbl.create 64 in
+  List.iter
+    (fun (t, ev) ->
+      let prev = try Hashtbl.find by_time t with Not_found -> [] in
+      Hashtbl.replace by_time t (ev :: prev))
+    !events;
+  Hashtbl.fold (fun t evs acc -> (t, List.sort compare evs) :: acc) by_time []
+  |> List.sort compare
+
+(* Expand column [i] of the routing matrix into the ordered list of
+   primitive indices the datum traverses (one per cycle). *)
+let route_primitives (routing : Tmap.routing) i =
+  let k = routing.Tmap.k_matrix in
+  let r = Intmat.rows k in
+  List.concat
+    (List.init r (fun prim ->
+         List.init (Zint.to_int (Intmat.get k prim i)) (fun _ -> prim)))
+
+let primitive_vector p prim =
+  Array.init (Intmat.rows p) (fun r -> Zint.to_int (Intmat.get p r prim))
+
+let run ?p (alg : Algorithm.t) (sem : 'v Algorithm.semantics) tm =
+  let iset = alg.Algorithm.index_set in
+  let d = alg.Algorithm.dependences in
+  let m = Algorithm.num_dependences alg in
+  if not (Schedule.respects tm.Tmap.pi d) then
+    failwith "Exec.run: Pi D > 0 fails; the mapping is not causal";
+  let pmat =
+    match p with
+    | Some p -> p
+    | None -> Tmap.nearest_neighbor_primitives (Tmap.k tm - 1)
+  in
+  let routing = Tmap.find_routing ~p:pmat tm ~d in
+  (* Per-dependence schedule delay Pi d_i. *)
+  let delay = Array.init m (fun i -> Zint.to_int (Intvec.dot tm.Tmap.pi (Intmat.col d i))) in
+  (* Gather all firings. *)
+  let firings = ref [] in
+  Index_set.iter
+    (fun j ->
+      let j = Array.copy j in
+      firings := (Tmap.time_of tm j, Tmap.space_of tm j, j) :: !firings)
+    iset;
+  let firings = List.sort compare !firings in
+  let computations = List.length firings in
+  let makespan =
+    match (firings, List.rev firings) with
+    | (t0, _, _) :: _, (t1, _, _) :: _ -> t1 - t0 + 1
+    | _ -> 0
+  in
+  (* Computational conflicts. *)
+  let cell = Hashtbl.create 1024 in
+  List.iter
+    (fun (t, pe, j) ->
+      let key = (t, Array.to_list pe) in
+      let prev = try Hashtbl.find cell key with Not_found -> [] in
+      Hashtbl.replace cell key (j :: prev))
+    firings;
+  let conflicts =
+    Hashtbl.fold
+      (fun (time, pe) points acc ->
+        if List.length points > 1 then
+          { time; pe = Array.of_list pe; points } :: acc
+        else acc)
+      cell []
+  in
+  let num_processors =
+    let pes = Hashtbl.create 256 in
+    List.iter (fun (_, pe, _) -> Hashtbl.replace pes (Array.to_list pe) ()) firings;
+    Hashtbl.length pes
+  in
+  (* Execute in time order, checking operand availability and values. *)
+  let store : (int list, 'v) Hashtbl.t = Hashtbl.create 1024 in
+  let causality = ref [] in
+  List.iter
+    (fun (t, _, j) ->
+      let operands =
+        Array.init m (fun i ->
+            let pred = Algorithm.predecessor alg j i in
+            if Index_set.contains iset pred then begin
+              let tp = Tmap.time_of tm pred in
+              let hops =
+                match routing with
+                | Some r -> r.Tmap.hops.(i)
+                | None -> 0
+              in
+              if tp + hops > t || tp >= t then causality := (Array.copy j, i) :: !causality;
+              match Hashtbl.find_opt store (Array.to_list pred) with
+              | Some v -> v
+              | None ->
+                (* Should not happen when causality holds; fall back to
+                   the reference evaluator to keep the run total. *)
+                Algorithm.evaluate alg sem pred
+            end
+            else sem.Algorithm.boundary j i)
+      in
+      Hashtbl.replace store (Array.to_list j) (sem.Algorithm.compute j operands))
+    firings;
+  (* Value correctness against the reference evaluator. *)
+  let reference = Algorithm.evaluate_all alg sem in
+  let values_ok =
+    Index_set.fold
+      (fun ok j ->
+        ok
+        &&
+        match Hashtbl.find_opt store (Array.to_list j) with
+        | Some v -> sem.Algorithm.equal_value v (reference j)
+        | None -> false)
+      true iset
+  in
+  (* Data movement: link occupancy and destination buffers. *)
+  let collisions = ref [] in
+  let max_buffer = Array.make m 0 in
+  (match routing with
+  | None -> ()
+  | Some r ->
+    let link_load = Hashtbl.create 4096 in
+    let buffer_load = Hashtbl.create 4096 in
+    let deps = Array.init m (fun i -> Algorithm.dependence alg i) in
+    let prim_vecs = Array.init (Intmat.cols pmat) (fun p -> primitive_vector pmat p) in
+    let routes = Array.init m (fun i -> route_primitives r i) in
+    List.iter
+      (fun (tprod, pe_src, j) ->
+        for i = 0 to m - 1 do
+          let consumer = Array.mapi (fun rr x -> x + deps.(i).(rr)) j in
+          if Index_set.contains iset consumer then begin
+            (* Walk the route, one primitive per cycle. *)
+            let pos = ref (Array.copy pe_src) in
+            List.iteri
+              (fun l prim ->
+                let key =
+                  (Array.to_list !pos, prim, i, tprod + l + 1)
+                in
+                let c = (try Hashtbl.find link_load key with Not_found -> 0) + 1 in
+                Hashtbl.replace link_load key c;
+                pos := Array.mapi (fun rr x -> x + prim_vecs.(prim).(rr)) !pos)
+              routes.(i);
+            (* Wait in the destination buffer until use. *)
+            let arrival = tprod + r.Tmap.hops.(i) in
+            let use = tprod + delay.(i) in
+            for tt = arrival to use - 1 do
+              let key = (Array.to_list !pos, i, tt) in
+              let c = (try Hashtbl.find buffer_load key with Not_found -> 0) + 1 in
+              Hashtbl.replace buffer_load key c;
+              if c > max_buffer.(i) then max_buffer.(i) <- c
+            done
+          end
+        done)
+      firings;
+    Hashtbl.iter
+      (fun (pe, prim, stream, at_time) count ->
+        if count > 1 then
+          collisions :=
+            {
+              link_pe = Array.of_list pe;
+              primitive = primitive_vector pmat prim;
+              stream;
+              at_time;
+              count;
+            }
+            :: !collisions)
+      link_load);
+  {
+    makespan;
+    num_processors;
+    computations;
+    conflicts;
+    causality_violations = !causality;
+    collisions = !collisions;
+    max_buffer_occupancy = max_buffer;
+    routing;
+    values_ok;
+    utilization =
+      (if num_processors = 0 || makespan = 0 then 0.
+       else float_of_int computations /. float_of_int (num_processors * makespan));
+  }
+
+let is_clean r =
+  r.conflicts = [] && r.causality_violations = [] && r.collisions = [] && r.values_ok

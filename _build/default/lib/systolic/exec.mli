@@ -1,0 +1,74 @@
+(** Cycle-accurate simulation of a uniform dependence algorithm on the
+    processor array defined by a mapping matrix [T = [S; Pi]].
+
+    The simulator executes every computation [j ∈ J] at time [Pi j] on
+    PE [S j], moves each produced datum to its consumer along the
+    routing [K] (one interconnection primitive per cycle, then a
+    destination buffer until use), and checks every structural claim
+    the paper makes about a mapping:
+
+    - {b computational conflicts} (Definition 2.2, condition 3): two
+      points on the same PE at the same cycle;
+    - {b causality}: every operand has been produced (and has arrived)
+      before its use;
+    - {b link collisions} (the [23] condition discussed in Section 5):
+      two data of the same stream crossing the same directed link of
+      the same PE in the same cycle;
+    - {b buffer occupancy} per dependence stream, to compare with the
+      paper's [Pi d_i - Σ_j k_ji] register counts;
+    - {b value correctness}: the final values equal the reference
+      evaluator of {!Algorithm.evaluate_all}. *)
+
+type conflict = {
+  time : int;
+  pe : int array;
+  points : int array list;  (** At least two index points. *)
+}
+
+type collision = {
+  link_pe : int array;       (** PE the datum leaves. *)
+  primitive : int array;     (** Direction vector of the link. *)
+  stream : int;              (** Dependence index. *)
+  at_time : int;
+  count : int;               (** Data simultaneously on the link. *)
+}
+
+type 'v report = {
+  makespan : int;              (** Cycles between first and last firing,
+                                   inclusive — compare Equation 2.7. *)
+  num_processors : int;
+  computations : int;
+  conflicts : conflict list;
+  causality_violations : (int array * int) list;
+  (** (point, dependence index) whose operand had not arrived. *)
+  collisions : collision list;
+  max_buffer_occupancy : int array;
+  (** Per dependence stream, max data waiting in any one PE's buffer. *)
+  routing : Tmap.routing option;  (** [None] when no routing was found;
+                                      movement checks are then skipped. *)
+  values_ok : bool;
+  utilization : float;
+  (** computations / (processors * makespan). *)
+}
+
+val run :
+  ?p:Intmat.t ->
+  Algorithm.t ->
+  'v Algorithm.semantics ->
+  Tmap.t ->
+  'v report
+(** @raise Invalid_argument when dimensions disagree.
+    @raise Failure when [Pi D > 0] fails (the simulation would not be
+    causal by construction). *)
+
+val is_clean : 'v report -> bool
+(** No conflicts, no causality violations, no collisions, values match. *)
+
+val schedule_table : Algorithm.t -> Tmap.t -> (int * (int array * int array) list) list
+(** For rendering: time -> [(pe, point); ...] sorted by time then PE. *)
+
+val route_primitives : Tmap.routing -> int -> int list
+(** The canonical hop sequence (primitive indices, one per cycle) used
+    for dependence [i] — primitives in index order, each repeated
+    [k_ji] times.  Exposed so that {!Linkcheck}'s analytical model and
+    the simulation share one movement policy by construction. *)

@@ -1,0 +1,173 @@
+type prediction = {
+  stream : int;
+  hop_positions : int * int;
+  delta : Intvec.t;
+}
+
+let single_use_per_link (routing : Tmap.routing) =
+  let k = routing.Tmap.k_matrix in
+  let ok = ref true in
+  for i = 0 to Intmat.cols k - 1 do
+    for j = 0 to Intmat.rows k - 1 do
+      if Zint.compare (Intmat.get k j i) Zint.one > 0 then ok := false
+    done
+  done;
+  !ok
+
+(* Find an integral point of {delta : T delta = target} with
+   |delta_r| <= w_r, or None.  Same technique as the conflict oracles:
+   particular solution + LLL-reduced kernel, coefficient enumeration
+   with suffix pruning. *)
+let affine_point_in_box t target w =
+  let res = Hnf.compute t in
+  let r = res.Hnf.rank in
+  let n = Intmat.cols t in
+  (* Particular solution via the full-column-rank head of H. *)
+  let l = Ratmat.of_intmat (Intmat.sub_cols res.Hnf.h 0 (Stdlib.max r 1)) in
+  let b = Array.map Qnum.of_zint target in
+  let particular =
+    if r = 0 then if Array.for_all Zint.is_zero target then Some (Intvec.zero n) else None
+    else
+      match Ratmat.solve l b with
+      | None -> None
+      | Some y when Array.for_all Qnum.is_integer y ->
+        let ext = Array.make n Zint.zero in
+        Array.iteri (fun i v -> ext.(i) <- Qnum.to_zint_exn v) y;
+        Some (Intmat.mul_vec res.Hnf.u ext)
+      | Some _ -> None
+  in
+  match particular with
+  | None -> None
+  | Some d0 -> (
+    let kernel = List.init (n - r) (fun c -> Intmat.col res.Hnf.u (r + c)) in
+    match kernel with
+    | [] ->
+      let fits = ref true in
+      Array.iteri
+        (fun i x -> if Zint.compare (Zint.abs x) (Zint.of_int w.(i)) > 0 then fits := false)
+        d0;
+      if !fits then Some d0 else None
+    | kernel ->
+      let basis = Array.of_list (Lll.reduce kernel) in
+      let dker = Array.length basis in
+      (* Coefficient bounds from the pseudo-inverse applied to the
+         largest possible |delta - d0|. *)
+      let btb =
+        Ratmat.make dker dker (fun i j -> Qnum.of_zint (Intvec.dot basis.(i) basis.(j)))
+      in
+      let inv =
+        match Ratmat.inverse btb with
+        | Some m -> m
+        | None -> invalid_arg "Linkcheck: dependent kernel basis"
+      in
+      let p i j =
+        let acc = ref Qnum.zero in
+        for m = 0 to dker - 1 do
+          acc := Qnum.add !acc (Qnum.mul inv.(i).(m) (Qnum.of_zint basis.(m).(j)))
+        done;
+        !acc
+      in
+      let bound =
+        Array.init dker (fun i ->
+            let acc = ref Qnum.zero in
+            for j = 0 to n - 1 do
+              let reach = Zint.add (Zint.of_int w.(j)) (Zint.abs d0.(j)) in
+              acc := Qnum.add !acc (Qnum.mul_zint (Qnum.abs (p i j)) reach)
+            done;
+            Zint.to_int (Qnum.floor !acc))
+      in
+      let brow = Array.map (fun v -> Array.map Zint.to_int v) basis in
+      let d0i = Array.map Zint.to_int d0 in
+      let suffix =
+        Array.init n (fun rr ->
+            let s = Array.make (dker + 1) 0 in
+            for i = dker - 1 downto 0 do
+              s.(i) <- s.(i + 1) + (abs brow.(i).(rr) * bound.(i))
+            done;
+            s)
+      in
+      let gamma = Array.copy d0i in
+      let found = ref None in
+      let exception Stop in
+      let rec go i =
+        if i = dker then begin
+          let ok = ref true in
+          for rr = 0 to n - 1 do
+            if abs gamma.(rr) > w.(rr) then ok := false
+          done;
+          if !ok then begin
+            found := Some (Array.map Zint.of_int gamma);
+            raise Stop
+          end
+        end
+        else
+          for v = -bound.(i) to bound.(i) do
+            let ok = ref true in
+            for rr = 0 to n - 1 do
+              let s = gamma.(rr) + (brow.(i).(rr) * v) in
+              if abs s > w.(rr) + suffix.(rr).(i + 1) then ok := false
+            done;
+            if !ok then begin
+              for rr = 0 to n - 1 do
+                gamma.(rr) <- gamma.(rr) + (brow.(i).(rr) * v)
+              done;
+              go (i + 1);
+              for rr = 0 to n - 1 do
+                gamma.(rr) <- gamma.(rr) - (brow.(i).(rr) * v)
+              done
+            end
+          done
+      in
+      (try go 0 with Stop -> ());
+      !found)
+
+let predict (alg : Algorithm.t) tm (routing : Tmap.routing) =
+  let n = Algorithm.dim alg in
+  let m = Algorithm.num_dependences alg in
+  let mu = Index_set.bounds alg.Algorithm.index_set in
+  let t = Tmap.matrix tm in
+  let k = Tmap.k tm in
+  let pmat = Tmap.nearest_neighbor_primitives (k - 1) in
+  let prim_vec prim = Array.init (k - 1) (fun r -> Zint.to_int (Intmat.get pmat r prim)) in
+  let results = ref [] in
+  for i = 0 to m - 1 do
+    let d = Algorithm.dependence alg i in
+    (* Emitting set: j and j + d_i both in J; a box of these widths. *)
+    let widths = Array.init n (fun r -> mu.(r) - abs d.(r)) in
+    if Array.for_all (fun x -> x >= 0) widths then begin
+      let prims = Array.of_list (Exec.route_primitives routing i) in
+      let h = Array.length prims in
+      (* Same-hop-position collisions (l1 = l2): two emitters at the
+         same time on the same PE, i.e. a computational conflict
+         restricted to the emitting box.  Conflict-free mappings never
+         trigger this branch. *)
+      if h > 0 then begin
+        match Conflict.conflict_in_lattice ~mu:widths (Hnf.kernel_basis t) with
+        | Some delta -> results := { stream = i; hop_positions = (0, 0); delta } :: !results
+        | None -> ()
+      end;
+      (* Partial displacements D_l. *)
+      let disp = Array.make (h + 1) (Array.make (k - 1) 0) in
+      for l = 0 to h - 1 do
+        let pv = prim_vec prims.(l) in
+        disp.(l + 1) <- Array.mapi (fun r x -> x + pv.(r)) disp.(l)
+      done;
+      for l1 = 0 to h - 1 do
+        for l2 = l1 + 1 to h - 1 do
+          if prims.(l1) = prims.(l2) then begin
+            (* target = (D_{l2} - D_{l1} ; l2 - l1) as a k-vector. *)
+            let target =
+              Array.init k (fun r ->
+                  if r < k - 1 then Zint.of_int (disp.(l2).(r) - disp.(l1).(r))
+                  else Zint.of_int (l2 - l1))
+            in
+            match affine_point_in_box t target widths with
+            | Some delta ->
+              results := { stream = i; hop_positions = (l1, l2); delta } :: !results
+            | None -> ()
+          end
+        done
+      done
+    end
+  done;
+  List.rev !results

@@ -1,0 +1,35 @@
+(** Analytical data-link collision prediction — the condition of [23]
+    that the paper discusses alongside computational conflicts
+    (Section 5 and appendix: "data link collisions occur only if data
+    use links more than once when passing from the source to the
+    destination").
+
+    Under the canonical movement policy (one interconnection primitive
+    per cycle along the routed path, then destination buffering —
+    exactly what {!Exec} simulates), two data of the same dependence
+    stream occupy the same directed link of the same PE at the same
+    cycle iff there are two positions [l1 < l2] of the hop sequence
+    using the same primitive and two emitting points [j1, j2] with
+
+    [T (j1 - j2) = (P_{l2} - P_{l1} ; l2 - l1)]
+
+    where [P_l] is the partial displacement after [l] hops.  This
+    module decides that condition exactly by searching the affine
+    lattice [{delta : T delta = target}] inside the difference box of
+    the emitting set — no simulation involved.  Property tests check
+    it against {!Exec}'s observed collisions. *)
+
+type prediction = {
+  stream : int;                   (** Dependence index. *)
+  hop_positions : int * int;      (** The colliding pair [l1 < l2]. *)
+  delta : Intvec.t;               (** A witness difference [j1 - j2]. *)
+}
+
+val predict : Algorithm.t -> Tmap.t -> Tmap.routing -> prediction list
+(** All colliding (stream, hop-pair) combinations with a witness each;
+    empty iff the mapping is link-collision-free under this routing. *)
+
+val single_use_per_link : Tmap.routing -> bool
+(** The paper's sufficient condition: every routed path uses each
+    primitive at most once (true whenever [K] has unit columns, e.g.
+    [K = I] in Examples 5.1/5.2).  Implies [predict] returns []. *)

@@ -1,0 +1,21 @@
+(** Array-level statistics of a mapping — the quantities Problem 6.1's
+    cost function and the paper's VLSI-area discussion (Section 2) talk
+    about, computed exactly from the schedule. *)
+
+type t = {
+  processors : int;
+  makespan : int;
+  computations : int;
+  utilization : float;        (** computations / (processors * makespan). *)
+  max_pe_load : int;          (** Firings of the busiest PE. *)
+  min_pe_load : int;          (** Firings of the laziest used PE. *)
+  peak_parallelism : int;     (** Most PEs firing in one cycle. *)
+  wire_length : int;          (** Σ_i ||S d_i||₁ over the dependences. *)
+}
+
+val compute : Algorithm.t -> Tmap.t -> t
+
+val pe_loads : Algorithm.t -> Tmap.t -> (int array * int) list
+(** Firing count per PE, sorted by PE coordinates. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,119 @@
+let point_to_string j =
+  "("
+  ^ String.concat "," (Array.to_list (Array.map string_of_int j))
+  ^ ")"
+
+let linear_array_table (alg : Algorithm.t) tm =
+  if Tmap.k tm <> 2 then
+    invalid_arg "Trace.linear_array_table: array is not 1-dimensional";
+  let table = Exec.schedule_table alg tm in
+  let times = List.map fst table in
+  let tmin = List.fold_left min max_int times in
+  let tmax = List.fold_left max min_int times in
+  let pes =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, evs) -> List.map (fun (pe, _) -> pe.(0)) evs) table)
+  in
+  let cell = Hashtbl.create 256 in
+  List.iter
+    (fun (t, evs) ->
+      List.iter (fun (pe, j) -> Hashtbl.replace cell (t, pe.(0)) (point_to_string j)) evs)
+    table;
+  let width =
+    Hashtbl.fold (fun _ s acc -> max acc (String.length s)) cell 4
+  in
+  let buf = Buffer.create 4096 in
+  let pad s = Printf.sprintf "%*s" width s in
+  Buffer.add_string buf (Printf.sprintf "%6s |" "PE\\t");
+  for t = tmin to tmax do
+    Buffer.add_string buf (" " ^ pad (string_of_int t))
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (8 + ((tmax - tmin + 1) * (width + 1))) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun pe ->
+      Buffer.add_string buf (Printf.sprintf "%6d |" pe);
+      for t = tmin to tmax do
+        let s = try Hashtbl.find cell (t, pe) with Not_found -> "" in
+        Buffer.add_string buf (" " ^ pad s)
+      done;
+      Buffer.add_char buf '\n')
+    pes;
+  Buffer.contents buf
+
+let grid_bounds cells =
+  List.fold_left
+    (fun (x0, x1, y0, y1) (pe : int array) ->
+      (min x0 pe.(0), max x1 pe.(0), min y0 pe.(1), max y1 pe.(1)))
+    (max_int, min_int, max_int, min_int)
+    cells
+
+let render_grid ~cell_width cells lookup =
+  let x0, x1, y0, y1 = grid_bounds cells in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%*s" (cell_width + 1) "");
+  for y = y0 to y1 do
+    Buffer.add_string buf (Printf.sprintf " %*d" cell_width y)
+  done;
+  Buffer.add_char buf '\n';
+  for x = x0 to x1 do
+    Buffer.add_string buf (Printf.sprintf "%*d " cell_width x);
+    for y = y0 to y1 do
+      Buffer.add_string buf (Printf.sprintf " %*s" cell_width (lookup x y))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let require_2d tm name = if Tmap.k tm <> 3 then invalid_arg (name ^ ": array is not 2-dimensional")
+
+let grid_snapshot (alg : Algorithm.t) tm ~time =
+  require_2d tm "Trace.grid_snapshot";
+  let table = Exec.schedule_table alg tm in
+  let all_pes =
+    List.concat_map (fun (_, evs) -> List.map (fun (pe, _) -> pe) evs) table
+  in
+  let firing = Hashtbl.create 64 in
+  (match List.assoc_opt time table with
+  | Some evs ->
+    List.iter (fun (pe, j) -> Hashtbl.replace firing (pe.(0), pe.(1)) (point_to_string j)) evs
+  | None -> ());
+  let width =
+    Hashtbl.fold (fun _ s acc -> max acc (String.length s)) firing 3
+  in
+  render_grid ~cell_width:width all_pes (fun x y ->
+      match Hashtbl.find_opt firing (x, y) with Some s -> s | None -> ".")
+
+let grid_activity (alg : Algorithm.t) tm =
+  require_2d tm "Trace.grid_activity";
+  let table = Exec.schedule_table alg tm in
+  let counts = Hashtbl.create 64 in
+  let all_pes =
+    List.concat_map (fun (_, evs) -> List.map (fun (pe, _) -> pe) evs) table
+  in
+  List.iter
+    (fun pe ->
+      let key = (pe.(0), pe.(1)) in
+      Hashtbl.replace counts key (1 + try Hashtbl.find counts key with Not_found -> 0))
+    all_pes;
+  let width =
+    Hashtbl.fold (fun _ c acc -> max acc (String.length (string_of_int c))) counts 1
+  in
+  render_grid ~cell_width:width all_pes (fun x y ->
+      match Hashtbl.find_opt counts (x, y) with Some c -> string_of_int c | None -> ".")
+
+let firing_list (alg : Algorithm.t) tm =
+  let table = Exec.schedule_table alg tm in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (t, evs) ->
+      Buffer.add_string buf (Printf.sprintf "t=%3d:" t);
+      List.iter
+        (fun (pe, j) ->
+          Buffer.add_string buf
+            (Printf.sprintf " %s<-%s" (point_to_string pe) (point_to_string j)))
+        evs;
+      Buffer.add_char buf '\n')
+    table;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Render Figure-3-style execution tables: processors down the side,
+    time across the top, the index point fired in each cell.
+
+    Only sensible for linear arrays (1-dimensional PE coordinates);
+    higher-dimensional arrays get the flat [time -> firings] listing. *)
+
+val linear_array_table : Algorithm.t -> Tmap.t -> string
+(** @raise Invalid_argument when the array is not 1-dimensional. *)
+
+val firing_list : Algorithm.t -> Tmap.t -> string
+(** One line per cycle: [t=..: pe(..) <- (j); ...]. *)
+
+val grid_snapshot : Algorithm.t -> Tmap.t -> time:int -> string
+(** For 2-dimensional arrays: the PE grid at one cycle, active PEs
+    showing the index point they fire, idle PEs showing dots.
+    @raise Invalid_argument when the array is not 2-dimensional. *)
+
+val grid_activity : Algorithm.t -> Tmap.t -> string
+(** For 2-dimensional arrays: the PE grid with each cell showing how
+    many firings that PE performs over the whole run — a load map.
+    @raise Invalid_argument when the array is not 2-dimensional. *)

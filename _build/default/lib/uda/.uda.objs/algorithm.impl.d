@@ -1,0 +1,1 @@
+lib/uda/algorithm.ml: Array Format Hashtbl Index_set Intmat Intvec List Zint

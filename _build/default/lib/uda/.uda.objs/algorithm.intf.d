@@ -1,0 +1,1 @@
+lib/uda/algorithm.mli: Format Index_set Intmat Intvec

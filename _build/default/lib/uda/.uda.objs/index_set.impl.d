@@ -1,0 +1,1 @@
+lib/uda/index_set.ml: Array Format List

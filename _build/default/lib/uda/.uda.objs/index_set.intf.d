@@ -1,0 +1,1 @@
+lib/uda/index_set.mli: Format

@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  index_set : Index_set.t;
+  dependences : Intmat.t;
+}
+
+let make ~name ~index_set ~dependences =
+  let n = Index_set.dim index_set in
+  if dependences = [] then invalid_arg "Algorithm.make: no dependences";
+  if List.exists (fun d -> List.length d <> n) dependences then
+    invalid_arg "Algorithm.make: dependence arity mismatch";
+  (* Columns are given; build the n×m matrix. *)
+  let cols = List.map Intvec.of_ints dependences in
+  { name; index_set; dependences = Intmat.of_cols cols }
+
+let dim a = Index_set.dim a.index_set
+let num_dependences a = Intmat.cols a.dependences
+
+let dependence a i =
+  Array.init (dim a) (fun r -> Zint.to_int (Intmat.get a.dependences r i))
+
+let predecessor a j i =
+  let d = dependence a i in
+  Array.mapi (fun r x -> x - d.(r)) j
+
+type 'v semantics = {
+  boundary : int array -> int -> 'v;
+  compute : int array -> 'v array -> 'v;
+  equal_value : 'v -> 'v -> bool;
+  pp_value : Format.formatter -> 'v -> unit;
+}
+
+type status = In_progress | Done
+
+let evaluate_memo a sem =
+  let table : (int list, 'v) Hashtbl.t = Hashtbl.create 1024 in
+  let state : (int list, status) Hashtbl.t = Hashtbl.create 1024 in
+  let m = num_dependences a in
+  let rec value j =
+    let key = Array.to_list j in
+    match Hashtbl.find_opt table key with
+    | Some v -> v
+    | None ->
+      (match Hashtbl.find_opt state key with
+      | Some In_progress -> failwith "Algorithm.evaluate: cyclic dependences"
+      | Some Done | None -> ());
+      Hashtbl.replace state key In_progress;
+      let operands =
+        Array.init m (fun i ->
+            let p = predecessor a j i in
+            if Index_set.contains a.index_set p then value p else sem.boundary j i)
+      in
+      let v = sem.compute j operands in
+      Hashtbl.replace state key Done;
+      Hashtbl.replace table key v;
+      v
+  in
+  value
+
+let evaluate a sem j =
+  if not (Index_set.contains a.index_set j) then
+    invalid_arg "Algorithm.evaluate: point outside the index set";
+  evaluate_memo a sem j
+
+let evaluate_all a sem =
+  let value = evaluate_memo a sem in
+  Index_set.iter (fun j -> ignore (value (Array.copy j))) a.index_set;
+  fun j ->
+    if not (Index_set.contains a.index_set j) then
+      invalid_arg "Algorithm.evaluate_all: point outside the index set";
+    value j
+
+let is_acyclic_witness a pi =
+  let prod = Intvec.(dim pi) in
+  if prod <> dim a then invalid_arg "Algorithm.is_acyclic_witness: arity mismatch";
+  let res = Intmat.vec_mul pi a.dependences in
+  Array.for_all (fun x -> Zint.sign x > 0) res

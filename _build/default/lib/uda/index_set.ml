@@ -1,0 +1,51 @@
+type t = { mu : int array }
+
+let make mu =
+  if Array.length mu = 0 || Array.exists (fun m -> m < 1) mu then
+    invalid_arg "Index_set.make: bounds must be >= 1";
+  { mu = Array.copy mu }
+
+let cube ~n ~mu = make (Array.make n mu)
+
+let dim t = Array.length t.mu
+let bounds t = Array.copy t.mu
+let bound t i = t.mu.(i)
+
+let cardinal t = Array.fold_left (fun acc m -> acc * (m + 1)) 1 t.mu
+
+let contains t j =
+  Array.length j = dim t
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if x < 0 || x > t.mu.(i) then ok := false) j;
+  !ok
+
+let iter f t =
+  let n = dim t in
+  let j = Array.make n 0 in
+  let rec go i =
+    if i = n then f j
+    else
+      for x = 0 to t.mu.(i) do
+        j.(i) <- x;
+        go (i + 1)
+      done
+  in
+  go 0
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun j -> acc := f !acc j) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc j -> Array.copy j :: acc) [] t)
+
+let pp_point fmt j =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",") Format.pp_print_int)
+    (Array.to_list j)
+
+let pp fmt t =
+  Format.fprintf fmt "{0..%a}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "}x{0..") Format.pp_print_int)
+    (Array.to_list t.mu)

@@ -1,0 +1,33 @@
+(** Constant-bounded index sets (Assumption 2.1 / Equation 2.5):
+    [J = { j ∈ Z^n : 0 <= j_i <= mu_i }].
+
+    Index points are plain [int array]s of length [dim]; they are small
+    and live in the iteration space, unlike the {!Zint}-valued vectors
+    of the mapping machinery. *)
+
+type t
+
+val make : int array -> t
+(** [make mu] with every [mu_i >= 1].
+    @raise Invalid_argument otherwise. *)
+
+val cube : n:int -> mu:int -> t
+(** [cube ~n ~mu] is the n-dimensional index set with all bounds [mu]. *)
+
+val dim : t -> int
+val bounds : t -> int array
+(** A fresh copy of the upper bounds [mu]. *)
+
+val bound : t -> int -> int
+val cardinal : t -> int
+val contains : t -> int array -> bool
+
+val iter : (int array -> unit) -> t -> unit
+(** Iterate over all index points in lexicographic order.  The array
+    passed to the callback is reused; copy it to keep it. *)
+
+val fold : ('a -> int array -> 'a) -> 'a -> t -> 'a
+val to_list : t -> int array list
+
+val pp : Format.formatter -> t -> unit
+val pp_point : Format.formatter -> int array -> unit

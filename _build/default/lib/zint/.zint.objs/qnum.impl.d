@@ -1,0 +1,1 @@
+lib/zint/qnum.ml: Format Zint

@@ -1,0 +1,1 @@
+lib/zint/qnum.mli: Format Zint

@@ -1,0 +1,1 @@
+lib/zint/zint.ml: Array Buffer Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,74 @@
+type t = { num : Zint.t; den : Zint.t }
+
+let num q = q.num
+let den q = q.den
+
+let make n d =
+  if Zint.is_zero d then raise Division_by_zero;
+  if Zint.is_zero n then { num = Zint.zero; den = Zint.one }
+  else begin
+    let g = Zint.gcd n d in
+    let n = Zint.divexact n g and d = Zint.divexact d g in
+    if Zint.sign d < 0 then { num = Zint.neg n; den = Zint.neg d }
+    else { num = n; den = d }
+  end
+
+let of_zint n = { num = n; den = Zint.one }
+let of_int n = of_zint (Zint.of_int n)
+let of_ints n d = make (Zint.of_int n) (Zint.of_int d)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let neg q = { q with num = Zint.neg q.num }
+let abs q = { q with num = Zint.abs q.num }
+
+let inv q =
+  if Zint.is_zero q.num then raise Division_by_zero;
+  if Zint.sign q.num < 0 then { num = Zint.neg q.den; den = Zint.neg q.num }
+  else { num = q.den; den = q.num }
+
+let add a b =
+  make (Zint.add (Zint.mul a.num b.den) (Zint.mul b.num a.den)) (Zint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Zint.mul a.num b.num) (Zint.mul a.den b.den)
+let div a b = mul a (inv b)
+let mul_zint a z = make (Zint.mul a.num z) a.den
+
+let compare a b = Zint.compare (Zint.mul a.num b.den) (Zint.mul b.num a.den)
+let equal a b = Zint.equal a.num b.num && Zint.equal a.den b.den
+let sign q = Zint.sign q.num
+let is_zero q = Zint.is_zero q.num
+let is_integer q = Zint.is_one q.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor q = Zint.fdiv q.num q.den
+let ceil q = Zint.cdiv q.num q.den
+
+let to_zint_exn q =
+  if is_integer q then q.num else failwith "Qnum.to_zint_exn: not an integer"
+
+let to_float q = Zint.to_float q.num /. Zint.to_float q.den
+
+let to_string q =
+  if is_integer q then Zint.to_string q.num
+  else Zint.to_string q.num ^ "/" ^ Zint.to_string q.den
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,80 @@
+(** Exact rational numbers over {!Zint}.
+
+    Values are kept in canonical form: the denominator is positive and
+    coprime with the numerator; zero is [0/1].  Used by the rational
+    linear-algebra layer and the exact simplex solver, where floating
+    point would silently destroy the integrality arguments the paper's
+    appendix relies on. *)
+
+type t
+
+val num : t -> Zint.t
+val den : t -> Zint.t
+(** [den q] is always positive. *)
+
+(** {1 Construction} *)
+
+val make : Zint.t -> Zint.t -> t
+(** [make n d] is the canonical form of [n/d].
+    @raise Division_by_zero if [d] is zero. *)
+
+val of_zint : Zint.t -> t
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints n d] is [n/d]. *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on zero divisor. *)
+
+val mul_zint : t -> Zint.t -> t
+
+(** {1 Comparisons and predicates} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Rounding} *)
+
+val floor : t -> Zint.t
+val ceil : t -> Zint.t
+val to_zint_exn : t -> Zint.t
+(** @raise Failure if the value is not an integer. *)
+
+(** {1 Conversions} *)
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( <> ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,428 @@
+(* Sign-magnitude bignums, little-endian base 2^30.  Invariants:
+   [sign] is -1, 0 or 1; [sign = 0] iff [mag] is empty; the highest
+   digit of [mag] is nonzero; every digit is in [0, base). *)
+
+type t = { sign : int; mag : int array }
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude primitives.  A magnitude is an int array in little-endian
+   base-2^30 form; it is "normalized" when its top digit is nonzero. *)
+
+let mag_normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_is_zero a = Array.length a = 0
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r.(l) <- !carry;
+  mag_normalize r
+
+(* Precondition: a >= b. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  mag_normalize r
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        (* ai*bj <= (2^30-1)^2 < 2^60; plus two < 2^31 terms stays < 2^61 *)
+        let s = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    mag_normalize r
+  end
+
+(* Left shift by [k] bits, 0 <= k < base_bits. *)
+let mag_shl_small a k =
+  if k = 0 || mag_is_zero a then a
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) lsl k) lor !carry in
+      r.(i) <- s land base_mask;
+      carry := s lsr base_bits
+    done;
+    r.(la) <- !carry;
+    mag_normalize r
+  end
+
+(* Right shift by [k] bits, 0 <= k < base_bits. *)
+let mag_shr_small a k =
+  if k = 0 || mag_is_zero a then a
+  else begin
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    for i = 0 to la - 1 do
+      let lo = a.(i) lsr k in
+      let hi = if i + 1 < la then (a.(i + 1) lsl (base_bits - k)) land base_mask else 0 in
+      r.(i) <- lo lor hi
+    done;
+    mag_normalize r
+  end
+
+(* Divide magnitude by single digit, returning (quotient, remainder). *)
+let mag_divmod_digit a d =
+  assert (d > 0 && d < base);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_normalize q, !r)
+
+(* Knuth algorithm D.  Preconditions: b has >= 2 digits, a >= b. *)
+let mag_divmod_long a b =
+  let nb = Array.length b in
+  (* Normalize so that the top digit of the divisor is >= base/2. *)
+  let shift =
+    let top = b.(nb - 1) in
+    let rec go k t = if t >= base / 2 then k else go (k + 1) (t lsl 1) in
+    go 0 top
+  in
+  let v = mag_shl_small b shift in
+  let u0 = mag_shl_small a shift in
+  let n = Array.length v in
+  assert (n = nb);
+  let m = Array.length u0 - n in
+  (* u gets one extra high digit for the subtraction window. *)
+  let u = Array.make (Array.length u0 + 1) 0 in
+  Array.blit u0 0 u 0 (Array.length u0);
+  let q = Array.make (m + 1) 0 in
+  let vtop = v.(n - 1) and vsec = v.(n - 2) in
+  for j = m downto 0 do
+    let top = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+    let qhat = ref (top / vtop) in
+    let rhat = ref (top mod vtop) in
+    let continue = ref true in
+    while !continue
+          && (!qhat >= base
+              || !qhat * vsec > (!rhat lsl base_bits) lor u.(j + n - 2))
+    do
+      decr qhat;
+      rhat := !rhat + vtop;
+      if !rhat >= base then continue := false
+    done;
+    (* Multiply-subtract u[j..j+n] -= qhat * v. *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr base_bits;
+      let s = u.(i + j) - (p land base_mask) - !borrow in
+      if s < 0 then begin
+        u.(i + j) <- s + base;
+        borrow := 1
+      end else begin
+        u.(i + j) <- s;
+        borrow := 0
+      end
+    done;
+    let s = u.(j + n) - !carry - !borrow in
+    if s < 0 then begin
+      (* qhat was one too large: add the divisor back. *)
+      u.(j + n) <- s + base;
+      decr qhat;
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        let t = u.(i + j) + v.(i) + !c in
+        u.(i + j) <- t land base_mask;
+        c := t lsr base_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !c) land base_mask
+    end else u.(j + n) <- s;
+    q.(j) <- !qhat
+  done;
+  let r = mag_shr_small (mag_normalize (Array.sub u 0 n)) shift in
+  (mag_normalize q, r)
+
+let mag_divmod a b =
+  if mag_is_zero b then raise Division_by_zero;
+  if mag_compare a b < 0 then ([||], a)
+  else if Array.length b = 1 then
+    let q, r = mag_divmod_digit a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  else mag_divmod_long a b
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer. *)
+
+let mk sign mag =
+  let mag = mag_normalize mag in
+  if mag_is_zero mag then zero else { sign; mag }
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then { t with sign = 1 } else t
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then mag_compare a.mag b.mag
+  else mag_compare b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let hash t = Hashtbl.hash (t.sign, t.mag)
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then mk a.sign (mag_add a.mag b.mag)
+  else
+    let c = mag_compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then mk a.sign (mag_sub a.mag b.mag)
+    else mk b.sign (mag_sub b.mag a.mag)
+
+let sub a b = add a (neg b)
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else mk (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let succ t = add t one
+let pred t = add t minus_one
+
+(* Truncated division: quotient toward zero, remainder has dividend's sign. *)
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else
+    let qm, rm = mag_divmod a.mag b.mag in
+    let q = mk (a.sign * b.sign) qm in
+    let r = mk a.sign rm in
+    (q, r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv_rem a b =
+  let q, r = divmod a b in
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (pred q, add r b)
+  else (succ q, sub r b)
+
+let fdiv a b =
+  let q, r = divmod a b in
+  if r.sign = 0 || r.sign = b.sign then q else pred q
+
+let cdiv a b =
+  let q, r = divmod a b in
+  if r.sign = 0 || r.sign <> b.sign then q else succ q
+
+let divexact = div
+let divisible a b = is_zero (rem a b)
+
+let of_int n =
+  if n = 0 then zero
+  else if n = Stdlib.min_int then
+    (* |min_int| = 2^62 = 4 * (2^30)^2 on 64-bit OCaml. *)
+    { sign = -1; mag = [| 0; 0; 4 |] }
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    let v = Stdlib.abs n in
+    if v < base then { sign; mag = [| v |] }
+    else if v lsr base_bits < base then
+      { sign; mag = [| v land base_mask; v lsr base_bits |] }
+    else
+      { sign;
+        mag =
+          [| v land base_mask;
+             (v lsr base_bits) land base_mask;
+             v lsr (2 * base_bits) |] }
+  end
+
+let to_int_opt t =
+  match Array.length t.mag with
+  | 0 -> Some 0
+  | 1 -> Some (t.sign * t.mag.(0))
+  | 2 -> Some (t.sign * ((t.mag.(1) lsl base_bits) lor t.mag.(0)))
+  | 3 ->
+    let hi = t.mag.(2) in
+    if hi > 4 then None
+    else begin
+      (* Value is hi*2^60 + mid*2^30 + lo; max_int = 2^62 - 1. *)
+      if hi = 4 then
+        if t.sign < 0 && t.mag.(1) = 0 && t.mag.(0) = 0 then Some Stdlib.min_int
+        else None
+      else Some (t.sign * ((hi lsl (2 * base_bits)) lor (t.mag.(1) lsl base_bits) lor t.mag.(0)))
+    end
+  | _ -> None
+
+let fits_int t = to_int_opt t <> None
+
+let to_int t =
+  match to_int_opt t with
+  | Some n -> n
+  | None -> failwith "Zint.to_int: overflow"
+
+let to_float t =
+  let acc = ref 0.0 in
+  for i = Array.length t.mag - 1 downto 0 do
+    acc := (!acc *. float_of_int base) +. float_of_int t.mag.(i)
+  done;
+  float_of_int t.sign *. !acc
+
+let mul_int a n = mul a (of_int n)
+let add_int a n = add a (of_int n)
+
+let pow a e =
+  if e < 0 then invalid_arg "Zint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  go one a e
+
+let rec gcd a b = if is_zero b then abs a else gcd b (rem a b)
+
+let gcdext a b =
+  (* Divisibility shortcuts first: they guarantee the canonical trivial
+     Bezout pair (±1, 0) — consumers such as the Smith normal form rely
+     on [y = 0] whenever [a] divides [b] to ensure their elimination
+     loops make progress. *)
+  if (not (is_zero a)) && is_zero (rem b a) then
+    (abs a, of_int a.sign, zero)
+  else if (not (is_zero b)) && is_zero (rem a b) then
+    (abs b, zero, of_int b.sign)
+  else begin
+    (* Iterative extended Euclid with truncated quotients; valid for any
+       signs, fixed up at the end so that g >= 0. *)
+    let rec go old_r r old_s s old_t t =
+      if is_zero r then (old_r, old_s, old_t)
+      else
+        let q = div old_r r in
+        go r (sub old_r (mul q r)) s (sub old_s (mul q s)) t (sub old_t (mul q t))
+    in
+    let g, x, y = go a b one zero zero one in
+    if g.sign < 0 then (neg g, neg x, neg y) else (g, x, y)
+  end
+
+let lcm a b =
+  if is_zero a || is_zero b then zero else abs (mul (div a (gcd a b)) b)
+
+(* Decimal I/O via 10^9 chunks (10^9 < 2^30). *)
+let chunk = 1_000_000_000
+let chunk_digits = 9
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go m acc =
+      if mag_is_zero m then acc
+      else
+        let q, r = mag_divmod_digit m chunk in
+        go q (r :: acc)
+    in
+    match go t.mag [] with
+    | [] -> "0"
+    | first :: rest ->
+      if t.sign < 0 then Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+      Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Zint.of_string: empty string";
+  let sign, start =
+    match s.[0] with '-' -> (-1, 1) | '+' -> (1, 1) | _ -> (1, 0)
+  in
+  if start >= n then invalid_arg "Zint.of_string: no digits";
+  let acc = ref zero in
+  let i = ref start in
+  while !i < n do
+    let stop = Stdlib.min n (!i + chunk_digits) in
+    (* Align so that all chunks after the first have exactly 9 digits. *)
+    let stop =
+      let rem_len = n - !i in
+      if rem_len mod chunk_digits = 0 then stop
+      else !i + (rem_len mod chunk_digits)
+    in
+    let piece = String.sub s !i (stop - !i) in
+    String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Zint.of_string: bad digit") piece;
+    let pow10 = [| 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000; 1_000_000_000 |] in
+    acc := add (mul !acc (of_int pow10.(String.length piece))) (of_int (int_of_string piece));
+    i := stop
+  done;
+  if sign < 0 then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

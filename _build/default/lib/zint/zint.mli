@@ -1,0 +1,117 @@
+(** Arbitrary-precision signed integers.
+
+    This is a from-scratch replacement for the subset of [zarith] needed
+    by the exact linear algebra and exact simplex layers: the Hermite
+    normal form multiplier, adjugates and simplex tableaux produce
+    intermediate values that overflow native [int] even for the small
+    matrices of the paper, so every algebraic kernel in this repository
+    computes over [Zint.t].
+
+    Representation: sign-magnitude, magnitude in little-endian base
+    2{^30} digits with no leading zero digit.  All operations are purely
+    functional. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** @raise Failure if the value does not fit a native [int]. *)
+
+val to_int_opt : t -> int option
+val fits_int : t -> bool
+val to_float : t -> float
+
+val of_string : string -> t
+(** Accepts an optional leading ['-' | '+'] followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val is_one : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is truncated division as for native [int]: the quotient
+    rounds toward zero and the remainder has the sign of [a].
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: [ediv_rem a b = (q, r)] with [a = q*b + r] and
+    [0 <= r < |b|]. *)
+
+val fdiv : t -> t -> t
+(** Floor division (quotient rounds toward negative infinity). *)
+
+val cdiv : t -> t -> t
+(** Ceiling division (quotient rounds toward positive infinity). *)
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val pow : t -> int -> t
+(** [pow a e] for [e >= 0]. @raise Invalid_argument on negative [e]. *)
+
+(** {1 Number theory} *)
+
+val gcd : t -> t -> t
+(** Non-negative gcd; [gcd zero zero = zero]. *)
+
+val gcdext : t -> t -> t * t * t
+(** [gcdext a b = (g, x, y)] with [g = gcd a b >= 0] and
+    [a*x + b*y = g]. *)
+
+val lcm : t -> t -> t
+val divexact : t -> t -> t
+(** Division known to be exact; equivalent to [div] but documents intent. *)
+
+val divisible : t -> t -> bool
+(** [divisible a b] is true iff [b] divides [a] ([b] nonzero). *)
+
+(** {1 Infix operators}
+
+    Intended to be used via [Zint.Infix] or a local [open]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( <> ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,1 @@
+test/test_conflict.ml: Alcotest Array Conflict Index_set Intmat Intvec List QCheck QCheck_alcotest Random Zint

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Algorithm Array Conflict Dataflow Exec Format Hnf Index_set Intmat Intvec Lin List Loopnest Matmul Qnum Schedule Simplex Smith Stats String Theorems Tmap Trace Vertex Zint

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Algorithm Array Conflict Enumerate Intmat Intvec List Matmul Printf Procedure51 Schedule Tmap Transitive_closure

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Algorithm Array Dataflow Exec Index_set Intmat Intvec List Loopnest Matmul Procedure51 QCheck QCheck_alcotest Space_opt String Tmap

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Algorithm Array Dataflow Exec Intmat List Loopnest Option Printf Procedure51 QCheck QCheck_alcotest Random Space_opt String Tmap Zint

@@ -1,0 +1,1 @@
+test/test_hnf.ml: Alcotest Hnf Intmat Intvec List Printf QCheck QCheck_alcotest Random Smith Zint

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Intmat Intvec List QCheck QCheck_alcotest Random Ratmat Zint

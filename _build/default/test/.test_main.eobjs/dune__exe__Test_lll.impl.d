@@ -1,0 +1,1 @@
+test/test_lll.ml: Alcotest Array Conflict Hnf Intmat Intvec List Lll Matmul QCheck QCheck_alcotest Qnum Random Zint

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Ilp Lin List QCheck QCheck_alcotest Qnum Random Simplex Vertex Zint

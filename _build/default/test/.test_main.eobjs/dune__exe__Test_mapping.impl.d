@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Algorithm Array Index_set Intmat Intvec List Matmul QCheck QCheck_alcotest Random Schedule Tmap Zint

@@ -1,0 +1,1 @@
+test/test_qnum.ml: Alcotest List Printf QCheck QCheck_alcotest Qnum Zint

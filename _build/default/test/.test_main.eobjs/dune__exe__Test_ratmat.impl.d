@@ -1,0 +1,1 @@
+test/test_ratmat.ml: Alcotest Array List QCheck QCheck_alcotest Qnum Random Ratmat

@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Algorithm Array Conflict Exec Format Hnf Index_set Int Intmat Intvec Lin List Matmul Procedure51 Qnum Random Simplex Smith Tmap Zint

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Array Conflict Intmat List QCheck QCheck_alcotest Random Theorems Zint

@@ -1,0 +1,1 @@
+test/test_uda.ml: Alcotest Algorithm Array Dataflow Index_set Intvec List Lu Matmul QCheck QCheck_alcotest Random Transitive_closure

@@ -1,0 +1,1 @@
+test/test_zint.ml: Alcotest List Printf QCheck QCheck_alcotest Zint

@@ -1,0 +1,169 @@
+(* Tests for conflict vectors: Definition 2.3, Theorem 2.2, the box
+   oracle, and the Section 3 closed form. *)
+
+let im = Intmat.of_ints
+let iv = Intvec.of_ints
+
+let mu6 = [| 6; 6; 6; 6 |]
+let t_eq_2_8 = im [ [ 1; 7; 1; 1 ]; [ 1; 7; 1; 0 ] ]
+
+let test_feasibility_theorem_2_2 () =
+  (* Example 2.1's three conflict vectors. *)
+  Alcotest.(check bool) "gamma1 feasible" true (Conflict.is_feasible ~mu:mu6 (iv [ 0; 1; -7; 0 ]));
+  Alcotest.(check bool) "gamma2 feasible" true (Conflict.is_feasible ~mu:mu6 (iv [ 7; -1; 0; 0 ]));
+  Alcotest.(check bool) "gamma3 not feasible" false (Conflict.is_feasible ~mu:mu6 (iv [ 1; 0; -1; 0 ]))
+
+let test_example_2_1_not_conflict_free () =
+  Alcotest.(check bool) "not conflict-free" false (Conflict.is_conflict_free ~mu:mu6 t_eq_2_8);
+  match Conflict.find_conflict ~mu:mu6 t_eq_2_8 with
+  | Some g ->
+    Alcotest.(check bool) "witness in kernel" true (Intvec.is_zero (Intmat.mul_vec t_eq_2_8 g));
+    Alcotest.(check bool) "witness primitive" true (Intvec.is_primitive g);
+    Alcotest.(check bool) "witness in box" true (not (Conflict.is_feasible ~mu:mu6 g))
+  | None -> Alcotest.fail "expected a conflict"
+
+let test_figure_1 () =
+  (* J = [0,4]^2.  gamma = (1,1) collides; gamma = (3,5) does not.  A
+     1x2 mapping with the given kernel demonstrates both. *)
+  let mu = [| 4; 4 |] in
+  (* kernel (1,1): T = [1, -1] *)
+  Alcotest.(check bool) "(1,1) conflicts" false (Conflict.is_conflict_free ~mu (im [ [ 1; -1 ] ]));
+  (* kernel (3,5): T = [5, -3] *)
+  Alcotest.(check bool) "(3,5) conflict-free" true (Conflict.is_conflict_free ~mu (im [ [ 5; -3 ] ]));
+  (* the five collisions of Figure 1 along the diagonal *)
+  let all = Conflict.all_in_box ~mu (im [ [ 1; -1 ] ]) in
+  Alcotest.(check int) "diagonal multiples" 4 (List.length all)
+
+let test_square_full_rank_is_free () =
+  let t = im [ [ 1; 0 ]; [ 0; 1 ] ] in
+  Alcotest.(check bool) "identity conflict-free" true (Conflict.is_conflict_free ~mu:[| 9; 9 |] t)
+
+let test_kernel_basis_are_conflict_vectors () =
+  let kb = Conflict.kernel_basis t_eq_2_8 in
+  Alcotest.(check int) "two generators" 2 (List.length kb);
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "annihilated" true (Intvec.is_zero (Intmat.mul_vec t_eq_2_8 g));
+      Alcotest.(check bool) "primitive" true (Intvec.is_primitive g))
+    kb
+
+let test_single_conflict_vector_example_3_1 () =
+  (* Equation 3.5: gamma proportional to (-pi2-pi3, pi1+pi3, pi1-pi2). *)
+  let s = im [ [ 1; 1; -1 ] ] in
+  let check pi expected =
+    let t = Intmat.append_row s (iv pi) in
+    match Conflict.single_conflict_vector t with
+    | Some g -> Alcotest.(check (list int)) "gamma" expected (Intvec.to_ints g)
+    | None -> Alcotest.fail "expected a conflict vector"
+  in
+  (* pi = (1,4,1): gamma prop to (-5, 2, -3) -> normalized (5, -2, 3) *)
+  check [ 1; 4; 1 ] [ 5; -2; 3 ];
+  (* pi = (2,1,mu) with mu=3: (-4, 5, 1) -> normalized (4, -5, -1)? sign:
+     first nonzero positive: (-(1+3), 2+3, 2-1) = (-4,5,1) -> (4,-5,-1). *)
+  check [ 2; 1; 3 ] [ 4; -5; -1 ]
+
+let test_single_conflict_vector_example_3_2 () =
+  (* Equation 3.7: gamma proportional to (pi2, -pi1, 0). *)
+  let s = im [ [ 0; 0; 1 ] ] in
+  let t = Intmat.append_row s (iv [ 5; 1; 1 ]) in
+  match Conflict.single_conflict_vector t with
+  | Some g -> Alcotest.(check (list int)) "gamma" [ 1; -5; 0 ] (Intvec.to_ints g)
+  | None -> Alcotest.fail "expected a conflict vector"
+
+let test_single_conflict_rank_deficient () =
+  let t = im [ [ 1; 2; 3 ]; [ 2; 4; 6 ] ] in
+  Alcotest.(check bool) "rank deficient -> None" true (Conflict.single_conflict_vector t = None)
+
+let test_f_coefficients_example_3_1 () =
+  (* Proposition 3.2 coefficients for S = [1,1,-1]: C pi = the Equation
+     3.5 vector up to a global sign. *)
+  let c = Conflict.f_coefficient_matrix ~s:(im [ [ 1; 1; -1 ] ]) in
+  let pi = iv [ 3; 5; 7 ] in
+  let g = Intmat.mul_vec c pi in
+  let expected = iv [ -12; 10; -2 ] in
+  Alcotest.(check bool) "proportional to Eq 3.5" true
+    (Intvec.equal g expected || Intvec.equal g (Intvec.neg expected))
+
+let test_conflicting_pairs_oracle_agrees () =
+  (* Definition-level check on a small instance. *)
+  let iset = Index_set.cube ~n:3 ~mu:2 in
+  let t_bad = im [ [ 1; 1; -1 ]; [ 1; 1; 1 ] ] in
+  let pairs = Conflict.conflicting_pairs_oracle iset t_bad in
+  let free = Conflict.is_conflict_free ~mu:(Index_set.bounds iset) t_bad in
+  Alcotest.(check bool) "oracle consistency" true ((pairs = []) = free)
+
+(* ---------------- properties ---------------- *)
+
+let random_t_mu seed ~codim =
+  let rng = Random.State.make [| seed |] in
+  let n = codim + 1 + Random.State.int rng 2 in
+  let k = n - codim in
+  let t = Intmat.make k n (fun _ _ -> Zint.of_int (Random.State.int rng 15 - 7)) in
+  let mu = Array.init n (fun _ -> 1 + Random.State.int rng 4) in
+  (t, mu)
+
+let prop_box_oracle_matches_pairs_oracle =
+  QCheck.Test.make ~name:"box oracle = literal pairs oracle (Theorem 2.2)" ~count:150
+    QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rng 2 in
+      let k = 1 + Random.State.int rng (n - 1) in
+      let t = Intmat.make k n (fun _ _ -> Zint.of_int (Random.State.int rng 9 - 4)) in
+      let mu = Array.init n (fun _ -> 1 + Random.State.int rng 3) in
+      let iset = Index_set.make mu in
+      let literal = Conflict.conflicting_pairs_oracle iset t = [] in
+      literal = Conflict.is_conflict_free ~mu t)
+
+let prop_single_vector_matches_kernel =
+  QCheck.Test.make ~name:"Theorem 3.1 vector spans the kernel" ~count:200 QCheck.int
+    (fun seed ->
+      let t, _ = random_t_mu seed ~codim:1 in
+      match Conflict.single_conflict_vector t with
+      | None -> Intmat.rank t < Intmat.cols t - 1
+      | Some g ->
+        Intvec.is_zero (Intmat.mul_vec t g)
+        && Intvec.is_primitive g
+        &&
+        (match Conflict.kernel_basis t with
+        | [ b ] -> Intvec.equal g b || Intvec.equal g (Intvec.neg b)
+        | _ -> false))
+
+let prop_feasibility_vs_box =
+  QCheck.Test.make ~name:"k = n-1: conflict-free iff single vector feasible" ~count:200
+    QCheck.int (fun seed ->
+      let t, mu = random_t_mu seed ~codim:1 in
+      match Conflict.single_conflict_vector t with
+      | None -> true
+      | Some g -> Conflict.is_feasible ~mu g = Conflict.is_conflict_free ~mu t)
+
+let prop_find_conflict_sound =
+  QCheck.Test.make ~name:"find_conflict returns a genuine in-box kernel vector" ~count:200
+    QCheck.int (fun seed ->
+      let t, mu = random_t_mu seed ~codim:2 in
+      match Conflict.find_conflict ~mu t with
+      | None -> true
+      | Some g ->
+        Intvec.is_zero (Intmat.mul_vec t g)
+        && (not (Intvec.is_zero g))
+        && not (Conflict.is_feasible ~mu g))
+
+let suite =
+  [
+    Alcotest.test_case "Theorem 2.2 feasibility" `Quick test_feasibility_theorem_2_2;
+    Alcotest.test_case "Example 2.1" `Quick test_example_2_1_not_conflict_free;
+    Alcotest.test_case "Figure 1" `Quick test_figure_1;
+    Alcotest.test_case "square full rank" `Quick test_square_full_rank_is_free;
+    Alcotest.test_case "kernel basis" `Quick test_kernel_basis_are_conflict_vectors;
+    Alcotest.test_case "Example 3.1 closed form" `Quick test_single_conflict_vector_example_3_1;
+    Alcotest.test_case "Example 3.2 closed form" `Quick test_single_conflict_vector_example_3_2;
+    Alcotest.test_case "rank deficient closed form" `Quick test_single_conflict_rank_deficient;
+    Alcotest.test_case "Proposition 3.2 coefficients" `Quick test_f_coefficients_example_3_1;
+    Alcotest.test_case "pairs oracle consistency" `Quick test_conflicting_pairs_oracle_agrees;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_box_oracle_matches_pairs_oracle;
+        prop_single_vector_matches_kernel;
+        prop_feasibility_vs_box;
+        prop_find_conflict_sound;
+      ]

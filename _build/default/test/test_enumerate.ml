@@ -1,0 +1,112 @@
+(* Tests for the Problem 2.1 enumeration and the Pareto analysis. *)
+
+let test_all_optimal_matmul () =
+  let alg = Matmul.algorithm ~mu:4 in
+  let all = Enumerate.all_optimal_schedules alg ~s:Matmul.paper_s in
+  Alcotest.(check int) "six optimal schedules" 6 (List.length all);
+  (* The paper's two named optima are among them. *)
+  let as_lists = List.map Intvec.to_ints all in
+  Alcotest.(check bool) "(1,4,1) present" true (List.mem [ 1; 4; 1 ] as_lists);
+  Alcotest.(check bool) "(4,1,1) present" true (List.mem [ 4; 1; 1 ] as_lists);
+  (* Every enumerated schedule really is valid and optimal. *)
+  List.iter
+    (fun pi ->
+      Alcotest.(check int) "cost" 24 (Schedule.objective ~mu:[| 4; 4; 4 |] pi);
+      let t = Intmat.append_row Matmul.paper_s pi in
+      Alcotest.(check bool) "conflict-free" true (Conflict.is_conflict_free ~mu:[| 4; 4; 4 |] t))
+    all
+
+let test_all_optimal_tc_unique () =
+  (* Transitive closure has a unique optimum (mu+1, 1, 1). *)
+  let mu = 4 in
+  let alg = Transitive_closure.algorithm ~mu in
+  let all = Enumerate.all_optimal_schedules alg ~s:Transitive_closure.paper_s in
+  Alcotest.(check (list (list int))) "unique" [ [ mu + 1; 1; 1 ] ] (List.map Intvec.to_ints all)
+
+let test_pareto_matmul () =
+  let alg = Matmul.algorithm ~mu:4 in
+  let front = Enumerate.pareto_front alg ~k:2 in
+  Alcotest.(check bool) "nonempty" true (front <> []);
+  (* Strictly improving processors as time grows; first point is the
+     joint optimum's time. *)
+  let rec strictly_improving = function
+    | a :: (b :: _ as rest) ->
+      a.Enumerate.total_time < b.Enumerate.total_time
+      && a.Enumerate.processors > b.Enumerate.processors
+      && strictly_improving rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "pareto shape" true (strictly_improving front);
+  let first = List.hd front in
+  Alcotest.(check int) "fastest = 25" 25 first.Enumerate.total_time;
+  Alcotest.(check int) "9 PEs at the fastest point" 9 first.Enumerate.processors;
+  (* Every point is a valid mapping. *)
+  List.iter
+    (fun p ->
+      let t = Intmat.append_row p.Enumerate.s p.Enumerate.pi in
+      Alcotest.(check bool) "valid" true
+        (Intmat.rank t = 2 && Conflict.is_conflict_free ~mu:[| 4; 4; 4 |] t))
+    front
+
+let test_best_by_buffers () =
+  (* Among matmul's six time-optimal schedules, buffer totals differ;
+     the selector must return one achieving the minimum (3 registers,
+     e.g. the paper's (1,4,1) with buffers (0,3,0)). *)
+  let alg = Matmul.algorithm ~mu:4 in
+  match Enumerate.best_by_buffers alg ~s:Matmul.paper_s with
+  | Some (pi, routing) ->
+    let total = Array.fold_left ( + ) 0 routing.Tmap.buffers in
+    Alcotest.(check int) "cost optimal" 24 (Schedule.objective ~mu:[| 4; 4; 4 |] pi);
+    (* Exhaustive floor: every optimal schedule needs >= this many. *)
+    let all = Enumerate.all_optimal_schedules alg ~s:Matmul.paper_s in
+    let best_possible =
+      List.fold_left
+        (fun acc pi ->
+          match Tmap.find_routing (Tmap.make ~s:Matmul.paper_s ~pi) ~d:alg.Algorithm.dependences with
+          | Some r -> min acc (Array.fold_left ( + ) 0 r.Tmap.buffers)
+          | None -> acc)
+        max_int all
+    in
+    Alcotest.(check int) "achieves the minimum" best_possible total
+  | None -> Alcotest.fail "expected a schedule"
+
+let test_large_mu_formulas () =
+  (* The lattice oracle makes the paper's closed-form times checkable
+     far beyond toy sizes: t°(mu) = mu(mu+2)+1 for matmul and
+     mu(mu+3)+1 for transitive closure. *)
+  List.iter
+    (fun mu ->
+      let alg = Matmul.algorithm ~mu in
+      match Procedure51.optimize alg ~s:Matmul.paper_s with
+      | Some r ->
+        Alcotest.(check int)
+          (Printf.sprintf "matmul mu=%d" mu)
+          (Matmul.optimal_total_time ~mu) r.Procedure51.total_time
+      | None -> Alcotest.fail "expected a schedule")
+    [ 10; 14; 20 ];
+  List.iter
+    (fun mu ->
+      let alg = Transitive_closure.algorithm ~mu in
+      match Procedure51.optimize alg ~s:Transitive_closure.paper_s with
+      | Some r ->
+        Alcotest.(check int)
+          (Printf.sprintf "tc mu=%d" mu)
+          (Transitive_closure.optimal_total_time ~mu)
+          r.Procedure51.total_time
+      | None -> Alcotest.fail "expected a schedule")
+    [ 10; 14 ]
+
+let test_no_schedule_empty () =
+  let alg = Matmul.algorithm ~mu:4 in
+  Alcotest.(check (list pass)) "empty under tiny bound" []
+    (Enumerate.all_optimal_schedules ~max_objective:3 alg ~s:Matmul.paper_s)
+
+let suite =
+  [
+    Alcotest.test_case "all optimal matmul schedules" `Quick test_all_optimal_matmul;
+    Alcotest.test_case "tc optimum unique" `Quick test_all_optimal_tc_unique;
+    Alcotest.test_case "pareto matmul" `Slow test_pareto_matmul;
+    Alcotest.test_case "best by buffers" `Quick test_best_by_buffers;
+    Alcotest.test_case "large-mu formulas" `Slow test_large_mu_formulas;
+    Alcotest.test_case "empty under bound" `Quick test_no_schedule_empty;
+  ]

@@ -1,0 +1,173 @@
+(* Tests for the loop-nest front end. *)
+
+let matmul_src = "for i = 0..4, j = 0..4, k = 0..4 { C[i,j] = C[i,j] + A[i,k] * B[k,j] }"
+
+let deps_of a =
+  List.sort compare
+    (List.map (fun (d, _) -> Intvec.to_ints d) a.Loopnest.dependence_origin)
+
+let test_matmul_source () =
+  let a = Loopnest.parse matmul_src in
+  Alcotest.(check int) "n = 3" 3 (Algorithm.dim a.Loopnest.algorithm);
+  Alcotest.(check int) "|J| = 125" 125 (Index_set.cardinal a.Loopnest.algorithm.Algorithm.index_set);
+  Alcotest.(check (list (list int))) "D = I (up to order)"
+    [ [ 0; 0; 1 ]; [ 0; 1; 0 ]; [ 1; 0; 0 ] ]
+    (deps_of a);
+  Alcotest.(check (list string)) "vars" [ "i"; "j"; "k" ] a.Loopnest.loop_vars
+
+let test_matmul_matches_builtin () =
+  (* The front end recovers exactly the structure of the hand-built
+     instance; Procedure 5.1 therefore finds the same optimum. *)
+  let a = Loopnest.parse matmul_src in
+  match
+    ( Procedure51.optimize a.Loopnest.algorithm ~s:Matmul.paper_s,
+      Procedure51.optimize (Matmul.algorithm ~mu:4) ~s:Matmul.paper_s )
+  with
+  | Some x, Some y ->
+    Alcotest.(check int) "same optimum" y.Procedure51.total_time x.Procedure51.total_time
+  | _ -> Alcotest.fail "expected schedules"
+
+let test_fir_filter () =
+  let a = Loopnest.parse "for i = 0..9, k = 0..3 { Y[i] = Y[i] + W[k] * X[i-k] }" in
+  Alcotest.(check (list (list int))) "FIR dependences"
+    [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    (deps_of a)
+
+let test_stencil_flow_deps () =
+  let a = Loopnest.parse "for t = 0..9, i = 0..7 { A[t,i] = A[t-1,i-1] + A[t-1,i] + A[t-1,i+1] }" in
+  Alcotest.(check (list (list int))) "stencil dependences"
+    [ [ 1; -1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    (deps_of a)
+
+let test_lower_bound_shift () =
+  (* Bounds 1..5 are normalized to 0..4 (Assumption 2.1). *)
+  let a = Loopnest.parse "for i = 1..5, k = 1..5 { Y[i] = Y[i] + X[i-k] }" in
+  Alcotest.(check (array int)) "shift" [| 1; 1 |] a.Loopnest.shifts;
+  Alcotest.(check int) "mu" 4 (Index_set.bound a.Loopnest.algorithm.Algorithm.index_set 0)
+
+let test_coefficient_syntax () =
+  let a = Loopnest.parse "for i = 0..4, j = 0..4 { A[2*i+j] = A[2*i+j-1] + B[j] }" in
+  (* flow: F d = (1) with F = [2 1]: d = ... integral, plus kernel of
+     [2 1] = (1,-2) oriented positive, plus reuse of B along e_i. *)
+  let ds = deps_of a in
+  Alcotest.(check bool) "has flow dep" true
+    (List.exists
+       (fun d -> match d with [ a; b ] -> (2 * a) + b = 1 | _ -> false)
+       ds);
+  Alcotest.(check bool) "has kernel dep (1,-2)" true (List.mem [ 1; -2 ] ds)
+
+(* ---------------- multi-statement programs ---------------- *)
+
+let test_two_statement_pipeline () =
+  let a =
+    Loopnest.parse
+      "for i = 0..4, j = 0..4 { B[i,j] = A[i,j] + A[i-1,j]; C[i,j] = B[i,j] + B[i-1,j] }"
+  in
+  (* Zero alignment suffices: B feeds C at the same point (body order)
+     and one iteration back; the A-reuse and the cross flow coincide on
+     (1,0). *)
+  Alcotest.(check (list (list int))) "deps" [ [ 1; 0 ] ] (deps_of a);
+  Alcotest.(check (list (list int))) "alignment all zero"
+    [ [ 0; 0 ]; [ 0; 0 ] ]
+    (List.map (fun (_, o) -> Array.to_list o) a.Loopnest.alignment)
+
+let test_forward_reference () =
+  (* Statement 1 reads what statement 2 wrote one iteration earlier. *)
+  let a = Loopnest.parse "for i = 0..5 { Y[i] = Z[i-1] + X[i]; Z[i] = Y[i] + X[i] }" in
+  Alcotest.(check (list (list int))) "deps" [ [ 1 ] ] (deps_of a)
+
+let test_alignment_shift_required () =
+  (* P reads Q[i] but Q is computed later in the body: the zero
+     alignment is invalid and the search must shift Q. *)
+  let a = Loopnest.parse "for i = 0..5 { P[i] = Q[i] + Q[i]; Q[i] = R[i-1] + R[i-1] }" in
+  let off = List.assoc "Q" a.Loopnest.alignment in
+  Alcotest.(check bool) "Q shifted" true (off.(0) <> 0);
+  Alcotest.(check (list (list int))) "deps" [ [ 1 ] ] (deps_of a)
+
+let test_duplicate_writer_rejected () =
+  match Loopnest.parse_result "for i = 0..3 { A[i] = B[i-1] + B[i]; A[i] = B[i] + B[i] }" with
+  | Error (Loopnest.Non_uniform _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected a duplicate-writer error"
+
+let test_input_reuse_between_refs () =
+  (* Two offset reads of the same input induce a reuse dependence. *)
+  let a = Loopnest.parse "for t = 0..5, i = 0..5 { B[t,i] = A[i] + A[i-1] }" in
+  Alcotest.(check bool) "has (0,1) reuse" true (List.mem [ 0; 1 ] (deps_of a))
+
+let test_multi_statement_schedulable () =
+  (* The fused UDA from a 2-statement program maps onto a linear array
+     end to end. *)
+  let a =
+    Loopnest.parse
+      "for i = 0..5, j = 0..3 { B[i,j] = B[i,j-1] + A[i,j]; C[i,j] = B[i,j] + C[i,j-1] }"
+  in
+  let alg = a.Loopnest.algorithm in
+  match Space_opt.optimize_joint alg ~k:2 with
+  | Some (pi, so) ->
+    let tm = Tmap.make ~s:so.Space_opt.s ~pi in
+    let rep = Exec.run alg Dataflow.semantics tm in
+    Alcotest.(check bool) "clean" true (Exec.is_clean rep)
+  | None -> Alcotest.fail "expected a joint mapping"
+
+let check_error src expected =
+  match Loopnest.parse_result src with
+  | Error e ->
+    let s = Loopnest.error_to_string e in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) (s ^ " mentions " ^ expected) true (contains s expected)
+  | Ok _ -> Alcotest.fail ("expected failure for: " ^ src)
+
+let test_errors () =
+  check_error "for i = 0..3 { A[i] = A[i] + 1 }" "reads exactly";
+  check_error "for i = 0..3, j = 0..3 { A[i,j] = A[j,i] }" "different index matrices";
+  check_error "for i = 0..3 { A[i] = B[2*i] }" "no dependences";
+  check_error "for i = 0..0 { A[i] = A[i-1] }" "fewer than two iterations";
+  check_error "for i = 0..3 { A[i] = A[q] }" "unknown loop variable";
+  check_error "for i = 0..3 { A[i] = }" "parse error";
+  check_error "for i = 0..3 A[i] = A[i-1]" "parse error";
+  check_error "for i = 0..3 { A[i] = x }" "scalar reference"
+
+let test_parse_error_offset_without_solution () =
+  (* F = [2]: offset 1 has no integral preimage. *)
+  check_error "for i = 0..4 { A[2*i] = A[2*i-1] }" "no integral solution"
+
+let test_end_to_end_from_source () =
+  (* Parse, optimize, simulate — the full pipeline on source text. *)
+  let a = Loopnest.parse "for i = 0..5, k = 0..3 { Y[i] = Y[i] + W[k] * X[i-k] }" in
+  let s = Intmat.of_ints [ [ 1; 0 ] ] in
+  match Procedure51.optimize a.Loopnest.algorithm ~s with
+  | Some r ->
+    let tm = Tmap.make ~s ~pi:r.Procedure51.pi in
+    let report = Exec.run a.Loopnest.algorithm Dataflow.semantics tm in
+    Alcotest.(check bool) "clean" true (Exec.is_clean report);
+    Alcotest.(check int) "makespan" r.Procedure51.total_time report.Exec.makespan
+  | None -> Alcotest.fail "expected a schedule"
+
+let prop_parse_deterministic =
+  QCheck.Test.make ~name:"analysis is deterministic" ~count:20 QCheck.unit (fun () ->
+      let a1 = Loopnest.parse matmul_src and a2 = Loopnest.parse matmul_src in
+      deps_of a1 = deps_of a2)
+
+let suite =
+  [
+    Alcotest.test_case "matmul source" `Quick test_matmul_source;
+    Alcotest.test_case "matmul matches builtin" `Quick test_matmul_matches_builtin;
+    Alcotest.test_case "FIR filter" `Quick test_fir_filter;
+    Alcotest.test_case "stencil flow deps" `Quick test_stencil_flow_deps;
+    Alcotest.test_case "lower bound shift" `Quick test_lower_bound_shift;
+    Alcotest.test_case "coefficient syntax" `Quick test_coefficient_syntax;
+    Alcotest.test_case "two-statement pipeline" `Quick test_two_statement_pipeline;
+    Alcotest.test_case "forward reference" `Quick test_forward_reference;
+    Alcotest.test_case "alignment shift required" `Quick test_alignment_shift_required;
+    Alcotest.test_case "duplicate writer rejected" `Quick test_duplicate_writer_rejected;
+    Alcotest.test_case "input reuse between refs" `Quick test_input_reuse_between_refs;
+    Alcotest.test_case "multi-statement end to end" `Slow test_multi_statement_schedulable;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "offset without solution" `Quick test_parse_error_offset_without_solution;
+    Alcotest.test_case "end-to-end from source" `Quick test_end_to_end_from_source;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_parse_deterministic ]

@@ -1,0 +1,125 @@
+(* End-to-end fuzzing: generate random programs in the supported
+   fragment, push them through the whole pipeline (parse -> dependence
+   extraction -> joint time/space optimization -> cycle-accurate
+   simulation) and require a clean run whenever a mapping exists.
+
+   This is the cross-cutting invariant of the repository: anything the
+   front end accepts and the optimizers map must simulate without
+   computational conflicts, causality violations or value errors. *)
+
+let var_names = [| "i"; "j"; "k" |]
+
+(* A random single-statement program over [nv] loop variables: one
+   output accumulation plus 1-2 input references with small offsets. *)
+let random_program rng =
+  let nv = 2 + Random.State.int rng 2 in
+  let bounds =
+    List.init nv (fun v -> Printf.sprintf "%s = 0..%d" var_names.(v) (2 + Random.State.int rng 3))
+  in
+  let affine v off =
+    if off = 0 then var_names.(v)
+    else if off > 0 then Printf.sprintf "%s+%d" var_names.(v) off
+    else Printf.sprintf "%s%d" var_names.(v) off
+  in
+  (* LHS: an output indexed by a strict subset or all of the vars. *)
+  let out_dims = 1 + Random.State.int rng (nv - 1) in
+  let lhs_idx = List.init out_dims (fun v -> var_names.(v)) in
+  let lhs = Printf.sprintf "OUT[%s]" (String.concat "," lhs_idx) in
+  (* Inputs: full-dimensional references with random small offsets. *)
+  let input i =
+    let name = Printf.sprintf "IN%d" i in
+    let idx =
+      List.init nv (fun v -> affine v (Random.State.int rng 3 - 1))
+    in
+    Printf.sprintf "%s[%s]" name (String.concat "," idx)
+  in
+  let inputs = List.init (1 + Random.State.int rng 2) input in
+  Printf.sprintf "for %s { %s = %s + %s }" (String.concat ", " bounds) lhs lhs
+    (String.concat " * " inputs)
+
+let prop_pipeline_clean =
+  QCheck.Test.make ~name:"parse -> optimize -> simulate is always clean" ~count:60
+    QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let src = random_program rng in
+      match Loopnest.parse_result src with
+      | Error _ -> true (* the generator can produce degenerate programs *)
+      | Ok a -> (
+        let alg = a.Loopnest.algorithm in
+        match Space_opt.optimize_joint ~max_time_objective:60 alg ~k:2 with
+        | None -> true
+        | Some (pi, so) ->
+          let tm = Tmap.make ~s:so.Space_opt.s ~pi in
+          let rep = Exec.run alg Dataflow.semantics tm in
+          Exec.is_clean rep
+          && rep.Exec.num_processors = so.Space_opt.processors))
+
+let prop_optimizers_agree_on_fuzzed =
+  QCheck.Test.make ~name:"Procedure 5.1 (exact) = (theorem) on fuzzed programs" ~count:40
+    QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let src = random_program rng in
+      match Loopnest.parse_result src with
+      | Error _ -> true
+      | Ok a ->
+        let alg = a.Loopnest.algorithm in
+        let n = Algorithm.dim alg in
+        (* Project out the last dimension as a simple space mapping. *)
+        let s = Intmat.make 1 n (fun _ j -> if j = n - 1 then Zint.one else Zint.zero) in
+        let time r = Option.map (fun x -> x.Procedure51.total_time) r in
+        time (Procedure51.optimize ~check:Procedure51.Exact ~max_objective:40 alg ~s)
+        = time (Procedure51.optimize ~check:Procedure51.Theorem ~max_objective:40 alg ~s))
+
+(* Random two-statement program: a producer array feeding a consumer,
+   each with small offsets — exercising the alignment search. *)
+let random_two_statement rng =
+  let nv = 2 in
+  let bounds =
+    List.init nv (fun v -> Printf.sprintf "%s = 0..%d" var_names.(v) (2 + Random.State.int rng 3))
+  in
+  let affine v off =
+    if off = 0 then var_names.(v)
+    else if off > 0 then Printf.sprintf "%s+%d" var_names.(v) off
+    else Printf.sprintf "%s%d" var_names.(v) off
+  in
+  let idx () = List.init nv (fun v -> affine v (Random.State.int rng 3 - 1)) in
+  let full_idx = List.init nv (fun v -> var_names.(v)) in
+  let s1 =
+    Printf.sprintf "B[%s] = B[%s] + A[%s]"
+      (String.concat "," full_idx)
+      (String.concat "," (idx ()))
+      (String.concat "," (idx ()))
+  in
+  let s2 =
+    Printf.sprintf "C[%s] = B[%s] + B[%s]"
+      (String.concat "," full_idx)
+      (String.concat "," (idx ()))
+      (String.concat "," (idx ()))
+  in
+  Printf.sprintf "for %s { %s; %s }" (String.concat ", " bounds) s1 s2
+
+let prop_multi_statement_pipeline_clean =
+  QCheck.Test.make ~name:"multi-statement fuzz: aligned programs simulate cleanly" ~count:40
+    QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let src = random_two_statement rng in
+      match Loopnest.parse_result src with
+      | Error _ -> true (* degenerate programs are allowed to be rejected *)
+      | Ok a -> (
+        let alg = a.Loopnest.algorithm in
+        (* Alignment must produce a schedulable dependence set. *)
+        match Procedure51.minimal_schedule alg with
+        | None -> false (* the alignment search promised schedulability *)
+        | Some _ -> (
+          match Space_opt.optimize_joint ~max_time_objective:60 alg ~k:2 with
+          | None -> true
+          | Some (pi, so) ->
+            Exec.is_clean (Exec.run alg Dataflow.semantics (Tmap.make ~s:so.Space_opt.s ~pi)))))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_pipeline_clean;
+      prop_optimizers_agree_on_fuzzed;
+      prop_multi_statement_pipeline_clean;
+    ]

@@ -1,0 +1,182 @@
+(* Tests for the Hermite normal form (Theorem 4.1 machinery) and the
+   Smith normal form companion. *)
+
+let im = Intmat.of_ints
+
+let random_mat ~rng k n lim =
+  Intmat.make k n (fun _ _ -> Zint.of_int (Random.State.int rng ((2 * lim) + 1) - lim))
+
+let test_paper_example_4_2 () =
+  (* T of Equation 2.8; its kernel is generated (up to basis change) by
+     the paper's u3 = (-1,0,1,0) and u4 = (-7,1,0,0). *)
+  let t = im [ [ 1; 7; 1; 1 ]; [ 1; 7; 1; 0 ] ] in
+  let res = Hnf.compute t in
+  Alcotest.(check bool) "verify" true (Hnf.verify t res);
+  Alcotest.(check int) "rank" 2 res.Hnf.rank;
+  let kb = Hnf.kernel_basis t in
+  Alcotest.(check int) "kernel dim" 2 (List.length kb);
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "in kernel" true (Intvec.is_zero (Intmat.mul_vec t g));
+      Alcotest.(check bool) "primitive" true (Intvec.is_primitive g))
+    kb;
+  (* The paper's generators must lie in the computed lattice: solve in
+     integers against the basis using the 2x2 nonzero coordinates. *)
+  let in_lattice v =
+    (* brute force small integer combos *)
+    let b1 = List.nth kb 0 and b2 = List.nth kb 1 in
+    let found = ref false in
+    for a = -20 to 20 do
+      for b = -20 to 20 do
+        if Intvec.equal v (Intvec.add (Intvec.scale_int a b1) (Intvec.scale_int b b2)) then
+          found := true
+      done
+    done;
+    !found
+  in
+  Alcotest.(check bool) "paper u3 in lattice" true (in_lattice (Intvec.of_ints [ -1; 0; 1; 0 ]));
+  Alcotest.(check bool) "paper u4 in lattice" true (in_lattice (Intvec.of_ints [ -7; 1; 0; 0 ]))
+
+let test_lower_triangular_shape () =
+  let t = im [ [ 4; 6; 2 ]; [ 2; 8; 9 ] ] in
+  let res = Hnf.compute t in
+  Alcotest.(check bool) "verify" true (Hnf.verify t res);
+  (* H = [L 0]: entry (0, j) must vanish for j >= 1, etc. *)
+  Alcotest.(check int) "h01 = 0" 0 (Zint.to_int (Intmat.get res.Hnf.h 0 1));
+  Alcotest.(check int) "h02 = 0" 0 (Zint.to_int (Intmat.get res.Hnf.h 0 2));
+  Alcotest.(check int) "h12 = 0" 0 (Zint.to_int (Intmat.get res.Hnf.h 1 2));
+  Alcotest.(check bool) "pivot positive" true (Zint.sign (Intmat.get res.Hnf.h 0 0) > 0)
+
+let test_rank_deficient () =
+  let t = im [ [ 1; 2; 3 ]; [ 2; 4; 6 ] ] in
+  let res = Hnf.compute t in
+  Alcotest.(check int) "rank 1" 1 res.Hnf.rank;
+  Alcotest.(check bool) "verify" true (Hnf.verify t res);
+  Alcotest.(check int) "kernel dim 2" 2 (List.length (Hnf.kernel_basis t))
+
+let test_identity_input () =
+  let t = Intmat.identity 3 in
+  let res = Hnf.compute t in
+  Alcotest.(check bool) "H = I" true (Intmat.equal res.Hnf.h (Intmat.identity 3));
+  Alcotest.(check bool) "U = I" true (Intmat.equal res.Hnf.u (Intmat.identity 3));
+  Alcotest.(check (list pass)) "empty kernel" [] (Hnf.kernel_basis t)
+
+let test_gcdext_strategy () =
+  let t = im [ [ 6; 10; 15 ] ] in
+  let res = Hnf.compute ~strategy:Hnf.Gcdext t in
+  Alcotest.(check bool) "verify" true (Hnf.verify t res);
+  (* gcd(6,10,15) = 1 must land in the pivot. *)
+  Alcotest.(check int) "pivot gcd" 1 (Zint.to_int (Intmat.get res.Hnf.h 0 0))
+
+let test_single_row_gcd () =
+  let t = im [ [ 12; 18 ] ] in
+  let res = Hnf.compute t in
+  Alcotest.(check int) "pivot is gcd" 6 (Zint.to_int (Intmat.get res.Hnf.h 0 0));
+  let kb = Hnf.kernel_basis t in
+  Alcotest.(check int) "kernel dim" 1 (List.length kb);
+  Alcotest.(check bool) "kernel primitive" true (Intvec.is_primitive (List.hd kb))
+
+let prop_verify gen_params strategy =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "HNF invariants (%s)"
+         (match strategy with Hnf.Min_abs -> "min-abs" | Hnf.Gcdext -> "gcdext"))
+    ~count:300 QCheck.(pair int gen_params)
+    (fun (seed, (k, n)) ->
+      let rng = Random.State.make [| seed |] in
+      let t = random_mat ~rng k n 10 in
+      Hnf.verify t (Hnf.compute ~strategy t))
+
+let dims_gen = QCheck.(map (fun (a, b) -> (1 + (a mod 4), 1 + (b mod 5))) (pair small_nat small_nat))
+
+let prop_kernel_vectors_annihilate =
+  QCheck.Test.make ~name:"kernel basis annihilates and is primitive" ~count:300
+    QCheck.(pair int dims_gen)
+    (fun (seed, (k, n)) ->
+      let rng = Random.State.make [| seed |] in
+      let t = random_mat ~rng k n 10 in
+      List.for_all
+        (fun g -> Intvec.is_zero (Intmat.mul_vec t g) && Intvec.is_primitive g)
+        (Hnf.kernel_basis t))
+
+let prop_strategies_same_lattice =
+  QCheck.Test.make ~name:"both strategies span the same kernel lattice" ~count:200
+    QCheck.(pair int dims_gen)
+    (fun (seed, (k, n)) ->
+      let rng = Random.State.make [| seed |] in
+      let t = random_mat ~rng k n 8 in
+      let b1 = Hnf.kernel_basis ~strategy:Hnf.Min_abs t in
+      let b2 = Hnf.kernel_basis ~strategy:Hnf.Gcdext t in
+      match (b1, b2) with
+      | [], [] -> true
+      | _ ->
+        (* Equal lattices iff the canonical column HNFs of the two
+           basis matrices coincide. *)
+        let canon b = (Hnf.compute (Intmat.of_cols b)).Hnf.h in
+        Intmat.equal (canon b1) (canon b2))
+
+(* ------------------- Smith normal form ------------------- *)
+
+let test_smith_known () =
+  let a = im [ [ 2; 4; 4 ]; [ -6; 6; 12 ]; [ 10; 4; 16 ] ] in
+  let res = Smith.compute a in
+  Alcotest.(check bool) "verify" true (Smith.verify a res);
+  Alcotest.(check (list int)) "invariant factors" [ 2; 2; 156 ]
+    (List.map Zint.to_int res.Smith.invariant_factors)
+
+let test_smith_livelock_regression () =
+  (* These inputs once livelocked the elimination: entries equal to
+     ±corner made gcdext return a nontrivial Bezout pair, so clearing
+     the pivot row re-dirtied the pivot column forever.  Fixed by the
+     canonical gcdext convention; kept as a permanent regression. *)
+  let m1 =
+    im [ [ 2; 4; -5; 0; -6 ]; [ -3; -3; -8; -4; -3 ]; [ -2; 4; 6; -6; 3 ]; [ -8; 7; -4; 4; 0 ] ]
+  in
+  Alcotest.(check bool) "m1" true (Smith.verify m1 (Smith.compute m1));
+  let rng = Random.State.make [| 107 |] in
+  let m2 = Intmat.make 5 6 (fun _ _ -> Zint.of_int (Random.State.int rng 201 - 100)) in
+  Alcotest.(check bool) "m2" true (Smith.verify m2 (Smith.compute m2))
+
+let test_smith_zero_matrix () =
+  let a = Intmat.zero 2 3 in
+  let res = Smith.compute a in
+  Alcotest.(check bool) "verify" true (Smith.verify a res);
+  Alcotest.(check (list pass)) "no factors" [] res.Smith.invariant_factors
+
+let prop_smith_invariants =
+  QCheck.Test.make ~name:"Smith invariants" ~count:200 QCheck.(pair int dims_gen)
+    (fun (seed, (k, n)) ->
+      let rng = Random.State.make [| seed |] in
+      let a = random_mat ~rng k n 8 in
+      let res = Smith.compute a in
+      Smith.verify a res
+      && List.length res.Smith.invariant_factors = Intmat.rank a)
+
+let prop_smith_hnf_rank_agree =
+  QCheck.Test.make ~name:"Smith rank = HNF rank" ~count:200 QCheck.(pair int dims_gen)
+    (fun (seed, (k, n)) ->
+      let rng = Random.State.make [| seed |] in
+      let a = random_mat ~rng k n 8 in
+      List.length (Smith.compute a).Smith.invariant_factors = (Hnf.compute a).Hnf.rank)
+
+let suite =
+  [
+    Alcotest.test_case "paper example 4.2" `Quick test_paper_example_4_2;
+    Alcotest.test_case "lower triangular shape" `Quick test_lower_triangular_shape;
+    Alcotest.test_case "rank deficient" `Quick test_rank_deficient;
+    Alcotest.test_case "identity input" `Quick test_identity_input;
+    Alcotest.test_case "gcdext strategy" `Quick test_gcdext_strategy;
+    Alcotest.test_case "single row gcd" `Quick test_single_row_gcd;
+    Alcotest.test_case "smith known" `Quick test_smith_known;
+    Alcotest.test_case "smith zero" `Quick test_smith_zero_matrix;
+    Alcotest.test_case "smith livelock regression" `Quick test_smith_livelock_regression;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_verify dims_gen Hnf.Min_abs;
+        prop_verify dims_gen Hnf.Gcdext;
+        prop_kernel_vectors_annihilate;
+        prop_strategies_same_lattice;
+        prop_smith_invariants;
+        prop_smith_hnf_rank_agree;
+      ]

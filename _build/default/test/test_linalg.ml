@@ -1,0 +1,151 @@
+(* Tests for Intvec / Intmat: exact vectors, matrices, Bareiss
+   determinant/rank, adjugate. *)
+
+let iv = Intvec.of_ints
+let im = Intmat.of_ints
+
+let test_vec_basics () =
+  let v = iv [ 3; -6; 9 ] in
+  Alcotest.(check int) "dim" 3 (Intvec.dim v);
+  Alcotest.(check int) "content" 3 (Zint.to_int (Intvec.content v));
+  Alcotest.(check bool) "not primitive" false (Intvec.is_primitive v);
+  Alcotest.(check (list int)) "primitive part" [ 1; -2; 3 ] (Intvec.to_ints (Intvec.primitive_part v));
+  Alcotest.(check (list int)) "unit" [ 0; 1; 0 ] (Intvec.to_ints (Intvec.unit 3 1));
+  Alcotest.(check int) "dot" (3 - 12 + 27) (Zint.to_int (Intvec.dot v (iv [ 1; 2; 3 ])));
+  Alcotest.(check int) "linf" 9 (Zint.to_int (Intvec.linf_norm v))
+
+let test_vec_sign_normalization () =
+  Alcotest.(check (list int)) "flip" [ 1; -2 ] (Intvec.to_ints (Intvec.normalize_sign (iv [ -1; 2 ])));
+  Alcotest.(check (list int)) "keep" [ 1; -2 ] (Intvec.to_ints (Intvec.normalize_sign (iv [ 1; -2 ])));
+  Alcotest.(check (list int)) "zero prefix" [ 0; 2; -1 ]
+    (Intvec.to_ints (Intvec.normalize_sign (iv [ 0; -2; 1 ])));
+  Alcotest.(check (list int)) "zero vector" [ 0; 0 ] (Intvec.to_ints (Intvec.normalize_sign (iv [ 0; 0 ])))
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Intvec.dot: dimension mismatch")
+    (fun () -> ignore (Intvec.dot (iv [ 1 ]) (iv [ 1; 2 ])))
+
+let test_mat_basics () =
+  let m = im [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check int) "rows" 2 (Intmat.rows m);
+  Alcotest.(check int) "cols" 2 (Intmat.cols m);
+  Alcotest.(check (list (list int))) "transpose" [ [ 1; 3 ]; [ 2; 4 ] ] (Intmat.to_ints (Intmat.transpose m));
+  Alcotest.(check (list int)) "row" [ 3; 4 ] (Intvec.to_ints (Intmat.row m 1));
+  Alcotest.(check (list int)) "col" [ 2; 4 ] (Intvec.to_ints (Intmat.col m 1));
+  Alcotest.(check (list (list int))) "mul"
+    [ [ 7; 10 ]; [ 15; 22 ] ]
+    (Intmat.to_ints (Intmat.mul m m))
+
+let test_mat_identity_laws () =
+  let m = im [ [ 1; -2; 3 ]; [ 0; 4; 5 ] ] in
+  Alcotest.(check bool) "I*m = m" true (Intmat.equal (Intmat.mul (Intmat.identity 2) m) m);
+  Alcotest.(check bool) "m*I = m" true (Intmat.equal (Intmat.mul m (Intmat.identity 3)) m)
+
+let test_det_known () =
+  Alcotest.(check int) "2x2" (-2) (Zint.to_int (Intmat.det (im [ [ 1; 2 ]; [ 3; 4 ] ])));
+  Alcotest.(check int) "singular" 0 (Zint.to_int (Intmat.det (im [ [ 1; 2 ]; [ 2; 4 ] ])));
+  Alcotest.(check int) "3x3" 1
+    (Zint.to_int (Intmat.det (im [ [ 1; 0; 0 ]; [ 5; 1; 0 ]; [ -7; 3; 1 ] ])));
+  (* Vandermonde 4x4 on 1,2,3,4: prod of differences = 12 *)
+  let vander = Intmat.make 4 4 (fun i j -> Zint.pow (Zint.of_int (i + 1)) j) in
+  Alcotest.(check int) "vandermonde" 12 (Zint.to_int (Intmat.det vander));
+  Alcotest.(check int) "empty" 1 (Zint.to_int (Intmat.det (Intmat.identity 0)))
+
+let test_det_nonsquare () =
+  Alcotest.check_raises "non-square" (Invalid_argument "Intmat.det: non-square matrix")
+    (fun () -> ignore (Intmat.det (im [ [ 1; 2; 3 ] ])))
+
+let test_rank () =
+  Alcotest.(check int) "full" 2 (Intmat.rank (im [ [ 1; 2 ]; [ 3; 4 ] ]));
+  Alcotest.(check int) "deficient" 1 (Intmat.rank (im [ [ 1; 2 ]; [ 2; 4 ] ]));
+  Alcotest.(check int) "zero" 0 (Intmat.rank (Intmat.zero 3 4));
+  Alcotest.(check int) "wide" 2 (Intmat.rank (im [ [ 1; 0; 5 ]; [ 0; 1; 7 ] ]));
+  Alcotest.(check int) "tall" 1 (Intmat.rank (im [ [ 2 ]; [ 4 ]; [ 6 ] ]))
+
+let test_adjugate () =
+  let m = im [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check (list (list int))) "2x2 adjugate" [ [ 4; -2 ]; [ -3; 1 ] ]
+    (Intmat.to_ints (Intmat.adjugate m));
+  Alcotest.(check (list (list int))) "1x1 adjugate" [ [ 1 ] ] (Intmat.to_ints (Intmat.adjugate (im [ [ 9 ] ])))
+
+let test_unimodular () =
+  Alcotest.(check bool) "identity" true (Intmat.is_unimodular (Intmat.identity 4));
+  Alcotest.(check bool) "det -1" true (Intmat.is_unimodular (im [ [ 0; 1 ]; [ 1; 0 ] ]));
+  Alcotest.(check bool) "det 2" false (Intmat.is_unimodular (im [ [ 2; 0 ]; [ 0; 1 ] ]));
+  Alcotest.(check bool) "non-square" false (Intmat.is_unimodular (im [ [ 1; 0 ] ]))
+
+let test_shape_helpers () =
+  let m = im [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+  Alcotest.(check (list (list int))) "sub_cols" [ [ 2; 3 ]; [ 5; 6 ] ] (Intmat.to_ints (Intmat.sub_cols m 1 2));
+  Alcotest.(check (list (list int))) "delete" [ [ 1; 3 ] ] (Intmat.to_ints (Intmat.delete_row_col m 1 1));
+  Alcotest.(check (list (list int))) "hcat" [ [ 1; 2; 3; 1; 2; 3 ]; [ 4; 5; 6; 4; 5; 6 ] ]
+    (Intmat.to_ints (Intmat.hcat m m));
+  Alcotest.(check (list (list int))) "append_row" [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7; 8; 9 ] ]
+    (Intmat.to_ints (Intmat.append_row m (iv [ 7; 8; 9 ])))
+
+let test_of_ints_validation () =
+  Alcotest.(check bool) "ragged rejected" true
+    (try ignore (im [ [ 1; 2 ]; [ 3 ] ]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty rejected" true
+    (try ignore (im []); false with Invalid_argument _ -> true)
+
+(* ---------------- properties ---------------- *)
+
+let mat_gen n =
+  QCheck.make
+    ~print:(fun m -> Intmat.to_string m)
+    (QCheck.Gen.map
+       (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         Intmat.make n n (fun _ _ -> Zint.of_int (Random.State.int rng 21 - 10)))
+       QCheck.Gen.int)
+
+let prop_det_transpose =
+  QCheck.Test.make ~name:"det(A) = det(A^T)" ~count:300 (mat_gen 4) (fun m ->
+      Zint.equal (Intmat.det m) (Intmat.det (Intmat.transpose m)))
+
+let prop_det_multiplicative =
+  QCheck.Test.make ~name:"det(AB) = det(A) det(B)" ~count:200
+    (QCheck.pair (mat_gen 3) (mat_gen 3))
+    (fun (a, b) ->
+      Zint.equal (Intmat.det (Intmat.mul a b)) (Zint.mul (Intmat.det a) (Intmat.det b)))
+
+let prop_adjugate_identity =
+  QCheck.Test.make ~name:"A adj(A) = det(A) I" ~count:200 (mat_gen 4) (fun m ->
+      let d = Intmat.det m in
+      Intmat.equal (Intmat.mul m (Intmat.adjugate m)) (Intmat.scale d (Intmat.identity 4))
+      && Intmat.equal (Intmat.mul (Intmat.adjugate m) m) (Intmat.scale d (Intmat.identity 4)))
+
+let prop_rank_matches_rational =
+  QCheck.Test.make ~name:"Bareiss rank = Gauss-Jordan rank" ~count:300 (mat_gen 4)
+    (fun m -> Intmat.rank m = Ratmat.rank (Ratmat.of_intmat m))
+
+let prop_mulvec_linear =
+  QCheck.Test.make ~name:"M(x+y) = Mx + My" ~count:300 (mat_gen 3) (fun m ->
+      let x = iv [ 1; -2; 3 ] and y = iv [ 4; 0; -5 ] in
+      Intvec.equal (Intmat.mul_vec m (Intvec.add x y))
+        (Intvec.add (Intmat.mul_vec m x) (Intmat.mul_vec m y)))
+
+let suite =
+  [
+    Alcotest.test_case "vector basics" `Quick test_vec_basics;
+    Alcotest.test_case "sign normalization" `Quick test_vec_sign_normalization;
+    Alcotest.test_case "vector dim mismatch" `Quick test_vec_dim_mismatch;
+    Alcotest.test_case "matrix basics" `Quick test_mat_basics;
+    Alcotest.test_case "identity laws" `Quick test_mat_identity_laws;
+    Alcotest.test_case "known determinants" `Quick test_det_known;
+    Alcotest.test_case "det non-square" `Quick test_det_nonsquare;
+    Alcotest.test_case "rank" `Quick test_rank;
+    Alcotest.test_case "adjugate" `Quick test_adjugate;
+    Alcotest.test_case "unimodularity" `Quick test_unimodular;
+    Alcotest.test_case "shape helpers" `Quick test_shape_helpers;
+    Alcotest.test_case "of_ints validation" `Quick test_of_ints_validation;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_det_transpose;
+        prop_det_multiplicative;
+        prop_adjugate_identity;
+        prop_rank_matches_rational;
+        prop_mulvec_linear;
+      ]

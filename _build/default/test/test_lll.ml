@@ -1,0 +1,112 @@
+(* Tests for LLL reduction and the lattice-based conflict oracle. *)
+
+let iv = Intvec.of_ints
+
+let test_reduce_known () =
+  (* Classic example: a skewed 2-D basis reduces to short vectors. *)
+  let basis = [ iv [ 1; 1 ]; iv [ 1; 0 ] ] in
+  let red = Lll.reduce basis in
+  Alcotest.(check bool) "reduced" true (Lll.is_reduced red);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "short" true (Zint.to_int (Intvec.linf_norm v) <= 1))
+    red
+
+let test_reduce_preserves_lattice () =
+  let basis = [ iv [ 9; 1; 18 ]; iv [ -1; -16; 7 ] ] in
+  let red = Lll.reduce basis in
+  let canon b = (Hnf.compute (Intmat.of_cols b)).Hnf.h in
+  Alcotest.(check bool) "same lattice" true (Intmat.equal (canon basis) (canon red));
+  Alcotest.(check bool) "reduced" true (Lll.is_reduced red)
+
+let test_reduce_single_vector () =
+  let red = Lll.reduce [ iv [ 4; -6 ] ] in
+  Alcotest.(check int) "one vector" 1 (List.length red);
+  Alcotest.(check bool) "reduced" true (Lll.is_reduced red)
+
+let test_reduce_rejects_dependent () =
+  Alcotest.(check bool) "dependent rejected" true
+    (try ignore (Lll.reduce [ iv [ 1; 2 ]; iv [ 2; 4 ] ]); false
+     with Invalid_argument _ -> true)
+
+let test_gram_schmidt_orthogonality () =
+  let basis = [ iv [ 3; 1 ]; iv [ 1; 2 ] ] in
+  let mu, norms = Lll.gram_schmidt basis in
+  (* b*_1 = b1 - mu10 b0 with mu10 = 5/10 = 1/2; ||b*_0||^2 = 10. *)
+  Alcotest.(check bool) "mu10 = 1/2" true (Qnum.equal mu.(1).(0) (Qnum.of_ints 1 2));
+  Alcotest.(check bool) "norm0 = 10" true (Qnum.equal norms.(0) (Qnum.of_int 10))
+
+let prop_reduce_invariants =
+  QCheck.Test.make ~name:"LLL: same lattice, reduced, shorter" ~count:300 QCheck.int
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rng 4 in
+      let d = 1 + Random.State.int rng (min 3 n) in
+      let basis =
+        List.init d (fun _ -> Array.init n (fun _ -> Zint.of_int (Random.State.int rng 41 - 20)))
+      in
+      if Intmat.rank (Intmat.of_cols basis) < d then true
+      else begin
+        let red = Lll.reduce basis in
+        let canon b = (Hnf.compute (Intmat.of_cols b)).Hnf.h in
+        Lll.is_reduced red
+        && Intmat.equal (canon basis) (canon red)
+        &&
+        (* The standard LLL guarantee on the first vector:
+           ||b1||^2 <= 2^(m-1) * lambda1^2 <= 2^(m-1) * min input norm^2. *)
+        let min_norm b =
+          List.fold_left (fun acc v -> Zint.min acc (Intvec.dot v v)) (Intvec.dot (List.hd b) (List.hd b)) b
+        in
+        let first = Intvec.dot (List.hd red) (List.hd red) in
+        Zint.compare first (Zint.mul (Zint.pow Zint.two (d - 1)) (min_norm basis)) <= 0
+      end)
+
+let prop_lattice_oracle_matches_box =
+  QCheck.Test.make ~name:"lattice oracle = box oracle" ~count:300 QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int rng 3 in
+      let k = 1 + Random.State.int rng (n - 1) in
+      let t = Intmat.make k n (fun _ _ -> Zint.of_int (Random.State.int rng 15 - 7)) in
+      let mu = Array.init n (fun _ -> 1 + Random.State.int rng 5) in
+      (Conflict.find_conflict ~mu t = None) = (Conflict.find_conflict_lattice ~mu t = None))
+
+let prop_lattice_witness_sound =
+  QCheck.Test.make ~name:"lattice witness is a genuine in-box kernel vector" ~count:300
+    QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int rng 3 in
+      let k = 1 + Random.State.int rng (n - 1) in
+      let t = Intmat.make k n (fun _ _ -> Zint.of_int (Random.State.int rng 15 - 7)) in
+      let mu = Array.init n (fun _ -> 1 + Random.State.int rng 5) in
+      match Conflict.find_conflict_lattice ~mu t with
+      | None -> true
+      | Some g ->
+        Intvec.is_zero (Intmat.mul_vec t g)
+        && (not (Intvec.is_zero g))
+        && not (Conflict.is_feasible ~mu g))
+
+let test_large_mu_scaling () =
+  (* The whole point: mu = 1000 is decidable instantly via the lattice,
+     while the box would have ~10^9 points in 3-D. *)
+  let mu = [| 1000; 1000; 1000 |] in
+  let t_free = Intmat.append_row Matmul.paper_s (iv [ 1; 1000; 1 ]) in
+  Alcotest.(check bool) "(1,1000,1) conflict-free" true
+    (Conflict.find_conflict_lattice ~mu t_free = None);
+  let t_bad = Intmat.append_row Matmul.paper_s (iv [ 1; 1; 1 ]) in
+  Alcotest.(check bool) "(1,1,1) conflicts" true
+    (Conflict.find_conflict_lattice ~mu t_bad <> None);
+  (* And the dispatching oracle picks the lattice path for huge boxes. *)
+  Alcotest.(check bool) "dispatch agrees" true (Conflict.is_conflict_free ~mu t_free);
+  Alcotest.(check bool) "dispatch agrees (bad)" false (Conflict.is_conflict_free ~mu t_bad)
+
+let suite =
+  [
+    Alcotest.test_case "reduce known basis" `Quick test_reduce_known;
+    Alcotest.test_case "reduce preserves lattice" `Quick test_reduce_preserves_lattice;
+    Alcotest.test_case "single vector" `Quick test_reduce_single_vector;
+    Alcotest.test_case "dependent basis rejected" `Quick test_reduce_rejects_dependent;
+    Alcotest.test_case "gram-schmidt" `Quick test_gram_schmidt_orthogonality;
+    Alcotest.test_case "large-mu scaling" `Quick test_large_mu_scaling;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_reduce_invariants; prop_lattice_oracle_matches_box; prop_lattice_witness_sound ]

@@ -1,0 +1,293 @@
+(* Tests for the exact simplex, ILP branch & bound and vertex
+   enumeration. *)
+
+let q = Qnum.of_int
+let qq = Qnum.of_ints
+
+let solve_opt p =
+  match Simplex.solve p with
+  | Simplex.Optimal { x; obj } -> Some (x, obj)
+  | Simplex.Unbounded | Simplex.Infeasible -> None
+
+let test_basic_min () =
+  let p =
+    Simplex.
+      {
+        nvars = 2;
+        objective = Lin.of_ints [ 1; 1 ];
+        constraints =
+          Lin.[ ge_int (var 2 0) 1; ge_int (var 2 1) 2; ge_int (of_ints [ 1; 1 ]) 5 ];
+      }
+  in
+  match solve_opt p with
+  | Some (_, obj) -> Alcotest.(check string) "obj" "5" (Qnum.to_string obj)
+  | None -> Alcotest.fail "expected optimum"
+
+let test_infeasible () =
+  let p =
+    Simplex.
+      {
+        nvars = 1;
+        objective = Lin.of_ints [ 1 ];
+        constraints = Lin.[ ge_int (var 1 0) 3; le_int (var 1 0) 2 ];
+      }
+  in
+  (match Simplex.solve p with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible")
+
+let test_unbounded () =
+  let p =
+    Simplex.
+      {
+        nvars = 1;
+        objective = Lin.of_ints [ -1 ];
+        constraints = Lin.[ ge_int (var 1 0) 0 ];
+      }
+  in
+  (match Simplex.solve p with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded")
+
+let test_fractional_optimum () =
+  let p =
+    Simplex.
+      { nvars = 1; objective = Lin.of_ints [ 1 ]; constraints = [ Lin.ge_int (Lin.of_ints [ 2 ]) 3 ] }
+  in
+  match solve_opt p with
+  | Some (x, obj) ->
+    Alcotest.(check bool) "x = 3/2" true (Qnum.equal x.(0) (qq 3 2));
+    Alcotest.(check bool) "obj = 3/2" true (Qnum.equal obj (qq 3 2))
+  | None -> Alcotest.fail "expected optimum"
+
+let test_free_variables () =
+  (* Minimum at a negative coordinate: the split-variable encoding must
+     handle unrestricted signs. *)
+  let p =
+    Simplex.
+      { nvars = 1; objective = Lin.of_ints [ 1 ]; constraints = [ Lin.((var 1 0) >=. q (-5)) ] }
+  in
+  match solve_opt p with
+  | Some (x, _) -> Alcotest.(check bool) "x = -5" true (Qnum.equal x.(0) (q (-5)))
+  | None -> Alcotest.fail "expected optimum"
+
+let test_equality_constraints () =
+  let p =
+    Simplex.
+      {
+        nvars = 2;
+        objective = Lin.of_ints [ 1; 2 ];
+        constraints = Lin.[ eq_int (of_ints [ 1; 1 ]) 10; ge_int (var 2 0) 0; ge_int (var 2 1) 0 ];
+      }
+  in
+  match solve_opt p with
+  | Some (x, obj) ->
+    Alcotest.(check bool) "obj = 10 (all on x0)" true (Qnum.equal obj (q 10));
+    Alcotest.(check bool) "x0 = 10" true (Qnum.equal x.(0) (q 10))
+  | None -> Alcotest.fail "expected optimum"
+
+let test_degenerate_no_cycle () =
+  (* Classic degeneracy: multiple constraints active at the optimum;
+     Bland's rule must terminate. *)
+  let p =
+    Simplex.
+      {
+        nvars = 2;
+        objective = Lin.of_ints [ -1; -1 ];
+        constraints =
+          Lin.
+            [
+              le_int (of_ints [ 1; 0 ]) 1;
+              le_int (of_ints [ 0; 1 ]) 1;
+              le_int (of_ints [ 1; 1 ]) 2;
+              le_int (of_ints [ 2; 1 ]) 3;
+              ge_int (var 2 0) 0;
+              ge_int (var 2 1) 0;
+            ];
+      }
+  in
+  match solve_opt p with
+  | Some (_, obj) -> Alcotest.(check bool) "obj = -2" true (Qnum.equal obj (q (-2)))
+  | None -> Alcotest.fail "expected optimum"
+
+let test_maximize () =
+  let p =
+    Simplex.
+      {
+        nvars = 1;
+        objective = Lin.of_ints [ 1 ];
+        constraints = Lin.[ le_int (var 1 0) 7; ge_int (var 1 0) 0 ];
+      }
+  in
+  match Simplex.maximize p with
+  | Simplex.Optimal { obj; _ } -> Alcotest.(check bool) "max = 7" true (Qnum.equal obj (q 7))
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_feasible_point () =
+  let p =
+    Simplex.
+      {
+        nvars = 2;
+        objective = Lin.of_ints [ 0; 0 ];
+        constraints = Lin.[ ge_int (of_ints [ 1; 1 ]) 4; le_int (of_ints [ 1; -1 ]) 0 ];
+      }
+  in
+  match Simplex.feasible p with
+  | Some x -> Alcotest.(check bool) "satisfies" true (List.for_all (Lin.satisfies x) p.Simplex.constraints)
+  | None -> Alcotest.fail "expected feasible point"
+
+(* ------------------------- ILP ------------------------- *)
+
+let test_ilp_rounds_up () =
+  let p =
+    Simplex.
+      { nvars = 1; objective = Lin.of_ints [ 1 ]; constraints = [ Lin.ge_int (Lin.of_ints [ 2 ]) 3 ] }
+  in
+  match Ilp.solve p with
+  | Ilp.Optimal { x; obj } ->
+    Alcotest.(check int) "x = 2" 2 (Zint.to_int x.(0));
+    Alcotest.(check bool) "obj = 2" true (Qnum.equal obj (q 2))
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_ilp_knapsack () =
+  (* max 5x + 4y st 6x + 4y <= 24, x + 2y <= 6, x,y >= 0: ILP optimum 20 at (4,0). *)
+  let p =
+    Simplex.
+      {
+        nvars = 2;
+        objective = Lin.of_ints [ -5; -4 ];
+        constraints =
+          Lin.
+            [
+              le_int (of_ints [ 6; 4 ]) 24;
+              le_int (of_ints [ 1; 2 ]) 6;
+              ge_int (var 2 0) 0;
+              ge_int (var 2 1) 0;
+            ];
+      }
+  in
+  match Ilp.solve p with
+  | Ilp.Optimal { x; obj } ->
+    Alcotest.(check bool) "obj = -20" true (Qnum.equal obj (q (-20)));
+    Alcotest.(check int) "x = 4" 4 (Zint.to_int x.(0))
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_ilp_infeasible_gap () =
+  (* LP-feasible but integer-infeasible: 2 <= 4x <= 3. *)
+  let p =
+    Simplex.
+      {
+        nvars = 1;
+        objective = Lin.of_ints [ 1 ];
+        constraints = Lin.[ ge_int (of_ints [ 4 ]) 2; le_int (of_ints [ 4 ]) 3 ];
+      }
+  in
+  (match Ilp.solve p with
+  | Ilp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected integer infeasible")
+
+let test_ilp_stats () =
+  let p =
+    Simplex.
+      { nvars = 1; objective = Lin.of_ints [ 1 ]; constraints = [ Lin.ge_int (Lin.of_ints [ 2 ]) 3 ] }
+  in
+  let _, stats = Ilp.solve_with_stats p in
+  Alcotest.(check bool) "branched at least once" true (stats.Ilp.nodes >= 2)
+
+(* ---------------------- vertices ---------------------- *)
+
+let test_vertex_triangle () =
+  let cons = Lin.[ ge_int (var 2 0) 0; ge_int (var 2 1) 0; le_int (of_ints [ 1; 1 ]) 2 ] in
+  let vs = Vertex.enumerate ~nvars:2 cons in
+  Alcotest.(check int) "3 vertices" 3 (List.length vs);
+  Alcotest.(check bool) "integral" true (Vertex.all_integral vs)
+
+let test_vertex_unbounded_polyhedron () =
+  (* x >= 1, y >= 1: single vertex (1,1) despite unboundedness. *)
+  let cons = Lin.[ ge_int (var 2 0) 1; ge_int (var 2 1) 1 ] in
+  let vs = Vertex.enumerate ~nvars:2 cons in
+  Alcotest.(check int) "one vertex" 1 (List.length vs)
+
+let test_vertex_empty () =
+  let cons = Lin.[ ge_int (var 1 0) 3; le_int (var 1 0) 2 ] in
+  Alcotest.(check (list pass)) "no vertices" [] (Vertex.enumerate ~nvars:1 cons)
+
+let test_vertex_minimize () =
+  let cons = Lin.[ ge_int (var 2 0) 1; ge_int (var 2 1) 2; ge_int (of_ints [ 1; 1 ]) 5 ] in
+  match Vertex.minimize ~nvars:2 (Lin.of_ints [ 1; 1 ]) cons with
+  | Some (_, v) -> Alcotest.(check bool) "min 5" true (Qnum.equal v (q 5))
+  | None -> Alcotest.fail "expected vertex"
+
+(* ---------------------- properties ---------------------- *)
+
+let random_bounded_problem seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 2 + Random.State.int rng 2 in
+  let box =
+    List.concat
+      (List.init n (fun i -> Lin.[ ge_int (var n i) 0; le_int (var n i) 5 ]))
+  in
+  let cuts =
+    List.init
+      (1 + Random.State.int rng 3)
+      (fun _ ->
+        let e = Array.init n (fun _ -> q (Random.State.int rng 5 - 2)) in
+        Lin.(e <=. q (Random.State.int rng 10)))
+  in
+  let obj = Array.init n (fun _ -> q (Random.State.int rng 7 - 3)) in
+  Simplex.{ nvars = n; objective = obj; constraints = box @ cuts }
+
+let prop_simplex_equals_vertex_scan =
+  QCheck.Test.make ~name:"simplex optimum = best vertex (bounded)" ~count:200 QCheck.int
+    (fun seed ->
+      let p = random_bounded_problem seed in
+      match
+        (Simplex.solve p, Vertex.minimize ~nvars:p.Simplex.nvars p.Simplex.objective p.Simplex.constraints)
+      with
+      | Simplex.Optimal { obj; _ }, Some (_, v) -> Qnum.equal obj v
+      | Simplex.Infeasible, None -> true
+      | _ -> false)
+
+let prop_solution_feasible =
+  QCheck.Test.make ~name:"simplex solution satisfies all constraints" ~count:200 QCheck.int
+    (fun seed ->
+      let p = random_bounded_problem seed in
+      match Simplex.solve p with
+      | Simplex.Optimal { x; _ } -> List.for_all (Lin.satisfies x) p.Simplex.constraints
+      | Simplex.Infeasible -> true
+      | Simplex.Unbounded -> false)
+
+let prop_ilp_at_least_lp =
+  QCheck.Test.make ~name:"ILP optimum >= LP optimum, integral, feasible" ~count:150 QCheck.int
+    (fun seed ->
+      let p = random_bounded_problem seed in
+      match (Simplex.solve p, Ilp.solve p) with
+      | Simplex.Optimal { obj = lp; _ }, Ilp.Optimal { x; obj = ip } ->
+        Qnum.compare ip lp >= 0
+        && List.for_all (Lin.satisfies (Array.map Qnum.of_zint x)) p.Simplex.constraints
+      | Simplex.Infeasible, Ilp.Infeasible -> true
+      | _, Ilp.Infeasible -> true (* integrality gap can empty the box *)
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "basic min" `Quick test_basic_min;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "fractional optimum" `Quick test_fractional_optimum;
+    Alcotest.test_case "free variables" `Quick test_free_variables;
+    Alcotest.test_case "equality constraints" `Quick test_equality_constraints;
+    Alcotest.test_case "degenerate no cycle" `Quick test_degenerate_no_cycle;
+    Alcotest.test_case "maximize" `Quick test_maximize;
+    Alcotest.test_case "feasible point" `Quick test_feasible_point;
+    Alcotest.test_case "ilp rounds up" `Quick test_ilp_rounds_up;
+    Alcotest.test_case "ilp knapsack" `Quick test_ilp_knapsack;
+    Alcotest.test_case "ilp integrality gap" `Quick test_ilp_infeasible_gap;
+    Alcotest.test_case "ilp stats" `Quick test_ilp_stats;
+    Alcotest.test_case "vertex triangle" `Quick test_vertex_triangle;
+    Alcotest.test_case "vertex unbounded" `Quick test_vertex_unbounded_polyhedron;
+    Alcotest.test_case "vertex empty" `Quick test_vertex_empty;
+    Alcotest.test_case "vertex minimize" `Quick test_vertex_minimize;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_simplex_equals_vertex_scan; prop_solution_feasible; prop_ilp_at_least_lp ]

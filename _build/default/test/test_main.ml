@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "shang-fortes-1990"
+    [
+      ("zint", Test_zint.suite);
+      ("qnum", Test_qnum.suite);
+      ("linalg", Test_linalg.suite);
+      ("hnf-smith", Test_hnf.suite);
+      ("ratmat", Test_ratmat.suite);
+      ("lp", Test_lp.suite);
+      ("uda", Test_uda.suite);
+      ("conflict", Test_conflict.suite);
+      ("theorems", Test_theorems.suite);
+      ("schedule-tmap", Test_mapping.suite);
+      ("optimizers", Test_optimizers.suite);
+      ("systolic", Test_systolic.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("lll", Test_lll.suite);
+      ("space-opt", Test_space_opt.suite);
+      ("frontend", Test_frontend.suite);
+      ("enumerate", Test_enumerate.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("edge-cases", Test_edge.suite);
+      ("scale", Test_scale.suite);
+      ("report", Test_report.suite);
+      ("paper-facts", Test_paper.suite);
+    ]

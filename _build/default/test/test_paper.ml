@@ -1,0 +1,241 @@
+(* Integration tests pinning every quantitative claim of the paper to
+   this implementation (the per-experiment index of DESIGN.md). *)
+
+let iv = Intvec.of_ints
+let im = Intmat.of_ints
+
+(* E2/E3 — Example 2.1 / 4.2: the mapping of Equation 2.8. *)
+let test_e2_example_2_1 () =
+  let t = im [ [ 1; 7; 1; 1 ]; [ 1; 7; 1; 0 ] ] in
+  let mu = [| 6; 6; 6; 6 |] in
+  (* "Therefore, T is not conflict-free." *)
+  Alcotest.(check bool) "not conflict-free" false (Conflict.is_conflict_free ~mu t);
+  (* gamma = (2,0,-2,0) is a kernel vector but not a conflict vector
+     (gcd 2); the box oracle returns primitive witnesses only. *)
+  match Conflict.find_conflict ~mu t with
+  | Some g -> Alcotest.(check bool) "primitive witness" true (Intvec.is_primitive g)
+  | None -> Alcotest.fail "expected a witness"
+
+let test_e3_hermite_of_equation_2_8 () =
+  let t = im [ [ 1; 7; 1; 1 ]; [ 1; 7; 1; 0 ] ] in
+  let res = Hnf.compute t in
+  (* Theorem 4.1 structure: H = [L 0], L lower triangular nonsingular. *)
+  Alcotest.(check bool) "verify" true (Hnf.verify t res);
+  Alcotest.(check int) "rank 2" 2 res.Hnf.rank;
+  (* Theorem 4.2(3): all conflict vectors are integral combinations of
+     the last two columns of U; the non-feasible (1,0,-1,0) of the
+     paper must be such a combination. *)
+  let u3 = Intmat.col res.Hnf.u 2 and u4 = Intmat.col res.Hnf.u 3 in
+  let target = iv [ 1; 0; -1; 0 ] in
+  let found = ref false in
+  for a = -10 to 10 do
+    for b = -10 to 10 do
+      if Intvec.equal target (Intvec.add (Intvec.scale_int a u3) (Intvec.scale_int b u4)) then
+        found := true
+    done
+  done;
+  Alcotest.(check bool) "(1,0,-1,0) in the kernel lattice" true !found
+
+(* E4 — Example 3.1 / Equation 3.5 with T gamma = 0. *)
+let test_e4_matmul_gamma () =
+  let s = Matmul.paper_s in
+  List.iter
+    (fun pi ->
+      let t = Intmat.append_row s (iv pi) in
+      match Conflict.single_conflict_vector t with
+      | Some g ->
+        Alcotest.(check bool) "T gamma = 0" true (Intvec.is_zero (Intmat.mul_vec t g));
+        (* Equation 3.5 shape: proportional to (-p2-p3, p1+p3, p1-p2). *)
+        let p1 = List.nth pi 0 and p2 = List.nth pi 1 and p3 = List.nth pi 2 in
+        let expected = Intvec.normalize_sign (Intvec.primitive_part (iv [ -p2 - p3; p1 + p3; p1 - p2 ])) in
+        Alcotest.(check (list int)) "Eq 3.5" (Intvec.to_ints expected) (Intvec.to_ints g)
+      | None -> Alcotest.fail "expected gamma")
+    [ [ 1; 4; 1 ]; [ 2; 1; 3 ]; [ 1; 2; 3 ]; [ 5; 2; 2 ] ]
+
+(* E5 — Example 3.2 / Equation 3.7. *)
+let test_e5_tc_gamma () =
+  let s = Transitive_closure.paper_s in
+  List.iter
+    (fun pi ->
+      let t = Intmat.append_row s (iv pi) in
+      match Conflict.single_conflict_vector t with
+      | Some g ->
+        let p1 = List.nth pi 0 and p2 = List.nth pi 1 in
+        let expected = Intvec.normalize_sign (Intvec.primitive_part (iv [ p2; -p1; 0 ])) in
+        Alcotest.(check (list int)) "Eq 3.7" (Intvec.to_ints expected) (Intvec.to_ints g)
+      | None -> Alcotest.fail "expected gamma")
+    [ [ 5; 1; 1 ]; [ 9; 1; 1 ]; [ 7; 2; 1 ] ]
+
+(* E6 — Example 5.1 and its appendix derivation. *)
+let test_e6_appendix_extreme_points () =
+  (* Formulation I of Equation 8.1 at mu = 4 has exactly the extreme
+     points Pi_1 = (1,1,mu) and Pi_2 = (1,mu,1). *)
+  let mu = 4 in
+  let n = 3 in
+  let cons =
+    Lin.
+      [
+        ge_int (var n 0) 1;
+        ge_int (var n 1) 1;
+        ge_int (var n 2) 1;
+        ge_int (of_ints [ 0; 1; 1 ]) (mu + 1);
+      ]
+  in
+  let vs = Vertex.enumerate ~nvars:n cons in
+  Alcotest.(check bool) "all integral" true (Vertex.all_integral vs);
+  let as_ints = List.map (fun v -> Array.to_list (Array.map (fun q -> Zint.to_int (Qnum.to_zint_exn q)) v)) vs in
+  let sorted = List.sort compare as_ints in
+  Alcotest.(check (list (list int))) "Pi_1 and Pi_2" [ [ 1; 1; mu ]; [ 1; mu; 1 ] ] sorted;
+  (* Pi_1 = (1,1,mu) has the non-feasible conflict vector (1,1,0)
+     mentioned in the appendix... normalized here as primitive. *)
+  let t1 = Intmat.append_row Matmul.paper_s (iv [ 1; 1; mu ]) in
+  (match Conflict.single_conflict_vector t1 with
+  | Some g ->
+    Alcotest.(check bool) "Pi_1 rejected" false (Conflict.is_feasible ~mu:[| mu; mu; mu |] g)
+  | None -> Alcotest.fail "expected gamma");
+  (* Pi_2 = (1,mu,1) is feasible. *)
+  let t2 = Intmat.append_row Matmul.paper_s (iv [ 1; mu; 1 ]) in
+  match Conflict.single_conflict_vector t2 with
+  | Some g -> Alcotest.(check bool) "Pi_2 accepted" true (Conflict.is_feasible ~mu:[| mu; mu; mu |] g)
+  | None -> Alcotest.fail "expected gamma"
+
+let test_e6_matmul_vs_lee_kedem_crossover () =
+  (* The paper (quoting [23]) says Pi' = (2,1,mu) is optimal at mu = 3
+     and suboptimal at mu = 4.  Under THIS paper's own constraint set
+     (Definition 2.2, which allows buffered early arrival) we find that
+     Pi' is already suboptimal at mu = 3: Pi = (1,2,2) is conflict-free
+     with t = 16 < 19.  The mu = 3 remark holds only under [23]'s
+     stricter exact-arrival model — a reproduction observation recorded
+     in EXPERIMENTS.md (E6). *)
+  let optimal mu =
+    match Procedure51.optimize (Matmul.algorithm ~mu) ~s:Matmul.paper_s with
+    | Some r -> r.Procedure51.total_time
+    | None -> Alcotest.fail "expected schedule"
+  in
+  Alcotest.(check int) "mu=3 optimum is mu(mu+2)+1" 16 (optimal 3);
+  Alcotest.(check bool) "Pi' beaten at mu=3 in our model" true
+    (optimal 3 < Matmul.lee_kedem_total_time ~mu:3);
+  Alcotest.(check bool) "Pi' beaten at mu=4 (paper agrees)" true
+    (optimal 4 < Matmul.lee_kedem_total_time ~mu:4);
+  (* The witness schedule runs clean end to end. *)
+  let mu = 3 in
+  let rng = Random.State.make [| 5 |] in
+  let a = Matmul.random_matrix ~rng (mu + 1) and b = Matmul.random_matrix ~rng (mu + 1) in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(iv [ 1; 2; 2 ]) in
+  let r = Exec.run (Matmul.algorithm ~mu) (Matmul.semantics ~a ~b) tm in
+  Alcotest.(check bool) "witness clean" true (Exec.is_clean r);
+  Alcotest.(check int) "witness makespan 16" 16 r.Exec.makespan
+
+(* E9 — Example 5.2 and the appendix's Formulation II extreme points. *)
+let test_e9_appendix_tc_extreme_points () =
+  let mu = 4 in
+  let n = 3 in
+  (* Formulation II: pi2 >= 1, pi3 >= 1, pi1 - pi2 - pi3 >= 1,
+     pi1 - pi2 >= 1, pi1 - pi3 >= 1, pi1 >= mu+1.  Wait: the paper's
+     branch fixes pi1 >= mu + 1; its four extreme points are listed in
+     the appendix. *)
+  let cons =
+    Lin.
+      [
+        ge_int (var n 1) 1;
+        ge_int (var n 2) 1;
+        ge_int (of_ints [ 1; -1; -1 ]) 1;
+        ge_int (of_ints [ 1; -1; 0 ]) 1;
+        ge_int (of_ints [ 1; 0; -1 ]) 1;
+        ge_int (var n 0) (mu + 1);
+      ]
+  in
+  let vs = Vertex.enumerate ~nvars:n cons in
+  Alcotest.(check bool) "integral" true (Vertex.all_integral vs);
+  let as_ints =
+    List.sort compare
+      (List.map (fun v -> Array.to_list (Array.map (fun q -> Zint.to_int (Qnum.to_zint_exn q)) v)) vs)
+  in
+  (* Paper: Pi_1 = (mu+1,1,1), Pi_2 = (mu+1,1,mu-1), Pi_4 = (mu+1,mu-1,1)
+     (Pi_3 as printed fails pi1 - pi2 - pi3 >= 1; OCR noise — the
+     enumeration is authoritative). *)
+  Alcotest.(check bool) "contains (mu+1,1,1)" true (List.mem [ mu + 1; 1; 1 ] as_ints);
+  Alcotest.(check bool) "contains (mu+1,1,mu-1)" true (List.mem [ mu + 1; 1; mu - 1 ] as_ints);
+  Alcotest.(check bool) "contains (mu+1,mu-1,1)" true (List.mem [ mu + 1; mu - 1; 1 ] as_ints)
+
+let test_e9_tc_improvement_factor () =
+  (* The headline: t' = mu(2mu+3)+1 of [22] improved to mu(mu+3)+1 —
+     asymptotically a 2x speedup. *)
+  List.iter
+    (fun mu ->
+      let t_opt = Transitive_closure.optimal_total_time ~mu in
+      let t_prior = Transitive_closure.prior_total_time ~mu in
+      Alcotest.(check bool) "strictly better for mu >= 1" true (t_opt < t_prior);
+      let ratio = float_of_int t_prior /. float_of_int t_opt in
+      Alcotest.(check bool) "ratio approaches 2" true (ratio > 1.5 || mu < 4))
+    [ 2; 4; 8; 16; 32 ]
+
+(* E10 — the 5-D bit-level mapping via Proposition 8.1 + Theorem 4.7. *)
+let test_e10_bit_matmul_mapping_exists () =
+  let alg = Bit_matmul.algorithm ~mu_word:2 ~mu_bit:2 in
+  let s = Bit_matmul.example_s in
+  match Procedure51.optimize ~max_objective:40 alg ~s with
+  | Some r ->
+    let t = Intmat.append_row s r.Procedure51.pi in
+    let mu = Index_set.bounds alg.Algorithm.index_set in
+    Alcotest.(check bool) "conflict-free" true (Conflict.is_conflict_free ~mu t);
+    Alcotest.(check bool) "rank 3" true (Intmat.rank t = 3);
+    (* Proposition 8.1 agrees with the generic HNF machinery. *)
+    (match Prop81.compute ~s ~pi:r.Procedure51.pi with
+    | Some p ->
+      Alcotest.(check bool) "u4 in kernel" true (Intvec.is_zero (Intmat.mul_vec t p.Prop81.u4));
+      Alcotest.(check bool) "u5 in kernel" true (Intvec.is_zero (Intmat.mul_vec t p.Prop81.u5))
+    | None -> Alcotest.fail "Prop 8.1 must apply")
+  | None -> Alcotest.fail "expected a schedule"
+
+(* E15 — Section 3's motivating sentence: 4-D bit-level convolution
+   onto a 2-D array via the Theorem 3.1 closed form. *)
+let test_e15_bit_convolution_2d () =
+  let alg = Bit_convolution.algorithm ~mu_sample:3 ~mu_tap:2 ~mu_bit:2 in
+  let s = Bit_convolution.bitplane_s in
+  match Procedure51.optimize alg ~s with
+  | None -> Alcotest.fail "expected a schedule"
+  | Some r ->
+    let t = Intmat.append_row s r.Procedure51.pi in
+    (* n = 4, k = 3: the (n-1) x n case — a single conflict vector. *)
+    (match Conflict.single_conflict_vector t with
+    | Some gamma ->
+      Alcotest.(check bool) "Theorem 3.1 gamma feasible" true
+        (Conflict.is_feasible ~mu:(Index_set.bounds alg.Algorithm.index_set) gamma)
+    | None -> Alcotest.fail "expected the closed-form conflict vector");
+    let tm = Tmap.make ~s ~pi:r.Procedure51.pi in
+    let rep = Exec.run alg Dataflow.semantics tm in
+    Alcotest.(check bool) "clean" true (Exec.is_clean rep);
+    Alcotest.(check int) "bit-plane PEs" 9 rep.Exec.num_processors;
+    (* Perfectly balanced bit-plane load. *)
+    let loads = Stats.pe_loads alg tm in
+    let _, first = List.hd loads in
+    Alcotest.(check bool) "balanced load" true (List.for_all (fun (_, c) -> c = first) loads)
+
+(* Theorem 2.1 — monotonicity of total time in |pi_i|. *)
+let test_theorem_2_1_monotonicity () =
+  let mu = [| 3; 5; 2 |] in
+  let base = [| 2; -1; 3 |] in
+  let t0 = Schedule.total_time ~mu (Intvec.of_int_array base) in
+  Array.iteri
+    (fun i v ->
+      let bumped = Array.copy base in
+      bumped.(i) <- (if v >= 0 then v + 1 else v - 1);
+      let t1 = Schedule.total_time ~mu (Intvec.of_int_array bumped) in
+      Alcotest.(check bool) "increases" true (t1 > t0))
+    base
+
+let suite =
+  [
+    Alcotest.test_case "E2: Example 2.1" `Quick test_e2_example_2_1;
+    Alcotest.test_case "E3: HNF of Eq 2.8" `Quick test_e3_hermite_of_equation_2_8;
+    Alcotest.test_case "E4: Eq 3.5 gamma" `Quick test_e4_matmul_gamma;
+    Alcotest.test_case "E5: Eq 3.7 gamma" `Quick test_e5_tc_gamma;
+    Alcotest.test_case "E6: appendix extreme points" `Quick test_e6_appendix_extreme_points;
+    Alcotest.test_case "E6: crossover vs [23]" `Slow test_e6_matmul_vs_lee_kedem_crossover;
+    Alcotest.test_case "E9: appendix TC extreme points" `Quick test_e9_appendix_tc_extreme_points;
+    Alcotest.test_case "E9: improvement over [22]" `Quick test_e9_tc_improvement_factor;
+    Alcotest.test_case "E10: 5-D bit-level mapping" `Slow test_e10_bit_matmul_mapping_exists;
+    Alcotest.test_case "E15: 4-D bit convolution -> 2-D" `Slow test_e15_bit_convolution_2d;
+    Alcotest.test_case "Theorem 2.1 monotonicity" `Quick test_theorem_2_1_monotonicity;
+  ]

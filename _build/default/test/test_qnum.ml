@@ -1,0 +1,83 @@
+(* Unit and property tests for exact rationals. *)
+
+let q = Qnum.of_int
+let qq = Qnum.of_ints
+let check_q msg expected actual = Alcotest.(check string) msg expected (Qnum.to_string actual)
+
+let test_canonical_form () =
+  check_q "6/4 reduces" "3/2" (qq 6 4);
+  check_q "-6/4 reduces" "-3/2" (qq (-6) 4);
+  check_q "6/-4 sign moves up" "-3/2" (qq 6 (-4));
+  check_q "-6/-4" "3/2" (qq (-6) (-4));
+  check_q "0/5" "0" (qq 0 5);
+  Alcotest.(check bool) "den positive" true (Zint.sign (Qnum.den (qq 3 (-7))) > 0)
+
+let test_zero_denominator () =
+  Alcotest.check_raises "make 1/0" Division_by_zero (fun () -> ignore (qq 1 0));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Qnum.inv Qnum.zero));
+  Alcotest.check_raises "div by 0" Division_by_zero (fun () -> ignore (Qnum.div Qnum.one Qnum.zero))
+
+let test_arithmetic () =
+  check_q "1/2 + 1/3" "5/6" (Qnum.add (qq 1 2) (qq 1 3));
+  check_q "1/2 - 1/3" "1/6" (Qnum.sub (qq 1 2) (qq 1 3));
+  check_q "2/3 * 3/4" "1/2" (Qnum.mul (qq 2 3) (qq 3 4));
+  check_q "1/2 / 1/4" "2" (Qnum.div (qq 1 2) (qq 1 4));
+  check_q "inv -2/3" "-3/2" (Qnum.inv (qq (-2) 3))
+
+let test_rounding () =
+  let cases = [ (7, 2, 3, 4); (-7, 2, -4, -3); (6, 3, 2, 2); (-1, 2, -1, 0); (0, 1, 0, 0) ] in
+  List.iter
+    (fun (n, d, fl, ce) ->
+      Alcotest.(check int) (Printf.sprintf "floor %d/%d" n d) fl (Zint.to_int (Qnum.floor (qq n d)));
+      Alcotest.(check int) (Printf.sprintf "ceil %d/%d" n d) ce (Zint.to_int (Qnum.ceil (qq n d))))
+    cases
+
+let test_is_integer () =
+  Alcotest.(check bool) "4/2 is integer" true (Qnum.is_integer (qq 4 2));
+  Alcotest.(check bool) "3/2 not" false (Qnum.is_integer (qq 3 2));
+  Alcotest.(check int) "to_zint_exn" 2 (Zint.to_int (Qnum.to_zint_exn (qq 4 2)));
+  Alcotest.check_raises "to_zint_exn fails" (Failure "Qnum.to_zint_exn: not an integer")
+    (fun () -> ignore (Qnum.to_zint_exn (qq 3 2)))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Qnum.compare (qq 1 3) (qq 1 2) < 0);
+  Alcotest.(check bool) "-1/3 > -1/2" true (Qnum.compare (qq (-1) 3) (qq (-1) 2) > 0);
+  Alcotest.(check bool) "equal canonical" true (Qnum.equal (qq 2 4) (qq 1 2));
+  Alcotest.(check bool) "min" true (Qnum.equal (Qnum.min (qq 1 3) (qq 1 2)) (qq 1 3));
+  Alcotest.(check bool) "max" true (Qnum.equal (Qnum.max (qq 1 3) (qq 1 2)) (qq 1 2))
+
+let rational_gen =
+  QCheck.map
+    (fun (n, d) -> Qnum.of_ints n (if d = 0 then 1 else d))
+    QCheck.(pair (int_range (-10000) 10000) (int_range (-100) 100))
+
+let prop_field_axioms =
+  QCheck.Test.make ~name:"field axioms" ~count:1000
+    QCheck.(triple rational_gen rational_gen rational_gen)
+    (fun (a, b, c) ->
+      Qnum.equal (Qnum.add a b) (Qnum.add b a)
+      && Qnum.equal (Qnum.mul a (Qnum.add b c)) (Qnum.add (Qnum.mul a b) (Qnum.mul a c))
+      && Qnum.equal (Qnum.sub a a) Qnum.zero
+      && (Qnum.is_zero a || Qnum.equal (Qnum.mul a (Qnum.inv a)) Qnum.one))
+
+let prop_floor_bounds =
+  QCheck.Test.make ~name:"floor <= q < floor+1" ~count:1000 rational_gen (fun a ->
+      let f = Qnum.of_zint (Qnum.floor a) in
+      Qnum.compare f a <= 0 && Qnum.compare a (Qnum.add f Qnum.one) < 0)
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:1000
+    QCheck.(pair rational_gen rational_gen)
+    (fun (a, b) -> Qnum.compare a b = -Qnum.compare b a)
+
+let suite =
+  [
+    Alcotest.test_case "canonical form" `Quick test_canonical_form;
+    Alcotest.test_case "zero denominator" `Quick test_zero_denominator;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "rounding" `Quick test_rounding;
+    Alcotest.test_case "is_integer" `Quick test_is_integer;
+    Alcotest.test_case "compare" `Quick test_compare;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_field_axioms; prop_floor_bounds; prop_compare_antisym ]

@@ -1,0 +1,70 @@
+(* Tests for rational matrices (Gauss-Jordan). *)
+
+let qm ll = Array.of_list (List.map (fun r -> Array.of_list (List.map Qnum.of_int r)) ll)
+let qv l = Array.of_list (List.map Qnum.of_int l)
+
+let test_inverse_known () =
+  let m = qm [ [ 2; 0 ]; [ 0; 4 ] ] in
+  match Ratmat.inverse m with
+  | Some inv ->
+    Alcotest.(check bool) "inv entries" true
+      (Qnum.equal inv.(0).(0) (Qnum.of_ints 1 2) && Qnum.equal inv.(1).(1) (Qnum.of_ints 1 4))
+  | None -> Alcotest.fail "expected invertible"
+
+let test_inverse_singular () =
+  Alcotest.(check bool) "singular" true (Ratmat.inverse (qm [ [ 1; 2 ]; [ 2; 4 ] ]) = None)
+
+let test_solve_unique () =
+  let a = qm [ [ 1; 1 ]; [ 1; -1 ] ] in
+  match Ratmat.solve a (qv [ 4; 2 ]) with
+  | Some x ->
+    Alcotest.(check bool) "x = (3,1)" true (Qnum.equal x.(0) (Qnum.of_int 3) && Qnum.equal x.(1) Qnum.one)
+  | None -> Alcotest.fail "expected solution"
+
+let test_solve_inconsistent () =
+  let a = qm [ [ 1; 1 ]; [ 1; 1 ] ] in
+  Alcotest.(check bool) "inconsistent" true (Ratmat.solve a (qv [ 1; 2 ]) = None)
+
+let test_solve_underdetermined () =
+  let a = qm [ [ 1; 1 ] ] in
+  match Ratmat.solve a (qv [ 5 ]) with
+  | Some x ->
+    let v = Qnum.add x.(0) x.(1) in
+    Alcotest.(check bool) "satisfies" true (Qnum.equal v (Qnum.of_int 5))
+  | None -> Alcotest.fail "expected a solution"
+
+let prop_inverse_roundtrip =
+  QCheck.Test.make ~name:"M * M^-1 = I or singular" ~count:300 QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 1 + Random.State.int rng 4 in
+      let m = Ratmat.make n n (fun _ _ -> Qnum.of_int (Random.State.int rng 11 - 5)) in
+      match Ratmat.inverse m with
+      | Some inv ->
+        Ratmat.equal (Ratmat.mul m inv) (Ratmat.identity n)
+        && Ratmat.equal (Ratmat.mul inv m) (Ratmat.identity n)
+      | None -> Ratmat.rank m < n)
+
+let prop_solve_satisfies =
+  QCheck.Test.make ~name:"solve returns a genuine solution" ~count:300 QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let r = 1 + Random.State.int rng 3 and c = 1 + Random.State.int rng 4 in
+      let a = Ratmat.make r c (fun _ _ -> Qnum.of_int (Random.State.int rng 7 - 3)) in
+      let b = Array.init r (fun _ -> Qnum.of_int (Random.State.int rng 9 - 4)) in
+      match Ratmat.solve a b with
+      | Some x ->
+        let ax = Ratmat.mul_vec a x in
+        Array.for_all2 Qnum.equal ax b
+      | None ->
+        (* Inconsistency witnessed by rank jump of the augmented matrix. *)
+        let aug = Ratmat.make r (c + 1) (fun i j -> if j < c then a.(i).(j) else b.(i)) in
+        Ratmat.rank aug > Ratmat.rank a)
+
+let suite =
+  [
+    Alcotest.test_case "inverse known" `Quick test_inverse_known;
+    Alcotest.test_case "inverse singular" `Quick test_inverse_singular;
+    Alcotest.test_case "solve unique" `Quick test_solve_unique;
+    Alcotest.test_case "solve inconsistent" `Quick test_solve_inconsistent;
+    Alcotest.test_case "solve underdetermined" `Quick test_solve_underdetermined;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_inverse_roundtrip; prop_solve_satisfies ]

@@ -1,0 +1,35 @@
+(* Tests for the text-table renderer. *)
+
+let test_render_alignment () =
+  let t = Table.create [ "name"; "value" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "long-name"; "12345" ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: sep :: _ ->
+    Alcotest.(check int) "separator width" (String.length header) (String.length sep)
+  | _ -> Alcotest.fail "expected at least two lines");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "contains row" true (List.exists (fun l -> contains l "long-name") lines)
+
+let test_arity_mismatch () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.(check bool) "rejected" true
+    (try Table.add_row t [ "only-one" ]; false with Invalid_argument _ -> true)
+
+let test_int_row () =
+  let t = Table.create [ "mu"; "t" ] in
+  Table.add_int_row t "4" [ 25 ];
+  Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "alignment" `Quick test_render_alignment;
+    Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+    Alcotest.test_case "int row" `Quick test_int_row;
+  ]

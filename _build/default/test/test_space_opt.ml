@@ -1,0 +1,142 @@
+(* Tests for the space-optimal mapping search (the paper's
+   Problem 6.1). *)
+
+let test_matmul_linear_array () =
+  (* With Pi = (1,4,1) fixed, a 9-PE linear array exists — better than
+     the paper's 13-PE S = [1,1,-1]. *)
+  let alg = Matmul.algorithm ~mu:4 in
+  match Space_opt.optimize alg ~pi:(Matmul.optimal_pi ~mu:4) ~k:2 with
+  | Some r ->
+    Alcotest.(check int) "9 PEs" 9 r.Space_opt.processors;
+    (* The found S beats the paper's S on the same objective. *)
+    let paper_tm = Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu:4) in
+    let paper_procs = List.length (Tmap.processors paper_tm alg.Algorithm.index_set) in
+    Alcotest.(check bool) "beats paper's 13 PEs" true (r.Space_opt.processors < paper_procs);
+    (* Validity: conflict-free and full rank. *)
+    let t = Intmat.append_row r.Space_opt.s (Matmul.optimal_pi ~mu:4) in
+    Alcotest.(check bool) "conflict-free" true (Conflict.is_conflict_free ~mu:[| 4; 4; 4 |] t);
+    Alcotest.(check int) "rank 2" 2 (Intmat.rank t)
+  | None -> Alcotest.fail "expected a space mapping"
+
+let test_found_mapping_simulates_cleanly () =
+  let mu = 4 in
+  let alg = Matmul.algorithm ~mu in
+  let pi = Matmul.optimal_pi ~mu in
+  match Space_opt.optimize alg ~pi ~k:2 with
+  | Some r ->
+    let rng = Random.State.make [| 3 |] in
+    let a = Matmul.random_matrix ~rng (mu + 1) and b = Matmul.random_matrix ~rng (mu + 1) in
+    let report = Exec.run alg (Matmul.semantics ~a ~b) (Tmap.make ~s:r.Space_opt.s ~pi) in
+    Alcotest.(check bool) "clean" true (Exec.is_clean report);
+    Alcotest.(check int) "PE count matches" r.Space_opt.processors report.Exec.num_processors
+  | None -> Alcotest.fail "expected a space mapping"
+
+let test_tc_space () =
+  let alg = Transitive_closure.algorithm ~mu:4 in
+  match Space_opt.optimize alg ~pi:(Transitive_closure.optimal_pi ~mu:4) ~k:2 with
+  | Some r ->
+    (* The paper's S = [0,0,1] is already processor-optimal (mu+1 PEs). *)
+    Alcotest.(check int) "5 PEs" 5 r.Space_opt.processors
+  | None -> Alcotest.fail "expected a space mapping"
+
+let test_objective_processors_only () =
+  let alg = Matmul.algorithm ~mu:3 in
+  let pi = Intvec.of_ints [ 1; 2; 2 ] in
+  match
+    ( Space_opt.optimize ~objective:Space_opt.Processors alg ~pi ~k:2,
+      Space_opt.optimize ~objective:Space_opt.Processors_plus_wire alg ~pi ~k:2 )
+  with
+  | Some a, Some b ->
+    Alcotest.(check bool) "procs-only never uses more PEs" true
+      (a.Space_opt.processors <= b.Space_opt.processors)
+  | _ -> Alcotest.fail "expected mappings"
+
+let test_2d_target () =
+  (* 4-D convolution onto a 2-D array: S has two rows. *)
+  let alg = Convolution.algorithm ~mu_ij:2 ~mu_pq:1 in
+  match Procedure51.optimize alg ~s:Convolution.example_s with
+  | None -> Alcotest.fail "expected a schedule"
+  | Some p -> (
+    match Space_opt.optimize alg ~pi:p.Procedure51.pi ~k:3 with
+    | Some r ->
+      Alcotest.(check int) "two rows" 2 (Intmat.rows r.Space_opt.s);
+      let t = Intmat.append_row r.Space_opt.s p.Procedure51.pi in
+      Alcotest.(check int) "rank 3" 3 (Intmat.rank t);
+      Alcotest.(check bool) "conflict-free" true
+        (Conflict.is_conflict_free ~mu:(Index_set.bounds alg.Algorithm.index_set) t)
+    | None -> Alcotest.fail "expected a space mapping")
+
+let test_joint_matmul () =
+  (* Problem 6.2 on matmul mu = 4: the joint optimum reaches the same
+     total time as the paper's fixed-S optimum (25) with only 9 PEs. *)
+  let mu = 4 in
+  let alg = Matmul.algorithm ~mu in
+  match Space_opt.optimize_joint alg ~k:2 with
+  | Some (pi, r) ->
+    Alcotest.(check int) "time 25" 25 (Schedule.total_time ~mu:[| mu; mu; mu |] pi);
+    Alcotest.(check int) "9 PEs" 9 r.Space_opt.processors;
+    let t = Intmat.append_row r.Space_opt.s pi in
+    Alcotest.(check bool) "conflict-free" true (Conflict.is_conflict_free ~mu:[| mu; mu; mu |] t)
+  | None -> Alcotest.fail "expected a joint mapping"
+
+let test_wider_entry_bound_no_improvement () =
+  (* Even over entries in [-2, 2], no linear array beats 9 PEs for
+     matmul at the optimal schedule: 9 is genuinely minimal. *)
+  let alg = Matmul.algorithm ~mu:4 in
+  match Space_opt.optimize ~entry_bound:2 alg ~pi:(Matmul.optimal_pi ~mu:4) ~k:2 with
+  | Some r -> Alcotest.(check int) "still 9 PEs" 9 r.Space_opt.processors
+  | None -> Alcotest.fail "expected a mapping"
+
+let test_joint_is_time_optimal_first () =
+  (* The joint search must never return a slower schedule than the
+     best fixed-S optimum over the same family. *)
+  let mu = 3 in
+  let alg = Matmul.algorithm ~mu in
+  match Space_opt.optimize_joint alg ~k:2 with
+  | Some (pi, _) ->
+    Alcotest.(check int) "t = mu(mu+2)+1" (Matmul.optimal_total_time ~mu)
+      (Schedule.total_time ~mu:[| mu; mu; mu |] pi)
+  | None -> Alcotest.fail "expected a joint mapping"
+
+let test_invalid_pi_rejected () =
+  let alg = Matmul.algorithm ~mu:3 in
+  Alcotest.(check bool) "rejected" true
+    (try ignore (Space_opt.optimize alg ~pi:(Intvec.of_ints [ 1; -1; 1 ]) ~k:2); false
+     with Invalid_argument _ -> true)
+
+let test_bad_k_rejected () =
+  let alg = Matmul.algorithm ~mu:3 in
+  Alcotest.(check bool) "k too small" true
+    (try ignore (Space_opt.optimize alg ~pi:(Intvec.of_ints [ 1; 2; 2 ]) ~k:1); false
+     with Invalid_argument _ -> true)
+
+let prop_result_is_valid =
+  QCheck.Test.make ~name:"space-opt results are valid mappings" ~count:30 QCheck.int
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let mu = 2 + Random.State.int rng 2 in
+      let alg = Matmul.algorithm ~mu in
+      (* any positive Pi respecting D = I *)
+      let pi = Array.init 3 (fun _ -> Zint.of_int (1 + Random.State.int rng (mu + 1))) in
+      match Space_opt.optimize alg ~pi ~k:2 with
+      | None -> true
+      | Some r ->
+        let t = Intmat.append_row r.Space_opt.s pi in
+        Intmat.rank t = 2
+        && Conflict.is_conflict_free ~mu:(Index_set.bounds alg.Algorithm.index_set) t
+        && r.Space_opt.processors > 0)
+
+let suite =
+  [
+    Alcotest.test_case "matmul 9-PE array" `Quick test_matmul_linear_array;
+    Alcotest.test_case "found mapping simulates cleanly" `Quick test_found_mapping_simulates_cleanly;
+    Alcotest.test_case "tc space" `Quick test_tc_space;
+    Alcotest.test_case "objective variants" `Quick test_objective_processors_only;
+    Alcotest.test_case "2-D target" `Slow test_2d_target;
+    Alcotest.test_case "joint matmul (Problem 6.2)" `Slow test_joint_matmul;
+    Alcotest.test_case "wider entry bound" `Slow test_wider_entry_bound_no_improvement;
+    Alcotest.test_case "joint time-optimal first" `Slow test_joint_is_time_optimal_first;
+    Alcotest.test_case "invalid pi rejected" `Quick test_invalid_pi_rejected;
+    Alcotest.test_case "bad k rejected" `Quick test_bad_k_rejected;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_result_is_valid ]

@@ -1,0 +1,231 @@
+(* Tests for the cycle-accurate array simulator against the paper's
+   Figures 2 and 3 and the structural claims of Examples 5.1/5.2. *)
+
+let iv = Intvec.of_ints
+
+let matmul_report mu pi =
+  let rng = Random.State.make [| 2025 |] in
+  let a = Matmul.random_matrix ~rng (mu + 1) and b = Matmul.random_matrix ~rng (mu + 1) in
+  let alg = Matmul.algorithm ~mu in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi in
+  Exec.run alg (Matmul.semantics ~a ~b) tm
+
+let test_figure_3_execution () =
+  let mu = 4 in
+  let r = matmul_report mu (Matmul.optimal_pi ~mu) in
+  Alcotest.(check int) "makespan = mu(mu+2)+1" (Matmul.optimal_total_time ~mu) r.Exec.makespan;
+  Alcotest.(check int) "13 PEs" 13 r.Exec.num_processors;
+  Alcotest.(check int) "125 computations" 125 r.Exec.computations;
+  Alcotest.(check bool) "clean" true (Exec.is_clean r);
+  Alcotest.(check (array int)) "3 buffers on the A stream" [| 0; 3; 0 |] r.Exec.max_buffer_occupancy
+
+let test_lee_kedem_execution () =
+  let mu = 4 in
+  let r = matmul_report mu (Matmul.lee_kedem_pi ~mu) in
+  Alcotest.(check int) "makespan = mu(mu+3)+1" (Matmul.lee_kedem_total_time ~mu) r.Exec.makespan;
+  Alcotest.(check bool) "clean" true (Exec.is_clean r)
+
+let test_conflicting_mapping_detected () =
+  let r = matmul_report 4 (iv [ 1; 1; 1 ]) in
+  Alcotest.(check bool) "conflicts found" true (r.Exec.conflicts <> []);
+  Alcotest.(check bool) "not clean" false (Exec.is_clean r)
+
+let test_non_causal_mapping_rejected () =
+  let alg = Matmul.algorithm ~mu:2 in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(iv [ 1; -1; 1 ]) in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Exec.run alg Dataflow.semantics tm); false with Failure _ -> true)
+
+let test_tc_execution () =
+  let mu = 4 in
+  let alg = Transitive_closure.algorithm ~mu in
+  let tm = Tmap.make ~s:Transitive_closure.paper_s ~pi:(Transitive_closure.optimal_pi ~mu) in
+  let r = Exec.run alg Dataflow.semantics tm in
+  Alcotest.(check int) "makespan" (Transitive_closure.optimal_total_time ~mu) r.Exec.makespan;
+  Alcotest.(check int) "mu+1 PEs" (mu + 1) r.Exec.num_processors;
+  Alcotest.(check bool) "clean" true (Exec.is_clean r)
+
+let test_tc_prior_schedule_slower_but_clean () =
+  let mu = 4 in
+  let alg = Transitive_closure.algorithm ~mu in
+  let tm = Tmap.make ~s:Transitive_closure.paper_s ~pi:(Transitive_closure.prior_pi ~mu) in
+  let r = Exec.run alg Dataflow.semantics tm in
+  Alcotest.(check int) "makespan mu(2mu+3)+1" (Transitive_closure.prior_total_time ~mu) r.Exec.makespan;
+  Alcotest.(check bool) "clean" true (Exec.is_clean r)
+
+let test_convolution_2d_array () =
+  (* A 4-D algorithm on a 2-D array with real arithmetic. *)
+  let mu_ij = 2 and mu_pq = 1 in
+  let alg = Convolution.algorithm ~mu_ij ~mu_pq in
+  let ker = [| [| 1; -2 |]; [| 3; 4 |] |] in
+  let img = Array.init (mu_ij + 1) (fun i -> Array.init (mu_ij + 1) (fun j -> (i * 3) + j + 1)) in
+  let sem = Convolution.semantics ~ker ~img in
+  (* Schedule found by Procedure 5.1 on the 2-D space map. *)
+  match Procedure51.optimize alg ~s:Convolution.example_s with
+  | None -> Alcotest.fail "expected a schedule"
+  | Some { pi; _ } ->
+    let tm = Tmap.make ~s:Convolution.example_s ~pi in
+    let r = Exec.run alg sem tm in
+    Alcotest.(check bool) "no conflicts" true (r.Exec.conflicts = []);
+    Alcotest.(check bool) "values ok" true r.Exec.values_ok
+
+let test_utilization_bounds () =
+  let r = matmul_report 3 (Matmul.optimal_pi ~mu:3) in
+  Alcotest.(check bool) "0 < util <= 1" true (r.Exec.utilization > 0. && r.Exec.utilization <= 1.)
+
+let test_trace_linear_table () =
+  let mu = 2 in
+  let alg = Matmul.algorithm ~mu in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu) in
+  let table = Trace.linear_array_table alg tm in
+  (* Every index point appears exactly once. *)
+  Index_set.iter
+    (fun j ->
+      let s = Printf.sprintf "(%d,%d,%d)" j.(0) j.(1) j.(2) in
+      let count = ref 0 in
+      let slen = String.length s in
+      for i = 0 to String.length table - slen do
+        if String.sub table i slen = s then incr count
+      done;
+      Alcotest.(check int) ("occurrences of " ^ s) 1 !count)
+    alg.Algorithm.index_set
+
+let test_trace_rejects_2d () =
+  let alg = Convolution.algorithm ~mu_ij:1 ~mu_pq:1 in
+  let tm = Tmap.make ~s:Convolution.example_s ~pi:(iv [ 1; 2; 3; 4 ]) in
+  Alcotest.(check bool) "2-D rejected" true
+    (try ignore (Trace.linear_array_table alg tm); false with Invalid_argument _ -> true)
+
+let test_schedule_table_is_total () =
+  let mu = 2 in
+  let alg = Matmul.algorithm ~mu in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu) in
+  let total =
+    List.fold_left (fun acc (_, evs) -> acc + List.length evs) 0 (Exec.schedule_table alg tm)
+  in
+  Alcotest.(check int) "all points scheduled" (Index_set.cardinal alg.Algorithm.index_set) total
+
+let test_stats_matmul () =
+  let mu = 4 in
+  let alg = Matmul.algorithm ~mu in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu) in
+  let s = Stats.compute alg tm in
+  Alcotest.(check int) "processors" 13 s.Stats.processors;
+  Alcotest.(check int) "makespan" 25 s.Stats.makespan;
+  Alcotest.(check int) "computations" 125 s.Stats.computations;
+  Alcotest.(check int) "wire = |S D|" 3 s.Stats.wire_length;
+  Alcotest.(check bool) "loads sum to |J|" true
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 (Stats.pe_loads alg tm) = 125);
+  Alcotest.(check bool) "peak parallelism <= processors" true
+    (s.Stats.peak_parallelism <= s.Stats.processors);
+  Alcotest.(check bool) "min <= max load" true (s.Stats.min_pe_load <= s.Stats.max_pe_load)
+
+let test_grid_snapshot_2d () =
+  let alg = Convolution.algorithm ~mu_ij:2 ~mu_pq:1 in
+  match Procedure51.optimize alg ~s:Convolution.example_s with
+  | None -> Alcotest.fail "expected a schedule"
+  | Some r ->
+    let tm = Tmap.make ~s:Convolution.example_s ~pi:r.Procedure51.pi in
+    (* Find the first cycle and check its snapshot mentions the origin. *)
+    (match Exec.schedule_table alg tm with
+    | (t0, _) :: _ ->
+      let snap = Trace.grid_snapshot alg tm ~time:t0 in
+      Alcotest.(check bool) "snapshot nonempty" true (String.length snap > 0);
+      let activity = Trace.grid_activity alg tm in
+      Alcotest.(check bool) "activity nonempty" true (String.length activity > 0)
+    | [] -> Alcotest.fail "empty schedule")
+
+let test_grid_snapshot_rejects_1d () =
+  let alg = Matmul.algorithm ~mu:2 in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu:2) in
+  Alcotest.(check bool) "1-D rejected" true
+    (try ignore (Trace.grid_snapshot alg tm ~time:0); false
+     with Invalid_argument _ -> true)
+
+let test_linkcheck_paper_mappings_clean () =
+  (* K = I on both paper mappings: single use per link, no collisions
+     (the appendix's argument, now checked analytically). *)
+  let check alg tm =
+    match Tmap.find_routing tm ~d:alg.Algorithm.dependences with
+    | Some r ->
+      Alcotest.(check bool) "single use" true (Linkcheck.single_use_per_link r);
+      Alcotest.(check (list pass)) "no collisions" [] (Linkcheck.predict alg tm r)
+    | None -> Alcotest.fail "expected a routing"
+  in
+  check (Matmul.algorithm ~mu:4) (Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu:4));
+  check
+    (Transitive_closure.algorithm ~mu:4)
+    (Tmap.make ~s:Transitive_closure.paper_s ~pi:(Transitive_closure.optimal_pi ~mu:4))
+
+let prop_linkcheck_matches_simulator =
+  QCheck.Test.make ~name:"analytical link collisions = simulated collisions" ~count:120
+    QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let mu = 2 + Random.State.int rng 2 in
+      let alg = Matmul.algorithm ~mu in
+      let s = Intmat.make 1 3 (fun _ _ -> Zint.of_int (Random.State.int rng 5 - 2)) in
+      let pi = Array.init 3 (fun _ -> Zint.of_int (1 + Random.State.int rng 4)) in
+      if not (Schedule.respects pi alg.Algorithm.dependences) then true
+      else begin
+        let tm = Tmap.make ~s ~pi in
+        match Tmap.find_routing tm ~d:alg.Algorithm.dependences with
+        | None -> true
+        | Some routing ->
+          let predicted = Linkcheck.predict alg tm routing <> [] in
+          let observed = (Exec.run alg Dataflow.semantics tm).Exec.collisions <> [] in
+          predicted = observed
+      end)
+
+let prop_clean_iff_conflict_free =
+  QCheck.Test.make ~name:"simulator conflicts iff oracle says so (matmul family)" ~count:60
+    QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let mu = 2 + Random.State.int rng 2 in
+      let alg = Matmul.algorithm ~mu in
+      let pi =
+        Array.init 3 (fun _ -> Zint.of_int (1 + Random.State.int rng (mu + 1)))
+      in
+      if not (Schedule.respects pi alg.Algorithm.dependences) then true
+      else begin
+        let tm = Tmap.make ~s:Matmul.paper_s ~pi in
+        let t = Tmap.matrix tm in
+        let r = Exec.run alg Dataflow.semantics tm in
+        let free = Conflict.is_conflict_free ~mu:(Index_set.bounds alg.Algorithm.index_set) t in
+        (r.Exec.conflicts = []) = free
+      end)
+
+let prop_makespan_equals_formula =
+  QCheck.Test.make ~name:"simulated makespan = Equation 2.7" ~count:60 QCheck.int
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let mu = 2 + Random.State.int rng 2 in
+      let alg = Matmul.algorithm ~mu in
+      let pi = Array.init 3 (fun _ -> Zint.of_int (1 + Random.State.int rng 3)) in
+      let tm = Tmap.make ~s:Matmul.paper_s ~pi in
+      let r = Exec.run alg Dataflow.semantics tm in
+      r.Exec.makespan = Schedule.total_time ~mu:(Index_set.bounds alg.Algorithm.index_set) pi)
+
+let suite =
+  [
+    Alcotest.test_case "Figure 3 execution" `Quick test_figure_3_execution;
+    Alcotest.test_case "Lee-Kedem execution" `Quick test_lee_kedem_execution;
+    Alcotest.test_case "conflict detection" `Quick test_conflicting_mapping_detected;
+    Alcotest.test_case "non-causal rejected" `Quick test_non_causal_mapping_rejected;
+    Alcotest.test_case "transitive closure execution" `Quick test_tc_execution;
+    Alcotest.test_case "tc prior schedule" `Quick test_tc_prior_schedule_slower_but_clean;
+    Alcotest.test_case "4-D convolution on 2-D array" `Slow test_convolution_2d_array;
+    Alcotest.test_case "utilization bounds" `Quick test_utilization_bounds;
+    Alcotest.test_case "trace table" `Quick test_trace_linear_table;
+    Alcotest.test_case "trace rejects 2-D" `Quick test_trace_rejects_2d;
+    Alcotest.test_case "schedule table total" `Quick test_schedule_table_is_total;
+    Alcotest.test_case "stats matmul" `Quick test_stats_matmul;
+    Alcotest.test_case "2-D grid snapshot" `Slow test_grid_snapshot_2d;
+    Alcotest.test_case "grid rejects 1-D" `Quick test_grid_snapshot_rejects_1d;
+    Alcotest.test_case "linkcheck paper mappings" `Quick test_linkcheck_paper_mappings_clean;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_linkcheck_matches_simulator;
+        prop_clean_iff_conflict_free;
+        prop_makespan_equals_formula;
+      ]

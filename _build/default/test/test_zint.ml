@@ -1,0 +1,233 @@
+(* Unit and property tests for the Zint bignum substrate. *)
+
+let z = Zint.of_int
+
+let check_z msg expected actual =
+  Alcotest.(check string) msg expected (Zint.to_string actual)
+
+let test_constants () =
+  check_z "zero" "0" Zint.zero;
+  check_z "one" "1" Zint.one;
+  check_z "two" "2" Zint.two;
+  check_z "minus_one" "-1" Zint.minus_one;
+  Alcotest.(check bool) "is_zero" true (Zint.is_zero Zint.zero);
+  Alcotest.(check bool) "is_one" true (Zint.is_one Zint.one);
+  Alcotest.(check bool) "one not zero" false (Zint.is_zero Zint.one)
+
+let test_of_to_int () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (Zint.to_int (z n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; 1 lsl 45; max_int; min_int;
+      max_int - 1; min_int + 1 ]
+
+let test_to_int_overflow () =
+  let big = Zint.pow (z 2) 80 in
+  Alcotest.(check bool) "fits_int" false (Zint.fits_int big);
+  Alcotest.check_raises "to_int raises" (Failure "Zint.to_int: overflow") (fun () ->
+      ignore (Zint.to_int big))
+
+let test_addition_chains () =
+  (* 2^62 via repeated doubling crosses the native boundary smoothly *)
+  let rec double acc i = if i = 0 then acc else double (Zint.add acc acc) (i - 1) in
+  check_z "2^62" "4611686018427387904" (double Zint.one 62);
+  check_z "2^100" "1267650600228229401496703205376" (double Zint.one 100)
+
+let test_mul_known () =
+  check_z "mul" "121932631112635269" (Zint.mul (z 123456789) (z 987654321));
+  check_z "neg mul" "-121932631112635269" (Zint.mul (z (-123456789)) (z 987654321));
+  check_z "factorial 25" "15511210043330985984000000"
+    (List.fold_left (fun acc i -> Zint.mul acc (z i)) Zint.one (List.init 25 (fun i -> i + 1)))
+
+let test_divmod_signs () =
+  (* Truncated semantics must match native int *)
+  List.iter
+    (fun (a, b) ->
+      let q, r = Zint.divmod (z a) (z b) in
+      Alcotest.(check int) (Printf.sprintf "q %d/%d" a b) (a / b) (Zint.to_int q);
+      Alcotest.(check int) (Printf.sprintf "r %d/%d" a b) (a mod b) (Zint.to_int r))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (6, 3); (-6, 3); (0, 5); (1, 7); (-1, 7) ]
+
+let test_euclidean_division () =
+  List.iter
+    (fun (a, b) ->
+      let q, r = Zint.ediv_rem (z a) (z b) in
+      Alcotest.(check bool) "r nonneg" true (Zint.sign r >= 0);
+      Alcotest.(check bool) "r < |b|" true (Zint.compare r (Zint.abs (z b)) < 0);
+      Alcotest.(check int) "identity" a (Zint.to_int (Zint.add (Zint.mul q (z b)) r)))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 3); (-1, 5); (-10, -3) ]
+
+let test_floor_ceil_division () =
+  List.iter
+    (fun (a, b, fq, cq) ->
+      Alcotest.(check int) (Printf.sprintf "fdiv %d %d" a b) fq (Zint.to_int (Zint.fdiv (z a) (z b)));
+      Alcotest.(check int) (Printf.sprintf "cdiv %d %d" a b) cq (Zint.to_int (Zint.cdiv (z a) (z b))))
+    [ (7, 2, 3, 4); (-7, 2, -4, -3); (7, -2, -4, -3); (-7, -2, 3, 4); (6, 3, 2, 2) ]
+
+let test_division_by_zero () =
+  Alcotest.check_raises "divmod" Division_by_zero (fun () -> ignore (Zint.divmod Zint.one Zint.zero))
+
+let test_gcd () =
+  Alcotest.(check int) "gcd 12 18" 6 (Zint.to_int (Zint.gcd (z 12) (z 18)));
+  Alcotest.(check int) "gcd -12 18" 6 (Zint.to_int (Zint.gcd (z (-12)) (z 18)));
+  Alcotest.(check int) "gcd 0 0" 0 (Zint.to_int (Zint.gcd Zint.zero Zint.zero));
+  Alcotest.(check int) "gcd 0 7" 7 (Zint.to_int (Zint.gcd Zint.zero (z 7)));
+  Alcotest.(check int) "lcm 4 6" 12 (Zint.to_int (Zint.lcm (z 4) (z 6)));
+  Alcotest.(check int) "lcm 0 6" 0 (Zint.to_int (Zint.lcm Zint.zero (z 6)))
+
+let test_gcdext_canonical_on_divisibility () =
+  (* When one argument divides the other, the Bezout pair must be the
+     trivial (±1, 0) / (0, ±1): the Smith elimination relies on it to
+     make progress (a regression test for a real livelock, see
+     EXPERIMENTS.md).  In particular gcdext(1, 1) must not be (1,0,1). *)
+  let check a b eg ex ey =
+    let g, x, y = Zint.gcdext (z a) (z b) in
+    Alcotest.(check (triple int int int))
+      (Printf.sprintf "gcdext(%d,%d)" a b)
+      (eg, ex, ey)
+      (Zint.to_int g, Zint.to_int x, Zint.to_int y)
+  in
+  check 1 1 1 1 0;
+  check 1 (-1) 1 1 0;
+  check (-1) 1 1 (-1) 0;
+  check 2 4 2 1 0;
+  check 2 (-4) 2 1 0;
+  check (-2) 4 2 (-1) 0;
+  check 4 2 2 0 1;
+  check 4 (-2) 2 0 (-1);
+  check 0 7 7 0 1;
+  check 7 0 7 1 0
+
+let test_pow () =
+  check_z "2^0" "1" (Zint.pow (z 2) 0);
+  check_z "2^100" "1267650600228229401496703205376" (Zint.pow (z 2) 100);
+  check_z "(-3)^3" "-27" (Zint.pow (z (-3)) 3);
+  Alcotest.check_raises "negative exponent" (Invalid_argument "Zint.pow: negative exponent")
+    (fun () -> ignore (Zint.pow (z 2) (-1)))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Zint.to_string (Zint.of_string s)))
+    [ "0"; "1"; "-1"; "123456789012345678901234567890"; "-999999999999999999999999";
+      "1000000000"; "999999999"; "1000000001" ]
+
+let test_of_string_malformed () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (try ignore (Zint.of_string s); false with Invalid_argument _ -> true))
+    [ ""; "-"; "+"; "12a"; " 12"; "1 2" ]
+
+let test_compare_total_order () =
+  let vals = List.map z [ -100; -1; 0; 1; 2; 100 ] @ [ Zint.pow (z 10) 30; Zint.neg (Zint.pow (z 10) 30) ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c = Zint.compare a b in
+          let c' = compare (Zint.to_float a) (Zint.to_float b) in
+          Alcotest.(check int) "order agrees with float" c' c)
+        vals)
+    vals
+
+let test_min_int_magnitude () =
+  (* |min_int| does not fit an int; Zint must handle it exactly. *)
+  let m = z min_int in
+  check_z "min_int" (string_of_int min_int) m;
+  Alcotest.(check int) "roundtrip" min_int (Zint.to_int m);
+  Alcotest.(check bool) "abs does not fit" false (Zint.fits_int (Zint.abs m) && Zint.to_int (Zint.abs m) < 0)
+
+(* ---------------- properties ---------------- *)
+
+let small_int = QCheck.int_range (-1_000_000) 1_000_000
+
+let big_gen =
+  (* compose from several int chunks to exercise multi-digit paths *)
+  QCheck.map
+    (fun (a, b, c, neg) ->
+      let v =
+        Zint.add
+          (Zint.mul (Zint.add (Zint.mul (z a) (z 1_000_000_000)) (z b)) (z 1_000_000_000))
+          (z c)
+      in
+      if neg then Zint.neg v else v)
+    QCheck.(quad (int_bound 999_999_999) (int_bound 999_999_999) (int_bound 999_999_999) bool)
+
+let prop_matches_native =
+  QCheck.Test.make ~name:"add/mul/div match native int" ~count:2000
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      Zint.to_int (Zint.add (z a) (z b)) = a + b
+      && Zint.to_int (Zint.mul (z a) (z b)) = a * b
+      && Zint.to_int (Zint.sub (z a) (z b)) = a - b
+      && (b = 0 || Zint.to_int (Zint.div (z a) (z b)) = a / b)
+      && (b = 0 || Zint.to_int (Zint.rem (z a) (z b)) = a mod b))
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"big divmod identity and remainder bound" ~count:1000
+    QCheck.(pair big_gen big_gen)
+    (fun (a, b) ->
+      QCheck.assume (not (Zint.is_zero b));
+      let q, r = Zint.divmod a b in
+      Zint.equal a (Zint.add (Zint.mul q b) r)
+      && Zint.compare (Zint.abs r) (Zint.abs b) < 0
+      && (Zint.is_zero r || Zint.sign r = Zint.sign a))
+
+let prop_gcdext =
+  QCheck.Test.make ~name:"gcdext Bezout identity" ~count:1000
+    QCheck.(pair big_gen big_gen)
+    (fun (a, b) ->
+      let g, x, y = Zint.gcdext a b in
+      Zint.equal g (Zint.gcd a b)
+      && Zint.equal g (Zint.add (Zint.mul a x) (Zint.mul b y))
+      && Zint.sign g >= 0)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"decimal roundtrip" ~count:1000 big_gen (fun a ->
+      Zint.equal a (Zint.of_string (Zint.to_string a)))
+
+let prop_ring_axioms =
+  QCheck.Test.make ~name:"ring axioms on random bignums" ~count:500
+    QCheck.(triple big_gen big_gen big_gen)
+    (fun (a, b, c) ->
+      Zint.equal (Zint.add a b) (Zint.add b a)
+      && Zint.equal (Zint.mul a b) (Zint.mul b a)
+      && Zint.equal (Zint.mul a (Zint.add b c)) (Zint.add (Zint.mul a b) (Zint.mul a c))
+      && Zint.equal (Zint.add a (Zint.neg a)) Zint.zero)
+
+let prop_floor_ceil_consistency =
+  QCheck.Test.make ~name:"fdiv <= tdiv <= cdiv" ~count:1000
+    QCheck.(pair big_gen big_gen)
+    (fun (a, b) ->
+      QCheck.assume (not (Zint.is_zero b));
+      let f = Zint.fdiv a b and t = Zint.div a b and c = Zint.cdiv a b in
+      Zint.compare f t <= 0 && Zint.compare t c <= 0
+      && Zint.compare (Zint.sub c f) Zint.one <= 0)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "of/to int" `Quick test_of_to_int;
+    Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+    Alcotest.test_case "doubling chains" `Quick test_addition_chains;
+    Alcotest.test_case "known products" `Quick test_mul_known;
+    Alcotest.test_case "divmod signs" `Quick test_divmod_signs;
+    Alcotest.test_case "euclidean division" `Quick test_euclidean_division;
+    Alcotest.test_case "floor/ceil division" `Quick test_floor_ceil_division;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "gcd/lcm" `Quick test_gcd;
+    Alcotest.test_case "gcdext canonical" `Quick test_gcdext_canonical_on_divisibility;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "of_string malformed" `Quick test_of_string_malformed;
+    Alcotest.test_case "total order" `Quick test_compare_total_order;
+    Alcotest.test_case "min_int magnitude" `Quick test_min_int_magnitude;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_matches_native;
+        prop_divmod_identity;
+        prop_gcdext;
+        prop_string_roundtrip;
+        prop_ring_axioms;
+        prop_floor_ceil_consistency;
+      ]
