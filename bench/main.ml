@@ -633,6 +633,71 @@ let perf () =
   Table.print tbl
 
 (* ------------------------------------------------------------------ *)
+(* Engine benches: cold vs warm cache and 1 vs N domains on the same
+   queries.  Timed by hand rather than with Bechamel because repeated
+   runs erase the cold/warm distinction the bench is about. *)
+
+let engine_bench () =
+  Printf.printf "\n== engine: cached parallel search vs the sequential reference ==\n";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, 1000. *. (Unix.gettimeofday () -. t0))
+  in
+  let jobs_wide = Engine.Pool.jobs (Engine.Pool.create ()) in
+  let pool1 = Engine.Pool.create ~jobs:1 () in
+  let pool_wide = Engine.Pool.create () in
+  let tbl = Table.create [ "query"; "configuration"; "ms" ] in
+  let add query config ms = Table.add_row tbl [ query; config; Printf.sprintf "%.1f" ms ] in
+
+  (* Pareto scan, matmul mu=6: the space-family scan dominates. *)
+  let alg = Matmul.algorithm ~mu:6 in
+  let seq, t_seq = time (fun () -> Enumerate.pareto_front alg ~k:2) in
+  add "pareto matmul mu=6" "sequential (Enumerate)" t_seq;
+  Engine.Cache.clear ();
+  let cold1, t_cold1 = time (fun () -> Search.pareto_front ~pool:pool1 alg ~k:2) in
+  add "pareto matmul mu=6" "engine, 1 domain, cold cache" t_cold1;
+  let warm1, t_warm1 = time (fun () -> Search.pareto_front ~pool:pool1 alg ~k:2) in
+  add "pareto matmul mu=6" "engine, 1 domain, warm cache" t_warm1;
+  Engine.Cache.clear ();
+  let coldn, t_coldn = time (fun () -> Search.pareto_front ~pool:pool_wide alg ~k:2) in
+  add "pareto matmul mu=6"
+    (Printf.sprintf "engine, %d domains, cold cache" jobs_wide)
+    t_coldn;
+  let warmn, t_warmn = time (fun () -> Search.pareto_front ~pool:pool_wide alg ~k:2) in
+  add "pareto matmul mu=6"
+    (Printf.sprintf "engine, %d domains, warm cache" jobs_wide)
+    t_warmn;
+  let key p = (p.Enumerate.total_time, p.Enumerate.processors) in
+  assert (List.map key seq = List.map key cold1);
+  assert (cold1 = warm1 && cold1 = coldn && coldn = warmn);
+
+  (* Schedule enumeration, transitive closure mu=8. *)
+  let tc = Transitive_closure.algorithm ~mu:8 in
+  let s = Transitive_closure.paper_s in
+  let seq_s, t_seq_s = time (fun () -> Enumerate.all_optimal_schedules tc ~s) in
+  add "schedules tc mu=8" "sequential (Enumerate)" t_seq_s;
+  Engine.Cache.clear ();
+  let cold_s, t_cold_s = time (fun () -> Search.all_optimal_schedules ~pool:pool_wide tc ~s) in
+  add "schedules tc mu=8"
+    (Printf.sprintf "engine, %d domains, cold cache" jobs_wide)
+    t_cold_s;
+  let warm_s, t_warm_s = time (fun () -> Search.all_optimal_schedules ~pool:pool_wide tc ~s) in
+  add "schedules tc mu=8"
+    (Printf.sprintf "engine, %d domains, warm cache" jobs_wide)
+    t_warm_s;
+  assert (List.map Intvec.to_ints seq_s = List.map Intvec.to_ints cold_s);
+  assert (cold_s = warm_s);
+
+  Table.print tbl;
+  let stats = Engine.Cache.stats () in
+  Printf.printf
+    "cache: %d hits / %d misses (%d entries); warm/cold speedup: pareto %.1fx, schedules %.1fx\n"
+    stats.Engine.Cache.hits stats.Engine.Cache.misses stats.Engine.Cache.entries
+    (t_coldn /. Float.max 1e-3 t_warmn)
+    (t_cold_s /. Float.max 1e-3 t_warm_s)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -656,5 +721,6 @@ let () =
         | Some f -> f ()
         | None ->
           if name = "perf" then perf ()
-          else Printf.eprintf "unknown experiment %s (e1..e14, perf, quick)\n" name)
+          else if name = "engine" then engine_bench ()
+          else Printf.eprintf "unknown experiment %s (e1..e16, engine, perf, quick)\n" name)
       names

@@ -3,7 +3,11 @@
    $ shangfortes hnf -m "1,7,1,1;1,7,1,0"
    $ shangfortes analyze -m "1,1,-1;1,4,1" --mu 4,4,4
    $ shangfortes optimize --algorithm matmul --mu 4 -s "1,1,-1"
-   $ shangfortes simulate --algorithm tc --mu 4 -s "0,0,1" --pi 5,1,1 *)
+   $ shangfortes simulate --algorithm tc --mu 4 -s "0,0,1" --pi 5,1,1
+   $ shangfortes search --algorithm matmul --mu 4 --array-dim 1 --jobs 4
+
+   Every subcommand accepts --format json for versioned
+   machine-consumable output (schema v1); plain text is the default. *)
 
 open Cmdliner
 
@@ -15,6 +19,44 @@ let parse_matrix s =
   let rows = List.map parse_vector (String.split_on_char ';' s) in
   Intmat.of_ints rows
 
+(* ------------------------- shared: output format ------------------- *)
+
+type output_format = Plain | Json_v1
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("plain", Plain); ("json", Json_v1) ]) Plain
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: plain (default) or json (versioned, schema_version 1).")
+
+let json_of_vec v = Json.ints (Intvec.to_ints v)
+let json_of_mat m = Json.Arr (List.map Json.ints (Intmat.to_ints m))
+let json_of_int_array a = Json.ints (Array.to_list a)
+
+let json_of_telemetry (s : Engine.Telemetry.snapshot) =
+  Json.Obj
+    [
+      ("queries", Json.Int s.Engine.Telemetry.queries);
+      ("closed_form", Json.Int s.Engine.Telemetry.closed_form);
+      ("box_oracle", Json.Int s.Engine.Telemetry.box_oracle);
+      ("lattice_oracle", Json.Int s.Engine.Telemetry.lattice_oracle);
+      ("cache_hits", Json.Int s.Engine.Telemetry.cache_hits);
+      ("cache_misses", Json.Int s.Engine.Telemetry.cache_misses);
+      ("max_domains", Json.Int s.Engine.Telemetry.max_domains);
+      ( "phases",
+        Json.Arr
+          (List.map
+             (fun (label, seconds, count) ->
+               Json.Obj
+                 [
+                   ("label", Json.Str label);
+                   ("seconds", Json.Float seconds);
+                   ("count", Json.Int count);
+                 ])
+             s.Engine.Telemetry.phases) );
+    ]
+
 (* ------------------------------- hnf ------------------------------- *)
 
 let hnf_cmd =
@@ -24,21 +66,36 @@ let hnf_cmd =
       & opt (some string) None
       & info [ "m"; "matrix" ] ~docv:"ROWS" ~doc:"Matrix, rows separated by ';'.")
   in
-  let run m =
+  let run m fmt =
     let t = parse_matrix m in
     let res = Hnf.compute t in
-    Printf.printf "T =\n%s\nH = T U =\n%s\nU =\n%s\nV = U^-1 =\n%s\nrank = %d\nverified: %b\n"
-      (Intmat.to_string t) (Intmat.to_string res.Hnf.h) (Intmat.to_string res.Hnf.u)
-      (Intmat.to_string res.Hnf.v) res.Hnf.rank (Hnf.verify t res);
-    match Hnf.kernel_basis t with
-    | [] -> print_endline "kernel: trivial"
-    | basis ->
-      print_endline "kernel basis (conflict-vector generators):";
-      List.iter (fun g -> Printf.printf "  %s\n" (Intvec.to_string g)) basis
+    let basis = Hnf.kernel_basis t in
+    match fmt with
+    | Json_v1 ->
+      Json.print
+        (Json.versioned ~command:"hnf"
+           [
+             ("t", json_of_mat t);
+             ("h", json_of_mat res.Hnf.h);
+             ("u", json_of_mat res.Hnf.u);
+             ("v", json_of_mat res.Hnf.v);
+             ("rank", Json.Int res.Hnf.rank);
+             ("verified", Json.Bool (Hnf.verify t res));
+             ("kernel_basis", Json.Arr (List.map json_of_vec basis));
+           ])
+    | Plain ->
+      Printf.printf "T =\n%s\nH = T U =\n%s\nU =\n%s\nV = U^-1 =\n%s\nrank = %d\nverified: %b\n"
+        (Intmat.to_string t) (Intmat.to_string res.Hnf.h) (Intmat.to_string res.Hnf.u)
+        (Intmat.to_string res.Hnf.v) res.Hnf.rank (Hnf.verify t res);
+      (match basis with
+      | [] -> print_endline "kernel: trivial"
+      | basis ->
+        print_endline "kernel basis (conflict-vector generators):";
+        List.iter (fun g -> Printf.printf "  %s\n" (Intvec.to_string g)) basis)
   in
   Cmd.v
     (Cmd.info "hnf" ~doc:"Hermite normal form with multiplier U and V = U^-1 (Theorem 4.1)")
-    Term.(const run $ matrix)
+    Term.(const run $ matrix $ format_arg)
 
 (* ----------------------------- analyze ----------------------------- *)
 
@@ -48,6 +105,29 @@ let mu_arg =
     & opt (some string) None
     & info [ "mu" ] ~docv:"MU" ~doc:"Index-set upper bounds, comma separated.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-query wall-clock budget; past it the engine degrades to the lattice oracle \
+           and reports verdicts as bounded.")
+
+(* The historical human-readable method names, extended with the
+   engine's lattice paths. *)
+let decided_by_pretty = function
+  | Analysis.Theorem Theorems.Full_rank_square -> "square full-rank test"
+  | Analysis.Theorem Theorems.Adjugate_form -> "Theorem 3.1 (adjugate closed form)"
+  | Analysis.Theorem Theorems.Column_infeasible ->
+    "Theorem 4.4 (a kernel column fits in the box)"
+  | Analysis.Theorem Theorems.Hermite_n_minus_2 -> "Theorem 4.7 (sufficient)"
+  | Analysis.Theorem Theorems.Hermite_n_minus_3 -> "corrected Theorem 4.8 (sufficient)"
+  | Analysis.Theorem Theorems.Gcd_sufficient -> "Theorem 4.5 (gcd, sufficient)"
+  | Analysis.Theorem Theorems.Box_oracle -> "exact box oracle"
+  | Analysis.Lattice_oracle -> "exact lattice oracle (LLL)"
+  | Analysis.Lattice_fallback -> "lattice oracle (budget fallback)"
+
 let analyze_cmd =
   let matrix =
     Arg.(
@@ -56,42 +136,69 @@ let analyze_cmd =
       & info [ "m"; "matrix" ] ~docv:"ROWS"
           ~doc:"Mapping matrix T = [S; Pi], rows separated by ';' (last row is Pi).")
   in
-  let run m mu_s =
+  let run m mu_s deadline_ms fmt =
     let t = parse_matrix m in
     let mu = Array.of_list (parse_vector mu_s) in
     if Array.length mu <> Intmat.cols t then failwith "mu arity does not match T";
     let k = Intmat.rows t and n = Intmat.cols t in
-    Printf.printf "T (%dx%d) =\n%s\nrank = %d (need %d for a (k-1)-dimensional array)\n"
-      k n (Intmat.to_string t) (Intmat.rank t) k;
-    let free, how = Theorems.decide ~mu t in
-    let how_s =
-      match how with
-      | Theorems.Full_rank_square -> "square full-rank test"
-      | Theorems.Adjugate_form -> "Theorem 3.1 (adjugate closed form)"
-      | Theorems.Column_infeasible -> "Theorem 4.4 (a kernel column fits in the box)"
-      | Theorems.Hermite_n_minus_2 -> "Theorem 4.7 (sufficient)"
-      | Theorems.Hermite_n_minus_3 -> "corrected Theorem 4.8 (sufficient)"
-      | Theorems.Gcd_sufficient -> "Theorem 4.5 (gcd, sufficient)"
-      | Theorems.Box_oracle -> "exact box oracle"
+    let budget = Engine.Budget.make ?deadline_ms () in
+    let verdict = Analysis.check ~budget ~mu t in
+    let generators =
+      List.map
+        (fun g -> (g, Conflict.is_feasible ~mu g))
+        (Conflict.kernel_basis t)
     in
-    Printf.printf "conflict-free on J = [0,mu]: %b   [decided by %s]\n" free how_s;
-    (match Conflict.find_conflict ~mu t with
-    | Some g -> Printf.printf "witness conflict vector: %s\n" (Intvec.to_string g)
-    | None -> ());
-    match Conflict.kernel_basis t with
-    | [] -> ()
-    | basis ->
-      print_endline "conflict-vector generators:";
-      List.iter
-        (fun g ->
-          Printf.printf "  %s  (feasible: %b)\n" (Intvec.to_string g)
-            (Conflict.is_feasible ~mu g))
-        basis
+    match fmt with
+    | Json_v1 ->
+      Json.print
+        (Json.versioned ~command:"analyze"
+           [
+             ("t", json_of_mat t);
+             ("mu", json_of_int_array mu);
+             ("rank", Json.Int (Intmat.rank t));
+             ("full_rank", Json.Bool verdict.Analysis.full_rank);
+             ("conflict_free", Json.Bool verdict.Analysis.conflict_free);
+             ("decided_by", Json.Str (Analysis.decided_by_name verdict.Analysis.decided_by));
+             ( "exactness",
+               Json.Str
+                 (match verdict.Analysis.exactness with
+                 | Analysis.Exact -> "exact"
+                 | Analysis.Bounded -> "bounded") );
+             ("witness", Json.option json_of_vec verdict.Analysis.witness);
+             ("timing_ms", Json.Float (1000. *. verdict.Analysis.timing));
+             ( "generators",
+               Json.Arr
+                 (List.map
+                    (fun (g, feasible) ->
+                      Json.Obj
+                        [ ("vector", json_of_vec g); ("feasible", Json.Bool feasible) ])
+                    generators) );
+           ])
+    | Plain ->
+      Printf.printf "T (%dx%d) =\n%s\nrank = %d (need %d for a (k-1)-dimensional array)\n"
+        k n (Intmat.to_string t) (Intmat.rank t) k;
+      Printf.printf "conflict-free on J = [0,mu]: %b   [decided by %s]\n"
+        verdict.Analysis.conflict_free (decided_by_pretty verdict.Analysis.decided_by);
+      (match verdict.Analysis.exactness with
+      | Analysis.Exact -> ()
+      | Analysis.Bounded ->
+        print_endline "verdict is budget-bounded (deadline hit; lattice oracle used)");
+      (match verdict.Analysis.witness with
+      | Some g -> Printf.printf "witness conflict vector: %s\n" (Intvec.to_string g)
+      | None -> ());
+      (match generators with
+      | [] -> ()
+      | generators ->
+        print_endline "conflict-vector generators:";
+        List.iter
+          (fun (g, feasible) ->
+            Printf.printf "  %s  (feasible: %b)\n" (Intvec.to_string g) feasible)
+          generators)
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Conflict analysis of a mapping matrix (Theorems 2.2, 3.1, 4.3-4.8)")
-    Term.(const run $ matrix $ mu_arg)
+    Term.(const run $ matrix $ mu_arg $ deadline_arg $ format_arg)
 
 (* ------------------------- shared: algorithms ---------------------- *)
 
@@ -120,7 +227,20 @@ let s_arg =
     & info [ "s"; "space" ] ~docv:"ROWS"
         ~doc:"Space mapping S, rows separated by ';' (default: the paper's choice).")
 
+let resolve_s s_opt default_s =
+  match (s_opt, default_s) with
+  | Some s, _ -> parse_matrix s
+  | None, Some s -> s
+  | None, None -> failwith "no default space mapping; pass -s"
+
 (* ----------------------------- optimize ---------------------------- *)
+
+let json_of_routing (rt : Tmap.routing) =
+  Json.Obj
+    [
+      ("hops", json_of_int_array rt.Tmap.hops);
+      ("buffers", json_of_int_array rt.Tmap.buffers);
+    ]
 
 let optimize_cmd =
   let method_arg =
@@ -135,42 +255,81 @@ let optimize_cmd =
   let bound_arg =
     Arg.(value & opt (some int) None & info [ "max-objective" ] ~docv:"N" ~doc:"Search bound.")
   in
-  let run name mu s_opt method_ routing bound =
+  let run name mu s_opt method_ routing bound fmt =
     let alg, default_s = builtin_algorithm name mu in
-    let s =
-      match (s_opt, default_s) with
-      | Some s, _ -> parse_matrix s
-      | None, Some s -> s
-      | None, None -> failwith "no default space mapping; pass -s"
+    let s = resolve_s s_opt default_s in
+    let base_fields =
+      [
+        ("algorithm", Json.Str name);
+        ("mu", Json.Int mu);
+        ("s", json_of_mat s);
+        ("method", Json.Str method_);
+      ]
     in
     match method_ with
     | "p51" ->
       (match Procedure51.optimize ~require_routing:routing ?max_objective:bound alg ~s with
       | Some r ->
-        Printf.printf "Pi = %s\ntotal time = %d\ncandidates tried = %d\n"
-          (Intvec.to_string r.Procedure51.pi) r.Procedure51.total_time
-          r.Procedure51.candidates_tried;
-        (match r.Procedure51.routing with
-        | Some rt ->
-          Printf.printf "hops = (%s)  buffers = (%s)\n"
-            (String.concat "," (Array.to_list (Array.map string_of_int rt.Tmap.hops)))
-            (String.concat "," (Array.to_list (Array.map string_of_int rt.Tmap.buffers)))
-        | None -> ())
-      | None -> print_endline "no conflict-free schedule within the search bound")
+        (match fmt with
+        | Json_v1 ->
+          Json.print
+            (Json.versioned ~command:"optimize"
+               (base_fields
+               @ [
+                   ("pi", json_of_vec r.Procedure51.pi);
+                   ("total_time", Json.Int r.Procedure51.total_time);
+                   ("candidates_tried", Json.Int r.Procedure51.candidates_tried);
+                   ("routing", Json.option json_of_routing r.Procedure51.routing);
+                 ]))
+        | Plain ->
+          Printf.printf "Pi = %s\ntotal time = %d\ncandidates tried = %d\n"
+            (Intvec.to_string r.Procedure51.pi) r.Procedure51.total_time
+            r.Procedure51.candidates_tried;
+          (match r.Procedure51.routing with
+          | Some rt ->
+            Printf.printf "hops = (%s)  buffers = (%s)\n"
+              (String.concat "," (Array.to_list (Array.map string_of_int rt.Tmap.hops)))
+              (String.concat "," (Array.to_list (Array.map string_of_int rt.Tmap.buffers)))
+          | None -> ()))
+      | None ->
+        (match fmt with
+        | Json_v1 ->
+          Json.print
+            (Json.versioned ~command:"optimize" (base_fields @ [ ("pi", Json.Null) ]))
+        | Plain -> print_endline "no conflict-free schedule within the search bound"))
     | "ilp" ->
       (match Ilp_form.optimize alg ~s with
       | Some sol ->
-        Printf.printf "Pi = %s\ntotal time = %d\nbinding branch: %s\ngamma = %s\n"
-          (Intvec.to_string sol.Ilp_form.pi)
-          (sol.Ilp_form.objective + 1)
-          sol.Ilp_form.branch
-          (Intvec.to_string sol.Ilp_form.gamma)
-      | None -> print_endline "no solution")
+        (match fmt with
+        | Json_v1 ->
+          Json.print
+            (Json.versioned ~command:"optimize"
+               (base_fields
+               @ [
+                   ("pi", json_of_vec sol.Ilp_form.pi);
+                   ("total_time", Json.Int (sol.Ilp_form.objective + 1));
+                   ("branch", Json.Str sol.Ilp_form.branch);
+                   ("gamma", json_of_vec sol.Ilp_form.gamma);
+                 ]))
+        | Plain ->
+          Printf.printf "Pi = %s\ntotal time = %d\nbinding branch: %s\ngamma = %s\n"
+            (Intvec.to_string sol.Ilp_form.pi)
+            (sol.Ilp_form.objective + 1)
+            sol.Ilp_form.branch
+            (Intvec.to_string sol.Ilp_form.gamma))
+      | None ->
+        (match fmt with
+        | Json_v1 ->
+          Json.print
+            (Json.versioned ~command:"optimize" (base_fields @ [ ("pi", Json.Null) ]))
+        | Plain -> print_endline "no solution"))
     | other -> failwith ("unknown method: " ^ other)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Find the time-optimal conflict-free schedule (Problem 2.2)")
-    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ method_arg $ routing_arg $ bound_arg)
+    Term.(
+      const run $ algorithm_arg $ mu_int_arg $ s_arg $ method_arg $ routing_arg $ bound_arg
+      $ format_arg)
 
 (* ----------------------------- simulate ---------------------------- *)
 
@@ -182,40 +341,55 @@ let simulate_cmd =
       & info [ "pi" ] ~docv:"PI" ~doc:"Linear schedule vector, comma separated.")
   in
   let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the execution table.") in
-  let run name mu s_opt pi_s trace =
+  let run name mu s_opt pi_s trace fmt =
     let alg, default_s = builtin_algorithm name mu in
-    let s =
-      match (s_opt, default_s) with
-      | Some s, _ -> parse_matrix s
-      | None, Some s -> s
-      | None, None -> failwith "no default space mapping; pass -s"
-    in
+    let s = resolve_s s_opt default_s in
     let pi = Intvec.of_ints (parse_vector pi_s) in
     let tm = Tmap.make ~s ~pi in
     let r = Exec.run alg Dataflow.semantics tm in
-    Printf.printf
-      "makespan = %d\nprocessors = %d\ncomputations = %d\nconflicts = %d\n\
-       causality violations = %d\nlink collisions = %d\nbuffers = (%s)\n\
-       dataflow correct = %b\nutilization = %.3f\n"
-      r.Exec.makespan r.Exec.num_processors r.Exec.computations
-      (List.length r.Exec.conflicts)
-      (List.length r.Exec.causality_violations)
-      (List.length r.Exec.collisions)
-      (String.concat "," (Array.to_list (Array.map string_of_int r.Exec.max_buffer_occupancy)))
-      r.Exec.values_ok r.Exec.utilization;
-    List.iter
-      (fun c ->
-        Printf.printf "conflict at t=%d pe=(%s): %d points\n" c.Exec.time
-          (String.concat "," (Array.to_list (Array.map string_of_int c.Exec.pe)))
-          (List.length c.Exec.points))
-      r.Exec.conflicts;
-    if trace then
-      if Tmap.k tm = 2 then print_string (Trace.linear_array_table alg tm)
-      else print_string (Trace.firing_list alg tm)
+    match fmt with
+    | Json_v1 ->
+      Json.print
+        (Json.versioned ~command:"simulate"
+           [
+             ("algorithm", Json.Str name);
+             ("mu", Json.Int mu);
+             ("s", json_of_mat s);
+             ("pi", json_of_vec pi);
+             ("makespan", Json.Int r.Exec.makespan);
+             ("processors", Json.Int r.Exec.num_processors);
+             ("computations", Json.Int r.Exec.computations);
+             ("conflicts", Json.Int (List.length r.Exec.conflicts));
+             ("causality_violations", Json.Int (List.length r.Exec.causality_violations));
+             ("link_collisions", Json.Int (List.length r.Exec.collisions));
+             ("buffers", json_of_int_array r.Exec.max_buffer_occupancy);
+             ("dataflow_correct", Json.Bool r.Exec.values_ok);
+             ("utilization", Json.Float r.Exec.utilization);
+           ])
+    | Plain ->
+      Printf.printf
+        "makespan = %d\nprocessors = %d\ncomputations = %d\nconflicts = %d\n\
+         causality violations = %d\nlink collisions = %d\nbuffers = (%s)\n\
+         dataflow correct = %b\nutilization = %.3f\n"
+        r.Exec.makespan r.Exec.num_processors r.Exec.computations
+        (List.length r.Exec.conflicts)
+        (List.length r.Exec.causality_violations)
+        (List.length r.Exec.collisions)
+        (String.concat "," (Array.to_list (Array.map string_of_int r.Exec.max_buffer_occupancy)))
+        r.Exec.values_ok r.Exec.utilization;
+      List.iter
+        (fun c ->
+          Printf.printf "conflict at t=%d pe=(%s): %d points\n" c.Exec.time
+            (String.concat "," (Array.to_list (Array.map string_of_int c.Exec.pe)))
+            (List.length c.Exec.points))
+        r.Exec.conflicts;
+      if trace then
+        if Tmap.k tm = 2 then print_string (Trace.linear_array_table alg tm)
+        else print_string (Trace.firing_list alg tm)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Cycle-accurate simulation of an algorithm under a mapping")
-    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg $ trace_arg)
+    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg $ trace_arg $ format_arg)
 
 (* ------------------------------ parse ------------------------------ *)
 
@@ -241,85 +415,288 @@ let parse_cmd =
       & info [ "array-dim" ] ~docv:"K"
           ~doc:"Also search the cheapest conflict-free K-dimensional array (Problem 6.1).")
   in
-  let run src opt_s array_dim =
+  let run src opt_s array_dim fmt =
     match Loopnest.parse_result src with
     | Error e ->
-      prerr_endline (Loopnest.error_to_string e);
+      (match fmt with
+      | Json_v1 ->
+        Json.print
+          (Json.versioned ~command:"parse" [ ("error", Json.Str (Loopnest.error_to_string e)) ])
+      | Plain -> prerr_endline (Loopnest.error_to_string e));
       exit 1
     | Ok a ->
-      Format.printf "%a@." Loopnest.pp_analysis a;
       let alg = a.Loopnest.algorithm in
-      let pi_found = ref None in
-      (match opt_s with
-      | None -> ()
-      | Some s ->
-        let s = parse_matrix s in
-        (match Procedure51.optimize alg ~s with
-        | Some r ->
-          pi_found := Some r.Procedure51.pi;
+      let opt_result =
+        Option.map
+          (fun s ->
+            let s = parse_matrix s in
+            (s, Procedure51.optimize alg ~s))
+          opt_s
+      in
+      let pi_found =
+        match opt_result with
+        | Some (_, Some r) -> Some r.Procedure51.pi
+        | _ -> None
+      in
+      let space_result =
+        Option.map
+          (fun dim ->
+            let pi =
+              match pi_found with
+              | Some pi -> pi
+              | None -> (
+                (* Use the cost-minimal free schedule as Problem 6.1's
+                   given Pi. *)
+                match Procedure51.minimal_schedule alg with
+                | Some pi -> pi
+                | None -> failwith "no valid schedule exists")
+            in
+            (pi, Space_opt.optimize alg ~pi ~k:(dim + 1)))
+          array_dim
+      in
+      (match fmt with
+      | Json_v1 ->
+        let mu = Index_set.bounds alg.Algorithm.index_set in
+        Json.print
+          (Json.versioned ~command:"parse"
+             [
+               ("name", Json.Str alg.Algorithm.name);
+               ("loop_vars", Json.Arr (List.map (fun v -> Json.Str v) a.Loopnest.loop_vars));
+               ("mu", json_of_int_array mu);
+               ("dependences", json_of_mat alg.Algorithm.dependences);
+               ( "dependence_origin",
+                 Json.Arr
+                   (List.map
+                      (fun (d, why) ->
+                        Json.Obj [ ("d", json_of_vec d); ("why", Json.Str why) ])
+                      a.Loopnest.dependence_origin) );
+               ( "optimize",
+                 Json.option
+                   (fun (s, r) ->
+                     Json.Obj
+                       [
+                         ("s", json_of_mat s);
+                         ( "pi",
+                           Json.option (fun r -> json_of_vec r.Procedure51.pi) r );
+                         ( "total_time",
+                           Json.option (fun r -> Json.Int r.Procedure51.total_time) r );
+                       ])
+                   opt_result );
+               ( "space",
+                 Json.option
+                   (fun (pi, r) ->
+                     Json.Obj
+                       [
+                         ("pi", json_of_vec pi);
+                         ("s", Json.option (fun r -> json_of_mat r.Space_opt.s) r);
+                         ( "processors",
+                           Json.option (fun r -> Json.Int r.Space_opt.processors) r );
+                         ( "wire_length",
+                           Json.option (fun r -> Json.Int r.Space_opt.wire_length) r );
+                       ])
+                   space_result );
+             ])
+      | Plain ->
+        Format.printf "%a@." Loopnest.pp_analysis a;
+        (match opt_result with
+        | None -> ()
+        | Some (_, Some r) ->
           Printf.printf "optimal Pi = %s, total time = %d\n"
             (Intvec.to_string r.Procedure51.pi) r.Procedure51.total_time
-        | None -> print_endline "no conflict-free schedule found"));
-      match array_dim with
-      | None -> ()
-      | Some dim ->
-        let pi =
-          match !pi_found with
-          | Some pi -> pi
-          | None -> (
-            (* Use the cost-minimal free schedule as Problem 6.1's
-               given Pi. *)
-            match Procedure51.minimal_schedule alg with
-            | Some pi -> pi
-            | None -> failwith "no valid schedule exists")
-        in
-        (match Space_opt.optimize alg ~pi ~k:(dim + 1) with
-        | Some r ->
+        | Some (_, None) -> print_endline "no conflict-free schedule found");
+        match space_result with
+        | None -> ()
+        | Some (_, Some r) ->
           Printf.printf "space-optimal S =\n%s\nprocessors = %d, wire length = %d\n"
             (Intmat.to_string r.Space_opt.s) r.Space_opt.processors r.Space_opt.wire_length
-        | None -> print_endline "no conflict-free space mapping in the searched family")
+        | Some (_, None) ->
+          print_endline "no conflict-free space mapping in the searched family")
   in
   Cmd.v
     (Cmd.info "parse"
        ~doc:"Extract (J, D) from a nested-loop program; optionally optimize and place it")
-    Term.(const run $ src_arg $ optimize_arg $ space_arg)
+    Term.(const run $ src_arg $ optimize_arg $ space_arg $ format_arg)
 
 (* ------------------------------ pareto ------------------------------ *)
 
+let dim_arg =
+  Arg.(value & opt int 1 & info [ "array-dim" ] ~docv:"K" ~doc:"Array dimension (default 1).")
+
+let collision_free_arg =
+  Arg.(
+    value & flag
+    & info [ "collision-free" ]
+        ~doc:"Also require link-collision freedom ([23]'s stricter model).")
+
+let collision_accept alg collision_free pi s =
+  (not collision_free)
+  ||
+  let tm = Tmap.make ~s ~pi in
+  match Tmap.find_routing tm ~d:alg.Algorithm.dependences with
+  | Some routing -> Linkcheck.predict alg tm routing = []
+  | None -> false
+
+let json_of_pareto_point (p : Enumerate.pareto_point) =
+  Json.Obj
+    [
+      ("total_time", Json.Int p.Enumerate.total_time);
+      ("processors", Json.Int p.Enumerate.processors);
+      ("pi", json_of_vec p.Enumerate.pi);
+      ("s", json_of_mat p.Enumerate.s);
+    ]
+
 let pareto_cmd =
-  let dim_arg =
-    Arg.(value & opt int 1 & info [ "array-dim" ] ~docv:"K" ~doc:"Array dimension (default 1).")
-  in
-  let collision_free_arg =
-    Arg.(
-      value & flag
-      & info [ "collision-free" ]
-          ~doc:"Also require link-collision freedom ([23]'s stricter model).")
-  in
-  let run name mu dim collision_free =
+  let run name mu dim collision_free fmt =
     let alg, _ = builtin_algorithm name mu in
-    let accept pi s =
-      (not collision_free)
-      ||
-      let tm = Tmap.make ~s ~pi in
-      match Tmap.find_routing tm ~d:alg.Algorithm.dependences with
-      | Some routing -> Linkcheck.predict alg tm routing = []
-      | None -> false
+    let front =
+      Enumerate.pareto_front ~accept:(collision_accept alg collision_free) alg ~k:(dim + 1)
     in
-    let front = Enumerate.pareto_front ~accept alg ~k:(dim + 1) in
-    if front = [] then print_endline "no achievable points found"
-    else
-      List.iter
-        (fun p ->
-          Printf.printf "t = %-4d PEs = %-4d Pi = %-12s S = %s\n" p.Enumerate.total_time
-            p.Enumerate.processors
-            (Intvec.to_string p.Enumerate.pi)
-            (Intmat.to_string p.Enumerate.s))
-        front
+    match fmt with
+    | Json_v1 ->
+      Json.print
+        (Json.versioned ~command:"pareto"
+           [
+             ("algorithm", Json.Str name);
+             ("mu", Json.Int mu);
+             ("array_dim", Json.Int dim);
+             ("collision_free", Json.Bool collision_free);
+             ("points", Json.Arr (List.map json_of_pareto_point front));
+           ])
+    | Plain ->
+      if front = [] then print_endline "no achievable points found"
+      else
+        List.iter
+          (fun p ->
+            Printf.printf "t = %-4d PEs = %-4d Pi = %-12s S = %s\n" p.Enumerate.total_time
+              p.Enumerate.processors
+              (Intvec.to_string p.Enumerate.pi)
+              (Intmat.to_string p.Enumerate.s))
+          front
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Achievable (total time, processors) trade-off (Problems 2.1/6.2)")
-    Term.(const run $ algorithm_arg $ mu_int_arg $ dim_arg $ collision_free_arg)
+    Term.(const run $ algorithm_arg $ mu_int_arg $ dim_arg $ collision_free_arg $ format_arg)
+
+(* ------------------------------ search ------------------------------ *)
+
+let search_cmd =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: the runtime's recommended domain count).")
+  in
+  let slack_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "time-slack" ] ~docv:"L"
+          ~doc:"Extra total-time levels explored past the joint optimum (pareto mode).")
+  in
+  let pareto_arg =
+    Arg.(
+      value & flag
+      & info [ "pareto" ]
+          ~doc:"Pareto mode: scan the unit space-mapping family for the time/processor \
+                front ($(b,--array-dim) sets the dimension).  Default mode enumerates all \
+                time-optimal schedules for the space mapping $(b,-s).")
+  in
+  let run name mu s_opt dim pareto_mode collision_free jobs deadline_ms slack fmt =
+    let alg, default_s = builtin_algorithm name mu in
+    let pool = Engine.Pool.create ?jobs () in
+    let budget = Engine.Budget.make ?deadline_ms () in
+    Engine.Telemetry.reset ();
+    let base_fields =
+      [
+        ("algorithm", Json.Str name);
+        ("mu", Json.Int mu);
+        ("jobs", Json.Int (Engine.Pool.jobs pool));
+        ("deadline_ms", Json.option (fun ms -> Json.Int ms) deadline_ms);
+      ]
+    in
+    let finish fields plain =
+      let snap = Engine.Telemetry.snapshot () in
+      match fmt with
+      | Json_v1 ->
+        Json.print
+          (Json.versioned ~command:"search"
+             (base_fields
+             @ fields
+             @ [
+                 ("telemetry", json_of_telemetry snap);
+                 ("budget_elapsed_ms", Json.Float (Engine.Budget.elapsed_ms budget));
+                 ("budget_pressed", Json.Bool (Engine.Budget.pressed budget));
+               ]))
+      | Plain ->
+        plain ();
+        Format.printf "telemetry: @[%a@]@." Engine.Telemetry.pp snap
+    in
+    if pareto_mode then begin
+      let front =
+        Search.pareto_front ~pool ~budget ~time_slack:slack
+          ~accept:(collision_accept alg collision_free) alg ~k:(dim + 1)
+      in
+      finish
+        [
+          ("mode", Json.Str "pareto");
+          ("array_dim", Json.Int dim);
+          ("collision_free", Json.Bool collision_free);
+          ("points", Json.Arr (List.map json_of_pareto_point front));
+        ]
+        (fun () ->
+          if front = [] then print_endline "no achievable points found"
+          else
+            List.iter
+              (fun p ->
+                Printf.printf "t = %-4d PEs = %-4d Pi = %-12s S = %s\n" p.Enumerate.total_time
+                  p.Enumerate.processors
+                  (Intvec.to_string p.Enumerate.pi)
+                  (Intmat.to_string p.Enumerate.s))
+              front)
+    end
+    else begin
+      let s = resolve_s s_opt default_s in
+      let schedules = Search.all_optimal_schedules ~pool ~budget alg ~s in
+      let best = Search.best_by_buffers ~pool ~budget alg ~s in
+      finish
+        [
+          ("mode", Json.Str "schedules");
+          ("s", json_of_mat s);
+          ("schedules", Json.Arr (List.map json_of_vec schedules));
+          ( "best_by_buffers",
+            Json.option
+              (fun (pi, rt) ->
+                Json.Obj
+                  [
+                    ("pi", json_of_vec pi);
+                    ("registers", Json.Int (Array.fold_left ( + ) 0 rt.Tmap.buffers));
+                    ("routing", json_of_routing rt);
+                  ])
+              best );
+        ]
+        (fun () ->
+          (match schedules with
+          | [] -> print_endline "no conflict-free schedule found"
+          | schedules ->
+            Printf.printf "%d time-optimal conflict-free schedule(s):\n"
+              (List.length schedules);
+            List.iter (fun pi -> Printf.printf "  Pi = %s\n" (Intvec.to_string pi)) schedules);
+          match best with
+          | Some (pi, rt) ->
+            Printf.printf "buffer-minimal: Pi = %s (%d registers)\n" (Intvec.to_string pi)
+              (Array.fold_left ( + ) 0 rt.Tmap.buffers)
+          | None -> ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Parallel cached mapping search: all time-optimal schedules for a space mapping, \
+          or the time/processor Pareto front (with $(b,--pareto))")
+    Term.(
+      const run $ algorithm_arg $ mu_int_arg $ s_arg $ dim_arg $ pareto_arg
+      $ collision_free_arg $ jobs_arg $ deadline_arg $ slack_arg $ format_arg)
 
 (* ------------------------------ stats ------------------------------ *)
 
@@ -330,27 +707,42 @@ let stats_cmd =
       & opt (some string) None
       & info [ "pi" ] ~docv:"PI" ~doc:"Linear schedule vector, comma separated.")
   in
-  let run name mu s_opt pi_s =
+  let run name mu s_opt pi_s fmt =
     let alg, default_s = builtin_algorithm name mu in
-    let s =
-      match (s_opt, default_s) with
-      | Some s, _ -> parse_matrix s
-      | None, Some s -> s
-      | None, None -> failwith "no default space mapping; pass -s"
-    in
+    let s = resolve_s s_opt default_s in
     let tm = Tmap.make ~s ~pi:(Intvec.of_ints (parse_vector pi_s)) in
-    Format.printf "%a@." Stats.pp (Stats.compute alg tm)
+    let st = Stats.compute alg tm in
+    match fmt with
+    | Json_v1 ->
+      Json.print
+        (Json.versioned ~command:"stats"
+           [
+             ("algorithm", Json.Str name);
+             ("mu", Json.Int mu);
+             ("processors", Json.Int st.Stats.processors);
+             ("makespan", Json.Int st.Stats.makespan);
+             ("computations", Json.Int st.Stats.computations);
+             ("utilization", Json.Float st.Stats.utilization);
+             ("max_pe_load", Json.Int st.Stats.max_pe_load);
+             ("min_pe_load", Json.Int st.Stats.min_pe_load);
+             ("peak_parallelism", Json.Int st.Stats.peak_parallelism);
+             ("wire_length", Json.Int st.Stats.wire_length);
+           ])
+    | Plain -> Format.printf "%a@." Stats.pp st
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Array statistics of a mapping (PEs, utilization, wire length)")
-    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg)
+    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg $ format_arg)
 
 (* ------------------------------- main ------------------------------ *)
 
 let () =
   let doc = "time-optimal conflict-free mappings of uniform dependence algorithms" in
-  let info = Cmd.info "shangfortes" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "shangfortes" ~version:"1.1.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ hnf_cmd; analyze_cmd; optimize_cmd; simulate_cmd; parse_cmd; pareto_cmd; stats_cmd ]))
+          [
+            hnf_cmd; analyze_cmd; optimize_cmd; simulate_cmd; parse_cmd; pareto_cmd;
+            search_cmd; stats_cmd;
+          ]))

@@ -38,12 +38,16 @@ let () =
         (Intmat.equal (canon [ p.Prop81.u4; p.Prop81.u5 ]) (canon (Hnf.kernel_basis t)))
     | None -> print_endline "Prop 8.1 degenerate (unexpected here)");
 
-    (* Theorem 4.7 on this codimension-2 mapping. *)
+    (* Theorem 4.7 on this codimension-2 mapping, and the engine's
+       one-call verdict that subsumes it. *)
     let mu = Index_set.bounds alg.Algorithm.index_set in
     let inp = Theorems.make_input ~mu t in
-    Printf.printf "Theorem 4.7 (sufficient): %b | exact box oracle: %b\n"
+    let verdict = Analysis.check ~mu t in
+    Printf.printf "Theorem 4.7 (sufficient): %b | Analysis.check: %b [%s, %.2f ms]\n"
       (Theorems.nec_suff_n_minus_2 inp)
-      (Conflict.is_conflict_free ~mu t);
+      verdict.Analysis.conflict_free
+      (Analysis.decided_by_name verdict.Analysis.decided_by)
+      (1000. *. verdict.Analysis.timing);
 
     (* Simulate the 2-D array (dataflow semantics; see DESIGN.md). *)
     let report = Exec.run alg Dataflow.semantics (Tmap.make ~s ~pi) in

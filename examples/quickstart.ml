@@ -26,10 +26,12 @@ let () =
   let bad_pi = Intvec.of_ints [ 1; 1; 1 ] in
   let bad_t = Intmat.append_row s bad_pi in
   let bounds = Index_set.bounds alg.Algorithm.index_set in
-  (match Conflict.find_conflict ~mu:bounds bad_t with
+  let verdict = Analysis.check ~mu:bounds bad_t in
+  (match verdict.Analysis.witness with
   | Some gamma ->
-    Printf.printf "Pi = (1,1,1) collides: conflict vector %s fits inside J\n"
+    Printf.printf "Pi = (1,1,1) collides: conflict vector %s fits inside J [%s]\n"
       (Intvec.to_string gamma)
+      (Analysis.decided_by_name verdict.Analysis.decided_by)
   | None -> print_endline "unexpectedly conflict-free");
 
   (* 3. Procedure 5.1 finds the fastest conflict-free schedule. *)

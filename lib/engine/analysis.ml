@@ -1,0 +1,141 @@
+type exactness = Exact | Bounded
+
+type decided_by =
+  | Theorem of Theorems.method_used
+  | Lattice_oracle
+  | Lattice_fallback
+
+type verdict = {
+  conflict_free : bool;
+  full_rank : bool;
+  decided_by : decided_by;
+  witness : Intvec.t option;
+  timing : float;
+  exactness : exactness;
+}
+
+let decided_by_name = function
+  | Theorem Theorems.Full_rank_square -> "full-rank-square"
+  | Theorem Theorems.Adjugate_form -> "adjugate-form"
+  | Theorem Theorems.Column_infeasible -> "kernel-column-infeasible"
+  | Theorem Theorems.Hermite_n_minus_2 -> "hermite-n-minus-2"
+  | Theorem Theorems.Hermite_n_minus_3 -> "hermite-n-minus-3"
+  | Theorem Theorems.Gcd_sufficient -> "gcd-sufficient"
+  | Theorem Theorems.Box_oracle -> "box-oracle"
+  | Lattice_oracle -> "lattice-oracle"
+  | Lattice_fallback -> "lattice-fallback"
+
+(* Same threshold as Conflict.is_conflict_free: beyond this box volume
+   the lattice oracle is the affordable exact method. *)
+let box_volume_limit = 2_000_000
+
+let box_is_small mu =
+  let v =
+    Array.fold_left
+      (fun acc m -> if acc > box_volume_limit then acc else acc * ((2 * m) + 1))
+      1 mu
+  in
+  v <= box_volume_limit
+
+(* The un-timed decision core: (free, decided_by, witness, full_rank).
+   Mirrors Theorems.decide branch for branch, but reads the Hermite
+   factorization through Engine.Cache and produces a witness on the
+   conflicting side whenever one is cheap. *)
+let core ~budget ~mu t =
+  let n = Intmat.cols t and k = Intmat.rows t in
+  if k >= n then begin
+    Engine.Telemetry.incr_closed_form ();
+    let r = Intmat.rank t in
+    let free = r = n in
+    let wit =
+      if free then None
+      else begin
+        Engine.Budget.charge_oracle budget;
+        Engine.Cache.find_conflict_lattice ~mu t
+      end
+    in
+    (free, Theorem Theorems.Full_rank_square, wit, r = k)
+  end
+  else if k = n - 1 && Intmat.rank t = n - 1 then begin
+    Engine.Telemetry.incr_closed_form ();
+    match Conflict.single_conflict_vector t with
+    | Some gamma ->
+      let free = Conflict.is_feasible ~mu gamma in
+      (free, Theorem Theorems.Adjugate_form, (if free then None else Some gamma), true)
+    | None -> assert false (* full rank guarantees a nonzero minor *)
+  end
+  else begin
+    let hnf = Engine.Cache.hnf t in
+    let rank = hnf.Hnf.rank in
+    let rank_ok = rank = k in
+    let oracle () =
+      Engine.Budget.charge_oracle budget;
+      if box_is_small mu then begin
+        Engine.Telemetry.incr_box_oracle ();
+        let w = Conflict.find_conflict ~mu t in
+        (Option.is_none w, Theorem Theorems.Box_oracle, w, rank_ok)
+      end
+      else
+        let w = Engine.Cache.find_conflict_lattice ~mu t in
+        (Option.is_none w, Lattice_oracle, w, rank_ok)
+    in
+    if not rank_ok then oracle ()
+    else begin
+      let kernel_cols = List.init (n - rank) (fun c -> Intmat.col hnf.Hnf.u (rank + c)) in
+      match List.find_opt (fun c -> not (Conflict.is_feasible ~mu c)) kernel_cols with
+      | Some bad ->
+        (* Theorem 4.4 rejected: the kernel column itself is a conflict
+           vector inside the box. *)
+        Engine.Telemetry.incr_closed_form ();
+        (false, Theorem Theorems.Column_infeasible, Some (Intvec.normalize_sign bad), rank_ok)
+      | None ->
+        let inp = { Theorems.hnf; mu } in
+        let codim = n - rank in
+        if codim = 2 && Theorems.nec_suff_n_minus_2 inp then begin
+          Engine.Telemetry.incr_closed_form ();
+          (true, Theorem Theorems.Hermite_n_minus_2, None, rank_ok)
+        end
+        else if codim = 3 && Theorems.corrected_sufficient_n_minus_3 inp then begin
+          Engine.Telemetry.incr_closed_form ();
+          (true, Theorem Theorems.Hermite_n_minus_3, None, rank_ok)
+        end
+        else if codim > 3 && Theorems.sufficient_cond4 inp then begin
+          Engine.Telemetry.incr_closed_form ();
+          (true, Theorem Theorems.Gcd_sufficient, None, rank_ok)
+        end
+        else oracle ()
+    end
+  end
+
+let verdict_table : (bool * decided_by * Intvec.t option * bool) Engine.Cache.table =
+  Engine.Cache.create_table "analysis-verdict"
+
+let check ?(budget = Engine.Budget.unlimited) ~mu t =
+  if Array.length mu <> Intmat.cols t then invalid_arg "Analysis.check: arity mismatch";
+  Engine.Telemetry.incr_queries ();
+  let t0 = Unix.gettimeofday () in
+  let finish (free, how, wit, rank_ok) exactness =
+    {
+      conflict_free = free;
+      full_rank = rank_ok;
+      decided_by = how;
+      witness = wit;
+      timing = Unix.gettimeofday () -. t0;
+      exactness;
+    }
+  in
+  if Engine.Budget.pressed budget then begin
+    (* Graceful degradation: skip the closed-form cascade and the box
+       oracle entirely; one lattice-oracle call (itself cached) settles
+       the query, reported as bounded.  Bounded verdicts are never
+       written to the verdict cache. *)
+    Engine.Budget.charge_oracle budget;
+    let w = Engine.Cache.find_conflict_lattice ~mu t in
+    let rank_ok = (Engine.Cache.hnf t).Hnf.rank = Intmat.rows t in
+    finish (Option.is_none w, Lattice_fallback, w, rank_ok) Bounded
+  end
+  else
+    let key = Intmat.append_row t (Intvec.of_int_array mu) in
+    finish (Engine.Cache.memo verdict_table key (fun () -> core ~budget ~mu t)) Exact
+
+let is_conflict_free ?budget ~mu t = (check ?budget ~mu t).conflict_free

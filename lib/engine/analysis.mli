@@ -1,0 +1,56 @@
+(** The single front door for conflict-freedom queries.
+
+    [check ~mu t] subsumes the ad-hoc trio callers used to stitch
+    together by hand — {!Theorems.decide} for the verdict,
+    {!Conflict.find_conflict} for a witness, and a manual
+    [Intmat.rank] test for condition 4 of Definition 2.2 — behind one
+    call returning one record.  On top of the unification it adds what
+    the old trio could not offer:
+
+    - {e caching}: the Hermite factorization, the lattice oracle and
+      the final verdict are memoized in {!Engine.Cache}, keyed on the
+      matrix content, so repeated queries (ubiquitous in enumeration
+      scans) cost a hash lookup;
+    - {e budgets}: under an expired {!Engine.Budget} the exact box
+      oracle is replaced by the lattice oracle and the verdict is
+      reported with [exactness = Bounded] instead of blocking;
+    - {e telemetry}: every call feeds {!Engine.Telemetry}. *)
+
+type exactness =
+  | Exact    (** Decided by a sound condition or an exact oracle. *)
+  | Bounded  (** Budget-degraded path; see {!Engine.Budget}. *)
+
+type decided_by =
+  | Theorem of Theorems.method_used
+      (** A paper condition (or the exact box oracle) settled it. *)
+  | Lattice_oracle
+      (** The LLL-lattice oracle, chosen because the box was too large
+          to enumerate (still exact). *)
+  | Lattice_fallback
+      (** The lattice oracle chosen under budget pressure; the verdict
+          is reported as bounded. *)
+
+type verdict = {
+  conflict_free : bool;
+  full_rank : bool;     (** [rank T = k], condition 4 of Definition 2.2. *)
+  decided_by : decided_by;
+  witness : Intvec.t option;
+  (** A conflict vector inside the box when one was produced (always
+      primitive and sign-normalized); [None] for conflict-free
+      mappings and for verdicts settled without constructing one. *)
+  timing : float;       (** Wall-clock seconds spent in this call. *)
+  exactness : exactness;
+}
+
+val check : ?budget:Engine.Budget.t -> mu:int array -> Intmat.t -> verdict
+(** Decide conflict-freedom of [t] on the box [0 <= j_i <= mu_i] with
+    the cheapest applicable method.  Agrees with {!Theorems.decide}
+    (property-tested); verdicts computed without budget pressure are
+    cached and replayed on structurally equal queries.
+    @raise Invalid_argument when [mu] and [t] disagree on arity. *)
+
+val is_conflict_free : ?budget:Engine.Budget.t -> mu:int array -> Intmat.t -> bool
+(** [(check ~mu t).conflict_free]. *)
+
+val decided_by_name : decided_by -> string
+(** Human-readable method name, also used by the JSON reports. *)

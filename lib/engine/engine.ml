@@ -1,0 +1,299 @@
+module Telemetry = struct
+  type snapshot = {
+    queries : int;
+    closed_form : int;
+    box_oracle : int;
+    lattice_oracle : int;
+    cache_hits : int;
+    cache_misses : int;
+    max_domains : int;
+    phases : (string * float * int) list;
+  }
+
+  let queries = Atomic.make 0
+  let closed_form = Atomic.make 0
+  let box_oracle = Atomic.make 0
+  let lattice_oracle = Atomic.make 0
+  let cache_hits = Atomic.make 0
+  let cache_misses = Atomic.make 0
+  let max_domains = Atomic.make 1
+
+  let phase_lock = Mutex.create ()
+  let phases : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 8
+
+  let reset () =
+    List.iter
+      (fun c -> Atomic.set c 0)
+      [ queries; closed_form; box_oracle; lattice_oracle; cache_hits; cache_misses ];
+    Atomic.set max_domains 1;
+    Mutex.lock phase_lock;
+    Hashtbl.reset phases;
+    Mutex.unlock phase_lock
+
+  let incr_queries () = Atomic.incr queries
+  let incr_closed_form () = Atomic.incr closed_form
+  let incr_box_oracle () = Atomic.incr box_oracle
+  let incr_lattice_oracle () = Atomic.incr lattice_oracle
+  let incr_cache_hits () = Atomic.incr cache_hits
+  let incr_cache_misses () = Atomic.incr cache_misses
+
+  let note_domains n =
+    let rec bump () =
+      let cur = Atomic.get max_domains in
+      if n > cur && not (Atomic.compare_and_set max_domains cur n) then bump ()
+    in
+    bump ()
+
+  let time label f =
+    let t0 = Unix.gettimeofday () in
+    let charge () =
+      let dt = Unix.gettimeofday () -. t0 in
+      Mutex.lock phase_lock;
+      (match Hashtbl.find_opt phases label with
+      | Some (total, count) ->
+        total := !total +. dt;
+        incr count
+      | None -> Hashtbl.add phases label (ref dt, ref 1));
+      Mutex.unlock phase_lock
+    in
+    match f () with
+    | v ->
+      charge ();
+      v
+    | exception e ->
+      charge ();
+      raise e
+
+  let snapshot () =
+    Mutex.lock phase_lock;
+    let ph =
+      Hashtbl.fold (fun label (total, count) acc -> (label, !total, !count) :: acc) phases []
+    in
+    Mutex.unlock phase_lock;
+    {
+      queries = Atomic.get queries;
+      closed_form = Atomic.get closed_form;
+      box_oracle = Atomic.get box_oracle;
+      lattice_oracle = Atomic.get lattice_oracle;
+      cache_hits = Atomic.get cache_hits;
+      cache_misses = Atomic.get cache_misses;
+      max_domains = Atomic.get max_domains;
+      phases = List.sort compare ph;
+    }
+
+  let pp ppf s =
+    Format.fprintf ppf
+      "queries=%d decisions: closed-form=%d box-oracle=%d lattice-oracle=%d@ cache: hits=%d misses=%d@ domains=%d"
+      s.queries s.closed_form s.box_oracle s.lattice_oracle s.cache_hits s.cache_misses
+      s.max_domains;
+    List.iter
+      (fun (label, total, count) ->
+        Format.fprintf ppf "@ phase %s: %.3f ms (%d)" label (1000. *. total) count)
+      s.phases
+end
+
+module Budget = struct
+  type t = {
+    deadline : float option; (* absolute wall-clock seconds *)
+    max_oracle_calls : int option;
+    used_oracle : int Atomic.t;
+    started : float;
+  }
+
+  let make ?deadline_ms ?max_oracle_calls () =
+    let started = Unix.gettimeofday () in
+    {
+      deadline = Option.map (fun ms -> started +. (float_of_int ms /. 1000.)) deadline_ms;
+      max_oracle_calls;
+      used_oracle = Atomic.make 0;
+      started;
+    }
+
+  let unlimited = make ()
+  let charge_oracle t = Atomic.incr t.used_oracle
+  let oracle_calls t = Atomic.get t.used_oracle
+  let elapsed_ms t = 1000. *. (Unix.gettimeofday () -. t.started)
+
+  let pressed t =
+    (* [>=] so a zero deadline is pressed from the start. *)
+    (match t.deadline with
+    | Some d -> Unix.gettimeofday () >= d
+    | None -> false)
+    ||
+    match t.max_oracle_calls with
+    | Some m -> Atomic.get t.used_oracle >= m
+    | None -> false
+end
+
+module Cache = struct
+  module Key = struct
+    type t = Intmat.t
+
+    let equal = Intmat.equal
+
+    let hash m =
+      let rows = Intmat.rows m and cols = Intmat.cols m in
+      let h = ref ((rows * 31) + cols) in
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          h := (!h * 1000003) lxor Zint.hash (Intmat.get m i j)
+        done
+      done;
+      !h land max_int
+  end
+
+  module H = Hashtbl.Make (Key)
+
+  type 'v table = {
+    tbl : 'v H.t;
+    lock : Mutex.t;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+  }
+
+  type stats = { hits : int; misses : int; entries : int }
+
+  (* Registry of per-table accessors, so [stats]/[clear] reach tables
+     of any value type. *)
+  let registry : (unit -> stats) list ref = ref []
+  let clearers : (unit -> unit) list ref = ref []
+  let registry_lock = Mutex.create ()
+
+  let create_table (_name : string) =
+    let t =
+      { tbl = H.create 256; lock = Mutex.create (); hits = Atomic.make 0; misses = Atomic.make 0 }
+    in
+    Mutex.lock registry_lock;
+    registry :=
+      (fun () ->
+        Mutex.lock t.lock;
+        let entries = H.length t.tbl in
+        Mutex.unlock t.lock;
+        { hits = Atomic.get t.hits; misses = Atomic.get t.misses; entries })
+      :: !registry;
+    clearers :=
+      (fun () ->
+        Mutex.lock t.lock;
+        H.reset t.tbl;
+        Mutex.unlock t.lock;
+        Atomic.set t.hits 0;
+        Atomic.set t.misses 0)
+      :: !clearers;
+    Mutex.unlock registry_lock;
+    t
+
+  let memo t key compute =
+    Mutex.lock t.lock;
+    match H.find_opt t.tbl key with
+    | Some v ->
+      Mutex.unlock t.lock;
+      Atomic.incr t.hits;
+      Telemetry.incr_cache_hits ();
+      v
+    | None ->
+      Mutex.unlock t.lock;
+      Atomic.incr t.misses;
+      Telemetry.incr_cache_misses ();
+      (* Compute outside the lock: a racing domain may duplicate the
+         work, but never blocks behind it. *)
+      let v = compute () in
+      Mutex.lock t.lock;
+      if not (H.mem t.tbl key) then H.add t.tbl key v;
+      Mutex.unlock t.lock;
+      v
+
+  let stats () =
+    Mutex.lock registry_lock;
+    let fns = !registry in
+    Mutex.unlock registry_lock;
+    List.fold_left
+      (fun acc f ->
+        let s = f () in
+        { hits = acc.hits + s.hits; misses = acc.misses + s.misses; entries = acc.entries + s.entries })
+      { hits = 0; misses = 0; entries = 0 }
+      fns
+
+  let clear () =
+    Mutex.lock registry_lock;
+    let fns = !clearers in
+    Mutex.unlock registry_lock;
+    List.iter (fun f -> f ()) fns
+
+  let hnf_table : Hnf.result table = create_table "hnf"
+  let lll_table : Intvec.t list table = create_table "lll"
+  let lattice_table : Intvec.t option table = create_table "conflict-lattice"
+
+  let hnf t = memo hnf_table t (fun () -> Hnf.compute t)
+
+  let lll_reduce basis =
+    match basis with
+    | [] -> Lll.reduce basis (* delegate the Invalid_argument *)
+    | _ -> memo lll_table (Intmat.of_rows basis) (fun () -> Lll.reduce basis)
+
+  let find_conflict_lattice ~mu t =
+    if Array.length mu <> Intmat.cols t then
+      invalid_arg "Engine.Cache.find_conflict_lattice: arity mismatch";
+    (* Key = T with mu stacked as an extra row: rows 0..k-1 recover T,
+       the last row recovers mu, so distinct (T, mu) pairs never
+       collide. *)
+    let key = Intmat.append_row t (Intvec.of_int_array mu) in
+    memo lattice_table key (fun () ->
+        Telemetry.incr_lattice_oracle ();
+        Conflict.find_conflict_lattice ~mu t)
+end
+
+module Pool = struct
+  type t = { jobs : int }
+
+  let create ?jobs () =
+    let jobs =
+      match jobs with
+      | Some j -> max 1 j
+      | None -> Domain.recommended_domain_count ()
+    in
+    { jobs }
+
+  let jobs t = t.jobs
+
+  let map t f xs =
+    match xs with
+    | [] -> []
+    | [ x ] -> [ f x ]
+    | xs when t.jobs = 1 -> List.map f xs
+    | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let out = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            out.(i) <- Some (f arr.(i));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = min (t.jobs - 1) (n - 1) in
+      Telemetry.note_domains (spawned + 1);
+      let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+      (* Always join every domain, even when a worker raises; the first
+         exception (caller's first, then spawn order) is re-raised. *)
+      let failure =
+        match worker () with
+        | () -> None
+        | exception e -> Some e
+      in
+      let failure =
+        List.fold_left
+          (fun failure d ->
+            match Domain.join d with
+            | () -> failure
+            | exception e -> (match failure with Some _ -> failure | None -> Some e))
+          failure domains
+      in
+      (match failure with Some e -> raise e | None -> ());
+      Array.to_list
+        (Array.map (function Some v -> v | None -> assert false) out)
+end

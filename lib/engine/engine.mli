@@ -1,0 +1,119 @@
+(** Execution substrate for mapping-search queries: a domain-based
+    worker pool, content-addressed memo tables over {!Intmat.t},
+    per-query deadlines/budgets, and monotonic telemetry.
+
+    The modules here carry no mapping theory of their own — they make
+    the scans of {!Analysis} and {!Search} parallel, cached and
+    observable without changing their answers (the caches key on the
+    full matrix content, and the pool merges results in deterministic
+    input order). *)
+
+(** Monotonic counters and wall-clock phase timers.  All counters are
+    global, atomic and only ever increase between {!Telemetry.reset}s;
+    safe to bump from any domain. *)
+module Telemetry : sig
+  type snapshot = {
+    queries : int;             (** {!Analysis.check} calls. *)
+    closed_form : int;         (** Decisions by a paper theorem. *)
+    box_oracle : int;          (** Exact box-oracle invocations. *)
+    lattice_oracle : int;      (** LLL-lattice oracle invocations. *)
+    cache_hits : int;
+    cache_misses : int;
+    max_domains : int;         (** Widest pool observed since reset. *)
+    phases : (string * float * int) list;
+    (** [(label, total_seconds, entries)] per {!time} label, sorted. *)
+  }
+
+  val reset : unit -> unit
+  val snapshot : unit -> snapshot
+
+  val incr_queries : unit -> unit
+  val incr_closed_form : unit -> unit
+  val incr_box_oracle : unit -> unit
+  val incr_lattice_oracle : unit -> unit
+  val incr_cache_hits : unit -> unit
+  val incr_cache_misses : unit -> unit
+  val note_domains : int -> unit
+
+  val time : string -> (unit -> 'a) -> 'a
+  (** [time label f] runs [f] and adds its wall-clock duration to the
+      accumulator for [label] (exceptions still charge the timer). *)
+
+  val pp : Format.formatter -> snapshot -> unit
+end
+
+(** Per-query deadlines and work budgets.  A budget never aborts a
+    query: callers poll {!pressed} and degrade gracefully (e.g.
+    {!Analysis.check} switches the exact box oracle for the lattice
+    oracle and reports the verdict as bounded). *)
+module Budget : sig
+  type t
+
+  val make : ?deadline_ms:int -> ?max_oracle_calls:int -> unit -> t
+  (** [deadline_ms] is wall-clock, measured from this call;
+      [max_oracle_calls] caps the number of conflict-oracle
+      invocations charged with {!charge_oracle}. *)
+
+  val unlimited : t
+  (** Never pressed. *)
+
+  val charge_oracle : t -> unit
+  val oracle_calls : t -> int
+  val elapsed_ms : t -> float
+
+  val pressed : t -> bool
+  (** True once the deadline passed or the oracle budget is spent. *)
+end
+
+(** Content-addressed memo tables in front of the expensive kernels
+    ({!Hnf.compute}, {!Lll.reduce}, {!Conflict.find_conflict_lattice}).
+    Keys are full matrices compared with {!Intmat.equal} and hashed
+    entry-by-entry, so structurally equal matrices built by different
+    scans share one entry.  Tables are domain-safe (mutex-protected);
+    hit/miss counts feed {!Telemetry}. *)
+module Cache : sig
+  type 'v table
+
+  val create_table : string -> 'v table
+  (** A fresh matrix-keyed table registered for {!stats}/{!clear}. *)
+
+  val memo : 'v table -> Intmat.t -> (unit -> 'v) -> 'v
+  (** [memo tbl key compute] returns the cached value for [key] or runs
+      [compute] once and stores the result. *)
+
+  val hnf : Intmat.t -> Hnf.result
+  (** Memoized {!Hnf.compute} (default strategy and reduction). *)
+
+  val lll_reduce : Intvec.t list -> Intvec.t list
+  (** Memoized {!Lll.reduce} (default delta), keyed on the basis rows. *)
+
+  val find_conflict_lattice : mu:int array -> Intmat.t -> Intvec.t option
+  (** Memoized {!Conflict.find_conflict_lattice}, keyed on [(T, mu)]. *)
+
+  type stats = { hits : int; misses : int; entries : int }
+
+  val stats : unit -> stats
+  (** Aggregate over every registered table since the last {!clear}. *)
+
+  val clear : unit -> unit
+  (** Drop all entries and zero the hit/miss counts of every table. *)
+end
+
+(** A bounded pool of OCaml 5 domains with deterministic merge:
+    {!Pool.map} always returns results in input order, whatever the
+    scheduling, so parallel scans are reproducible and agree with the
+    sequential reference (property-tested in [test_engine.ml]). *)
+module Pool : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** [jobs] defaults to [Domain.recommended_domain_count ()]; values
+      below 1 are clamped to 1 (purely sequential). *)
+
+  val jobs : t -> int
+
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+  (** Order-preserving parallel map.  Work is distributed by atomic
+      index stealing across [jobs - 1] spawned domains plus the calling
+      domain; with [jobs = 1] this is [List.map]. *)
+end

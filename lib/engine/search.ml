@@ -1,0 +1,136 @@
+let get_pool = function
+  | Some p -> p
+  | None -> Engine.Pool.create ()
+
+(* The engine's mapping-matrix screen: rank condition plus
+   conflict-freedom, answered by the memoized Analysis front door. *)
+let valid_screen ?budget ~mu t =
+  let v = Analysis.check ?budget ~mu t in
+  v.Analysis.full_rank && v.Analysis.conflict_free
+
+let all_optimal_schedules ?pool ?budget ?max_objective (alg : Algorithm.t) ~s =
+  let pool = get_pool pool in
+  let mu = Index_set.bounds alg.Algorithm.index_set in
+  let d = alg.Algorithm.dependences in
+  let max_objective =
+    match max_objective with
+    | Some m -> m
+    | None -> Procedure51.default_max_objective mu
+  in
+  Engine.Telemetry.time "schedule-scan" @@ fun () ->
+  let screen pi =
+    Schedule.respects pi d && valid_screen ?budget ~mu (Intmat.append_row s pi)
+  in
+  (* Cost levels smallest-first with a barrier per level, exactly like
+     Procedure 5.1; within a level every candidate is screened
+     independently and winners keep enumeration order. *)
+  let rec by_cost cost =
+    if cost > max_objective then []
+    else begin
+      let cands = Procedure51.candidates_at_cost ~mu cost in
+      let flags = Engine.Pool.map pool screen cands in
+      match
+        List.filter_map
+          (fun (pi, ok) -> if ok then Some pi else None)
+          (List.combine cands flags)
+      with
+      | [] -> by_cost (cost + 1)
+      | winners -> winners
+    end
+  in
+  by_cost 1
+
+let best_by_buffers ?pool ?budget ?max_objective (alg : Algorithm.t) ~s =
+  let pool = get_pool pool in
+  let d = alg.Algorithm.dependences in
+  let schedules = all_optimal_schedules ~pool ?budget ?max_objective alg ~s in
+  let scored =
+    Engine.Pool.map pool
+      (fun pi ->
+        match Tmap.find_routing (Tmap.make ~s ~pi) ~d with
+        | Some routing ->
+          let buffers = Array.fold_left ( + ) 0 routing.Tmap.buffers in
+          let hops = Array.fold_left ( + ) 0 routing.Tmap.hops in
+          Some ((buffers, hops), pi, routing)
+        | None -> None)
+      schedules
+    |> List.filter_map Fun.id
+  in
+  match List.sort (fun (a, _, _) (b, _, _) -> compare a b) scored with
+  | [] -> None
+  | (_, pi, routing) :: _ -> Some (pi, routing)
+
+let pareto_front ?pool ?budget ?entry_bound ?(time_slack = 8)
+    ?(accept = fun _ _ -> true) (alg : Algorithm.t) ~k =
+  let pool = get_pool pool in
+  let mu = Index_set.bounds alg.Algorithm.index_set in
+  let d = alg.Algorithm.dependences in
+  let max_objective = Procedure51.default_max_objective mu in
+  let valid t = valid_screen ?budget ~mu t in
+  Engine.Telemetry.time "space-scan" @@ fun () ->
+  (* One pool task per schedule candidate: the whole space-family scan
+     for that Pi, with the cached oracle plugged into Space_opt. *)
+  let eval pi =
+    match Space_opt.optimize ?entry_bound ~objective:Space_opt.Processors ~valid alg ~pi ~k with
+    | Some r -> Some (pi, r)
+    | None -> None
+  in
+  let level cost =
+    let cands =
+      List.filter (fun pi -> Schedule.respects pi d) (Procedure51.candidates_at_cost ~mu cost)
+    in
+    Engine.Pool.map pool eval cands
+  in
+  (* The joint optimum's level: first cost where any candidate admits a
+     conflict-free space mapping at all (accept is applied afterwards,
+     like the sequential version, so a rejecting accept shifts the
+     front without moving its origin). *)
+  let rec find_base cost =
+    if cost > max_objective then None
+    else begin
+      let res = level cost in
+      if List.exists Option.is_some res then Some (cost, res) else find_base (cost + 1)
+    end
+  in
+  match find_base 1 with
+  | None -> []
+  | Some (base, res0) ->
+    let levels =
+      (base, res0) :: List.init time_slack (fun i -> (base + 1 + i, level (base + 1 + i)))
+    in
+    let candidates =
+      List.concat_map
+        (fun (cost, res) ->
+          List.filter_map
+            (function
+              | Some (pi, r) when accept pi r.Space_opt.s ->
+                Some
+                  {
+                    Enumerate.total_time = cost + 1;
+                    processors = r.Space_opt.processors;
+                    pi;
+                    s = r.Space_opt.s;
+                  }
+              | Some _ | None -> None)
+            res)
+        levels
+    in
+    (* The sequential version accumulates candidates with [::], so the
+       stable sort resolves (time, processors) ties in favor of the
+       last-enumerated candidate; reverse here to keep representative
+       parity with [Enumerate.pareto_front]. *)
+    let sorted =
+      List.sort
+        (fun a b ->
+          compare
+            (a.Enumerate.total_time, a.Enumerate.processors)
+            (b.Enumerate.total_time, b.Enumerate.processors))
+        (List.rev candidates)
+    in
+    let rec sweep best_procs = function
+      | [] -> []
+      | p :: rest ->
+        if p.Enumerate.processors < best_procs then p :: sweep p.Enumerate.processors rest
+        else sweep best_procs rest
+    in
+    sweep max_int sorted

@@ -1,0 +1,55 @@
+(** Parallel, cached versions of the {!Enumerate} queries.
+
+    Each function answers exactly what its sequential counterpart
+    answers — the candidate spaces, screens and cost-level order are
+    identical — but the per-candidate work is fanned out over an
+    {!Engine.Pool} and every mapping-matrix decision goes through the
+    memoized {!Analysis.check}.  Results are merged deterministically
+    (the pool preserves input order), so the output is reproducible
+    and independent of the number of domains; [test_engine.ml] pins
+    both properties.
+
+    Why parallelism preserves exactness: candidates are screened
+    independently (no shared state beyond the append-only caches), the
+    screen itself is the same sound decision procedure as the
+    sequential scan, and cost levels are still visited smallest-first
+    with a full barrier per level — so "first level with winners"
+    means the same thing under any domain count. *)
+
+val all_optimal_schedules :
+  ?pool:Engine.Pool.t ->
+  ?budget:Engine.Budget.t ->
+  ?max_objective:int ->
+  Algorithm.t ->
+  s:Intmat.t ->
+  Intvec.t list
+(** Parallel {!Enumerate.all_optimal_schedules}: every conflict-free,
+    full-rank, dependence-respecting [Pi] at the minimal total-time
+    level, in candidate-enumeration order. *)
+
+val best_by_buffers :
+  ?pool:Engine.Pool.t ->
+  ?budget:Engine.Budget.t ->
+  ?max_objective:int ->
+  Algorithm.t ->
+  s:Intmat.t ->
+  (Intvec.t * Tmap.routing) option
+(** Parallel {!Enumerate.best_by_buffers}: among all time-optimal
+    schedules, one minimizing total delay registers (ties: fewest
+    hops, then enumeration order — same tie-breaking as the
+    sequential version). *)
+
+val pareto_front :
+  ?pool:Engine.Pool.t ->
+  ?budget:Engine.Budget.t ->
+  ?entry_bound:int ->
+  ?time_slack:int ->
+  ?accept:(Intvec.t -> Intmat.t -> bool) ->
+  Algorithm.t ->
+  k:int ->
+  Enumerate.pareto_point list
+(** Parallel {!Enumerate.pareto_front}: non-dominated (total time,
+    processors) points over the unit space-mapping family, smallest
+    time first.  The space-family scan for each schedule candidate
+    runs as one pool task with the cached oracle plugged into
+    {!Space_opt.optimize}. *)

@@ -22,7 +22,12 @@ val find_conflict : mu:int array -> Intmat.t -> Intvec.t option
 (** Exact oracle: a nonzero kernel vector inside the box
     [|gamma_i| <= mu_i], primitive and sign-normalized, or [None] when
     the mapping is conflict-free.  Backtracking enumeration with
-    interval pruning on the partial products [T gamma]. *)
+    interval pruning on the partial products [T gamma].
+
+    @deprecated Callers wanting a verdict-plus-witness should use
+    [Analysis.check] (library [engine]); it picks the cheapest sound
+    method, caches the result and degrades under budgets.  This
+    function remains the ground-truth box enumeration it builds on. *)
 
 val is_conflict_free : mu:int array -> Intmat.t -> bool
 (** Decides with {!find_conflict} when the box is small and with

@@ -58,13 +58,24 @@ let minimal_schedule ?max_objective (alg : Algorithm.t) =
   in
   by_cost 1
 
-let optimize ?(check = Theorem) ?p ?(require_routing = false) ?max_objective
+let optimize ?(check = Theorem) ?valid ?p ?(require_routing = false) ?max_objective
     (alg : Algorithm.t) ~s =
   let mu = Index_set.bounds alg.Algorithm.index_set in
   let d = alg.Algorithm.dependences in
   let k = Intmat.rows s + 1 in
   let max_objective =
     match max_objective with Some m -> m | None -> default_max_objective mu
+  in
+  let valid =
+    match valid with
+    | Some f -> f
+    | None ->
+      fun t ->
+        Intmat.rank t = k
+        &&
+        (match check with
+        | Exact -> Conflict.is_conflict_free ~mu t
+        | Theorem -> fst (Theorems.decide ~mu t))
   in
   let tried = ref 0 in
   let attempt pi =
@@ -73,20 +84,12 @@ let optimize ?(check = Theorem) ?p ?(require_routing = false) ?max_objective
     else begin
       let tm = Tmap.make ~s ~pi in
       let t = Tmap.matrix tm in
-      if Intmat.rank t <> k then None
-      else begin
-        let free =
-          match check with
-          | Exact -> Conflict.is_conflict_free ~mu t
-          | Theorem -> fst (Theorems.decide ~mu t)
-        in
-        if not free then None
-        else if require_routing then
-          match Tmap.find_routing ?p tm ~d with
-          | Some routing -> Some (pi, Some routing)
-          | None -> None
-        else Some (pi, None)
-      end
+      if not (valid t) then None
+      else if not require_routing then Some (pi, None)
+      else
+        match Tmap.find_routing ?p tm ~d with
+        | Some routing -> Some (pi, Some routing)
+        | None -> None
     end
   in
   let rec by_cost cost =

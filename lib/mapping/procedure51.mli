@@ -23,6 +23,7 @@ type result = {
 
 val optimize :
   ?check:conflict_check ->
+  ?valid:(Intmat.t -> bool) ->
   ?p:Intmat.t ->
   ?require_routing:bool ->
   ?max_objective:int ->
@@ -35,7 +36,16 @@ val optimize :
     example in the paper).  When [require_routing] is set (default
     [false]), candidates whose dependences cannot be routed on [p]
     (default nearest-neighbor links) are rejected — condition 2 of
-    Definition 2.2. *)
+    Definition 2.2.
+
+    [valid] replaces the default mapping-matrix screen
+    ([rank T = k] and conflict-freedom per [check]) — the hook the
+    cached engine ([Analysis.check]) plugs into; overriding it makes
+    [check] irrelevant. *)
+
+val default_max_objective : int array -> int
+(** The default search bound [Σ mu_i * (mu_i + 1)] — exposed so engine
+    scans stop at the same level as this module. *)
 
 val candidates_at_cost : mu:int array -> int -> Intvec.t list
 (** All integral [Pi] with [Σ |pi_i| mu_i] equal to the given cost —

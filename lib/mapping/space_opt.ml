@@ -39,7 +39,7 @@ let rec choose k lst =
     | [] -> []
     | x :: rest -> List.map (fun c -> x :: c) (choose (k - 1) rest) @ choose k rest
 
-let optimize ?(entry_bound = 1) ?(objective = Processors_plus_wire)
+let optimize ?(entry_bound = 1) ?(objective = Processors_plus_wire) ?valid
     (alg : Algorithm.t) ~pi ~k =
   let n = Algorithm.dim alg in
   let d = alg.Algorithm.dependences in
@@ -48,13 +48,18 @@ let optimize ?(entry_bound = 1) ?(objective = Processors_plus_wire)
   if not (Schedule.respects pi d) then
     invalid_arg "Space_opt.optimize: Pi does not respect the dependences";
   let mu = Index_set.bounds alg.Algorithm.index_set in
+  let valid =
+    match valid with
+    | Some f -> f
+    | None -> fun t -> Intmat.rank t = k && fst (Theorems.decide ~mu t)
+  in
   let slack = Array.init m (fun i -> Zint.to_int (Intvec.dot pi (Intmat.col d i))) in
   let tried = ref 0 in
   let best = ref None in
   let consider s =
     incr tried;
     let t = Intmat.append_row s pi in
-    if Intmat.rank t = k && fst (Theorems.decide ~mu t) then begin
+    if valid t then begin
       (* Routability and wire length: one nearest-neighbor hop per unit
          of |S d_i| per array dimension, within the schedule slack. *)
       let sd = Intmat.mul s d in
@@ -94,7 +99,7 @@ let optimize ?(entry_bound = 1) ?(objective = Processors_plus_wire)
   | Some (_, r) -> Some { r with candidates_tried = !tried }
   | None -> None
 
-let optimize_joint ?entry_bound ?objective ?max_time_objective (alg : Algorithm.t)
+let optimize_joint ?entry_bound ?objective ?valid ?max_time_objective (alg : Algorithm.t)
     ~k =
   let mu = Index_set.bounds alg.Algorithm.index_set in
   let d = alg.Algorithm.dependences in
@@ -111,7 +116,7 @@ let optimize_joint ?entry_bound ?objective ?max_time_objective (alg : Algorithm.
           (fun pi ->
             if not (Schedule.respects pi d) then None
             else
-              match optimize ?entry_bound ?objective alg ~pi ~k with
+              match optimize ?entry_bound ?objective ?valid alg ~pi ~k with
               | Some r -> Some (pi, r)
               | None -> None)
           (Procedure51.candidates_at_cost ~mu cost)

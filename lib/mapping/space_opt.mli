@@ -25,6 +25,7 @@ type result = {
 val optimize :
   ?entry_bound:int ->
   ?objective:objective ->
+  ?valid:(Intmat.t -> bool) ->
   Algorithm.t ->
   pi:Intvec.t ->
   k:int ->
@@ -34,12 +35,17 @@ val optimize :
     entry_bound]] (default 1 — unit projections, the systolic norm).
     Returns [None] if no conflict-free routable [S] exists in the
     searched family.
+
+    [valid] replaces the default mapping-matrix screen ([rank T = k]
+    plus [Theorems.decide]) on each candidate [T = [S; Pi]] — the hook
+    the cached engine ([Analysis.check]) plugs into.
     @raise Invalid_argument when [Pi] does not respect the dependences
     or [k] is out of range (needs [2 <= k <= n]). *)
 
 val optimize_joint :
   ?entry_bound:int ->
   ?objective:objective ->
+  ?valid:(Intmat.t -> bool) ->
   ?max_time_objective:int ->
   Algorithm.t ->
   k:int ->

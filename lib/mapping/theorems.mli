@@ -80,4 +80,10 @@ val decide : mu:int array -> Intmat.t -> bool * method_used
     condition: exact closed forms where they exist (k >= n-1), fast
     necessary/sufficient screens otherwise, and the exact box oracle
     when the screens do not settle the answer.  Always agrees with
-    {!Conflict.is_conflict_free}. *)
+    {!Conflict.is_conflict_free}.
+
+    @deprecated New code should call [Analysis.check] (library
+    [engine]), which returns the same decision together with rank,
+    witness and timing in one record, memoizes it, and honors query
+    budgets.  [decide] remains as the uncached sequential reference
+    that [Analysis.check] is property-tested against. *)

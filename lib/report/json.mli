@@ -1,0 +1,37 @@
+(** Minimal JSON emitter for the machine-consumable CLI output.
+
+    Only what the reports need: construction and compact serialization
+    with correct string escaping.  Documents are versioned — every
+    top-level object produced by {!versioned} carries
+    ["schema_version": ]{!schema_version} so consumers can detect
+    incompatible changes.  Schema v1 is documented in the README. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val schema_version : int
+(** Current CLI output schema: 1. *)
+
+val versioned : command:string -> (string * t) list -> t
+(** [versioned ~command fields] is [Obj] with ["schema_version"] and
+    ["command"] prepended — the shape of every CLI document. *)
+
+val to_string : t -> string
+(** Compact (single-line) serialization.  Strings are escaped per RFC
+    8259; floats use a round-trippable shortest form and are always
+    finite by construction. *)
+
+val print : t -> unit
+(** [to_string] to stdout, newline-terminated. *)
+
+val option : ('a -> t) -> 'a option -> t
+(** [None] becomes [Null]. *)
+
+val ints : int list -> t
+(** An array of integers. *)

@@ -1,0 +1,282 @@
+(* Tests for the engine subsystem: worker pool determinism, the memo
+   cache, budgets, telemetry, and the parallel search agreeing with
+   the sequential reference. *)
+
+let mu3 = [| 4; 4; 4 |]
+
+let vec_lists = Alcotest.(list (list int))
+let to_ints_l vs = List.map Intvec.to_ints vs
+
+(* ------------------------------ pool ------------------------------- *)
+
+let test_pool_order () =
+  let xs = List.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      let pool = Engine.Pool.create ~jobs () in
+      Alcotest.(check (list int))
+        (Printf.sprintf "map order, jobs=%d" jobs)
+        (List.map (fun x -> (x * 7) mod 13) xs)
+        (Engine.Pool.map pool (fun x -> (x * 7) mod 13) xs))
+    [ 1; 2; 4 ]
+
+let test_pool_edge_cases () =
+  let pool = Engine.Pool.create ~jobs:4 () in
+  Alcotest.(check (list int)) "empty" [] (Engine.Pool.map pool succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Engine.Pool.map pool succ [ 1 ]);
+  Alcotest.(check int) "jobs clamped to 1" 1 (Engine.Pool.jobs (Engine.Pool.create ~jobs:0 ()))
+
+let test_pool_exception () =
+  let pool = Engine.Pool.create ~jobs:3 () in
+  Alcotest.(check bool) "worker exception propagates" true
+    (try
+       ignore (Engine.Pool.map pool (fun x -> if x = 5 then failwith "boom" else x) [ 1; 5; 9 ]);
+       false
+     with Failure _ -> true)
+
+(* ------------------------- search = reference ---------------------- *)
+
+let test_search_schedules_agree () =
+  let alg = Matmul.algorithm ~mu:4 in
+  let reference = to_ints_l (Enumerate.all_optimal_schedules alg ~s:Matmul.paper_s) in
+  List.iter
+    (fun jobs ->
+      let pool = Engine.Pool.create ~jobs () in
+      let got = to_ints_l (Search.all_optimal_schedules ~pool alg ~s:Matmul.paper_s) in
+      Alcotest.check vec_lists (Printf.sprintf "matmul schedules, jobs=%d" jobs) reference got)
+    [ 1; 4 ];
+  let tc = Transitive_closure.algorithm ~mu:4 in
+  let pool = Engine.Pool.create ~jobs:4 () in
+  Alcotest.check vec_lists "tc schedules"
+    (to_ints_l (Enumerate.all_optimal_schedules tc ~s:Transitive_closure.paper_s))
+    (to_ints_l (Search.all_optimal_schedules ~pool tc ~s:Transitive_closure.paper_s))
+
+let test_search_best_by_buffers_agree () =
+  let alg = Matmul.algorithm ~mu:4 in
+  let pool = Engine.Pool.create ~jobs:4 () in
+  match
+    (Enumerate.best_by_buffers alg ~s:Matmul.paper_s, Search.best_by_buffers ~pool alg ~s:Matmul.paper_s)
+  with
+  | Some (pi_ref, rt_ref), Some (pi, rt) ->
+    Alcotest.(check (list int)) "same pi" (Intvec.to_ints pi_ref) (Intvec.to_ints pi);
+    Alcotest.(check int) "same registers"
+      (Array.fold_left ( + ) 0 rt_ref.Tmap.buffers)
+      (Array.fold_left ( + ) 0 rt.Tmap.buffers)
+  | _ -> Alcotest.fail "expected a buffer-minimal schedule from both"
+
+let point_key p =
+  ( p.Enumerate.total_time,
+    p.Enumerate.processors,
+    Intvec.to_ints p.Enumerate.pi,
+    Intmat.to_ints p.Enumerate.s )
+
+let test_search_pareto_agree () =
+  let alg = Matmul.algorithm ~mu:3 in
+  let reference = List.map point_key (Enumerate.pareto_front alg ~k:2) in
+  List.iter
+    (fun jobs ->
+      let pool = Engine.Pool.create ~jobs () in
+      let got = List.map point_key (Search.pareto_front ~pool alg ~k:2) in
+      Alcotest.(check bool) (Printf.sprintf "pareto front, jobs=%d" jobs) true (reference = got))
+    [ 1; 4 ]
+
+let test_search_empty_under_bound () =
+  let alg = Matmul.algorithm ~mu:4 in
+  let pool = Engine.Pool.create ~jobs:2 () in
+  Alcotest.check vec_lists "no schedule under tiny bound" []
+    (to_ints_l (Search.all_optimal_schedules ~pool ~max_objective:3 alg ~s:Matmul.paper_s))
+
+(* ------------------------------ cache ------------------------------ *)
+
+let test_cache_hits () =
+  Engine.Cache.clear ();
+  let t = Intmat.of_ints [ [ 1; 1; -1 ]; [ 1; 4; 1 ] ] in
+  let v1 = Analysis.check ~mu:mu3 t in
+  let before = Engine.Cache.stats () in
+  let v2 = Analysis.check ~mu:mu3 t in
+  let after = Engine.Cache.stats () in
+  Alcotest.(check bool) "same verdict" true
+    (v1.Analysis.conflict_free = v2.Analysis.conflict_free
+    && v1.Analysis.decided_by = v2.Analysis.decided_by);
+  Alcotest.(check bool) "repeat query hits the cache" true
+    (after.Engine.Cache.hits > before.Engine.Cache.hits);
+  Alcotest.(check bool) "entries retained" true (after.Engine.Cache.entries > 0)
+
+let test_cache_clear () =
+  let t = Intmat.of_ints [ [ 1; 0; 0 ]; [ 0; 1; 5 ] ] in
+  ignore (Analysis.check ~mu:mu3 t);
+  Engine.Cache.clear ();
+  let s = Engine.Cache.stats () in
+  Alcotest.(check int) "no entries" 0 s.Engine.Cache.entries;
+  Alcotest.(check int) "no hits" 0 s.Engine.Cache.hits;
+  Alcotest.(check int) "no misses" 0 s.Engine.Cache.misses
+
+let test_cache_hnf_consistent () =
+  let t = Intmat.of_ints [ [ 2; 4; 4 ]; [ -6; 6; 12 ]; [ 10; 4; 16 ] ] in
+  let a = Engine.Cache.hnf t in
+  let b = Engine.Cache.hnf t in
+  Alcotest.(check bool) "memoized result verifies" true (Hnf.verify t a);
+  Alcotest.(check bool) "physically shared" true (a == b)
+
+(* --------------------------- analysis ------------------------------ *)
+
+let test_analysis_agrees_with_reference () =
+  (* Sweep many (S; pi) stacks and demand verdict agreement with the
+     sequential trio it subsumes: Theorems.decide + rank check. *)
+  let s = Matmul.paper_s in
+  let checked = ref 0 in
+  for a = 1 to 4 do
+    for b = 1 to 4 do
+      for c = -2 to 4 do
+        if c <> 0 then begin
+          let pi = Intvec.of_ints [ a; b; c ] in
+          let t = Intmat.append_row s pi in
+          let v = Analysis.check ~mu:mu3 t in
+          incr checked;
+          Alcotest.(check bool) "full rank agrees" (Intmat.rank t = 2) v.Analysis.full_rank;
+          if v.Analysis.full_rank then begin
+            Alcotest.(check bool) "verdict agrees with Theorems.decide"
+              (fst (Theorems.decide ~mu:mu3 t))
+              v.Analysis.conflict_free;
+            Alcotest.(check bool) "verdict agrees with the box oracle"
+              (Conflict.is_conflict_free ~mu:mu3 t)
+              v.Analysis.conflict_free
+          end
+        end
+      done
+    done
+  done;
+  Alcotest.(check int) "swept the whole family" (4 * 4 * 6) !checked
+
+let test_analysis_witness () =
+  (* (1,1,1) over the paper's S collides; the verdict must carry a
+     feasible kernel witness. *)
+  let t = Intmat.append_row Matmul.paper_s (Intvec.of_ints [ 1; 1; 1 ]) in
+  let v = Analysis.check ~mu:mu3 t in
+  Alcotest.(check bool) "conflicted" false v.Analysis.conflict_free;
+  match v.Analysis.witness with
+  | Some g ->
+    (* A conflict witness lies inside the box (Theorem 2.2's
+       "infeasible" side) and in ker T. *)
+    Alcotest.(check bool) "witness inside the box" false (Conflict.is_feasible ~mu:mu3 g);
+    Alcotest.(check bool) "witness nonzero" true (not (Intvec.is_zero g))
+  | None -> Alcotest.fail "expected a conflict witness"
+
+let test_analysis_rank_deficient () =
+  let t = Intmat.of_ints [ [ 1; 1; -1 ]; [ 2; 2; -2 ] ] in
+  let v = Analysis.check ~mu:mu3 t in
+  Alcotest.(check bool) "not full rank" false v.Analysis.full_rank
+
+let test_analysis_is_conflict_free_wrapper () =
+  let free = Intmat.append_row Matmul.paper_s (Intvec.of_ints [ 1; 4; 1 ]) in
+  let conflicted = Intmat.append_row Matmul.paper_s (Intvec.of_ints [ 1; 1; 1 ]) in
+  Alcotest.(check bool) "free" true (Analysis.is_conflict_free ~mu:mu3 free);
+  Alcotest.(check bool) "conflicted" false (Analysis.is_conflict_free ~mu:mu3 conflicted)
+
+(* ------------------------------ budget ----------------------------- *)
+
+let test_budget_deadline_degrades () =
+  (* A zero deadline is pressed from the start: the verdict must be
+     reported as bounded yet still correct on instances the lattice
+     oracle decides. *)
+  let budget = Engine.Budget.make ~deadline_ms:0 () in
+  Alcotest.(check bool) "pressed immediately" true (Engine.Budget.pressed budget);
+  let free = Intmat.append_row Matmul.paper_s (Intvec.of_ints [ 1; 4; 1 ]) in
+  let v = Analysis.check ~budget ~mu:mu3 free in
+  Alcotest.(check bool) "bounded" true (v.Analysis.exactness = Analysis.Bounded);
+  Alcotest.(check bool) "still conflict-free" true v.Analysis.conflict_free;
+  let conflicted = Intmat.append_row Matmul.paper_s (Intvec.of_ints [ 1; 1; 1 ]) in
+  let v' = Analysis.check ~budget ~mu:mu3 conflicted in
+  Alcotest.(check bool) "bounded conflict found" false v'.Analysis.conflict_free;
+  Alcotest.(check bool) "lattice path reported" true
+    (match v'.Analysis.decided_by with
+    | Analysis.Lattice_oracle | Analysis.Lattice_fallback -> true
+    | Analysis.Theorem _ -> false)
+
+let test_budget_unlimited_exact () =
+  let free = Intmat.append_row Matmul.paper_s (Intvec.of_ints [ 1; 4; 1 ]) in
+  let v = Analysis.check ~budget:Engine.Budget.unlimited ~mu:mu3 free in
+  Alcotest.(check bool) "exact under unlimited budget" true (v.Analysis.exactness = Analysis.Exact)
+
+let test_budget_oracle_cap () =
+  let budget = Engine.Budget.make ~max_oracle_calls:2 () in
+  Alcotest.(check bool) "fresh budget not pressed" false (Engine.Budget.pressed budget);
+  Engine.Budget.charge_oracle budget;
+  Engine.Budget.charge_oracle budget;
+  Alcotest.(check int) "charges recorded" 2 (Engine.Budget.oracle_calls budget);
+  Alcotest.(check bool) "pressed at the cap" true (Engine.Budget.pressed budget)
+
+let test_budgeted_search_still_correct () =
+  (* Degraded oracles must not change the schedule set on instances the
+     lattice decides (matmul's family is one). *)
+  let alg = Matmul.algorithm ~mu:4 in
+  let pool = Engine.Pool.create ~jobs:2 () in
+  let budget = Engine.Budget.make ~deadline_ms:0 () in
+  Alcotest.check vec_lists "bounded search agrees"
+    (to_ints_l (Enumerate.all_optimal_schedules alg ~s:Matmul.paper_s))
+    (to_ints_l (Search.all_optimal_schedules ~pool ~budget alg ~s:Matmul.paper_s))
+
+(* ---------------------------- telemetry ---------------------------- *)
+
+let test_telemetry_counters () =
+  Engine.Telemetry.reset ();
+  Engine.Cache.clear ();
+  let alg = Matmul.algorithm ~mu:3 in
+  let pool = Engine.Pool.create ~jobs:2 () in
+  ignore (Search.all_optimal_schedules ~pool alg ~s:Matmul.paper_s);
+  let s = Engine.Telemetry.snapshot () in
+  Alcotest.(check bool) "queries counted" true (s.Engine.Telemetry.queries > 0);
+  Alcotest.(check bool) "some decision path counted" true
+    (s.Engine.Telemetry.closed_form + s.Engine.Telemetry.box_oracle
+     + s.Engine.Telemetry.lattice_oracle
+    > 0);
+  Alcotest.(check bool) "pool width observed" true (s.Engine.Telemetry.max_domains >= 2);
+  Alcotest.(check bool) "phase timer recorded" true
+    (List.exists (fun (label, _, n) -> label = "schedule-scan" && n >= 1) s.Engine.Telemetry.phases);
+  (* Counters are monotonic between resets... *)
+  ignore (Analysis.check ~mu:mu3 (Intmat.append_row Matmul.paper_s (Intvec.of_ints [ 1; 4; 1 ])));
+  let s' = Engine.Telemetry.snapshot () in
+  Alcotest.(check bool) "monotonic" true (s'.Engine.Telemetry.queries > s.Engine.Telemetry.queries);
+  (* ...and reset zeroes them. *)
+  Engine.Telemetry.reset ();
+  let z = Engine.Telemetry.snapshot () in
+  Alcotest.(check int) "reset queries" 0 z.Engine.Telemetry.queries;
+  Alcotest.(check int) "reset hits" 0 z.Engine.Telemetry.cache_hits;
+  Alcotest.(check (list pass)) "reset phases" [] z.Engine.Telemetry.phases
+
+let test_telemetry_cache_hits_observed () =
+  Engine.Telemetry.reset ();
+  Engine.Cache.clear ();
+  let alg = Matmul.algorithm ~mu:3 in
+  let pool = Engine.Pool.create ~jobs:1 () in
+  ignore (Search.all_optimal_schedules ~pool alg ~s:Matmul.paper_s);
+  ignore (Search.all_optimal_schedules ~pool alg ~s:Matmul.paper_s);
+  let s = Engine.Telemetry.snapshot () in
+  Alcotest.(check bool) "warm pass hits" true (s.Engine.Telemetry.cache_hits > 0);
+  Alcotest.(check bool) "hits bounded by queries" true
+    (s.Engine.Telemetry.cache_hits <= s.Engine.Telemetry.queries)
+
+let suite =
+  [
+    Alcotest.test_case "pool preserves order" `Quick test_pool_order;
+    Alcotest.test_case "pool edge cases" `Quick test_pool_edge_cases;
+    Alcotest.test_case "pool exception" `Quick test_pool_exception;
+    Alcotest.test_case "parallel schedules = sequential" `Quick test_search_schedules_agree;
+    Alcotest.test_case "parallel best-by-buffers = sequential" `Quick
+      test_search_best_by_buffers_agree;
+    Alcotest.test_case "parallel pareto = sequential" `Slow test_search_pareto_agree;
+    Alcotest.test_case "search empty under bound" `Quick test_search_empty_under_bound;
+    Alcotest.test_case "cache hits" `Quick test_cache_hits;
+    Alcotest.test_case "cache clear" `Quick test_cache_clear;
+    Alcotest.test_case "cache hnf consistent" `Quick test_cache_hnf_consistent;
+    Alcotest.test_case "analysis agrees with reference" `Quick test_analysis_agrees_with_reference;
+    Alcotest.test_case "analysis witness" `Quick test_analysis_witness;
+    Alcotest.test_case "analysis rank deficient" `Quick test_analysis_rank_deficient;
+    Alcotest.test_case "analysis boolean wrapper" `Quick test_analysis_is_conflict_free_wrapper;
+    Alcotest.test_case "budget deadline degrades" `Quick test_budget_deadline_degrades;
+    Alcotest.test_case "budget unlimited exact" `Quick test_budget_unlimited_exact;
+    Alcotest.test_case "budget oracle cap" `Quick test_budget_oracle_cap;
+    Alcotest.test_case "budgeted search correct" `Quick test_budgeted_search_still_correct;
+    Alcotest.test_case "telemetry counters" `Quick test_telemetry_counters;
+    Alcotest.test_case "telemetry cache hits" `Quick test_telemetry_cache_hits_observed;
+  ]

@@ -96,6 +96,72 @@ let test_large_mu_formulas () =
       | None -> Alcotest.fail "expected a schedule")
     [ 10; 14 ]
 
+let test_pareto_accept_reject_all () =
+  (* An accept that rejects everything empties the front without
+     crashing (the base level is still discovered pre-accept). *)
+  let alg = Matmul.algorithm ~mu:3 in
+  Alcotest.(check (list pass)) "rejecting accept yields empty front" []
+    (Enumerate.pareto_front ~accept:(fun _ _ -> false) alg ~k:2)
+
+let test_pareto_accept_shifts_front () =
+  (* Rejecting exactly the unconstrained front's fastest point must
+     move the front: the old optimum disappears and whatever remains
+     stays valid, non-dominated, and no faster than before. *)
+  let alg = Matmul.algorithm ~mu:3 in
+  let full = Enumerate.pareto_front alg ~k:2 in
+  Alcotest.(check bool) "baseline nonempty" true (full <> []);
+  let fastest = List.hd full in
+  let restricted =
+    Enumerate.pareto_front
+      ~accept:(fun pi s ->
+        not
+          (Intvec.to_ints pi = Intvec.to_ints fastest.Enumerate.pi
+          && Intmat.to_ints s = Intmat.to_ints fastest.Enumerate.s))
+      alg ~k:2
+  in
+  Alcotest.(check bool) "old optimum excluded" true
+    (not
+       (List.exists
+          (fun p ->
+            Intvec.to_ints p.Enumerate.pi = Intvec.to_ints fastest.Enumerate.pi
+            && Intmat.to_ints p.Enumerate.s = Intmat.to_ints fastest.Enumerate.s)
+          restricted));
+  Alcotest.(check bool) "still nonempty" true (restricted <> []);
+  let head = List.hd restricted in
+  Alcotest.(check bool) "no faster than the unconstrained optimum" true
+    (head.Enumerate.total_time >= fastest.Enumerate.total_time);
+  List.iter
+    (fun p ->
+      let t = Intmat.append_row p.Enumerate.s p.Enumerate.pi in
+      Alcotest.(check bool) "valid" true
+        (Intmat.rank t = 2 && Conflict.is_conflict_free ~mu:[| 3; 3; 3 |] t))
+    restricted
+
+let test_best_by_buffers_tiebreak () =
+  (* With buffer totals tied, the selector must break ties on hop
+     count: verify it attains the lexicographic (buffers, hops)
+     minimum over the whole optimal set. *)
+  let alg = Matmul.algorithm ~mu:4 in
+  match Enumerate.best_by_buffers alg ~s:Matmul.paper_s with
+  | None -> Alcotest.fail "expected a schedule"
+  | Some (_, routing) ->
+    let got =
+      ( Array.fold_left ( + ) 0 routing.Tmap.buffers,
+        Array.fold_left ( + ) 0 routing.Tmap.hops )
+    in
+    let best =
+      List.fold_left
+        (fun acc pi ->
+          match Tmap.find_routing (Tmap.make ~s:Matmul.paper_s ~pi) ~d:alg.Algorithm.dependences with
+          | Some r ->
+            min acc
+              (Array.fold_left ( + ) 0 r.Tmap.buffers, Array.fold_left ( + ) 0 r.Tmap.hops)
+          | None -> acc)
+        (max_int, max_int)
+        (Enumerate.all_optimal_schedules alg ~s:Matmul.paper_s)
+    in
+    Alcotest.(check (pair int int)) "lexicographic minimum" best got
+
 let test_no_schedule_empty () =
   let alg = Matmul.algorithm ~mu:4 in
   Alcotest.(check (list pass)) "empty under tiny bound" []
@@ -107,6 +173,9 @@ let suite =
     Alcotest.test_case "tc optimum unique" `Quick test_all_optimal_tc_unique;
     Alcotest.test_case "pareto matmul" `Slow test_pareto_matmul;
     Alcotest.test_case "best by buffers" `Quick test_best_by_buffers;
+    Alcotest.test_case "pareto accept rejects all" `Quick test_pareto_accept_reject_all;
+    Alcotest.test_case "pareto accept shifts front" `Slow test_pareto_accept_shifts_front;
+    Alcotest.test_case "best-by-buffers tie-break" `Quick test_best_by_buffers_tiebreak;
     Alcotest.test_case "large-mu formulas" `Slow test_large_mu_formulas;
     Alcotest.test_case "empty under bound" `Quick test_no_schedule_empty;
   ]

@@ -18,6 +18,7 @@ let () =
       ("space-opt", Test_space_opt.suite);
       ("frontend", Test_frontend.suite);
       ("enumerate", Test_enumerate.suite);
+      ("engine", Test_engine.suite);
       ("fuzz", Test_fuzz.suite);
       ("edge-cases", Test_edge.suite);
       ("scale", Test_scale.suite);

@@ -1,4 +1,4 @@
-(* Tests for the text-table renderer. *)
+(* Tests for the text-table renderer and the JSON emitter. *)
 
 let test_render_alignment () =
   let t = Table.create [ "name"; "value" ] in
@@ -27,9 +27,43 @@ let test_int_row () =
   Table.add_int_row t "4" [ 25 ];
   Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0)
 
+let test_json_serialization () =
+  Alcotest.(check string) "scalars" "[null,true,false,42,-7]"
+    (Json.to_string (Json.Arr [ Json.Null; Json.Bool true; Json.Bool false; Json.Int 42; Json.Int (-7) ]));
+  Alcotest.(check string) "object" {|{"a":1,"b":[2,3]}|}
+    (Json.to_string (Json.Obj [ ("a", Json.Int 1); ("b", Json.ints [ 2; 3 ]) ]));
+  Alcotest.(check string) "integer-valued float" "2.0" (Json.to_string (Json.Float 2.));
+  Alcotest.(check string) "option none" "null" (Json.to_string (Json.option (fun i -> Json.Int i) None));
+  Alcotest.(check string) "option some" "5" (Json.to_string (Json.option (fun i -> Json.Int i) (Some 5)))
+
+let test_json_escaping () =
+  Alcotest.(check string) "quotes and backslash" {|"a\"b\\c"|}
+    (Json.to_string (Json.Str {|a"b\c|}));
+  Alcotest.(check string) "newline tab" {|"x\ny\tz"|} (Json.to_string (Json.Str "x\ny\tz"));
+  Alcotest.(check string) "control char" {|"\u0001"|} (Json.to_string (Json.Str "\x01"))
+
+let test_json_float_roundtrip () =
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.Float f) in
+      Alcotest.(check (float 0.)) (Printf.sprintf "roundtrip %s" s) f (float_of_string s))
+    [ 0.1; 1. /. 3.; 1e-9; 12345.6789; 0.33684210526315789 ]
+
+let test_json_versioned () =
+  match Json.versioned ~command:"analyze" [ ("x", Json.Int 1) ] with
+  | Json.Obj (("schema_version", Json.Int v) :: ("command", Json.Str c) :: rest) ->
+    Alcotest.(check int) "schema version" Json.schema_version v;
+    Alcotest.(check string) "command" "analyze" c;
+    Alcotest.(check int) "fields follow" 1 (List.length rest)
+  | _ -> Alcotest.fail "versioned document must lead with schema_version and command"
+
 let suite =
   [
     Alcotest.test_case "alignment" `Quick test_render_alignment;
     Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
     Alcotest.test_case "int row" `Quick test_int_row;
+    Alcotest.test_case "json serialization" `Quick test_json_serialization;
+    Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "json float roundtrip" `Quick test_json_float_roundtrip;
+    Alcotest.test_case "json versioned shape" `Quick test_json_versioned;
   ]
