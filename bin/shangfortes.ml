@@ -698,6 +698,131 @@ let search_cmd =
       const run $ algorithm_arg $ mu_int_arg $ s_arg $ dim_arg $ pareto_arg
       $ collision_free_arg $ jobs_arg $ deadline_arg $ slack_arg $ format_arg)
 
+(* ------------------------------- fuzz ------------------------------ *)
+
+let json_of_instance (inst : Check.Instance.t) =
+  Json.Obj
+    [
+      ("mu", json_of_int_array inst.Check.Instance.mu);
+      ("t", json_of_mat inst.Check.Instance.tmat);
+    ]
+
+let json_of_failure (f : Check.Diff.failure) =
+  Json.Obj
+    [
+      ("index", Json.Int f.Check.Diff.index);
+      ("instance", json_of_instance f.Check.Diff.instance);
+      ("shrunk", json_of_instance f.Check.Diff.shrunk);
+      ("oracle_conflict_free", Json.Bool f.Check.Diff.oracle_free);
+      ( "disagreements",
+        Json.Arr
+          (List.map
+             (fun (d : Check.Diff.disagreement) ->
+               Json.Obj
+                 [
+                   ("path", Json.Str (Check.Diff.path_name d.Check.Diff.path));
+                   ("detail", Json.Str d.Check.Diff.detail);
+                 ])
+             f.Check.Diff.disagreements) );
+    ]
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Stream seed.")
+  in
+  let count_arg =
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc:"Instances to check.")
+  in
+  let size_arg =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "size" ] ~docv:"N"
+          ~doc:
+            "Size parameter: scales index-set bounds, matrix entries and dimension \
+             together (see Check.Gen).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: the runtime's recommended domain count).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Persist every shrunk failing instance as DIR/fuzz-seed<seed>-<index>.case \
+             for regression replay (the repository uses test/corpus).")
+  in
+  let run seed count size jobs corpus fmt =
+    if size < 1 || size > 8 then failwith "--size must be between 1 and 8";
+    if count < 1 then failwith "--count must be positive";
+    let report = Check.Diff.run ?jobs ~seed ~count ~size () in
+    let saved =
+      match corpus with
+      | None -> []
+      | Some dir ->
+        List.map
+          (fun (f : Check.Diff.failure) ->
+            let name = Printf.sprintf "fuzz-seed%d-%d" seed f.Check.Diff.index in
+            let comment =
+              Printf.sprintf "found by: shangfortes fuzz --seed %d --count %d --size %d\n%s"
+                seed count size
+                (String.concat "\n"
+                   (List.map
+                      (fun (d : Check.Diff.disagreement) ->
+                        Check.Diff.path_name d.Check.Diff.path ^ ": " ^ d.Check.Diff.detail)
+                      f.Check.Diff.disagreements))
+            in
+            Check.Corpus.save ~dir ~name ~comment f.Check.Diff.shrunk)
+          report.Check.Diff.failures
+    in
+    (match fmt with
+    | Json_v1 ->
+      Json.print
+        (Json.versioned ~command:"fuzz"
+           [
+             ("seed", Json.Int report.Check.Diff.seed);
+             ("size", Json.Int report.Check.Diff.size);
+             ("jobs", Json.Int report.Check.Diff.jobs);
+             ("checked", Json.Int report.Check.Diff.checked);
+             ("failures", Json.Arr (List.map json_of_failure report.Check.Diff.failures));
+             ("corpus_files", Json.Arr (List.map (fun p -> Json.Str p) saved));
+           ])
+    | Plain ->
+      Printf.printf "checked %d instances (seed %d, size %d, %d domains)\n"
+        report.Check.Diff.checked report.Check.Diff.seed report.Check.Diff.size
+        report.Check.Diff.jobs;
+      (match report.Check.Diff.failures with
+      | [] -> print_endline "all fast paths agree with the brute-force oracle"
+      | failures ->
+        List.iter
+          (fun (f : Check.Diff.failure) ->
+            Printf.printf "FAILURE at stream index %d (oracle: %s):\n" f.Check.Diff.index
+              (if f.Check.Diff.oracle_free then "conflict-free" else "conflict");
+            List.iter
+              (fun (d : Check.Diff.disagreement) ->
+                Printf.printf "  %s: %s\n"
+                  (Check.Diff.path_name d.Check.Diff.path)
+                  d.Check.Diff.detail)
+              f.Check.Diff.disagreements;
+            Format.printf "  original: @[%a@]@." Check.Instance.pp f.Check.Diff.instance;
+            Format.printf "  shrunk:   @[%a@]@." Check.Instance.pp f.Check.Diff.shrunk)
+          failures;
+        List.iter (Printf.printf "saved corpus case: %s\n") saved));
+    if report.Check.Diff.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: every conflict-freedom fast path against the brute-force \
+          (processor, time) collision oracle, with counterexample shrinking")
+    Term.(const run $ seed_arg $ count_arg $ size_arg $ jobs_arg $ corpus_arg $ format_arg)
+
 (* ------------------------------ stats ------------------------------ *)
 
 let stats_cmd =
@@ -744,5 +869,5 @@ let () =
        (Cmd.group info
           [
             hnf_cmd; analyze_cmd; optimize_cmd; simulate_cmd; parse_cmd; pareto_cmd;
-            search_cmd; stats_cmd;
+            search_cmd; stats_cmd; fuzz_cmd;
           ]))

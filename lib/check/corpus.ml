@@ -1,0 +1,33 @@
+let extension = ".case"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save ~dir ~name ?comment inst =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ extension) in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      (match comment with
+      | Some c ->
+        String.split_on_char '\n' c
+        |> List.iter (fun line -> Printf.fprintf oc "# %s\n" line)
+      | None -> ());
+      output_string oc (Instance.to_string inst));
+  path
+
+let load_file path = Instance.of_string (read_file path)
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f extension)
+    |> List.sort compare
+    |> List.map (fun f -> (f, load_file (Filename.concat dir f)))

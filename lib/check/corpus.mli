@@ -1,0 +1,22 @@
+(** Persistence of shrunk failing instances as regression cases.
+
+    A corpus case is one {!Instance.t} in the textual format of
+    {!Instance.to_string}, stored as a [*.case] file.  [test/corpus/]
+    is the repository's regression directory: every file there is
+    replayed by [dune runtest] (see [test_check.ml]), asserting that
+    all fast paths agree with the oracle on it — so once a fuzzing run
+    lands a counterexample, it can never silently regress. *)
+
+val extension : string
+(** [".case"]. *)
+
+val save : dir:string -> name:string -> ?comment:string -> Instance.t -> string
+(** Write [dir/name.case] (creating [dir] if needed) and return the
+    path.  [comment] lines are prefixed with [# ]. *)
+
+val load_file : string -> Instance.t
+(** @raise Failure on malformed content. *)
+
+val load_dir : string -> (string * Instance.t) list
+(** All [*.case] files of a directory, sorted by filename; the empty
+    list when the directory does not exist. *)

@@ -1,0 +1,139 @@
+type path =
+  | Theorems_decide
+  | Box_oracle_path
+  | Lattice_oracle_path
+  | Analysis_path
+  | Analysis_cached
+  | Budget_degraded
+
+let path_name = function
+  | Theorems_decide -> "theorems-decide"
+  | Box_oracle_path -> "box-oracle"
+  | Lattice_oracle_path -> "lattice-oracle"
+  | Analysis_path -> "analysis"
+  | Analysis_cached -> "analysis-cached"
+  | Budget_degraded -> "budget-degraded"
+
+type disagreement = {
+  path : path;
+  detail : string;
+}
+
+type failure = {
+  index : int;
+  instance : Instance.t;
+  shrunk : Instance.t;
+  oracle_free : bool;
+  disagreements : disagreement list;
+}
+
+type report = {
+  seed : int;
+  size : int;
+  jobs : int;
+  checked : int;
+  failures : failure list;
+}
+
+(* A finder returning a witness option must say None exactly on free
+   instances, and any witness it does produce must be a genuine
+   conflict (nonzero kernel vector inside the box). *)
+let check_finder inst ~oracle_free ~add path = function
+  | Some w ->
+    if oracle_free then
+      add path (Printf.sprintf "claims conflict %s on a conflict-free instance" (Intvec.to_string w))
+    else if not (Oracle.valid_witness inst w) then
+      add path (Printf.sprintf "invalid witness %s" (Intvec.to_string w))
+  | None ->
+    if not oracle_free then add path "claims conflict-free on a conflicting instance"
+
+let check_instance inst =
+  let mu = inst.Instance.mu and t = inst.Instance.tmat in
+  let oracle_free = Oracle.is_conflict_free inst in
+  let out = ref [] in
+  let add path detail = out := { path; detail } :: !out in
+  (* 1. The uncached sequential reference cascade. *)
+  let decide_free, method_used = Theorems.decide ~mu t in
+  if decide_free <> oracle_free then
+    add Theorems_decide
+      (Printf.sprintf "decide says %b (method %s) but oracle says %b" decide_free
+         (Analysis.decided_by_name (Analysis.Theorem method_used))
+         oracle_free);
+  (* 2. The pruned box enumeration, witness validated. *)
+  check_finder inst ~oracle_free ~add Box_oracle_path (Conflict.find_conflict ~mu t);
+  (* 3. The LLL coefficient-lattice oracle, witness validated. *)
+  check_finder inst ~oracle_free ~add Lattice_oracle_path
+    (Conflict.find_conflict_lattice ~mu t);
+  (* 4. The unified engine entry point: compute path, then memoized
+     replay, which must be verbatim identical. *)
+  let v1 = Analysis.check ~mu t in
+  if v1.Analysis.conflict_free <> oracle_free then
+    add Analysis_path
+      (Printf.sprintf "check says %b (decided by %s) but oracle says %b"
+         v1.Analysis.conflict_free
+         (Analysis.decided_by_name v1.Analysis.decided_by)
+         oracle_free);
+  if v1.Analysis.exactness <> Analysis.Exact then
+    add Analysis_path "unlimited budget reported a bounded verdict";
+  if v1.Analysis.full_rank <> (Intmat.rank t = Intmat.rows t) then
+    add Analysis_path "full_rank flag disagrees with Intmat.rank";
+  (match v1.Analysis.witness with
+  | Some w when not (Oracle.valid_witness inst w) ->
+    add Analysis_path (Printf.sprintf "invalid witness %s" (Intvec.to_string w))
+  | _ -> ());
+  let v2 = Analysis.check ~mu t in
+  if
+    v2.Analysis.conflict_free <> v1.Analysis.conflict_free
+    || v2.Analysis.full_rank <> v1.Analysis.full_rank
+    || not (Option.equal Intvec.equal v2.Analysis.witness v1.Analysis.witness)
+  then add Analysis_cached "warm-cache verdict differs from the cold one";
+  (* 5. Degradation: a pressed budget must answer bounded — and the
+     lattice fallback it switches to is still exact in substance, so
+     the boolean must also match the oracle. *)
+  let vb =
+    Analysis.check ~budget:(Engine.Budget.make ~max_oracle_calls:0 ()) ~mu t
+  in
+  if vb.Analysis.exactness <> Analysis.Bounded then
+    add Budget_degraded "pressed budget reported an exact verdict";
+  if vb.Analysis.conflict_free <> oracle_free then
+    add Budget_degraded
+      (Printf.sprintf "degraded verdict %b but oracle says %b" vb.Analysis.conflict_free
+         oracle_free);
+  (match vb.Analysis.witness with
+  | Some w when not (Oracle.valid_witness inst w) ->
+    add Budget_degraded (Printf.sprintf "invalid witness %s" (Intvec.to_string w))
+  | _ -> ());
+  List.rev !out
+
+let shrink_failure ?(index = -1) inst disagreements =
+  let keeps_failing candidate = check_instance candidate <> [] in
+  let shrunk = Shrink.shrink ~keeps_failing inst in
+  {
+    index;
+    instance = inst;
+    shrunk;
+    oracle_free = Oracle.is_conflict_free inst;
+    disagreements;
+  }
+
+let run ?jobs ?(seed = 42) ?(count = 200) ?(size = 3) () =
+  let pool = Engine.Pool.create ?jobs () in
+  Engine.Cache.clear ();
+  let suspects =
+    Engine.Pool.map pool
+      (fun index ->
+        let inst = Gen.ith ~seed ~size index in
+        match check_instance inst with
+        | [] -> None
+        | disagreements -> Some (index, inst, disagreements))
+      (List.init count Fun.id)
+  in
+  (* Shrinking is rare (a failure means a real bug) and deliberately
+     sequential: check_instance goes through the shared caches, and a
+     deterministic pass keeps the corpus cases reproducible. *)
+  let failures =
+    List.filter_map
+      (Option.map (fun (index, inst, ds) -> shrink_failure ~index inst ds))
+      suspects
+  in
+  { seed; size; jobs = Engine.Pool.jobs pool; checked = count; failures }

@@ -1,0 +1,199 @@
+type family =
+  | General
+  | Square
+  | Codim1
+  | Codim2
+  | Rank_deficient
+  | Boundary
+
+let families = [ General; Square; Codim1; Codim2; Rank_deficient; Boundary ]
+
+let family_name = function
+  | General -> "general"
+  | Square -> "square"
+  | Codim1 -> "codim1"
+  | Codim2 -> "codim2"
+  | Rank_deficient -> "rank-deficient"
+  | Boundary -> "boundary"
+
+let mu rng ~size ~n = Array.init n (fun _ -> 1 + Random.State.int rng (max 1 (size + 1)))
+
+let entry rng ~max_entry = Random.State.int rng ((2 * max_entry) + 1) - max_entry
+
+let matrix rng ~k ~n ~max_entry =
+  Intmat.make k n (fun _ _ -> Zint.of_int (entry rng ~max_entry))
+
+(* A planted kernel vector whose entries straddle the Theorem 2.2
+   feasibility boundary: each |gamma_i| lands on mu_i or mu_i + 1 (or a
+   small interior value), so the generated T exercises exactly the
+   strict-inequality edge of the closed-form conditions. *)
+let boundary_gamma rng mu =
+  let n = Array.length mu in
+  let gamma =
+    Array.init n (fun i ->
+        let mag =
+          match Random.State.int rng 4 with
+          | 0 -> mu.(i)         (* on the boundary: still a conflict *)
+          | 1 -> mu.(i) + 1     (* just past it: feasible coordinate *)
+          | 2 -> 0
+          | _ -> 1 + Random.State.int rng (max 1 mu.(i))
+        in
+        if Random.State.bool rng then mag else -mag)
+  in
+  if Array.for_all (fun x -> x = 0) gamma then gamma.(Random.State.int rng n) <- 1;
+  gamma
+
+(* Rows orthogonal to [gamma]: a basis of the integer orthogonal
+   complement, lightly mixed with random row additions so the Hermite
+   multiplier the fast paths compute is not trivially the basis we
+   started from. *)
+let orthogonal_rows rng gamma ~k =
+  let g = Intmat.of_rows [ Intvec.of_int_array gamma ] in
+  let basis = Array.of_list (Hnf.kernel_basis g) in
+  let nb = Array.length basis in
+  (* Fisher-Yates on a copy, then take the first k rows. *)
+  for i = nb - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = basis.(i) in
+    basis.(i) <- basis.(j);
+    basis.(j) <- tmp
+  done;
+  let rows = Array.sub basis 0 k in
+  for _ = 0 to k do
+    let i = Random.State.int rng k and j = Random.State.int rng k in
+    if i <> j then
+      rows.(i) <- Intvec.add rows.(i) (Intvec.scale_int (entry rng ~max_entry:1) rows.(j))
+  done;
+  Intmat.of_rows (Array.to_list rows)
+
+let pick_n rng ~size = 2 + Random.State.int rng (max 1 (min 4 (size + 1)))
+
+let instance ?family rng ~size =
+  let n = pick_n rng ~size in
+  let family =
+    match family with
+    | Some f -> f
+    | None -> List.nth families (Random.State.int rng (List.length families))
+  in
+  (* Families that need a codimension fall back to General when n is
+     too small to provide it. *)
+  let family =
+    match family with
+    | Codim2 when n < 3 -> General
+    | f -> f
+  in
+  let max_entry = size + 1 in
+  let bounds = mu rng ~size ~n in
+  let tmat =
+    match family with
+    | General ->
+      let k = 1 + Random.State.int rng n in
+      matrix rng ~k ~n ~max_entry
+    | Square -> matrix rng ~k:n ~n ~max_entry
+    | Codim1 -> matrix rng ~k:(n - 1) ~n ~max_entry
+    | Codim2 -> matrix rng ~k:(n - 2) ~n ~max_entry
+    | Rank_deficient ->
+      let k = max 2 (1 + Random.State.int rng n) in
+      let m = matrix rng ~k:(k - 1) ~n ~max_entry in
+      let combo =
+        List.fold_left
+          (fun acc i ->
+            Intvec.add acc (Intvec.scale_int (entry rng ~max_entry:1) (Intmat.row m i)))
+          (Intvec.zero n)
+          (List.init (k - 1) Fun.id)
+      in
+      let rows = List.init (k - 1) (Intmat.row m) @ [ combo ] in
+      (* Insert the dependent row at a random position. *)
+      let pos = Random.State.int rng k in
+      let arr = Array.of_list rows in
+      let last = arr.(k - 1) in
+      for i = k - 1 downto pos + 1 do
+        arr.(i) <- arr.(i - 1)
+      done;
+      arr.(pos) <- last;
+      Intmat.of_rows (Array.to_list arr)
+    | Boundary ->
+      let gamma = boundary_gamma rng bounds in
+      let k = if n = 2 then 1 else n - 1 - Random.State.int rng 2 in
+      orthogonal_rows rng gamma ~k
+  in
+  Instance.make ~mu:bounds tmat
+
+let ith ~seed ~size i =
+  let rng = Random.State.make [| 0x5F17; seed; size; i |] in
+  instance rng ~size
+
+(* ------------------------------------------------------------------ *)
+(* Dependence-matrix and source-program generators (shared with the
+   end-to-end pipeline fuzzing). *)
+
+let dependences rng ~n ~m =
+  let column () =
+    let d = Array.init n (fun _ -> Random.State.int rng 3 - 1) in
+    (match Array.find_opt (fun x -> x <> 0) d with
+    | None -> d.(Random.State.int rng n) <- 1
+    | Some _ -> ());
+    (* Lexicographically positive: flip the sign when the first nonzero
+       entry is negative, so every column is schedulable. *)
+    let first = ref 0 in
+    (try
+       Array.iter
+         (fun x ->
+           if x <> 0 then begin
+             first := x;
+             raise Exit
+           end)
+         d
+     with Exit -> ());
+    if !first < 0 then Array.map (fun x -> -x) d else d
+  in
+  List.init m (fun _ -> Array.to_list (column ()))
+
+let var_names = [| "i"; "j"; "k" |]
+
+let affine v off =
+  if off = 0 then var_names.(v)
+  else if off > 0 then Printf.sprintf "%s+%d" var_names.(v) off
+  else Printf.sprintf "%s%d" var_names.(v) off
+
+let source_program rng =
+  let nv = 2 + Random.State.int rng 2 in
+  let bounds =
+    List.init nv (fun v ->
+        Printf.sprintf "%s = 0..%d" var_names.(v) (2 + Random.State.int rng 3))
+  in
+  (* LHS: an output indexed by a strict subset or all of the vars. *)
+  let out_dims = 1 + Random.State.int rng (nv - 1) in
+  let lhs_idx = List.init out_dims (fun v -> var_names.(v)) in
+  let lhs = Printf.sprintf "OUT[%s]" (String.concat "," lhs_idx) in
+  (* Inputs: full-dimensional references with random small offsets. *)
+  let input i =
+    let name = Printf.sprintf "IN%d" i in
+    let idx = List.init nv (fun v -> affine v (Random.State.int rng 3 - 1)) in
+    Printf.sprintf "%s[%s]" name (String.concat "," idx)
+  in
+  let inputs = List.init (1 + Random.State.int rng 2) input in
+  Printf.sprintf "for %s { %s = %s + %s }" (String.concat ", " bounds) lhs lhs
+    (String.concat " * " inputs)
+
+let source_two_statement rng =
+  let nv = 2 in
+  let bounds =
+    List.init nv (fun v ->
+        Printf.sprintf "%s = 0..%d" var_names.(v) (2 + Random.State.int rng 3))
+  in
+  let idx () = List.init nv (fun v -> affine v (Random.State.int rng 3 - 1)) in
+  let full_idx = List.init nv (fun v -> var_names.(v)) in
+  let s1 =
+    Printf.sprintf "B[%s] = B[%s] + A[%s]"
+      (String.concat "," full_idx)
+      (String.concat "," (idx ()))
+      (String.concat "," (idx ()))
+  in
+  let s2 =
+    Printf.sprintf "C[%s] = B[%s] + B[%s]"
+      (String.concat "," full_idx)
+      (String.concat "," (idx ()))
+      (String.concat "," (idx ()))
+  in
+  Printf.sprintf "for %s { %s; %s }" (String.concat ", " bounds) s1 s2

@@ -1,0 +1,65 @@
+(** Seeded, size-parameterized instance generators.
+
+    Everything here is a pure function of the [Random.State.t] handed
+    in (no global state), and {!ith} derives an independent state per
+    stream index — so the instance stream for a given seed is identical
+    whatever the number of worker domains replaying it ({!Diff} relies
+    on this for its determinism guarantee).
+
+    [size] scales every knob at once: index-set bounds grow like
+    [size + 1], matrix entries like [size + 1], and the dimension [n]
+    ranges over [2 .. min 5 (2 + size)].  The defaults keep
+    [Instance.points] far below {!Oracle.max_points}. *)
+
+(** Adversarial instance families.  [General] draws uniform shapes;
+    the others target the paths most likely to hide a sign or gcd
+    slip. *)
+type family =
+  | General         (** Uniform [k×n], [1 <= k <= n]. *)
+  | Square          (** [k = n]: the rank-only fast path. *)
+  | Codim1          (** [k = n-1]: Theorem 3.1's adjugate closed form. *)
+  | Codim2          (** [k = n-2]: Theorems 4.6/4.7 Hermite conditions. *)
+  | Rank_deficient  (** A row is a combination of the others. *)
+  | Boundary
+      (** [T] is built orthogonal to a planted kernel vector whose
+          entries sit exactly on the [|gamma_i| = mu_i] /
+          [|gamma_i| = mu_i + 1] feasibility boundary of Theorem 2.2. *)
+
+val families : family list
+(** All six, in declaration order. *)
+
+val family_name : family -> string
+
+val mu : Random.State.t -> size:int -> n:int -> int array
+(** Bounds with [1 <= mu_i <= size + 1]. *)
+
+val matrix : Random.State.t -> k:int -> n:int -> max_entry:int -> Intmat.t
+(** Uniform entries in [-max_entry .. max_entry]. *)
+
+val instance : ?family:family -> Random.State.t -> size:int -> Instance.t
+(** One instance; the family is drawn from the state when not given
+    (families needing [n >= 3] fall back to [General] at [n = 2]). *)
+
+val ith : seed:int -> size:int -> int -> Instance.t
+(** The [i]-th instance of the stream for [seed]: generated from a
+    fresh state derived from [(seed, size, i)], independent of every
+    other index.  [List.init count (ith ~seed ~size)] at any degree of
+    parallelism yields the same list. *)
+
+(** {1 Dependence-matrix and source-program generators}
+
+    Shared by the end-to-end pipeline fuzzing in [test_fuzz.ml]. *)
+
+val dependences : Random.State.t -> n:int -> m:int -> int list list
+(** [m] dependence column vectors of length [n], each nonzero with its
+    first nonzero entry positive (lexicographically positive, hence
+    schedulable). *)
+
+val source_program : Random.State.t -> string
+(** A random single-statement loop nest in the supported fragment: one
+    accumulation output plus 1-2 offset input references over 2-3 loop
+    variables. *)
+
+val source_two_statement : Random.State.t -> string
+(** A random producer/consumer two-statement program exercising the
+    alignment search. *)

@@ -1,0 +1,75 @@
+type t = {
+  mu : int array;
+  tmat : Intmat.t;
+}
+
+let make ~mu tmat =
+  if Array.length mu <> Intmat.cols tmat then
+    invalid_arg "Instance.make: mu arity does not match T";
+  if Array.exists (fun m -> m < 1) mu then
+    invalid_arg "Instance.make: every mu_i must be >= 1";
+  { mu; tmat }
+
+let n inst = Intmat.cols inst.tmat
+let k inst = Intmat.rows inst.tmat
+
+let points inst = Array.fold_left (fun acc m -> acc * (m + 1)) 1 inst.mu
+
+let equal a b = a.mu = b.mu && Intmat.equal a.tmat b.tmat
+
+let size inst =
+  (* Entries that do not fit a native int count as a large constant so
+     the measure stays total (and shrinking them still decreases it). *)
+  let entry z =
+    match Zint.to_int_opt (Zint.abs z) with
+    | Some v -> min v 1_000_000
+    | None -> 1_000_000
+  in
+  let entries = ref 0 in
+  for i = 0 to k inst - 1 do
+    for j = 0 to n inst - 1 do
+      entries := !entries + entry (Intmat.get inst.tmat i j)
+    done
+  done;
+  n inst + k inst + Array.fold_left ( + ) 0 inst.mu + !entries
+
+let to_string inst =
+  let mu_s =
+    String.concat "," (Array.to_list (Array.map string_of_int inst.mu))
+  in
+  let row i =
+    String.concat ","
+      (List.init (n inst) (fun j -> Zint.to_string (Intmat.get inst.tmat i j)))
+  in
+  let t_s = String.concat ";" (List.init (k inst) row) in
+  Printf.sprintf "mu: %s\nt: %s\n" mu_s t_s
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let field key =
+    let prefix = key ^ ":" in
+    match
+      List.find_opt
+        (fun l -> String.length l > String.length prefix
+                  && String.sub l 0 (String.length prefix) = prefix)
+        lines
+    with
+    | Some l ->
+      String.trim (String.sub l (String.length prefix) (String.length l - String.length prefix))
+    | None -> failwith (Printf.sprintf "Instance.of_string: missing '%s:' line" key)
+  in
+  let ints s =
+    List.map (fun x -> int_of_string (String.trim x)) (String.split_on_char ',' s)
+  in
+  let mu = Array.of_list (ints (field "mu")) in
+  let tmat = Intmat.of_ints (List.map ints (String.split_on_char ';' (field "t"))) in
+  make ~mu tmat
+
+let pp fmt inst =
+  Format.fprintf fmt "@[<v>mu = (%s)@,T =@,%s@]"
+    (String.concat "," (Array.to_list (Array.map string_of_int inst.mu)))
+    (Intmat.to_string inst.tmat)

@@ -1,0 +1,47 @@
+(** A differential-check instance: a mapping matrix [T] together with
+    the index-set bounds [mu] it is judged on.
+
+    Instances are the currency of the whole [check] subsystem — {!Gen}
+    produces them, {!Oracle} ground-truths them, {!Diff} pushes them
+    through every fast path, {!Shrink} minimizes the failing ones and
+    {!Corpus} persists those as regression cases.  The textual format
+    is the corpus file format (one instance per file):
+
+    {v
+    # optional comment lines
+    mu: 6,6,6,6
+    t: 1,7,1,1;1,7,1,0
+    v} *)
+
+type t = {
+  mu : int array;  (** Upper bounds of [J = { 0 <= j_i <= mu_i }]. *)
+  tmat : Intmat.t; (** The k×n mapping matrix. *)
+}
+
+val make : mu:int array -> Intmat.t -> t
+(** @raise Invalid_argument when [mu] and the matrix disagree on [n],
+    or some [mu_i < 1]. *)
+
+val n : t -> int
+(** Columns of [tmat] = dimension of the index set. *)
+
+val k : t -> int
+(** Rows of [tmat]. *)
+
+val points : t -> int
+(** Cardinality of the index set, [prod (mu_i + 1)]. *)
+
+val equal : t -> t -> bool
+
+val size : t -> int
+(** The well-founded shrink measure: [n + k + sum mu + sum |t_ij|].
+    Every {!Shrink} step strictly decreases it. *)
+
+val to_string : t -> string
+(** The corpus file format shown above (no comment lines). *)
+
+val of_string : string -> t
+(** Parses the corpus format; ['#'] lines and blank lines are ignored.
+    @raise Failure on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type verdict =
+  | Free
+  | Collision of int array * int array
+
+let max_points = 1_000_000
+
+let check inst =
+  if Instance.points inst > max_points then
+    invalid_arg "Oracle.check: index set too large for brute force";
+  let index_set = Index_set.make inst.Instance.mu in
+  (* Key every point by the string image of T j; the first collision in
+     lexicographic order is returned, which keeps the oracle
+     deterministic for the shrinker and the corpus. *)
+  let seen = Hashtbl.create (Instance.points inst) in
+  let found = ref Free in
+  (try
+     Index_set.iter
+       (fun j ->
+         let image =
+           Intvec.to_string (Intmat.mul_vec inst.Instance.tmat (Intvec.of_int_array j))
+         in
+         match Hashtbl.find_opt seen image with
+         | Some j0 ->
+           found := Collision (j0, Array.copy j);
+           raise Exit
+         | None -> Hashtbl.add seen image (Array.copy j))
+       index_set
+   with Exit -> ());
+  !found
+
+let is_conflict_free inst = check inst = Free
+
+let conflict_vector (j1, j2) =
+  Intvec.normalize_sign
+    (Intvec.sub (Intvec.of_int_array j1) (Intvec.of_int_array j2))
+
+let valid_witness inst gamma =
+  Intvec.dim gamma = Instance.n inst
+  && (not (Intvec.is_zero gamma))
+  && Intvec.is_zero (Intmat.mul_vec inst.Instance.tmat gamma)
+  && Array.for_all2
+       (fun m g -> Zint.compare (Zint.abs g) (Zint.of_int m) <= 0)
+       inst.Instance.mu gamma

@@ -1,0 +1,35 @@
+(** Brute-force ground truth for conflict-freedom.
+
+    Unlike every fast path in the repository (which reasons about the
+    kernel lattice of [T] through Hermite forms, adjugates or LLL),
+    this oracle checks Definition 2.2 condition 3 {e literally}: it
+    maps every index point [j ∈ J] through [T] and reports two distinct
+    points landing on the same image — the same (processor, time)
+    slot.  It shares no code with the kernel machinery, which is what
+    makes disagreements meaningful.
+
+    Cost is [O(|J|)] hashed insertions, so callers must keep [|J|]
+    small; {!max_points} is the guard. *)
+
+type verdict =
+  | Free
+  | Collision of int array * int array
+      (** Two distinct index points with [T j1 = T j2]. *)
+
+val max_points : int
+(** Largest index-set cardinality the oracle accepts (1_000_000). *)
+
+val check : Instance.t -> verdict
+(** @raise Invalid_argument when [Instance.points] exceeds
+    {!max_points}. *)
+
+val is_conflict_free : Instance.t -> bool
+
+val conflict_vector : int array * int array -> Intvec.t
+(** [j1 - j2] of a collision, sign-normalized: an integral kernel
+    vector of [T] lying inside the box [|gamma_i| <= mu_i] (it need
+    not be primitive — collisions are about points, not generators). *)
+
+val valid_witness : Instance.t -> Intvec.t -> bool
+(** Whether a fast path's claimed witness really is a conflict: nonzero,
+    [T gamma = 0] and [|gamma_i| <= mu_i] for all [i]. *)

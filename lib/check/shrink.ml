@@ -1,0 +1,73 @@
+let drop_dim inst j =
+  let n = Instance.n inst and k = Instance.k inst in
+  let mu =
+    Array.init (n - 1) (fun i -> inst.Instance.mu.(if i < j then i else i + 1))
+  in
+  let tmat =
+    Intmat.make k (n - 1) (fun r c ->
+        Intmat.get inst.Instance.tmat r (if c < j then c else c + 1))
+  in
+  Instance.make ~mu tmat
+
+let drop_row inst r =
+  let n = Instance.n inst and k = Instance.k inst in
+  let tmat =
+    Intmat.make (k - 1) n (fun i c ->
+        Intmat.get inst.Instance.tmat (if i < r then i else i + 1) c)
+  in
+  Instance.make ~mu:inst.Instance.mu tmat
+
+let set_mu inst i v =
+  let mu = Array.copy inst.Instance.mu in
+  mu.(i) <- v;
+  Instance.make ~mu inst.Instance.tmat
+
+let set_entry inst r c v =
+  let tmat =
+    Intmat.make (Instance.k inst) (Instance.n inst) (fun i j ->
+        if i = r && j = c then v else Intmat.get inst.Instance.tmat i j)
+  in
+  Instance.make ~mu:inst.Instance.mu tmat
+
+let candidates inst =
+  let n = Instance.n inst and k = Instance.k inst in
+  let dims =
+    if n <= 1 then Seq.empty
+    else Seq.map (drop_dim inst) (Seq.init n Fun.id)
+  in
+  let rows =
+    if k <= 1 then Seq.empty
+    else Seq.map (drop_row inst) (Seq.init k Fun.id)
+  in
+  let mus =
+    Seq.concat_map
+      (fun i ->
+        let m = inst.Instance.mu.(i) in
+        List.to_seq
+          (List.sort_uniq compare [ 1; m / 2; m - 1 ]
+          |> List.filter (fun v -> v >= 1 && v < m)
+          |> List.map (set_mu inst i)))
+      (Seq.init n Fun.id)
+  in
+  let entries =
+    Seq.concat_map
+      (fun idx ->
+        let r = idx / n and c = idx mod n in
+        let e = Intmat.get inst.Instance.tmat r c in
+        if Zint.is_zero e then Seq.empty
+        else
+          let smaller =
+            [ Zint.zero; Zint.div e Zint.two; Zint.sub e (Zint.of_int (Zint.sign e)) ]
+          in
+          List.to_seq
+            (List.sort_uniq Zint.compare smaller
+            |> List.filter (fun v -> Zint.compare (Zint.abs v) (Zint.abs e) < 0)
+            |> List.map (set_entry inst r c)))
+      (Seq.init (k * n) Fun.id)
+  in
+  Seq.concat (List.to_seq [ dims; rows; mus; entries ])
+
+let rec shrink ~keeps_failing inst =
+  match Seq.find keeps_failing (candidates inst) with
+  | Some smaller -> shrink ~keeps_failing smaller
+  | None -> inst

@@ -1,0 +1,23 @@
+(** Greedy minimization of failing instances.
+
+    [shrink ~keeps_failing inst] repeatedly applies the first candidate
+    transformation (in a fixed deterministic order) that preserves
+    [keeps_failing], until none applies.  Candidates are, in order:
+    dropping an index-set dimension (a column of [T] together with its
+    bound), dropping a row of [T], reducing a bound [mu_i] (to 1,
+    halved, decremented), and reducing a matrix entry (to 0, halved,
+    moved one toward 0).
+
+    Every transformation strictly decreases {!Instance.size}, so the
+    loop terminates; and because the result admits no further failing
+    candidate, shrinking is idempotent:
+    [shrink ~keeps_failing (shrink ~keeps_failing i)] is
+    [shrink ~keeps_failing i] (tested in [test_check.ml]). *)
+
+val candidates : Instance.t -> Instance.t Seq.t
+(** All single-step reductions of an instance, in application order.
+    Each has strictly smaller {!Instance.size}. *)
+
+val shrink : keeps_failing:(Instance.t -> bool) -> Instance.t -> Instance.t
+(** [keeps_failing] must hold of the input (otherwise the input is
+    returned unchanged). *)

@@ -44,17 +44,26 @@ let box_is_small mu =
 let core ~budget ~mu t =
   let n = Intmat.cols t and k = Intmat.rows t in
   if k >= n then begin
-    Engine.Telemetry.incr_closed_form ();
     let r = Intmat.rank t in
-    let free = r = n in
-    let wit =
-      if free then None
-      else begin
-        Engine.Budget.charge_oracle budget;
-        Engine.Cache.find_conflict_lattice ~mu t
+    if r = n then begin
+      Engine.Telemetry.incr_closed_form ();
+      (true, Theorem Theorems.Full_rank_square, None, r = k)
+    end
+    else begin
+      (* Rank-deficient: the kernel is nontrivial but its vectors can
+         still all escape the box, so conflict-freedom needs an exact
+         oracle (found by differential fuzzing; the old code reported
+         a conflict from the rank alone). *)
+      Engine.Budget.charge_oracle budget;
+      if box_is_small mu then begin
+        Engine.Telemetry.incr_box_oracle ();
+        let w = Conflict.find_conflict ~mu t in
+        (Option.is_none w, Theorem Theorems.Box_oracle, w, r = k)
       end
-    in
-    (free, Theorem Theorems.Full_rank_square, wit, r = k)
+      else
+        let w = Engine.Cache.find_conflict_lattice ~mu t in
+        (Option.is_none w, Lattice_oracle, w, r = k)
+    end
   end
   else if k = n - 1 && Intmat.rank t = n - 1 then begin
     Engine.Telemetry.incr_closed_form ();

@@ -197,7 +197,14 @@ type method_used =
 
 let decide ~mu t =
   let n = Intmat.cols t and k = Intmat.rows t in
-  if k >= n then (Intmat.rank t = n, Full_rank_square)
+  if k >= n then
+    if Intmat.rank t = n then (true, Full_rank_square)
+    else
+      (* Rank deficiency only makes the kernel nontrivial; its vectors
+         can still all escape the box [|gamma_i| <= mu_i], so the
+         bounded verdict needs the oracle (found by differential
+         fuzzing, see test/corpus/square-rank-deficient-free.case). *)
+      (Conflict.is_conflict_free ~mu t, Box_oracle)
   else if k = n - 1 && Intmat.rank t = n - 1 then
     match Conflict.single_conflict_vector t with
     | Some gamma -> (Conflict.is_feasible ~mu gamma, Adjugate_form)

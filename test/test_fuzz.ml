@@ -1,47 +1,21 @@
-(* End-to-end fuzzing: generate random programs in the supported
-   fragment, push them through the whole pipeline (parse -> dependence
-   extraction -> joint time/space optimization -> cycle-accurate
-   simulation) and require a clean run whenever a mapping exists.
+(* End-to-end fuzzing: generate random programs and mapping instances
+   with the shared generators of [Check.Gen], push them through the
+   whole pipeline (parse -> dependence extraction -> joint time/space
+   optimization -> cycle-accurate simulation) and require a clean run
+   whenever a mapping exists.
 
    This is the cross-cutting invariant of the repository: anything the
    front end accepts and the optimizers map must simulate without
-   computational conflicts, causality violations or value errors. *)
-
-let var_names = [| "i"; "j"; "k" |]
-
-(* A random single-statement program over [nv] loop variables: one
-   output accumulation plus 1-2 input references with small offsets. *)
-let random_program rng =
-  let nv = 2 + Random.State.int rng 2 in
-  let bounds =
-    List.init nv (fun v -> Printf.sprintf "%s = 0..%d" var_names.(v) (2 + Random.State.int rng 3))
-  in
-  let affine v off =
-    if off = 0 then var_names.(v)
-    else if off > 0 then Printf.sprintf "%s+%d" var_names.(v) off
-    else Printf.sprintf "%s%d" var_names.(v) off
-  in
-  (* LHS: an output indexed by a strict subset or all of the vars. *)
-  let out_dims = 1 + Random.State.int rng (nv - 1) in
-  let lhs_idx = List.init out_dims (fun v -> var_names.(v)) in
-  let lhs = Printf.sprintf "OUT[%s]" (String.concat "," lhs_idx) in
-  (* Inputs: full-dimensional references with random small offsets. *)
-  let input i =
-    let name = Printf.sprintf "IN%d" i in
-    let idx =
-      List.init nv (fun v -> affine v (Random.State.int rng 3 - 1))
-    in
-    Printf.sprintf "%s[%s]" name (String.concat "," idx)
-  in
-  let inputs = List.init (1 + Random.State.int rng 2) input in
-  Printf.sprintf "for %s { %s = %s + %s }" (String.concat ", " bounds) lhs lhs
-    (String.concat " * " inputs)
+   computational conflicts, causality violations or value errors.  The
+   mapping-level differential property (every conflict-freedom fast
+   path against the brute-force oracle, with shrinking) lives here too;
+   deeper differential coverage is in [test_check.ml]. *)
 
 let prop_pipeline_clean =
   QCheck.Test.make ~name:"parse -> optimize -> simulate is always clean" ~count:60
     QCheck.int (fun seed ->
       let rng = Random.State.make [| seed |] in
-      let src = random_program rng in
+      let src = Check.Gen.source_program rng in
       match Loopnest.parse_result src with
       | Error _ -> true (* the generator can produce degenerate programs *)
       | Ok a -> (
@@ -58,7 +32,7 @@ let prop_optimizers_agree_on_fuzzed =
   QCheck.Test.make ~name:"Procedure 5.1 (exact) = (theorem) on fuzzed programs" ~count:40
     QCheck.int (fun seed ->
       let rng = Random.State.make [| seed |] in
-      let src = random_program rng in
+      let src = Check.Gen.source_program rng in
       match Loopnest.parse_result src with
       | Error _ -> true
       | Ok a ->
@@ -70,39 +44,11 @@ let prop_optimizers_agree_on_fuzzed =
         time (Procedure51.optimize ~check:Procedure51.Exact ~max_objective:40 alg ~s)
         = time (Procedure51.optimize ~check:Procedure51.Theorem ~max_objective:40 alg ~s))
 
-(* Random two-statement program: a producer array feeding a consumer,
-   each with small offsets — exercising the alignment search. *)
-let random_two_statement rng =
-  let nv = 2 in
-  let bounds =
-    List.init nv (fun v -> Printf.sprintf "%s = 0..%d" var_names.(v) (2 + Random.State.int rng 3))
-  in
-  let affine v off =
-    if off = 0 then var_names.(v)
-    else if off > 0 then Printf.sprintf "%s+%d" var_names.(v) off
-    else Printf.sprintf "%s%d" var_names.(v) off
-  in
-  let idx () = List.init nv (fun v -> affine v (Random.State.int rng 3 - 1)) in
-  let full_idx = List.init nv (fun v -> var_names.(v)) in
-  let s1 =
-    Printf.sprintf "B[%s] = B[%s] + A[%s]"
-      (String.concat "," full_idx)
-      (String.concat "," (idx ()))
-      (String.concat "," (idx ()))
-  in
-  let s2 =
-    Printf.sprintf "C[%s] = B[%s] + B[%s]"
-      (String.concat "," full_idx)
-      (String.concat "," (idx ()))
-      (String.concat "," (idx ()))
-  in
-  Printf.sprintf "for %s { %s; %s }" (String.concat ", " bounds) s1 s2
-
 let prop_multi_statement_pipeline_clean =
   QCheck.Test.make ~name:"multi-statement fuzz: aligned programs simulate cleanly" ~count:40
     QCheck.int (fun seed ->
       let rng = Random.State.make [| seed |] in
-      let src = random_two_statement rng in
+      let src = Check.Gen.source_two_statement rng in
       match Loopnest.parse_result src with
       | Error _ -> true (* degenerate programs are allowed to be rejected *)
       | Ok a -> (
@@ -116,10 +62,32 @@ let prop_multi_statement_pipeline_clean =
           | Some (pi, so) ->
             Exec.is_clean (Exec.run alg Dataflow.semantics (Tmap.make ~s:so.Space_opt.s ~pi)))))
 
+(* The mapping-level differential property: every fast path against the
+   brute-force (processor, time) collision oracle.  On failure the
+   instance is shrunk before being reported, so the counterexample in
+   the log is already minimal. *)
+let prop_fastpaths_agree_with_oracle =
+  QCheck.Test.make ~name:"differential: fast paths = brute-force oracle (shrunk on failure)"
+    ~count:80 QCheck.small_nat (fun i ->
+      let inst = Check.Gen.ith ~seed:0xF422 ~size:3 i in
+      match Check.Diff.check_instance inst with
+      | [] -> true
+      | ds ->
+        let f = Check.Diff.shrink_failure ~index:i inst ds in
+        QCheck.Test.fail_reportf "disagreement:@.%s@.shrunk to:@.%s@.%s"
+          (Check.Instance.to_string inst)
+          (Check.Instance.to_string f.Check.Diff.shrunk)
+          (String.concat "\n"
+             (List.map
+                (fun (d : Check.Diff.disagreement) ->
+                  Check.Diff.path_name d.Check.Diff.path ^ ": " ^ d.Check.Diff.detail)
+                ds)))
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_pipeline_clean;
       prop_optimizers_agree_on_fuzzed;
       prop_multi_statement_pipeline_clean;
+      prop_fastpaths_agree_with_oracle;
     ]
