@@ -3,10 +3,19 @@
    DESIGN.md), then runs the Bechamel performance benches.
 
    Usage:
-     main.exe            run everything (experiments + perf)
-     main.exe e1 .. e16  run selected experiments
-     main.exe perf       run only the performance benches
-     main.exe quick      run experiments only (no perf) *)
+     main.exe                 run everything (experiments + perf)
+     main.exe e1 .. e16       run selected experiments
+     main.exe perf [--quick] [--out FILE]
+                              run the performance benches and write a
+                              machine-readable BENCH_<rev>.json
+                              (--quick skips the Bechamel micro benches)
+     main.exe diff OLD NEW [--threshold PCT]
+                              compare two bench JSON files; exit 1 when
+                              any timing regressed beyond the threshold
+     main.exe quick           run experiments only (no perf)
+
+   The JSON contract for the bench report and for diff is documented
+   in docs/SCHEMA.md. *)
 
 let iv = Intvec.of_ints
 let im = Intmat.of_ints
@@ -533,9 +542,12 @@ let e16 () =
   | None -> ())
 
 (* ------------------------------------------------------------------ *)
-(* Performance benches (Bechamel). *)
+(* Performance benches (Bechamel).  Returns the fitted ns/run per bench
+   so the perf driver can embed them in the JSON report; tracing stays
+   off here — millions of micro-bench iterations would saturate the
+   span buffer without telling us anything a single run does not. *)
 
-let perf () =
+let micro_bench () =
   section "Performance benches (Bechamel, ns/run)";
   let open Bechamel in
   let rng = Random.State.make [| 4242 |] in
@@ -626,16 +638,19 @@ let perf () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | Some _ | None -> ())
     results;
+  let sorted = List.sort compare !rows in
   let tbl = Table.create [ "bench"; "ns/run" ] in
   List.iter
     (fun (name, est) -> Table.add_row tbl [ name; Printf.sprintf "%.0f" est ])
-    (List.sort compare !rows);
-  Table.print tbl
+    sorted;
+  Table.print tbl;
+  sorted
 
 (* ------------------------------------------------------------------ *)
 (* Engine benches: cold vs warm cache and 1 vs N domains on the same
    queries.  Timed by hand rather than with Bechamel because repeated
-   runs erase the cold/warm distinction the bench is about. *)
+   runs erase the cold/warm distinction the bench is about.  Returns
+   the JSON "engine" section of the bench report (docs/SCHEMA.md). *)
 
 let engine_bench () =
   Printf.printf "\n== engine: cached parallel search vs the sequential reference ==\n";
@@ -695,7 +710,96 @@ let engine_bench () =
     "cache: %d hits / %d misses (%d entries); warm/cold speedup: pareto %.1fx, schedules %.1fx\n"
     stats.Engine.Cache.hits stats.Engine.Cache.misses stats.Engine.Cache.entries
     (t_coldn /. Float.max 1e-3 t_warmn)
-    (t_cold_s /. Float.max 1e-3 t_warm_s)
+    (t_cold_s /. Float.max 1e-3 t_warm_s);
+  let queries = stats.Engine.Cache.hits + stats.Engine.Cache.misses in
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs_wide);
+      ( "pareto",
+        Json.Obj
+          [
+            ("sequential_ms", Json.Float t_seq);
+            ("cold_1_ms", Json.Float t_cold1);
+            ("warm_1_ms", Json.Float t_warm1);
+            ("cold_n_ms", Json.Float t_coldn);
+            ("warm_n_ms", Json.Float t_warmn);
+          ] );
+      ( "schedules",
+        Json.Obj
+          [
+            ("sequential_ms", Json.Float t_seq_s);
+            ("cold_n_ms", Json.Float t_cold_s);
+            ("warm_n_ms", Json.Float t_warm_s);
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int stats.Engine.Cache.hits);
+            ("misses", Json.Int stats.Engine.Cache.misses);
+            ("entries", Json.Int stats.Engine.Cache.entries);
+            ( "hit_rate",
+              if queries = 0 then Json.Null
+              else
+                Json.Float (float_of_int stats.Engine.Cache.hits /. float_of_int queries)
+            );
+          ] );
+      ("warm_beats_sequential", Json.Bool (t_warmn < t_seq));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The perf driver: micro benches (unless --quick) + engine benches,
+   folded into one schema-versioned JSON report named after the git
+   revision so successive runs form a trajectory. *)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
+let perf ?(quick = false) ?out () =
+  let micro = if quick then [] else micro_bench () in
+  (* Trace only the engine benches: each phase runs once, so the span
+     aggregate is a faithful per-phase time breakdown. *)
+  Obs.Metrics.reset ();
+  Obs.Trace.enable ();
+  let engine = engine_bench () in
+  Obs.Trace.disable ();
+  let phases = Obs.Export.phases (Obs.Trace.aggregate (Obs.Trace.spans ())) in
+  let rev = git_rev () in
+  let path =
+    match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" rev
+  in
+  let report =
+    Json.versioned ~command:"bench"
+      [
+        ("rev", Json.Str rev);
+        ("quick", Json.Bool quick);
+        ( "micro",
+          Json.Arr
+            (List.map
+               (fun (name, est) ->
+                 Json.Obj [ ("name", Json.Str name); ("ns_per_run", Json.Float est) ])
+               micro) );
+        ("engine", engine);
+        ("phases", phases);
+      ]
+  in
+  Obs.Export.write_file path report;
+  Printf.printf "bench report written to %s\n" path
+
+let bench_diff ~threshold old_file new_file =
+  match (Json.parse_file old_file, Json.parse_file new_file) with
+  | Ok baseline, Ok current ->
+    let report = Benchstat.compare_runs ~threshold_pct:threshold ~baseline ~current in
+    Format.printf "%a@." Benchstat.pp report;
+    if report.Benchstat.regressions <> [] then exit 1
+  | Error e, _ | _, Error e ->
+    Printf.eprintf "bench diff: %s\n" e;
+    exit 2
 
 (* ------------------------------------------------------------------ *)
 
@@ -706,6 +810,37 @@ let experiments =
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [e1..e16 | engine | quick | perf [--quick] [--out FILE] | diff \
+     OLD NEW [--threshold PCT]]\n";
+  exit 2
+
+let parse_perf_args rest =
+  let rec go quick out = function
+    | [] -> perf ~quick ?out ()
+    | "--quick" :: tl -> go true out tl
+    | "--out" :: path :: tl -> go quick (Some path) tl
+    | arg :: tl when String.length arg > 6 && String.sub arg 0 6 = "--out=" ->
+      go quick (Some (String.sub arg 6 (String.length arg - 6))) tl
+    | _ -> usage ()
+  in
+  go false None rest
+
+let parse_diff_args rest =
+  let rec go threshold files = function
+    | [] -> (
+      match List.rev files with
+      | [ old_file; new_file ] -> bench_diff ~threshold old_file new_file
+      | _ -> usage ())
+    | "--threshold" :: pct :: tl -> (
+      match float_of_string_opt pct with
+      | Some t -> go t files tl
+      | None -> usage ())
+    | arg :: tl -> go threshold (arg :: files) tl
+  in
+  go 20. [] rest
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
@@ -713,14 +848,14 @@ let () =
     List.iter (fun (_, f) -> f ()) experiments;
     perf ()
   | [ "quick" ] -> List.iter (fun (_, f) -> f ()) experiments
-  | [ "perf" ] -> perf ()
+  | "perf" :: rest -> parse_perf_args rest
+  | "diff" :: rest -> parse_diff_args rest
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt (String.lowercase_ascii name) experiments with
         | Some f -> f ()
         | None ->
-          if name = "perf" then perf ()
-          else if name = "engine" then engine_bench ()
-          else Printf.eprintf "unknown experiment %s (e1..e16, engine, perf, quick)\n" name)
+          if name = "engine" then ignore (engine_bench ())
+          else Printf.eprintf "unknown experiment %s (e1..e16, engine, perf, diff, quick)\n" name)
       names

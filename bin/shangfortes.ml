@@ -7,7 +7,10 @@
    $ shangfortes search --algorithm matmul --mu 4 --array-dim 1 --jobs 4
 
    Every subcommand accepts --format json for versioned
-   machine-consumable output (schema v1); plain text is the default. *)
+   machine-consumable output (schema v2), --trace[=FILE] for a Chrome
+   trace_event dump of the run, and --metrics for the observability
+   counters; plain text is the default.  The contract lives in
+   docs/SCHEMA.md. *)
 
 open Cmdliner
 
@@ -21,41 +24,76 @@ let parse_matrix s =
 
 (* ------------------------- shared: output format ------------------- *)
 
-type output_format = Plain | Json_v1
+type output_format = Plain | Json_v2
 
 let format_arg =
   Arg.(
     value
-    & opt (enum [ ("plain", Plain); ("json", Json_v1) ]) Plain
+    & opt (enum [ ("plain", Plain); ("json", Json_v2) ]) Plain
     & info [ "format" ] ~docv:"FMT"
-        ~doc:"Output format: plain (default) or json (versioned, schema_version 1).")
+        ~doc:"Output format: plain (default) or json (versioned, schema_version 2).")
 
 let json_of_vec v = Json.ints (Intvec.to_ints v)
 let json_of_mat m = Json.Arr (List.map Json.ints (Intmat.to_ints m))
 let json_of_int_array a = Json.ints (Array.to_list a)
 
-let json_of_telemetry (s : Engine.Telemetry.snapshot) =
-  Json.Obj
-    [
-      ("queries", Json.Int s.Engine.Telemetry.queries);
-      ("closed_form", Json.Int s.Engine.Telemetry.closed_form);
-      ("box_oracle", Json.Int s.Engine.Telemetry.box_oracle);
-      ("lattice_oracle", Json.Int s.Engine.Telemetry.lattice_oracle);
-      ("cache_hits", Json.Int s.Engine.Telemetry.cache_hits);
-      ("cache_misses", Json.Int s.Engine.Telemetry.cache_misses);
-      ("max_domains", Json.Int s.Engine.Telemetry.max_domains);
-      ( "phases",
-        Json.Arr
-          (List.map
-             (fun (label, seconds, count) ->
-               Json.Obj
-                 [
-                   ("label", Json.Str label);
-                   ("seconds", Json.Float seconds);
-                   ("count", Json.Int count);
-                 ])
-             s.Engine.Telemetry.phases) );
-    ]
+(* --------------------- shared: observability ----------------------- *)
+
+type obs_opts = { trace_out : string option; show_metrics : bool }
+
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "trace.json") (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Collect hierarchical trace spans for the run and write them as Chrome \
+             trace_event JSON to $(docv) (default trace.json; load in chrome://tracing \
+             or Perfetto).  With --format json the span tree is also embedded in the \
+             report as the 'spans' field.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Report the observability counters/gauges/histograms: as a 'metrics' field \
+             with --format json, as a trailing block on stderr otherwise.")
+  in
+  Term.(
+    const (fun trace_out show_metrics -> { trace_out; show_metrics })
+    $ trace_arg $ metrics_arg)
+
+let obs_begin o =
+  Obs.Metrics.reset ();
+  if o.trace_out <> None then Obs.Trace.enable ()
+
+(* Append the requested observability fields to a JSON report (the
+   search command always carries "metrics"; don't duplicate it). *)
+let obs_fields o fields =
+  let fields =
+    if o.show_metrics && not (List.mem_assoc "metrics" fields) then
+      fields @ [ ("metrics", Obs.Export.metrics (Obs.Metrics.snapshot ())) ]
+    else fields
+  in
+  if o.trace_out <> None then
+    fields @ [ ("spans", Obs.Export.span_tree (Obs.Trace.spans ())) ]
+  else fields
+
+let obs_end o fmt =
+  (match o.trace_out with
+  | None -> ()
+  | Some path ->
+    Obs.Trace.disable ();
+    Obs.Export.write_file path (Obs.Export.chrome_trace (Obs.Trace.spans ()));
+    let dropped = Obs.Trace.dropped () in
+    if dropped > 0 then
+      Printf.eprintf "trace: %d span(s) dropped (capacity %d)\n%!" dropped
+        Obs.Trace.capacity;
+    Printf.eprintf "trace written to %s\n%!" path);
+  if o.show_metrics && fmt = Plain then
+    Format.eprintf "metrics:@,@[<v 2>  %a@]@." Obs.Metrics.pp (Obs.Metrics.snapshot ())
 
 (* ------------------------------- hnf ------------------------------- *)
 
@@ -66,23 +104,25 @@ let hnf_cmd =
       & opt (some string) None
       & info [ "m"; "matrix" ] ~docv:"ROWS" ~doc:"Matrix, rows separated by ';'.")
   in
-  let run m fmt =
+  let run m fmt obs =
+    obs_begin obs;
     let t = parse_matrix m in
     let res = Hnf.compute t in
     let basis = Hnf.kernel_basis t in
-    match fmt with
-    | Json_v1 ->
+    (match fmt with
+    | Json_v2 ->
       Json.print
         (Json.versioned ~command:"hnf"
-           [
-             ("t", json_of_mat t);
-             ("h", json_of_mat res.Hnf.h);
-             ("u", json_of_mat res.Hnf.u);
-             ("v", json_of_mat res.Hnf.v);
-             ("rank", Json.Int res.Hnf.rank);
-             ("verified", Json.Bool (Hnf.verify t res));
-             ("kernel_basis", Json.Arr (List.map json_of_vec basis));
-           ])
+           (obs_fields obs
+              [
+                ("t", json_of_mat t);
+                ("h", json_of_mat res.Hnf.h);
+                ("u", json_of_mat res.Hnf.u);
+                ("v", json_of_mat res.Hnf.v);
+                ("rank", Json.Int res.Hnf.rank);
+                ("verified", Json.Bool (Hnf.verify t res));
+                ("kernel_basis", Json.Arr (List.map json_of_vec basis));
+              ]))
     | Plain ->
       Printf.printf "T =\n%s\nH = T U =\n%s\nU =\n%s\nV = U^-1 =\n%s\nrank = %d\nverified: %b\n"
         (Intmat.to_string t) (Intmat.to_string res.Hnf.h) (Intmat.to_string res.Hnf.u)
@@ -91,11 +131,12 @@ let hnf_cmd =
       | [] -> print_endline "kernel: trivial"
       | basis ->
         print_endline "kernel basis (conflict-vector generators):";
-        List.iter (fun g -> Printf.printf "  %s\n" (Intvec.to_string g)) basis)
+        List.iter (fun g -> Printf.printf "  %s\n" (Intvec.to_string g)) basis));
+    obs_end obs fmt
   in
   Cmd.v
     (Cmd.info "hnf" ~doc:"Hermite normal form with multiplier U and V = U^-1 (Theorem 4.1)")
-    Term.(const run $ matrix $ format_arg)
+    Term.(const run $ matrix $ format_arg $ obs_term)
 
 (* ----------------------------- analyze ----------------------------- *)
 
@@ -136,7 +177,8 @@ let analyze_cmd =
       & info [ "m"; "matrix" ] ~docv:"ROWS"
           ~doc:"Mapping matrix T = [S; Pi], rows separated by ';' (last row is Pi).")
   in
-  let run m mu_s deadline_ms fmt =
+  let run m mu_s deadline_ms fmt obs =
+    obs_begin obs;
     let t = parse_matrix m in
     let mu = Array.of_list (parse_vector mu_s) in
     if Array.length mu <> Intmat.cols t then failwith "mu arity does not match T";
@@ -148,10 +190,11 @@ let analyze_cmd =
         (fun g -> (g, Conflict.is_feasible ~mu g))
         (Conflict.kernel_basis t)
     in
-    match fmt with
-    | Json_v1 ->
+    (match fmt with
+    | Json_v2 ->
       Json.print
         (Json.versioned ~command:"analyze"
+           (obs_fields obs
            [
              ("t", json_of_mat t);
              ("mu", json_of_int_array mu);
@@ -173,7 +216,7 @@ let analyze_cmd =
                       Json.Obj
                         [ ("vector", json_of_vec g); ("feasible", Json.Bool feasible) ])
                     generators) );
-           ])
+           ]))
     | Plain ->
       Printf.printf "T (%dx%d) =\n%s\nrank = %d (need %d for a (k-1)-dimensional array)\n"
         k n (Intmat.to_string t) (Intmat.rank t) k;
@@ -193,12 +236,13 @@ let analyze_cmd =
         List.iter
           (fun (g, feasible) ->
             Printf.printf "  %s  (feasible: %b)\n" (Intvec.to_string g) feasible)
-          generators)
+          generators));
+    obs_end obs fmt
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Conflict analysis of a mapping matrix (Theorems 2.2, 3.1, 4.3-4.8)")
-    Term.(const run $ matrix $ mu_arg $ deadline_arg $ format_arg)
+    Term.(const run $ matrix $ mu_arg $ deadline_arg $ format_arg $ obs_term)
 
 (* ------------------------- shared: algorithms ---------------------- *)
 
@@ -255,7 +299,8 @@ let optimize_cmd =
   let bound_arg =
     Arg.(value & opt (some int) None & info [ "max-objective" ] ~docv:"N" ~doc:"Search bound.")
   in
-  let run name mu s_opt method_ routing bound fmt =
+  let run name mu s_opt method_ routing bound fmt obs =
+    obs_begin obs;
     let alg, default_s = builtin_algorithm name mu in
     let s = resolve_s s_opt default_s in
     let base_fields =
@@ -266,21 +311,23 @@ let optimize_cmd =
         ("method", Json.Str method_);
       ]
     in
-    match method_ with
+    let emit fields =
+      Json.print (Json.versioned ~command:"optimize" (obs_fields obs fields))
+    in
+    (match method_ with
     | "p51" ->
       (match Procedure51.optimize ~require_routing:routing ?max_objective:bound alg ~s with
       | Some r ->
         (match fmt with
-        | Json_v1 ->
-          Json.print
-            (Json.versioned ~command:"optimize"
-               (base_fields
-               @ [
-                   ("pi", json_of_vec r.Procedure51.pi);
-                   ("total_time", Json.Int r.Procedure51.total_time);
-                   ("candidates_tried", Json.Int r.Procedure51.candidates_tried);
-                   ("routing", Json.option json_of_routing r.Procedure51.routing);
-                 ]))
+        | Json_v2 ->
+          emit
+            (base_fields
+            @ [
+                ("pi", json_of_vec r.Procedure51.pi);
+                ("total_time", Json.Int r.Procedure51.total_time);
+                ("candidates_tried", Json.Int r.Procedure51.candidates_tried);
+                ("routing", Json.option json_of_routing r.Procedure51.routing);
+              ])
         | Plain ->
           Printf.printf "Pi = %s\ntotal time = %d\ncandidates tried = %d\n"
             (Intvec.to_string r.Procedure51.pi) r.Procedure51.total_time
@@ -293,24 +340,21 @@ let optimize_cmd =
           | None -> ()))
       | None ->
         (match fmt with
-        | Json_v1 ->
-          Json.print
-            (Json.versioned ~command:"optimize" (base_fields @ [ ("pi", Json.Null) ]))
+        | Json_v2 -> emit (base_fields @ [ ("pi", Json.Null) ])
         | Plain -> print_endline "no conflict-free schedule within the search bound"))
     | "ilp" ->
       (match Ilp_form.optimize alg ~s with
       | Some sol ->
         (match fmt with
-        | Json_v1 ->
-          Json.print
-            (Json.versioned ~command:"optimize"
-               (base_fields
-               @ [
-                   ("pi", json_of_vec sol.Ilp_form.pi);
-                   ("total_time", Json.Int (sol.Ilp_form.objective + 1));
-                   ("branch", Json.Str sol.Ilp_form.branch);
-                   ("gamma", json_of_vec sol.Ilp_form.gamma);
-                 ]))
+        | Json_v2 ->
+          emit
+            (base_fields
+            @ [
+                ("pi", json_of_vec sol.Ilp_form.pi);
+                ("total_time", Json.Int (sol.Ilp_form.objective + 1));
+                ("branch", Json.Str sol.Ilp_form.branch);
+                ("gamma", json_of_vec sol.Ilp_form.gamma);
+              ])
         | Plain ->
           Printf.printf "Pi = %s\ntotal time = %d\nbinding branch: %s\ngamma = %s\n"
             (Intvec.to_string sol.Ilp_form.pi)
@@ -319,17 +363,16 @@ let optimize_cmd =
             (Intvec.to_string sol.Ilp_form.gamma))
       | None ->
         (match fmt with
-        | Json_v1 ->
-          Json.print
-            (Json.versioned ~command:"optimize" (base_fields @ [ ("pi", Json.Null) ]))
+        | Json_v2 -> emit (base_fields @ [ ("pi", Json.Null) ])
         | Plain -> print_endline "no solution"))
-    | other -> failwith ("unknown method: " ^ other)
+    | other -> failwith ("unknown method: " ^ other));
+    obs_end obs fmt
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Find the time-optimal conflict-free schedule (Problem 2.2)")
     Term.(
       const run $ algorithm_arg $ mu_int_arg $ s_arg $ method_arg $ routing_arg $ bound_arg
-      $ format_arg)
+      $ format_arg $ obs_term)
 
 (* ----------------------------- simulate ---------------------------- *)
 
@@ -340,17 +383,23 @@ let simulate_cmd =
       & opt (some string) None
       & info [ "pi" ] ~docv:"PI" ~doc:"Linear schedule vector, comma separated.")
   in
-  let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the execution table.") in
-  let run name mu s_opt pi_s trace fmt =
+  (* --table was called --trace before 1.2.0; the old name now selects
+     span tracing, uniformly with every other subcommand. *)
+  let table_arg =
+    Arg.(value & flag & info [ "table" ] ~doc:"Print the execution table.")
+  in
+  let run name mu s_opt pi_s table fmt obs =
+    obs_begin obs;
     let alg, default_s = builtin_algorithm name mu in
     let s = resolve_s s_opt default_s in
     let pi = Intvec.of_ints (parse_vector pi_s) in
     let tm = Tmap.make ~s ~pi in
     let r = Exec.run alg Dataflow.semantics tm in
-    match fmt with
-    | Json_v1 ->
+    (match fmt with
+    | Json_v2 ->
       Json.print
         (Json.versioned ~command:"simulate"
+           (obs_fields obs
            [
              ("algorithm", Json.Str name);
              ("mu", Json.Int mu);
@@ -365,7 +414,7 @@ let simulate_cmd =
              ("buffers", json_of_int_array r.Exec.max_buffer_occupancy);
              ("dataflow_correct", Json.Bool r.Exec.values_ok);
              ("utilization", Json.Float r.Exec.utilization);
-           ])
+           ]))
     | Plain ->
       Printf.printf
         "makespan = %d\nprocessors = %d\ncomputations = %d\nconflicts = %d\n\
@@ -383,13 +432,16 @@ let simulate_cmd =
             (String.concat "," (Array.to_list (Array.map string_of_int c.Exec.pe)))
             (List.length c.Exec.points))
         r.Exec.conflicts;
-      if trace then
+      if table then
         if Tmap.k tm = 2 then print_string (Trace.linear_array_table alg tm)
-        else print_string (Trace.firing_list alg tm)
+        else print_string (Trace.firing_list alg tm));
+    obs_end obs fmt
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Cycle-accurate simulation of an algorithm under a mapping")
-    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg $ trace_arg $ format_arg)
+    Term.(
+      const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg $ table_arg $ format_arg
+      $ obs_term)
 
 (* ------------------------------ parse ------------------------------ *)
 
@@ -415,11 +467,12 @@ let parse_cmd =
       & info [ "array-dim" ] ~docv:"K"
           ~doc:"Also search the cheapest conflict-free K-dimensional array (Problem 6.1).")
   in
-  let run src opt_s array_dim fmt =
+  let run src opt_s array_dim fmt obs =
+    obs_begin obs;
     match Loopnest.parse_result src with
     | Error e ->
       (match fmt with
-      | Json_v1 ->
+      | Json_v2 ->
         Json.print
           (Json.versioned ~command:"parse" [ ("error", Json.Str (Loopnest.error_to_string e)) ])
       | Plain -> prerr_endline (Loopnest.error_to_string e));
@@ -455,10 +508,11 @@ let parse_cmd =
           array_dim
       in
       (match fmt with
-      | Json_v1 ->
+      | Json_v2 ->
         let mu = Index_set.bounds alg.Algorithm.index_set in
         Json.print
           (Json.versioned ~command:"parse"
+             (obs_fields obs
              [
                ("name", Json.Str alg.Algorithm.name);
                ("loop_vars", Json.Arr (List.map (fun v -> Json.Str v) a.Loopnest.loop_vars));
@@ -495,7 +549,7 @@ let parse_cmd =
                            Json.option (fun r -> Json.Int r.Space_opt.wire_length) r );
                        ])
                    space_result );
-             ])
+             ]))
       | Plain ->
         Format.printf "%a@." Loopnest.pp_analysis a;
         (match opt_result with
@@ -504,18 +558,19 @@ let parse_cmd =
           Printf.printf "optimal Pi = %s, total time = %d\n"
             (Intvec.to_string r.Procedure51.pi) r.Procedure51.total_time
         | Some (_, None) -> print_endline "no conflict-free schedule found");
-        match space_result with
+        (match space_result with
         | None -> ()
         | Some (_, Some r) ->
           Printf.printf "space-optimal S =\n%s\nprocessors = %d, wire length = %d\n"
             (Intmat.to_string r.Space_opt.s) r.Space_opt.processors r.Space_opt.wire_length
         | Some (_, None) ->
-          print_endline "no conflict-free space mapping in the searched family")
+          print_endline "no conflict-free space mapping in the searched family"));
+      obs_end obs fmt
   in
   Cmd.v
     (Cmd.info "parse"
        ~doc:"Extract (J, D) from a nested-loop program; optionally optimize and place it")
-    Term.(const run $ src_arg $ optimize_arg $ space_arg $ format_arg)
+    Term.(const run $ src_arg $ optimize_arg $ space_arg $ format_arg $ obs_term)
 
 (* ------------------------------ pareto ------------------------------ *)
 
@@ -546,22 +601,24 @@ let json_of_pareto_point (p : Enumerate.pareto_point) =
     ]
 
 let pareto_cmd =
-  let run name mu dim collision_free fmt =
+  let run name mu dim collision_free fmt obs =
+    obs_begin obs;
     let alg, _ = builtin_algorithm name mu in
     let front =
       Enumerate.pareto_front ~accept:(collision_accept alg collision_free) alg ~k:(dim + 1)
     in
-    match fmt with
-    | Json_v1 ->
+    (match fmt with
+    | Json_v2 ->
       Json.print
         (Json.versioned ~command:"pareto"
-           [
-             ("algorithm", Json.Str name);
-             ("mu", Json.Int mu);
-             ("array_dim", Json.Int dim);
-             ("collision_free", Json.Bool collision_free);
-             ("points", Json.Arr (List.map json_of_pareto_point front));
-           ])
+           (obs_fields obs
+              [
+                ("algorithm", Json.Str name);
+                ("mu", Json.Int mu);
+                ("array_dim", Json.Int dim);
+                ("collision_free", Json.Bool collision_free);
+                ("points", Json.Arr (List.map json_of_pareto_point front));
+              ]))
     | Plain ->
       if front = [] then print_endline "no achievable points found"
       else
@@ -571,11 +628,14 @@ let pareto_cmd =
               p.Enumerate.processors
               (Intvec.to_string p.Enumerate.pi)
               (Intmat.to_string p.Enumerate.s))
-          front
+          front);
+    obs_end obs fmt
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Achievable (total time, processors) trade-off (Problems 2.1/6.2)")
-    Term.(const run $ algorithm_arg $ mu_int_arg $ dim_arg $ collision_free_arg $ format_arg)
+    Term.(
+      const run $ algorithm_arg $ mu_int_arg $ dim_arg $ collision_free_arg $ format_arg
+      $ obs_term)
 
 (* ------------------------------ search ------------------------------ *)
 
@@ -602,11 +662,11 @@ let search_cmd =
                 front ($(b,--array-dim) sets the dimension).  Default mode enumerates all \
                 time-optimal schedules for the space mapping $(b,-s).")
   in
-  let run name mu s_opt dim pareto_mode collision_free jobs deadline_ms slack fmt =
+  let run name mu s_opt dim pareto_mode collision_free jobs deadline_ms slack fmt obs =
+    obs_begin obs;
     let alg, default_s = builtin_algorithm name mu in
     let pool = Engine.Pool.create ?jobs () in
     let budget = Engine.Budget.make ?deadline_ms () in
-    Engine.Telemetry.reset ();
     let base_fields =
       [
         ("algorithm", Json.Str name);
@@ -615,22 +675,25 @@ let search_cmd =
         ("deadline_ms", Json.option (fun ms -> Json.Int ms) deadline_ms);
       ]
     in
+    (* v2: the v1 "telemetry" blob is gone; search always reports the
+       engine's metrics registry (docs/SCHEMA.md). *)
     let finish fields plain =
-      let snap = Engine.Telemetry.snapshot () in
+      let snap = Obs.Metrics.snapshot () in
       match fmt with
-      | Json_v1 ->
+      | Json_v2 ->
         Json.print
           (Json.versioned ~command:"search"
-             (base_fields
-             @ fields
-             @ [
-                 ("telemetry", json_of_telemetry snap);
-                 ("budget_elapsed_ms", Json.Float (Engine.Budget.elapsed_ms budget));
-                 ("budget_pressed", Json.Bool (Engine.Budget.pressed budget));
-               ]))
+             (obs_fields obs
+                (base_fields
+                @ fields
+                @ [
+                    ("metrics", Obs.Export.metrics snap);
+                    ("budget_elapsed_ms", Json.Float (Engine.Budget.elapsed_ms budget));
+                    ("budget_pressed", Json.Bool (Engine.Budget.pressed budget));
+                  ])))
       | Plain ->
         plain ();
-        Format.printf "telemetry: @[%a@]@." Engine.Telemetry.pp snap
+        Format.printf "metrics:@,@[<v 2>  %a@]@." Obs.Metrics.pp snap
     in
     if pareto_mode then begin
       let front =
@@ -687,7 +750,8 @@ let search_cmd =
             Printf.printf "buffer-minimal: Pi = %s (%d registers)\n" (Intvec.to_string pi)
               (Array.fold_left ( + ) 0 rt.Tmap.buffers)
           | None -> ())
-    end
+    end;
+    obs_end obs fmt
   in
   Cmd.v
     (Cmd.info "search"
@@ -696,7 +760,7 @@ let search_cmd =
           or the time/processor Pareto front (with $(b,--pareto))")
     Term.(
       const run $ algorithm_arg $ mu_int_arg $ s_arg $ dim_arg $ pareto_arg
-      $ collision_free_arg $ jobs_arg $ deadline_arg $ slack_arg $ format_arg)
+      $ collision_free_arg $ jobs_arg $ deadline_arg $ slack_arg $ format_arg $ obs_term)
 
 (* ------------------------------- fuzz ------------------------------ *)
 
@@ -758,7 +822,8 @@ let fuzz_cmd =
             "Persist every shrunk failing instance as DIR/fuzz-seed<seed>-<index>.case \
              for regression replay (the repository uses test/corpus).")
   in
-  let run seed count size jobs corpus fmt =
+  let run seed count size jobs corpus fmt obs =
+    obs_begin obs;
     if size < 1 || size > 8 then failwith "--size must be between 1 and 8";
     if count < 1 then failwith "--count must be positive";
     let report = Check.Diff.run ?jobs ~seed ~count ~size () in
@@ -782,17 +847,18 @@ let fuzz_cmd =
           report.Check.Diff.failures
     in
     (match fmt with
-    | Json_v1 ->
+    | Json_v2 ->
       Json.print
         (Json.versioned ~command:"fuzz"
-           [
-             ("seed", Json.Int report.Check.Diff.seed);
-             ("size", Json.Int report.Check.Diff.size);
-             ("jobs", Json.Int report.Check.Diff.jobs);
-             ("checked", Json.Int report.Check.Diff.checked);
-             ("failures", Json.Arr (List.map json_of_failure report.Check.Diff.failures));
-             ("corpus_files", Json.Arr (List.map (fun p -> Json.Str p) saved));
-           ])
+           (obs_fields obs
+              [
+                ("seed", Json.Int report.Check.Diff.seed);
+                ("size", Json.Int report.Check.Diff.size);
+                ("jobs", Json.Int report.Check.Diff.jobs);
+                ("checked", Json.Int report.Check.Diff.checked);
+                ("failures", Json.Arr (List.map json_of_failure report.Check.Diff.failures));
+                ("corpus_files", Json.Arr (List.map (fun p -> Json.Str p) saved));
+              ]))
     | Plain ->
       Printf.printf "checked %d instances (seed %d, size %d, %d domains)\n"
         report.Check.Diff.checked report.Check.Diff.seed report.Check.Diff.size
@@ -814,6 +880,7 @@ let fuzz_cmd =
             Format.printf "  shrunk:   @[%a@]@." Check.Instance.pp f.Check.Diff.shrunk)
           failures;
         List.iter (Printf.printf "saved corpus case: %s\n") saved));
+    obs_end obs fmt;
     if report.Check.Diff.failures <> [] then exit 1
   in
   Cmd.v
@@ -821,7 +888,9 @@ let fuzz_cmd =
        ~doc:
          "Differential fuzzing: every conflict-freedom fast path against the brute-force \
           (processor, time) collision oracle, with counterexample shrinking")
-    Term.(const run $ seed_arg $ count_arg $ size_arg $ jobs_arg $ corpus_arg $ format_arg)
+    Term.(
+      const run $ seed_arg $ count_arg $ size_arg $ jobs_arg $ corpus_arg $ format_arg
+      $ obs_term)
 
 (* ------------------------------ stats ------------------------------ *)
 
@@ -832,38 +901,41 @@ let stats_cmd =
       & opt (some string) None
       & info [ "pi" ] ~docv:"PI" ~doc:"Linear schedule vector, comma separated.")
   in
-  let run name mu s_opt pi_s fmt =
+  let run name mu s_opt pi_s fmt obs =
+    obs_begin obs;
     let alg, default_s = builtin_algorithm name mu in
     let s = resolve_s s_opt default_s in
     let tm = Tmap.make ~s ~pi:(Intvec.of_ints (parse_vector pi_s)) in
     let st = Stats.compute alg tm in
-    match fmt with
-    | Json_v1 ->
+    (match fmt with
+    | Json_v2 ->
       Json.print
         (Json.versioned ~command:"stats"
-           [
-             ("algorithm", Json.Str name);
-             ("mu", Json.Int mu);
-             ("processors", Json.Int st.Stats.processors);
-             ("makespan", Json.Int st.Stats.makespan);
-             ("computations", Json.Int st.Stats.computations);
-             ("utilization", Json.Float st.Stats.utilization);
-             ("max_pe_load", Json.Int st.Stats.max_pe_load);
-             ("min_pe_load", Json.Int st.Stats.min_pe_load);
-             ("peak_parallelism", Json.Int st.Stats.peak_parallelism);
-             ("wire_length", Json.Int st.Stats.wire_length);
-           ])
-    | Plain -> Format.printf "%a@." Stats.pp st
+           (obs_fields obs
+              [
+                ("algorithm", Json.Str name);
+                ("mu", Json.Int mu);
+                ("processors", Json.Int st.Stats.processors);
+                ("makespan", Json.Int st.Stats.makespan);
+                ("computations", Json.Int st.Stats.computations);
+                ("utilization", Json.Float st.Stats.utilization);
+                ("max_pe_load", Json.Int st.Stats.max_pe_load);
+                ("min_pe_load", Json.Int st.Stats.min_pe_load);
+                ("peak_parallelism", Json.Int st.Stats.peak_parallelism);
+                ("wire_length", Json.Int st.Stats.wire_length);
+              ]))
+    | Plain -> Format.printf "%a@." Stats.pp st);
+    obs_end obs fmt
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Array statistics of a mapping (PEs, utilization, wire length)")
-    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg $ format_arg)
+    Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg $ format_arg $ obs_term)
 
 (* ------------------------------- main ------------------------------ *)
 
 let () =
   let doc = "time-optimal conflict-free mappings of uniform dependence algorithms" in
-  let info = Cmd.info "shangfortes" ~version:"1.1.0" ~doc in
+  let info = Cmd.info "shangfortes" ~version:"1.2.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info

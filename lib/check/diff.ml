@@ -48,6 +48,7 @@ let check_finder inst ~oracle_free ~add path = function
     if not oracle_free then add path "claims conflict-free on a conflicting instance"
 
 let check_instance inst =
+  Obs.Trace.with_span "check.instance" @@ fun () ->
   let mu = inst.Instance.mu and t = inst.Instance.tmat in
   let oracle_free = Oracle.is_conflict_free inst in
   let out = ref [] in
@@ -117,6 +118,7 @@ let shrink_failure ?(index = -1) inst disagreements =
   }
 
 let run ?jobs ?(seed = 42) ?(count = 200) ?(size = 3) () =
+  Obs.Trace.with_span "check.diff.run" @@ fun () ->
   let pool = Engine.Pool.create ?jobs () in
   Engine.Cache.clear ();
   let suspects =

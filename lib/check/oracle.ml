@@ -7,6 +7,7 @@ let max_points = 1_000_000
 let check inst =
   if Instance.points inst > max_points then
     invalid_arg "Oracle.check: index set too large for brute force";
+  Obs.Trace.with_span "check.oracle" @@ fun () ->
   let index_set = Index_set.make inst.Instance.mu in
   (* Key every point by the string image of T j; the first collision in
      lexicographic order is returned, which keeps the oracle

@@ -29,6 +29,23 @@ let decided_by_name = function
    the lattice oracle is the affordable exact method. *)
 let box_volume_limit = 2_000_000
 
+let m_queries = Obs.Metrics.counter "analysis.queries"
+let m_closed_form = Obs.Metrics.counter "analysis.closed_form"
+let m_box_oracle = Obs.Metrics.counter "analysis.box_oracle"
+let m_budget_degraded = Obs.Metrics.counter "analysis.budget_degraded"
+let m_rank_deficient = Obs.Metrics.counter "analysis.rank_deficient_fallthrough"
+let h_check_ms = Obs.Metrics.histogram "analysis.check_ms"
+
+(* Rank-deficient mapping matrices have no closed-form answer: every
+   such query pays for an exact oracle.  Make that visible once. *)
+let note_rank_deficient () =
+  Obs.Metrics.incr m_rank_deficient;
+  ignore
+    (Obs.Warn.once "analysis.rank-deficient-oracle"
+       "rank-deficient mapping matrix: no closed-form theorem applies, \
+        paying exact-oracle cost (counted in \
+        analysis.rank_deficient_fallthrough)")
+
 let box_is_small mu =
   let v =
     Array.fold_left
@@ -46,7 +63,7 @@ let core ~budget ~mu t =
   if k >= n then begin
     let r = Intmat.rank t in
     if r = n then begin
-      Engine.Telemetry.incr_closed_form ();
+      Obs.Metrics.incr m_closed_form;
       (true, Theorem Theorems.Full_rank_square, None, r = k)
     end
     else begin
@@ -54,10 +71,11 @@ let core ~budget ~mu t =
          still all escape the box, so conflict-freedom needs an exact
          oracle (found by differential fuzzing; the old code reported
          a conflict from the rank alone). *)
+      note_rank_deficient ();
       Engine.Budget.charge_oracle budget;
       if box_is_small mu then begin
-        Engine.Telemetry.incr_box_oracle ();
-        let w = Conflict.find_conflict ~mu t in
+        Obs.Metrics.incr m_box_oracle;
+        let w = Obs.Trace.with_span "oracle.box" (fun () -> Conflict.find_conflict ~mu t) in
         (Option.is_none w, Theorem Theorems.Box_oracle, w, r = k)
       end
       else
@@ -66,7 +84,7 @@ let core ~budget ~mu t =
     end
   end
   else if k = n - 1 && Intmat.rank t = n - 1 then begin
-    Engine.Telemetry.incr_closed_form ();
+    Obs.Metrics.incr m_closed_form;
     match Conflict.single_conflict_vector t with
     | Some gamma ->
       let free = Conflict.is_feasible ~mu gamma in
@@ -80,36 +98,39 @@ let core ~budget ~mu t =
     let oracle () =
       Engine.Budget.charge_oracle budget;
       if box_is_small mu then begin
-        Engine.Telemetry.incr_box_oracle ();
-        let w = Conflict.find_conflict ~mu t in
+        Obs.Metrics.incr m_box_oracle;
+        let w = Obs.Trace.with_span "oracle.box" (fun () -> Conflict.find_conflict ~mu t) in
         (Option.is_none w, Theorem Theorems.Box_oracle, w, rank_ok)
       end
       else
         let w = Engine.Cache.find_conflict_lattice ~mu t in
         (Option.is_none w, Lattice_oracle, w, rank_ok)
     in
-    if not rank_ok then oracle ()
+    if not rank_ok then begin
+      note_rank_deficient ();
+      oracle ()
+    end
     else begin
       let kernel_cols = List.init (n - rank) (fun c -> Intmat.col hnf.Hnf.u (rank + c)) in
       match List.find_opt (fun c -> not (Conflict.is_feasible ~mu c)) kernel_cols with
       | Some bad ->
         (* Theorem 4.4 rejected: the kernel column itself is a conflict
            vector inside the box. *)
-        Engine.Telemetry.incr_closed_form ();
+        Obs.Metrics.incr m_closed_form;
         (false, Theorem Theorems.Column_infeasible, Some (Intvec.normalize_sign bad), rank_ok)
       | None ->
         let inp = { Theorems.hnf; mu } in
         let codim = n - rank in
         if codim = 2 && Theorems.nec_suff_n_minus_2 inp then begin
-          Engine.Telemetry.incr_closed_form ();
+          Obs.Metrics.incr m_closed_form;
           (true, Theorem Theorems.Hermite_n_minus_2, None, rank_ok)
         end
         else if codim = 3 && Theorems.corrected_sufficient_n_minus_3 inp then begin
-          Engine.Telemetry.incr_closed_form ();
+          Obs.Metrics.incr m_closed_form;
           (true, Theorem Theorems.Hermite_n_minus_3, None, rank_ok)
         end
         else if codim > 3 && Theorems.sufficient_cond4 inp then begin
-          Engine.Telemetry.incr_closed_form ();
+          Obs.Metrics.incr m_closed_form;
           (true, Theorem Theorems.Gcd_sufficient, None, rank_ok)
         end
         else oracle ()
@@ -121,15 +142,18 @@ let verdict_table : (bool * decided_by * Intvec.t option * bool) Engine.Cache.ta
 
 let check ?(budget = Engine.Budget.unlimited) ~mu t =
   if Array.length mu <> Intmat.cols t then invalid_arg "Analysis.check: arity mismatch";
-  Engine.Telemetry.incr_queries ();
+  Obs.Metrics.incr m_queries;
+  Obs.Trace.with_span "analysis.check" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let finish (free, how, wit, rank_ok) exactness =
+    let timing = Unix.gettimeofday () -. t0 in
+    Obs.Metrics.observe h_check_ms (1000. *. timing);
     {
       conflict_free = free;
       full_rank = rank_ok;
       decided_by = how;
       witness = wit;
-      timing = Unix.gettimeofday () -. t0;
+      timing;
       exactness;
     }
   in
@@ -138,6 +162,7 @@ let check ?(budget = Engine.Budget.unlimited) ~mu t =
        oracle entirely; one lattice-oracle call (itself cached) settles
        the query, reported as bounded.  Bounded verdicts are never
        written to the verdict cache. *)
+    Obs.Metrics.incr m_budget_degraded;
     Engine.Budget.charge_oracle budget;
     let w = Engine.Cache.find_conflict_lattice ~mu t in
     let rank_ok = (Engine.Cache.hnf t).Hnf.rank = Intmat.rows t in

@@ -14,7 +14,13 @@
     - {e budgets}: under an expired {!Engine.Budget} the exact box
       oracle is replaced by the lattice oracle and the verdict is
       reported with [exactness = Bounded] instead of blocking;
-    - {e telemetry}: every call feeds {!Engine.Telemetry}. *)
+    - {e observability}: every call bumps the [analysis.*] counters of
+      {!Obs.Metrics}, feeds the [analysis.check_ms] histogram and opens
+      an [analysis.check] trace span (see [docs/SCHEMA.md] for the
+      full catalogue).  Rank-deficient inputs — which skip every
+      closed-form theorem and pay for an exact oracle — additionally
+      bump [analysis.rank_deficient_fallthrough] and warn once on
+      stderr. *)
 
 type exactness =
   | Exact    (** Decided by a sound condition or an exact oracle. *)

@@ -1,97 +1,3 @@
-module Telemetry = struct
-  type snapshot = {
-    queries : int;
-    closed_form : int;
-    box_oracle : int;
-    lattice_oracle : int;
-    cache_hits : int;
-    cache_misses : int;
-    max_domains : int;
-    phases : (string * float * int) list;
-  }
-
-  let queries = Atomic.make 0
-  let closed_form = Atomic.make 0
-  let box_oracle = Atomic.make 0
-  let lattice_oracle = Atomic.make 0
-  let cache_hits = Atomic.make 0
-  let cache_misses = Atomic.make 0
-  let max_domains = Atomic.make 1
-
-  let phase_lock = Mutex.create ()
-  let phases : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 8
-
-  let reset () =
-    List.iter
-      (fun c -> Atomic.set c 0)
-      [ queries; closed_form; box_oracle; lattice_oracle; cache_hits; cache_misses ];
-    Atomic.set max_domains 1;
-    Mutex.lock phase_lock;
-    Hashtbl.reset phases;
-    Mutex.unlock phase_lock
-
-  let incr_queries () = Atomic.incr queries
-  let incr_closed_form () = Atomic.incr closed_form
-  let incr_box_oracle () = Atomic.incr box_oracle
-  let incr_lattice_oracle () = Atomic.incr lattice_oracle
-  let incr_cache_hits () = Atomic.incr cache_hits
-  let incr_cache_misses () = Atomic.incr cache_misses
-
-  let note_domains n =
-    let rec bump () =
-      let cur = Atomic.get max_domains in
-      if n > cur && not (Atomic.compare_and_set max_domains cur n) then bump ()
-    in
-    bump ()
-
-  let time label f =
-    let t0 = Unix.gettimeofday () in
-    let charge () =
-      let dt = Unix.gettimeofday () -. t0 in
-      Mutex.lock phase_lock;
-      (match Hashtbl.find_opt phases label with
-      | Some (total, count) ->
-        total := !total +. dt;
-        incr count
-      | None -> Hashtbl.add phases label (ref dt, ref 1));
-      Mutex.unlock phase_lock
-    in
-    match f () with
-    | v ->
-      charge ();
-      v
-    | exception e ->
-      charge ();
-      raise e
-
-  let snapshot () =
-    Mutex.lock phase_lock;
-    let ph =
-      Hashtbl.fold (fun label (total, count) acc -> (label, !total, !count) :: acc) phases []
-    in
-    Mutex.unlock phase_lock;
-    {
-      queries = Atomic.get queries;
-      closed_form = Atomic.get closed_form;
-      box_oracle = Atomic.get box_oracle;
-      lattice_oracle = Atomic.get lattice_oracle;
-      cache_hits = Atomic.get cache_hits;
-      cache_misses = Atomic.get cache_misses;
-      max_domains = Atomic.get max_domains;
-      phases = List.sort compare ph;
-    }
-
-  let pp ppf s =
-    Format.fprintf ppf
-      "queries=%d decisions: closed-form=%d box-oracle=%d lattice-oracle=%d@ cache: hits=%d misses=%d@ domains=%d"
-      s.queries s.closed_form s.box_oracle s.lattice_oracle s.cache_hits s.cache_misses
-      s.max_domains;
-    List.iter
-      (fun (label, total, count) ->
-        Format.fprintf ppf "@ phase %s: %.3f ms (%d)" label (1000. *. total) count)
-      s.phases
-end
-
 module Budget = struct
   type t = {
     deadline : float option; (* absolute wall-clock seconds *)
@@ -149,6 +55,8 @@ module Cache = struct
     lock : Mutex.t;
     hits : int Atomic.t;
     misses : int Atomic.t;
+    hits_metric : Obs.Metrics.counter;
+    misses_metric : Obs.Metrics.counter;
   }
 
   type stats = { hits : int; misses : int; entries : int }
@@ -159,9 +67,16 @@ module Cache = struct
   let clearers : (unit -> unit) list ref = ref []
   let registry_lock = Mutex.create ()
 
-  let create_table (_name : string) =
+  let create_table name =
     let t =
-      { tbl = H.create 256; lock = Mutex.create (); hits = Atomic.make 0; misses = Atomic.make 0 }
+      {
+        tbl = H.create 256;
+        lock = Mutex.create ();
+        hits = Atomic.make 0;
+        misses = Atomic.make 0;
+        hits_metric = Obs.Metrics.counter ("cache." ^ name ^ ".hits");
+        misses_metric = Obs.Metrics.counter ("cache." ^ name ^ ".misses");
+      }
     in
     Mutex.lock registry_lock;
     registry :=
@@ -188,12 +103,12 @@ module Cache = struct
     | Some v ->
       Mutex.unlock t.lock;
       Atomic.incr t.hits;
-      Telemetry.incr_cache_hits ();
+      Obs.Metrics.incr t.hits_metric;
       v
     | None ->
       Mutex.unlock t.lock;
       Atomic.incr t.misses;
-      Telemetry.incr_cache_misses ();
+      Obs.Metrics.incr t.misses_metric;
       (* Compute outside the lock: a racing domain may duplicate the
          work, but never blocks behind it. *)
       let v = compute () in
@@ -238,8 +153,9 @@ module Cache = struct
        collide. *)
     let key = Intmat.append_row t (Intvec.of_int_array mu) in
     memo lattice_table key (fun () ->
-        Telemetry.incr_lattice_oracle ();
-        Conflict.find_conflict_lattice ~mu t)
+        Obs.Metrics.incr (Obs.Metrics.counter "analysis.lattice_oracle");
+        Obs.Trace.with_span "oracle.lattice" (fun () ->
+            Conflict.find_conflict_lattice ~mu t))
 end
 
 module Pool = struct
@@ -265,18 +181,24 @@ module Pool = struct
       let n = Array.length arr in
       let out = Array.make n None in
       let next = Atomic.make 0 in
+      (* Spans opened by workers re-parent under the span open at the
+         [map] call, so a trace shows the fan-out as one subtree. *)
+      let parent = Obs.Trace.current () in
       let worker () =
-        let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            out.(i) <- Some (f arr.(i));
-            loop ()
-          end
-        in
-        loop ()
+        Obs.Trace.with_parent parent (fun () ->
+            let rec loop () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < n then begin
+                out.(i) <- Some (f arr.(i));
+                loop ()
+              end
+            in
+            loop ())
       in
       let spawned = min (t.jobs - 1) (n - 1) in
-      Telemetry.note_domains (spawned + 1);
+      Obs.Metrics.set_gauge_max
+        (Obs.Metrics.gauge "pool.max_domains")
+        (float_of_int (spawned + 1));
       let domains = List.init spawned (fun _ -> Domain.spawn worker) in
       (* Always join every domain, even when a worker raises; the first
          exception (caller's first, then spawn order) is re-raised. *)

@@ -1,46 +1,14 @@
 (** Execution substrate for mapping-search queries: a domain-based
-    worker pool, content-addressed memo tables over {!Intmat.t},
-    per-query deadlines/budgets, and monotonic telemetry.
+    worker pool, content-addressed memo tables over {!Intmat.t}, and
+    per-query deadlines/budgets.
 
     The modules here carry no mapping theory of their own — they make
     the scans of {!Analysis} and {!Search} parallel, cached and
     observable without changing their answers (the caches key on the
     full matrix content, and the pool merges results in deterministic
-    input order). *)
-
-(** Monotonic counters and wall-clock phase timers.  All counters are
-    global, atomic and only ever increase between {!Telemetry.reset}s;
-    safe to bump from any domain. *)
-module Telemetry : sig
-  type snapshot = {
-    queries : int;             (** {!Analysis.check} calls. *)
-    closed_form : int;         (** Decisions by a paper theorem. *)
-    box_oracle : int;          (** Exact box-oracle invocations. *)
-    lattice_oracle : int;      (** LLL-lattice oracle invocations. *)
-    cache_hits : int;
-    cache_misses : int;
-    max_domains : int;         (** Widest pool observed since reset. *)
-    phases : (string * float * int) list;
-    (** [(label, total_seconds, entries)] per {!time} label, sorted. *)
-  }
-
-  val reset : unit -> unit
-  val snapshot : unit -> snapshot
-
-  val incr_queries : unit -> unit
-  val incr_closed_form : unit -> unit
-  val incr_box_oracle : unit -> unit
-  val incr_lattice_oracle : unit -> unit
-  val incr_cache_hits : unit -> unit
-  val incr_cache_misses : unit -> unit
-  val note_domains : int -> unit
-
-  val time : string -> (unit -> 'a) -> 'a
-  (** [time label f] runs [f] and adds its wall-clock duration to the
-      accumulator for [label] (exceptions still charge the timer). *)
-
-  val pp : Format.formatter -> snapshot -> unit
-end
+    input order).  Observability — counters, span timing, pool-width
+    gauges — goes through {!Obs}; the emitted names are catalogued in
+    [docs/SCHEMA.md]. *)
 
 (** Per-query deadlines and work budgets.  A budget never aborts a
     query: callers poll {!pressed} and degrade gracefully (e.g.
@@ -70,12 +38,14 @@ end
     Keys are full matrices compared with {!Intmat.equal} and hashed
     entry-by-entry, so structurally equal matrices built by different
     scans share one entry.  Tables are domain-safe (mutex-protected);
-    hit/miss counts feed {!Telemetry}. *)
+    hit/miss counts feed the [cache.<name>.hits] / [cache.<name>.misses]
+    counters of {!Obs.Metrics}. *)
 module Cache : sig
   type 'v table
 
   val create_table : string -> 'v table
-  (** A fresh matrix-keyed table registered for {!stats}/{!clear}. *)
+  (** A fresh matrix-keyed table registered for {!stats}/{!clear}; the
+      name keys its hit/miss counters in {!Obs.Metrics}. *)
 
   val memo : 'v table -> Intmat.t -> (unit -> 'v) -> 'v
   (** [memo tbl key compute] returns the cached value for [key] or runs
@@ -115,5 +85,8 @@ module Pool : sig
   val map : t -> ('a -> 'b) -> 'a list -> 'b list
   (** Order-preserving parallel map.  Work is distributed by atomic
       index stealing across [jobs - 1] spawned domains plus the calling
-      domain; with [jobs = 1] this is [List.map]. *)
+      domain; with [jobs = 1] this is [List.map].  Trace spans opened
+      by [f] on worker domains are re-parented under the span that was
+      open at the [map] call (see {!Obs.Trace.with_parent}), and the
+      widest pool observed feeds the [pool.max_domains] gauge. *)
 end

@@ -5,6 +5,7 @@ let get_pool = function
 (* The engine's mapping-matrix screen: rank condition plus
    conflict-freedom, answered by the memoized Analysis front door. *)
 let valid_screen ?budget ~mu t =
+  Obs.Trace.with_span "search.screen" @@ fun () ->
   let v = Analysis.check ?budget ~mu t in
   v.Analysis.full_rank && v.Analysis.conflict_free
 
@@ -17,7 +18,7 @@ let all_optimal_schedules ?pool ?budget ?max_objective (alg : Algorithm.t) ~s =
     | Some m -> m
     | None -> Procedure51.default_max_objective mu
   in
-  Engine.Telemetry.time "schedule-scan" @@ fun () ->
+  Obs.Trace.with_span "search.schedule-scan" @@ fun () ->
   let screen pi =
     Schedule.respects pi d && valid_screen ?budget ~mu (Intmat.append_row s pi)
   in
@@ -27,13 +28,16 @@ let all_optimal_schedules ?pool ?budget ?max_objective (alg : Algorithm.t) ~s =
   let rec by_cost cost =
     if cost > max_objective then []
     else begin
-      let cands = Procedure51.candidates_at_cost ~mu cost in
-      let flags = Engine.Pool.map pool screen cands in
-      match
+      let winners =
+        Obs.Trace.with_span ~args:[ ("cost", string_of_int cost) ] "search.level"
+        @@ fun () ->
+        let cands = Procedure51.candidates_at_cost ~mu cost in
+        let flags = Engine.Pool.map pool screen cands in
         List.filter_map
           (fun (pi, ok) -> if ok then Some pi else None)
           (List.combine cands flags)
-      with
+      in
+      match winners with
       | [] -> by_cost (cost + 1)
       | winners -> winners
     end
@@ -67,7 +71,7 @@ let pareto_front ?pool ?budget ?entry_bound ?(time_slack = 8)
   let d = alg.Algorithm.dependences in
   let max_objective = Procedure51.default_max_objective mu in
   let valid t = valid_screen ?budget ~mu t in
-  Engine.Telemetry.time "space-scan" @@ fun () ->
+  Obs.Trace.with_span "search.space-scan" @@ fun () ->
   (* One pool task per schedule candidate: the whole space-family scan
      for that Pi, with the cached oracle plugged into Space_opt. *)
   let eval pi =
@@ -76,6 +80,8 @@ let pareto_front ?pool ?budget ?entry_bound ?(time_slack = 8)
     | None -> None
   in
   let level cost =
+    Obs.Trace.with_span ~args:[ ("cost", string_of_int cost) ] "search.level"
+    @@ fun () ->
     let cands =
       List.filter (fun pi -> Schedule.respects pi d) (Procedure51.candidates_at_cost ~mu cost)
     in

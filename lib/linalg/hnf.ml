@@ -128,6 +128,7 @@ let clear_row_gcdext h u v ~i ~p n =
   end
 
 let compute ?(strategy = Min_abs) ?(reduce = true) t =
+  Obs.Trace.with_span "hnf.compute" @@ fun () ->
   let k = Intmat.rows t and n = Intmat.cols t in
   let h = Intmat.copy t in
   let u = Intmat.identity n in

@@ -43,6 +43,7 @@ let default_delta = Qnum.of_ints 3 4
 
 let reduce ?(delta = default_delta) basis =
   if basis = [] then invalid_arg "Lll.reduce: empty basis";
+  Obs.Trace.with_span "lll.reduce" @@ fun () ->
   let b = Array.of_list (List.map Array.copy basis) in
   let m = Array.length b in
   let size_reduce mu k =

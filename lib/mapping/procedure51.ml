@@ -60,6 +60,7 @@ let minimal_schedule ?max_objective (alg : Algorithm.t) =
 
 let optimize ?(check = Theorem) ?valid ?p ?(require_routing = false) ?max_objective
     (alg : Algorithm.t) ~s =
+  Obs.Trace.with_span "p51.optimize" @@ fun () ->
   let mu = Index_set.bounds alg.Algorithm.index_set in
   let d = alg.Algorithm.dependences in
   let k = Intmat.rows s + 1 in
@@ -71,6 +72,7 @@ let optimize ?(check = Theorem) ?valid ?p ?(require_routing = false) ?max_object
     | Some f -> f
     | None ->
       fun t ->
+        Obs.Trace.with_span "p51.screen" @@ fun () ->
         Intmat.rank t = k
         &&
         (match check with
@@ -78,8 +80,10 @@ let optimize ?(check = Theorem) ?valid ?p ?(require_routing = false) ?max_object
         | Theorem -> fst (Theorems.decide ~mu t))
   in
   let tried = ref 0 in
+  let candidates_metric = Obs.Metrics.counter "p51.candidates" in
   let attempt pi =
     incr tried;
+    Obs.Metrics.incr candidates_metric;
     if not (Schedule.respects pi d) then None
     else begin
       let tm = Tmap.make ~s ~pi in

@@ -41,6 +41,7 @@ let rec choose k lst =
 
 let optimize ?(entry_bound = 1) ?(objective = Processors_plus_wire) ?valid
     (alg : Algorithm.t) ~pi ~k =
+  Obs.Trace.with_span "space_opt.optimize" @@ fun () ->
   let n = Algorithm.dim alg in
   let d = alg.Algorithm.dependences in
   let m = Algorithm.num_dependences alg in

@@ -195,16 +195,29 @@ type method_used =
   | Gcd_sufficient
   | Box_oracle
 
+(* Rank-deficient inputs skip the whole closed-form cascade and pay
+   for an exact oracle; count them and say so once on stderr. *)
+let note_rank_deficient () =
+  Obs.Metrics.incr (Obs.Metrics.counter "theorems.rank_deficient_fallthrough");
+  ignore
+    (Obs.Warn.once "theorems.rank-deficient-oracle"
+       "rank-deficient mapping matrix in Theorems.decide: no closed-form \
+        theorem applies, paying exact-oracle cost (counted in \
+        theorems.rank_deficient_fallthrough)")
+
 let decide ~mu t =
+  Obs.Trace.with_span "theorems.decide" @@ fun () ->
   let n = Intmat.cols t and k = Intmat.rows t in
   if k >= n then
     if Intmat.rank t = n then (true, Full_rank_square)
-    else
+    else begin
       (* Rank deficiency only makes the kernel nontrivial; its vectors
          can still all escape the box [|gamma_i| <= mu_i], so the
          bounded verdict needs the oracle (found by differential
          fuzzing, see test/corpus/square-rank-deficient-free.case). *)
+      note_rank_deficient ();
       (Conflict.is_conflict_free ~mu t, Box_oracle)
+    end
   else if k = n - 1 && Intmat.rank t = n - 1 then
     match Conflict.single_conflict_vector t with
     | Some gamma -> (Conflict.is_feasible ~mu gamma, Adjugate_form)
@@ -212,7 +225,10 @@ let decide ~mu t =
   else begin
     let inp = make_input ~mu t in
     let _, rank = dims inp in
-    if rank <> Intmat.rows t then (Conflict.is_conflict_free ~mu t, Box_oracle)
+    if rank <> Intmat.rows t then begin
+      note_rank_deficient ();
+      (Conflict.is_conflict_free ~mu t, Box_oracle)
+    end
     else if not (necessary_cond3 inp) then (false, Column_infeasible)
     else if n - rank = 2 && nec_suff_n_minus_2 inp then (true, Hermite_n_minus_2)
     else if n - rank = 3 && corrected_sufficient_n_minus_3 inp then

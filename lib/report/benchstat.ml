@@ -1,0 +1,104 @@
+type change = {
+  path : string;
+  baseline : float;
+  current : float;
+  delta_pct : float;
+}
+
+type report = {
+  regressions : change list;
+  improvements : change list;
+  missing : string list;
+  added : string list;
+}
+
+(* Keep only leaves whose path names a timing: the schemas use "ms",
+   "ns_per_run", "_ms" and "_ns" suffixes for every duration field. *)
+let timing_key path =
+  let last =
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+  in
+  let ends_with suf = String.length last >= String.length suf
+    && String.sub last (String.length last - String.length suf) (String.length suf) = suf
+  in
+  last = "ms" || last = "ns_per_run" || ends_with "_ms" || ends_with "_ns"
+
+let flatten json =
+  let out = ref [] in
+  let join prefix key = if prefix = "" then key else prefix ^ "." ^ key in
+  let rec go prefix = function
+    | Json.Int i ->
+      if timing_key prefix then out := (prefix, float_of_int i) :: !out
+    | Json.Float f -> if timing_key prefix then out := (prefix, f) :: !out
+    | Json.Obj fields -> List.iter (fun (k, v) -> go (join prefix k) v) fields
+    | Json.Arr items ->
+      List.iteri
+        (fun i item ->
+          let key =
+            match Json.member "name" item with
+            | Some (Json.Str n) -> "{" ^ n ^ "}"
+            | _ -> string_of_int i
+          in
+          go (join prefix key) item)
+        items
+    | Json.Null | Json.Bool _ | Json.Str _ -> ()
+  in
+  go "" json;
+  List.rev !out
+
+let compare_runs ~threshold_pct ~baseline ~current =
+  let base = flatten baseline in
+  let cur = flatten current in
+  let cur_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace cur_tbl k v) cur;
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace base_tbl k v) base;
+  let regressions = ref [] in
+  let improvements = ref [] in
+  let missing = ref [] in
+  List.iter
+    (fun (path, b) ->
+      match Hashtbl.find_opt cur_tbl path with
+      | None -> missing := path :: !missing
+      | Some c ->
+        if b > 0. then begin
+          let delta_pct = 100. *. (c -. b) /. b in
+          let change = { path; baseline = b; current = c; delta_pct } in
+          if delta_pct > threshold_pct then regressions := change :: !regressions
+          else if delta_pct < -.threshold_pct then
+            improvements := change :: !improvements
+        end)
+    base;
+  let added =
+    List.filter_map
+      (fun (path, _) -> if Hashtbl.mem base_tbl path then None else Some path)
+      cur
+  in
+  {
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+    missing = List.rev !missing;
+    added;
+  }
+
+let pp_change ppf c =
+  Format.fprintf ppf "%s: %.3f -> %.3f (%+.1f%%)" c.path c.baseline c.current
+    c.delta_pct
+
+let pp ppf r =
+  let section title items pp_item =
+    if items <> [] then begin
+      Format.fprintf ppf "%s:@," title;
+      List.iter (fun it -> Format.fprintf ppf "  %a@," pp_item it) items
+    end
+  in
+  Format.pp_open_vbox ppf 0;
+  section "regressions" r.regressions pp_change;
+  section "improvements" r.improvements pp_change;
+  section "missing in current" r.missing Format.pp_print_string;
+  section "new in current" r.added Format.pp_print_string;
+  if r.regressions = [] && r.improvements = [] && r.missing = [] && r.added = []
+  then Format.fprintf ppf "no timing changes beyond threshold@,";
+  Format.pp_close_box ppf ()

@@ -1,0 +1,33 @@
+(** Comparison of two [BENCH_*.json] documents for [bench diff].
+
+    Both documents are flattened to [(path, value)] timing leaves:
+    object fields join with ["."], array elements key by their ["name"]
+    field as [{name}] (falling back to the index), and only leaves
+    whose final path segment looks like a duration ([ms],
+    [ns_per_run], [*_ms], [*_ns]) are kept — counters and metadata
+    never flag a regression.  See [docs/SCHEMA.md] for the document
+    format. *)
+
+type change = {
+  path : string;    (** Flattened dotted path of the timing leaf. *)
+  baseline : float;
+  current : float;
+  delta_pct : float;  (** [100 * (current - baseline) / baseline]. *)
+}
+
+type report = {
+  regressions : change list;   (** Slower than baseline beyond threshold. *)
+  improvements : change list;  (** Faster than baseline beyond threshold. *)
+  missing : string list;       (** Timing paths present only in baseline. *)
+  added : string list;         (** Timing paths present only in current. *)
+}
+
+val compare_runs :
+  threshold_pct:float -> baseline:Json.t -> current:Json.t -> report
+(** Flags a change when [|delta_pct| > threshold_pct].  Leaves with a
+    non-positive baseline value are ignored (a percentage is
+    meaningless there). *)
+
+val pp : Format.formatter -> report -> unit
+(** Sectioned human-readable rendering; prints a one-line "no changes"
+    note when the report is entirely empty. *)

@@ -1,10 +1,11 @@
-(** Minimal JSON emitter for the machine-consumable CLI output.
+(** Minimal JSON support for the machine-consumable CLI output.
 
-    Only what the reports need: construction and compact serialization
-    with correct string escaping.  Documents are versioned — every
-    top-level object produced by {!versioned} carries
-    ["schema_version": ]{!schema_version} so consumers can detect
-    incompatible changes.  Schema v1 is documented in the README. *)
+    Construction, compact serialization with correct string escaping,
+    and a small strict parser (used by [bench diff] and the tests).
+    Documents are versioned — every top-level object produced by
+    {!versioned} carries ["schema_version": ]{!schema_version} so
+    consumers can detect incompatible changes.  The full contract is
+    documented in [docs/SCHEMA.md]. *)
 
 type t =
   | Null
@@ -16,7 +17,10 @@ type t =
   | Obj of (string * t) list
 
 val schema_version : int
-(** Current CLI output schema: 1. *)
+(** Current CLI output schema: 2.  v2 replaced the [telemetry] field of
+    the [search] report with a [metrics] object and added the optional
+    [spans] field behind [--trace]; see [docs/SCHEMA.md] for the
+    v1 → v2 migration notes. *)
 
 val versioned : command:string -> (string * t) list -> t
 (** [versioned ~command fields] is [Obj] with ["schema_version"] and
@@ -35,3 +39,17 @@ val option : ('a -> t) -> 'a option -> t
 
 val ints : int list -> t
 (** An array of integers. *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset of JSON this module emits (which is
+    plain RFC 8259 minus surrogate-pair recombination in [\u] escapes).
+    Numbers without [.]/[e] become [Int], others [Float].  Rejects
+    trailing content after the document; errors carry a byte offset. *)
+
+val parse_file : string -> (t, string) result
+(** [parse] applied to a file's contents; I/O errors are reported as
+    [Error] rather than raised. *)
+
+val member : string -> t -> t option
+(** [member key json] is the field named [key] when [json] is an
+    [Obj] containing one, [None] otherwise. *)

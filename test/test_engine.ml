@@ -1,6 +1,6 @@
 (* Tests for the engine subsystem: worker pool determinism, the memo
-   cache, budgets, telemetry, and the parallel search agreeing with
-   the sequential reference. *)
+   cache, budgets, the Obs metrics the engine emits, and the parallel
+   search agreeing with the sequential reference. *)
 
 let mu3 = [| 4; 4; 4 |]
 
@@ -216,45 +216,67 @@ let test_budgeted_search_still_correct () =
     (to_ints_l (Enumerate.all_optimal_schedules alg ~s:Matmul.paper_s))
     (to_ints_l (Search.all_optimal_schedules ~pool ~budget alg ~s:Matmul.paper_s))
 
-(* ---------------------------- telemetry ---------------------------- *)
+(* --------------------------- observability ------------------------- *)
 
-let test_telemetry_counters () =
-  Engine.Telemetry.reset ();
+(* Sum of [cache.<name>.hits] (resp. [.misses]) over every registered
+   cache table. *)
+let cache_total snap suffix =
+  List.fold_left
+    (fun acc (name, v) ->
+      if
+        String.length name > 6
+        && String.sub name 0 6 = "cache."
+        && String.ends_with ~suffix name
+      then acc + v
+      else acc)
+    0 snap.Obs.Metrics.counters
+
+let test_metrics_counters () =
+  Obs.Metrics.reset ();
   Engine.Cache.clear ();
   let alg = Matmul.algorithm ~mu:3 in
   let pool = Engine.Pool.create ~jobs:2 () in
   ignore (Search.all_optimal_schedules ~pool alg ~s:Matmul.paper_s);
-  let s = Engine.Telemetry.snapshot () in
-  Alcotest.(check bool) "queries counted" true (s.Engine.Telemetry.queries > 0);
+  let s = Obs.Metrics.snapshot () in
+  let c name = Obs.Metrics.counter_value s name in
+  Alcotest.(check bool) "queries counted" true (c "analysis.queries" > 0);
   Alcotest.(check bool) "some decision path counted" true
-    (s.Engine.Telemetry.closed_form + s.Engine.Telemetry.box_oracle
-     + s.Engine.Telemetry.lattice_oracle
-    > 0);
-  Alcotest.(check bool) "pool width observed" true (s.Engine.Telemetry.max_domains >= 2);
-  Alcotest.(check bool) "phase timer recorded" true
-    (List.exists (fun (label, _, n) -> label = "schedule-scan" && n >= 1) s.Engine.Telemetry.phases);
+    (c "analysis.closed_form" + c "analysis.box_oracle" + c "analysis.lattice_oracle" > 0);
+  Alcotest.(check bool) "pool width observed" true
+    (match List.assoc_opt "pool.max_domains" s.Obs.Metrics.gauges with
+    | Some w -> w >= 2.
+    | None -> false);
+  Alcotest.(check bool) "check latency histogram fed" true
+    (match List.assoc_opt "analysis.check_ms" s.Obs.Metrics.histograms with
+    | Some h -> h.Obs.Metrics.count >= c "analysis.queries"
+    | None -> false);
   (* Counters are monotonic between resets... *)
   ignore (Analysis.check ~mu:mu3 (Intmat.append_row Matmul.paper_s (Intvec.of_ints [ 1; 4; 1 ])));
-  let s' = Engine.Telemetry.snapshot () in
-  Alcotest.(check bool) "monotonic" true (s'.Engine.Telemetry.queries > s.Engine.Telemetry.queries);
-  (* ...and reset zeroes them. *)
-  Engine.Telemetry.reset ();
-  let z = Engine.Telemetry.snapshot () in
-  Alcotest.(check int) "reset queries" 0 z.Engine.Telemetry.queries;
-  Alcotest.(check int) "reset hits" 0 z.Engine.Telemetry.cache_hits;
-  Alcotest.(check (list pass)) "reset phases" [] z.Engine.Telemetry.phases
+  let s' = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "monotonic" true
+    (Obs.Metrics.counter_value s' "analysis.queries" > c "analysis.queries");
+  (* ...and reset zeroes them without unregistering. *)
+  Obs.Metrics.reset ();
+  let z = Obs.Metrics.snapshot () in
+  Alcotest.(check int) "reset queries" 0 (Obs.Metrics.counter_value z "analysis.queries");
+  Alcotest.(check int) "reset hits" 0 (cache_total z ".hits");
+  Alcotest.(check bool) "registration survives reset" true
+    (List.mem_assoc "analysis.queries" z.Obs.Metrics.counters)
 
-let test_telemetry_cache_hits_observed () =
-  Engine.Telemetry.reset ();
+let test_metrics_cache_hits_observed () =
+  Obs.Metrics.reset ();
   Engine.Cache.clear ();
   let alg = Matmul.algorithm ~mu:3 in
   let pool = Engine.Pool.create ~jobs:1 () in
   ignore (Search.all_optimal_schedules ~pool alg ~s:Matmul.paper_s);
   ignore (Search.all_optimal_schedules ~pool alg ~s:Matmul.paper_s);
-  let s = Engine.Telemetry.snapshot () in
-  Alcotest.(check bool) "warm pass hits" true (s.Engine.Telemetry.cache_hits > 0);
-  Alcotest.(check bool) "hits bounded by queries" true
-    (s.Engine.Telemetry.cache_hits <= s.Engine.Telemetry.queries)
+  let s = Obs.Metrics.snapshot () in
+  let hits = cache_total s ".hits" and misses = cache_total s ".misses" in
+  Alcotest.(check bool) "warm pass hits" true (hits > 0);
+  (* The Obs counters must agree with the cache's own accounting. *)
+  let stats = Engine.Cache.stats () in
+  Alcotest.(check int) "hits agree with Cache.stats" stats.Engine.Cache.hits hits;
+  Alcotest.(check int) "misses agree with Cache.stats" stats.Engine.Cache.misses misses
 
 let suite =
   [
@@ -277,6 +299,6 @@ let suite =
     Alcotest.test_case "budget unlimited exact" `Quick test_budget_unlimited_exact;
     Alcotest.test_case "budget oracle cap" `Quick test_budget_oracle_cap;
     Alcotest.test_case "budgeted search correct" `Quick test_budgeted_search_still_correct;
-    Alcotest.test_case "telemetry counters" `Quick test_telemetry_counters;
-    Alcotest.test_case "telemetry cache hits" `Quick test_telemetry_cache_hits_observed;
+    Alcotest.test_case "engine metrics counters" `Quick test_metrics_counters;
+    Alcotest.test_case "engine cache metrics" `Quick test_metrics_cache_hits_observed;
   ]

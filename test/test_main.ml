@@ -19,6 +19,7 @@ let () =
       ("frontend", Test_frontend.suite);
       ("enumerate", Test_enumerate.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
       ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);
       ("edge-cases", Test_edge.suite);

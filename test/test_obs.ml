@@ -1,0 +1,323 @@
+(* Tests for the observability layer: trace-span collection and
+   nesting (including across Engine.Pool domains), the metrics
+   registry, the JSON parser that bench diff relies on, the exporters,
+   and the Benchstat regression detector. *)
+
+(* Every trace test owns the global collector; run them with a fresh
+   session and leave tracing off afterwards so unrelated tests are not
+   recorded. *)
+let with_tracing f =
+  Obs.Trace.enable ();
+  Fun.protect ~finally:(fun () -> Obs.Trace.disable ()) f
+
+let span_names spans = List.map (fun s -> s.Obs.Trace.name) spans
+
+(* ------------------------------ spans ------------------------------ *)
+
+let test_spans_disabled_noop () =
+  Obs.Trace.disable ();
+  Obs.Trace.clear ();
+  Alcotest.(check int) "thunk result" 7 (Obs.Trace.with_span "off" (fun () -> 7));
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Trace.spans ()));
+  Alcotest.(check (option int)) "no current span" None (Obs.Trace.current ())
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      Obs.Trace.with_span "outer" (fun () ->
+          Obs.Trace.with_span "mid" (fun () ->
+              Obs.Trace.with_span "inner" (fun () -> ()));
+          Obs.Trace.with_span "sibling" (fun () -> ())));
+  let spans = Obs.Trace.spans () in
+  Alcotest.(check (list string))
+    "completion order" [ "inner"; "mid"; "sibling"; "outer" ] (span_names spans);
+  let by_name n = List.find (fun s -> s.Obs.Trace.name = n) spans in
+  let outer = by_name "outer" in
+  Alcotest.(check (option int)) "outer is a root" None outer.Obs.Trace.parent;
+  Alcotest.(check (option int))
+    "mid under outer"
+    (Some outer.Obs.Trace.id)
+    (by_name "mid").Obs.Trace.parent;
+  Alcotest.(check (option int))
+    "inner under mid"
+    (Some (by_name "mid").Obs.Trace.id)
+    (by_name "inner").Obs.Trace.parent;
+  Alcotest.(check (option int))
+    "sibling under outer"
+    (Some outer.Obs.Trace.id)
+    (by_name "sibling").Obs.Trace.parent
+
+let test_span_exception_closes () =
+  with_tracing (fun () ->
+      (try Obs.Trace.with_span "raiser" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      (* The raising span must have been popped: the next span is a
+         root, not a child of "raiser". *)
+      Obs.Trace.with_span "after" (fun () -> ()));
+  let spans = Obs.Trace.spans () in
+  Alcotest.(check (list string)) "both recorded" [ "raiser"; "after" ] (span_names spans);
+  List.iter
+    (fun s -> Alcotest.(check (option int)) (s.Obs.Trace.name ^ " is a root") None s.Obs.Trace.parent)
+    spans
+
+(* Orphan check: every non-root parent id must itself be a recorded
+   span — a trace with orphans renders as disconnected fragments. *)
+let check_no_orphans spans =
+  let ids = List.map (fun s -> s.Obs.Trace.id) spans in
+  List.iter
+    (fun s ->
+      match s.Obs.Trace.parent with
+      | None -> ()
+      | Some p ->
+        Alcotest.(check bool)
+          (Printf.sprintf "parent %d of %s recorded" p s.Obs.Trace.name)
+          true (List.mem p ids))
+    spans
+
+let pool_span_run jobs =
+  Obs.Metrics.reset ();
+  Engine.Cache.clear ();
+  let pool = Engine.Pool.create ~jobs () in
+  with_tracing (fun () ->
+      Obs.Trace.with_span "root" (fun () ->
+          ignore
+            (Engine.Pool.map pool
+               (fun i -> Obs.Trace.with_span "work" (fun () -> i * i))
+               (List.init 12 Fun.id))));
+  Obs.Trace.spans ()
+
+let test_pool_span_parenting () =
+  List.iter
+    (fun jobs ->
+      let spans = pool_span_run jobs in
+      check_no_orphans spans;
+      let root = List.find (fun s -> s.Obs.Trace.name = "root") spans in
+      let work = List.filter (fun s -> s.Obs.Trace.name = "work") spans in
+      Alcotest.(check int) (Printf.sprintf "work spans, jobs=%d" jobs) 12 (List.length work);
+      List.iter
+        (fun s ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "worker span under root, jobs=%d" jobs)
+            (Some root.Obs.Trace.id) s.Obs.Trace.parent)
+        work)
+    [ 1; 4 ]
+
+(* The deterministic observables must not depend on the domain count:
+   same spans recorded, same per-name aggregate counts, and the same
+   value for every counter bumped outside the cache's racy
+   compute-outside-the-lock window. *)
+let test_metrics_jobs_invariant () =
+  let observe jobs =
+    Obs.Metrics.reset ();
+    Engine.Cache.clear ();
+    Obs.Warn.reset ();
+    let pool = Engine.Pool.create ~jobs () in
+    let alg = Matmul.algorithm ~mu:4 in
+    with_tracing (fun () ->
+        ignore (Search.all_optimal_schedules ~pool alg ~s:Matmul.paper_s));
+    let agg =
+      List.map (fun (n, c, _) -> (n, c)) (Obs.Trace.aggregate (Obs.Trace.spans ()))
+    in
+    let snap = Obs.Metrics.snapshot () in
+    (agg, Obs.Metrics.counter_value snap "analysis.queries")
+  in
+  let agg1, queries1 = observe 1 in
+  let agg4, queries4 = observe 4 in
+  Alcotest.(check (list (pair string int))) "same span aggregate" agg1 agg4;
+  Alcotest.(check int) "same query count" queries1 queries4;
+  Alcotest.(check bool) "screens happened" true (List.mem_assoc "search.screen" agg1)
+
+let test_warn_once () =
+  Obs.Warn.reset ();
+  Alcotest.(check bool) "first time prints" true (Obs.Warn.once "obs-test-key" "w");
+  Alcotest.(check bool) "second time silent" false (Obs.Warn.once "obs-test-key" "w");
+  Obs.Warn.reset ();
+  Alcotest.(check bool) "prints again after reset" true (Obs.Warn.once "obs-test-key" "w")
+
+(* ----------------------------- metrics ----------------------------- *)
+
+let test_metrics_registry () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "obs-test.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  Alcotest.(check int) "counter value" 5 (Obs.Metrics.value c);
+  Alcotest.(check bool) "same name, same instrument" true
+    (Obs.Metrics.counter "obs-test.counter" == c);
+  let g = Obs.Metrics.gauge "obs-test.gauge" in
+  Obs.Metrics.set_gauge_max g 3.;
+  Obs.Metrics.set_gauge_max g 1.;
+  Alcotest.(check (float 0.)) "gauge keeps max" 3. (Obs.Metrics.gauge_value g);
+  let h = Obs.Metrics.histogram "obs-test.hist" in
+  Obs.Metrics.observe h 2.;
+  Obs.Metrics.observe h 6.;
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check int) "snapshot counter" 5 (Obs.Metrics.counter_value snap "obs-test.counter");
+  (match List.assoc_opt "obs-test.hist" snap.Obs.Metrics.histograms with
+  | Some hs ->
+    Alcotest.(check int) "hist count" 2 hs.Obs.Metrics.count;
+    Alcotest.(check (float 1e-9)) "hist sum" 8. hs.Obs.Metrics.sum;
+    Alcotest.(check (float 1e-9)) "hist min" 2. hs.Obs.Metrics.min_v;
+    Alcotest.(check (float 1e-9)) "hist max" 6. hs.Obs.Metrics.max_v
+  | None -> Alcotest.fail "histogram missing from snapshot");
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Metrics.value c)
+
+(* --------------------------- JSON parser --------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("int", Json.Int 42);
+        ("neg", Json.Int (-7));
+        ("float", Json.Float 1.5);
+        ("str", Json.Str "a \"quoted\" line\nwith unicode \xc3\xa9");
+        ("bool", Json.Bool true);
+        ("null", Json.Null);
+        ("arr", Json.Arr [ Json.Int 1; Json.Str "two"; Json.Obj [] ]);
+        ("nested", Json.Obj [ ("empty", Json.Arr []) ]);
+      ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Ok parsed -> Alcotest.(check bool) "round-trips" true (parsed = doc)
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_json_malformed () =
+  List.iter
+    (fun input ->
+      match Json.parse input with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" input)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let test_json_member () =
+  match Json.parse "{\"a\": 1, \"b\": {\"c\": [2]}}" with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+    Alcotest.(check bool) "top-level member" true (Json.member "a" doc = Some (Json.Int 1));
+    Alcotest.(check bool) "absent member" true (Json.member "z" doc = None);
+    Alcotest.(check bool) "non-object" true (Json.member "a" (Json.Int 3) = None)
+
+(* ---------------------------- exporters ---------------------------- *)
+
+let test_chrome_export_shape () =
+  with_tracing (fun () ->
+      Obs.Trace.with_span "outer" (fun () -> Obs.Trace.with_span "inner" (fun () -> ())));
+  let doc = Obs.Export.chrome_trace (Obs.Trace.spans ()) in
+  (* The exporter's own output must satisfy the repo's JSON parser. *)
+  (match Json.parse (Json.to_string doc) with
+  | Ok reparsed -> Alcotest.(check bool) "chrome trace round-trips" true (reparsed = doc)
+  | Error e -> Alcotest.fail ("chrome trace unparsable: " ^ e));
+  match Json.member "traceEvents" doc with
+  | Some (Json.Arr events) ->
+    Alcotest.(check int) "one event per span" 2 (List.length events);
+    List.iter
+      (fun ev ->
+        List.iter
+          (fun key ->
+            Alcotest.(check bool)
+              (key ^ " present") true
+              (Json.member key ev <> None))
+          [ "name"; "ph"; "ts"; "dur"; "pid"; "tid" ])
+      events
+  | _ -> Alcotest.fail "traceEvents missing"
+
+let test_span_tree_export () =
+  with_tracing (fun () ->
+      Obs.Trace.with_span "outer" (fun () ->
+          Obs.Trace.with_span "a" (fun () -> ());
+          Obs.Trace.with_span "b" (fun () -> ())));
+  match Obs.Export.span_tree (Obs.Trace.spans ()) with
+  | Json.Arr [ root ] ->
+    Alcotest.(check bool) "root name" true (Json.member "name" root = Some (Json.Str "outer"));
+    (match Json.member "children" root with
+    | Some (Json.Arr kids) ->
+      Alcotest.(check (list string))
+        "children in start order" [ "a"; "b" ]
+        (List.map
+           (fun k ->
+             match Json.member "name" k with Some (Json.Str n) -> n | _ -> "?")
+           kids)
+    | _ -> Alcotest.fail "children missing")
+  | _ -> Alcotest.fail "expected exactly one root"
+
+(* ---------------------------- benchstat ---------------------------- *)
+
+(* A golden pair modeled on two BENCH_<rev>.json files: one timing
+   regressed beyond the threshold, one improved, one within noise, one
+   bench renamed. *)
+let bench_doc ~pareto_ms ~lll_ns ~hnf_ns ~extra_name ~extra_ns =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 2);
+      ("rev", Json.Str "deadbeef");
+      ( "engine",
+        Json.Obj
+          [
+            ("jobs", Json.Int 4);
+            ("pareto", Json.Obj [ ("warm_n_ms", Json.Float pareto_ms) ]);
+          ] );
+      ( "micro",
+        Json.Arr
+          [
+            Json.Obj
+              [ ("name", Json.Str "lll/reduce-3x4"); ("ns_per_run", Json.Float lll_ns) ];
+            Json.Obj
+              [ ("name", Json.Str "hnf/min-abs-3x5"); ("ns_per_run", Json.Float hnf_ns) ];
+            Json.Obj
+              [ ("name", Json.Str extra_name); ("ns_per_run", Json.Float extra_ns) ];
+          ] );
+    ]
+
+let test_benchstat_regressions () =
+  let baseline =
+    bench_doc ~pareto_ms:10. ~lll_ns:100. ~hnf_ns:50. ~extra_name:"old-bench" ~extra_ns:1.
+  in
+  let current =
+    bench_doc ~pareto_ms:25. ~lll_ns:40. ~hnf_ns:51. ~extra_name:"new-bench" ~extra_ns:1.
+  in
+  let r = Benchstat.compare_runs ~threshold_pct:20. ~baseline ~current in
+  (match r.Benchstat.regressions with
+  | [ c ] ->
+    Alcotest.(check string) "regressed path" "engine.pareto.warm_n_ms" c.Benchstat.path;
+    Alcotest.(check (float 1e-6)) "delta pct" 150. c.Benchstat.delta_pct
+  | cs -> Alcotest.fail (Printf.sprintf "expected 1 regression, got %d" (List.length cs)));
+  (match r.Benchstat.improvements with
+  | [ c ] -> Alcotest.(check string) "improved path" "micro.{lll/reduce-3x4}.ns_per_run" c.Benchstat.path
+  | cs -> Alcotest.fail (Printf.sprintf "expected 1 improvement, got %d" (List.length cs)));
+  Alcotest.(check (list string)) "renamed bench reported missing"
+    [ "micro.{old-bench}.ns_per_run" ] r.Benchstat.missing;
+  Alcotest.(check (list string)) "new bench reported added"
+    [ "micro.{new-bench}.ns_per_run" ] r.Benchstat.added;
+  (* Non-timing leaves (jobs, schema_version) never participate. *)
+  let same = Benchstat.compare_runs ~threshold_pct:20. ~baseline ~current:baseline in
+  Alcotest.(check int) "identical runs: no regressions" 0 (List.length same.Benchstat.regressions);
+  Alcotest.(check int) "identical runs: no improvements" 0
+    (List.length same.Benchstat.improvements)
+
+let test_benchstat_threshold_boundary () =
+  let baseline = bench_doc ~pareto_ms:10. ~lll_ns:100. ~hnf_ns:50. ~extra_name:"x" ~extra_ns:1. in
+  let current = bench_doc ~pareto_ms:12. ~lll_ns:100. ~hnf_ns:50. ~extra_name:"x" ~extra_ns:1. in
+  (* +20% exactly at a 20% threshold is noise, not a regression. *)
+  let at = Benchstat.compare_runs ~threshold_pct:20. ~baseline ~current in
+  Alcotest.(check int) "at threshold" 0 (List.length at.Benchstat.regressions);
+  let below = Benchstat.compare_runs ~threshold_pct:19. ~baseline ~current in
+  Alcotest.(check int) "above threshold" 1 (List.length below.Benchstat.regressions)
+
+let suite =
+  [
+    Alcotest.test_case "disabled tracing is a no-op" `Quick test_spans_disabled_noop;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span closed on exception" `Quick test_span_exception_closes;
+    Alcotest.test_case "pool re-parents worker spans" `Quick test_pool_span_parenting;
+    Alcotest.test_case "metrics invariant across jobs" `Quick test_metrics_jobs_invariant;
+    Alcotest.test_case "warn once" `Quick test_warn_once;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects malformed" `Quick test_json_malformed;
+    Alcotest.test_case "json member" `Quick test_json_member;
+    Alcotest.test_case "chrome export shape" `Quick test_chrome_export_shape;
+    Alcotest.test_case "span tree export" `Quick test_span_tree_export;
+    Alcotest.test_case "benchstat golden diff" `Quick test_benchstat_regressions;
+    Alcotest.test_case "benchstat threshold boundary" `Quick test_benchstat_threshold_boundary;
+  ]
