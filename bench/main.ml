@@ -746,6 +746,95 @@ let engine_bench () =
       ("warm_beats_sequential", Json.Bool (t_warmn < t_seq));
     ]
 
+(* Serve benches: an in-process daemon on a Unix socket driven by the
+   verified load generator — cold store, warm store (same process) and
+   a post-restart pass over the reloaded journal.  Returns the JSON
+   "serve" section of the bench report (docs/SCHEMA.md). *)
+
+let serve_bench ?(quick = false) () =
+  Printf.printf "\n== serve: batching daemon, persistent store, verified load ==\n";
+  let requests = if quick then 500 else 2000 in
+  let concurrency = 16 and distinct = 128 and jobs = 4 in
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sf-bench-%d%s" (Unix.getpid ()) name)
+  in
+  let sock = tmp ".sock" and store_path = tmp ".store" in
+  if Sys.file_exists store_path then Sys.remove store_path;
+  let boot () =
+    let cfg =
+      {
+        (Server.Daemon.default_config (Server.Daemon.Unix_sock sock)) with
+        jobs = Some jobs;
+        store_path = Some store_path;
+      }
+    in
+    let d = Server.Daemon.create cfg in
+    (d, Thread.create Server.Daemon.run d)
+  in
+  let shutdown (d, th) =
+    Server.Daemon.initiate_drain d;
+    Thread.join th
+  in
+  let hits_of d =
+    match Server.Daemon.store d with
+    | Some s -> (Server.Store.stats s).Server.Store.hits
+    | None -> 0
+  in
+  let run_pass label server =
+    let d, _ = server in
+    let hits0 = hits_of d in
+    let r =
+      Server.Client.load (`Unix sock)
+        { Server.Client.default_load with requests; concurrency; distinct }
+    in
+    let hit_rate = float_of_int (hits_of d - hits0) /. float_of_int requests in
+    Printf.printf
+      "%-12s %5d req  p50 %6.2f ms  p95 %6.2f ms  %7.0f req/s  shed %d  hit rate %.2f  \
+       disagreements %d\n"
+      label requests r.Server.Client.p50_ms r.Server.Client.p95_ms r.Server.Client.rps
+      r.Server.Client.shed hit_rate r.Server.Client.disagreements;
+    assert (r.Server.Client.disagreements = 0);
+    assert (r.Server.Client.errors = 0);
+    ( r,
+      Json.Obj
+        [
+          ("p50_ms", Json.Float r.Server.Client.p50_ms);
+          ("p95_ms", Json.Float r.Server.Client.p95_ms);
+          ("p99_ms", Json.Float r.Server.Client.p99_ms);
+          ("requests_per_s", Json.Float r.Server.Client.rps);
+          ( "shed_rate",
+            Json.Float (float_of_int r.Server.Client.shed /. float_of_int requests) );
+          ("hit_rate", Json.Float hit_rate);
+        ] )
+  in
+  let server = boot () in
+  let _, cold = run_pass "cold store" server in
+  let _, warm = run_pass "warm store" server in
+  shutdown server;
+  (* The journal must survive the restart: the first pass of the new
+     process is already warm. *)
+  let server = boot () in
+  let d, _ = server in
+  let loaded = match Server.Daemon.store d with
+    | Some s -> (Server.Store.stats s).Server.Store.loaded
+    | None -> 0
+  in
+  let _, restart = run_pass "post-restart" server in
+  shutdown server;
+  if Sys.file_exists store_path then Sys.remove store_path;
+  Json.Obj
+    [
+      ("requests", Json.Int requests);
+      ("concurrency", Json.Int concurrency);
+      ("distinct", Json.Int distinct);
+      ("jobs", Json.Int jobs);
+      ("cold", cold);
+      ("warm", warm);
+      ("restart", restart);
+      ("store_loaded_at_restart", Json.Int loaded);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* The perf driver: micro benches (unless --quick) + engine benches,
    folded into one schema-versioned JSON report named after the git
@@ -769,6 +858,7 @@ let perf ?(quick = false) ?out () =
   let engine = engine_bench () in
   Obs.Trace.disable ();
   let phases = Obs.Export.phases (Obs.Trace.aggregate (Obs.Trace.spans ())) in
+  let serve = serve_bench ~quick () in
   let rev = git_rev () in
   let path =
     match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" rev
@@ -785,6 +875,7 @@ let perf ?(quick = false) ?out () =
                  Json.Obj [ ("name", Json.Str name); ("ns_per_run", Json.Float est) ])
                micro) );
         ("engine", engine);
+        ("serve", serve);
         ("phases", phases);
       ]
   in
@@ -812,8 +903,8 @@ let experiments =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [e1..e16 | engine | quick | perf [--quick] [--out FILE] | diff \
-     OLD NEW [--threshold PCT]]\n";
+    "usage: main.exe [e1..e16 | engine | serve | quick | perf [--quick] [--out FILE] | \
+     diff OLD NEW [--threshold PCT]]\n";
   exit 2
 
 let parse_perf_args rest =
@@ -857,5 +948,8 @@ let () =
         | Some f -> f ()
         | None ->
           if name = "engine" then ignore (engine_bench ())
-          else Printf.eprintf "unknown experiment %s (e1..e16, engine, perf, diff, quick)\n" name)
+          else if name = "serve" then ignore (serve_bench ())
+          else
+            Printf.eprintf "unknown experiment %s (e1..e16, engine, serve, perf, diff, quick)\n"
+              name)
       names

@@ -246,14 +246,11 @@ let analyze_cmd =
 
 (* ------------------------- shared: algorithms ---------------------- *)
 
+(* The resolution lives in [Server.Handlers] so the daemon serves the
+   same catalogue; the CLI keeps its historical [Failure] errors. *)
 let builtin_algorithm name mu =
-  match name with
-  | "matmul" -> (Matmul.algorithm ~mu, Some Matmul.paper_s)
-  | "tc" | "transitive-closure" -> (Transitive_closure.algorithm ~mu, Some Transitive_closure.paper_s)
-  | "convolution" -> (Convolution.algorithm ~mu_ij:mu ~mu_pq:(max 1 (mu / 2)), Some Convolution.example_s)
-  | "bitmm" | "bit-matmul" -> (Bit_matmul.algorithm ~mu_word:mu ~mu_bit:mu, Some Bit_matmul.example_s)
-  | "lu" -> (Lu.algorithm ~mu, Some Lu.example_s)
-  | other -> failwith ("unknown algorithm: " ^ other ^ " (matmul|tc|convolution|bitmm|lu)")
+  try Server.Handlers.builtin_algorithm name mu
+  with Server.Handlers.Bad_request msg -> failwith msg
 
 let algorithm_arg =
   Arg.(
@@ -667,6 +664,15 @@ let search_cmd =
     let alg, default_s = builtin_algorithm name mu in
     let pool = Engine.Pool.create ?jobs () in
     let budget = Engine.Budget.make ?deadline_ms () in
+    (* Ctrl-C cancels the budget instead of killing the process: the
+       scan winds down on the bounded path and the partial report
+       still goes out with "interrupted": true — the same mechanism
+       the server uses to drain in-flight requests. *)
+    let previous_sigint =
+      Sys.signal Sys.sigint
+        (Sys.Signal_handle (fun _ -> Engine.Budget.cancel budget))
+    in
+    let restore_sigint () = Sys.set_signal Sys.sigint previous_sigint in
     let base_fields =
       [
         ("algorithm", Json.Str name);
@@ -690,6 +696,7 @@ let search_cmd =
                     ("metrics", Obs.Export.metrics snap);
                     ("budget_elapsed_ms", Json.Float (Engine.Budget.elapsed_ms budget));
                     ("budget_pressed", Json.Bool (Engine.Budget.pressed budget));
+                    ("interrupted", Json.Bool (Engine.Budget.cancelled budget));
                   ])))
       | Plain ->
         plain ();
@@ -751,6 +758,9 @@ let search_cmd =
               (Array.fold_left ( + ) 0 rt.Tmap.buffers)
           | None -> ())
     end;
+    restore_sigint ();
+    if fmt = Plain && Engine.Budget.cancelled budget then
+      prerr_endline "search interrupted; results above are partial (bounded)";
     obs_end obs fmt
   in
   Cmd.v
@@ -931,6 +941,205 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Array statistics of a mapping (PEs, utilization, wire length)")
     Term.(const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg $ format_arg $ obs_term)
 
+(* ------------------------------- serve ----------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "shangfortes.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path (ignored with $(b,--port)).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N" ~doc:"Listen on TCP 127.0.0.1:$(docv) instead of a Unix socket.")
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Pool domains per batch (default: runtime choice).")
+  in
+  let inflight_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-inflight" ] ~docv:"N" ~doc:"Concurrent batches in flight (worker threads).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue capacity; requests beyond it are shed with an \
+                $(i,overloaded) reply.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N" ~doc:"Largest batch fanned across the pool.")
+  in
+  let store_path_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE" ~doc:"Persistent verdict store journal.")
+  in
+  let fsync_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "fsync-every" ] ~docv:"N" ~doc:"Records between store fsyncs.")
+  in
+  let run socket port jobs max_inflight queue batch store_path fsync_every fmt obs =
+    obs_begin obs;
+    let listen =
+      match port with
+      | Some p -> Server.Daemon.Tcp p
+      | None -> Server.Daemon.Unix_sock socket
+    in
+    let cfg =
+      {
+        Server.Daemon.listen;
+        jobs;
+        max_inflight;
+        queue_capacity = queue;
+        batch_max = batch;
+        store_path;
+        fsync_every;
+      }
+    in
+    let t = Server.Daemon.create cfg in
+    (* [wake] is the only thing a signal handler may touch: one
+       self-pipe write, no locks.  [run] turns it into a graceful
+       drain — in-flight budgets cancelled, accepted work flushed. *)
+    let handler = Sys.Signal_handle (fun _ -> Server.Daemon.wake t) in
+    let old_int = Sys.signal Sys.sigint handler in
+    let old_term = Sys.signal Sys.sigterm handler in
+    (match Server.Daemon.port t with
+    | Some p -> Printf.eprintf "serving on 127.0.0.1:%d\n%!" p
+    | None -> Printf.eprintf "serving on %s\n%!" socket);
+    Server.Daemon.run t;
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigterm old_term;
+    (match fmt with
+    | Json_v2 ->
+      Json.print
+        (Json.versioned ~command:"serve" (obs_fields obs (Server.Daemon.stats_fields t)))
+    | Plain ->
+      prerr_endline "drained";
+      List.iter
+        (fun (k, v) -> Printf.printf "%s = %s\n" k (Json.to_string v))
+        (Server.Daemon.stats_fields t));
+    obs_end obs fmt
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the mapping-query daemon: a batching, backpressured JSON-lines service \
+          with a persistent verdict store (protocol in docs/SERVER.md)")
+    Term.(
+      const run $ socket_arg $ port_arg $ jobs_arg $ inflight_arg $ queue_cap_arg
+      $ batch_arg $ store_path_arg $ fsync_arg $ format_arg $ obs_term)
+
+(* ------------------------------- client ----------------------------- *)
+
+let client_cmd =
+  let requests_arg =
+    Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"N" ~doc:"Total requests to send.")
+  in
+  let concurrency_arg =
+    Arg.(value & opt int 8 & info [ "concurrency" ] ~docv:"N" ~doc:"Client worker threads.")
+  in
+  let distinct_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "distinct" ] ~docv:"N"
+          ~doc:"Distinct instances in the cycled pool (a second pass over the stream \
+                hits the server's warm store).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Instance stream seed.")
+  in
+  let size_arg =
+    Arg.(value & opt int 4 & info [ "size" ] ~docv:"N" ~doc:"Instance stream size parameter.")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Skip comparing each reply against a local direct Analysis.check.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request budget deadline.")
+  in
+  let expect_no_shed_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-no-shed" ] ~doc:"Exit nonzero when any request was shed (CI mode).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  let run socket port requests concurrency distinct seed size no_verify deadline_ms
+      expect_no_shed out fmt obs =
+    obs_begin obs;
+    let addr =
+      match port with Some p -> `Tcp ("127.0.0.1", p) | None -> `Unix socket
+    in
+    let cfg =
+      {
+        Server.Client.requests;
+        concurrency;
+        distinct;
+        seed;
+        size;
+        verify = not no_verify;
+        deadline_ms;
+      }
+    in
+    let r = Server.Client.load addr cfg in
+    let doc =
+      Json.versioned ~command:"client"
+        (obs_fields obs
+           (match Server.Client.json_of_load_report r with
+           | Json.Obj fields -> fields
+           | other -> [ ("report", other) ]))
+    in
+    (match out with None -> () | Some path -> Obs.Export.write_file path doc);
+    (match fmt with
+    | Json_v2 -> Json.print doc
+    | Plain ->
+      Printf.printf
+        "%d requests: %d ok, %d shed, %d draining, %d errors, %d disagreement(s)\n\
+         p50 = %.2f ms  p95 = %.2f ms  p99 = %.2f ms  max = %.2f ms\n\
+         %.0f requests/s over %.2f s\n"
+        r.Server.Client.sent r.Server.Client.ok r.Server.Client.shed
+        r.Server.Client.draining r.Server.Client.errors r.Server.Client.disagreements
+        r.Server.Client.p50_ms r.Server.Client.p95_ms r.Server.Client.p99_ms
+        r.Server.Client.max_ms r.Server.Client.rps r.Server.Client.wall_s);
+    obs_end obs fmt;
+    if
+      r.Server.Client.disagreements > 0
+      || r.Server.Client.errors > 0
+      || (expect_no_shed && r.Server.Client.shed > 0)
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Load-generate against a running daemon and verify its replies against direct \
+          local analysis")
+    Term.(
+      const run $ socket_arg $ port_arg $ requests_arg $ concurrency_arg $ distinct_arg
+      $ seed_arg $ size_arg $ no_verify_arg $ deadline_arg $ expect_no_shed_arg $ out_arg
+      $ format_arg $ obs_term)
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -941,5 +1150,5 @@ let () =
        (Cmd.group info
           [
             hnf_cmd; analyze_cmd; optimize_cmd; simulate_cmd; parse_cmd; pareto_cmd;
-            search_cmd; stats_cmd; fuzz_cmd;
+            search_cmd; stats_cmd; fuzz_cmd; serve_cmd; client_cmd;
           ]))

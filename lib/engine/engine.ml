@@ -4,6 +4,7 @@ module Budget = struct
     max_oracle_calls : int option;
     used_oracle : int Atomic.t;
     started : float;
+    cancelled : bool Atomic.t;
   }
 
   let make ?deadline_ms ?max_oracle_calls () =
@@ -13,6 +14,7 @@ module Budget = struct
       max_oracle_calls;
       used_oracle = Atomic.make 0;
       started;
+      cancelled = Atomic.make false;
     }
 
   let unlimited = make ()
@@ -20,8 +22,14 @@ module Budget = struct
   let oracle_calls t = Atomic.get t.used_oracle
   let elapsed_ms t = 1000. *. (Unix.gettimeofday () -. t.started)
 
+  (* The shared [unlimited] budget must stay un-cancellable — it backs
+     every caller that passed no budget at all. *)
+  let cancel t = if t != unlimited then Atomic.set t.cancelled true
+  let cancelled t = Atomic.get t.cancelled
+
   let pressed t =
-    (* [>=] so a zero deadline is pressed from the start. *)
+    Atomic.get t.cancelled
+    || (* [>=] so a zero deadline is pressed from the start. *)
     (match t.deadline with
     | Some d -> Unix.gettimeofday () >= d
     | None -> false)
@@ -133,6 +141,8 @@ module Cache = struct
     let fns = !clearers in
     Mutex.unlock registry_lock;
     List.iter (fun f -> f ()) fns
+
+  let key_hash = Key.hash
 
   let hnf_table : Hnf.result table = create_table "hnf"
   let lll_table : Intvec.t list table = create_table "lll"

@@ -29,8 +29,19 @@ module Budget : sig
   val oracle_calls : t -> int
   val elapsed_ms : t -> float
 
+  val cancel : t -> unit
+  (** Press the budget immediately, whatever its deadline: every
+      subsequent {!pressed} poll answers true, so in-flight queries
+      degrade to bounded verdicts and finish fast.  This is the path
+      shared by the server's graceful drain and the CLI's SIGINT
+      handling.  Cancelling {!unlimited} is a no-op (it is shared by
+      every caller that passed no budget). *)
+
+  val cancelled : t -> bool
+
   val pressed : t -> bool
-  (** True once the deadline passed or the oracle budget is spent. *)
+  (** True once the deadline passed, the oracle budget is spent, or
+      the budget was {!cancel}led. *)
 end
 
 (** Content-addressed memo tables in front of the expensive kernels
@@ -50,6 +61,12 @@ module Cache : sig
   val memo : 'v table -> Intmat.t -> (unit -> 'v) -> 'v
   (** [memo tbl key compute] returns the cached value for [key] or runs
       [compute] once and stores the result. *)
+
+  val key_hash : Intmat.t -> int
+  (** The content hash the memo tables key on (entry-by-entry over the
+      full matrix, in [0 .. max_int]).  Exposed so the persistent
+      result store of [lib/server] can address records by the same
+      hash the in-memory caches use. *)
 
   val hnf : Intmat.t -> Hnf.result
   (** Memoized {!Hnf.compute} (default strategy and reduction). *)

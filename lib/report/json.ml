@@ -74,10 +74,16 @@ let ints xs = Arr (List.map (fun i -> Int i) xs)
 
 exception Bad of string
 
-let parse s =
+let default_max_bytes = 16 * 1024 * 1024
+let default_max_depth = 256
+
+let parse ?(max_bytes = default_max_bytes) ?(max_depth = default_max_depth) s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  if n > max_bytes then
+    Error (Printf.sprintf "input too large: %d bytes (cap %d)" n max_bytes)
+  else
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
   let skip_ws () =
@@ -178,7 +184,9 @@ let parse s =
         | Some f -> Float f
         | None -> fail "bad number")
   in
-  let rec parse_value () =
+  (* [depth] counts enclosing arrays/objects; the cap turns adversarial
+     nesting into a structured error instead of a stack overflow. *)
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -187,6 +195,7 @@ let parse s =
     | Some 'f' -> literal "false" (Bool false)
     | Some 'n' -> literal "null" Null
     | Some '[' ->
+      if depth >= max_depth then fail (Printf.sprintf "nesting deeper than %d" max_depth);
       advance ();
       skip_ws ();
       if peek () = Some ']' then begin
@@ -194,17 +203,18 @@ let parse s =
         Arr []
       end
       else begin
-        let items = ref [ parse_value () ] in
+        let items = ref [ parse_value (depth + 1) ] in
         skip_ws ();
         while peek () = Some ',' do
           advance ();
-          items := parse_value () :: !items;
+          items := parse_value (depth + 1) :: !items;
           skip_ws ()
         done;
         expect ']';
         Arr (List.rev !items)
       end
     | Some '{' ->
+      if depth >= max_depth then fail (Printf.sprintf "nesting deeper than %d" max_depth);
       advance ();
       skip_ws ();
       if peek () = Some '}' then begin
@@ -217,7 +227,7 @@ let parse s =
           let key = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           (key, v)
         in
         let fields = ref [ field () ] in
@@ -233,7 +243,7 @@ let parse s =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing content";
     v
@@ -241,9 +251,9 @@ let parse s =
   | v -> Ok v
   | exception Bad msg -> Error msg
 
-let parse_file path =
+let parse_file ?max_bytes ?max_depth path =
   match In_channel.with_open_text path In_channel.input_all with
-  | contents -> parse contents
+  | contents -> parse ?max_bytes ?max_depth contents
   | exception Sys_error msg -> Error msg
 
 let member key = function Obj fields -> List.assoc_opt key fields | _ -> None

@@ -40,13 +40,24 @@ val option : ('a -> t) -> 'a option -> t
 val ints : int list -> t
 (** An array of integers. *)
 
-val parse : string -> (t, string) result
+val default_max_bytes : int
+(** Input-size cap applied by {!parse} unless overridden: 16 MiB. *)
+
+val default_max_depth : int
+(** Nesting-depth cap applied by {!parse} unless overridden: 256. *)
+
+val parse : ?max_bytes:int -> ?max_depth:int -> string -> (t, string) result
 (** Strict parser for the subset of JSON this module emits (which is
     plain RFC 8259 minus surrogate-pair recombination in [\u] escapes).
     Numbers without [.]/[e] become [Int], others [Float].  Rejects
-    trailing content after the document; errors carry a byte offset. *)
+    trailing content after the document; errors carry a byte offset.
 
-val parse_file : string -> (t, string) result
+    The parser is safe on untrusted input (it feeds the server's
+    socket protocol): inputs longer than [max_bytes] and documents
+    nested deeper than [max_depth] are rejected with a structured
+    [Error] — adversarial nesting can never overflow the stack. *)
+
+val parse_file : ?max_bytes:int -> ?max_depth:int -> string -> (t, string) result
 (** [parse] applied to a file's contents; I/O errors are reported as
     [Error] rather than raised. *)
 

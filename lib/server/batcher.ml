@@ -1,0 +1,25 @@
+type 'a t = { threads : Thread.t list }
+
+let m_errors = Obs.Metrics.counter "server.worker_errors"
+
+let start ~queue ~workers ~batch_max ~compatible ~handle =
+  if workers < 1 then invalid_arg "Batcher.start: workers must be >= 1";
+  if batch_max < 1 then invalid_arg "Batcher.start: batch_max must be >= 1";
+  let worker () =
+    let rec loop () =
+      match Admission.pop_batch queue ~max:batch_max ~compatible with
+      | None -> ()
+      | Some batch ->
+        (try handle batch
+         with exn ->
+           Obs.Metrics.incr m_errors;
+           ignore
+             (Obs.Warn.once "server.worker_error"
+                (Printf.sprintf "server worker: uncaught %s" (Printexc.to_string exn))));
+        loop ()
+    in
+    loop ()
+  in
+  { threads = List.init workers (fun _ -> Thread.create worker ()) }
+
+let join t = List.iter Thread.join t.threads

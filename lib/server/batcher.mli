@@ -1,0 +1,22 @@
+(** The worker pool draining the admission queue.
+
+    [start] spawns [workers] threads, each looping
+    {!Admission.pop_batch} → [handle]; a worker exits when the queue
+    is closed and drained.  [handle] receives whole batches so it can
+    fan one batch across a shared {!Engine.Pool}.  Exceptions escaping
+    [handle] are caught, counted on [server.worker_errors] and logged
+    once — a poisoned request must not kill its worker. *)
+
+type 'a t
+
+val start :
+  queue:'a Admission.t ->
+  workers:int ->
+  batch_max:int ->
+  compatible:('a -> 'a -> bool) ->
+  handle:('a list -> unit) ->
+  'a t
+
+val join : 'a t -> unit
+(** Wait for every worker to exit (callers {!Admission.close} the
+    queue first). *)

@@ -1,0 +1,225 @@
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type conn = { fd : Unix.file_descr; rbuf : Buffer.t; chunk : Bytes.t }
+
+let connect (addr : addr) =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd, sockaddr =
+    match addr with
+    | `Unix path -> (Unix.socket PF_UNIX SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) ->
+      ( Unix.socket PF_INET SOCK_STREAM 0,
+        Unix.ADDR_INET ((Unix.gethostbyname host).h_addr_list.(0), port) )
+  in
+  (match Unix.connect fd sockaddr with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  { fd; rbuf = Buffer.create 1024; chunk = Bytes.create 4096 }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let read_line c =
+  let rec take () =
+    let s = Buffer.contents c.rbuf in
+    match String.index_opt s '\n' with
+    | Some nl ->
+      Buffer.clear c.rbuf;
+      Buffer.add_substring c.rbuf s (nl + 1) (String.length s - nl - 1);
+      String.sub s 0 nl
+    | None -> (
+      match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
+      | 0 -> failwith "Client.request: connection closed by server"
+      | n ->
+        Buffer.add_subbytes c.rbuf c.chunk 0 n;
+        take ())
+  in
+  take ()
+
+let request c json =
+  let line = Json.to_string json ^ "\n" in
+  let bytes = Bytes.of_string line in
+  let n = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write c.fd bytes !written (n - !written)
+  done;
+  match Json.parse (read_line c) with
+  | Ok reply -> reply
+  | Error msg -> failwith ("Client.request: unparsable reply: " ^ msg)
+
+(* ---------------------------- load generator ------------------------ *)
+
+type load_config = {
+  requests : int;
+  concurrency : int;
+  distinct : int;
+  seed : int;
+  size : int;
+  verify : bool;
+  deadline_ms : int option;
+}
+
+let default_load =
+  {
+    requests = 1000;
+    concurrency = 8;
+    distinct = 64;
+    seed = 1;
+    size = 4;
+    verify = true;
+    deadline_ms = None;
+  }
+
+type load_report = {
+  sent : int;
+  ok : int;
+  shed : int;
+  draining : int;
+  errors : int;
+  bounded : int;
+  disagreements : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  wall_s : float;
+  rps : float;
+}
+
+let h_latency = Obs.Metrics.histogram "client.request_ms"
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let wire_exactness reply =
+  match Json.member "verdict" reply with
+  | Some v -> (
+    match Json.member "exactness" v with Some (Json.Str s) -> Some s | _ -> None)
+  | None -> None
+
+let verdict_bytes reply =
+  match Json.member "verdict" reply with
+  | Some v -> Some (Json.to_string v)
+  | None -> None
+
+let load addr cfg =
+  if cfg.requests < 1 then invalid_arg "Client.load: requests must be >= 1";
+  if cfg.concurrency < 1 then invalid_arg "Client.load: concurrency must be >= 1";
+  if cfg.distinct < 1 then invalid_arg "Client.load: distinct must be >= 1";
+  let instances =
+    Array.init cfg.distinct (fun i -> Check.Gen.ith ~seed:cfg.seed ~size:cfg.size i)
+  in
+  let expected =
+    if not cfg.verify then [||]
+    else
+      Array.map
+        (fun (inst : Check.Instance.t) ->
+          Json.to_string
+            (Protocol.json_of_wire
+               (Protocol.wire_of_verdict
+                  (Analysis.check ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat))))
+        instances
+  in
+  let latencies = Array.make cfg.requests nan in
+  let next = Atomic.make 0 in
+  let ok = Atomic.make 0
+  and shed = Atomic.make 0
+  and draining = Atomic.make 0
+  and errors = Atomic.make 0
+  and bounded = Atomic.make 0
+  and disagreements = Atomic.make 0 in
+  let worker () =
+    match connect addr with
+    | exception exn ->
+      Printf.eprintf "client: connect failed: %s\n%!" (Printexc.to_string exn);
+      (* Burn the whole remaining share as transport errors rather
+         than hanging the run. *)
+      let rec burn () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < cfg.requests then begin
+          Atomic.incr errors;
+          burn ()
+        end
+      in
+      burn ()
+    | c ->
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < cfg.requests then begin
+          let inst = instances.(i mod cfg.distinct) in
+          let req =
+            Protocol.analyze ~id:(Json.Int i) ?deadline_ms:cfg.deadline_ms
+              ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat
+          in
+          let t0 = Unix.gettimeofday () in
+          (match request c req with
+          | exception _ -> Atomic.incr errors
+          | reply ->
+            let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+            latencies.(i) <- ms;
+            Obs.Metrics.observe h_latency ms;
+            if Protocol.reply_ok reply then begin
+              Atomic.incr ok;
+              if cfg.verify then
+                if wire_exactness reply = Some "bounded" then Atomic.incr bounded
+                else if verdict_bytes reply <> Some expected.(i mod cfg.distinct) then
+                  Atomic.incr disagreements
+            end
+            else
+              match Protocol.error_code reply with
+              | Some "overloaded" -> Atomic.incr shed
+              | Some "draining" -> Atomic.incr draining
+              | _ -> Atomic.incr errors);
+          loop ()
+        end
+      in
+      loop ();
+      close c
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init cfg.concurrency (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let measured =
+    Array.of_list
+      (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list latencies))
+  in
+  Array.sort compare measured;
+  {
+    sent = cfg.requests;
+    ok = Atomic.get ok;
+    shed = Atomic.get shed;
+    draining = Atomic.get draining;
+    errors = Atomic.get errors;
+    bounded = Atomic.get bounded;
+    disagreements = Atomic.get disagreements;
+    p50_ms = percentile measured 0.50;
+    p95_ms = percentile measured 0.95;
+    p99_ms = percentile measured 0.99;
+    max_ms = (if Array.length measured = 0 then 0. else measured.(Array.length measured - 1));
+    wall_s;
+    rps = (if wall_s > 0. then float_of_int cfg.requests /. wall_s else 0.);
+  }
+
+let json_of_load_report r =
+  Json.Obj
+    [
+      ("sent", Json.Int r.sent);
+      ("ok", Json.Int r.ok);
+      ("shed", Json.Int r.shed);
+      ("draining", Json.Int r.draining);
+      ("errors", Json.Int r.errors);
+      ("bounded", Json.Int r.bounded);
+      ("disagreements", Json.Int r.disagreements);
+      ("p50_ms", Json.Float r.p50_ms);
+      ("p95_ms", Json.Float r.p95_ms);
+      ("p99_ms", Json.Float r.p99_ms);
+      ("max_ms", Json.Float r.max_ms);
+      ("wall_s", Json.Float r.wall_s);
+      ("requests_per_s", Json.Float r.rps);
+      ("shed_rate", Json.Float (float_of_int r.shed /. float_of_int r.sent));
+    ]

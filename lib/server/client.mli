@@ -1,0 +1,62 @@
+(** Client for the daemon's JSON-lines protocol, doubling as the load
+    generator behind the [client] CLI subcommand, the serve bench
+    section and the CI smoke job. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type conn
+
+val connect : addr -> conn
+(** @raise Unix.Unix_error when the server is not there. *)
+
+val request : conn -> Json.t -> Json.t
+(** Send one request line, block for the reply line.
+    @raise Failure on EOF or an unparsable reply. *)
+
+val close : conn -> unit
+
+(** {1 Load generation}
+
+    [load] replays a deterministic {!Check.Gen.ith} instance stream as
+    [analyze] requests from [concurrency] worker threads (one
+    connection each), cycling over [distinct] instances — so a second
+    pass hits the server's warm store.  With [verify] every exact
+    reply's [verdict] object must render byte-identically to a direct
+    local {!Analysis.check}; disagreements are counted (and must be
+    zero — the CI smoke job asserts it). *)
+
+type load_config = {
+  requests : int;
+  concurrency : int;
+  distinct : int;      (** Distinct instances in the cycled pool. *)
+  seed : int;
+  size : int;          (** {!Check.Gen} size parameter. *)
+  verify : bool;
+  deadline_ms : int option;
+}
+
+val default_load : load_config
+(** 1000 requests, 8 workers, 64 distinct instances, seed 1, size 4,
+    verify on, no deadline. *)
+
+type load_report = {
+  sent : int;
+  ok : int;
+  shed : int;           (** [overloaded] replies. *)
+  draining : int;
+  errors : int;         (** Transport failures and unexpected replies. *)
+  bounded : int;        (** Exact-comparison skips (bounded verdicts). *)
+  disagreements : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  wall_s : float;
+  rps : float;
+}
+
+val load : addr -> load_config -> load_report
+(** Latencies additionally feed the [client.request_ms] histogram of
+    {!Obs.Metrics}. *)
+
+val json_of_load_report : load_report -> Json.t

@@ -1,0 +1,378 @@
+type listen = Unix_sock of string | Tcp of int
+
+type config = {
+  listen : listen;
+  jobs : int option;
+  max_inflight : int;
+  queue_capacity : int;
+  batch_max : int;
+  store_path : string option;
+  fsync_every : int;
+}
+
+let default_config listen =
+  {
+    listen;
+    jobs = None;
+    max_inflight = 2;
+    queue_capacity = 256;
+    batch_max = 32;
+    store_path = None;
+    fsync_every = 32;
+  }
+
+type conn = { fd : Unix.file_descr; wlock : Mutex.t; cid : int }
+
+type job = {
+  rid : int;
+  env : Protocol.envelope;
+  budget : Engine.Budget.t;
+  jconn : conn;
+  enqueued_at : float;
+}
+
+type t = {
+  cfg : config;
+  pool : Engine.Pool.t;
+  store_ : Store.t option;
+  queue : job Admission.t;
+  mutable batcher : job Batcher.t option;
+  draining : bool Atomic.t;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  listen_fd : Unix.file_descr;
+  conns : (int, conn) Hashtbl.t;
+  conn_threads : (int, Thread.t) Hashtbl.t;
+  conns_lock : Mutex.t;
+  inflight : (int, Engine.Budget.t) Hashtbl.t;
+  inflight_lock : Mutex.t;
+  next_id : int Atomic.t;
+  (* Per-server counts (the [Obs.Metrics] counters are process-wide,
+     and the tests run several servers in one process). *)
+  n_accepted : int Atomic.t;
+  n_shed : int Atomic.t;
+  n_batches : int Atomic.t;
+  n_batched : int Atomic.t;
+}
+
+let m_accepted = Obs.Metrics.counter "server.accepted"
+let m_shed = Obs.Metrics.counter "server.shed"
+let m_batches = Obs.Metrics.counter "server.batches"
+let m_batched = Obs.Metrics.counter "server.batched"
+let m_conns = Obs.Metrics.counter "server.connections"
+let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
+let h_request_ms = Obs.Metrics.histogram "server.request_ms"
+
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* ------------------------------ replies ----------------------------- *)
+
+(* A connection may be written by its reader thread and by any pool
+   worker finishing one of its requests; the write lock keeps reply
+   lines whole.  A dead peer (EPIPE) is not an error — the reply is
+   simply dropped. *)
+let write_line conn json =
+  let line = Json.to_string json ^ "\n" in
+  let bytes = Bytes.of_string line in
+  locked conn.wlock (fun () ->
+      try
+        let n = Bytes.length bytes in
+        let written = ref 0 in
+        while !written < n do
+          written := !written + Unix.write conn.fd bytes !written (n - !written)
+        done
+      with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> ())
+
+(* ------------------------------ batches ----------------------------- *)
+
+let compatible a b =
+  match (a.env.Protocol.req, b.env.Protocol.req) with
+  | Protocol.Analyze _, Protocol.Analyze _ -> true
+  | Protocol.Replay _, Protocol.Replay _ -> true
+  | _ -> false
+
+let unregister t rid =
+  locked t.inflight_lock (fun () -> Hashtbl.remove t.inflight rid)
+
+let serve_job t job =
+  let op = Protocol.op_name job.env.Protocol.req in
+  let reply =
+    (* A fresh span stack per request: pool workers run in their own
+       domain, so the request subtree is not entangled with the
+       server's own spans. *)
+    Obs.Trace.with_parent None (fun () ->
+        Obs.Trace.with_span "server.request"
+          ~args:[ ("op", op); ("rid", string_of_int job.rid) ]
+          (fun () ->
+            match
+              Handlers.execute ~pool:t.pool ~store:t.store_ ~budget:job.budget
+                job.env.Protocol.req
+            with
+            | fields -> Protocol.ok_reply ~id:job.env.Protocol.id ~op fields
+            | exception Handlers.Bad_request msg ->
+              Protocol.error_reply ~id:job.env.Protocol.id ~code:"bad_request" ~detail:msg
+            | exception exn ->
+              Protocol.error_reply ~id:job.env.Protocol.id ~code:"internal"
+                ~detail:(Printexc.to_string exn)))
+  in
+  write_line job.jconn reply;
+  unregister t job.rid;
+  Obs.Metrics.observe h_request_ms (1000. *. (Unix.gettimeofday () -. job.enqueued_at))
+
+let handle_batch t batch =
+  Atomic.incr t.n_batches;
+  ignore (Atomic.fetch_and_add t.n_batched (List.length batch));
+  Obs.Metrics.incr m_batches;
+  Obs.Metrics.add m_batched (List.length batch);
+  Obs.Metrics.set_gauge g_queue_depth (float_of_int (Admission.length t.queue));
+  ignore (Engine.Pool.map t.pool (fun job -> serve_job t job) batch)
+
+(* ------------------------------- stats ------------------------------ *)
+
+let store t = t.store_
+
+let stats_fields t =
+  let base =
+    [
+      ("queue_depth", Json.Int (Admission.length t.queue));
+      ("draining", Json.Bool (Atomic.get t.draining));
+      ("accepted", Json.Int (Atomic.get t.n_accepted));
+      ("shed", Json.Int (Atomic.get t.n_shed));
+      ("batches", Json.Int (Atomic.get t.n_batches));
+      ("batched", Json.Int (Atomic.get t.n_batched));
+      ("jobs", Json.Int (Engine.Pool.jobs t.pool));
+    ]
+  in
+  match t.store_ with
+  | None -> base @ [ ("store", Json.Null) ]
+  | Some s ->
+    let st = Store.stats s in
+    base
+    @ [
+        ( "store",
+          Json.Obj
+            [
+              ("entries", Json.Int st.Store.entries);
+              ("hits", Json.Int st.Store.hits);
+              ("misses", Json.Int st.Store.misses);
+              ("appended", Json.Int st.Store.appended);
+              ("loaded", Json.Int st.Store.loaded);
+              ("dropped_bytes", Json.Int st.Store.dropped_bytes);
+            ] );
+      ]
+
+(* ------------------------------- drain ------------------------------ *)
+
+let wake t = try ignore (Unix.write t.pipe_w (Bytes.of_string "x") 0 1) with _ -> ()
+
+let initiate_drain t =
+  if not (Atomic.exchange t.draining true) then begin
+    (* Already-running and already-queued requests finish fast: their
+       budgets are cancelled, so analysis degrades to the bounded
+       lattice path instead of completing at leisure or vanishing. *)
+    locked t.inflight_lock (fun () ->
+        Hashtbl.iter (fun _ b -> Engine.Budget.cancel b) t.inflight);
+    Admission.close t.queue;
+    wake t
+  end
+
+(* ---------------------------- connections --------------------------- *)
+
+let handle_request t conn line =
+  match Json.parse ~max_bytes:Protocol.max_line_bytes line with
+  | Error msg ->
+    write_line conn (Protocol.error_reply ~id:Json.Null ~code:"parse_error" ~detail:msg)
+  | Ok json -> (
+    match Protocol.parse_request json with
+    | Error msg ->
+      write_line conn
+        (Protocol.error_reply ~id:(Protocol.reply_id json) ~code:"bad_request" ~detail:msg)
+    | Ok env ->
+      let id = env.Protocol.id in
+      let op = Protocol.op_name env.Protocol.req in
+      if not (Protocol.queued env.Protocol.req) then begin
+        match env.Protocol.req with
+        | Protocol.Ping -> write_line conn (Protocol.ok_reply ~id ~op [])
+        | Protocol.Stats -> write_line conn (Protocol.ok_reply ~id ~op (stats_fields t))
+        | Protocol.Drain ->
+          write_line conn (Protocol.ok_reply ~id ~op [ ("draining", Json.Bool true) ]);
+          initiate_drain t
+        | _ -> assert false
+      end
+      else if Atomic.get t.draining then
+        write_line conn
+          (Protocol.error_reply ~id ~code:"draining" ~detail:"server is draining")
+      else begin
+        let rid = Atomic.fetch_and_add t.next_id 1 in
+        let budget =
+          Engine.Budget.make ?deadline_ms:(Protocol.deadline_ms env.Protocol.req) ()
+        in
+        locked t.inflight_lock (fun () -> Hashtbl.replace t.inflight rid budget);
+        let job = { rid; env; budget; jconn = conn; enqueued_at = Unix.gettimeofday () } in
+        if Admission.try_push t.queue job then begin
+          Atomic.incr t.n_accepted;
+          Obs.Metrics.incr m_accepted;
+          Obs.Metrics.set_gauge g_queue_depth (float_of_int (Admission.length t.queue))
+        end
+        else begin
+          unregister t rid;
+          Atomic.incr t.n_shed;
+          Obs.Metrics.incr m_shed;
+          write_line conn
+            (Protocol.error_reply ~id ~code:"overloaded"
+               ~detail:
+                 (Printf.sprintf "queue full (%d requests)" t.cfg.queue_capacity))
+        end
+      end)
+
+(* Read newline-terminated requests with a hard per-line byte cap; an
+   over-long line gets one [parse_error] reply and the connection is
+   dropped (there is no way to resynchronize without buffering the
+   oversized line anyway). *)
+let conn_loop t conn =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let overflow = ref false in
+  let rec drain_lines start =
+    let s = Buffer.contents buf in
+    match String.index_from_opt s start '\n' with
+    | Some nl ->
+      handle_request t conn (String.sub s start (nl - start));
+      drain_lines (nl + 1)
+    | None ->
+      Buffer.clear buf;
+      Buffer.add_substring buf s start (String.length s - start)
+  in
+  let rec loop () =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain_lines 0;
+      if Buffer.length buf > Protocol.max_line_bytes then begin
+        overflow := true;
+        write_line conn
+          (Protocol.error_reply ~id:Json.Null ~code:"parse_error"
+             ~detail:
+               (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line_bytes))
+      end
+      else loop ()
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) -> ()
+  in
+  loop ();
+  ignore !overflow;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  locked t.conns_lock (fun () -> Hashtbl.remove t.conns conn.cid)
+
+(* ------------------------------ create ------------------------------ *)
+
+let create cfg =
+  (* A peer hanging up mid-reply must surface as EPIPE on the write,
+     not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd =
+    match cfg.listen with
+    | Unix_sock path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      Unix.bind fd (ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+    | Tcp port ->
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      Unix.setsockopt fd SO_REUSEADDR true;
+      Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      fd
+  in
+  let pipe_r, pipe_w = Unix.pipe () in
+  let store_ =
+    Option.map (fun p -> Store.open_ ~fsync_every:cfg.fsync_every p) cfg.store_path
+  in
+  let t =
+    {
+      cfg;
+      pool = Engine.Pool.create ?jobs:cfg.jobs ();
+      store_;
+      queue = Admission.create ~capacity:cfg.queue_capacity;
+      batcher = None;
+      draining = Atomic.make false;
+      pipe_r;
+      pipe_w;
+      listen_fd;
+      conns = Hashtbl.create 16;
+      conn_threads = Hashtbl.create 16;
+      conns_lock = Mutex.create ();
+      inflight = Hashtbl.create 64;
+      inflight_lock = Mutex.create ();
+      next_id = Atomic.make 0;
+      n_accepted = Atomic.make 0;
+      n_shed = Atomic.make 0;
+      n_batches = Atomic.make 0;
+      n_batched = Atomic.make 0;
+    }
+  in
+  t.batcher <-
+    Some
+      (Batcher.start ~queue:t.queue ~workers:cfg.max_inflight ~batch_max:cfg.batch_max
+         ~compatible ~handle:(handle_batch t));
+  t
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | ADDR_INET (_, port) -> Some port
+  | ADDR_UNIX _ -> None
+
+(* -------------------------------- run ------------------------------- *)
+
+let run t =
+  let cid = ref 0 in
+  let rec accept_loop () =
+    if not (Atomic.get t.draining) then begin
+      match Unix.select [ t.listen_fd; t.pipe_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
+      | readable, _, _ ->
+        if List.mem t.pipe_r readable then begin
+          (* A signal handler or a [drain] request woke us. *)
+          (try ignore (Unix.read t.pipe_r (Bytes.create 16) 0 16) with _ -> ());
+          initiate_drain t
+        end
+        else begin
+          (if List.mem t.listen_fd readable then
+             match Unix.accept t.listen_fd with
+             | fd, _ ->
+               incr cid;
+               let conn = { fd; wlock = Mutex.create (); cid = !cid } in
+               Obs.Metrics.incr m_conns;
+               locked t.conns_lock (fun () ->
+                   Hashtbl.replace t.conns conn.cid conn;
+                   Hashtbl.replace t.conn_threads conn.cid
+                     (Thread.create (fun () -> conn_loop t conn) ()))
+             | exception Unix.Unix_error _ -> ());
+          accept_loop ()
+        end
+    end
+  in
+  accept_loop ();
+  initiate_drain t;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.listen with
+  | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ());
+  (* Workers first: every accepted request still gets its reply
+     before the sockets go away. *)
+  Option.iter Batcher.join t.batcher;
+  let conns = locked t.conns_lock (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []) in
+  List.iter
+    (fun c -> try Unix.shutdown c.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  let threads =
+    locked t.conns_lock (fun () ->
+        Hashtbl.fold (fun _ th acc -> th :: acc) t.conn_threads [])
+  in
+  List.iter Thread.join threads;
+  Option.iter Store.close t.store_;
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  try Unix.close t.pipe_w with Unix.Unix_error _ -> ()

@@ -1,0 +1,58 @@
+(** The mapping-query daemon: accept loop, connection threads,
+    admission control and graceful drain, wired around {!Admission},
+    {!Batcher}, {!Handlers} and {!Store}.
+
+    Life cycle: {!create} binds the socket and replays the store,
+    {!run} blocks in the accept loop until a drain completes, and
+    {!initiate_drain} (idempotent, thread-safe) starts the shutdown
+    sequence: cancel every in-flight {!Engine.Budget}, close the
+    admission queue, stop accepting, let the workers finish the
+    already-accepted requests (their replies still go out — cancelled
+    budgets make them bounded rather than lost), then shut the
+    connections down and flush the store.  Signal handlers must call
+    only {!wake} (a self-pipe write); [run] turns the wake-up into
+    [initiate_drain] from a normal context. *)
+
+type listen =
+  | Unix_sock of string  (** Path of a Unix-domain socket. *)
+  | Tcp of int           (** TCP port on 127.0.0.1; [0] picks a free port. *)
+
+type config = {
+  listen : listen;
+  jobs : int option;       (** Pool domains ([None]: runtime default). *)
+  max_inflight : int;      (** Batcher worker threads. *)
+  queue_capacity : int;    (** Admission queue bound; beyond it requests shed. *)
+  batch_max : int;         (** Largest batch fanned across the pool. *)
+  store_path : string option;
+  fsync_every : int;
+}
+
+val default_config : listen -> config
+(** [jobs = None], [max_inflight = 2], [queue_capacity = 256],
+    [batch_max = 32], no store, [fsync_every = 32]. *)
+
+type t
+
+val create : config -> t
+(** Bind the socket, open and replay the store, start the workers.
+    @raise Failure / [Unix.Unix_error] when the socket or store path
+    is unusable. *)
+
+val run : t -> unit
+(** The blocking accept loop; returns once a drain has fully
+    completed (store closed, sockets gone). *)
+
+val initiate_drain : t -> unit
+val wake : t -> unit
+(** Async-signal-safe drain trigger: one self-pipe write, nothing
+    else — safe to call from a [Sys.signal] handler. *)
+
+val port : t -> int option
+(** The bound TCP port ([None] for Unix sockets) — useful with
+    [Tcp 0]. *)
+
+val store : t -> Store.t option
+
+val stats_fields : t -> (string * Json.t) list
+(** The payload of a [stats] reply: queue depth, accepted / shed /
+    batched counts, draining flag and store statistics. *)

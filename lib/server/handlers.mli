@@ -1,0 +1,41 @@
+(** Request execution: one function per queued protocol operation,
+    each returning the payload fields of its [ok] reply.
+
+    Handlers are pure with respect to the connection — they never see
+    sockets, only a {!Protocol.request} plus the shared resources
+    (verdict {!Store}, per-request {!Engine.Budget}) — so the same
+    code serves the daemon, the in-process bench harness and the
+    differential tests. *)
+
+exception Bad_request of string
+(** A well-formed request the handlers cannot serve (unknown
+    algorithm, missing space mapping, oversized replay instance …);
+    the server maps it to a [bad_request] reply. *)
+
+val builtin_algorithm : string -> int -> Algorithm.t * Intmat.t option
+(** Resolve a built-in algorithm name ([matmul], [tc], [convolution],
+    [bitmm], [lu]) at problem size [mu], with its default space
+    mapping.  Shared with the CLI subcommands.
+    @raise Bad_request on an unknown name. *)
+
+val analyze :
+  store:Store.t option ->
+  budget:Engine.Budget.t ->
+  mu:int array ->
+  Intmat.t ->
+  (string * Json.t) list
+(** Fields: [verdict] (a {!Protocol.json_of_wire} object) and [store]
+    — ["hit"] (served from the store), ["miss"] (computed and
+    persisted), ["bypass"] (computed under budget pressure, hence
+    bounded and not persisted), or ["off"] (no store configured). *)
+
+val execute :
+  pool:Engine.Pool.t ->
+  store:Store.t option ->
+  budget:Engine.Budget.t ->
+  Protocol.request ->
+  (string * Json.t) list
+(** Dispatch one queued request ({!Protocol.queued}).
+    @raise Bad_request as above.
+    @raise Invalid_argument on [Ping]/[Stats]/[Drain], which the
+    connection loop answers inline. *)

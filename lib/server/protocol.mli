@@ -1,0 +1,97 @@
+(** The JSON-lines wire protocol of the mapping-query service.
+
+    One request object per line in, one reply object per line out.
+    Requests carry an [op] selecting the operation and an optional
+    [id] (any JSON value) echoed verbatim in the reply, so clients may
+    pipeline; the analysis operations reuse the schema-v2 field shapes
+    of the corresponding CLI subcommands.  The full grammar lives in
+    [docs/SERVER.md], the field catalogue in [docs/SCHEMA.md].
+
+    Replies are [{"id": ..., "ok": true, "op": ..., ...}] on success
+    and [{"id": ..., "ok": false, "error": <code>, "detail": ...}] on
+    failure, with [error] one of [parse_error], [bad_request],
+    [overloaded], [draining], [internal]. *)
+
+(** The renderable subset of an {!Analysis.verdict} — everything but
+    the wall-clock [timing], which would make equal verdicts compare
+    unequal.  A store hit and a fresh computation of the same query
+    render byte-identically through {!json_of_wire} (the differential
+    server tests rely on this). *)
+type verdict_wire = {
+  conflict_free : bool;
+  full_rank : bool;
+  decided_by : string;
+  exactness : string;  (** ["exact"] or ["bounded"]. *)
+  witness : int list option;
+}
+
+val wire_of_verdict : Analysis.verdict -> verdict_wire
+val wire_of_entry : Store.entry -> verdict_wire
+(** Stored entries are always exact. *)
+
+val entry_of_wire : verdict_wire -> Store.entry
+val json_of_wire : verdict_wire -> Json.t
+
+(** {1 Requests} *)
+
+type request =
+  | Analyze of { mu : int array; tmat : Intmat.t; deadline_ms : int option }
+  | Search of {
+      algorithm : string;
+      mu : int;
+      s : Intmat.t option;
+      pareto : bool;
+      array_dim : int;
+      deadline_ms : int option;
+    }
+  | Simulate of { algorithm : string; mu : int; s : Intmat.t option; pi : Intvec.t }
+  | Replay of { instance : Check.Instance.t }
+      (** Differential replay of one corpus-format instance:
+          {!Analysis.check} against the brute-force oracle. *)
+  | Ping
+  | Stats
+  | Drain
+
+type envelope = { id : Json.t; req : request }
+
+val op_name : request -> string
+
+val queued : request -> bool
+(** Whether the request goes through admission control ([analyze],
+    [search], [simulate], [replay]); [ping]/[stats]/[drain] are
+    answered inline by the connection thread. *)
+
+val deadline_ms : request -> int option
+
+val max_line_bytes : int
+(** Input-size cap applied to each request line (1 MiB) — far above
+    any legitimate request, far below memory exhaustion. *)
+
+val parse_request : Json.t -> (envelope, string) result
+val request_of_line : string -> (envelope, string) result
+(** {!Json.parse} (with {!max_line_bytes} and the default depth cap)
+    followed by {!parse_request}. *)
+
+(** {1 Client-side request builders} *)
+
+val analyze : ?id:Json.t -> ?deadline_ms:int -> mu:int array -> Intmat.t -> Json.t
+val search :
+  ?id:Json.t -> ?deadline_ms:int -> ?s:Intmat.t -> ?pareto:bool -> ?array_dim:int ->
+  algorithm:string -> mu:int -> unit -> Json.t
+val simulate : ?id:Json.t -> ?s:Intmat.t -> algorithm:string -> mu:int -> pi:Intvec.t -> unit -> Json.t
+val replay : ?id:Json.t -> Check.Instance.t -> Json.t
+val ping : ?id:Json.t -> unit -> Json.t
+val stats_request : ?id:Json.t -> unit -> Json.t
+val drain : ?id:Json.t -> unit -> Json.t
+
+(** {1 Replies} *)
+
+val ok_reply : id:Json.t -> op:string -> (string * Json.t) list -> Json.t
+val error_reply : id:Json.t -> code:string -> detail:string -> Json.t
+
+val reply_id : Json.t -> Json.t
+(** The echoed [id], [Null] when absent. *)
+
+val reply_ok : Json.t -> bool
+val error_code : Json.t -> string option
+(** The [error] field of a failure reply. *)

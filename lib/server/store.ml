@@ -1,0 +1,271 @@
+type entry = {
+  conflict_free : bool;
+  full_rank : bool;
+  decided_by : string;
+  witness : int list option;
+}
+
+type t = {
+  path : string;
+  fsync_every : int;
+  mutable oc : out_channel option;
+  (* content hash -> (canonical key, entry) bucket; the hash is the
+     journal's record address, the key string resolves collisions. *)
+  table : (int, (string * entry) list) Hashtbl.t;
+  lock : Mutex.t;
+  mutable pending : int; (* appends since the last fsync *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable appended : int;
+  mutable loaded : int;
+  mutable dropped_bytes : int;
+}
+
+type stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  appended : int;
+  loaded : int;
+  dropped_bytes : int;
+}
+
+let header = "shangfortes-store 1"
+
+let m_hits = Obs.Metrics.counter "server.store.hits"
+let m_misses = Obs.Metrics.counter "server.store.misses"
+
+(* FNV-1a over the record body: cheap, byte-order-free, and enough to
+   detect a torn tail (we are defending against crashes, not
+   adversaries — the store path is operator-controlled). *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF) s;
+  !h
+
+(* ------------------------- key + record codec ---------------------- *)
+
+let csv ints = String.concat "," (List.map string_of_int ints)
+
+let parse_csv s =
+  match List.map (fun x -> int_of_string (String.trim x)) (String.split_on_char ',' s) with
+  | ints -> ints
+  | exception Failure _ -> failwith "bad integer list"
+
+let key_string ~mu t =
+  let rows = List.map csv (Intmat.to_ints t) in
+  Printf.sprintf "mu=%s;t=%s" (csv (Array.to_list mu)) (String.concat ";" rows)
+
+(* Masked to 32 bits because that is what the journal records — the
+   reloaded table must key on the same value [find] recomputes. *)
+let key_hash ~mu t =
+  Engine.Cache.key_hash (Intmat.append_row t (Intvec.of_int_array mu)) land 0xFFFFFFFF
+
+let entry_payload e =
+  Printf.sprintf "free=%d;rank=%d;by=%s;wit=%s"
+    (Bool.to_int e.conflict_free)
+    (Bool.to_int e.full_rank)
+    e.decided_by
+    (match e.witness with None -> "-" | Some w -> csv w)
+
+(* One record line: "v <hash-hex> <key> <entry> <crc-hex>".  No token
+   contains a space (keys and entries are csv/semicolon-separated), so
+   the line splits unambiguously. *)
+let record_line hash key e =
+  let body = Printf.sprintf "%08x %s %s" (hash land 0xFFFFFFFF) key (entry_payload e) in
+  Printf.sprintf "v %s %08x" body (fnv1a body)
+
+let parse_record line =
+  match String.split_on_char ' ' line with
+  | [ "v"; hash_hex; key; payload; crc_hex ] ->
+    let body = Printf.sprintf "%s %s %s" hash_hex key payload in
+    let crc = int_of_string ("0x" ^ crc_hex) in
+    if fnv1a body <> crc then failwith "checksum mismatch";
+    let hash = int_of_string ("0x" ^ hash_hex) in
+    let field name s =
+      let prefix = name ^ "=" in
+      let n = String.length prefix in
+      if String.length s >= n && String.sub s 0 n = prefix then
+        String.sub s n (String.length s - n)
+      else failwith ("missing field " ^ name)
+    in
+    let e =
+      match String.split_on_char ';' payload with
+      | [ f; r; b; w ] ->
+        {
+          conflict_free = field "free" f = "1";
+          full_rank = field "rank" r = "1";
+          decided_by = field "by" b;
+          witness =
+            (match field "wit" w with "-" -> None | s -> Some (parse_csv s));
+        }
+      | _ -> failwith "bad entry payload"
+    in
+    (hash, key, e)
+  | _ -> failwith "bad record shape"
+
+(* ------------------------------ journal ---------------------------- *)
+
+let fsync_out oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Replay the journal, returning the records of the valid prefix and
+   its byte length.  The prefix ends at the first line that is
+   incomplete (no trailing newline), malformed, or checksum-corrupt —
+   everything after a bad frame is untrustworthy in an append-only
+   journal. *)
+let replay contents =
+  let n = String.length contents in
+  let records = ref [] in
+  let rec go offset =
+    if offset >= n then offset
+    else
+      match String.index_from_opt contents offset '\n' with
+      | None -> offset (* torn tail: line without newline *)
+      | Some nl -> (
+        let line = String.sub contents offset (nl - offset) in
+        match parse_record line with
+        | r ->
+          records := r :: !records;
+          go (nl + 1)
+        | exception _ -> offset)
+  in
+  let header_end =
+    match String.index_opt contents '\n' with
+    | Some nl when String.sub contents 0 nl = header -> Some (nl + 1)
+    | _ -> None
+  in
+  match header_end with
+  | None -> None
+  | Some start ->
+    let valid = go start in
+    Some (List.rev !records, valid)
+
+let open_ ?(fsync_every = 32) path =
+  if fsync_every < 1 then invalid_arg "Store.open_: fsync_every must be >= 1";
+  let t =
+    {
+      path;
+      fsync_every;
+      oc = None;
+      table = Hashtbl.create 1024;
+      lock = Mutex.create ();
+      pending = 0;
+      hits = 0;
+      misses = 0;
+      appended = 0;
+      loaded = 0;
+      dropped_bytes = 0;
+    }
+  in
+  let contents =
+    if Sys.file_exists path then In_channel.with_open_bin path In_channel.input_all
+    else ""
+  in
+  if contents = "" then begin
+    let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+    output_string oc header;
+    output_char oc '\n';
+    fsync_out oc;
+    t.oc <- Some oc
+  end
+  else begin
+    match replay contents with
+    | None -> failwith (Printf.sprintf "Store.open_: %s is not a store journal" path)
+    | Some (records, valid) ->
+      List.iter
+        (fun (hash, key, e) ->
+          let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table hash) in
+          if not (List.mem_assoc key bucket) then begin
+            Hashtbl.replace t.table hash ((key, e) :: bucket);
+            t.loaded <- t.loaded + 1
+          end)
+        records;
+      t.dropped_bytes <- String.length contents - valid;
+      if t.dropped_bytes > 0 then begin
+        (* Truncate the torn tail so the next append starts a clean
+           frame instead of extending a partial one. *)
+        Unix.truncate path valid;
+        ignore
+          (Obs.Warn.once
+             ("server.store.recovered:" ^ path)
+             (Printf.sprintf
+                "store %s: dropped %d bytes of torn journal tail (crash recovery)" path
+                t.dropped_bytes))
+      end;
+      t.oc <- Some (open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path)
+  end;
+  t
+
+let oc_exn t =
+  match t.oc with Some oc -> oc | None -> failwith "Store: used after close"
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t ~mu tm =
+  let hash = key_hash ~mu tm in
+  let key = key_string ~mu tm in
+  locked t (fun () ->
+      match Option.bind (Hashtbl.find_opt t.table hash) (List.assoc_opt key) with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        Obs.Metrics.incr m_hits;
+        Some e
+      | None ->
+        t.misses <- t.misses + 1;
+        Obs.Metrics.incr m_misses;
+        None)
+
+let add t ~mu tm e =
+  let hash = key_hash ~mu tm in
+  let key = key_string ~mu tm in
+  locked t (fun () ->
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table hash) in
+      if not (List.mem_assoc key bucket) then begin
+        Hashtbl.replace t.table hash ((key, e) :: bucket);
+        let oc = oc_exn t in
+        output_string oc (record_line hash key e);
+        output_char oc '\n';
+        flush oc;
+        t.appended <- t.appended + 1;
+        t.pending <- t.pending + 1;
+        if t.pending >= t.fsync_every then begin
+          fsync_out oc;
+          t.pending <- 0
+        end
+      end)
+
+let flush t =
+  locked t (fun () ->
+      fsync_out (oc_exn t);
+      t.pending <- 0)
+
+let close t =
+  locked t (fun () ->
+      let oc = oc_exn t in
+      fsync_out oc;
+      close_out oc;
+      t.oc <- None)
+
+let stats t =
+  locked t (fun () ->
+      let entries = Hashtbl.fold (fun _ b acc -> acc + List.length b) t.table 0 in
+      {
+        entries;
+        hits = t.hits;
+        misses = t.misses;
+        appended = t.appended;
+        loaded = t.loaded;
+        dropped_bytes = t.dropped_bytes;
+      })
+
+let entry_of_verdict (v : Analysis.verdict) =
+  {
+    conflict_free = v.Analysis.conflict_free;
+    full_rank = v.Analysis.full_rank;
+    decided_by = Analysis.decided_by_name v.Analysis.decided_by;
+    witness = Option.map Intvec.to_ints v.Analysis.witness;
+  }

@@ -1,0 +1,75 @@
+(** Persistent content-addressed store of {!Analysis.check} verdicts.
+
+    The store is the server's warm cache across restarts: an
+    append-only on-disk journal, one record per exact verdict, keyed
+    by the same Intmat content hash the in-memory
+    {!Engine.Cache} tables use (the k×n mapping matrix with [mu]
+    stacked as an extra row).  At {!open_} the journal is replayed
+    into a hash table; every {!add} appends one record.
+
+    Durability and recovery:
+
+    - {e fsync batching}: appends are flushed to the OS on every
+      record but [fsync]ed only every [fsync_every] records (and on
+      {!flush}/{!close}), so a 10k-request burst does not pay 10k
+      disk syncs.  A crash loses at most the un-synced tail.
+    - {e crash-truncation recovery}: every record carries a checksum
+      over its content.  Replay stops at the first incomplete or
+      corrupt record — a torn tail from a crash mid-append — and the
+      journal is truncated back to the last valid record, so the next
+      append starts from a clean frame.  The dropped byte count is
+      reported in {!stats}.
+
+    Only verdicts with [exactness = Exact] belong in the store
+    (bounded verdicts depend on the budget that produced them);
+    callers enforce this, see [Handlers].  All operations are
+    thread-safe. *)
+
+type entry = {
+  conflict_free : bool;
+  full_rank : bool;
+  decided_by : string;  (** {!Analysis.decided_by_name} of the verdict. *)
+  witness : int list option;
+}
+
+type t
+
+val open_ : ?fsync_every:int -> string -> t
+(** Open (creating if absent) the journal at the given path and replay
+    it.  [fsync_every] (default 32) is the record count between
+    [fsync]s.
+    @raise Failure when the file exists but is not a store journal
+    (wrong header) — the store never clobbers a foreign file.
+    @raise Sys_error when the path is not readable/writable. *)
+
+val find : t -> mu:int array -> Intmat.t -> entry option
+(** Look up the verdict for [(t, mu)].  Bumps the
+    [server.store.hits] / [server.store.misses] metrics. *)
+
+val add : t -> mu:int array -> Intmat.t -> entry -> unit
+(** Record a verdict and append it to the journal.  A key already
+    present is a no-op (verdicts are deterministic, so the entry can
+    only be identical). *)
+
+val flush : t -> unit
+(** Flush buffered appends and [fsync] the journal. *)
+
+val close : t -> unit
+(** {!flush}, then close the journal.  The store must not be used
+    afterwards. *)
+
+type stats = {
+  entries : int;        (** Keys currently held in memory. *)
+  hits : int;           (** {!find} successes since {!open_}. *)
+  misses : int;         (** {!find} failures since {!open_}. *)
+  appended : int;       (** Records written by this process. *)
+  loaded : int;         (** Records replayed from disk at {!open_}. *)
+  dropped_bytes : int;  (** Torn tail truncated away at {!open_}. *)
+}
+
+val stats : t -> stats
+
+val entry_of_verdict : Analysis.verdict -> entry
+(** Project the storable fields ([timing] and [exactness] are not
+    persisted — the former is nondeterministic, the latter is always
+    [Exact] for stored verdicts). *)

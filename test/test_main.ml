@@ -25,5 +25,6 @@ let () =
       ("edge-cases", Test_edge.suite);
       ("scale", Test_scale.suite);
       ("report", Test_report.suite);
+      ("server", Test_server.suite);
       ("paper-facts", Test_paper.suite);
     ]

@@ -57,9 +57,59 @@ let test_json_versioned () =
     Alcotest.(check int) "fields follow" 1 (List.length rest)
   | _ -> Alcotest.fail "versioned document must lead with schema_version and command"
 
+let test_parse_depth_cap () =
+  (* Within the cap parses; one level past it must fail with the
+     structured error, never a stack overflow. *)
+  let nested depth = String.make depth '[' ^ String.make depth ']' in
+  (match Json.parse ~max_depth:10 (nested 10) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 10 under cap 10 rejected: %s" e);
+  (match Json.parse ~max_depth:10 (nested 11) with
+  | Ok _ -> Alcotest.fail "depth 11 over cap 10 accepted"
+  | Error e ->
+    Alcotest.(check bool) "mentions nesting" true
+      (String.length e > 0
+      && List.exists
+           (fun w -> w = "nesting")
+           (String.split_on_char ' ' e)));
+  (* The default cap keeps adversarial input from overflowing the
+     stack: 100k levels must come back as a clean [Error]. *)
+  match Json.parse (nested 100_000) with
+  | Ok _ -> Alcotest.fail "100k levels accepted"
+  | Error _ -> ()
+
+let test_parse_depth_cap_objects () =
+  let b = Buffer.create 256 in
+  for _ = 1 to 12 do Buffer.add_string b {|{"k":|} done;
+  Buffer.add_string b "1";
+  for _ = 1 to 12 do Buffer.add_char b '}' done;
+  let doc = Buffer.contents b in
+  (match Json.parse ~max_depth:12 doc with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "object depth 12 under cap 12 rejected: %s" e);
+  match Json.parse ~max_depth:11 doc with
+  | Ok _ -> Alcotest.fail "object depth 12 over cap 11 accepted"
+  | Error _ -> ()
+
+let test_parse_size_cap () =
+  let doc = Printf.sprintf {|{"pad":"%s"}|} (String.make 64 'x') in
+  (match Json.parse ~max_bytes:(String.length doc) doc with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "input at the byte cap rejected: %s" e);
+  (match Json.parse ~max_bytes:(String.length doc - 1) doc with
+  | Ok _ -> Alcotest.fail "input over the byte cap accepted"
+  | Error e ->
+    Alcotest.(check bool) "mentions size" true
+      (List.exists (fun w -> w = "large:") (String.split_on_char ' ' e)));
+  Alcotest.(check bool) "default caps exposed" true
+    (Json.default_max_bytes > 0 && Json.default_max_depth > 0)
+
 let suite =
   [
     Alcotest.test_case "alignment" `Quick test_render_alignment;
+    Alcotest.test_case "parse depth cap" `Quick test_parse_depth_cap;
+    Alcotest.test_case "parse depth cap (objects)" `Quick test_parse_depth_cap_objects;
+    Alcotest.test_case "parse size cap" `Quick test_parse_size_cap;
     Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
     Alcotest.test_case "int row" `Quick test_int_row;
     Alcotest.test_case "json serialization" `Quick test_json_serialization;

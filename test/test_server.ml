@@ -1,0 +1,368 @@
+(* Tests for the mapping-query service: store persistence and crash
+   recovery, admission control, the wire protocol, and a live
+   differential run replaying the regression corpus through a real
+   daemon (cold store, warm store, and after a restart). *)
+
+module Store = Server.Store
+module Protocol = Server.Protocol
+module Admission = Server.Admission
+module Daemon = Server.Daemon
+module Client = Server.Client
+
+let fresh_path =
+  let counter = ref 0 in
+  fun suffix ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sf-test-%d-%d%s" (Unix.getpid ()) !counter suffix)
+
+let mu1 = [| 4; 4; 4 |]
+let t1 = Intmat.of_ints [ [ 1; 1; -1 ]; [ 1; 4; 1 ] ]
+let mu2 = [| 6; 6; 6; 6 |]
+let t2 = Intmat.of_ints [ [ 1; 7; 1; 1 ]; [ 1; 7; 1; 0 ] ]
+
+(* ------------------------------- store ------------------------------ *)
+
+let test_store_roundtrip () =
+  let path = fresh_path ".store" in
+  let s = Store.open_ path in
+  Alcotest.(check bool) "cold miss" true (Store.find s ~mu:mu1 t1 = None);
+  let e1 = Store.entry_of_verdict (Analysis.check ~mu:mu1 t1) in
+  let e2 = Store.entry_of_verdict (Analysis.check ~mu:mu2 t2) in
+  Store.add s ~mu:mu1 t1 e1;
+  Store.add s ~mu:mu2 t2 e2;
+  Alcotest.(check bool) "hit after add" true (Store.find s ~mu:mu1 t1 = Some e1);
+  Store.close s;
+  (* A fresh process sees everything. *)
+  let s = Store.open_ path in
+  let st = Store.stats s in
+  Alcotest.(check int) "loaded" 2 st.Store.loaded;
+  Alcotest.(check int) "nothing dropped" 0 st.Store.dropped_bytes;
+  Alcotest.(check bool) "warm hit 1" true (Store.find s ~mu:mu1 t1 = Some e1);
+  Alcotest.(check bool) "warm hit 2" true (Store.find s ~mu:mu2 t2 = Some e2);
+  (* Same mapping matrix, different bounds: a distinct key. *)
+  Alcotest.(check bool) "distinct mu" true (Store.find s ~mu:[| 9; 9; 9 |] t1 = None);
+  Store.close s;
+  Sys.remove path
+
+let test_store_crash_recovery () =
+  let path = fresh_path ".store" in
+  let s = Store.open_ path in
+  let e1 = Store.entry_of_verdict (Analysis.check ~mu:mu1 t1) in
+  let e2 = Store.entry_of_verdict (Analysis.check ~mu:mu2 t2) in
+  Store.add s ~mu:mu1 t1 e1;
+  Store.add s ~mu:mu2 t2 e2;
+  Store.close s;
+  (* Tear the last record mid-line, as a crash between [write] and
+     the terminating newline would. *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Unix.truncate path (String.length full - 7);
+  let s = Store.open_ path in
+  let st = Store.stats s in
+  Alcotest.(check int) "one record survives" 1 st.Store.loaded;
+  Alcotest.(check bool) "torn tail dropped" true (st.Store.dropped_bytes > 0);
+  Alcotest.(check bool) "survivor readable" true (Store.find s ~mu:mu1 t1 = Some e1);
+  Alcotest.(check bool) "torn record gone" true (Store.find s ~mu:mu2 t2 = None);
+  (* The journal is whole again: appends after recovery persist. *)
+  Store.add s ~mu:mu2 t2 e2;
+  Store.close s;
+  let s = Store.open_ path in
+  Alcotest.(check int) "re-added persists" 2 (Store.stats s).Store.loaded;
+  Alcotest.(check int) "clean reopen" 0 (Store.stats s).Store.dropped_bytes;
+  Store.close s;
+  Sys.remove path
+
+let test_store_corrupt_record () =
+  let path = fresh_path ".store" in
+  let s = Store.open_ path in
+  Store.add s ~mu:mu1 t1 (Store.entry_of_verdict (Analysis.check ~mu:mu1 t1));
+  Store.add s ~mu:mu2 t2 (Store.entry_of_verdict (Analysis.check ~mu:mu2 t2));
+  Store.close s;
+  (* Flip a byte inside the first record: the checksum must reject it
+     AND everything after it (append-only journals have no frame
+     resync). *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let header_end = String.index full '\n' + 1 in
+  let b = Bytes.of_string full in
+  Bytes.set b (header_end + 3) 'Z';
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  let s = Store.open_ path in
+  Alcotest.(check int) "nothing trusted past corruption" 0 (Store.stats s).Store.loaded;
+  Alcotest.(check bool) "bytes dropped" true ((Store.stats s).Store.dropped_bytes > 0);
+  Store.close s;
+  Sys.remove path
+
+let test_store_foreign_file () =
+  let path = fresh_path ".store" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "not a journal\n");
+  Alcotest.(check bool) "refuses foreign file" true
+    (try
+       ignore (Store.open_ path);
+       false
+     with Failure _ -> true);
+  Sys.remove path
+
+(* ----------------------------- admission ---------------------------- *)
+
+let test_admission_shedding () =
+  let q = Admission.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Admission.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Admission.try_push q 2);
+  Alcotest.(check bool) "push 3 shed" false (Admission.try_push q 3);
+  Alcotest.(check int) "depth" 2 (Admission.length q);
+  Admission.close q;
+  Alcotest.(check bool) "push after close shed" false (Admission.try_push q 4);
+  (* Queued items still drain after close... *)
+  Alcotest.(check (option (list int))) "drain" (Some [ 1; 2 ])
+    (Admission.pop_batch q ~max:8 ~compatible:(fun _ _ -> true));
+  (* ...then consumers get the end-of-queue signal. *)
+  Alcotest.(check (option (list int))) "closed" None
+    (Admission.pop_batch q ~max:8 ~compatible:(fun _ _ -> true))
+
+let test_admission_batching () =
+  let q = Admission.create ~capacity:16 in
+  List.iter (fun x -> ignore (Admission.try_push q x)) [ 2; 4; 6; 7; 8 ];
+  let even a b = a mod 2 = b mod 2 in
+  (* The batch is the compatible prefix, cut at the first mismatch. *)
+  Alcotest.(check (option (list int))) "even prefix" (Some [ 2; 4; 6 ])
+    (Admission.pop_batch q ~max:8 ~compatible:even);
+  Alcotest.(check (option (list int))) "odd singleton" (Some [ 7 ])
+    (Admission.pop_batch q ~max:8 ~compatible:even);
+  (* [max] bounds the batch even when everything is compatible. *)
+  List.iter (fun x -> ignore (Admission.try_push q x)) [ 10; 12 ];
+  Alcotest.(check (option (list int))) "max cut" (Some [ 8; 10 ])
+    (Admission.pop_batch q ~max:2 ~compatible:even)
+
+(* ----------------------------- protocol ----------------------------- *)
+
+let test_protocol_roundtrip () =
+  let check_roundtrip name json expect_op =
+    match Protocol.request_of_line (Json.to_string json) with
+    | Ok env -> Alcotest.(check string) name expect_op (Protocol.op_name env.Protocol.req)
+    | Error e -> Alcotest.failf "%s rejected: %s" name e
+  in
+  check_roundtrip "analyze" (Protocol.analyze ~id:(Json.Int 1) ~mu:mu1 t1) "analyze";
+  check_roundtrip "analyze w/ deadline"
+    (Protocol.analyze ~deadline_ms:50 ~mu:mu1 t1)
+    "analyze";
+  check_roundtrip "search"
+    (Protocol.search ~algorithm:"matmul" ~mu:3 ~pareto:true ~array_dim:1 ())
+    "search";
+  check_roundtrip "simulate"
+    (Protocol.simulate ~algorithm:"matmul" ~mu:2 ~pi:(Intvec.of_ints [ 1; 1; 1 ]) ())
+    "simulate";
+  check_roundtrip "replay"
+    (Protocol.replay (Check.Instance.make ~mu:mu1 t1))
+    "replay";
+  check_roundtrip "ping" (Protocol.ping ~id:(Json.Str "x") ()) "ping";
+  check_roundtrip "stats" (Protocol.stats_request ()) "stats";
+  check_roundtrip "drain" (Protocol.drain ()) "drain"
+
+let test_protocol_rejects () =
+  let rejected line =
+    match Protocol.request_of_line line with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "not json" true (rejected "nope");
+  Alcotest.(check bool) "not an object" true (rejected "[1,2]");
+  Alcotest.(check bool) "missing op" true (rejected {|{"id":1}|});
+  Alcotest.(check bool) "unknown op" true (rejected {|{"op":"frobnicate"}|});
+  Alcotest.(check bool) "mu arity mismatch" true
+    (rejected {|{"op":"analyze","t":[[1,1,-1]],"mu":[4,4]}|});
+  Alcotest.(check bool) "mu below 1" true
+    (rejected {|{"op":"analyze","t":[[1,1,-1]],"mu":[4,0,4]}|});
+  Alcotest.(check bool) "ragged matrix" true
+    (rejected {|{"op":"analyze","t":[[1,1],[1]],"mu":[4,4]}|})
+
+let test_protocol_id_echo () =
+  match Protocol.request_of_line {|{"op":"ping","id":{"seq":7}}|} with
+  | Ok env ->
+    let reply = Protocol.ok_reply ~id:env.Protocol.id ~op:"ping" [] in
+    Alcotest.(check string) "structured id echoed"
+      {|{"id":{"seq":7},"ok":true,"op":"ping"}|}
+      (Json.to_string reply);
+    Alcotest.(check bool) "reply_ok" true (Protocol.reply_ok reply)
+  | Error e -> Alcotest.failf "ping with structured id rejected: %s" e
+
+(* ----------------------------- live server -------------------------- *)
+
+let boot ?store_path () =
+  let sock = fresh_path ".sock" in
+  let cfg =
+    {
+      (Daemon.default_config (Daemon.Unix_sock sock)) with
+      jobs = Some 2;
+      store_path;
+    }
+  in
+  let d = Daemon.create cfg in
+  let th = Thread.create Daemon.run d in
+  (d, th, sock)
+
+let shutdown (d, th, _sock) =
+  Daemon.initiate_drain d;
+  Thread.join th
+
+let direct_verdict (inst : Check.Instance.t) =
+  Json.to_string
+    (Protocol.json_of_wire
+       (Protocol.wire_of_verdict
+          (Analysis.check ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat)))
+
+let analyze_via conn (inst : Check.Instance.t) =
+  let reply =
+    Client.request conn
+      (Protocol.analyze ~id:(Json.Int 0) ~mu:inst.Check.Instance.mu
+         inst.Check.Instance.tmat)
+  in
+  Alcotest.(check bool) "reply ok" true (Protocol.reply_ok reply);
+  let verdict =
+    match Json.member "verdict" reply with
+    | Some v -> Json.to_string v
+    | None -> Alcotest.fail "analyze reply without verdict"
+  in
+  let status =
+    match Json.member "store" reply with
+    | Some (Json.Str s) -> s
+    | _ -> Alcotest.fail "analyze reply without store status"
+  in
+  (verdict, status)
+
+let test_live_corpus_differential () =
+  let corpus = Check.Corpus.load_dir "corpus" in
+  Alcotest.(check bool) "corpus present" true (corpus <> []);
+  let store_path = fresh_path ".store" in
+  let server = boot ~store_path () in
+  let _, _, sock = server in
+  let conn = Client.connect (`Unix sock) in
+  (* Cold pass: every verdict is computed, persisted, and must render
+     byte-identically to a direct local Analysis.check. *)
+  List.iter
+    (fun (name, inst) ->
+      let verdict, status = analyze_via conn inst in
+      Alcotest.(check string) ("cold " ^ name) (direct_verdict inst) verdict;
+      Alcotest.(check string) ("cold status " ^ name) "miss" status)
+    corpus;
+  (* Warm pass on the same server: served from the store, same bytes. *)
+  List.iter
+    (fun (name, inst) ->
+      let verdict, status = analyze_via conn inst in
+      Alcotest.(check string) ("warm " ^ name) (direct_verdict inst) verdict;
+      Alcotest.(check string) ("warm status " ^ name) "hit" status)
+    corpus;
+  Client.close conn;
+  shutdown server;
+  (* Restart on the same journal: the store survives the round trip
+     and the warm hits keep their bytes. *)
+  let server = boot ~store_path () in
+  let _, _, sock = server in
+  let conn = Client.connect (`Unix sock) in
+  List.iter
+    (fun (name, inst) ->
+      let verdict, status = analyze_via conn inst in
+      Alcotest.(check string) ("post-restart " ^ name) (direct_verdict inst) verdict;
+      Alcotest.(check string) ("post-restart status " ^ name) "hit" status)
+    corpus;
+  let stats = Client.request conn (Protocol.stats_request ~id:(Json.Int 1) ()) in
+  (match Json.member "store" stats with
+  | Some store -> (
+    match (Json.member "loaded" store, Json.member "hits" store) with
+    | Some (Json.Int loaded), Some (Json.Int hits) ->
+      Alcotest.(check bool) "journal replayed at boot" true (loaded > 0);
+      Alcotest.(check bool) "post-restart hit rate > 0" true (hits > 0)
+    | _ -> Alcotest.fail "stats reply without store.loaded/store.hits")
+  | None -> Alcotest.fail "stats reply without store");
+  Client.close conn;
+  shutdown server;
+  Sys.remove store_path
+
+let test_live_replay_op () =
+  let corpus = Check.Corpus.load_dir "corpus" in
+  let server = boot () in
+  let _, _, sock = server in
+  let conn = Client.connect (`Unix sock) in
+  List.iter
+    (fun (name, inst) ->
+      let reply = Client.request conn (Protocol.replay ~id:(Json.Str name) inst) in
+      Alcotest.(check bool) (name ^ " ok") true (Protocol.reply_ok reply);
+      match Json.member "agree" reply with
+      | Some (Json.Bool agree) ->
+        Alcotest.(check bool) (name ^ " fast path agrees with oracle") true agree
+      | Some Json.Null -> () (* index set too large for the oracle *)
+      | _ -> Alcotest.fail "replay reply without agree")
+    corpus;
+  Client.close conn;
+  shutdown server
+
+let test_live_bad_requests () =
+  let server = boot () in
+  let _, _, sock = server in
+  let conn = Client.connect (`Unix sock) in
+  let reply = Client.request conn (Json.Str "not an object") in
+  Alcotest.(check bool) "rejected" false (Protocol.reply_ok reply);
+  Alcotest.(check (option string)) "bad_request" (Some "bad_request")
+    (Protocol.error_code reply);
+  let reply =
+    Client.request conn
+      (Json.Obj [ ("op", Json.Str "search"); ("algorithm", Json.Str "nope"); ("mu", Json.Int 2) ])
+  in
+  Alcotest.(check (option string)) "unknown algorithm is bad_request" (Some "bad_request")
+    (Protocol.error_code reply);
+  (* Unknown-algorithm failures must not poison the connection. *)
+  let reply = Client.request conn (Protocol.ping ~id:(Json.Int 9) ()) in
+  Alcotest.(check bool) "still serving" true (Protocol.reply_ok reply);
+  Client.close conn;
+  shutdown server
+
+let test_live_drain_rejects () =
+  let server = boot () in
+  let d, _, sock = server in
+  let conn = Client.connect (`Unix sock) in
+  let reply = Client.request conn (Protocol.drain ~id:(Json.Int 1) ()) in
+  Alcotest.(check bool) "drain acknowledged" true (Protocol.reply_ok reply);
+  (* After the ack the drain runs concurrently, so the follow-up is
+     refused one of two ways: an explicit "draining" reply if the
+     connection thread is still reading, or a closed socket if the
+     shutdown won the race.  Only a successful verdict would be a
+     bug. *)
+  (match Client.request conn (Protocol.analyze ~id:(Json.Int 2) ~mu:mu1 t1) with
+  | reply ->
+    Alcotest.(check (option string)) "queued work refused while draining"
+      (Some "draining") (Protocol.error_code reply)
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) -> ()
+  | exception Failure _ -> ());
+  ignore (Daemon.stats_fields d);
+  Client.close conn;
+  shutdown server
+
+let test_live_load_verified () =
+  (* A small version of the CI smoke run: concurrent verified load,
+     zero disagreements, zero unexplained sheds. *)
+  let server = boot ~store_path:(fresh_path ".store") () in
+  let _, _, sock = server in
+  let r =
+    Client.load (`Unix sock)
+      { Client.default_load with requests = 200; concurrency = 4; distinct = 16 }
+  in
+  Alcotest.(check int) "no disagreements" 0 r.Client.disagreements;
+  Alcotest.(check int) "no transport errors" 0 r.Client.errors;
+  Alcotest.(check int) "no sheds at default capacity" 0 r.Client.shed;
+  Alcotest.(check int) "all replies ok" 200 r.Client.ok;
+  shutdown server
+
+let suite =
+  [
+    Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;
+    Alcotest.test_case "store crash recovery" `Quick test_store_crash_recovery;
+    Alcotest.test_case "store corrupt record" `Quick test_store_corrupt_record;
+    Alcotest.test_case "store foreign file" `Quick test_store_foreign_file;
+    Alcotest.test_case "admission shedding" `Quick test_admission_shedding;
+    Alcotest.test_case "admission batching" `Quick test_admission_batching;
+    Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "protocol rejects" `Quick test_protocol_rejects;
+    Alcotest.test_case "protocol id echo" `Quick test_protocol_id_echo;
+    Alcotest.test_case "live corpus differential" `Quick test_live_corpus_differential;
+    Alcotest.test_case "live replay op" `Quick test_live_replay_op;
+    Alcotest.test_case "live bad requests" `Quick test_live_bad_requests;
+    Alcotest.test_case "live drain rejects" `Quick test_live_drain_rejects;
+    Alcotest.test_case "live verified load" `Quick test_live_load_verified;
+  ]
