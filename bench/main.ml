@@ -835,6 +835,35 @@ let serve_bench ?(quick = false) () =
       ("store_loaded_at_restart", Json.Int loaded);
     ]
 
+(* Chaos bench: the daemon under a seeded fault plan, driven by the
+   retrying client.  The interesting numbers are the recovery-latency
+   percentiles (requests that needed more than one attempt) next to
+   the overall ones; the section also asserts the convergence
+   contract — chaos must never trade correctness for latency.
+   Returns the JSON "chaos" section of the bench report
+   (docs/SCHEMA.md). *)
+
+let chaos_bench ?(quick = false) () =
+  Printf.printf "\n== chaos: daemon under seeded fault plan, retrying client ==\n";
+  let requests = if quick then 200 else 1000 in
+  let r =
+    Server.Chaos.run
+      { Server.Chaos.default_config with requests; rate = 0.08; seed = 42 }
+  in
+  Printf.printf
+    "%5d req  %d faults  %d worker deaths  %d retried\n\
+     overall  p50 %6.2f ms  p95 %6.2f ms  p99 %6.2f ms\n\
+     recovery p50 %6.2f ms  p95 %6.2f ms  max %6.2f ms\n\
+     %s (fingerprint %s)\n"
+    requests r.Server.Chaos.faults r.Server.Chaos.worker_deaths
+    r.Server.Chaos.retried r.Server.Chaos.p50_ms r.Server.Chaos.p95_ms
+    r.Server.Chaos.p99_ms r.Server.Chaos.recovery_p50_ms
+    r.Server.Chaos.recovery_p95_ms r.Server.Chaos.recovery_max_ms
+    (if r.Server.Chaos.converged then "converged" else "DIVERGED")
+    r.Server.Chaos.fingerprint;
+  assert r.Server.Chaos.converged;
+  Server.Chaos.json_of_report r
+
 (* ------------------------------------------------------------------ *)
 (* The perf driver: micro benches (unless --quick) + engine benches,
    folded into one schema-versioned JSON report named after the git
@@ -859,6 +888,7 @@ let perf ?(quick = false) ?out () =
   Obs.Trace.disable ();
   let phases = Obs.Export.phases (Obs.Trace.aggregate (Obs.Trace.spans ())) in
   let serve = serve_bench ~quick () in
+  let chaos = chaos_bench ~quick () in
   let rev = git_rev () in
   let path =
     match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" rev
@@ -876,6 +906,7 @@ let perf ?(quick = false) ?out () =
                micro) );
         ("engine", engine);
         ("serve", serve);
+        ("chaos", chaos);
         ("phases", phases);
       ]
   in
@@ -949,7 +980,9 @@ let () =
         | None ->
           if name = "engine" then ignore (engine_bench ())
           else if name = "serve" then ignore (serve_bench ())
+          else if name = "chaos" then ignore (chaos_bench ())
           else
-            Printf.eprintf "unknown experiment %s (e1..e16, engine, serve, perf, diff, quick)\n"
+            Printf.eprintf
+              "unknown experiment %s (e1..e16, engine, serve, chaos, perf, diff, quick)\n"
               name)
       names

@@ -1140,6 +1140,139 @@ let client_cmd =
       $ seed_arg $ size_arg $ no_verify_arg $ deadline_arg $ expect_no_shed_arg $ out_arg
       $ format_arg $ obs_term)
 
+(* ------------------------------- chaos ----------------------------- *)
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seeds the instance stream, the fault plan and the retry jitter.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 500 & info [ "requests" ] ~docv:"N" ~doc:"Total requests to drive.")
+  in
+  let distinct_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "distinct" ] ~docv:"N" ~doc:"Distinct instances in the cycled pool.")
+  in
+  let size_arg =
+    Arg.(value & opt int 4 & info [ "size" ] ~docv:"N" ~doc:"Instance stream size parameter.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (list string) [ "io"; "worker"; "conn" ]
+      & info [ "faults" ] ~docv:"CLASSES"
+          ~doc:"Comma-separated fault classes to arm: io, conn, worker, clock.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "rate" ] ~docv:"P" ~doc:"Per-consult fault probability in [0,1].")
+  in
+  let concurrency_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "concurrency" ] ~docv:"N"
+          ~doc:
+            "Driver threads.  The default 1 keeps the fault log byte-identical across \
+             runs with the same seed; higher values trade that for contention.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Daemon pool domains (default: runtime choice).")
+  in
+  let expect_converged_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-converged" ]
+          ~doc:
+            "Exit nonzero unless the run converged: zero verdict disagreements and zero \
+             lost acknowledged writes (CI mode).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  let fault_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-log" ] ~docv:"FILE"
+          ~doc:
+            "Write the canonical fault log (one $(i,site#seq action) line each) to \
+             $(docv); two runs with the same seed must produce identical files.")
+  in
+  let run seed requests distinct size classes rate concurrency jobs expect_converged out
+      fault_log fmt obs =
+    obs_begin obs;
+    let r =
+      Server.Chaos.run
+        {
+          Server.Chaos.seed;
+          requests;
+          distinct;
+          size;
+          classes;
+          rate;
+          concurrency;
+          jobs;
+          deadline_ms = None;
+        }
+    in
+    let doc =
+      Json.versioned ~command:"chaos"
+        (obs_fields obs
+           (match Server.Chaos.json_of_report r with
+           | Json.Obj fields -> fields
+           | other -> [ ("report", other) ]))
+    in
+    (match out with None -> () | Some path -> Obs.Export.write_file path doc);
+    (match fault_log with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          List.iter
+            (fun line ->
+              output_string oc line;
+              output_char oc '\n')
+            r.Server.Chaos.fault_log));
+    (match fmt with
+    | Json_v2 -> Json.print doc
+    | Plain ->
+      Printf.printf
+        "%d requests: %d ok, %d errors, %d retried (%d attempts total)\n\
+         faults injected = %d (fingerprint %s), worker deaths = %d\n\
+         acked = %d, lost writes = %d, disagreements = %d -> %s\n\
+         p50 = %.2f ms  p95 = %.2f ms  p99 = %.2f ms\n\
+         recovery p50 = %.2f ms  p95 = %.2f ms  max = %.2f ms\n"
+        r.Server.Chaos.requests r.Server.Chaos.ok r.Server.Chaos.errors
+        r.Server.Chaos.retried r.Server.Chaos.attempts r.Server.Chaos.faults
+        r.Server.Chaos.fingerprint r.Server.Chaos.worker_deaths r.Server.Chaos.acked
+        r.Server.Chaos.lost_writes r.Server.Chaos.disagreements
+        (if r.Server.Chaos.converged then "converged" else "DIVERGED")
+        r.Server.Chaos.p50_ms r.Server.Chaos.p95_ms r.Server.Chaos.p99_ms
+        r.Server.Chaos.recovery_p50_ms r.Server.Chaos.recovery_p95_ms
+        r.Server.Chaos.recovery_max_ms);
+    obs_end obs fmt;
+    if expect_converged && not r.Server.Chaos.converged then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Boot the in-process daemon under a seeded fault plan, drive verified requests \
+          through the retrying client, and audit convergence (docs/RESILIENCE.md)")
+    Term.(
+      const run $ seed_arg $ requests_arg $ distinct_arg $ size_arg $ faults_arg
+      $ rate_arg $ concurrency_arg $ jobs_arg $ expect_converged_arg $ out_arg
+      $ fault_log_arg $ format_arg $ obs_term)
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -1150,5 +1283,5 @@ let () =
        (Cmd.group info
           [
             hnf_cmd; analyze_cmd; optimize_cmd; simulate_cmd; parse_cmd; pareto_cmd;
-            search_cmd; stats_cmd; fuzz_cmd; serve_cmd; client_cmd;
+            search_cmd; stats_cmd; fuzz_cmd; serve_cmd; client_cmd; chaos_cmd;
           ]))

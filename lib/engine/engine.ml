@@ -7,8 +7,11 @@ module Budget = struct
     cancelled : bool Atomic.t;
   }
 
+  (* All wall-clock reads go through [Fault.clock_now] so an armed
+     chaos plan with the [clock] class can skew deadline arithmetic;
+     with no plan armed it is [Unix.gettimeofday]. *)
   let make ?deadline_ms ?max_oracle_calls () =
-    let started = Unix.gettimeofday () in
+    let started = Fault.clock_now () in
     {
       deadline = Option.map (fun ms -> started +. (float_of_int ms /. 1000.)) deadline_ms;
       max_oracle_calls;
@@ -20,7 +23,7 @@ module Budget = struct
   let unlimited = make ()
   let charge_oracle t = Atomic.incr t.used_oracle
   let oracle_calls t = Atomic.get t.used_oracle
-  let elapsed_ms t = 1000. *. (Unix.gettimeofday () -. t.started)
+  let elapsed_ms t = 1000. *. (Fault.clock_now () -. t.started)
 
   (* The shared [unlimited] budget must stay un-cancellable — it backs
      every caller that passed no budget at all. *)
@@ -31,7 +34,7 @@ module Budget = struct
     Atomic.get t.cancelled
     || (* [>=] so a zero deadline is pressed from the start. *)
     (match t.deadline with
-    | Some d -> Unix.gettimeofday () >= d
+    | Some d -> Fault.clock_now () >= d
     | None -> false)
     ||
     match t.max_oracle_calls with

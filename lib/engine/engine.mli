@@ -20,7 +20,9 @@ module Budget : sig
   val make : ?deadline_ms:int -> ?max_oracle_calls:int -> unit -> t
   (** [deadline_ms] is wall-clock, measured from this call;
       [max_oracle_calls] caps the number of conflict-oracle
-      invocations charged with {!charge_oracle}. *)
+      invocations charged with {!charge_oracle}.  Wall-clock reads go
+      through {!Fault.clock_now}, so an armed chaos plan can skew
+      deadline arithmetic deterministically (docs/RESILIENCE.md). *)
 
   val unlimited : t
   (** Never pressed. *)

@@ -1,0 +1,117 @@
+(** Deterministic fault injection for the server stack.
+
+    A {!Plan.t} is a seeded, scenario-scripted description of which
+    faults fire where: every injection point in the codebase is keyed
+    by a {e stable site name} (the closed catalogue in
+    {!Plan.site_catalogue}), and the decision "does the [k]-th consult
+    of site [s] fault?" is a pure function of [(seed, s, k)] — no
+    clocks, no [Random] state — so a plan replays identically across
+    runs and across machines.  Armed process-wide with {!Plan.arm},
+    consulted by the instrumented code through {!should_fail} /
+    {!partial_write} / {!clock_now}; when no plan is armed every
+    consult is a single atomic load returning "no fault".
+
+    Sites are grouped into four {e fault classes}, selected per plan:
+
+    - [io] — storage faults: torn (partial) journal appends
+      ([store.write]) and failed fsyncs ([store.fsync]);
+    - [conn] — transport faults: connections destroyed at accept
+      ([daemon.accept]), reads treated as peer resets ([conn.read]),
+      replies dropped with the connection ([conn.write]), and
+      connections dropped after a served request ([conn.drop]);
+    - [worker] — batcher worker-thread death ([batcher.worker]);
+    - [clock] — budget clock skew ([budget.clock]): a fraction of
+      {!clock_now} reads jump forward by the plan's skew, so
+      wall-clock deadlines mispredict.
+
+    Every fired fault is recorded in the plan's log; {!Plan.events}
+    returns it in a canonical order (site, then per-site sequence
+    number) and {!Plan.fingerprint} hashes it, which is what the chaos
+    harness compares across runs to prove determinism.  Clock jumps
+    are deliberately {e not} logged per consult — budget polling
+    frequency is scheduling-dependent — only the one arm-time
+    [budget.clock] event is.
+
+    The exception {!Injected} deliberately does not extend any
+    existing error type: recovery code matches it explicitly, and an
+    escaped injection fails loudly. *)
+
+exception Injected of string
+(** Raised (by the instrumented call sites, never by this module's
+    consult functions) when a fault fires; the payload is the site
+    name. *)
+
+module Plan : sig
+  type t
+
+  type event = {
+    site : string;   (** Site name from {!site_catalogue}. *)
+    seq : int;       (** 1-based per-site consult number that fired. *)
+    action : string; (** What was injected, e.g. [fail] or [partial:12/57]. *)
+  }
+
+  val site_catalogue : (string * string) list
+  (** The closed [(site, class)] catalogue listed above.  Consulting a
+      name outside it never faults; adding a site means extending this
+      list (and docs/RESILIENCE.md). *)
+
+  val classes : string list
+  (** [["io"; "conn"; "worker"; "clock"]]. *)
+
+  val make :
+    ?rate:float ->
+    ?clock_skew_s:float ->
+    ?max_faults:int ->
+    seed:int ->
+    classes:string list ->
+    unit ->
+    t
+  (** A plan firing each enabled site's consults independently with
+      probability [rate] (default [0.1]), decided by a hash of
+      [(seed, site, consult#)].  [clock_skew_s] (default one hour) is
+      the forward jump applied to faulted clock reads.  [max_faults]
+      caps the total injections (the clock site is exempt — skew is
+      ambient, not budgeted).
+      @raise Invalid_argument on an unknown class or a rate outside
+      [0, 1]. *)
+
+  val arm : t -> unit
+  (** Install the plan process-wide (replacing any armed plan) and log
+      the [budget.clock] arm event when the clock class is enabled.
+      Arming the same plan twice continues its counters — make a fresh
+      plan per scenario. *)
+
+  val disarm : unit -> unit
+  val armed : unit -> bool
+
+  val events : t -> event list
+  (** Everything that fired so far, sorted by [(site, seq)] — the
+      canonical replay log. *)
+
+  val log_lines : t -> string list
+  (** {!events} rendered one per line ([site#seq action]). *)
+
+  val fingerprint : t -> string
+  (** Hex hash of {!log_lines}; equal fingerprints mean identical
+      fault logs. *)
+
+  val faults_injected : t -> int
+end
+
+val should_fail : string -> bool
+(** Consult a site: [true] when the armed plan fires a fault here (the
+    event is logged; the caller performs the failure, typically by
+    raising {!Injected} or dropping the operation).  Always [false]
+    with no armed plan. *)
+
+val partial_write : string -> int -> int option
+(** [partial_write site len]: like {!should_fail}, but for torn-write
+    sites — [Some n] with [0 <= n < len] asks the caller to write only
+    the first [n] of [len] bytes and then fail.  The prefix length is
+    derived from the same [(seed, site, consult#)] hash. *)
+
+val clock_now : unit -> float
+(** [Unix.gettimeofday], except that with an armed plan whose [clock]
+    class is enabled a [rate]-fraction of reads (same pure decision
+    function) jump forward by the plan's [clock_skew_s].
+    [Engine.Budget] reads all wall-clock time through this. *)

@@ -1,25 +1,87 @@
-type 'a t = { threads : Thread.t list }
+type 'a t = {
+  queue : 'a Admission.t;
+  batch_max : int;
+  compatible : 'a -> 'a -> bool;
+  handle : 'a list -> unit;
+  lock : Mutex.t;
+  mutable threads : Thread.t list;
+  mutable deaths : int;
+}
 
 let m_errors = Obs.Metrics.counter "server.worker_errors"
+let m_deaths = Obs.Metrics.counter "server.worker_deaths"
+
+(* A worker consults the [batcher.worker] kill site once per *popped
+   batch* — never per wake-up or per blocked wait, which would make
+   the consult count (and so the seeded fault log) depend on thread
+   scheduling and on when the plan is disarmed.  One batch, one
+   consult: the stream of decisions is ordered with the request
+   stream.  When the site fires, the worker dies with the batch in
+   hand; its replacement (spawned under the pool lock, so [join]
+   always sees the full thread list) handles that batch *first*, so
+   an accepted request is never lost to supervision. *)
+let rec worker ?carry t () =
+  let handle_batch batch =
+    try t.handle batch
+    with exn ->
+      Obs.Metrics.incr m_errors;
+      ignore
+        (Obs.Warn.once "server.worker_error"
+           (Printf.sprintf "server worker: uncaught %s" (Printexc.to_string exn)))
+  in
+  Option.iter handle_batch carry;
+  match Admission.pop_batch t.queue ~max:t.batch_max ~compatible:t.compatible with
+  | None -> ()
+  | Some batch ->
+    if Fault.should_fail "batcher.worker" then begin
+      Obs.Metrics.incr m_deaths;
+      Mutex.lock t.lock;
+      t.deaths <- t.deaths + 1;
+      t.threads <- Thread.create (worker ~carry:batch t) () :: t.threads;
+      Mutex.unlock t.lock;
+      ignore
+        (Obs.Warn.once "server.worker_death"
+           "server worker: killed by fault plan, respawned")
+    end
+    else begin
+      handle_batch batch;
+      worker t ()
+    end
 
 let start ~queue ~workers ~batch_max ~compatible ~handle =
   if workers < 1 then invalid_arg "Batcher.start: workers must be >= 1";
   if batch_max < 1 then invalid_arg "Batcher.start: batch_max must be >= 1";
-  let worker () =
-    let rec loop () =
-      match Admission.pop_batch queue ~max:batch_max ~compatible with
-      | None -> ()
-      | Some batch ->
-        (try handle batch
-         with exn ->
-           Obs.Metrics.incr m_errors;
-           ignore
-             (Obs.Warn.once "server.worker_error"
-                (Printf.sprintf "server worker: uncaught %s" (Printexc.to_string exn))));
-        loop ()
-    in
-    loop ()
+  let t =
+    {
+      queue;
+      batch_max;
+      compatible;
+      handle;
+      lock = Mutex.create ();
+      threads = [];
+      deaths = 0;
+    }
   in
-  { threads = List.init workers (fun _ -> Thread.create worker ()) }
+  t.threads <- List.init workers (fun _ -> Thread.create (worker t) ());
+  t
 
-let join t = List.iter Thread.join t.threads
+(* The thread list grows while we join (respawns), so keep popping
+   until it is empty rather than iterating a snapshot. *)
+let join t =
+  let rec drain () =
+    Mutex.lock t.lock;
+    match t.threads with
+    | [] -> Mutex.unlock t.lock
+    | th :: rest ->
+      t.threads <- rest;
+      Mutex.unlock t.lock;
+      Thread.join th;
+      drain ()
+  in
+  drain ()
+
+let deaths t =
+  Mutex.lock t.lock;
+  let d = t.deaths in
+  Mutex.unlock t.lock;
+  d

@@ -5,7 +5,16 @@
     is closed and drained.  [handle] receives whole batches so it can
     fan one batch across a shared {!Engine.Pool}.  Exceptions escaping
     [handle] are caught, counted on [server.worker_errors] and logged
-    once — a poisoned request must not kill its worker. *)
+    once — a poisoned request must not kill its worker.
+
+    Supervision: with an armed {!Fault.Plan}, the [batcher.worker]
+    site is consulted exactly once per {e popped batch} — never per
+    wake-up or blocked wait, so the consult sequence is ordered with
+    the request stream and a seeded plan replays identically.  A fired
+    fault kills the worker with the batch in hand; the replacement it
+    spawns (counted by the [server.worker_deaths] metric and
+    {!deaths}) handles that batch first, so no accepted request is
+    ever lost to a worker death. *)
 
 type 'a t
 
@@ -18,5 +27,8 @@ val start :
   'a t
 
 val join : 'a t -> unit
-(** Wait for every worker to exit (callers {!Admission.close} the
-    queue first). *)
+(** Wait for every worker — including respawned ones — to exit
+    (callers {!Admission.close} the queue first). *)
+
+val deaths : 'a t -> int
+(** Workers killed by the fault plan (each one respawned). *)

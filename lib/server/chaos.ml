@@ -1,0 +1,275 @@
+type config = {
+  seed : int;
+  requests : int;
+  distinct : int;
+  size : int;
+  classes : string list;
+  rate : float;
+  concurrency : int;
+  jobs : int option;
+  deadline_ms : int option;
+}
+
+let default_config =
+  {
+    seed = 42;
+    requests = 500;
+    distinct = 32;
+    size = 4;
+    classes = [ "io"; "conn"; "worker" ];
+    rate = 0.1;
+    (* One driver thread by default: per-site fault consult sequences
+       are then a pure function of the seed, so two runs produce
+       byte-identical fault logs (the determinism contract the CI
+       smoke job diffs). *)
+    concurrency = 1;
+    jobs = None;
+    deadline_ms = None;
+  }
+
+type report = {
+  seed : int;
+  requests : int;
+  classes : string list;
+  rate : float;
+  ok : int;
+  errors : int;
+  retried : int;
+  attempts : int;
+  disagreements : int;
+  acked : int;
+  lost_writes : int;
+  faults : int;
+  site_counts : (string * int) list;
+  worker_deaths : int;
+  store_quarantined : int;
+  store_healed : int;
+  store_io_errors : int;
+  fingerprint : string;
+  fault_log : string list;
+  converged : bool;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  recovery_p50_ms : float;
+  recovery_p95_ms : float;
+  recovery_max_ms : float;
+  wall_s : float;
+}
+
+let path_counter = Atomic.make 0
+
+let fresh_path prefix suffix =
+  Printf.sprintf "%s/%s-%d-%d%s"
+    (Filename.get_temp_dir_name ())
+    prefix (Unix.getpid ())
+    (Atomic.fetch_and_add path_counter 1)
+    suffix
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let reply_field reply name =
+  match Json.member name reply with Some (Json.Str s) -> Some s | _ -> None
+
+let run (cfg : config) =
+  if cfg.requests < 1 then invalid_arg "Chaos.run: requests must be >= 1";
+  if cfg.distinct < 1 then invalid_arg "Chaos.run: distinct must be >= 1";
+  if cfg.concurrency < 1 then invalid_arg "Chaos.run: concurrency must be >= 1";
+  let sock = fresh_path "chaos" ".sock" in
+  let store_path = fresh_path "chaos-store" ".journal" in
+  let instances =
+    Array.init cfg.distinct (fun i -> Check.Gen.ith ~seed:cfg.seed ~size:cfg.size i)
+  in
+  (* Ground truth first, with no plan armed: the convergence check is
+     against a fault-free direct Analysis.check, byte for byte. *)
+  let expected =
+    Array.map
+      (fun (inst : Check.Instance.t) ->
+        Json.to_string
+          (Protocol.json_of_wire
+             (Protocol.wire_of_verdict
+                (Analysis.check ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat))))
+      instances
+  in
+  let daemon =
+    Daemon.create
+      {
+        (Daemon.default_config (Daemon.Unix_sock sock)) with
+        jobs = cfg.jobs;
+        store_path = Some store_path;
+        (* Small fsync interval: store.fsync faults get consulted
+           often enough to matter at chaos request counts. *)
+        fsync_every = 4;
+      }
+  in
+  let run_thread = Thread.create Daemon.run daemon in
+  let plan =
+    Fault.Plan.make ~rate:cfg.rate ~seed:cfg.seed ~classes:cfg.classes ()
+  in
+  Fault.Plan.arm plan;
+  let next = Atomic.make 0 in
+  let ok = Atomic.make 0
+  and errors = Atomic.make 0
+  and retried = Atomic.make 0
+  and attempts = Atomic.make 0
+  and disagreements = Atomic.make 0 in
+  let latencies = Array.make cfg.requests nan in
+  let recoveries = Array.make cfg.requests nan in
+  (* Instances whose verdict the server acknowledged as persisted
+     (store status hit or miss); these must survive into the reopened
+     journal or the run lost an acknowledged write. *)
+  let acked = Array.make cfg.distinct false in
+  let acked_lock = Mutex.create () in
+  let worker w () =
+    let session =
+      Client.session
+        ~retry:{ Client.default_retry with retry_seed = cfg.seed + w }
+        (`Unix sock)
+    in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < cfg.requests then begin
+        let idx = i mod cfg.distinct in
+        let inst = instances.(idx) in
+        let req =
+          Protocol.analyze ~id:(Json.Int i) ?deadline_ms:cfg.deadline_ms
+            ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat
+        in
+        let t0 = Unix.gettimeofday () in
+        (match Client.call session req with
+        | Error _ -> Atomic.incr errors
+        | Ok (reply, tries) ->
+          let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+          latencies.(i) <- ms;
+          ignore (Atomic.fetch_and_add attempts tries);
+          if tries > 1 then begin
+            Atomic.incr retried;
+            recoveries.(i) <- ms
+          end;
+          if Protocol.reply_ok reply then begin
+            Atomic.incr ok;
+            (match Json.member "verdict" reply with
+            | Some v when Json.to_string v = expected.(idx) -> ()
+            | _ -> Atomic.incr disagreements);
+            match reply_field reply "store" with
+            | Some ("hit" | "miss") ->
+              Mutex.lock acked_lock;
+              acked.(idx) <- true;
+              Mutex.unlock acked_lock
+            | _ -> ()
+          end
+          else Atomic.incr errors);
+        loop ()
+      end
+    in
+    loop ();
+    Client.close_session session
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init cfg.concurrency (fun w -> Thread.create (worker w) ()) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let worker_deaths = Daemon.worker_deaths daemon in
+  let store_stats = Option.map Store.stats (Daemon.store daemon) in
+  (* Disarm before the drain: shutdown itself is not under test, and
+     a clean close guarantees the journal is fully synced before the
+     convergence audit reopens it. *)
+  Fault.Plan.disarm ();
+  Daemon.initiate_drain daemon;
+  Thread.join run_thread;
+  let lost_writes = ref 0 in
+  let reopened = Store.open_ store_path in
+  Array.iteri
+    (fun idx was_acked ->
+      if was_acked then begin
+        let inst = instances.(idx) in
+        match Store.find reopened ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat with
+        | Some e
+          when Json.to_string (Protocol.json_of_wire (Protocol.wire_of_entry e))
+               = expected.(idx) -> ()
+        | Some _ | None -> incr lost_writes
+      end)
+    acked;
+  Store.close reopened;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ sock; store_path; store_path ^ ".quarantine" ];
+  let events = Fault.Plan.events plan in
+  let site_counts =
+    List.map
+      (fun (site, _) ->
+        (site, List.length (List.filter (fun e -> e.Fault.Plan.site = site) events)))
+      Fault.Plan.site_catalogue
+  in
+  let finite a =
+    let xs = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list a)) in
+    Array.sort compare xs;
+    xs
+  in
+  let lat = finite latencies and rec_ = finite recoveries in
+  let ok_n = Atomic.get ok in
+  {
+    seed = cfg.seed;
+    requests = cfg.requests;
+    classes = cfg.classes;
+    rate = cfg.rate;
+    ok = ok_n;
+    errors = Atomic.get errors;
+    retried = Atomic.get retried;
+    attempts = Atomic.get attempts;
+    disagreements = Atomic.get disagreements;
+    acked = Array.fold_left (fun n b -> if b then n + 1 else n) 0 acked;
+    lost_writes = !lost_writes;
+    faults = Fault.Plan.faults_injected plan;
+    site_counts;
+    worker_deaths;
+    store_quarantined = (match store_stats with Some s -> s.Store.quarantined | None -> 0);
+    store_healed = (match store_stats with Some s -> s.Store.healed | None -> 0);
+    store_io_errors = (match store_stats with Some s -> s.Store.io_errors | None -> 0);
+    fingerprint = Fault.Plan.fingerprint plan;
+    fault_log = Fault.Plan.log_lines plan;
+    converged = Atomic.get disagreements = 0 && !lost_writes = 0 && ok_n > 0;
+    p50_ms = percentile lat 0.50;
+    p95_ms = percentile lat 0.95;
+    p99_ms = percentile lat 0.99;
+    recovery_p50_ms = percentile rec_ 0.50;
+    recovery_p95_ms = percentile rec_ 0.95;
+    recovery_max_ms =
+      (if Array.length rec_ = 0 then 0. else rec_.(Array.length rec_ - 1));
+    wall_s;
+  }
+
+let json_of_report r =
+  Json.Obj
+    [
+      ("seed", Json.Int r.seed);
+      ("requests", Json.Int r.requests);
+      ("classes", Json.Arr (List.map (fun c -> Json.Str c) r.classes));
+      ("rate", Json.Float r.rate);
+      ("ok", Json.Int r.ok);
+      ("errors", Json.Int r.errors);
+      ("retried", Json.Int r.retried);
+      ("attempts", Json.Int r.attempts);
+      ("disagreements", Json.Int r.disagreements);
+      ("acked", Json.Int r.acked);
+      ("lost_writes", Json.Int r.lost_writes);
+      ("faults", Json.Int r.faults);
+      ( "site_counts",
+        Json.Obj (List.map (fun (s, n) -> (s, Json.Int n)) r.site_counts) );
+      ("worker_deaths", Json.Int r.worker_deaths);
+      ("store_quarantined", Json.Int r.store_quarantined);
+      ("store_healed", Json.Int r.store_healed);
+      ("store_io_errors", Json.Int r.store_io_errors);
+      ("fingerprint", Json.Str r.fingerprint);
+      ("converged", Json.Bool r.converged);
+      ("p50_ms", Json.Float r.p50_ms);
+      ("p95_ms", Json.Float r.p95_ms);
+      ("p99_ms", Json.Float r.p99_ms);
+      ("recovery_p50_ms", Json.Float r.recovery_p50_ms);
+      ("recovery_p95_ms", Json.Float r.recovery_p95_ms);
+      ("recovery_max_ms", Json.Float r.recovery_max_ms);
+      ("wall_s", Json.Float r.wall_s);
+    ]

@@ -1,0 +1,68 @@
+(** The chaos harness: boot the in-process daemon under a seeded
+    {!Fault.Plan}, drive verified analyze requests through the
+    retrying {!Client.session}, then audit that the system
+    {e converged} — zero verdict disagreements against a fault-free
+    direct {!Analysis.check} (byte-identical JSON), and zero lost
+    acknowledged writes (every instance whose reply claimed store
+    status [hit]/[miss] is present, with the exact verdict, when the
+    journal is reopened after the drain).
+
+    Determinism: with the default [concurrency = 1], two runs with
+    the same seed produce byte-identical fault logs (same
+    {!Fault.Plan.fingerprint}) — the CI smoke job diffs them.  The
+    harness backs the [chaos] CLI subcommand and the [chaos] bench
+    section; see docs/RESILIENCE.md. *)
+
+type config = {
+  seed : int;            (** Seeds instances, fault plan and retry jitter. *)
+  requests : int;
+  distinct : int;        (** Distinct instances in the cycled pool. *)
+  size : int;            (** {!Check.Gen} size parameter. *)
+  classes : string list; (** {!Fault.Plan.classes} subset to arm. *)
+  rate : float;          (** Per-consult fault probability. *)
+  concurrency : int;     (** Driver threads; [> 1] trades determinism
+                             of the fault log for contention. *)
+  jobs : int option;     (** Daemon pool domains. *)
+  deadline_ms : int option;
+}
+
+val default_config : config
+(** seed 42, 500 requests, 32 distinct, size 4, classes
+    [io; conn; worker], rate 0.1, concurrency 1. *)
+
+type report = {
+  seed : int;
+  requests : int;
+  classes : string list;
+  rate : float;
+  ok : int;
+  errors : int;          (** Requests that exhausted every retry. *)
+  retried : int;         (** Requests needing more than one attempt. *)
+  attempts : int;        (** Total attempts across answered requests. *)
+  disagreements : int;
+  acked : int;           (** Distinct instances acknowledged persisted. *)
+  lost_writes : int;     (** Acked instances missing/wrong after reopen. *)
+  faults : int;          (** {!Fault.Plan.faults_injected}. *)
+  site_counts : (string * int) list;
+  worker_deaths : int;
+  store_quarantined : int;
+  store_healed : int;
+  store_io_errors : int;
+  fingerprint : string;
+  fault_log : string list;
+  converged : bool;      (** No disagreements, no lost writes, some oks. *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  recovery_p50_ms : float;  (** Latency of retried requests only. *)
+  recovery_p95_ms : float;
+  recovery_max_ms : float;
+  wall_s : float;
+}
+
+val run : config -> report
+(** Boots on a fresh temp Unix socket and store journal (removed
+    afterwards); arms the plan only while requests are in flight, so
+    the ground-truth computation and the final audit are fault-free. *)
+
+val json_of_report : report -> Json.t

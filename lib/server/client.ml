@@ -49,6 +49,135 @@ let request c json =
   | Ok reply -> reply
   | Error msg -> failwith ("Client.request: unparsable reply: " ^ msg)
 
+(* --------------------------- retrying session ----------------------- *)
+
+type retry = {
+  max_attempts : int;
+  base_delay_ms : float;
+  max_delay_ms : float;
+  timeout_ms : float;
+  retry_seed : int;
+}
+
+let default_retry =
+  {
+    max_attempts = 8;
+    base_delay_ms = 1.;
+    max_delay_ms = 100.;
+    timeout_ms = 2000.;
+    retry_seed = 0;
+  }
+
+type session = {
+  s_addr : addr;
+  s_retry : retry;
+  mutable s_conn : conn option;
+  mutable s_rng : int;
+  mutable s_next_id : int;
+}
+
+let session ?(retry = default_retry) addr =
+  if retry.max_attempts < 1 then invalid_arg "Client.session: max_attempts must be >= 1";
+  {
+    s_addr = addr;
+    s_retry = retry;
+    s_conn = None;
+    (* [lor 1] keeps a zero seed from pinning the LCG at zero. *)
+    s_rng = (retry.retry_seed * 2654435761) lor 1;
+    s_next_id = 0;
+  }
+
+let close_session s =
+  Option.iter close s.s_conn;
+  s.s_conn <- None
+
+(* Deterministic jitter: a tiny LCG advanced per retry, seeded from
+   [retry_seed], so a chaos run's whole retry schedule replays. *)
+let jitter s =
+  s.s_rng <- ((s.s_rng * 1103515245) + 12345) land 0x3FFFFFFF;
+  float_of_int (s.s_rng mod 1000) /. 1000.
+
+(* Exponential backoff with full jitter in [d/2, d]: concurrent
+   retriers spread out, and the delay never collapses to zero. *)
+let backoff s attempt =
+  let r = s.s_retry in
+  let d = Float.min r.max_delay_ms (r.base_delay_ms *. (2. ** float_of_int (attempt - 1))) in
+  d *. (0.5 +. (0.5 *. jitter s)) /. 1000.
+
+let session_conn s =
+  match s.s_conn with
+  | Some c -> c
+  | None ->
+    let c = connect s.s_addr in
+    (* A receive timeout bounds how long a swallowed reply can stall
+       the session; the EAGAIN it raises is a retriable transport
+       error like any other. *)
+    (try Unix.setsockopt_float c.fd SO_RCVTIMEO (s.s_retry.timeout_ms /. 1000.)
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    s.s_conn <- Some c;
+    c
+
+let drop_session_conn s =
+  Option.iter close s.s_conn;
+  s.s_conn <- None
+
+let retriable_code reply =
+  match Protocol.error_code reply with
+  | Some ("overloaded" | "draining") -> true
+  | _ -> false
+
+let call s json =
+  (* Stamp a session-unique id when the caller did not: the id is the
+     dedupe key that makes re-issue after a lost reply idempotent. *)
+  let json =
+    match Json.member "id" json with
+    | Some _ -> json
+    | None -> (
+      s.s_next_id <- s.s_next_id + 1;
+      match json with
+      | Json.Obj fields -> Json.Obj (("id", Json.Int s.s_next_id) :: fields)
+      | other -> other)
+  in
+  let want_id = Json.member "id" json in
+  let attempt_once () =
+    let c = session_conn s in
+    let line = Json.to_string json ^ "\n" in
+    let bytes = Bytes.of_string line in
+    let n = Bytes.length bytes in
+    let written = ref 0 in
+    while !written < n do
+      written := !written + Unix.write c.fd bytes !written (n - !written)
+    done;
+    (* Discard replies whose id is not ours: a late reply to an
+       earlier, timed-out request on this same connection must not be
+       mis-attributed to the re-issued one. *)
+    let rec read_matching () =
+      match Json.parse (read_line c) with
+      | Error msg -> failwith ("unparsable reply: " ^ msg)
+      | Ok reply -> if Json.member "id" reply = want_id then reply else read_matching ()
+    in
+    read_matching ()
+  in
+  let rec go attempt =
+    match attempt_once () with
+    | reply ->
+      if retriable_code reply && attempt < s.s_retry.max_attempts then begin
+        Thread.delay (backoff s attempt);
+        go (attempt + 1)
+      end
+      else Ok (reply, attempt)
+    | exception e ->
+      (* Any transport failure — reset, EOF, receive timeout — voids
+         the connection; the next attempt reconnects from scratch. *)
+      drop_session_conn s;
+      if attempt < s.s_retry.max_attempts then begin
+        Thread.delay (backoff s attempt);
+        go (attempt + 1)
+      end
+      else Error (Printexc.to_string e)
+  in
+  go 1
+
 (* ---------------------------- load generator ------------------------ *)
 
 type load_config = {

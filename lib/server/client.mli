@@ -15,6 +15,45 @@ val request : conn -> Json.t -> Json.t
 
 val close : conn -> unit
 
+(** {1 Retrying session}
+
+    A [session] wraps the raw connection with the recovery loop a
+    fault-injected (or merely unlucky) daemon demands: reconnect on
+    any transport failure, re-issue the request with the {e same} id,
+    discard reply lines whose id does not echo it (so a late reply to
+    a timed-out earlier attempt is never mis-attributed), and back
+    off exponentially with deterministic seeded jitter between
+    attempts.  [overloaded] and [draining] error replies are also
+    retried; other error replies are returned as-is — they are
+    answers, not transport failures.  Analyze requests are idempotent
+    (verdicts are deterministic), so re-issue is always safe.  See
+    docs/RESILIENCE.md. *)
+
+type retry = {
+  max_attempts : int;     (** Total tries, first included (>= 1). *)
+  base_delay_ms : float;  (** Backoff before the 2nd try. *)
+  max_delay_ms : float;   (** Backoff ceiling. *)
+  timeout_ms : float;     (** Per-read receive timeout (SO_RCVTIMEO). *)
+  retry_seed : int;       (** Seeds the jitter LCG. *)
+}
+
+val default_retry : retry
+(** 8 attempts, 1 ms base, 100 ms ceiling, 2 s read timeout, seed 0. *)
+
+type session
+
+val session : ?retry:retry -> addr -> session
+(** Lazy: the first {!call} connects. *)
+
+val call : session -> Json.t -> (Json.t * int, string) result
+(** [call s req] returns [(reply, attempts)] or, after exhausting
+    [max_attempts], the last transport error.  A request without an
+    ["id"] field gets a session-unique one stamped in. *)
+
+val close_session : session -> unit
+(** Drop the current connection (the session may be reused; the next
+    {!call} reconnects). *)
+
 (** {1 Load generation}
 
     [load] replays a deterministic {!Check.Gen.ith} instance stream as

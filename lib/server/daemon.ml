@@ -72,18 +72,23 @@ let locked lock f =
 (* A connection may be written by its reader thread and by any pool
    worker finishing one of its requests; the write lock keeps reply
    lines whole.  A dead peer (EPIPE) is not an error — the reply is
-   simply dropped. *)
+   simply dropped.  An injected [conn.write] fault swallows the reply
+   and shuts the connection down, so the peer observes EOF instead of
+   silence and can retry promptly. *)
 let write_line conn json =
-  let line = Json.to_string json ^ "\n" in
-  let bytes = Bytes.of_string line in
-  locked conn.wlock (fun () ->
-      try
-        let n = Bytes.length bytes in
-        let written = ref 0 in
-        while !written < n do
-          written := !written + Unix.write conn.fd bytes !written (n - !written)
-        done
-      with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> ())
+  if Fault.should_fail "conn.write" then
+    try Unix.shutdown conn.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  else
+    let line = Json.to_string json ^ "\n" in
+    let bytes = Bytes.of_string line in
+    locked conn.wlock (fun () ->
+        try
+          let n = Bytes.length bytes in
+          let written = ref 0 in
+          while !written < n do
+            written := !written + Unix.write conn.fd bytes !written (n - !written)
+          done
+        with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> ())
 
 (* ------------------------------ batches ----------------------------- *)
 
@@ -132,6 +137,7 @@ let handle_batch t batch =
 (* ------------------------------- stats ------------------------------ *)
 
 let store t = t.store_
+let worker_deaths t = match t.batcher with Some b -> Batcher.deaths b | None -> 0
 
 let stats_fields t =
   let base =
@@ -142,6 +148,7 @@ let stats_fields t =
       ("shed", Json.Int (Atomic.get t.n_shed));
       ("batches", Json.Int (Atomic.get t.n_batches));
       ("batched", Json.Int (Atomic.get t.n_batched));
+      ("worker_deaths", Json.Int (worker_deaths t));
       ("jobs", Json.Int (Engine.Pool.jobs t.pool));
     ]
   in
@@ -160,6 +167,9 @@ let stats_fields t =
               ("appended", Json.Int st.Store.appended);
               ("loaded", Json.Int st.Store.loaded);
               ("dropped_bytes", Json.Int st.Store.dropped_bytes);
+              ("quarantined", Json.Int st.Store.quarantined);
+              ("healed", Json.Int st.Store.healed);
+              ("io_errors", Json.Int st.Store.io_errors);
             ] );
       ]
 
@@ -234,7 +244,6 @@ let handle_request t conn line =
 let conn_loop t conn =
   let buf = Buffer.create 1024 in
   let chunk = Bytes.create 4096 in
-  let overflow = ref false in
   let rec drain_lines start =
     let s = Buffer.contents buf in
     match String.index_from_opt s start '\n' with
@@ -243,43 +252,92 @@ let conn_loop t conn =
       drain_lines (nl + 1)
     | None ->
       Buffer.clear buf;
-      Buffer.add_substring buf s start (String.length s - start)
+      Buffer.add_substring buf s start (String.length s - start);
+      true
   in
   let rec loop () =
     match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
     | 0 -> ()
     | n ->
-      Buffer.add_subbytes buf chunk 0 n;
-      drain_lines 0;
-      if Buffer.length buf > Protocol.max_line_bytes then begin
-        overflow := true;
-        write_line conn
-          (Protocol.error_reply ~id:Json.Null ~code:"parse_error"
-             ~detail:
-               (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line_bytes))
+      (* Both connection-fault sites are consulted here, after a
+         successful read, so the decisions are ordered with the peer's
+         request stream — the peer sending these bytes proves it has
+         consumed every earlier reply, so tearing down now can never
+         race a reply still in flight (an asynchronous shutdown from a
+         pool worker would, making the consult sequence
+         timing-dependent).  [conn.read] models a transport reset
+         while reading a request; [conn.drop] a hang-up between
+         requests (an idle kill).  Either way the just-read bytes are
+         discarded and the connection is torn down below; the peer
+         re-issues on a fresh connection. *)
+      if Fault.should_fail "conn.read" then ()
+      else if Fault.should_fail "conn.drop" then ()
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        if drain_lines 0 then
+          if Buffer.length buf > Protocol.max_line_bytes then
+            write_line conn
+              (Protocol.error_reply ~id:Json.Null ~code:"parse_error"
+                 ~detail:
+                   (Printf.sprintf "request line exceeds %d bytes"
+                      Protocol.max_line_bytes))
+          else loop ()
       end
-      else loop ()
     | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) -> ()
   in
   loop ();
-  ignore !overflow;
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
   locked t.conns_lock (fun () -> Hashtbl.remove t.conns conn.cid)
 
 (* ------------------------------ create ------------------------------ *)
 
+(* Bind a Unix socket, coping with a stale socket file left by a
+   SIGKILLed predecessor: a path that IS a socket gets probed with a
+   connect — refused/unreachable means dead owner, so unlink and take
+   over; answered means another daemon is live, so fail loudly.  A
+   path that exists but is NOT a socket is never unlinked (the store
+   journal, say, must not be clobbered by a mistyped --socket). *)
+let bind_unix path =
+  (match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    let probe = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect probe (ADDR_UNIX path) with
+    | () ->
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      failwith
+        (Printf.sprintf "Daemon.create: a server is already listening on %s" path)
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) ->
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | exception e ->
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      raise e)
+  | { Unix.st_kind = _; _ } ->
+    failwith
+      (Printf.sprintf "Daemon.create: %s exists and is not a socket; refusing to unlink"
+         path)
+  | exception Unix.Unix_error (ENOENT, _, _) -> ());
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind fd (ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
 let create cfg =
   (* A peer hanging up mid-reply must surface as EPIPE on the write,
      not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* Store before socket: an unusable store path must not leave a
+     bound socket (or a just-unlinked stale one) behind. *)
+  let store_ =
+    Option.map (fun p -> Store.open_ ~fsync_every:cfg.fsync_every p) cfg.store_path
+  in
   let listen_fd =
     match cfg.listen with
-    | Unix_sock path ->
-      if Sys.file_exists path then Sys.remove path;
-      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
-      Unix.bind fd (ADDR_UNIX path);
-      Unix.listen fd 64;
-      fd
+    | Unix_sock path -> (
+      try bind_unix path
+      with e ->
+        Option.iter Store.close store_;
+        raise e)
     | Tcp port ->
       let fd = Unix.socket PF_INET SOCK_STREAM 0 in
       Unix.setsockopt fd SO_REUSEADDR true;
@@ -288,9 +346,6 @@ let create cfg =
       fd
   in
   let pipe_r, pipe_w = Unix.pipe () in
-  let store_ =
-    Option.map (fun p -> Store.open_ ~fsync_every:cfg.fsync_every p) cfg.store_path
-  in
   let t =
     {
       cfg;
@@ -343,13 +398,20 @@ let run t =
           (if List.mem t.listen_fd readable then
              match Unix.accept t.listen_fd with
              | fd, _ ->
-               incr cid;
-               let conn = { fd; wlock = Mutex.create (); cid = !cid } in
-               Obs.Metrics.incr m_conns;
-               locked t.conns_lock (fun () ->
-                   Hashtbl.replace t.conns conn.cid conn;
-                   Hashtbl.replace t.conn_threads conn.cid
-                     (Thread.create (fun () -> conn_loop t conn) ()))
+               (* An injected [daemon.accept] fault closes the freshly
+                  accepted connection before it is ever serviced — the
+                  peer sees an immediate EOF and reconnects. *)
+               if Fault.should_fail "daemon.accept" then (
+                 try Unix.close fd with Unix.Unix_error _ -> ())
+               else begin
+                 incr cid;
+                 let conn = { fd; wlock = Mutex.create (); cid = !cid } in
+                 Obs.Metrics.incr m_conns;
+                 locked t.conns_lock (fun () ->
+                     Hashtbl.replace t.conns conn.cid conn;
+                     Hashtbl.replace t.conn_threads conn.cid
+                       (Thread.create (fun () -> conn_loop t conn) ()))
+               end
              | exception Unix.Unix_error _ -> ());
           accept_loop ()
         end

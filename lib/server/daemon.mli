@@ -11,7 +11,24 @@
     budgets make them bounded rather than lost), then shut the
     connections down and flush the store.  Signal handlers must call
     only {!wake} (a self-pipe write); [run] turns the wake-up into
-    [initiate_drain] from a normal context. *)
+    [initiate_drain] from a normal context.
+
+    Stale sockets: {!create} on a Unix path that holds a {e dead}
+    socket (the previous daemon was SIGKILLed before it could clean
+    up) probes it with a connect, unlinks it on refusal, and binds in
+    its place; a path with a {e live} listener fails loudly, and a
+    path that is not a socket at all is never unlinked.  [run]
+    unlinks the socket again on clean exit.
+
+    Fault injection (armed {!Fault.Plan}, docs/RESILIENCE.md): the
+    accept loop consults [daemon.accept] (close the fresh connection),
+    the reader threads consult [conn.read] (transport reset while
+    reading a request) and [conn.drop] (hang-up between requests) on
+    every arriving chunk, and every reply write consults [conn.write]
+    (swallow the reply and shut the connection down).  All four
+    surface to a well-behaved client as a dropped connection, never
+    as a corrupt reply, and all are consulted at points ordered with
+    the request stream so a seeded plan replays identically. *)
 
 type listen =
   | Unix_sock of string  (** Path of a Unix-domain socket. *)
@@ -53,6 +70,11 @@ val port : t -> int option
 
 val store : t -> Store.t option
 
+val worker_deaths : t -> int
+(** Batcher workers killed (and respawned) by an armed fault plan —
+    see {!Batcher.deaths}. *)
+
 val stats_fields : t -> (string * Json.t) list
 (** The payload of a [stats] reply: queue depth, accepted / shed /
-    batched counts, draining flag and store statistics. *)
+    batched / worker-death counts, draining flag and store
+    statistics. *)

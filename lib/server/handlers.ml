@@ -33,10 +33,15 @@ let analyze ~store ~budget ~mu tmat =
         let wire = Protocol.wire_of_verdict v in
         (* Bounded verdicts depend on the budget that produced them;
            persisting one would replay it as ground truth forever. *)
-        if v.Analysis.exactness = Analysis.Exact then begin
-          Store.add store ~mu tmat (Store.entry_of_verdict v);
-          (wire, "miss")
-        end
+        if v.Analysis.exactness = Analysis.Exact then
+          (* A failed journal append must not fail the query: the
+             verdict is already computed, only persistence is lost.
+             The [error] status tells the client not to count this
+             reply as an acknowledged write. *)
+          match Store.add store ~mu tmat (Store.entry_of_verdict v) with
+          | () -> (wire, "miss")
+          | exception (Fault.Injected _ | Sys_error _ | Unix.Unix_error _) ->
+            (wire, "error")
         else (wire, "bypass"))
   in
   [ ("verdict", Protocol.json_of_wire wire); ("store", Json.Str status) ]

@@ -12,6 +12,10 @@ type t = {
   (* content hash -> (canonical key, entry) bucket; the hash is the
      journal's record address, the key string resolves collisions. *)
   table : (int, (string * entry) list) Hashtbl.t;
+  (* Keys salvaged from quarantined (checksum-corrupt) records: these
+     must not be served from memory until a fresh verdict re-verifies
+     them — [find] forces a miss, [add] clears the mark. *)
+  quarantined_keys : (string, unit) Hashtbl.t;
   lock : Mutex.t;
   mutable pending : int; (* appends since the last fsync *)
   mutable hits : int;
@@ -19,6 +23,9 @@ type t = {
   mutable appended : int;
   mutable loaded : int;
   mutable dropped_bytes : int;
+  mutable quarantined : int;
+  mutable healed : int;
+  mutable io_errors : int;
 }
 
 type stats = {
@@ -28,12 +35,18 @@ type stats = {
   appended : int;
   loaded : int;
   dropped_bytes : int;
+  quarantined : int;
+  healed : int;
+  io_errors : int;
 }
 
 let header = "shangfortes-store 1"
 
 let m_hits = Obs.Metrics.counter "server.store.hits"
 let m_misses = Obs.Metrics.counter "server.store.misses"
+let m_quarantined = Obs.Metrics.counter "server.store.quarantined"
+let m_healed = Obs.Metrics.counter "server.store.healed"
+let m_io_errors = Obs.Metrics.counter "server.store.io_errors"
 
 (* FNV-1a over the record body: cheap, byte-order-free, and enough to
    detect a torn tail (we are defending against crashes, not
@@ -104,33 +117,42 @@ let parse_record line =
     (hash, key, e)
   | _ -> failwith "bad record shape"
 
+(* Best-effort key recovery from a record that failed its checksum, so
+   the key can be marked for re-verification.  Corruption inside the
+   key bytes just yields a string that never matches a lookup, which
+   is harmless (the lookup misses anyway). *)
+let salvage_key line =
+  match String.split_on_char ' ' line with
+  | "v" :: _hash_hex :: key :: _ -> Some key
+  | _ -> None
+
 (* ------------------------------ journal ---------------------------- *)
 
 let fsync_out oc =
   flush oc;
   Unix.fsync (Unix.descr_of_out_channel oc)
 
-(* Replay the journal, returning the records of the valid prefix and
-   its byte length.  The prefix ends at the first line that is
-   incomplete (no trailing newline), malformed, or checksum-corrupt —
-   everything after a bad frame is untrustworthy in an append-only
-   journal. *)
+(* Make a metadata change (create / truncate / rename) durable: fsync
+   the parent directory, or the change itself can be lost on power
+   failure even though the data blocks made it.  Best effort — some
+   filesystems refuse fsync on a directory fd. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* Replay the journal.  Complete lines that fail to parse or checksum
+   are quarantined (each record carries its own CRC, and lines resync
+   at the next newline, so later records are independently
+   trustworthy); an incomplete last line is a torn tail from a crash
+   mid-append.  Returns the surviving records (with their raw lines,
+   for compaction), the quarantined raw lines, and the torn-tail byte
+   count. *)
 let replay contents =
   let n = String.length contents in
-  let records = ref [] in
-  let rec go offset =
-    if offset >= n then offset
-    else
-      match String.index_from_opt contents offset '\n' with
-      | None -> offset (* torn tail: line without newline *)
-      | Some nl -> (
-        let line = String.sub contents offset (nl - offset) in
-        match parse_record line with
-        | r ->
-          records := r :: !records;
-          go (nl + 1)
-        | exception _ -> offset)
-  in
   let header_end =
     match String.index_opt contents '\n' with
     | Some nl when String.sub contents 0 nl = header -> Some (nl + 1)
@@ -139,8 +161,50 @@ let replay contents =
   match header_end with
   | None -> None
   | Some start ->
-    let valid = go start in
-    Some (List.rev !records, valid)
+    let records = ref [] and bad = ref [] in
+    let rec go offset =
+      if offset >= n then 0
+      else
+        match String.index_from_opt contents offset '\n' with
+        | None -> n - offset (* torn tail: line without newline *)
+        | Some nl -> (
+          let line = String.sub contents offset (nl - offset) in
+          (match parse_record line with
+          | r -> records := (r, line) :: !records
+          | exception _ -> bad := line :: !bad);
+          go (nl + 1))
+    in
+    let torn = go start in
+    Some (List.rev !records, List.rev !bad, torn)
+
+let quarantine_path path = path ^ ".quarantine"
+
+(* Move the corrupt records into the sidecar and rewrite the journal
+   with only the surviving ones (tmp + rename, both fsynced, then the
+   directory), so the next open is clean. *)
+let compact path records bad =
+  let qp = quarantine_path path in
+  let qoc = open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 qp in
+  List.iter
+    (fun line ->
+      output_string qoc line;
+      output_char qoc '\n')
+    bad;
+  fsync_out qoc;
+  close_out qoc;
+  let tmp = path ^ ".tmp" in
+  let toc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+  output_string toc header;
+  output_char toc '\n';
+  List.iter
+    (fun (_, line) ->
+      output_string toc line;
+      output_char toc '\n')
+    records;
+  fsync_out toc;
+  close_out toc;
+  Sys.rename tmp path;
+  fsync_dir path
 
 let open_ ?(fsync_every = 32) path =
   if fsync_every < 1 then invalid_arg "Store.open_: fsync_every must be >= 1";
@@ -150,6 +214,7 @@ let open_ ?(fsync_every = 32) path =
       fsync_every;
       oc = None;
       table = Hashtbl.create 1024;
+      quarantined_keys = Hashtbl.create 4;
       lock = Mutex.create ();
       pending = 0;
       hits = 0;
@@ -157,6 +222,9 @@ let open_ ?(fsync_every = 32) path =
       appended = 0;
       loaded = 0;
       dropped_bytes = 0;
+      quarantined = 0;
+      healed = 0;
+      io_errors = 0;
     }
   in
   let contents =
@@ -164,36 +232,68 @@ let open_ ?(fsync_every = 32) path =
     else ""
   in
   if contents = "" then begin
-    let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+    (* O_APPEND, even on the create path: the partial-write rollback
+       truncates the file under the channel, and only an append-mode
+       fd is guaranteed to land the next record at the new EOF rather
+       than at its stale offset (leaving a zero-filled hole). *)
+    let oc =
+      open_out_gen
+        [ Open_wronly; Open_creat; Open_trunc; Open_append; Open_binary ]
+        0o644 path
+    in
     output_string oc header;
     output_char oc '\n';
     fsync_out oc;
+    (* The journal's directory entry must be durable too, or a power
+       failure can forget the file the data was synced into. *)
+    fsync_dir path;
     t.oc <- Some oc
   end
   else begin
     match replay contents with
     | None -> failwith (Printf.sprintf "Store.open_: %s is not a store journal" path)
-    | Some (records, valid) ->
+    | Some (records, bad, torn) ->
       List.iter
-        (fun (hash, key, e) ->
+        (fun ((hash, key, e), _) ->
           let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table hash) in
-          if not (List.mem_assoc key bucket) then begin
-            Hashtbl.replace t.table hash ((key, e) :: bucket);
-            t.loaded <- t.loaded + 1
-          end)
+          (* Last record wins: a healed key appends a fresh record
+             after its original, and the fresh one is the truth. *)
+          if not (List.mem_assoc key bucket) then t.loaded <- t.loaded + 1;
+          Hashtbl.replace t.table hash ((key, e) :: List.remove_assoc key bucket))
         records;
-      t.dropped_bytes <- String.length contents - valid;
-      if t.dropped_bytes > 0 then begin
+      List.iter
+        (fun line ->
+          t.quarantined <- t.quarantined + 1;
+          Obs.Metrics.incr m_quarantined;
+          match salvage_key line with
+          | Some key -> Hashtbl.replace t.quarantined_keys key ()
+          | None -> ())
+        bad;
+      t.dropped_bytes <- torn;
+      if bad <> [] then begin
+        compact path records bad;
+        ignore
+          (Obs.Warn.once
+             ("server.store.quarantined:" ^ path)
+             (Printf.sprintf
+                "store %s: quarantined %d corrupt record(s) into %s; keys re-verify on \
+                 next access"
+                path (List.length bad) (quarantine_path path)))
+      end
+      else if torn > 0 then begin
         (* Truncate the torn tail so the next append starts a clean
-           frame instead of extending a partial one. *)
-        Unix.truncate path valid;
+           frame instead of extending a partial one — and fsync the
+           directory so the truncation itself survives power loss. *)
+        Unix.truncate path (String.length contents - torn);
+        fsync_dir path
+      end;
+      if torn > 0 then
         ignore
           (Obs.Warn.once
              ("server.store.recovered:" ^ path)
              (Printf.sprintf
                 "store %s: dropped %d bytes of torn journal tail (crash recovery)" path
-                t.dropped_bytes))
-      end;
+                torn));
       t.oc <- Some (open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path)
   end;
   t
@@ -209,34 +309,85 @@ let find t ~mu tm =
   let hash = key_hash ~mu tm in
   let key = key_string ~mu tm in
   locked t (fun () ->
-      match Option.bind (Hashtbl.find_opt t.table hash) (List.assoc_opt key) with
-      | Some e ->
-        t.hits <- t.hits + 1;
-        Obs.Metrics.incr m_hits;
-        Some e
-      | None ->
+      if Hashtbl.mem t.quarantined_keys key then begin
+        (* The journal record for this key was corrupt: force a miss so
+           the caller recomputes and [add] re-verifies. *)
         t.misses <- t.misses + 1;
         Obs.Metrics.incr m_misses;
-        None)
+        None
+      end
+      else
+        match Option.bind (Hashtbl.find_opt t.table hash) (List.assoc_opt key) with
+        | Some e ->
+          t.hits <- t.hits + 1;
+          Obs.Metrics.incr m_hits;
+          Some e
+        | None ->
+          t.misses <- t.misses + 1;
+          Obs.Metrics.incr m_misses;
+          None)
+
+(* Append one record, honouring the [store.write] (torn append) and
+   [store.fsync] injection sites.  A torn append is rolled back by
+   truncating to the pre-write length, so the journal never dwells in
+   a torn state because of an injected fault — the caller sees
+   [Fault.Injected] and the entry is simply not persisted yet. *)
+let append_record t hash key e =
+  let oc = oc_exn t in
+  let line = record_line hash key e ^ "\n" in
+  (match Fault.partial_write "store.write" (String.length line) with
+  | Some n ->
+    t.io_errors <- t.io_errors + 1;
+    Obs.Metrics.incr m_io_errors;
+    (try
+       flush oc;
+       let fd = Unix.descr_of_out_channel oc in
+       let size = (Unix.fstat fd).Unix.st_size in
+       output_substring oc line 0 n;
+       flush oc;
+       Unix.ftruncate fd size
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    raise (Fault.Injected "store.write")
+  | None ->
+    output_string oc line;
+    flush oc);
+  t.appended <- t.appended + 1;
+  t.pending <- t.pending + 1;
+  if t.pending >= t.fsync_every then
+    if Fault.should_fail "store.fsync" then begin
+      (* Keep [pending] so the next append retries the fsync; the data
+         is in the OS already (flushed), only durability is delayed. *)
+      t.io_errors <- t.io_errors + 1;
+      Obs.Metrics.incr m_io_errors
+    end
+    else begin
+      fsync_out oc;
+      t.pending <- 0
+    end
+
+let heal t key =
+  if Hashtbl.mem t.quarantined_keys key then begin
+    Hashtbl.remove t.quarantined_keys key;
+    t.healed <- t.healed + 1;
+    Obs.Metrics.incr m_healed
+  end
 
 let add t ~mu tm e =
   let hash = key_hash ~mu tm in
   let key = key_string ~mu tm in
   locked t (fun () ->
       let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table hash) in
-      if not (List.mem_assoc key bucket) then begin
-        Hashtbl.replace t.table hash ((key, e) :: bucket);
-        let oc = oc_exn t in
-        output_string oc (record_line hash key e);
-        output_char oc '\n';
-        flush oc;
-        t.appended <- t.appended + 1;
-        t.pending <- t.pending + 1;
-        if t.pending >= t.fsync_every then begin
-          fsync_out oc;
-          t.pending <- 0
-        end
-      end)
+      let quarantined = Hashtbl.mem t.quarantined_keys key in
+      match List.assoc_opt key bucket with
+      | Some _ when not quarantined -> () (* verdicts are deterministic *)
+      | Some e0 when e0 = e ->
+        (* Re-verified: the fresh verdict matches the record that
+           survived next to the corrupt one; just clear the mark. *)
+        heal t key
+      | _ ->
+        append_record t hash key e;
+        Hashtbl.replace t.table hash ((key, e) :: List.remove_assoc key bucket);
+        heal t key)
 
 let flush t =
   locked t (fun () ->
@@ -260,6 +411,9 @@ let stats t =
         appended = t.appended;
         loaded = t.loaded;
         dropped_bytes = t.dropped_bytes;
+        quarantined = t.quarantined;
+        healed = t.healed;
+        io_errors = t.io_errors;
       })
 
 let entry_of_verdict (v : Analysis.verdict) =

@@ -14,11 +14,30 @@
       {!flush}/{!close}), so a 10k-request burst does not pay 10k
       disk syncs.  A crash loses at most the un-synced tail.
     - {e crash-truncation recovery}: every record carries a checksum
-      over its content.  Replay stops at the first incomplete or
-      corrupt record — a torn tail from a crash mid-append — and the
-      journal is truncated back to the last valid record, so the next
-      append starts from a clean frame.  The dropped byte count is
-      reported in {!stats}.
+      over its content.  An incomplete last line — a torn tail from a
+      crash mid-append — is truncated back to the last valid record,
+      so the next append starts from a clean frame.  The dropped byte
+      count is reported in {!stats}.
+    - {e quarantine self-healing}: a {e complete} record that fails
+      its checksum (bit rot, partial overwrite) is moved into the
+      [<path>.quarantine] sidecar and the journal is compacted
+      (tmp + rename, fsynced).  Records after the corrupt one are
+      independently checksummed and survive.  The corrupt record's
+      key, salvaged best-effort, is marked so {!find} forces a miss
+      until a fresh verdict re-verifies it via {!add} (the [healed]
+      counter); see docs/RESILIENCE.md for the sidecar format.
+    - {e directory durability}: file creation, tail truncation and
+      compaction are followed by an [fsync] of the parent directory,
+      so the metadata change itself survives power loss.
+
+    Replay is last-wins per key: a healed key's fresh record
+    supersedes any earlier one in the journal.
+
+    Fault injection: with an armed {!Fault.Plan}, {!add} consults the
+    [store.write] site (torn append, rolled back by truncation, then
+    raises {!Fault.Injected}) and the [store.fsync] site (skipped
+    sync, retried on the next append).  {!flush} and {!close} always
+    sync for real.
 
     Only verdicts with [exactness = Exact] belong in the store
     (bounded verdicts depend on the budget that produced them);
@@ -44,12 +63,19 @@ val open_ : ?fsync_every:int -> string -> t
 
 val find : t -> mu:int array -> Intmat.t -> entry option
 (** Look up the verdict for [(t, mu)].  Bumps the
-    [server.store.hits] / [server.store.misses] metrics. *)
+    [server.store.hits] / [server.store.misses] metrics.  A key whose
+    journal record was quarantined misses unconditionally until
+    {!add} re-verifies it. *)
 
 val add : t -> mu:int array -> Intmat.t -> entry -> unit
 (** Record a verdict and append it to the journal.  A key already
     present is a no-op (verdicts are deterministic, so the entry can
-    only be identical). *)
+    only be identical) — unless the key is quarantined, in which case
+    the fresh entry re-verifies it: a match just clears the mark, a
+    mismatch appends a superseding record.
+    @raise Fault.Injected when an armed plan fires [store.write]; the
+    torn bytes are rolled back and the entry is not recorded — the
+    caller may retry or degrade. *)
 
 val flush : t -> unit
 (** Flush buffered appends and [fsync] the journal. *)
@@ -65,6 +91,9 @@ type stats = {
   appended : int;       (** Records written by this process. *)
   loaded : int;         (** Records replayed from disk at {!open_}. *)
   dropped_bytes : int;  (** Torn tail truncated away at {!open_}. *)
+  quarantined : int;    (** Corrupt records moved to the sidecar at {!open_}. *)
+  healed : int;         (** Quarantined keys re-verified by {!add}. *)
+  io_errors : int;      (** Injected/encountered write+fsync failures. *)
 }
 
 val stats : t -> stats

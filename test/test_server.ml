@@ -74,23 +74,44 @@ let test_store_crash_recovery () =
 
 let test_store_corrupt_record () =
   let path = fresh_path ".store" in
+  let quarantine = path ^ ".quarantine" in
+  let e1 = Store.entry_of_verdict (Analysis.check ~mu:mu1 t1) in
+  let e2 = Store.entry_of_verdict (Analysis.check ~mu:mu2 t2) in
   let s = Store.open_ path in
-  Store.add s ~mu:mu1 t1 (Store.entry_of_verdict (Analysis.check ~mu:mu1 t1));
-  Store.add s ~mu:mu2 t2 (Store.entry_of_verdict (Analysis.check ~mu:mu2 t2));
+  Store.add s ~mu:mu1 t1 e1;
+  Store.add s ~mu:mu2 t2 e2;
   Store.close s;
-  (* Flip a byte inside the first record: the checksum must reject it
-     AND everything after it (append-only journals have no frame
-     resync). *)
+  (* Flip a byte inside the first record: the checksum rejects it, the
+     record is quarantined into the sidecar, and the independently
+     checksummed record after it survives the compaction. *)
   let full = In_channel.with_open_bin path In_channel.input_all in
   let header_end = String.index full '\n' + 1 in
   let b = Bytes.of_string full in
   Bytes.set b (header_end + 3) 'Z';
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
   let s = Store.open_ path in
-  Alcotest.(check int) "nothing trusted past corruption" 0 (Store.stats s).Store.loaded;
-  Alcotest.(check bool) "bytes dropped" true ((Store.stats s).Store.dropped_bytes > 0);
+  let st = Store.stats s in
+  Alcotest.(check int) "later record survives" 1 st.Store.loaded;
+  Alcotest.(check int) "corrupt record quarantined" 1 st.Store.quarantined;
+  Alcotest.(check bool) "sidecar written" true (Sys.file_exists quarantine);
+  Alcotest.(check bool) "survivor readable" true (Store.find s ~mu:mu2 t2 = Some e2);
+  (* The quarantined key forces a miss until a fresh verdict
+     re-verifies it... *)
+  Alcotest.(check bool) "quarantined key misses" true (Store.find s ~mu:mu1 t1 = None);
+  Store.add s ~mu:mu1 t1 e1;
+  Alcotest.(check int) "re-add heals" 1 (Store.stats s).Store.healed;
+  Alcotest.(check bool) "healed key hits" true (Store.find s ~mu:mu1 t1 = Some e1);
   Store.close s;
-  Sys.remove path
+  (* ...and the healed journal replays clean: both records, no
+     quarantine, no torn tail. *)
+  let s = Store.open_ path in
+  let st = Store.stats s in
+  Alcotest.(check int) "healed journal replays whole" 2 st.Store.loaded;
+  Alcotest.(check int) "no quarantine after heal" 0 st.Store.quarantined;
+  Alcotest.(check int) "no torn tail" 0 st.Store.dropped_bytes;
+  Store.close s;
+  Sys.remove path;
+  Sys.remove quarantine
 
 let test_store_foreign_file () =
   let path = fresh_path ".store" in
@@ -349,6 +370,224 @@ let test_live_load_verified () =
   Alcotest.(check int) "all replies ok" 200 r.Client.ok;
   shutdown server
 
+(* --------------------------- fault injection ------------------------ *)
+
+(* Every test that arms a plan must disarm it on all paths, or the
+   fault would leak into unrelated tests. *)
+let with_plan plan f = Fault.Plan.arm plan; Fun.protect ~finally:Fault.Plan.disarm f
+
+let test_fault_plan_determinism () =
+  let decisions plan =
+    with_plan plan (fun () ->
+        List.init 200 (fun _ -> Fault.should_fail "store.write"))
+  in
+  let p1 = Fault.Plan.make ~rate:0.5 ~seed:17 ~classes:[ "io" ] () in
+  let p2 = Fault.Plan.make ~rate:0.5 ~seed:17 ~classes:[ "io" ] () in
+  let d1 = decisions p1 and d2 = decisions p2 in
+  Alcotest.(check (list bool)) "same seed, same decisions" d1 d2;
+  Alcotest.(check string) "same seed, same fingerprint"
+    (Fault.Plan.fingerprint p1) (Fault.Plan.fingerprint p2);
+  Alcotest.(check bool) "rate 0.5 fires" true (Fault.Plan.faults_injected p1 > 0);
+  let p3 = Fault.Plan.make ~rate:0.5 ~seed:18 ~classes:[ "io" ] () in
+  Alcotest.(check bool) "different seed, different log" true
+    (decisions p3 <> d1);
+  (* A site outside the armed classes — and any unknown name — never
+     faults, and with no armed plan nothing does. *)
+  let p4 = Fault.Plan.make ~rate:1.0 ~seed:1 ~classes:[ "io" ] () in
+  with_plan p4 (fun () ->
+      Alcotest.(check bool) "class off" false (Fault.should_fail "conn.read");
+      Alcotest.(check bool) "unknown site" false (Fault.should_fail "no.such.site"));
+  Alcotest.(check bool) "disarmed" false (Fault.should_fail "store.write")
+
+let test_budget_clock_skew () =
+  (* With the clock class armed, a fraction of Fault.clock_now reads
+     jump forward by an hour, so a budget whose deadline is far away
+     can observe itself pressed.  The decision stream is pure in the
+     seed, so this converges on the same consult every run. *)
+  let plan = Fault.Plan.make ~rate:0.5 ~clock_skew_s:3600. ~seed:3 ~classes:[ "clock" ] () in
+  with_plan plan (fun () ->
+      let pressed_early = ref false in
+      (let i = ref 0 in
+       while (not !pressed_early) && !i < 100 do
+         incr i;
+         let b = Engine.Budget.make ~deadline_ms:1_800_000 () in
+         let j = ref 0 in
+         while (not !pressed_early) && !j < 10 do
+           incr j;
+           if Engine.Budget.pressed b then pressed_early := true
+         done
+       done);
+      Alcotest.(check bool) "skewed clock presses a distant deadline" true !pressed_early);
+  let b = Engine.Budget.make ~deadline_ms:1_800_000 () in
+  Alcotest.(check bool) "no plan, no skew" false (Engine.Budget.pressed b)
+
+let test_admission_drain_race () =
+  (* Property: whatever the interleaving of try_push against a
+     concurrent close + drain, no request is both shed and executed,
+     and every accepted request executes exactly once. *)
+  let round ~jobs ~per_pusher =
+    let pushers = 2 in
+    let total = pushers * per_pusher in
+    let q = Admission.create ~capacity:64 in
+    let accepted = Array.make total false in
+    let executed = Array.make total 0 in
+    let exec_lock = Mutex.create () in
+    let workers =
+      List.init jobs (fun _ ->
+          Thread.create
+            (fun () ->
+              let rec loop () =
+                match Admission.pop_batch q ~max:4 ~compatible:(fun _ _ -> true) with
+                | None -> ()
+                | Some items ->
+                  Mutex.lock exec_lock;
+                  List.iter (fun i -> executed.(i) <- executed.(i) + 1) items;
+                  Mutex.unlock exec_lock;
+                  Thread.yield ();
+                  loop ()
+              in
+              loop ())
+            ())
+    in
+    let push_threads =
+      List.init pushers (fun p ->
+          Thread.create
+            (fun () ->
+              for k = 0 to per_pusher - 1 do
+                let i = (p * per_pusher) + k in
+                accepted.(i) <- Admission.try_push q i;
+                if k mod 8 = 0 then Thread.yield ()
+              done)
+            ())
+    in
+    (* Close while the pushers are still racing. *)
+    Thread.yield ();
+    Admission.close q;
+    List.iter Thread.join push_threads;
+    List.iter Thread.join workers;
+    Array.iteri
+      (fun i n ->
+        if accepted.(i) then
+          Alcotest.(check int) (Printf.sprintf "jobs %d: accepted %d runs once" jobs i) 1 n
+        else
+          Alcotest.(check int) (Printf.sprintf "jobs %d: shed %d never runs" jobs i) 0 n)
+      executed
+  in
+  List.iter
+    (fun jobs -> for _ = 1 to 5 do round ~jobs ~per_pusher:100 done)
+    [ 1; 4 ]
+
+let chaos_instances ~seed ~count = List.init count (Check.Gen.ith ~seed ~size:4)
+
+let session_verdict sess (inst : Check.Instance.t) =
+  match
+    Client.call sess
+      (Protocol.analyze ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat)
+  with
+  | Error e -> Alcotest.failf "session call failed: %s" e
+  | Ok (reply, attempts) ->
+    Alcotest.(check bool) "session reply ok" true (Protocol.reply_ok reply);
+    (match Json.member "verdict" reply with
+    | Some v -> (Json.to_string v, attempts)
+    | None -> Alcotest.fail "session reply without verdict")
+
+let test_client_retry_conn_faults () =
+  (* Under connection faults (resets, dropped replies, accept-time
+     closes) the retrying session must still answer every request,
+     with verdicts byte-identical to a fault-free local check. *)
+  let store_path = fresh_path ".store" in
+  let server = boot ~store_path () in
+  let _, _, sock = server in
+  let insts = chaos_instances ~seed:101 ~count:8 in
+  let plan = Fault.Plan.make ~rate:0.15 ~seed:11 ~classes:[ "conn" ] () in
+  (* Each attempt crosses several conn sites, so the per-attempt
+     failure odds are a few times the per-consult rate; give the
+     session headroom beyond the default 8 attempts. *)
+  let retry = { Client.default_retry with Client.max_attempts = 16 } in
+  with_plan plan (fun () ->
+      let sess = Client.session ~retry (`Unix sock) in
+      for k = 0 to 39 do
+        let inst = List.nth insts (k mod List.length insts) in
+        let verdict, _ = session_verdict sess inst in
+        Alcotest.(check string) "verdict matches direct check" (direct_verdict inst) verdict
+      done;
+      Client.close_session sess;
+      Alcotest.(check bool) "plan fired" true (Fault.Plan.faults_injected plan > 0));
+  shutdown server;
+  Sys.remove store_path
+
+let test_worker_supervision () =
+  (* Killed batcher workers respawn without losing queued requests:
+     every request is still answered and the death counter proves the
+     supervisor actually ran. *)
+  let server = boot () in
+  let d, _, sock = server in
+  let insts = chaos_instances ~seed:202 ~count:6 in
+  let plan = Fault.Plan.make ~rate:0.5 ~seed:5 ~classes:[ "worker" ] () in
+  with_plan plan (fun () ->
+      let sess = Client.session (`Unix sock) in
+      List.iteri
+        (fun i inst ->
+          ignore i;
+          let verdict, _ = session_verdict sess inst in
+          Alcotest.(check string) "served across deaths" (direct_verdict inst) verdict)
+        (List.concat_map (fun _ -> insts) [ (); (); (); (); () ]);
+      Client.close_session sess);
+  Alcotest.(check bool) "workers died and respawned" true (Daemon.worker_deaths d > 0);
+  shutdown server
+
+let test_chaos_determinism () =
+  let cfg =
+    { Server.Chaos.default_config with seed = 9; requests = 120; rate = 0.15 }
+  in
+  let r1 = Server.Chaos.run cfg in
+  let r2 = Server.Chaos.run cfg in
+  Alcotest.(check (list string)) "log lines identical"
+    r1.Server.Chaos.fault_log r2.Server.Chaos.fault_log;
+  Alcotest.(check string) "same seed, same fault log"
+    r1.Server.Chaos.fingerprint r2.Server.Chaos.fingerprint;
+  Alcotest.(check bool) "run 1 converged" true r1.Server.Chaos.converged;
+  Alcotest.(check bool) "run 2 converged" true r2.Server.Chaos.converged;
+  Alcotest.(check bool) "faults fired" true (r1.Server.Chaos.faults > 0);
+  Alcotest.(check int) "no lost acknowledged writes" 0 r1.Server.Chaos.lost_writes;
+  Alcotest.(check int) "no disagreements" 0 r1.Server.Chaos.disagreements
+
+let test_stale_socket_recovery () =
+  (* A SIGKILLed daemon leaves its socket file behind; the next create
+     must probe it, find it dead, and bind in its place. *)
+  let path = fresh_path ".sock" in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.close fd;
+  Alcotest.(check bool) "stale socket present" true (Sys.file_exists path);
+  let cfg =
+    { (Daemon.default_config (Daemon.Unix_sock path)) with jobs = Some 2 }
+  in
+  let d = Daemon.create cfg in
+  let th = Thread.create Daemon.run d in
+  let conn = Client.connect (`Unix path) in
+  let reply = Client.request conn (Protocol.ping ~id:(Json.Int 1) ()) in
+  Alcotest.(check bool) "rebound over stale socket" true (Protocol.reply_ok reply);
+  (* A live listener is never clobbered. *)
+  Alcotest.(check bool) "live socket refused" true
+    (try
+       ignore (Daemon.create cfg);
+       false
+     with Failure _ -> true);
+  Client.close conn;
+  Daemon.initiate_drain d;
+  Thread.join th;
+  Alcotest.(check bool) "socket unlinked on clean exit" false (Sys.file_exists path);
+  (* A path that is not a socket at all is refused, not unlinked. *)
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "data");
+  Alcotest.(check bool) "non-socket refused" true
+    (try
+       ignore (Daemon.create cfg);
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "non-socket preserved" true (Sys.file_exists path);
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;
@@ -365,4 +604,11 @@ let suite =
     Alcotest.test_case "live bad requests" `Quick test_live_bad_requests;
     Alcotest.test_case "live drain rejects" `Quick test_live_drain_rejects;
     Alcotest.test_case "live verified load" `Quick test_live_load_verified;
+    Alcotest.test_case "fault plan determinism" `Quick test_fault_plan_determinism;
+    Alcotest.test_case "budget clock skew" `Quick test_budget_clock_skew;
+    Alcotest.test_case "admission drain race" `Quick test_admission_drain_race;
+    Alcotest.test_case "client retry under conn faults" `Quick test_client_retry_conn_faults;
+    Alcotest.test_case "worker supervision" `Quick test_worker_supervision;
+    Alcotest.test_case "chaos determinism" `Quick test_chaos_determinism;
+    Alcotest.test_case "stale socket recovery" `Quick test_stale_socket_recovery;
   ]
