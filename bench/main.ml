@@ -748,13 +748,17 @@ let engine_bench () =
 
 (* Serve benches: an in-process daemon on a Unix socket driven by the
    verified load generator — cold store, warm store (same process) and
-   a post-restart pass over the reloaded journal.  Returns the JSON
-   "serve" section of the bench report (docs/SCHEMA.md). *)
+   a post-restart pass over the reloaded journal.  The headline passes
+   run the negotiated transport (binary by default) with pipelined
+   connections; a fourth pass repeats the warm workload on v1 JSON
+   lines so the report carries the cross-transport comparison.
+   Returns the JSON "serve" section of the bench report
+   (docs/SCHEMA.md). *)
 
-let serve_bench ?(quick = false) () =
-  Printf.printf "\n== serve: batching daemon, persistent store, verified load ==\n";
-  let requests = if quick then 500 else 2000 in
-  let concurrency = 16 and distinct = 128 and jobs = 4 in
+let serve_bench ?(quick = false) ?(transport = Server.Wire.V2) () =
+  Printf.printf "\n== serve: event-loop daemon, persistent store, verified load ==\n";
+  let requests = if quick then 2000 else 20000 in
+  let concurrency = 16 and distinct = 128 and jobs = 4 and pipeline = 32 in
   let tmp name =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "sf-bench-%d%s" (Unix.getpid ()) name)
@@ -781,24 +785,28 @@ let serve_bench ?(quick = false) () =
     | Some s -> (Server.Store.stats s).Server.Store.hits
     | None -> 0
   in
-  let run_pass label server =
+  let run_pass ?(transport = transport) ?(pipeline = pipeline) label server =
     let d, _ = server in
     let hits0 = hits_of d in
     let r =
       Server.Client.load (`Unix sock)
-        { Server.Client.default_load with requests; concurrency; distinct }
+        { Server.Client.default_load with requests; concurrency; distinct; transport;
+          pipeline }
     in
     let hit_rate = float_of_int (hits_of d - hits0) /. float_of_int requests in
     Printf.printf
-      "%-12s %5d req  p50 %6.2f ms  p95 %6.2f ms  %7.0f req/s  shed %d  hit rate %.2f  \
-       disagreements %d\n"
-      label requests r.Server.Client.p50_ms r.Server.Client.p95_ms r.Server.Client.rps
-      r.Server.Client.shed hit_rate r.Server.Client.disagreements;
+      "%-12s %5d req (%s/%d)  p50 %6.2f ms  p95 %6.2f ms  %7.0f req/s  shed %d  \
+       hit rate %.2f  disagreements %d\n"
+      label requests r.Server.Client.transport pipeline r.Server.Client.p50_ms
+      r.Server.Client.p95_ms r.Server.Client.rps r.Server.Client.shed hit_rate
+      r.Server.Client.disagreements;
     assert (r.Server.Client.disagreements = 0);
     assert (r.Server.Client.errors = 0);
     ( r,
       Json.Obj
         [
+          ("transport", Json.Str r.Server.Client.transport);
+          ("pipeline", Json.Int pipeline);
           ("p50_ms", Json.Float r.Server.Client.p50_ms);
           ("p95_ms", Json.Float r.Server.Client.p95_ms);
           ("p99_ms", Json.Float r.Server.Client.p99_ms);
@@ -811,6 +819,9 @@ let serve_bench ?(quick = false) () =
   let server = boot () in
   let _, cold = run_pass "cold store" server in
   let _, warm = run_pass "warm store" server in
+  (* Same warm workload, v1 JSON lines, unpipelined: the report keeps
+     the apples-to-apples transport comparison next to the headline. *)
+  let _, warm_json = run_pass ~transport:Server.Wire.V1 ~pipeline:1 "warm json" server in
   shutdown server;
   (* The journal must survive the restart: the first pass of the new
      process is already warm. *)
@@ -829,8 +840,11 @@ let serve_bench ?(quick = false) () =
       ("concurrency", Json.Int concurrency);
       ("distinct", Json.Int distinct);
       ("jobs", Json.Int jobs);
+      ("transport", Json.Str (Server.Wire.version_name transport));
+      ("pipeline", Json.Int pipeline);
       ("cold", cold);
       ("warm", warm);
+      ("warm_json", warm_json);
       ("restart", restart);
       ("store_loaded_at_restart", Json.Int loaded);
     ]
@@ -913,10 +927,15 @@ let perf ?(quick = false) ?out () =
   Obs.Export.write_file path report;
   Printf.printf "bench report written to %s\n" path
 
-let bench_diff ~threshold old_file new_file =
+let bench_diff ?section ~threshold old_file new_file =
   match (Json.parse_file old_file, Json.parse_file new_file) with
   | Ok baseline, Ok current ->
-    let report = Benchstat.compare_runs ~threshold_pct:threshold ~baseline ~current in
+    let report =
+      Benchstat.compare_runs ?section ~threshold_pct:threshold ~baseline ~current ()
+    in
+    (match section with
+    | Some s -> Printf.printf "section %s:\n" s
+    | None -> ());
     Format.printf "%a@." Benchstat.pp report;
     if report.Benchstat.regressions <> [] then exit 1
   | Error e, _ | _, Error e ->
@@ -934,8 +953,9 @@ let experiments =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [e1..e16 | engine | serve | quick | perf [--quick] [--out FILE] | \
-     diff OLD NEW [--threshold PCT]]\n";
+    "usage: main.exe [e1..e16 | engine | serve [--transport json|binary] | chaos | \
+     quick | perf [--quick] [--out FILE] | \
+     diff OLD NEW [--threshold PCT] [--section NAME]]\n";
   exit 2
 
 let parse_perf_args rest =
@@ -950,18 +970,30 @@ let parse_perf_args rest =
   go false None rest
 
 let parse_diff_args rest =
-  let rec go threshold files = function
+  let rec go threshold section files = function
     | [] -> (
       match List.rev files with
-      | [ old_file; new_file ] -> bench_diff ~threshold old_file new_file
+      | [ old_file; new_file ] -> bench_diff ?section ~threshold old_file new_file
       | _ -> usage ())
     | "--threshold" :: pct :: tl -> (
       match float_of_string_opt pct with
-      | Some t -> go t files tl
+      | Some t -> go t section files tl
       | None -> usage ())
-    | arg :: tl -> go threshold (arg :: files) tl
+    | "--section" :: name :: tl -> go threshold (Some name) files tl
+    | arg :: tl -> go threshold section (arg :: files) tl
   in
-  go 20. [] rest
+  go 20. None [] rest
+
+let parse_serve_args rest =
+  let rec go transport = function
+    | [] -> ignore (serve_bench ~transport ())
+    | "--transport" :: name :: tl -> (
+      match Server.Wire.version_of_name name with
+      | Some v -> go v tl
+      | None -> usage ())
+    | _ -> usage ()
+  in
+  go Server.Wire.V2 rest
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -972,6 +1004,7 @@ let () =
   | [ "quick" ] -> List.iter (fun (_, f) -> f ()) experiments
   | "perf" :: rest -> parse_perf_args rest
   | "diff" :: rest -> parse_diff_args rest
+  | "serve" :: rest -> parse_serve_args rest
   | names ->
     List.iter
       (fun name ->
@@ -979,7 +1012,6 @@ let () =
         | Some f -> f ()
         | None ->
           if name = "engine" then ignore (engine_bench ())
-          else if name = "serve" then ignore (serve_bench ())
           else if name = "chaos" then ignore (chaos_bench ())
           else
             Printf.eprintf

@@ -949,6 +949,29 @@ let socket_arg =
     & opt string "shangfortes.sock"
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path (ignored with $(b,--port)).")
 
+(* Shared by serve, client and chaos: the wire dialect (docs/SERVER.md).
+   Servers advertise the newest dialect they accept; clients pick the
+   dialect to negotiate. *)
+let transport_conv = Arg.enum [ ("json", Server.Wire.V1); ("binary", Server.Wire.V2) ]
+
+let serve_transport_arg =
+  Arg.(
+    value
+    & opt transport_conv Server.Wire.V2
+    & info [ "transport" ] ~docv:"T"
+        ~doc:
+          "Newest wire dialect a $(i,hello) may negotiate: $(b,binary) (default) offers \
+           the v2 length-prefixed framing, $(b,json) pins connections to v1 JSON lines.")
+
+let client_transport_arg =
+  Arg.(
+    value
+    & opt transport_conv Server.Wire.V1
+    & info [ "transport" ] ~docv:"T"
+        ~doc:
+          "Wire dialect to negotiate: $(b,json) (default, v1 JSON lines) or $(b,binary) \
+           (v2 length-prefixed framing via a $(i,hello) handshake).")
+
 let port_arg =
   Arg.(
     value
@@ -990,7 +1013,8 @@ let serve_cmd =
       value & opt int 32
       & info [ "fsync-every" ] ~docv:"N" ~doc:"Records between store fsyncs.")
   in
-  let run socket port jobs max_inflight queue batch store_path fsync_every fmt obs =
+  let run socket port jobs max_inflight queue batch store_path fsync_every max_transport
+      fmt obs =
     obs_begin obs;
     let listen =
       match port with
@@ -1006,6 +1030,7 @@ let serve_cmd =
         batch_max = batch;
         store_path;
         fsync_every;
+        max_transport;
       }
     in
     let t = Server.Daemon.create cfg in
@@ -1035,11 +1060,13 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the mapping-query daemon: a batching, backpressured JSON-lines service \
-          with a persistent verdict store (protocol in docs/SERVER.md)")
+         "Run the mapping-query daemon: a batching, backpressured service speaking the \
+          versioned wire protocol (JSON lines and negotiated binary framing) with a \
+          persistent verdict store (protocol in docs/SERVER.md)")
     Term.(
       const run $ socket_arg $ port_arg $ jobs_arg $ inflight_arg $ queue_cap_arg
-      $ batch_arg $ store_path_arg $ fsync_arg $ format_arg $ obs_term)
+      $ batch_arg $ store_path_arg $ fsync_arg $ serve_transport_arg $ format_arg
+      $ obs_term)
 
 (* ------------------------------- client ----------------------------- *)
 
@@ -1086,8 +1113,14 @@ let client_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
   in
+  let pipeline_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:"Requests kept in flight per connection (replies are matched by id).")
+  in
   let run socket port requests concurrency distinct seed size no_verify deadline_ms
-      expect_no_shed out fmt obs =
+      transport pipeline expect_no_shed out fmt obs =
     obs_begin obs;
     let addr =
       match port with Some p -> `Tcp ("127.0.0.1", p) | None -> `Unix socket
@@ -1101,6 +1134,8 @@ let client_cmd =
         size;
         verify = not no_verify;
         deadline_ms;
+        transport;
+        pipeline;
       }
     in
     let r = Server.Client.load addr cfg in
@@ -1116,13 +1151,15 @@ let client_cmd =
     | Json_v2 -> Json.print doc
     | Plain ->
       Printf.printf
-        "%d requests: %d ok, %d shed, %d draining, %d errors, %d disagreement(s)\n\
+        "%d requests (%s transport, pipeline %d): %d ok, %d shed, %d draining, %d \
+         errors, %d disagreement(s)\n\
          p50 = %.2f ms  p95 = %.2f ms  p99 = %.2f ms  max = %.2f ms\n\
          %.0f requests/s over %.2f s\n"
-        r.Server.Client.sent r.Server.Client.ok r.Server.Client.shed
-        r.Server.Client.draining r.Server.Client.errors r.Server.Client.disagreements
-        r.Server.Client.p50_ms r.Server.Client.p95_ms r.Server.Client.p99_ms
-        r.Server.Client.max_ms r.Server.Client.rps r.Server.Client.wall_s);
+        r.Server.Client.sent r.Server.Client.transport r.Server.Client.pipeline
+        r.Server.Client.ok r.Server.Client.shed r.Server.Client.draining
+        r.Server.Client.errors r.Server.Client.disagreements r.Server.Client.p50_ms
+        r.Server.Client.p95_ms r.Server.Client.p99_ms r.Server.Client.max_ms
+        r.Server.Client.rps r.Server.Client.wall_s);
     obs_end obs fmt;
     if
       r.Server.Client.disagreements > 0
@@ -1137,8 +1174,8 @@ let client_cmd =
           local analysis")
     Term.(
       const run $ socket_arg $ port_arg $ requests_arg $ concurrency_arg $ distinct_arg
-      $ seed_arg $ size_arg $ no_verify_arg $ deadline_arg $ expect_no_shed_arg $ out_arg
-      $ format_arg $ obs_term)
+      $ seed_arg $ size_arg $ no_verify_arg $ deadline_arg $ client_transport_arg
+      $ pipeline_arg $ expect_no_shed_arg $ out_arg $ format_arg $ obs_term)
 
 (* ------------------------------- chaos ----------------------------- *)
 
@@ -1209,8 +1246,8 @@ let chaos_cmd =
             "Write the canonical fault log (one $(i,site#seq action) line each) to \
              $(docv); two runs with the same seed must produce identical files.")
   in
-  let run seed requests distinct size classes rate concurrency jobs expect_converged out
-      fault_log fmt obs =
+  let run seed requests distinct size classes rate concurrency jobs transport
+      expect_converged out fault_log fmt obs =
     obs_begin obs;
     let r =
       Server.Chaos.run
@@ -1224,6 +1261,7 @@ let chaos_cmd =
           concurrency;
           jobs;
           deadline_ms = None;
+          transport;
         }
     in
     let doc =
@@ -1247,13 +1285,14 @@ let chaos_cmd =
     | Json_v2 -> Json.print doc
     | Plain ->
       Printf.printf
-        "%d requests: %d ok, %d errors, %d retried (%d attempts total)\n\
+        "%d requests (%s transport): %d ok, %d errors, %d retried (%d attempts total)\n\
          faults injected = %d (fingerprint %s), worker deaths = %d\n\
          acked = %d, lost writes = %d, disagreements = %d -> %s\n\
          p50 = %.2f ms  p95 = %.2f ms  p99 = %.2f ms\n\
          recovery p50 = %.2f ms  p95 = %.2f ms  max = %.2f ms\n"
-        r.Server.Chaos.requests r.Server.Chaos.ok r.Server.Chaos.errors
-        r.Server.Chaos.retried r.Server.Chaos.attempts r.Server.Chaos.faults
+        r.Server.Chaos.requests r.Server.Chaos.transport r.Server.Chaos.ok
+        r.Server.Chaos.errors r.Server.Chaos.retried r.Server.Chaos.attempts
+        r.Server.Chaos.faults
         r.Server.Chaos.fingerprint r.Server.Chaos.worker_deaths r.Server.Chaos.acked
         r.Server.Chaos.lost_writes r.Server.Chaos.disagreements
         (if r.Server.Chaos.converged then "converged" else "DIVERGED")
@@ -1270,8 +1309,8 @@ let chaos_cmd =
           through the retrying client, and audit convergence (docs/RESILIENCE.md)")
     Term.(
       const run $ seed_arg $ requests_arg $ distinct_arg $ size_arg $ faults_arg
-      $ rate_arg $ concurrency_arg $ jobs_arg $ expect_converged_arg $ out_arg
-      $ fault_log_arg $ format_arg $ obs_term)
+      $ rate_arg $ concurrency_arg $ jobs_arg $ client_transport_arg
+      $ expect_converged_arg $ out_arg $ fault_log_arg $ format_arg $ obs_term)
 
 (* ------------------------------- main ------------------------------ *)
 

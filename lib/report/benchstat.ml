@@ -48,9 +48,17 @@ let flatten json =
   go "" json;
   List.rev !out
 
-let compare_runs ~threshold_pct ~baseline ~current =
-  let base = flatten baseline in
-  let cur = flatten current in
+let in_section section (path, _) =
+  match section with
+  | None -> true
+  | Some s ->
+    path = s
+    || (String.length path > String.length s
+        && String.sub path 0 (String.length s + 1) = s ^ ".")
+
+let compare_runs ?section ~threshold_pct ~baseline ~current () =
+  let base = List.filter (in_section section) (flatten baseline) in
+  let cur = List.filter (in_section section) (flatten current) in
   let cur_tbl = Hashtbl.create 64 in
   List.iter (fun (k, v) -> Hashtbl.replace cur_tbl k v) cur;
   let base_tbl = Hashtbl.create 64 in

@@ -23,10 +23,18 @@ type report = {
 }
 
 val compare_runs :
-  threshold_pct:float -> baseline:Json.t -> current:Json.t -> report
+  ?section:string ->
+  threshold_pct:float ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  report
 (** Flags a change when [|delta_pct| > threshold_pct].  Leaves with a
     non-positive baseline value are ignored (a percentage is
-    meaningless there). *)
+    meaningless there).  [?section] restricts the comparison to leaves
+    under one top-level dotted prefix (e.g. ["serve"]) — the CI bench
+    gate compares the serve section strictly while the full-report
+    diff stays advisory. *)
 
 val pp : Format.formatter -> report -> unit
 (** Sectioned human-readable rendering; prints a one-line "no changes"

@@ -8,6 +8,7 @@ type config = {
   concurrency : int;
   jobs : int option;
   deadline_ms : int option;
+  transport : Wire.version;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     concurrency = 1;
     jobs = None;
     deadline_ms = None;
+    transport = Wire.V1;
   }
 
 type report = {
@@ -32,6 +34,7 @@ type report = {
   requests : int;
   classes : string list;
   rate : float;
+  transport : string;
   ok : int;
   errors : int;
   retried : int;
@@ -127,7 +130,7 @@ let run (cfg : config) =
     let session =
       Client.session
         ~retry:{ Client.default_retry with retry_seed = cfg.seed + w }
-        (`Unix sock)
+        ~transport:cfg.transport (`Unix sock)
     in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
@@ -216,6 +219,7 @@ let run (cfg : config) =
     requests = cfg.requests;
     classes = cfg.classes;
     rate = cfg.rate;
+    transport = Wire.version_name cfg.transport;
     ok = ok_n;
     errors = Atomic.get errors;
     retried = Atomic.get retried;
@@ -249,6 +253,7 @@ let json_of_report r =
       ("requests", Json.Int r.requests);
       ("classes", Json.Arr (List.map (fun c -> Json.Str c) r.classes));
       ("rate", Json.Float r.rate);
+      ("transport", Json.Str r.transport);
       ("ok", Json.Int r.ok);
       ("errors", Json.Int r.errors);
       ("retried", Json.Int r.retried);

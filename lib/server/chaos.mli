@@ -24,17 +24,24 @@ type config = {
                              of the fault log for contention. *)
   jobs : int option;     (** Daemon pool domains. *)
   deadline_ms : int option;
+  transport : Wire.version;
+      (** Session transport; faults are injected below the framing
+          layer, so both dialects exercise the same catalogue.  Run
+          twice with the same seed {e and} transport for byte-identical
+          fault logs (the [hello] exchange adds consults, so logs are
+          comparable per-transport only). *)
 }
 
 val default_config : config
 (** seed 42, 500 requests, 32 distinct, size 4, classes
-    [io; conn; worker], rate 0.1, concurrency 1. *)
+    [io; conn; worker], rate 0.1, concurrency 1, v1 transport. *)
 
 type report = {
   seed : int;
   requests : int;
   classes : string list;
   rate : float;
+  transport : string;    (** {!Wire.version_name} of the session transport. *)
   ok : int;
   errors : int;          (** Requests that exhausted every retry. *)
   retried : int;         (** Requests needing more than one attempt. *)

@@ -1,8 +1,53 @@
 type addr = [ `Unix of string | `Tcp of string * int ]
 
-type conn = { fd : Unix.file_descr; rbuf : Buffer.t; chunk : Bytes.t }
+type conn = {
+  fd : Unix.file_descr;
+  dec : Wire.decoder;
+  mutable version : Wire.version;
+  chunk : Bytes.t;
+}
 
-let connect (addr : addr) =
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send_string c s =
+  let bytes = Bytes.of_string s in
+  let n = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write c.fd bytes !written (n - !written)
+  done
+
+let rec read_frame c =
+  match Wire.next c.dec with
+  | Wire.Frame f -> f
+  | Wire.Corrupt msg -> failwith ("Client.request: corrupt reply stream: " ^ msg)
+  | Wire.Need_more -> (
+    match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
+    | 0 -> failwith "Client.request: connection closed by server"
+    | n ->
+      Wire.feed c.dec c.chunk 0 n;
+      read_frame c)
+
+(* Every reply surfaces as the JSON document it is equivalent to: a
+   binary ['V'] frame reconstructs the exact [ok] analyze reply —
+   {!Protocol.json_of_wire} renders deterministically, so the verify
+   path compares byte-identically regardless of transport. *)
+let read_reply c =
+  match read_frame c with
+  | Wire.Text line -> (
+    match Json.parse line with
+    | Ok reply -> reply
+    | Error msg -> failwith ("Client.request: unparsable reply: " ^ msg))
+  | Wire.Bin_verdict { id; verdict; store } ->
+    Protocol.ok_reply ~id:(Json.Int id) ~op:"analyze"
+      (Handlers.fields_of_analyze (verdict, store))
+  | Wire.Bin_analyze _ -> failwith "Client.request: unexpected analyze frame from server"
+
+let request c json =
+  send_string c (Wire.encode c.version (Wire.Text (Json.to_string json)));
+  read_reply c
+
+let connect ?(transport = Wire.V1) (addr : addr) =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let fd, sockaddr =
     match addr with
@@ -16,38 +61,34 @@ let connect (addr : addr) =
   | exception e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e);
-  { fd; rbuf = Buffer.create 1024; chunk = Bytes.create 4096 }
+  let c = { fd; dec = Wire.decoder Wire.V1; version = Wire.V1; chunk = Bytes.create 65536 } in
+  (match transport with
+  | Wire.V1 -> ()
+  | Wire.V2 -> (
+    (* Negotiate before anything else is in flight: the ack is the
+       switch point for both directions. *)
+    match request c (Protocol.hello ~transport:(Wire.version_name Wire.V2) ()) with
+    | reply when Protocol.reply_ok reply ->
+      c.version <- Wire.V2;
+      Wire.set_version c.dec Wire.V2
+    | _ ->
+      close c;
+      failwith "Client.connect: server refused the binary transport"
+    | exception e ->
+      close c;
+      raise e));
+  c
 
-let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
-
-let read_line c =
-  let rec take () =
-    let s = Buffer.contents c.rbuf in
-    match String.index_opt s '\n' with
-    | Some nl ->
-      Buffer.clear c.rbuf;
-      Buffer.add_substring c.rbuf s (nl + 1) (String.length s - nl - 1);
-      String.sub s 0 nl
-    | None -> (
-      match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
-      | 0 -> failwith "Client.request: connection closed by server"
-      | n ->
-        Buffer.add_subbytes c.rbuf c.chunk 0 n;
-        take ())
-  in
-  take ()
-
-let request c json =
-  let line = Json.to_string json ^ "\n" in
-  let bytes = Bytes.of_string line in
-  let n = Bytes.length bytes in
-  let written = ref 0 in
-  while !written < n do
-    written := !written + Unix.write c.fd bytes !written (n - !written)
-  done;
-  match Json.parse (read_line c) with
-  | Ok reply -> reply
-  | Error msg -> failwith ("Client.request: unparsable reply: " ^ msg)
+(* The transport-polymorphic analyze send: a compact ['A'] frame once
+   the connection speaks v2, the JSON document otherwise. *)
+let send_analyze c ~id ?deadline_ms ~mu tmat =
+  match c.version with
+  | Wire.V2 -> send_string c (Wire.encode Wire.V2 (Wire.Bin_analyze { id; deadline_ms; mu; tmat }))
+  | Wire.V1 ->
+    send_string c
+      (Wire.encode Wire.V1
+         (Wire.Text
+            (Json.to_string (Protocol.analyze ~id:(Json.Int id) ?deadline_ms ~mu tmat))))
 
 (* --------------------------- retrying session ----------------------- *)
 
@@ -71,16 +112,18 @@ let default_retry =
 type session = {
   s_addr : addr;
   s_retry : retry;
+  s_transport : Wire.version;
   mutable s_conn : conn option;
   mutable s_rng : int;
   mutable s_next_id : int;
 }
 
-let session ?(retry = default_retry) addr =
+let session ?(retry = default_retry) ?(transport = Wire.V1) addr =
   if retry.max_attempts < 1 then invalid_arg "Client.session: max_attempts must be >= 1";
   {
     s_addr = addr;
     s_retry = retry;
+    s_transport = transport;
     s_conn = None;
     (* [lor 1] keeps a zero seed from pinning the LCG at zero. *)
     s_rng = (retry.retry_seed * 2654435761) lor 1;
@@ -108,12 +151,31 @@ let session_conn s =
   match s.s_conn with
   | Some c -> c
   | None ->
+    let fd_timeout c =
+      (* A receive timeout bounds how long a swallowed reply can stall
+         the session; the EAGAIN it raises is a retriable transport
+         error like any other. *)
+      try Unix.setsockopt_float c.fd SO_RCVTIMEO (s.s_retry.timeout_ms /. 1000.)
+      with Unix.Unix_error _ | Invalid_argument _ -> ()
+    in
+    (* The timeout must cover the negotiation read too, so connect
+       plain-v1 first and upgrade through the session's own request
+       path. *)
     let c = connect s.s_addr in
-    (* A receive timeout bounds how long a swallowed reply can stall
-       the session; the EAGAIN it raises is a retriable transport
-       error like any other. *)
-    (try Unix.setsockopt_float c.fd SO_RCVTIMEO (s.s_retry.timeout_ms /. 1000.)
-     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    fd_timeout c;
+    (match s.s_transport with
+    | Wire.V1 -> ()
+    | Wire.V2 -> (
+      match request c (Protocol.hello ~transport:(Wire.version_name Wire.V2) ()) with
+      | reply when Protocol.reply_ok reply ->
+        c.version <- Wire.V2;
+        Wire.set_version c.dec Wire.V2
+      | _ ->
+        close c;
+        failwith "Client.session: server refused the binary transport"
+      | exception e ->
+        close c;
+        raise e));
     s.s_conn <- Some c;
     c
 
@@ -141,20 +203,13 @@ let call s json =
   let want_id = Json.member "id" json in
   let attempt_once () =
     let c = session_conn s in
-    let line = Json.to_string json ^ "\n" in
-    let bytes = Bytes.of_string line in
-    let n = Bytes.length bytes in
-    let written = ref 0 in
-    while !written < n do
-      written := !written + Unix.write c.fd bytes !written (n - !written)
-    done;
+    send_string c (Wire.encode c.version (Wire.Text (Json.to_string json)));
     (* Discard replies whose id is not ours: a late reply to an
        earlier, timed-out request on this same connection must not be
        mis-attributed to the re-issued one. *)
     let rec read_matching () =
-      match Json.parse (read_line c) with
-      | Error msg -> failwith ("unparsable reply: " ^ msg)
-      | Ok reply -> if Json.member "id" reply = want_id then reply else read_matching ()
+      let reply = read_reply c in
+      if Json.member "id" reply = want_id then reply else read_matching ()
     in
     read_matching ()
   in
@@ -188,6 +243,8 @@ type load_config = {
   size : int;
   verify : bool;
   deadline_ms : int option;
+  transport : Wire.version;
+  pipeline : int;
 }
 
 let default_load =
@@ -199,6 +256,8 @@ let default_load =
     size = 4;
     verify = true;
     deadline_ms = None;
+    transport = Wire.V1;
+    pipeline = 1;
   }
 
 type load_report = {
@@ -209,6 +268,8 @@ type load_report = {
   errors : int;
   bounded : int;
   disagreements : int;
+  transport : string;
+  pipeline : int;
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
@@ -239,6 +300,7 @@ let load addr cfg =
   if cfg.requests < 1 then invalid_arg "Client.load: requests must be >= 1";
   if cfg.concurrency < 1 then invalid_arg "Client.load: concurrency must be >= 1";
   if cfg.distinct < 1 then invalid_arg "Client.load: distinct must be >= 1";
+  if cfg.pipeline < 1 then invalid_arg "Client.load: pipeline must be >= 1";
   let instances =
     Array.init cfg.distinct (fun i -> Check.Gen.ith ~seed:cfg.seed ~size:cfg.size i)
   in
@@ -261,8 +323,26 @@ let load addr cfg =
   and errors = Atomic.make 0
   and bounded = Atomic.make 0
   and disagreements = Atomic.make 0 in
+  let classify reply i =
+    if Protocol.reply_ok reply then begin
+      Atomic.incr ok;
+      if cfg.verify then
+        if wire_exactness reply = Some "bounded" then Atomic.incr bounded
+        else if verdict_bytes reply <> Some expected.(i mod cfg.distinct) then
+          Atomic.incr disagreements
+    end
+    else
+      match Protocol.error_code reply with
+      | Some "overloaded" -> Atomic.incr shed
+      | Some "draining" -> Atomic.incr draining
+      | _ -> Atomic.incr errors
+  in
+  (* Each worker keeps up to [pipeline] requests in flight on its one
+     connection and matches replies back by id — the server answers
+     warm requests inline and cold ones from the pool, so replies can
+     legitimately overtake each other. *)
   let worker () =
-    match connect addr with
+    match connect ~transport:cfg.transport addr with
     | exception exn ->
       Printf.eprintf "client: connect failed: %s\n%!" (Printexc.to_string exn);
       (* Burn the whole remaining share as transport errors rather
@@ -276,37 +356,45 @@ let load addr cfg =
       in
       burn ()
     | c ->
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < cfg.requests then begin
-          let inst = instances.(i mod cfg.distinct) in
-          let req =
-            Protocol.analyze ~id:(Json.Int i) ?deadline_ms:cfg.deadline_ms
+      let outstanding : (int, float) Hashtbl.t = Hashtbl.create (2 * cfg.pipeline) in
+      let exhausted = ref false in
+      let fill () =
+        while (not !exhausted) && Hashtbl.length outstanding < cfg.pipeline do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= cfg.requests then exhausted := true
+          else begin
+            let inst = instances.(i mod cfg.distinct) in
+            Hashtbl.replace outstanding i (Unix.gettimeofday ());
+            send_analyze c ~id:i ?deadline_ms:cfg.deadline_ms
               ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat
-          in
-          let t0 = Unix.gettimeofday () in
-          (match request c req with
-          | exception _ -> Atomic.incr errors
-          | reply ->
-            let ms = 1000. *. (Unix.gettimeofday () -. t0) in
-            latencies.(i) <- ms;
-            Obs.Metrics.observe h_latency ms;
-            if Protocol.reply_ok reply then begin
-              Atomic.incr ok;
-              if cfg.verify then
-                if wire_exactness reply = Some "bounded" then Atomic.incr bounded
-                else if verdict_bytes reply <> Some expected.(i mod cfg.distinct) then
-                  Atomic.incr disagreements
-            end
-            else
-              match Protocol.error_code reply with
-              | Some "overloaded" -> Atomic.incr shed
-              | Some "draining" -> Atomic.incr draining
-              | _ -> Atomic.incr errors);
-          loop ()
-        end
+          end
+        done
       in
-      loop ();
+      (match
+         let rec pump () =
+           fill ();
+           if Hashtbl.length outstanding > 0 then begin
+             let reply = read_reply c in
+             (match Protocol.reply_id reply with
+             | Json.Int i when Hashtbl.mem outstanding i ->
+               let t0 = Hashtbl.find outstanding i in
+               Hashtbl.remove outstanding i;
+               let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+               latencies.(i) <- ms;
+               Obs.Metrics.observe h_latency ms;
+               classify reply i
+             | _ -> Atomic.incr errors);
+             pump ()
+           end
+         in
+         pump ()
+       with
+      | () -> ()
+      | exception _ ->
+        (* A transport failure voids every request in flight on this
+           connection; requests not yet sent stay in the shared
+           counter for the other workers. *)
+        ignore (Atomic.fetch_and_add errors (Hashtbl.length outstanding)));
       close c
   in
   let t0 = Unix.gettimeofday () in
@@ -326,6 +414,8 @@ let load addr cfg =
     errors = Atomic.get errors;
     bounded = Atomic.get bounded;
     disagreements = Atomic.get disagreements;
+    transport = Wire.version_name cfg.transport;
+    pipeline = cfg.pipeline;
     p50_ms = percentile measured 0.50;
     p95_ms = percentile measured 0.95;
     p99_ms = percentile measured 0.99;
@@ -344,6 +434,8 @@ let json_of_load_report r =
       ("errors", Json.Int r.errors);
       ("bounded", Json.Int r.bounded);
       ("disagreements", Json.Int r.disagreements);
+      ("transport", Json.Str r.transport);
+      ("pipeline", Json.Int r.pipeline);
       ("p50_ms", Json.Float r.p50_ms);
       ("p95_ms", Json.Float r.p95_ms);
       ("p99_ms", Json.Float r.p99_ms);

@@ -1,17 +1,27 @@
-(** Client for the daemon's JSON-lines protocol, doubling as the load
-    generator behind the [client] CLI subcommand, the serve bench
-    section and the CI smoke job. *)
+(** Client for the daemon's versioned wire protocol ({!Wire}),
+    doubling as the load generator behind the [client] CLI subcommand,
+    the serve bench section and the CI smoke job.
+
+    Every connection starts on the v1 JSON-lines dialect; passing
+    [~transport:Wire.V2] sends the [hello] negotiation frame first and
+    switches both directions to the binary framing once the server
+    acks it.  Whatever the dialect, replies surface as the JSON
+    document they are equivalent to — a binary ['V'] verdict frame
+    reconstructs the exact [ok] analyze reply — so callers never see
+    the transport. *)
 
 type addr = [ `Unix of string | `Tcp of string * int ]
 
 type conn
 
-val connect : addr -> conn
-(** @raise Unix.Unix_error when the server is not there. *)
+val connect : ?transport:Wire.version -> addr -> conn
+(** Default transport {!Wire.V1}.
+    @raise Unix.Unix_error when the server is not there.
+    @raise Failure when the server refuses the requested transport. *)
 
 val request : conn -> Json.t -> Json.t
-(** Send one request line, block for the reply line.
-    @raise Failure on EOF or an unparsable reply. *)
+(** Send one request document, block for the reply.
+    @raise Failure on EOF, a corrupt frame or an unparsable reply. *)
 
 val close : conn -> unit
 
@@ -19,15 +29,15 @@ val close : conn -> unit
 
     A [session] wraps the raw connection with the recovery loop a
     fault-injected (or merely unlucky) daemon demands: reconnect on
-    any transport failure, re-issue the request with the {e same} id,
-    discard reply lines whose id does not echo it (so a late reply to
-    a timed-out earlier attempt is never mis-attributed), and back
-    off exponentially with deterministic seeded jitter between
-    attempts.  [overloaded] and [draining] error replies are also
-    retried; other error replies are returned as-is — they are
-    answers, not transport failures.  Analyze requests are idempotent
-    (verdicts are deterministic), so re-issue is always safe.  See
-    docs/RESILIENCE.md. *)
+    any transport failure (renegotiating the transport), re-issue the
+    request with the {e same} id, discard replies whose id does not
+    echo it (so a late reply to a timed-out earlier attempt is never
+    mis-attributed), and back off exponentially with deterministic
+    seeded jitter between attempts.  [overloaded] and [draining] error
+    replies are also retried; other error replies are returned as-is —
+    they are answers, not transport failures.  Analyze requests are
+    idempotent (verdicts are deterministic), so re-issue is always
+    safe.  See docs/RESILIENCE.md. *)
 
 type retry = {
   max_attempts : int;     (** Total tries, first included (>= 1). *)
@@ -42,8 +52,10 @@ val default_retry : retry
 
 type session
 
-val session : ?retry:retry -> addr -> session
-(** Lazy: the first {!call} connects. *)
+val session : ?retry:retry -> ?transport:Wire.version -> addr -> session
+(** Lazy: the first {!call} connects (and negotiates [transport],
+    default {!Wire.V1}); so does every reconnect after a transport
+    failure. *)
 
 val call : session -> Json.t -> (Json.t * int, string) result
 (** [call s req] returns [(reply, attempts)] or, after exhausting
@@ -59,10 +71,14 @@ val close_session : session -> unit
     [load] replays a deterministic {!Check.Gen.ith} instance stream as
     [analyze] requests from [concurrency] worker threads (one
     connection each), cycling over [distinct] instances — so a second
-    pass hits the server's warm store.  With [verify] every exact
-    reply's [verdict] object must render byte-identically to a direct
-    local {!Analysis.check}; disagreements are counted (and must be
-    zero — the CI smoke job asserts it). *)
+    pass hits the server's warm store.  Each worker keeps up to
+    [pipeline] requests in flight on its connection and matches
+    replies back by id (the server may answer warm requests out of
+    order relative to cold ones).  On {!Wire.V2} the requests go out
+    as compact binary ['A'] frames.  With [verify] every exact reply's
+    [verdict] object must render byte-identically to a direct local
+    {!Analysis.check}; disagreements are counted (and must be zero —
+    the CI smoke job asserts it). *)
 
 type load_config = {
   requests : int;
@@ -72,11 +88,13 @@ type load_config = {
   size : int;          (** {!Check.Gen} size parameter. *)
   verify : bool;
   deadline_ms : int option;
+  transport : Wire.version;
+  pipeline : int;      (** Max requests in flight per connection (>= 1). *)
 }
 
 val default_load : load_config
 (** 1000 requests, 8 workers, 64 distinct instances, seed 1, size 4,
-    verify on, no deadline. *)
+    verify on, no deadline, v1 transport, pipeline 1. *)
 
 type load_report = {
   sent : int;
@@ -86,6 +104,8 @@ type load_report = {
   errors : int;         (** Transport failures and unexpected replies. *)
   bounded : int;        (** Exact-comparison skips (bounded verdicts). *)
   disagreements : int;
+  transport : string;   (** Negotiated transport ({!Wire.version_name}). *)
+  pipeline : int;
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;

@@ -8,6 +8,7 @@ type config = {
   batch_max : int;
   store_path : string option;
   fsync_every : int;
+  max_transport : Wire.version;
 }
 
 let default_config listen =
@@ -19,9 +20,64 @@ let default_config listen =
     batch_max = 32;
     store_path = None;
     fsync_every = 32;
+    max_transport = Wire.V2;
   }
 
-type conn = { fd : Unix.file_descr; wlock : Mutex.t; cid : int }
+(* -------------------------- output buffers -------------------------- *)
+
+(* A growable byte queue per connection: replies append at the tail,
+   the nonblocking flush consumes from the head.  Reused for the
+   connection's whole life — the warm path never allocates a fresh
+   buffer per reply. *)
+module Outbuf = struct
+  type t = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
+
+  let create n = { buf = Bytes.create n; start = 0; len = 0 }
+  let length b = b.len
+
+  let add b s =
+    let n = String.length s in
+    let cap = Bytes.length b.buf in
+    if b.start + b.len + n > cap then begin
+      if b.start > 0 then Bytes.blit b.buf b.start b.buf 0 b.len;
+      b.start <- 0;
+      if b.len + n > cap then begin
+        let rec grow c = if c >= b.len + n then c else grow (2 * c) in
+        let buf' = Bytes.create (grow (max cap 64)) in
+        Bytes.blit b.buf 0 buf' 0 b.len;
+        b.buf <- buf'
+      end
+    end;
+    Bytes.blit_string s 0 b.buf (b.start + b.len) n;
+    b.len <- b.len + n
+
+  let consume b n =
+    b.start <- b.start + n;
+    b.len <- b.len - n;
+    if b.len = 0 then b.start <- 0
+
+  let clear b =
+    b.start <- 0;
+    b.len <- 0
+end
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  dec : Wire.decoder;  (* loop-thread only *)
+  out : Outbuf.t;
+  olock : Mutex.t;
+  (* [version], [dead] and [out] are shared between the loop and the
+     batcher workers; all three are read and written under [olock], so
+     a reply is always encoded in the version current at its position
+     in the output stream (the hello switch happens under the same
+     lock, between the ack bytes and whatever is appended next). *)
+  mutable version : Wire.version;
+  mutable dead : bool;
+  mutable closing : bool;  (* loop-thread only: drop after output drains *)
+}
+
+type waiter = { w_conn : conn; w_id : Json.t; w_bin : bool }
 
 type job = {
   rid : int;
@@ -29,6 +85,7 @@ type job = {
   budget : Engine.Budget.t;
   jconn : conn;
   enqueued_at : float;
+  sf : (int * string) option;  (* singleflight (hash, key) of an analyze leader *)
 }
 
 type t = {
@@ -38,21 +95,26 @@ type t = {
   queue : job Admission.t;
   mutable batcher : job Batcher.t option;
   draining : bool Atomic.t;
+  workers_done : bool Atomic.t;
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
   listen_fd : Unix.file_descr;
+  bound_port : int option;
   conns : (int, conn) Hashtbl.t;
-  conn_threads : (int, Thread.t) Hashtbl.t;
   conns_lock : Mutex.t;
+  sflight : waiter Singleflight.t;
   inflight : (int, Engine.Budget.t) Hashtbl.t;
   inflight_lock : Mutex.t;
   next_id : int Atomic.t;
+  next_cid : int Atomic.t;
   (* Per-server counts (the [Obs.Metrics] counters are process-wide,
      and the tests run several servers in one process). *)
   n_accepted : int Atomic.t;
   n_shed : int Atomic.t;
   n_batches : int Atomic.t;
   n_batched : int Atomic.t;
+  n_fastpath : int Atomic.t;
+  n_binary : int Atomic.t;
 }
 
 let m_accepted = Obs.Metrics.counter "server.accepted"
@@ -60,6 +122,8 @@ let m_shed = Obs.Metrics.counter "server.shed"
 let m_batches = Obs.Metrics.counter "server.batches"
 let m_batched = Obs.Metrics.counter "server.batched"
 let m_conns = Obs.Metrics.counter "server.connections"
+let m_fastpath = Obs.Metrics.counter "server.fastpath"
+let m_coalesced = Obs.Metrics.counter "server.singleflight.coalesced"
 let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
 let h_request_ms = Obs.Metrics.histogram "server.request_ms"
 
@@ -67,28 +131,105 @@ let locked lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+(* ------------------------------- wakeup ------------------------------ *)
+
+(* The self-pipe carries two byte values: ['d'] asks for a drain (the
+   public, async-signal-safe {!wake}), ['w'] merely interrupts the
+   poll so the loop re-reads shared state — workers send it after
+   queueing output for a descriptor the loop is not yet watching for
+   writability. *)
+let wake t = try ignore (Unix.write t.pipe_w (Bytes.of_string "d") 0 1) with _ -> ()
+let wake_loop t = try ignore (Unix.write t.pipe_w (Bytes.of_string "w") 0 1) with _ -> ()
+
+let initiate_drain t =
+  if not (Atomic.exchange t.draining true) then begin
+    (* Already-running and already-queued requests finish fast: their
+       budgets are cancelled, so analysis degrades to the bounded
+       lattice path instead of completing at leisure or vanishing. *)
+    locked t.inflight_lock (fun () ->
+        Hashtbl.iter (fun _ b -> Engine.Budget.cancel b) t.inflight);
+    Admission.close t.queue;
+    wake t
+  end
+
 (* ------------------------------ replies ----------------------------- *)
 
-(* A connection may be written by its reader thread and by any pool
-   worker finishing one of its requests; the write lock keeps reply
-   lines whole.  A dead peer (EPIPE) is not an error — the reply is
-   simply dropped.  An injected [conn.write] fault swallows the reply
+(* Flush as much pending output as the socket accepts right now; the
+   remainder stays queued and the loop polls for writability.  A dead
+   peer is not an error — the bytes are simply dropped (the read side
+   will observe the hangup and tear the connection down). *)
+let flush_locked conn =
+  let rec go () =
+    if conn.out.Outbuf.len > 0 then
+      match
+        Unix.write conn.fd conn.out.Outbuf.buf conn.out.Outbuf.start
+          conn.out.Outbuf.len
+      with
+      | 0 -> ()
+      | n ->
+        Outbuf.consume conn.out n;
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+        Outbuf.clear conn.out
+  in
+  go ()
+
+(* Append one encoded message to the connection's output stream.  With
+   [defer] the bytes are only queued — the event loop batches one
+   flush per readiness event, so a pipelined burst of replies costs
+   one [write] instead of one per reply.  Workers flush eagerly and
+   wake the loop if the socket would block. *)
+let send t conn ?(defer = false) make =
+  Mutex.lock conn.olock;
+  if conn.dead then Mutex.unlock conn.olock
+  else begin
+    let pending =
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock conn.olock)
+        (fun () ->
+          Outbuf.add conn.out (make conn.version);
+          if not defer then flush_locked conn;
+          (not defer) && Outbuf.length conn.out > 0)
+    in
+    if pending then wake_loop t
+  end
+
+(* Every reply write consults the [conn.write] fault site first, as
+   before the event-loop rewrite: a fired fault swallows the reply
    and shuts the connection down, so the peer observes EOF instead of
    silence and can retry promptly. *)
-let write_line conn json =
+let send_reply t conn ?defer make =
   if Fault.should_fail "conn.write" then
-    try Unix.shutdown conn.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ()
-  else
-    let line = Json.to_string json ^ "\n" in
-    let bytes = Bytes.of_string line in
-    locked conn.wlock (fun () ->
-        try
-          let n = Bytes.length bytes in
-          let written = ref 0 in
-          while !written < n do
-            written := !written + Unix.write conn.fd bytes !written (n - !written)
-          done
-        with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> ())
+    locked conn.olock (fun () ->
+        if not conn.dead then
+          try Unix.shutdown conn.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  else send t conn ?defer make
+
+let send_doc t conn ?defer json =
+  send_reply t conn ?defer (fun version ->
+      Wire.encode version (Wire.Text (Json.to_string json)))
+
+(* An analyze result fans out to each singleflight waiter in the
+   waiter's own dialect: waiters whose request arrived as a binary
+   ['A'] frame get a compact ['V'] frame, everyone else the JSON
+   reply document. *)
+let send_analyze t w ?defer (wire, status) =
+  match w.w_id with
+  | Json.Int id when w.w_bin ->
+    send_reply t w.w_conn ?defer (fun version ->
+        match version with
+        | Wire.V2 -> Wire.encode Wire.V2 (Wire.Bin_verdict { id; verdict = wire; store = status })
+        | Wire.V1 ->
+          Wire.encode Wire.V1
+            (Wire.Text
+               (Json.to_string
+                  (Protocol.ok_reply ~id:w.w_id ~op:"analyze"
+                     (Handlers.fields_of_analyze (wire, status))))))
+  | _ ->
+    send_doc t w.w_conn ?defer
+      (Protocol.ok_reply ~id:w.w_id ~op:"analyze"
+         (Handlers.fields_of_analyze (wire, status)))
 
 (* ------------------------------ batches ----------------------------- *)
 
@@ -103,26 +244,47 @@ let unregister t rid =
 
 let serve_job t job =
   let op = Protocol.op_name job.env.Protocol.req in
-  let reply =
-    (* A fresh span stack per request: pool workers run in their own
-       domain, so the request subtree is not entangled with the
-       server's own spans. *)
-    Obs.Trace.with_parent None (fun () ->
-        Obs.Trace.with_span "server.request"
-          ~args:[ ("op", op); ("rid", string_of_int job.rid) ]
-          (fun () ->
-            match
-              Handlers.execute ~pool:t.pool ~store:t.store_ ~budget:job.budget
-                job.env.Protocol.req
-            with
-            | fields -> Protocol.ok_reply ~id:job.env.Protocol.id ~op fields
-            | exception Handlers.Bad_request msg ->
-              Protocol.error_reply ~id:job.env.Protocol.id ~code:"bad_request" ~detail:msg
-            | exception exn ->
-              Protocol.error_reply ~id:job.env.Protocol.id ~code:"internal"
-                ~detail:(Printexc.to_string exn)))
-  in
-  write_line job.jconn reply;
+  (* A fresh span stack per request: pool workers run in their own
+     domain, so the request subtree is not entangled with the
+     server's own spans. *)
+  Obs.Trace.with_parent None (fun () ->
+      Obs.Trace.with_span "server.request"
+        ~args:[ ("op", op); ("rid", string_of_int job.rid) ]
+        (fun () ->
+          match (job.sf, job.env.Protocol.req) with
+          | Some (hash, key), Protocol.Analyze { mu; tmat; _ } ->
+            (* The leader computes once; the result — and the single
+               store append inside [analyze_wire] — fans out to every
+               waiter coalesced under this key. *)
+            let result =
+              match Handlers.analyze_wire ~store:t.store_ ~budget:job.budget ~mu tmat with
+              | r -> Ok r
+              | exception exn -> Error (Printexc.to_string exn)
+            in
+            let waiters = Singleflight.complete t.sflight ~hash ~key in
+            List.iter
+              (fun w ->
+                match result with
+                | Ok r -> send_analyze t w r
+                | Error msg ->
+                  send_doc t w.w_conn
+                    (Protocol.error_reply ~id:w.w_id ~code:"internal" ~detail:msg))
+              waiters
+          | _ ->
+            let reply =
+              match
+                Handlers.execute ~pool:t.pool ~store:t.store_ ~budget:job.budget
+                  job.env.Protocol.req
+              with
+              | fields -> Protocol.ok_reply ~id:job.env.Protocol.id ~op fields
+              | exception Handlers.Bad_request msg ->
+                Protocol.error_reply ~id:job.env.Protocol.id ~code:"bad_request"
+                  ~detail:msg
+              | exception exn ->
+                Protocol.error_reply ~id:job.env.Protocol.id ~code:"internal"
+                  ~detail:(Printexc.to_string exn)
+            in
+            send_doc t job.jconn reply));
   unregister t job.rid;
   Obs.Metrics.observe h_request_ms (1000. *. (Unix.gettimeofday () -. job.enqueued_at))
 
@@ -140,6 +302,7 @@ let store t = t.store_
 let worker_deaths t = match t.batcher with Some b -> Batcher.deaths b | None -> 0
 
 let stats_fields t =
+  let groups, coalesced = Singleflight.stats t.sflight in
   let base =
     [
       ("queue_depth", Json.Int (Admission.length t.queue));
@@ -148,6 +311,15 @@ let stats_fields t =
       ("shed", Json.Int (Atomic.get t.n_shed));
       ("batches", Json.Int (Atomic.get t.n_batches));
       ("batched", Json.Int (Atomic.get t.n_batched));
+      ("fastpath", Json.Int (Atomic.get t.n_fastpath));
+      ( "singleflight",
+        Json.Obj [ ("groups", Json.Int groups); ("coalesced", Json.Int coalesced) ] );
+      ( "transport",
+        Json.Obj
+          [
+            ("max", Json.Str (Wire.version_name t.cfg.max_transport));
+            ("binary_negotiated", Json.Int (Atomic.get t.n_binary));
+          ] );
       ("worker_deaths", Json.Int (worker_deaths t));
       ("jobs", Json.Int (Engine.Pool.jobs t.pool));
     ]
@@ -173,54 +345,46 @@ let stats_fields t =
             ] );
       ]
 
-(* ------------------------------- drain ------------------------------ *)
+(* ----------------------------- dispatch ----------------------------- *)
 
-let wake t = try ignore (Unix.write t.pipe_w (Bytes.of_string "x") 0 1) with _ -> ()
+(* Everything below runs on the single event-loop thread, so all fault
+   consults — [daemon.accept], [conn.read], [conn.drop], [conn.write]
+   for inline replies — stay totally ordered with the request stream,
+   exactly as the per-connection reader threads ordered them before
+   the rewrite (docs/RESILIENCE.md). *)
 
-let initiate_drain t =
-  if not (Atomic.exchange t.draining true) then begin
-    (* Already-running and already-queued requests finish fast: their
-       budgets are cancelled, so analysis degrades to the bounded
-       lattice path instead of completing at leisure or vanishing. *)
-    locked t.inflight_lock (fun () ->
-        Hashtbl.iter (fun _ b -> Engine.Budget.cancel b) t.inflight);
-    Admission.close t.queue;
-    wake t
-  end
-
-(* ---------------------------- connections --------------------------- *)
-
-let handle_request t conn line =
-  match Json.parse ~max_bytes:Protocol.max_line_bytes line with
-  | Error msg ->
-    write_line conn (Protocol.error_reply ~id:Json.Null ~code:"parse_error" ~detail:msg)
-  | Ok json -> (
-    match Protocol.parse_request json with
-    | Error msg ->
-      write_line conn
-        (Protocol.error_reply ~id:(Protocol.reply_id json) ~code:"bad_request" ~detail:msg)
-    | Ok env ->
-      let id = env.Protocol.id in
-      let op = Protocol.op_name env.Protocol.req in
-      if not (Protocol.queued env.Protocol.req) then begin
-        match env.Protocol.req with
-        | Protocol.Ping -> write_line conn (Protocol.ok_reply ~id ~op [])
-        | Protocol.Stats -> write_line conn (Protocol.ok_reply ~id ~op (stats_fields t))
-        | Protocol.Drain ->
-          write_line conn (Protocol.ok_reply ~id ~op [ ("draining", Json.Bool true) ]);
-          initiate_drain t
-        | _ -> assert false
-      end
-      else if Atomic.get t.draining then
-        write_line conn
-          (Protocol.error_reply ~id ~code:"draining" ~detail:"server is draining")
-      else begin
+let handle_analyze t conn ~bin ~id ~mu ~tmat ~deadline_ms =
+  if Atomic.get t.draining then
+    send_doc t conn ~defer:true
+      (Protocol.error_reply ~id ~code:"draining" ~detail:"server is draining")
+  else
+    match Option.bind t.store_ (fun s -> Store.find s ~mu tmat) with
+    | Some e ->
+      (* Warm fast path: a stored verdict is encoded straight from the
+         event loop — no queue, no batcher, no pool handoff. *)
+      Atomic.incr t.n_fastpath;
+      Obs.Metrics.incr m_fastpath;
+      send_analyze t ~defer:true { w_conn = conn; w_id = id; w_bin = bin }
+        (Protocol.wire_of_entry e, "hit")
+    | None -> (
+      let hash = Store.key_hash ~mu tmat and key = Store.key_string ~mu tmat in
+      let w = { w_conn = conn; w_id = id; w_bin = bin } in
+      match Singleflight.join t.sflight ~hash ~key w with
+      | `Follower -> Obs.Metrics.incr m_coalesced
+      | `Leader ->
         let rid = Atomic.fetch_and_add t.next_id 1 in
-        let budget =
-          Engine.Budget.make ?deadline_ms:(Protocol.deadline_ms env.Protocol.req) ()
-        in
+        let budget = Engine.Budget.make ?deadline_ms () in
         locked t.inflight_lock (fun () -> Hashtbl.replace t.inflight rid budget);
-        let job = { rid; env; budget; jconn = conn; enqueued_at = Unix.gettimeofday () } in
+        let job =
+          {
+            rid;
+            env = { Protocol.id; req = Protocol.Analyze { mu; tmat; deadline_ms } };
+            budget;
+            jconn = conn;
+            enqueued_at = Unix.gettimeofday ();
+            sf = Some (hash, key);
+          }
+        in
         if Admission.try_push t.queue job then begin
           Atomic.incr t.n_accepted;
           Obs.Metrics.incr m_accepted;
@@ -230,64 +394,116 @@ let handle_request t conn line =
           unregister t rid;
           Atomic.incr t.n_shed;
           Obs.Metrics.incr m_shed;
-          write_line conn
-            (Protocol.error_reply ~id ~code:"overloaded"
-               ~detail:
-                 (Printf.sprintf "queue full (%d requests)" t.cfg.queue_capacity))
-        end
-      end)
+          (* The whole group sheds: followers joined an admission that
+             never happened. *)
+          let ws = Singleflight.complete t.sflight ~hash ~key in
+          List.iter
+            (fun w ->
+              send_doc t w.w_conn ~defer:true
+                (Protocol.error_reply ~id:w.w_id ~code:"overloaded"
+                   ~detail:
+                     (Printf.sprintf "queue full (%d requests)" t.cfg.queue_capacity)))
+            ws
+        end)
 
-(* Read newline-terminated requests with a hard per-line byte cap; an
-   over-long line gets one [parse_error] reply and the connection is
-   dropped (there is no way to resynchronize without buffering the
-   oversized line anyway). *)
-let conn_loop t conn =
-  let buf = Buffer.create 1024 in
-  let chunk = Bytes.create 4096 in
-  let rec drain_lines start =
-    let s = Buffer.contents buf in
-    match String.index_from_opt s start '\n' with
-    | Some nl ->
-      handle_request t conn (String.sub s start (nl - start));
-      drain_lines (nl + 1)
+let handle_envelope t conn ~bin (env : Protocol.envelope) =
+  let id = env.Protocol.id in
+  let op = Protocol.op_name env.Protocol.req in
+  match env.Protocol.req with
+  | Protocol.Analyze { mu; tmat; deadline_ms } ->
+    handle_analyze t conn ~bin ~id ~mu ~tmat ~deadline_ms
+  | Protocol.Ping -> send_doc t conn ~defer:true (Protocol.ok_reply ~id ~op [])
+  | Protocol.Stats ->
+    send_doc t conn ~defer:true (Protocol.ok_reply ~id ~op (stats_fields t))
+  | Protocol.Drain ->
+    send_doc t conn ~defer:true (Protocol.ok_reply ~id ~op [ ("draining", Json.Bool true) ]);
+    initiate_drain t
+  | Protocol.Hello { transport } -> (
+    let accepted =
+      match Wire.version_of_name transport with
+      | Some Wire.V1 -> Some Wire.V1
+      | Some Wire.V2 when t.cfg.max_transport = Wire.V2 -> Some Wire.V2
+      | Some Wire.V2 | None -> None
+    in
+    match accepted with
     | None ->
-      Buffer.clear buf;
-      Buffer.add_substring buf s start (String.length s - start);
-      true
-  in
-  let rec loop () =
-    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-    | 0 -> ()
-    | n ->
-      (* Both connection-fault sites are consulted here, after a
-         successful read, so the decisions are ordered with the peer's
-         request stream — the peer sending these bytes proves it has
-         consumed every earlier reply, so tearing down now can never
-         race a reply still in flight (an asynchronous shutdown from a
-         pool worker would, making the consult sequence
-         timing-dependent).  [conn.read] models a transport reset
-         while reading a request; [conn.drop] a hang-up between
-         requests (an idle kill).  Either way the just-read bytes are
-         discarded and the connection is torn down below; the peer
-         re-issues on a fresh connection. *)
-      if Fault.should_fail "conn.read" then ()
-      else if Fault.should_fail "conn.drop" then ()
-      else begin
-        Buffer.add_subbytes buf chunk 0 n;
-        if drain_lines 0 then
-          if Buffer.length buf > Protocol.max_line_bytes then
-            write_line conn
-              (Protocol.error_reply ~id:Json.Null ~code:"parse_error"
-                 ~detail:
-                   (Printf.sprintf "request line exceeds %d bytes"
-                      Protocol.max_line_bytes))
-          else loop ()
+      send_doc t conn ~defer:true
+        (Protocol.error_reply ~id ~code:"bad_request"
+           ~detail:(Printf.sprintf "unknown or disabled transport %S" transport))
+    | Some v ->
+      (* Ack in the current dialect, then switch both directions under
+         [olock], so any reply encoded after this point — including
+         one from a concurrently finishing worker — lands after the
+         ack bytes in the new dialect, exactly where the peer switches
+         its own decoder. *)
+      locked conn.olock (fun () ->
+          if not conn.dead then begin
+            Outbuf.add conn.out
+              (Wire.encode conn.version
+                 (Wire.Text
+                    (Json.to_string
+                       (Protocol.ok_reply ~id ~op
+                          [ ("transport", Json.Str (Wire.version_name v)) ]))));
+            conn.version <- v
+          end);
+      Wire.set_version conn.dec v;
+      if v = Wire.V2 then Atomic.incr t.n_binary)
+  | Protocol.Search _ | Protocol.Simulate _ | Protocol.Replay _ ->
+    if Atomic.get t.draining then
+      send_doc t conn ~defer:true
+        (Protocol.error_reply ~id ~code:"draining" ~detail:"server is draining")
+    else begin
+      let rid = Atomic.fetch_and_add t.next_id 1 in
+      let budget =
+        Engine.Budget.make ?deadline_ms:(Protocol.deadline_ms env.Protocol.req) ()
+      in
+      locked t.inflight_lock (fun () -> Hashtbl.replace t.inflight rid budget);
+      let job =
+        { rid; env; budget; jconn = conn; enqueued_at = Unix.gettimeofday (); sf = None }
+      in
+      if Admission.try_push t.queue job then begin
+        Atomic.incr t.n_accepted;
+        Obs.Metrics.incr m_accepted;
+        Obs.Metrics.set_gauge g_queue_depth (float_of_int (Admission.length t.queue))
       end
-    | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) -> ()
-  in
-  loop ();
-  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-  locked t.conns_lock (fun () -> Hashtbl.remove t.conns conn.cid)
+      else begin
+        unregister t rid;
+        Atomic.incr t.n_shed;
+        Obs.Metrics.incr m_shed;
+        send_doc t conn ~defer:true
+          (Protocol.error_reply ~id ~code:"overloaded"
+             ~detail:(Printf.sprintf "queue full (%d requests)" t.cfg.queue_capacity))
+      end
+    end
+
+let handle_frame t conn frame =
+  match frame with
+  | Wire.Text line -> (
+    match Json.parse ~max_bytes:Protocol.max_line_bytes line with
+    | Error msg ->
+      send_doc t conn ~defer:true
+        (Protocol.error_reply ~id:Json.Null ~code:"parse_error" ~detail:msg)
+    | Ok json -> (
+      match Protocol.parse_request json with
+      | Error msg ->
+        send_doc t conn ~defer:true
+          (Protocol.error_reply ~id:(Protocol.reply_id json) ~code:"bad_request"
+             ~detail:msg)
+      | Ok env -> handle_envelope t conn ~bin:false env))
+  | Wire.Bin_analyze { id; deadline_ms; mu; tmat } ->
+    if Array.length mu <> Intmat.cols tmat then
+      send_doc t conn ~defer:true
+        (Protocol.error_reply ~id:(Json.Int id) ~code:"bad_request"
+           ~detail:"mu arity does not match t columns")
+    else if Array.exists (fun m -> m < 1) mu then
+      send_doc t conn ~defer:true
+        (Protocol.error_reply ~id:(Json.Int id) ~code:"bad_request"
+           ~detail:"mu entries must be >= 1")
+    else handle_analyze t conn ~bin:true ~id:(Json.Int id) ~mu ~tmat ~deadline_ms
+  | Wire.Bin_verdict _ ->
+    send_doc t conn ~defer:true
+      (Protocol.error_reply ~id:Json.Null ~code:"bad_request"
+         ~detail:"verdict frames flow server to client only")
 
 (* ------------------------------ create ------------------------------ *)
 
@@ -345,6 +561,11 @@ let create cfg =
       Unix.listen fd 64;
       fd
   in
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | ADDR_INET (_, port) -> Some port
+    | ADDR_UNIX _ -> None
+  in
   let pipe_r, pipe_w = Unix.pipe () in
   let t =
     {
@@ -354,19 +575,24 @@ let create cfg =
       queue = Admission.create ~capacity:cfg.queue_capacity;
       batcher = None;
       draining = Atomic.make false;
+      workers_done = Atomic.make false;
       pipe_r;
       pipe_w;
       listen_fd;
+      bound_port;
       conns = Hashtbl.create 16;
-      conn_threads = Hashtbl.create 16;
       conns_lock = Mutex.create ();
+      sflight = Singleflight.create ();
       inflight = Hashtbl.create 64;
       inflight_lock = Mutex.create ();
       next_id = Atomic.make 0;
+      next_cid = Atomic.make 1;
       n_accepted = Atomic.make 0;
       n_shed = Atomic.make 0;
       n_batches = Atomic.make 0;
       n_batched = Atomic.make 0;
+      n_fastpath = Atomic.make 0;
+      n_binary = Atomic.make 0;
     }
   in
   t.batcher <-
@@ -375,66 +601,218 @@ let create cfg =
          ~compatible ~handle:(handle_batch t));
   t
 
-let port t =
-  match Unix.getsockname t.listen_fd with
-  | ADDR_INET (_, port) -> Some port
-  | ADDR_UNIX _ -> None
+let port t = t.bound_port
 
 (* -------------------------------- run ------------------------------- *)
 
-let run t =
-  let cid = ref 0 in
-  let rec accept_loop () =
-    if not (Atomic.get t.draining) then begin
-      match Unix.select [ t.listen_fd; t.pipe_r ] [] [] (-1.0) with
-      | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
-      | readable, _, _ ->
-        if List.mem t.pipe_r readable then begin
-          (* A signal handler or a [drain] request woke us. *)
-          (try ignore (Unix.read t.pipe_r (Bytes.create 16) 0 16) with _ -> ());
-          initiate_drain t
-        end
+let teardown t fdmap conn =
+  locked conn.olock (fun () ->
+      if not conn.dead then begin
+        conn.dead <- true;
+        try Unix.close conn.fd with Unix.Unix_error _ -> ()
+      end);
+  Hashtbl.remove fdmap conn.fd;
+  locked t.conns_lock (fun () -> Hashtbl.remove t.conns conn.cid)
+
+let rec drain_frames t fdmap conn =
+  if not (conn.closing || conn.dead) then
+    match Wire.next conn.dec with
+    | Wire.Need_more -> ()
+    | Wire.Frame f ->
+      handle_frame t conn f;
+      drain_frames t fdmap conn
+    | Wire.Corrupt msg ->
+      (* One structured reply, then drop — same contract for an
+         oversized binary frame as for an oversized JSON line (there
+         is no way to resynchronize a corrupt stream anyway). *)
+      send_doc t conn ~defer:true
+        (Protocol.error_reply ~id:Json.Null ~code:"parse_error" ~detail:msg);
+      conn.closing <- true
+
+let service_read t fdmap conn chunk =
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> teardown t fdmap conn
+  | n ->
+    (* Both connection-fault sites are consulted here, after a
+       successful read, so the decisions are ordered with the peer's
+       request stream — the peer sending these bytes proves it has
+       consumed every earlier reply, so tearing down now can never
+       race a reply still in flight.  [conn.read] models a transport
+       reset while reading a request; [conn.drop] a hang-up between
+       requests.  Either way the just-read bytes are discarded and the
+       connection is torn down; the peer re-issues on a fresh
+       connection. *)
+    if Fault.should_fail "conn.read" then teardown t fdmap conn
+    else if Fault.should_fail "conn.drop" then teardown t fdmap conn
+    else begin
+      Wire.feed conn.dec chunk 0 n;
+      drain_frames t fdmap conn;
+      (* One flush for the whole burst of inline replies. *)
+      let pending =
+        locked conn.olock (fun () ->
+            if conn.dead then false
+            else begin
+              flush_locked conn;
+              Outbuf.length conn.out > 0
+            end)
+      in
+      if conn.closing && not pending then teardown t fdmap conn
+    end
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+    teardown t fdmap conn
+
+let accept_burst t fdmap =
+  let rec go budget =
+    if budget > 0 then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        (* An injected [daemon.accept] fault closes the freshly
+           accepted connection before it is ever serviced — the peer
+           sees an immediate EOF and reconnects. *)
+        if Fault.should_fail "daemon.accept" then (
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          go (budget - 1))
         else begin
-          (if List.mem t.listen_fd readable then
-             match Unix.accept t.listen_fd with
-             | fd, _ ->
-               (* An injected [daemon.accept] fault closes the freshly
-                  accepted connection before it is ever serviced — the
-                  peer sees an immediate EOF and reconnects. *)
-               if Fault.should_fail "daemon.accept" then (
-                 try Unix.close fd with Unix.Unix_error _ -> ())
-               else begin
-                 incr cid;
-                 let conn = { fd; wlock = Mutex.create (); cid = !cid } in
-                 Obs.Metrics.incr m_conns;
-                 locked t.conns_lock (fun () ->
-                     Hashtbl.replace t.conns conn.cid conn;
-                     Hashtbl.replace t.conn_threads conn.cid
-                       (Thread.create (fun () -> conn_loop t conn) ()))
-               end
-             | exception Unix.Unix_error _ -> ());
-          accept_loop ()
+          Unix.set_nonblock fd;
+          let conn =
+            {
+              cid = Atomic.fetch_and_add t.next_cid 1;
+              fd;
+              dec = Wire.decoder Wire.V1;
+              out = Outbuf.create 4096;
+              olock = Mutex.create ();
+              version = Wire.V1;
+              dead = false;
+              closing = false;
+            }
+          in
+          Obs.Metrics.incr m_conns;
+          Hashtbl.replace fdmap fd conn;
+          locked t.conns_lock (fun () -> Hashtbl.replace t.conns conn.cid conn);
+          go (budget - 1)
         end
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 128
+
+let run t =
+  let chunk = Bytes.create 65536 in
+  let pipe_buf = Bytes.create 256 in
+  Unix.set_nonblock t.listen_fd;
+  Unix.set_nonblock t.pipe_r;
+  let fdmap : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let drain_seen = ref false in
+  let flush_deadline = ref infinity in
+  let service_pipe () =
+    match Unix.read t.pipe_r pipe_buf 0 (Bytes.length pipe_buf) with
+    | 0 -> ()
+    | n ->
+      let drain = ref false in
+      for i = 0 to n - 1 do
+        if Bytes.get pipe_buf i = 'd' then drain := true
+      done;
+      if !drain then initiate_drain t
+    | exception Unix.Unix_error _ -> ()
+  in
+  let conn_pending conn = locked conn.olock (fun () -> Outbuf.length conn.out > 0) in
+  let rec loop () =
+    let draining = Atomic.get t.draining in
+    if draining && not !drain_seen then begin
+      drain_seen := true;
+      (* Stop accepting at once; a joiner thread turns the batcher
+         join into a loop wake-up so replies queued by the last
+         workers still flush through the poll loop below. *)
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (match t.cfg.listen with
+      | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+      | Tcp _ -> ());
+      ignore
+        (Thread.create
+           (fun () ->
+             Option.iter Batcher.join t.batcher;
+             Atomic.set t.workers_done true;
+             wake_loop t)
+           ())
+    end;
+    (* Tear down connections that finished flushing after a corrupt
+       stream; collect the ones still alive. *)
+    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) fdmap [] in
+    List.iter
+      (fun c -> if c.closing && not (conn_pending c) then teardown t fdmap c)
+      conns;
+    let live = Hashtbl.fold (fun _ c acc -> c :: acc) fdmap [] in
+    let workers_done = Atomic.get t.workers_done in
+    if workers_done && !flush_deadline = infinity then
+      (* Bounded drain flush: a peer that never reads its replies must
+         not wedge the shutdown. *)
+      flush_deadline := Unix.gettimeofday () +. 5.0;
+    let all_flushed = List.for_all (fun c -> not (conn_pending c)) live in
+    if !drain_seen && workers_done
+       && (all_flushed || Unix.gettimeofday () > !flush_deadline)
+    then ()
+    else begin
+      let interests =
+        (if !drain_seen then []
+         else [ (t.listen_fd, { Poll.want_read = true; want_write = false }) ])
+        @ [ (t.pipe_r, { Poll.want_read = true; want_write = false }) ]
+        @ List.filter_map
+            (fun c ->
+              let want_write = conn_pending c in
+              let want_read = not c.closing in
+              if want_read || want_write then
+                Some (c.fd, { Poll.want_read; want_write })
+              else None)
+            live
+      in
+      let timeout_ms = if !drain_seen then 50 else -1 in
+      let events = Poll.wait interests ~timeout_ms in
+      List.iter
+        (fun (fd, (ev : Poll.event)) ->
+          if fd = t.pipe_r then (if ev.Poll.ready_read then service_pipe ())
+          else if (not !drain_seen) && fd = t.listen_fd then begin
+            if ev.Poll.ready_read then accept_burst t fdmap
+          end
+          else
+            match Hashtbl.find_opt fdmap fd with
+            | None -> ()
+            | Some conn ->
+              if ev.Poll.ready_write then begin
+                let pending =
+                  locked conn.olock (fun () ->
+                      if conn.dead then false
+                      else begin
+                        flush_locked conn;
+                        Outbuf.length conn.out > 0
+                      end)
+                in
+                if conn.closing && not pending then teardown t fdmap conn
+              end;
+              if (not conn.dead) && (ev.Poll.ready_read || ev.Poll.ready_error) then
+                if conn.closing then (if ev.Poll.ready_error then teardown t fdmap conn)
+                else service_read t fdmap conn chunk)
+        events;
+      loop ()
     end
   in
-  accept_loop ();
+  loop ();
   initiate_drain t;
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (match t.cfg.listen with
-  | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
-  | Tcp _ -> ());
-  (* Workers first: every accepted request still gets its reply
-     before the sockets go away. *)
-  Option.iter Batcher.join t.batcher;
+  (* The drain path above already closed the listener and unlinked the
+     socket; [initiate_drain] here only covers a [run] that never saw
+     traffic.  Workers are done: every accepted request got its reply
+     bytes queued, and the loop flushed them (or timed out on a peer
+     that stopped reading). *)
   let conns = locked t.conns_lock (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []) in
   List.iter
-    (fun c -> try Unix.shutdown c.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    (fun c ->
+      locked c.olock (fun () ->
+          if not c.dead then begin
+            c.dead <- true;
+            (try Unix.shutdown c.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+            try Unix.close c.fd with Unix.Unix_error _ -> ()
+          end))
     conns;
-  let threads =
-    locked t.conns_lock (fun () ->
-        Hashtbl.fold (fun _ th acc -> th :: acc) t.conn_threads [])
-  in
-  List.iter Thread.join threads;
   Option.iter Store.close t.store_;
   (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
   try Unix.close t.pipe_w with Unix.Unix_error _ -> ()

@@ -1,34 +1,60 @@
-(** The mapping-query daemon: accept loop, connection threads,
-    admission control and graceful drain, wired around {!Admission},
-    {!Batcher}, {!Handlers} and {!Store}.
+(** The mapping-query daemon: a poll-based event loop, admission
+    control and graceful drain, wired around {!Wire}, {!Singleflight},
+    {!Admission}, {!Batcher}, {!Handlers} and {!Store}.
+
+    I/O architecture: one event-loop thread owns every socket.  It
+    polls ({!Poll}) the listener, a self-pipe and all connections;
+    accepts until the listener would block; reads nonblocking chunks
+    into each connection's {!Wire.decoder}; and answers inline
+    everything that needs no pool dispatch — [ping], [stats], [drain],
+    [hello], and the {e warm fast path}: an [analyze] whose verdict is
+    already in the {!Store} is encoded straight from the loop, no
+    queue, no batcher.  Cold [analyze] requests are coalesced in a
+    {!Singleflight} table keyed on the 32-bit {!Store.key_hash}
+    content hash (full {!Store.key_string} confirmation, so colliding
+    hashes never share a verdict): the first request for a key is
+    admitted as the group's leader, every identical request arriving
+    while it is in flight joins as a follower, and the finishing
+    worker fans one verdict — and one store append — out to all of
+    them.  Replies append to a reusable per-connection output buffer
+    and flush opportunistically, so pipelined bursts cost one [write]
+    per readiness event rather than one per reply.
+
+    Transports: every connection starts on the v1 JSON-lines dialect;
+    a [hello] request ({!Protocol.Hello}) switches it to the v2 binary
+    framing when [max_transport] allows ({!Wire}).  A corrupt or
+    oversized frame — either dialect — earns one structured
+    [parse_error] reply and the connection is dropped.
 
     Life cycle: {!create} binds the socket and replays the store,
-    {!run} blocks in the accept loop until a drain completes, and
+    {!run} blocks in the event loop until a drain completes, and
     {!initiate_drain} (idempotent, thread-safe) starts the shutdown
     sequence: cancel every in-flight {!Engine.Budget}, close the
     admission queue, stop accepting, let the workers finish the
     already-accepted requests (their replies still go out — cancelled
-    budgets make them bounded rather than lost), then shut the
-    connections down and flush the store.  Signal handlers must call
-    only {!wake} (a self-pipe write); [run] turns the wake-up into
-    [initiate_drain] from a normal context.
+    budgets make them bounded rather than lost), flush the remaining
+    output, then shut the connections down and flush the store.
+    Signal handlers must call only {!wake} (a self-pipe write); the
+    loop turns the wake-up into [initiate_drain] from a normal
+    context.
 
     Stale sockets: {!create} on a Unix path that holds a {e dead}
     socket (the previous daemon was SIGKILLed before it could clean
     up) probes it with a connect, unlinks it on refusal, and binds in
     its place; a path with a {e live} listener fails loudly, and a
-    path that is not a socket at all is never unlinked.  [run]
-    unlinks the socket again on clean exit.
+    path that is not a socket at all is never unlinked.
 
     Fault injection (armed {!Fault.Plan}, docs/RESILIENCE.md): the
-    accept loop consults [daemon.accept] (close the fresh connection),
-    the reader threads consult [conn.read] (transport reset while
-    reading a request) and [conn.drop] (hang-up between requests) on
-    every arriving chunk, and every reply write consults [conn.write]
-    (swallow the reply and shut the connection down).  All four
-    surface to a well-behaved client as a dropped connection, never
-    as a corrupt reply, and all are consulted at points ordered with
-    the request stream so a seeded plan replays identically. *)
+    loop consults [daemon.accept] (close the fresh connection),
+    [conn.read] (transport reset while reading a request) and
+    [conn.drop] (hang-up between requests) on every arriving chunk,
+    and every reply write consults [conn.write] (swallow the reply and
+    shut the connection down).  All four surface to a well-behaved
+    client as a dropped connection, never as a corrupt reply; because
+    the consults run on the single loop thread (or, for [conn.write],
+    at the reply's position in the output stream), they stay ordered
+    with the request stream and a seeded plan replays identically —
+    the event-loop rewrite did not change this contract. *)
 
 type listen =
   | Unix_sock of string  (** Path of a Unix-domain socket. *)
@@ -42,11 +68,16 @@ type config = {
   batch_max : int;         (** Largest batch fanned across the pool. *)
   store_path : string option;
   fsync_every : int;
+  max_transport : Wire.version;
+      (** Newest dialect [hello] may negotiate: {!Wire.V1} pins the
+          server to JSON lines, {!Wire.V2} (the default) also offers
+          the binary framing. *)
 }
 
 val default_config : listen -> config
 (** [jobs = None], [max_inflight = 2], [queue_capacity = 256],
-    [batch_max = 32], no store, [fsync_every = 32]. *)
+    [batch_max = 32], no store, [fsync_every = 32],
+    [max_transport = V2]. *)
 
 type t
 
@@ -56,8 +87,8 @@ val create : config -> t
     is unusable. *)
 
 val run : t -> unit
-(** The blocking accept loop; returns once a drain has fully
-    completed (store closed, sockets gone). *)
+(** The blocking event loop; returns once a drain has fully completed
+    (store closed, sockets gone). *)
 
 val initiate_drain : t -> unit
 val wake : t -> unit
@@ -76,5 +107,7 @@ val worker_deaths : t -> int
 
 val stats_fields : t -> (string * Json.t) list
 (** The payload of a [stats] reply: queue depth, accepted / shed /
-    batched / worker-death counts, draining flag and store
+    batched / fastpath / worker-death counts, singleflight group and
+    coalescing counts, the transport policy with the number of
+    binary-negotiated connections, the draining flag and store
     statistics. *)

@@ -20,31 +20,33 @@ let json_of_int_array a = Json.ints (Array.to_list a)
 
 (* ------------------------------ analyze ----------------------------- *)
 
-let analyze ~store ~budget ~mu tmat =
-  let wire, status =
-    match store with
+let analyze_wire ~store ~budget ~mu tmat =
+  match store with
+  | None -> (Protocol.wire_of_verdict (Analysis.check ~budget ~mu tmat), "off")
+  | Some store -> (
+    match Store.find store ~mu tmat with
+    | Some e -> (Protocol.wire_of_entry e, "hit")
     | None ->
-      (Protocol.wire_of_verdict (Analysis.check ~budget ~mu tmat), "off")
-    | Some store -> (
-      match Store.find store ~mu tmat with
-      | Some e -> (Protocol.wire_of_entry e, "hit")
-      | None ->
-        let v = Analysis.check ~budget ~mu tmat in
-        let wire = Protocol.wire_of_verdict v in
-        (* Bounded verdicts depend on the budget that produced them;
-           persisting one would replay it as ground truth forever. *)
-        if v.Analysis.exactness = Analysis.Exact then
-          (* A failed journal append must not fail the query: the
-             verdict is already computed, only persistence is lost.
-             The [error] status tells the client not to count this
-             reply as an acknowledged write. *)
-          match Store.add store ~mu tmat (Store.entry_of_verdict v) with
-          | () -> (wire, "miss")
-          | exception (Fault.Injected _ | Sys_error _ | Unix.Unix_error _) ->
-            (wire, "error")
-        else (wire, "bypass"))
-  in
+      let v = Analysis.check ~budget ~mu tmat in
+      let wire = Protocol.wire_of_verdict v in
+      (* Bounded verdicts depend on the budget that produced them;
+         persisting one would replay it as ground truth forever. *)
+      if v.Analysis.exactness = Analysis.Exact then
+        (* A failed journal append must not fail the query: the
+           verdict is already computed, only persistence is lost.
+           The [error] status tells the client not to count this
+           reply as an acknowledged write. *)
+        match Store.add store ~mu tmat (Store.entry_of_verdict v) with
+        | () -> (wire, "miss")
+        | exception (Fault.Injected _ | Sys_error _ | Unix.Unix_error _) ->
+          (wire, "error")
+      else (wire, "bypass"))
+
+let fields_of_analyze (wire, status) =
   [ ("verdict", Protocol.json_of_wire wire); ("store", Json.Str status) ]
+
+let analyze ~store ~budget ~mu tmat =
+  fields_of_analyze (analyze_wire ~store ~budget ~mu tmat)
 
 (* ------------------------------ search ------------------------------ *)
 
@@ -164,5 +166,5 @@ let execute ~pool ~store ~budget = function
     search ~pool ~budget ~algorithm ~mu ~s ~pareto ~array_dim
   | Protocol.Simulate { algorithm; mu; s; pi } -> simulate ~algorithm ~mu ~s ~pi
   | Protocol.Replay { instance } -> replay ~budget instance
-  | Protocol.Ping | Protocol.Stats | Protocol.Drain ->
+  | Protocol.Ping | Protocol.Stats | Protocol.Drain | Protocol.Hello _ ->
     invalid_arg "Handlers.execute: inline op"

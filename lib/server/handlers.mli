@@ -18,16 +18,32 @@ val builtin_algorithm : string -> int -> Algorithm.t * Intmat.t option
     mapping.  Shared with the CLI subcommands.
     @raise Bad_request on an unknown name. *)
 
+val analyze_wire :
+  store:Store.t option ->
+  budget:Engine.Budget.t ->
+  mu:int array ->
+  Intmat.t ->
+  Protocol.verdict_wire * string
+(** One analysis, returned pre-rendering so the daemon can encode it
+    per transport (a JSON object on v1, a ['V'] frame on v2) and fan
+    one result out to every singleflight waiter.  The status string is
+    ["hit"] (served from the store), ["miss"] (computed and
+    persisted), ["bypass"] (computed under budget pressure, hence
+    bounded and not persisted), ["error"] (computed but the journal
+    append failed — not an acknowledged write), or ["off"] (no store
+    configured). *)
+
+val fields_of_analyze : Protocol.verdict_wire * string -> (string * Json.t) list
+(** The [verdict] + [store] reply fields of an {!analyze_wire}
+    result. *)
+
 val analyze :
   store:Store.t option ->
   budget:Engine.Budget.t ->
   mu:int array ->
   Intmat.t ->
   (string * Json.t) list
-(** Fields: [verdict] (a {!Protocol.json_of_wire} object) and [store]
-    — ["hit"] (served from the store), ["miss"] (computed and
-    persisted), ["bypass"] (computed under budget pressure, hence
-    bounded and not persisted), or ["off"] (no store configured). *)
+(** [fields_of_analyze (analyze_wire ...)]. *)
 
 val execute :
   pool:Engine.Pool.t ->

@@ -60,6 +60,7 @@ type request =
   | Ping
   | Stats
   | Drain
+  | Hello of { transport : string }
 
 type envelope = { id : Json.t; req : request }
 
@@ -71,14 +72,15 @@ let op_name = function
   | Ping -> "ping"
   | Stats -> "stats"
   | Drain -> "drain"
+  | Hello _ -> "hello"
 
 let queued = function
   | Analyze _ | Search _ | Simulate _ | Replay _ -> true
-  | Ping | Stats | Drain -> false
+  | Ping | Stats | Drain | Hello _ -> false
 
 let deadline_ms = function
   | Analyze { deadline_ms; _ } | Search { deadline_ms; _ } -> deadline_ms
-  | Simulate _ | Replay _ | Ping | Stats | Drain -> None
+  | Simulate _ | Replay _ | Ping | Stats | Drain | Hello _ -> None
 
 let max_line_bytes = 1024 * 1024
 
@@ -179,6 +181,14 @@ let parse_request json =
         | "ping" -> Ping
         | "stats" -> Stats
         | "drain" -> Drain
+        | "hello" ->
+          Hello
+            {
+              transport =
+                (match opt_member "transport" json with
+                | Some v -> to_string "transport" v
+                | None -> "json");
+            }
         | other -> failf "unknown op %S" other
       in
       { id; req }
@@ -242,6 +252,9 @@ let simple op ?id () = Json.Obj (with_id id [ ("op", Json.Str op) ])
 let ping = simple "ping"
 let stats_request = simple "stats"
 let drain = simple "drain"
+
+let hello ?id ~transport () =
+  Json.Obj (with_id id [ ("op", Json.Str "hello"); ("transport", Json.Str transport) ])
 
 (* ------------------------------ replies ---------------------------- *)
 

@@ -1,10 +1,13 @@
-(** The JSON-lines wire protocol of the mapping-query service.
+(** The JSON {e document} layer of the mapping-query service — the
+    request/reply vocabulary shared by both transports of {!Wire}.
 
-    One request object per line in, one reply object per line out.
-    Requests carry an [op] selecting the operation and an optional
-    [id] (any JSON value) echoed verbatim in the reply, so clients may
-    pipeline; the analysis operations reuse the schema-v2 field shapes
-    of the corresponding CLI subcommands.  The full grammar lives in
+    One request object per message in, one reply object per message
+    out (a bare line on the v1 transport, a frame on v2 — framing is
+    {!Wire}'s concern, not this module's).  Requests carry an [op]
+    selecting the operation and an optional [id] (any JSON value)
+    echoed verbatim in the reply, so clients may pipeline; the
+    analysis operations reuse the schema-v2 field shapes of the
+    corresponding CLI subcommands.  The full grammar lives in
     [docs/SERVER.md], the field catalogue in [docs/SCHEMA.md].
 
     Replies are [{"id": ..., "ok": true, "op": ..., ...}] on success
@@ -51,6 +54,12 @@ type request =
   | Ping
   | Stats
   | Drain
+  | Hello of { transport : string }
+      (** Transport negotiation ({!Wire}): the client names the
+          transport it wants (["json"] or ["binary"]); the server
+          answers in the {e current} transport and both sides switch
+          immediately after.  An unknown name is a [bad_request] and
+          the connection stays as it was. *)
 
 type envelope = { id : Json.t; req : request }
 
@@ -72,17 +81,42 @@ val request_of_line : string -> (envelope, string) result
 (** {!Json.parse} (with {!max_line_bytes} and the default depth cap)
     followed by {!parse_request}. *)
 
-(** {1 Client-side request builders} *)
+(** {1 Client-side request builders}
+
+    These build the JSON {e documents}; how a document travels is the
+    transport's business.  New transport-aware code should hand the
+    result to {!Wire.encode} (or use {!Client}, which does) rather
+    than writing raw lines — on a v2 connection a bare line is not a
+    valid message. *)
 
 val analyze : ?id:Json.t -> ?deadline_ms:int -> mu:int array -> Intmat.t -> Json.t
+(** @deprecated As a wire-level constructor: wrap the document in
+    {!Wire.Text} (or send the equivalent {!Wire.Bin_analyze} frame on
+    a v2 connection) instead of appending a newline by hand. *)
+
 val search :
   ?id:Json.t -> ?deadline_ms:int -> ?s:Intmat.t -> ?pareto:bool -> ?array_dim:int ->
   algorithm:string -> mu:int -> unit -> Json.t
+(** @deprecated As a wire-level constructor: see {!analyze}. *)
+
 val simulate : ?id:Json.t -> ?s:Intmat.t -> algorithm:string -> mu:int -> pi:Intvec.t -> unit -> Json.t
+(** @deprecated As a wire-level constructor: see {!analyze}. *)
+
 val replay : ?id:Json.t -> Check.Instance.t -> Json.t
+(** @deprecated As a wire-level constructor: see {!analyze}. *)
+
 val ping : ?id:Json.t -> unit -> Json.t
+(** @deprecated As a wire-level constructor: see {!analyze}. *)
+
 val stats_request : ?id:Json.t -> unit -> Json.t
+(** @deprecated As a wire-level constructor: see {!analyze}. *)
+
 val drain : ?id:Json.t -> unit -> Json.t
+(** @deprecated As a wire-level constructor: see {!analyze}. *)
+
+val hello : ?id:Json.t -> transport:string -> unit -> Json.t
+(** The negotiation document itself always travels in the connection's
+    current transport. *)
 
 (** {1 Replies} *)
 

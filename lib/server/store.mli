@@ -98,6 +98,16 @@ type stats = {
 
 val stats : t -> stats
 
+val key_hash : mu:int array -> Intmat.t -> int
+(** The 32-bit content hash a query is journaled (and singleflighted,
+    see {!Singleflight}) under: {!Engine.Cache.key_hash} of the
+    mapping matrix with [mu] stacked as an extra row, masked to 32
+    bits. *)
+
+val key_string : mu:int array -> Intmat.t -> string
+(** The canonical key rendering that disambiguates colliding hashes
+    ([mu=...;t=...;...]) — byte-identical across processes. *)
+
 val entry_of_verdict : Analysis.verdict -> entry
 (** Project the storable fields ([timing] and [exactness] are not
     persisted — the former is nondeterministic, the latter is always

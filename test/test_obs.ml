@@ -276,7 +276,7 @@ let test_benchstat_regressions () =
   let current =
     bench_doc ~pareto_ms:25. ~lll_ns:40. ~hnf_ns:51. ~extra_name:"new-bench" ~extra_ns:1.
   in
-  let r = Benchstat.compare_runs ~threshold_pct:20. ~baseline ~current in
+  let r = Benchstat.compare_runs ~threshold_pct:20. ~baseline ~current () in
   (match r.Benchstat.regressions with
   | [ c ] ->
     Alcotest.(check string) "regressed path" "engine.pareto.warm_n_ms" c.Benchstat.path;
@@ -290,7 +290,7 @@ let test_benchstat_regressions () =
   Alcotest.(check (list string)) "new bench reported added"
     [ "micro.{new-bench}.ns_per_run" ] r.Benchstat.added;
   (* Non-timing leaves (jobs, schema_version) never participate. *)
-  let same = Benchstat.compare_runs ~threshold_pct:20. ~baseline ~current:baseline in
+  let same = Benchstat.compare_runs ~threshold_pct:20. ~baseline ~current:baseline () in
   Alcotest.(check int) "identical runs: no regressions" 0 (List.length same.Benchstat.regressions);
   Alcotest.(check int) "identical runs: no improvements" 0
     (List.length same.Benchstat.improvements)
@@ -299,9 +299,9 @@ let test_benchstat_threshold_boundary () =
   let baseline = bench_doc ~pareto_ms:10. ~lll_ns:100. ~hnf_ns:50. ~extra_name:"x" ~extra_ns:1. in
   let current = bench_doc ~pareto_ms:12. ~lll_ns:100. ~hnf_ns:50. ~extra_name:"x" ~extra_ns:1. in
   (* +20% exactly at a 20% threshold is noise, not a regression. *)
-  let at = Benchstat.compare_runs ~threshold_pct:20. ~baseline ~current in
+  let at = Benchstat.compare_runs ~threshold_pct:20. ~baseline ~current () in
   Alcotest.(check int) "at threshold" 0 (List.length at.Benchstat.regressions);
-  let below = Benchstat.compare_runs ~threshold_pct:19. ~baseline ~current in
+  let below = Benchstat.compare_runs ~threshold_pct:19. ~baseline ~current () in
   Alcotest.(check int) "above threshold" 1 (List.length below.Benchstat.regressions)
 
 let suite =

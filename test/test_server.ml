@@ -588,6 +588,494 @@ let test_stale_socket_recovery () =
   Alcotest.(check bool) "non-socket preserved" true (Sys.file_exists path);
   Sys.remove path
 
+(* --------------------------- versioned wire -------------------------- *)
+
+module Wire = Server.Wire
+module Poll = Server.Poll
+
+let feed_all dec s = Wire.feed dec (Bytes.of_string s) 0 (String.length s)
+let gen_inst i = Check.Gen.ith ~seed:77 ~size:4 i
+
+let test_wire_roundtrip () =
+  let doc = Json.to_string (Protocol.ping ~id:(Json.Int 3) ()) in
+  List.iter
+    (fun v ->
+      let dec = Wire.decoder v in
+      feed_all dec (Wire.encode v (Wire.Text doc));
+      (match Wire.next dec with
+      | Wire.Frame (Wire.Text s) ->
+        Alcotest.(check string) (Wire.version_name v ^ " text roundtrip") doc s
+      | _ -> Alcotest.fail "expected a text frame");
+      Alcotest.(check bool) "decoder drained" true (Wire.next dec = Wire.Need_more);
+      Alcotest.(check int) "nothing buffered" 0 (Wire.buffered dec))
+    [ Wire.V1; Wire.V2 ];
+  (* Binary analyze: every field survives, even delivered one byte at
+     a time. *)
+  let inst = gen_inst 0 in
+  let mu = inst.Check.Instance.mu and tmat = inst.Check.Instance.tmat in
+  let enc =
+    Wire.encode Wire.V2 (Wire.Bin_analyze { id = 42; deadline_ms = Some 250; mu; tmat })
+  in
+  let dec = Wire.decoder Wire.V2 in
+  String.iter
+    (fun c ->
+      (match Wire.next dec with
+      | Wire.Need_more -> ()
+      | _ -> Alcotest.fail "frame decoded before its last byte");
+      feed_all dec (String.make 1 c))
+    enc;
+  (match Wire.next dec with
+  | Wire.Frame (Wire.Bin_analyze { id; deadline_ms; mu = mu'; tmat = tmat' }) ->
+    Alcotest.(check int) "analyze id" 42 id;
+    Alcotest.(check (option int)) "analyze deadline" (Some 250) deadline_ms;
+    Alcotest.(check (array int)) "analyze mu" mu mu';
+    Alcotest.(check bool) "analyze matrix" true (Intmat.equal tmat tmat')
+  | _ -> Alcotest.fail "expected a binary analyze frame");
+  (* Binary verdict, witness branch included. *)
+  let w =
+    {
+      Protocol.conflict_free = false;
+      full_rank = true;
+      decided_by = "oracle";
+      exactness = "bounded";
+      witness = Some [ 1; -2; 3 ];
+    }
+  in
+  let dec = Wire.decoder Wire.V2 in
+  feed_all dec (Wire.encode Wire.V2 (Wire.Bin_verdict { id = 7; verdict = w; store = "hit" }));
+  (match Wire.next dec with
+  | Wire.Frame (Wire.Bin_verdict { id; verdict; store }) ->
+    Alcotest.(check int) "verdict id" 7 id;
+    Alcotest.(check string) "verdict store" "hit" store;
+    Alcotest.(check string) "verdict bytes"
+      (Json.to_string (Protocol.json_of_wire w))
+      (Json.to_string (Protocol.json_of_wire verdict))
+  | _ -> Alcotest.fail "expected a binary verdict frame");
+  (* v1 cannot carry binary frames or embedded newlines. *)
+  Alcotest.(check bool) "v1 rejects binary frames" true
+    (try
+       ignore (Wire.encode Wire.V1 (Wire.Bin_verdict { id = 1; verdict = w; store = "hit" }));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "v1 rejects embedded newline" true
+    (try
+       ignore (Wire.encode Wire.V1 (Wire.Text "a\nb"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_wire_decoder_fuzz () =
+  (* Seeded adversarial streams: truncations, bit flips, raw garbage,
+     random chunk boundaries.  The decoder must never raise, never
+     hoard more than it was fed, and stay poisoned once corrupt. *)
+  let rng = Random.State.make [| 0xF5A2; 20260807 |] in
+  let insts = Array.init 6 gen_inst in
+  let ri n = Random.State.int rng n in
+  let valid v =
+    match ri 3 with
+    | 0 -> Wire.encode v (Wire.Text (Json.to_string (Protocol.ping ~id:(Json.Int (ri 1000)) ())))
+    | 1 ->
+      let inst = insts.(ri 6) in
+      let mu = inst.Check.Instance.mu and tmat = inst.Check.Instance.tmat in
+      if v = Wire.V2 then
+        Wire.encode v
+          (Wire.Bin_analyze
+             {
+               id = ri 1000;
+               deadline_ms = (if ri 2 = 0 then None else Some (ri 10_000));
+               mu;
+               tmat;
+             })
+      else Wire.encode v (Wire.Text (Json.to_string (Protocol.analyze ~id:(Json.Int (ri 1000)) ~mu tmat)))
+    | _ -> Wire.encode v (Wire.Text (Json.to_string (Protocol.stats_request ())))
+  in
+  let mangle s =
+    match ri 4 with
+    | 0 -> String.sub s 0 (ri (String.length s))
+    | 1 ->
+      let b = Bytes.of_string s in
+      let i = ri (Bytes.length b) in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl ri 8)));
+      Bytes.to_string b
+    | 2 -> String.init (1 + ri 64) (fun _ -> Char.chr (ri 256))
+    | _ -> s
+  in
+  List.iter
+    (fun v ->
+      for _round = 1 to 200 do
+        let dec = Wire.decoder v in
+        let stream = String.concat "" (List.init (1 + ri 4) (fun _ -> mangle (valid v))) in
+        let n = String.length stream in
+        let pos = ref 0 in
+        (try
+           while !pos < n do
+             let len = min (n - !pos) (1 + ri 97) in
+             Wire.feed dec (Bytes.of_string (String.sub stream !pos len)) 0 len;
+             pos := !pos + len;
+             let rec drain () =
+               match Wire.next dec with
+               | Wire.Frame _ -> drain ()
+               | Wire.Need_more | Wire.Corrupt _ -> ()
+             in
+             drain ();
+             Alcotest.(check bool) "buffer bounded" true (Wire.buffered dec <= n)
+           done
+         with e -> Alcotest.failf "decoder raised on mangled input: %s" (Printexc.to_string e));
+        match Wire.next dec with
+        | Wire.Corrupt msg -> (
+          feed_all dec (valid v);
+          match Wire.next dec with
+          | Wire.Corrupt msg' -> Alcotest.(check string) "corrupt is sticky" msg msg'
+          | _ -> Alcotest.fail "decoder resurrected after corruption")
+        | Wire.Need_more | Wire.Frame _ -> ()
+      done)
+    [ Wire.V1; Wire.V2 ];
+  (* v1 bytes on a v2 connection read as an absurd length prefix or a
+     bad tag — rejected or starved, never decoded as a frame. *)
+  let dec = Wire.decoder Wire.V2 in
+  feed_all dec (Wire.encode Wire.V1 (Wire.Text (Json.to_string (Protocol.ping ~id:(Json.Int 1) ()))));
+  match Wire.next dec with
+  | Wire.Frame _ -> Alcotest.fail "v1 bytes decoded as a v2 frame"
+  | Wire.Corrupt _ | Wire.Need_more -> ()
+
+(* Raw-socket helpers: these tests forge frames byte by byte, which
+   [Client] rightly makes impossible. *)
+
+let raw_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let raw_send fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let w = ref 0 in
+  while !w < n do
+    w := !w + Unix.write fd b !w (n - !w)
+  done
+
+let raw_send_line fd s = raw_send fd (s ^ "\n")
+
+let raw_read_line fd =
+  let buf = Buffer.create 256 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd one 0 1 with
+    | 0 -> Alcotest.failf "eof before reply line (got %S)" (Buffer.contents buf)
+    | _ ->
+      let c = Bytes.get one 0 in
+      if c = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+  in
+  go ()
+
+let raw_read_exact fd n =
+  let b = Bytes.create n in
+  let got = ref 0 in
+  while !got < n do
+    match Unix.read fd b !got (n - !got) with
+    | 0 -> Alcotest.failf "eof after %d of %d bytes" !got n
+    | r -> got := !got + r
+  done;
+  Bytes.to_string b
+
+let raw_read_v2_text fd =
+  let len = Int32.to_int (String.get_int32_be (raw_read_exact fd 4) 0) in
+  let payload = raw_read_exact fd len in
+  Alcotest.(check char) "json frame tag" 'J' payload.[0];
+  String.sub payload 1 (len - 1)
+
+let raw_expect_eof fd =
+  match Unix.read fd (Bytes.create 1) 0 1 with
+  | 0 -> ()
+  | _ -> Alcotest.fail "expected the server to drop the connection"
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+
+let parse_reply line =
+  match Json.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparsable reply %S: %s" line e
+
+let expect_parse_error line =
+  let reply = parse_reply line in
+  Alcotest.(check bool) "reply is an error" false (Protocol.reply_ok reply);
+  Alcotest.(check (option string)) "parse_error code" (Some "parse_error")
+    (Protocol.error_code reply)
+
+let test_live_oversized_frames () =
+  let server = boot () in
+  let _, _, sock = server in
+  (* v1: a request line over the cap earns one structured parse_error,
+     then the connection is dropped. *)
+  let fd = raw_connect sock in
+  let huge = String.make (Protocol.max_line_bytes + 4096) 'x' in
+  (* The server may drop us mid-write once the cap trips; the reply is
+     already buffered on our side by then. *)
+  (try raw_send fd huge
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+  expect_parse_error (raw_read_line fd);
+  raw_expect_eof fd;
+  Unix.close fd;
+  (* v2: the length prefix alone condemns the frame — no payload ever
+     crosses the wire, the reply is a length-prefixed parse_error,
+     then EOF.  Same behavior as the v1 line cap. *)
+  let fd = raw_connect sock in
+  raw_send_line fd (Json.to_string (Protocol.hello ~id:(Json.Int 0) ~transport:"binary" ()));
+  Alcotest.(check bool) "hello acked" true (Protocol.reply_ok (parse_reply (raw_read_line fd)));
+  let header = Bytes.create 5 in
+  Bytes.set_int32_be header 0 (Int32.of_int (Wire.max_frame_bytes + 1));
+  Bytes.set header 4 'J';
+  raw_send fd (Bytes.to_string header);
+  expect_parse_error (raw_read_v2_text fd);
+  raw_expect_eof fd;
+  Unix.close fd;
+  shutdown server
+
+let test_live_hello_negotiation () =
+  let store_path = fresh_path ".store" in
+  let server = boot ~store_path () in
+  let _, _, sock = server in
+  let insts = List.init 4 gen_inst in
+  (* Negotiated binary connection: verdicts byte-identical to a direct
+     local check, cold and warm. *)
+  let conn = Client.connect ~transport:Wire.V2 (`Unix sock) in
+  List.iter
+    (fun inst ->
+      let verdict, status = analyze_via conn inst in
+      Alcotest.(check string) "binary cold verdict" (direct_verdict inst) verdict;
+      Alcotest.(check string) "binary cold status" "miss" status)
+    insts;
+  List.iter
+    (fun inst ->
+      let verdict, status = analyze_via conn inst in
+      Alcotest.(check string) "binary warm verdict" (direct_verdict inst) verdict;
+      Alcotest.(check string) "binary warm status" "hit" status)
+    insts;
+  let stats = Client.request conn (Protocol.stats_request ~id:(Json.Int 9) ()) in
+  (match Json.member "transport" stats with
+  | Some tr -> (
+    match (Json.member "max" tr, Json.member "binary_negotiated" tr) with
+    | Some (Json.Str "binary"), Some (Json.Int n) ->
+      Alcotest.(check bool) "binary connection counted" true (n >= 1)
+    | _ -> Alcotest.fail "stats without transport.max/binary_negotiated")
+  | None -> Alcotest.fail "stats reply without transport");
+  Client.close conn;
+  (* An unknown transport name is a bad_request; the connection stays
+     as it was, on v1. *)
+  let fd = raw_connect sock in
+  raw_send_line fd (Json.to_string (Protocol.hello ~id:(Json.Int 1) ~transport:"carrier-pigeon" ()));
+  let reply = parse_reply (raw_read_line fd) in
+  Alcotest.(check bool) "unknown transport refused" false (Protocol.reply_ok reply);
+  Alcotest.(check (option string)) "bad_request" (Some "bad_request") (Protocol.error_code reply);
+  raw_send_line fd (Json.to_string (Protocol.ping ~id:(Json.Int 2) ()));
+  Alcotest.(check bool) "connection survives the refusal" true
+    (Protocol.reply_ok (parse_reply (raw_read_line fd)));
+  Unix.close fd;
+  shutdown server;
+  Sys.remove store_path;
+  (* A server pinned to v1 refuses the upgrade; json clients are
+     unaffected. *)
+  let sock = fresh_path ".sock" in
+  let cfg =
+    { (Daemon.default_config (Daemon.Unix_sock sock)) with
+      jobs = Some 2;
+      max_transport = Wire.V1 }
+  in
+  let d = Daemon.create cfg in
+  let th = Thread.create Daemon.run d in
+  (match Client.connect ~transport:Wire.V2 (`Unix sock) with
+  | exception Failure _ -> ()
+  | conn ->
+    Client.close conn;
+    Alcotest.fail "v1-pinned server accepted the binary transport");
+  let conn = Client.connect (`Unix sock) in
+  Alcotest.(check bool) "json still served" true
+    (Protocol.reply_ok (Client.request conn (Protocol.ping ~id:(Json.Int 3) ())));
+  Client.close conn;
+  Daemon.initiate_drain d;
+  Thread.join th
+
+let test_singleflight_coalescing () =
+  (* N identical cold analyzes arriving while the only worker is
+     pinned on a slow search: exactly one analysis dispatch, one store
+     append, and N acks with byte-identical verdicts. *)
+  let round jobs =
+    let sock = fresh_path ".sock" in
+    let store_path = fresh_path ".store" in
+    let cfg =
+      { (Daemon.default_config (Daemon.Unix_sock sock)) with
+        jobs = Some jobs;
+        max_inflight = 1;
+        batch_max = 1;
+        store_path = Some store_path }
+    in
+    let d = Daemon.create cfg in
+    let th = Thread.create Daemon.run d in
+    let inst = Check.Gen.ith ~seed:33 ~size:4 0 in
+    let n = 8 in
+    let fd = raw_connect sock in
+    (* One write: the slow job, the identical burst right behind it.
+       The loop thread parks all N in one singleflight group long
+       before the worker reaches the leader. *)
+    let burst = Buffer.create 1024 in
+    Buffer.add_string burst
+      (Json.to_string (Protocol.search ~id:(Json.Int 0) ~pareto:true ~algorithm:"matmul" ~mu:4 ()));
+    Buffer.add_char burst '\n';
+    for i = 1 to n do
+      Buffer.add_string burst
+        (Json.to_string
+           (Protocol.analyze ~id:(Json.Int i) ~mu:inst.Check.Instance.mu
+              inst.Check.Instance.tmat));
+      Buffer.add_char burst '\n'
+    done;
+    raw_send fd (Buffer.contents burst);
+    let replies = Hashtbl.create 16 in
+    for _ = 0 to n do
+      let reply = parse_reply (raw_read_line fd) in
+      match Protocol.reply_id reply with
+      | Json.Int i -> Hashtbl.replace replies i reply
+      | _ -> Alcotest.fail "reply without integer id"
+    done;
+    let expected = direct_verdict inst in
+    for i = 1 to n do
+      match Hashtbl.find_opt replies i with
+      | None -> Alcotest.failf "missing reply %d" i
+      | Some reply ->
+        Alcotest.(check bool) (Printf.sprintf "jobs %d: reply %d ok" jobs i) true
+          (Protocol.reply_ok reply);
+        (match Json.member "verdict" reply with
+        | Some v ->
+          Alcotest.(check string)
+            (Printf.sprintf "jobs %d: verdict %d byte-identical" jobs i)
+            expected (Json.to_string v)
+        | None -> Alcotest.fail "analyze reply without verdict");
+        (match Json.member "store" reply with
+        | Some (Json.Str s) ->
+          Alcotest.(check string) (Printf.sprintf "jobs %d: store status %d" jobs i) "miss" s
+        | _ -> Alcotest.fail "analyze reply without store status")
+    done;
+    (* The daemon's own counters agree: one group, N-1 coalesced, one
+       append. *)
+    raw_send_line fd (Json.to_string (Protocol.stats_request ~id:(Json.Int 99) ()));
+    let stats = parse_reply (raw_read_line fd) in
+    (match Json.member "singleflight" stats with
+    | Some sf -> (
+      match (Json.member "groups" sf, Json.member "coalesced" sf) with
+      | Some (Json.Int g), Some (Json.Int c) ->
+        Alcotest.(check int) (Printf.sprintf "jobs %d: one group" jobs) 1 g;
+        Alcotest.(check int) (Printf.sprintf "jobs %d: followers coalesced" jobs) (n - 1) c
+      | _ -> Alcotest.fail "stats without singleflight.groups/coalesced")
+    | None -> Alcotest.fail "stats reply without singleflight");
+    (match Json.member "store" stats with
+    | Some st -> (
+      match Json.member "appended" st with
+      | Some (Json.Int a) ->
+        Alcotest.(check int) (Printf.sprintf "jobs %d: one store append" jobs) 1 a
+      | _ -> Alcotest.fail "stats without store.appended")
+    | None -> Alcotest.fail "stats reply without store");
+    Unix.close fd;
+    Daemon.initiate_drain d;
+    Thread.join th;
+    (* Reopening the journal shows exactly one persisted record, and
+       it is the verdict everyone was acked with. *)
+    let s = Store.open_ store_path in
+    Alcotest.(check int)
+      (Printf.sprintf "jobs %d: one journal record" jobs)
+      1 (Store.stats s).Store.loaded;
+    Alcotest.(check bool) (Printf.sprintf "jobs %d: the record survives" jobs) true
+      (Store.find s ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat <> None);
+    Store.close s;
+    Sys.remove store_path
+  in
+  List.iter round [ 1; 4 ]
+
+let test_live_transport_matrix () =
+  let store_path = fresh_path ".store" in
+  let server = boot ~store_path () in
+  let _, _, sock = server in
+  (* The same instance stream over both dialects, against the same
+     store: three-way byte-identical verdicts. *)
+  let insts = List.init 6 gen_inst in
+  let cj = Client.connect (`Unix sock) in
+  let cb = Client.connect ~transport:Wire.V2 (`Unix sock) in
+  List.iter
+    (fun inst ->
+      let vj, _ = analyze_via cj inst in
+      let vb, _ = analyze_via cb inst in
+      let direct = direct_verdict inst in
+      Alcotest.(check string) "json matches direct" direct vj;
+      Alcotest.(check string) "binary matches json" vj vb)
+    insts;
+  Client.close cj;
+  Client.close cb;
+  (* Pipelined verified load over the binary transport: requests go
+     out as 'A' frames, replies are id-matched (warm answers overtake
+     cold ones), every verdict checked against a local check. *)
+  let report =
+    Client.load (`Unix sock)
+      { Client.default_load with
+        Client.requests = 400;
+        concurrency = 4;
+        distinct = 16;
+        seed = 5;
+        verify = true;
+        transport = Wire.V2;
+        pipeline = 8 }
+  in
+  Alcotest.(check int) "all requests answered ok" 400 report.Client.ok;
+  Alcotest.(check int) "no disagreements" 0 report.Client.disagreements;
+  Alcotest.(check int) "no transport errors" 0 report.Client.errors;
+  Alcotest.(check string) "negotiated binary" "binary" report.Client.transport;
+  shutdown server;
+  Sys.remove store_path
+
+let test_chaos_binary_transport () =
+  (* The chaos harness over the negotiated binary framing: same
+     convergence contract, and the fault log is still deterministic in
+     the seed (per transport — the hello exchange adds consults). *)
+  let cfg =
+    { Server.Chaos.default_config with
+      seed = 10;
+      requests = 100;
+      rate = 0.12;
+      transport = Wire.V2 }
+  in
+  let r1 = Server.Chaos.run cfg in
+  let r2 = Server.Chaos.run cfg in
+  Alcotest.(check string) "binary session negotiated" "binary" r1.Server.Chaos.transport;
+  Alcotest.(check (list string)) "same seed, same fault log"
+    r1.Server.Chaos.fault_log r2.Server.Chaos.fault_log;
+  Alcotest.(check bool) "run 1 converged" true r1.Server.Chaos.converged;
+  Alcotest.(check bool) "run 2 converged" true r2.Server.Chaos.converged;
+  Alcotest.(check int) "no lost acked writes" 0 r1.Server.Chaos.lost_writes;
+  Alcotest.(check bool) "faults fired" true (r1.Server.Chaos.faults > 0)
+
+let test_poll_readiness () =
+  let r, w = Unix.pipe () in
+  let want_read = { Poll.want_read = true; want_write = false } in
+  let want_write = { Poll.want_read = false; want_write = true } in
+  (* An idle pipe reports nothing readable, even at a zero timeout. *)
+  let evs = Poll.wait [ (r, want_read) ] ~timeout_ms:0 in
+  Alcotest.(check bool) "idle pipe not readable" true
+    (List.for_all (fun (_, e) -> not e.Poll.ready_read) evs);
+  ignore (Unix.write w (Bytes.of_string "x") 0 1);
+  let evs = Poll.wait [ (r, want_read); (w, want_write) ] ~timeout_ms:1000 in
+  Alcotest.(check bool) "readable after write" true
+    (List.exists (fun (fd, e) -> fd = r && e.Poll.ready_read) evs);
+  Alcotest.(check bool) "pipe writable" true
+    (List.exists (fun (fd, e) -> fd = w && e.Poll.ready_write) evs);
+  ignore (Unix.read r (Bytes.create 8) 0 8);
+  Unix.close w;
+  (* EOF surfaces as readability (the read then returns 0), whichever
+     backend is in use. *)
+  let evs = Poll.wait [ (r, want_read) ] ~timeout_ms:1000 in
+  Alcotest.(check bool) "eof is readable" true
+    (List.exists (fun (fd, e) -> fd = r && (e.Poll.ready_read || e.Poll.ready_error)) evs);
+  Unix.close r;
+  ignore (Poll.backend ())
+
 let suite =
   [
     Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;
@@ -611,4 +1099,12 @@ let suite =
     Alcotest.test_case "worker supervision" `Quick test_worker_supervision;
     Alcotest.test_case "chaos determinism" `Quick test_chaos_determinism;
     Alcotest.test_case "stale socket recovery" `Quick test_stale_socket_recovery;
+    Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire decoder fuzz" `Quick test_wire_decoder_fuzz;
+    Alcotest.test_case "live oversized frames" `Quick test_live_oversized_frames;
+    Alcotest.test_case "live hello negotiation" `Quick test_live_hello_negotiation;
+    Alcotest.test_case "singleflight coalescing" `Quick test_singleflight_coalescing;
+    Alcotest.test_case "live transport matrix" `Quick test_live_transport_matrix;
+    Alcotest.test_case "chaos binary transport" `Quick test_chaos_binary_transport;
+    Alcotest.test_case "poll readiness" `Quick test_poll_readiness;
   ]
