@@ -200,11 +200,11 @@ let e8 () =
   let r = Exec.run alg (Matmul.semantics ~a ~b) tm in
   Printf.printf
     "\nmakespan = %d (paper: %d)   PEs = %d   conflicts = %d   link collisions = %d\n\
-     buffers per stream = (%s) (paper: 3 on the A stream)   values correct = %b\n"
+     buffers per stream = (%s) (paper: 3 on the A stream)   verification = %s\n"
     r.Exec.makespan (Matmul.optimal_total_time ~mu) r.Exec.num_processors
     (List.length r.Exec.conflicts) (List.length r.Exec.collisions)
     (String.concat "," (Array.to_list (Array.map string_of_int r.Exec.max_buffer_occupancy)))
-    r.Exec.values_ok
+    (Exec.verification_name r.Exec.verified)
 
 (* ------------------------------------------------------------------ *)
 (* E9 — Example 5.2: transitive closure. *)
@@ -246,9 +246,10 @@ let e9 () =
   let tm = Tmap.make ~s:Transitive_closure.paper_s ~pi:(Transitive_closure.optimal_pi ~mu) in
   let r = Exec.run alg Dataflow.semantics tm in
   Printf.printf
-    "Simulated at mu = 4: makespan = %d, PEs = %d, conflicts = %d, collisions = %d, dataflow ok = %b\n"
+    "Simulated at mu = 4: makespan = %d, PEs = %d, conflicts = %d, collisions = %d, verification = %s\n"
     r.Exec.makespan r.Exec.num_processors (List.length r.Exec.conflicts)
-    (List.length r.Exec.collisions) r.Exec.values_ok
+    (List.length r.Exec.collisions)
+    (Exec.verification_name r.Exec.verified)
 
 (* ------------------------------------------------------------------ *)
 (* E10 — 5-D bit-level matmul to a 2-D array (formulation (5.5)-(5.6) /
@@ -276,8 +277,9 @@ let e10 () =
         (Intmat.equal (canon [ p.Prop81.u4; p.Prop81.u5 ]) (canon (Hnf.kernel_basis t)))
     | None -> print_endline "Prop 8.1 not applicable (unexpected)");
     let r' = Exec.run alg Dataflow.semantics (Tmap.make ~s ~pi) in
-    Printf.printf "Simulated: makespan = %d, PEs = %d, conflicts = %d, dataflow ok = %b\n"
-      r'.Exec.makespan r'.Exec.num_processors (List.length r'.Exec.conflicts) r'.Exec.values_ok;
+    Printf.printf "Simulated: makespan = %d, PEs = %d, conflicts = %d, verification = %s\n"
+      r'.Exec.makespan r'.Exec.num_processors (List.length r'.Exec.conflicts)
+      (Exec.verification_name r'.Exec.verified);
     (* The executable serpentine variant computes real bit-level
        products through the same 2-D array family. *)
     let mu_word = 2 and mu_bit = 2 in
@@ -292,7 +294,8 @@ let e10 () =
       in
       Printf.printf
         "Executable bit-level variant: Pi = %s, t = %d, real products correct = %b\n"
-        (Intvec.to_string rc.Procedure51.pi) rc.Procedure51.total_time repc.Exec.values_ok
+        (Intvec.to_string rc.Procedure51.pi) rc.Procedure51.total_time
+        (Exec.values_agree repc)
     | None -> print_endline "no schedule for the chained variant")
 
 (* ------------------------------------------------------------------ *)
@@ -878,6 +881,63 @@ let chaos_bench ?(quick = false) () =
   assert r.Server.Chaos.converged;
   Server.Chaos.json_of_report r
 
+(* Exec bench: the compiled multicore kernel over the scenario x dtype
+   matrix.  Verification stays on (it is part of the contract — the
+   section asserts it), the simulator cross-check stays off (covered
+   by tests and the exec CLI).  Per-cell timing is the best of a few
+   kernel runs so the section's elapsed_ms leaves gate kernel
+   regressions via `diff --section exec` (docs/SCHEMA.md). *)
+
+let exec_bench ?(quick = false) () =
+  Printf.printf "\n== exec: compiled kernel, scenario x dtype matrix ==\n";
+  let specs =
+    if quick then [ Scenario.scenario "matmul" ~mu:8; Scenario.scenario "tc" ~mu:8 ]
+    else Scenario.default_scenarios
+  in
+  let reps = if quick then 2 else 3 in
+  let pool = Engine.Pool.create () in
+  let cells =
+    List.concat_map
+      (fun spec ->
+        List.map
+          (fun dtype ->
+            let runs =
+              List.init reps (fun _ ->
+                  Scenario.run_cell ~pool ~sim_limit:0 spec dtype)
+            in
+            let best =
+              List.fold_left
+                (fun acc (c : Scenario.cell) ->
+                  if c.Scenario.elapsed_s < acc.Scenario.elapsed_s then c else acc)
+                (List.hd runs) (List.tl runs)
+            in
+            assert best.Scenario.verified;
+            best)
+          Scenario.types)
+      specs
+  in
+  List.iter
+    (fun (c : Scenario.cell) ->
+      Printf.printf "%-14s %-6s %8d cells  %9.4f ms  %8.4f GFLOP/s  %s\n"
+        c.Scenario.spec.Scenario.name c.Scenario.dtype c.Scenario.cells
+        (c.Scenario.elapsed_s *. 1000.)
+        c.Scenario.gflops
+        (if c.Scenario.verified then "ok" else "MISMATCH"))
+    cells;
+  Json.Arr
+    (List.map
+       (fun (c : Scenario.cell) ->
+         Json.Obj
+           [
+             ( "name",
+               Json.Str (c.Scenario.spec.Scenario.name ^ "." ^ c.Scenario.dtype) );
+             ("cells", Json.Int c.Scenario.cells);
+             ("elapsed_ms", Json.Float (c.Scenario.elapsed_s *. 1000.));
+             ("gflops", Json.Float c.Scenario.gflops);
+             ("verified", Json.Bool c.Scenario.verified);
+           ])
+       cells)
+
 (* ------------------------------------------------------------------ *)
 (* The perf driver: micro benches (unless --quick) + engine benches,
    folded into one schema-versioned JSON report named after the git
@@ -903,6 +963,7 @@ let perf ?(quick = false) ?out () =
   let phases = Obs.Export.phases (Obs.Trace.aggregate (Obs.Trace.spans ())) in
   let serve = serve_bench ~quick () in
   let chaos = chaos_bench ~quick () in
+  let exec_section = exec_bench ~quick () in
   let rev = git_rev () in
   let path =
     match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" rev
@@ -921,6 +982,7 @@ let perf ?(quick = false) ?out () =
         ("engine", engine);
         ("serve", serve);
         ("chaos", chaos);
+        ("exec", exec_section);
         ("phases", phases);
       ]
   in
@@ -954,7 +1016,7 @@ let experiments =
 let usage () =
   Printf.eprintf
     "usage: main.exe [e1..e16 | engine | serve [--transport json|binary] | chaos | \
-     quick | perf [--quick] [--out FILE] | \
+     exec | quick | perf [--quick] [--out FILE] | \
      diff OLD NEW [--threshold PCT] [--section NAME]]\n";
   exit 2
 
@@ -1013,8 +1075,10 @@ let () =
         | None ->
           if name = "engine" then ignore (engine_bench ())
           else if name = "chaos" then ignore (chaos_bench ())
+          else if name = "exec" then ignore (exec_bench ())
           else
             Printf.eprintf
-              "unknown experiment %s (e1..e16, engine, serve, chaos, perf, diff, quick)\n"
+              "unknown experiment %s (e1..e16, engine, serve, chaos, exec, perf, \
+               diff, quick)\n"
               name)
       names

@@ -409,20 +409,22 @@ let simulate_cmd =
              ("causality_violations", Json.Int (List.length r.Exec.causality_violations));
              ("link_collisions", Json.Int (List.length r.Exec.collisions));
              ("buffers", json_of_int_array r.Exec.max_buffer_occupancy);
-             ("dataflow_correct", Json.Bool r.Exec.values_ok);
+             ("dataflow_correct", Json.Bool (Exec.values_agree r));
+             ("verification", Json.Str (Exec.verification_name r.Exec.verified));
              ("utilization", Json.Float r.Exec.utilization);
            ]))
     | Plain ->
       Printf.printf
         "makespan = %d\nprocessors = %d\ncomputations = %d\nconflicts = %d\n\
          causality violations = %d\nlink collisions = %d\nbuffers = (%s)\n\
-         dataflow correct = %b\nutilization = %.3f\n"
+         verification = %s\nutilization = %.3f\n"
         r.Exec.makespan r.Exec.num_processors r.Exec.computations
         (List.length r.Exec.conflicts)
         (List.length r.Exec.causality_violations)
         (List.length r.Exec.collisions)
         (String.concat "," (Array.to_list (Array.map string_of_int r.Exec.max_buffer_occupancy)))
-        r.Exec.values_ok r.Exec.utilization;
+        (Exec.verification_name r.Exec.verified)
+        r.Exec.utilization;
       List.iter
         (fun c ->
           Printf.printf "conflict at t=%d pe=(%s): %d points\n" c.Exec.time
@@ -439,6 +441,152 @@ let simulate_cmd =
     Term.(
       const run $ algorithm_arg $ mu_int_arg $ s_arg $ pi_arg $ table_arg $ format_arg
       $ obs_term)
+
+(* ------------------------------- exec ------------------------------ *)
+
+let exec_cmd =
+  let exec_algorithm_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "algorithm" ] ~docv:"NAME"
+          ~doc:"Case study to execute: matmul, tc, or all (default).")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "scenario" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated scenario names from the default matrix (e.g. \
+             matmul-8,tc-8-alt), or all (default).")
+  in
+  let dtype_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "dtype" ] ~docv:"NAMES"
+          ~doc:"Comma-separated dtypes: int, int32, float, or all (default).")
+  in
+  let exec_mu_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mu" ] ~docv:"N,..."
+          ~doc:
+            "Build the scenario list from these sizes (optimal schedules) instead of \
+             the default matrix.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: the runtime's recommended domain count).")
+  in
+  let block_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "block" ] ~docv:"N"
+          ~doc:"Points of one wavefront executed per domain task (default 256).")
+  in
+  let sim_limit_arg =
+    Arg.(
+      value
+      & opt int 8192
+      & info [ "sim-limit" ] ~docv:"N"
+          ~doc:
+            "Largest cell count still cross-checked against the cycle-accurate \
+             simulator (0 disables the cross-check).")
+  in
+  let run algorithm scenarios dtype mu_s jobs block sim_limit fmt obs =
+    obs_begin obs;
+    let algorithms =
+      match algorithm with
+      | "all" -> [ "matmul"; "tc" ]
+      | ("matmul" | "tc") as a -> [ a ]
+      | other -> failwith ("unknown algorithm " ^ other ^ " (matmul, tc, all)")
+    in
+    let specs =
+      match mu_s with
+      | Some s ->
+        List.concat_map
+          (fun a -> List.map (fun mu -> Scenario.scenario a ~mu) (parse_vector s))
+          algorithms
+      | None ->
+        List.filter
+          (fun (sp : Scenario.spec) -> List.mem sp.Scenario.algorithm algorithms)
+          Scenario.default_scenarios
+    in
+    let specs =
+      match scenarios with
+      | "all" -> specs
+      | names ->
+        let names = String.split_on_char ',' names in
+        let picked =
+          List.filter (fun (sp : Scenario.spec) -> List.mem sp.Scenario.name names) specs
+        in
+        if picked = [] then failwith ("no scenario matches " ^ scenarios);
+        picked
+    in
+    let dtypes =
+      match dtype with
+      | "all" -> Scenario.types
+      | names ->
+        List.map
+          (fun n ->
+            match Scenario.type_by_name (String.trim n) with
+            | Some t -> t
+            | None -> failwith ("unknown dtype " ^ n ^ " (int, int32, float)"))
+          (String.split_on_char ',' names)
+    in
+    let pool = Engine.Pool.create ?jobs () in
+    let cells = Scenario.run_matrix ~pool ?block ~sim_limit specs dtypes in
+    let all_ok = List.for_all Scenario.cell_ok cells in
+    (match fmt with
+    | Json_v2 ->
+      Json.print
+        (Json.versioned ~command:"exec"
+           (obs_fields obs
+              [
+                ("jobs", Json.Int (Engine.Pool.jobs pool));
+                ("sim_limit", Json.Int sim_limit);
+                ("cells", Json.Arr (List.map Scenario.json_of_cell cells));
+                ("all_verified", Json.Bool all_ok);
+              ]))
+    | Plain ->
+      Printf.printf "%-14s %-6s %9s %6s %8s %6s %11s %6s %s\n" "scenario" "dtype"
+        "cells" "PEs" "cycles" "util" "GFLOP/s" "check" "sim";
+      List.iter
+        (fun (c : Scenario.cell) ->
+          Printf.printf "%-14s %-6s %9d %6d %8d %5.3f %11.4f %6s %s\n"
+            c.Scenario.spec.Scenario.name c.Scenario.dtype c.Scenario.cells
+            c.Scenario.processors c.Scenario.makespan c.Scenario.utilization
+            c.Scenario.gflops
+            (if c.Scenario.verified then "ok"
+             else Printf.sprintf "%d!" c.Scenario.mismatches)
+            (match c.Scenario.sim with
+            | None -> "-"
+            | Some s ->
+              if s.Scenario.sim_clean && s.Scenario.makespan_agrees then "agrees"
+              else "DISAGREES"))
+        cells;
+      Printf.printf "%d cells, %d domains: %s\n" (List.length cells)
+        (Engine.Pool.jobs pool)
+        (if all_ok then "all verified" else "VERIFICATION FAILED"));
+    obs_end obs fmt;
+    if not all_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:
+         "Execute the paper's case studies through the compiled multicore kernel over \
+          the SCENARIOS x TYPES matrix, verifying every cell against the reference \
+          evaluator (docs/EXECUTOR.md)")
+    Term.(
+      const run $ exec_algorithm_arg $ scenario_arg $ dtype_arg $ exec_mu_arg
+      $ jobs_arg $ block_arg $ sim_limit_arg $ format_arg $ obs_term)
 
 (* ------------------------------ parse ------------------------------ *)
 
@@ -1321,6 +1469,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            hnf_cmd; analyze_cmd; optimize_cmd; simulate_cmd; parse_cmd; pareto_cmd;
-            search_cmd; stats_cmd; fuzz_cmd; serve_cmd; client_cmd; chaos_cmd;
+            hnf_cmd; analyze_cmd; optimize_cmd; simulate_cmd; exec_cmd; parse_cmd;
+            pareto_cmd; search_cmd; stats_cmd; fuzz_cmd; serve_cmd; client_cmd;
+            chaos_cmd;
           ]))

@@ -52,7 +52,7 @@ let () =
     (* Simulate the 2-D array (dataflow semantics; see DESIGN.md). *)
     let report = Exec.run alg Dataflow.semantics (Tmap.make ~s ~pi) in
     Printf.printf
-      "2-D array: %d PEs, %d cycles, conflicts %d, collisions %d, dataflow ok %b, utilization %.2f\n"
+      "2-D array: %d PEs, %d cycles, conflicts %d, collisions %d, verification %s, utilization %.2f\n"
       report.Exec.num_processors report.Exec.makespan
       (List.length report.Exec.conflicts) (List.length report.Exec.collisions)
-      report.Exec.values_ok report.Exec.utilization
+      (Exec.verification_name report.Exec.verified) report.Exec.utilization

@@ -42,10 +42,10 @@ let () =
       let sem = Fir.semantics ~w ~x in
       let report = Exec.run alg sem (Tmap.make ~s:so.Space_opt.s ~pi:r.Procedure51.pi) in
       Printf.printf
-        "simulated: %d PEs, %d cycles, conflicts %d, collisions %d, values ok %b\n"
+        "simulated: %d PEs, %d cycles, conflicts %d, collisions %d, verification %s\n"
         report.Exec.num_processors report.Exec.makespan
         (List.length report.Exec.conflicts) (List.length report.Exec.collisions)
-        report.Exec.values_ok;
+        (Exec.verification_name report.Exec.verified);
       let value = Algorithm.evaluate_all alg sem in
       let y = Fir.output_of_values ~mu_i ~mu_k value in
       assert (y = Fir.reference_fir ~w ~x ~out_size:(mu_i + 1));

@@ -27,11 +27,11 @@ let () =
     | None -> print_endline "rank deficient");
     let r = Exec.run alg sem tm in
     Printf.printf
-      "makespan %d | %d PEs | conflicts %d | link collisions %d | buffers (%s) | values ok %b\n"
+      "makespan %d | %d PEs | conflicts %d | link collisions %d | buffers (%s) | verification %s\n"
       r.Exec.makespan r.Exec.num_processors (List.length r.Exec.conflicts)
       (List.length r.Exec.collisions)
       (String.concat "," (Array.to_list (Array.map string_of_int r.Exec.max_buffer_occupancy)))
-      r.Exec.values_ok;
+      (Exec.verification_name r.Exec.verified);
     r
   in
 

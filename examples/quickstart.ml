@@ -46,7 +46,8 @@ let () =
     let tm = Tmap.make ~s ~pi:r.Procedure51.pi in
     let report = Exec.run alg (Matmul.semantics ~a ~b) tm in
     Printf.printf
-      "Simulated: %d computations on %d PEs in %d cycles; conflicts = %d; values correct = %b\n"
+      "Simulated: %d computations on %d PEs in %d cycles; conflicts = %d; verification = %s\n"
       report.Exec.computations report.Exec.num_processors report.Exec.makespan
-      (List.length report.Exec.conflicts) report.Exec.values_ok
+      (List.length report.Exec.conflicts)
+      (Exec.verification_name report.Exec.verified)
   | None -> print_endline "no schedule found")

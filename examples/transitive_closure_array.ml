@@ -41,9 +41,10 @@ let () =
   let tm = Tmap.make ~s ~pi:(Transitive_closure.optimal_pi ~mu) in
   let r = Exec.run alg Dataflow.semantics tm in
   Printf.printf
-    "Array run: %d computations on %d PEs in %d cycles; conflicts %d; collisions %d; dataflow ok %b\n"
+    "Array run: %d computations on %d PEs in %d cycles; conflicts %d; collisions %d; verification %s\n"
     r.Exec.computations r.Exec.num_processors r.Exec.makespan
-    (List.length r.Exec.conflicts) (List.length r.Exec.collisions) r.Exec.values_ok;
+    (List.length r.Exec.conflicts) (List.length r.Exec.collisions)
+    (Exec.verification_name r.Exec.verified);
 
   (* The computation this array family implements, on a random digraph. *)
   let n = mu + 1 in

@@ -5,6 +5,7 @@ type path =
   | Analysis_path
   | Analysis_cached
   | Budget_degraded
+  | Exec_simulate
 
 let path_name = function
   | Theorems_decide -> "theorems-decide"
@@ -13,6 +14,7 @@ let path_name = function
   | Analysis_path -> "analysis"
   | Analysis_cached -> "analysis-cached"
   | Budget_degraded -> "budget-degraded"
+  | Exec_simulate -> "exec-simulate"
 
 type disagreement = {
   path : path;
@@ -104,6 +106,39 @@ let check_instance inst =
   | Some w when not (Oracle.valid_witness inst w) ->
     add Budget_degraded (Printf.sprintf "invalid witness %s" (Intvec.to_string w))
   | _ -> ());
+  (* 6. Close the loop on execution: run the instance through the
+     cycle-accurate simulator.  Conflicts there are pairs of points
+     with [T j1 = T j2], i.e. exactly the oracle's notion, so a
+     conflict-free verdict must mean a conflict-free (and causal)
+     simulated run.  Any lexicographically positive dependence works
+     for the simulation; we synthesize the cheapest one the schedule
+     respects — the sign vector of the Pi row — and, for 1-row T,
+     pad S with a zero row (which maps every point to PE 0 and so
+     changes neither the conflict set nor the verdict). *)
+  let k = Intmat.rows t and n = Intmat.cols t in
+  let pi = Intmat.row t (k - 1) in
+  if not (Intvec.is_zero pi) then begin
+    let d = List.init n (fun i -> Zint.sign (Intvec.get pi i)) in
+    let alg =
+      Algorithm.make ~name:"fuzz-exec" ~index_set:(Index_set.make mu)
+        ~dependences:[ d ]
+    in
+    let s =
+      if k = 1 then Intmat.zero 1 n
+      else Intmat.of_rows (List.init (k - 1) (Intmat.row t))
+    in
+    let r = Exec.run alg Dataflow.semantics (Tmap.make ~s ~pi) in
+    if (r.Exec.conflicts = []) <> oracle_free then
+      add Exec_simulate
+        (Printf.sprintf "simulation found %d conflicts but oracle says free = %b"
+           (List.length r.Exec.conflicts) oracle_free);
+    if r.Exec.causality_violations <> [] then
+      add Exec_simulate
+        (Printf.sprintf "%d causality violations under a respected schedule"
+           (List.length r.Exec.causality_violations));
+    if not (Exec.values_agree r) then
+      add Exec_simulate "simulated dataflow fingerprints disagree with the reference"
+  end;
   List.rev !out
 
 let shrink_failure ?(index = -1) inst disagreements =

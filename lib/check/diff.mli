@@ -15,7 +15,15 @@
     - [Analysis.check] under a pressed {!Engine.Budget} — the verdict
       must be reported with [exactness = Bounded], never as a wrong
       [Exact], and its (lattice-backed) answer must still match the
-      oracle.
+      oracle;
+    - [Exec.run] — the cycle-accurate simulator executes the instance
+      under a synthesized causal dependence (the sign vector of the Pi
+      row), and the verdict is cross-checked end to end: conflict-free
+      per the oracle iff the simulation shows zero computational
+      conflicts, plus zero causality violations and matching dataflow
+      fingerprints unconditionally.  Skipped only when the Pi row is
+      all zeros (no causal dependence exists, and {!Exec.run} rightly
+      refuses such schedules).
 
     {!run} executes the stream in parallel via {!Engine.Pool} and is
     deterministic in the number of worker domains: instances come from
@@ -30,6 +38,7 @@ type path =
   | Analysis_path
   | Analysis_cached
   | Budget_degraded
+  | Exec_simulate
 
 val path_name : path -> string
 

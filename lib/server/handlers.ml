@@ -136,7 +136,8 @@ let simulate ~algorithm ~mu ~s:s_opt ~pi =
     ("causality_violations", Json.Int (List.length r.Exec.causality_violations));
     ("link_collisions", Json.Int (List.length r.Exec.collisions));
     ("buffers", json_of_int_array r.Exec.max_buffer_occupancy);
-    ("dataflow_correct", Json.Bool r.Exec.values_ok);
+    ("dataflow_correct", Json.Bool (Exec.values_agree r));
+    ("verification", Json.Str (Exec.verification_name r.Exec.verified));
     ("utilization", Json.Float r.Exec.utilization);
   ]
 

@@ -12,6 +12,16 @@ type collision = {
   count : int;
 }
 
+type verification =
+  | Values_ok
+  | Skipped_no_routing
+  | Mismatch of int array list
+
+let verification_name = function
+  | Values_ok -> "values-ok"
+  | Skipped_no_routing -> "skipped-no-routing"
+  | Mismatch _ -> "mismatch"
+
 type 'v report = {
   makespan : int;
   num_processors : int;
@@ -21,7 +31,7 @@ type 'v report = {
   collisions : collision list;
   max_buffer_occupancy : int array;
   routing : Tmap.routing option;
-  values_ok : bool;
+  verified : verification;
   utilization : float;
 }
 
@@ -129,17 +139,21 @@ let run ?p (alg : Algorithm.t) (sem : 'v Algorithm.semantics) tm =
       in
       Hashtbl.replace store (Array.to_list j) (sem.Algorithm.compute j operands))
     firings;
-  (* Value correctness against the reference evaluator. *)
+  (* Value correctness against the reference evaluator.  Mismatching
+     points are reported explicitly (capped) so a wrong value is never
+     confused with a movement check that was merely skipped. *)
   let reference = Algorithm.evaluate_all alg sem in
-  let values_ok =
-    Index_set.fold
-      (fun ok j ->
-        ok
-        &&
-        match Hashtbl.find_opt store (Array.to_list j) with
-        | Some v -> sem.Algorithm.equal_value v (reference j)
-        | None -> false)
-      true iset
+  let max_reported_mismatches = 16 in
+  let mismatches =
+    List.rev
+      (Index_set.fold
+         (fun acc j ->
+           if List.length acc >= max_reported_mismatches then acc
+           else
+             match Hashtbl.find_opt store (Array.to_list j) with
+             | Some v when sem.Algorithm.equal_value v (reference j) -> acc
+             | _ -> Array.copy j :: acc)
+         [] iset)
   in
   (* Data movement: link occupancy and destination buffers. *)
   let collisions = ref [] in
@@ -202,11 +216,17 @@ let run ?p (alg : Algorithm.t) (sem : 'v Algorithm.semantics) tm =
     collisions = !collisions;
     max_buffer_occupancy = max_buffer;
     routing;
-    values_ok;
+    verified =
+      (if mismatches <> [] then Mismatch mismatches
+       else match routing with None -> Skipped_no_routing | Some _ -> Values_ok);
     utilization =
       (if num_processors = 0 || makespan = 0 then 0.
        else float_of_int computations /. float_of_int (num_processors * makespan));
   }
 
+let values_agree r = match r.verified with Mismatch _ -> false | _ -> true
+
 let is_clean r =
-  r.conflicts = [] && r.causality_violations = [] && r.collisions = [] && r.values_ok
+  r.conflicts = [] && r.causality_violations = [] && r.collisions = [] && values_agree r
+
+let fully_verified r = is_clean r && r.verified = Values_ok

@@ -33,6 +33,24 @@ type collision = {
   count : int;               (** Data simultaneously on the link. *)
 }
 
+(** Outcome of the value check against {!Algorithm.evaluate_all},
+    kept separate from the movement checks so a skipped routing can
+    never masquerade as a verified run (tests must pattern-match the
+    case they mean, not a collapsed boolean). *)
+type verification =
+  | Values_ok
+      (** Every value matches the reference evaluator {e and} the
+          movement checks (routing, links, buffers) actually ran. *)
+  | Skipped_no_routing
+      (** Values match, but no routing [K] exists within the schedule
+          slack, so link/buffer movement was never exercised. *)
+  | Mismatch of int array list
+      (** Points whose computed value differs from the reference
+          evaluator (capped at 16). *)
+
+val verification_name : verification -> string
+(** ["values-ok" | "skipped-no-routing" | "mismatch"]. *)
+
 type 'v report = {
   makespan : int;              (** Cycles between first and last firing,
                                    inclusive — compare Equation 2.7. *)
@@ -46,7 +64,7 @@ type 'v report = {
   (** Per dependence stream, max data waiting in any one PE's buffer. *)
   routing : Tmap.routing option;  (** [None] when no routing was found;
                                       movement checks are then skipped. *)
-  values_ok : bool;
+  verified : verification;
   utilization : float;
   (** computations / (processors * makespan). *)
 }
@@ -61,8 +79,18 @@ val run :
     @raise Failure when [Pi D > 0] fails (the simulation would not be
     causal by construction). *)
 
+val values_agree : 'v report -> bool
+(** The computed values match the reference evaluator (i.e. [verified]
+    is not [Mismatch _]); says nothing about movement checks. *)
+
 val is_clean : 'v report -> bool
-(** No conflicts, no causality violations, no collisions, values match. *)
+(** No conflicts, no causality violations, no collisions, values match.
+    Movement checks may have been skipped ([Skipped_no_routing]) — use
+    {!fully_verified} to also require them. *)
+
+val fully_verified : 'v report -> bool
+(** {!is_clean} and [verified = Values_ok]: every structural claim was
+    actually exercised, nothing skipped. *)
 
 val schedule_table : Algorithm.t -> Tmap.t -> (int * (int array * int array) list) list
 (** For rendering: time -> [(pe, point); ...] sorted by time then PE. *)

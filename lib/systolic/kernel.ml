@@ -1,0 +1,172 @@
+(* Schedule compilation: the hyperplane walk of [Pi j = t] lowered to
+   flat arrays so the hot loop is array indexing, no hashing.  Index
+   points of the box live at dense lexicographic positions (the box is
+   full), which gives an O(1) bijection point <-> id via strides. *)
+
+type plan = {
+  alg : Algorithm.t;
+  m : int;                  (* dependences *)
+  card : int;
+  stride : int array;       (* id = sum_i j_i * stride_i *)
+  points : int array array; (* id -> index point *)
+  preds : int array;        (* id*m + i -> predecessor id, -1 = boundary *)
+  order : int array;        (* ids sorted by (Pi j, S j) *)
+  level_off : int array;    (* levels+1 offsets into order *)
+  makespan : int;
+  processors : int;
+  peak_width : int;
+  block : int;
+}
+
+let cells p = p.card
+let levels p = Array.length p.level_off - 1
+let makespan p = p.makespan
+let processors p = p.processors
+let peak_width p = p.peak_width
+
+let compile ?(block = 256) (alg : Algorithm.t) tm =
+  Obs.Trace.with_span "exec.compile" @@ fun () ->
+  if block < 1 then invalid_arg "Kernel.compile: block must be >= 1";
+  let d = alg.Algorithm.dependences in
+  if not (Schedule.respects tm.Tmap.pi d) then
+    failwith "Kernel.compile: Pi D > 0 fails; the mapping is not causal";
+  let iset = alg.Algorithm.index_set in
+  let mu = Index_set.bounds iset in
+  let n = Array.length mu in
+  let stride = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    stride.(i) <- stride.(i + 1) * (mu.(i + 1) + 1)
+  done;
+  let pos j =
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc + (j.(i) * stride.(i))
+    done;
+    !acc
+  in
+  let card = Index_set.cardinal iset in
+  let points = Array.make card [||] in
+  Index_set.iter (fun j -> points.(pos j) <- Array.copy j) iset;
+  let m = Algorithm.num_dependences alg in
+  let preds = Array.make (card * m) (-1) in
+  Array.iteri
+    (fun id j ->
+      for i = 0 to m - 1 do
+        let p = Algorithm.predecessor alg j i in
+        if Index_set.contains iset p then preds.((id * m) + i) <- pos p
+      done)
+    points;
+  let time = Array.map (Tmap.time_of tm) points in
+  let pe = Array.map (Tmap.space_of tm) points in
+  let order = Array.init card Fun.id in
+  Array.sort
+    (fun x y ->
+      match compare time.(x) time.(y) with
+      | 0 -> compare pe.(x) pe.(y)
+      | c -> c)
+    order;
+  let offs = ref [ card ] and peak = ref 0 in
+  let lo = ref card in
+  for oi = card - 1 downto 0 do
+    if oi = 0 || time.(order.(oi - 1)) <> time.(order.(oi)) then begin
+      peak := max !peak (!lo - oi);
+      lo := oi;
+      offs := oi :: !offs
+    end
+  done;
+  let level_off = Array.of_list !offs in
+  let processors =
+    let seen = Hashtbl.create 256 in
+    Array.iter (fun p -> Hashtbl.replace seen (Array.to_list p) ()) pe;
+    Hashtbl.length seen
+  in
+  let makespan =
+    if card = 0 then 0 else time.(order.(card - 1)) - time.(order.(0)) + 1
+  in
+  {
+    alg;
+    m;
+    card;
+    stride;
+    points;
+    preds;
+    order;
+    level_off;
+    makespan;
+    processors;
+    peak_width = !peak;
+    block;
+  }
+
+type 'v result = {
+  lookup : int array -> 'v;
+  elapsed_s : float;
+  parallel_levels : int;
+}
+
+let cells_counter = Obs.Metrics.counter "exec.cells"
+
+let run ?pool plan (sem : 'v Algorithm.semantics) =
+  let pool = match pool with Some p -> p | None -> Engine.Pool.create () in
+  if plan.card = 0 then
+    {
+      lookup = (fun _ -> invalid_arg "Kernel.run: empty index set");
+      elapsed_s = 0.;
+      parallel_levels = 0;
+    }
+  else begin
+    Obs.Metrics.add cells_counter plan.card;
+    (* The fill value is never observed: every id is written before any
+       consumer reads it (consumers live on strictly later levels). *)
+    let j0 = plan.points.(plan.order.(0)) in
+    let fill =
+      if plan.m > 0 then sem.Algorithm.boundary j0 0
+      else sem.Algorithm.compute j0 [||]
+    in
+    let values = Array.make plan.card fill in
+    let exec_range lo hi =
+      for oi = lo to hi - 1 do
+        let id = plan.order.(oi) in
+        let j = plan.points.(id) in
+        let ops =
+          Array.init plan.m (fun i ->
+              let p = plan.preds.((id * plan.m) + i) in
+              if p >= 0 then values.(p) else sem.Algorithm.boundary j i)
+        in
+        values.(id) <- sem.Algorithm.compute j ops
+      done
+    in
+    let parallel_levels = ref 0 in
+    let nlevels = Array.length plan.level_off - 1 in
+    let t0 = Unix.gettimeofday () in
+    Obs.Trace.with_span "exec.wavefront" (fun () ->
+        for l = 0 to nlevels - 1 do
+          let lo = plan.level_off.(l) and hi = plan.level_off.(l + 1) in
+          let width = hi - lo in
+          if width <= plan.block || Engine.Pool.jobs pool = 1 then
+            exec_range lo hi
+          else begin
+            (* PE groups: the order is PE-sorted within a level, so a
+               contiguous block is a group of adjacent processors. *)
+            incr parallel_levels;
+            let nchunks = (width + plan.block - 1) / plan.block in
+            ignore
+              (Engine.Pool.map pool
+                 (fun c ->
+                   let s = lo + (c * plan.block) in
+                   exec_range s (min hi (s + plan.block)))
+                 (List.init nchunks Fun.id))
+          end
+        done);
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    let n = Array.length plan.stride in
+    let lookup j =
+      if Array.length j <> n then invalid_arg "Kernel.run: arity mismatch";
+      let acc = ref 0 in
+      for i = 0 to n - 1 do
+        acc := !acc + (j.(i) * plan.stride.(i))
+      done;
+      values.(!acc)
+    in
+    { lookup; elapsed_s; parallel_levels = !parallel_levels }
+  end

@@ -1,0 +1,65 @@
+(** Compiled execution of a verified mapping [T = [S; Pi]].
+
+    Where {!Exec} is a cycle-accurate {e simulator} (hashtables over
+    firings, movement checks, per-cycle bookkeeping), this module is an
+    {e executor}: {!compile} lowers the schedule once into flat arrays
+    — point table, predecessor ids per dependence, execution order
+    grouped by hyperplane [Pi j = t] — and {!run} then walks the
+    hyperplanes in time order, computing every point of a wavefront
+    before the next one starts.
+
+    Because a linear schedule satisfies [Pi D > 0] (enforced at compile
+    time, as in {!Exec.run}), all operands of a wavefront were produced
+    on strictly earlier hyperplanes, so the points of one wavefront are
+    independent: wide wavefronts are split into blocks of adjacent PEs
+    (the order is sorted by PE within a level) and fanned across
+    {!Engine.Pool} domains; narrow ones run inline, since a domain
+    fan-out would cost more than the block itself.  The wavefront sweep
+    is the cross-level barrier — exactly the array's cycle structure.
+
+    The executor is generic in the value type through
+    {!Algorithm.semantics}, so one compiled plan runs the same schedule
+    over int, int32, or float cells (see {!Scenario} for the dtype
+    modules and the differential test matrix).
+
+    Hot-path observability: [exec.compile] and [exec.wavefront] spans,
+    plus the [exec.cells] counter (docs/SCHEMA.md). *)
+
+type plan
+
+val compile : ?block:int -> Algorithm.t -> Tmap.t -> plan
+(** Lower the schedule of [tm] over the algorithm's index set.
+    [block] (default 256) is the number of points of one wavefront a
+    single domain executes as a unit; a wavefront wider than [block]
+    is fanned across the pool by {!run}.
+    @raise Failure when [Pi D > 0] fails (not a causal schedule).
+    @raise Invalid_argument when dimensions disagree or [block < 1]. *)
+
+val cells : plan -> int
+(** Number of index points (= computations executed per {!run}). *)
+
+val levels : plan -> int
+(** Number of distinct hyperplanes [Pi j = t] (barriers per run). *)
+
+val makespan : plan -> int
+(** Last minus first firing time plus one — equals the simulator's
+    [Exec.report.makespan] for the same mapping by construction. *)
+
+val processors : plan -> int
+(** Distinct PEs [S j] over the index set. *)
+
+val peak_width : plan -> int
+(** Points on the widest hyperplane — an upper bound on the useful
+    domain parallelism of {!run}. *)
+
+type 'v result = {
+  lookup : int array -> 'v;  (** Value computed at an index point. *)
+  elapsed_s : float;         (** Wall-clock of the wavefront sweep. *)
+  parallel_levels : int;     (** Levels that were fanned across the pool. *)
+}
+
+val run : ?pool:Engine.Pool.t -> plan -> 'v Algorithm.semantics -> 'v result
+(** Execute the plan.  [pool] defaults to a fresh
+    [Engine.Pool.create ()]; pass an explicit pool to pin [jobs].
+    Deterministic: the returned values do not depend on the pool size
+    or the block parameter (tested in [test_systolic.ml]). *)

@@ -67,7 +67,7 @@ let test_convolution_2d_array () =
     let tm = Tmap.make ~s:Convolution.example_s ~pi in
     let r = Exec.run alg sem tm in
     Alcotest.(check bool) "no conflicts" true (r.Exec.conflicts = []);
-    Alcotest.(check bool) "values ok" true r.Exec.values_ok
+    Alcotest.(check bool) "values ok" true (Exec.values_agree r)
 
 let test_utilization_bounds () =
   let r = matmul_report 3 (Matmul.optimal_pi ~mu:3) in
@@ -205,6 +205,187 @@ let prop_makespan_equals_formula =
       let r = Exec.run alg Dataflow.semantics tm in
       r.Exec.makespan = Schedule.total_time ~mu:(Index_set.bounds alg.Algorithm.index_set) pi)
 
+(* --------------- compiled kernel + scenario matrix ---------------- *)
+
+let test_kernel_matches_reference () =
+  let spec = Scenario.scenario "matmul" ~mu:4 in
+  let alg, tm = Scenario.instantiate spec in
+  let plan = Kernel.compile alg tm in
+  let sem = Scenario.matmul_semantics (module Scenario.Int_type) ~mu:4 ~seed:7 in
+  let kr = Kernel.run plan sem in
+  let reference = Algorithm.evaluate_all alg sem in
+  Index_set.iter
+    (fun j ->
+      Alcotest.(check bool) "cell = reference" true
+        (sem.Algorithm.equal_value (kr.Kernel.lookup j) (reference j)))
+    alg.Algorithm.index_set;
+  Alcotest.(check int) "makespan = Equation 2.7"
+    (Schedule.total_time ~mu:(Index_set.bounds alg.Algorithm.index_set) tm.Tmap.pi)
+    (Kernel.makespan plan);
+  Alcotest.(check int) "13 PEs as in Figure 3" 13 (Kernel.processors plan);
+  Alcotest.(check int) "125 cells" 125 (Kernel.cells plan)
+
+let test_kernel_block_invariance () =
+  (* Same values at block = 1 (maximal fan-out) and the default, under
+     a multi-domain pool — float, so any ordering bug shows up. *)
+  let alg, tm = Scenario.instantiate (Scenario.scenario "tc" ~mu:4) in
+  let sem = Scenario.tc_semantics (module Scenario.Float_type) in
+  let pool = Engine.Pool.create ~jobs:4 () in
+  let r1 = Kernel.run ~pool (Kernel.compile ~block:1 alg tm) sem in
+  let r2 = Kernel.run ~pool (Kernel.compile alg tm) sem in
+  Index_set.iter
+    (fun j ->
+      Alcotest.(check (float 0.)) "block-size independent"
+        (r1.Kernel.lookup j) (r2.Kernel.lookup j))
+    alg.Algorithm.index_set;
+  Alcotest.(check bool) "block=1 actually fanned out" true
+    (r1.Kernel.parallel_levels > 0)
+
+let test_kernel_rejects_non_causal () =
+  let alg = Matmul.algorithm ~mu:2 in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(iv [ 1; -1; 1 ]) in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Kernel.compile alg tm); false with Failure _ -> true)
+
+let test_scenario_matrix_verifies () =
+  let pool = Engine.Pool.create ~jobs:2 () in
+  let specs = [ Scenario.scenario "matmul" ~mu:4; Scenario.scenario "tc" ~mu:4 ] in
+  let cells = Scenario.run_matrix ~pool specs Scenario.types in
+  Alcotest.(check int) "2 scenarios x 3 dtypes" 6 (List.length cells);
+  List.iter
+    (fun (c : Scenario.cell) ->
+      let name = c.Scenario.spec.Scenario.name ^ "/" ^ c.Scenario.dtype in
+      Alcotest.(check bool) (name ^ " verified") true (Scenario.cell_ok c);
+      match c.Scenario.sim with
+      | None -> Alcotest.fail (name ^ ": simulator cross-check expected at mu=4")
+      | Some s ->
+        Alcotest.(check int) (name ^ " sim makespan")
+          c.Scenario.makespan s.Scenario.sim_makespan)
+    cells
+
+let test_ulp_distance () =
+  Alcotest.(check int) "equal" 0 (Scenario.ulp_distance 1.5 1.5);
+  Alcotest.(check int) "adjacent" 1
+    (Scenario.ulp_distance 1.0 (Float.succ 1.0));
+  Alcotest.(check bool) "sign change is far" true
+    (Scenario.ulp_distance (-1e-300) 1e-300 = max_int);
+  Alcotest.(check bool) "nan is far" true
+    (Scenario.ulp_distance Float.nan 0.0 = max_int)
+
+(* ----------------- verification verdicts (Exec) ------------------- *)
+
+let test_exec_fully_verified () =
+  let r = matmul_report 4 (Matmul.optimal_pi ~mu:4) in
+  Alcotest.(check string) "values-ok" "values-ok"
+    (Exec.verification_name r.Exec.verified);
+  Alcotest.(check bool) "fully verified" true (Exec.fully_verified r)
+
+let test_exec_skipped_no_routing () =
+  (* S = [5,0,0] forces dependence (1,0,0) to travel 5 PEs in 1 cycle:
+     no routing exists within the slack, so movement checks are
+     skipped — and the report must say so rather than claim values_ok
+     silently (is_clean still holds, fully_verified must not). *)
+  let alg = Matmul.algorithm ~mu:2 in
+  let tm = Tmap.make ~s:(Intmat.of_ints [ [ 5; 0; 0 ] ]) ~pi:(iv [ 1; 1; 1 ]) in
+  let r = Exec.run alg Dataflow.semantics tm in
+  Alcotest.(check bool) "routing absent" true (r.Exec.routing = None);
+  Alcotest.(check string) "skipped-no-routing" "skipped-no-routing"
+    (Exec.verification_name r.Exec.verified);
+  Alcotest.(check bool) "values still agree" true (Exec.values_agree r);
+  Alcotest.(check bool) "not fully verified" false (Exec.fully_verified r)
+
+let test_exec_mismatch_detected () =
+  (* An always-false equality makes every cell disagree: the verdict
+     must be Mismatch with witnesses, never a bare boolean. *)
+  let alg = Matmul.algorithm ~mu:2 in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(Matmul.optimal_pi ~mu:2) in
+  let sem = { Dataflow.semantics with Algorithm.equal_value = (fun _ _ -> false) } in
+  let r = Exec.run alg sem tm in
+  (match r.Exec.verified with
+  | Exec.Mismatch (w :: _) ->
+    Alcotest.(check int) "witness arity" 3 (Array.length w)
+  | _ -> Alcotest.fail "expected Mismatch with witnesses");
+  Alcotest.(check bool) "values disagree" false (Exec.values_agree r);
+  Alcotest.(check bool) "not clean" false (Exec.is_clean r)
+
+(* ------------- link collisions + register bound (5.1) ------------- *)
+
+let test_linkcheck_forced_collision () =
+  (* A crafted K that routes the A stream (+1,+1,-1) instead of the
+     minimal (+1): displacement still 1, hops 3 <= slack 4 under
+     Pi = (1,4,1), but the +1 link is used twice — exactly the [23]
+     condition, so the analytical checker must predict a collision. *)
+  let mu = 4 in
+  let alg = Matmul.algorithm ~mu in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi:(iv [ 1; 4; 1 ]) in
+  let p = Tmap.nearest_neighbor_primitives 1 in
+  let col_of v =
+    let rec go i =
+      if i >= Intmat.cols p then Alcotest.fail "primitive not found"
+      else if Zint.to_int (Intmat.get p 0 i) = v then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let plus = col_of 1 and minus = col_of (-1) in
+  (* S D = [1, 1, -1]: stream 0 hops +1, stream 2 hops -1, and the
+     detoured stream 1 hops +1,+1,-1. *)
+  let k_matrix =
+    Intmat.make 2 3 (fun r c ->
+        Zint.of_int
+          (if c = 0 then (if r = plus then 1 else 0)
+           else if c = 1 then (if r = plus then 2 else 1)
+           else if r = minus then 1
+           else 0))
+  in
+  let sd = Intmat.mul tm.Tmap.s alg.Algorithm.dependences in
+  Alcotest.(check bool) "P K = S D" true
+    (Intmat.equal (Intmat.mul p k_matrix) sd);
+  let routing = { Tmap.k_matrix; hops = [| 1; 3; 1 |]; buffers = [| 0; 1; 0 |] } in
+  Alcotest.(check bool) "multi-use detected" false
+    (Linkcheck.single_use_per_link routing);
+  let predictions = Linkcheck.predict alg tm routing in
+  Alcotest.(check bool) "collision predicted" true (predictions <> []);
+  List.iter
+    (fun (pr : Linkcheck.prediction) ->
+      Alcotest.(check int) "on the detoured stream" 1 pr.Linkcheck.stream;
+      let l1, l2 = pr.Linkcheck.hop_positions in
+      Alcotest.(check bool) "ordered hop pair" true (l1 < l2))
+    predictions
+
+let test_register_bound_ex51 () =
+  (* Example 5.1: the A stream needs Pi d_i - sum_j k_ji = 4 - 1 = 3
+     delay registers, the other streams none.  The simulator's observed
+     buffer occupancy must meet the analytical bound exactly on A and
+     never exceed it anywhere. *)
+  let mu = 4 in
+  let alg = Matmul.algorithm ~mu in
+  let pi = Matmul.optimal_pi ~mu in
+  let tm = Tmap.make ~s:Matmul.paper_s ~pi in
+  (match Tmap.find_routing tm ~d:alg.Algorithm.dependences with
+  | None -> Alcotest.fail "expected a routing"
+  | Some routing ->
+    Alcotest.(check (array int)) "buffers = Pi d_i - hops_i" [| 0; 3; 0 |]
+      routing.Tmap.buffers;
+    Array.iteri
+      (fun i h ->
+        let pid =
+          Zint.to_int (Intvec.dot pi (Intmat.col alg.Algorithm.dependences i))
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "stream %d: buffers = Pi d - hops" i)
+          (pid - h) routing.Tmap.buffers.(i))
+      routing.Tmap.hops;
+    let r = matmul_report mu pi in
+    Array.iteri
+      (fun i occ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "stream %d: occupancy <= bound" i) true
+          (occ <= routing.Tmap.buffers.(i)))
+      r.Exec.max_buffer_occupancy;
+    Alcotest.(check int) "A stream meets the bound" routing.Tmap.buffers.(1)
+      r.Exec.max_buffer_occupancy.(1))
+
 let suite =
   [
     Alcotest.test_case "Figure 3 execution" `Quick test_figure_3_execution;
@@ -222,6 +403,16 @@ let suite =
     Alcotest.test_case "2-D grid snapshot" `Slow test_grid_snapshot_2d;
     Alcotest.test_case "grid rejects 1-D" `Quick test_grid_snapshot_rejects_1d;
     Alcotest.test_case "linkcheck paper mappings" `Quick test_linkcheck_paper_mappings_clean;
+    Alcotest.test_case "kernel matches reference" `Quick test_kernel_matches_reference;
+    Alcotest.test_case "kernel block invariance" `Quick test_kernel_block_invariance;
+    Alcotest.test_case "kernel rejects non-causal" `Quick test_kernel_rejects_non_causal;
+    Alcotest.test_case "scenario matrix verifies" `Quick test_scenario_matrix_verifies;
+    Alcotest.test_case "ulp distance" `Quick test_ulp_distance;
+    Alcotest.test_case "exec fully verified" `Quick test_exec_fully_verified;
+    Alcotest.test_case "exec skipped-no-routing" `Quick test_exec_skipped_no_routing;
+    Alcotest.test_case "exec mismatch detected" `Quick test_exec_mismatch_detected;
+    Alcotest.test_case "linkcheck forced collision" `Quick test_linkcheck_forced_collision;
+    Alcotest.test_case "register bound Ex 5.1" `Quick test_register_bound_ex51;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [
