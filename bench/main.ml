@@ -938,6 +938,86 @@ let exec_bench ?(quick = false) () =
            ])
        cells)
 
+(* Family benches: a structurally-repetitive mu-sweep — few distinct
+   mapping matrices, many index-set sizes each, every (T, mu) pair
+   fresh.  The concrete verdict cache keys on (T, mu) and so never
+   hits; the family tier compiles each T once and decides the rest
+   symbolically.  The section asserts the ISSUE-8 acceptance gates
+   (family effective hit rate > 0.9 while the concrete cache alone
+   scores < 0.1) and its numbers gate regressions via
+   `diff --section family` (docs/SCHEMA.md, docs/FAMILIES.md). *)
+
+let family_bench () =
+  Printf.printf "\n== family: symbolic mu-sweep vs concrete verdict cache ==\n";
+  Engine.Cache.clear ();
+  let mat rows = Intmat.of_ints rows in
+  (* All four family shapes that decide instances are represented:
+     const-free, adjugate (both outcomes across the sweep), and a
+     cascade whose kernel column always fits the box. *)
+  let mats =
+    [
+      ("matmul linear (adjugate)", mat [ [ 1; 1; -1 ]; [ 1; 4; 1 ] ]);
+      ("tc linear (adjugate)", mat [ [ 0; 0; 1 ]; [ 5; 1; 1 ] ]);
+      ("3x4 adjugate", mat [ [ 1; 0; 0; 1 ]; [ 0; 1; 0; 1 ]; [ 0; 0; 1; -1 ] ]);
+      ("3x4 adjugate'", mat [ [ 1; 1; 0; 0 ]; [ 0; 1; 1; 0 ]; [ 0; 0; 1; 1 ] ]);
+      ("3x3 const-free", mat [ [ 1; 1; -1 ]; [ 1; 4; 1 ]; [ 0; 1; 0 ] ]);
+      ("2x4 cascade (kernel trapped)", mat [ [ 1; 0; 0; 0 ]; [ 0; 1; 0; 0 ] ]);
+    ]
+  in
+  let sweep = 100 in
+  let before = Obs.Metrics.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let queries = ref 0 in
+  List.iter
+    (fun (_, t) ->
+      let n = Intmat.cols t in
+      for i = 1 to sweep do
+        (* mu.(0) = i keeps every instance of the sweep distinct, so
+           the concrete (T, mu) cache cannot help. *)
+        let mu = Array.init n (fun j -> if j = 0 then i else 1 + (i * (j + 2) mod 19)) in
+        ignore (Analysis.check ~mu t);
+        incr queries
+      done)
+    mats;
+  let elapsed_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+  let after = Obs.Metrics.snapshot () in
+  let delta name =
+    Obs.Metrics.counter_value after name - Obs.Metrics.counter_value before name
+  in
+  let fam_hits = delta "family.hits" in
+  let fam_misses = delta "family.misses" in
+  let fam_residual = delta "family.residual" in
+  let verdict_hits = delta "cache.analysis-verdict.hits" in
+  let q = !queries in
+  let rate x = float_of_int x /. float_of_int (max 1 q) in
+  let family_rate = rate fam_hits and concrete_rate = rate verdict_hits in
+  Printf.printf
+    "%d queries over %d families in %.1f ms\n\
+     family tier: %d decided, %d built, %d residual  (effective hit rate %.3f)\n\
+     concrete verdict cache alone: %d hits  (hit rate %.3f)\n"
+    q (List.length mats) elapsed_ms fam_hits fam_misses fam_residual family_rate
+    verdict_hits concrete_rate;
+  if family_rate <= 0.9 then begin
+    Printf.eprintf "FAIL: family effective hit rate %.3f <= 0.9\n" family_rate;
+    exit 1
+  end;
+  if concrete_rate >= 0.1 then begin
+    Printf.eprintf "FAIL: concrete cache hit rate %.3f >= 0.1 (workload not fresh)\n"
+      concrete_rate;
+    exit 1
+  end;
+  Json.Obj
+    [
+      ("queries", Json.Int q);
+      ("families", Json.Int fam_misses);
+      ("hits", Json.Int fam_hits);
+      ("residual", Json.Int fam_residual);
+      ("verdict_cache_hits", Json.Int verdict_hits);
+      ("family_hit_rate", Json.Float family_rate);
+      ("concrete_hit_rate", Json.Float concrete_rate);
+      ("elapsed_ms", Json.Float elapsed_ms);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* The perf driver: micro benches (unless --quick) + engine benches,
    folded into one schema-versioned JSON report named after the git
@@ -961,6 +1041,7 @@ let perf ?(quick = false) ?out () =
   let engine = engine_bench () in
   Obs.Trace.disable ();
   let phases = Obs.Export.phases (Obs.Trace.aggregate (Obs.Trace.spans ())) in
+  let family = family_bench () in
   let serve = serve_bench ~quick () in
   let chaos = chaos_bench ~quick () in
   let exec_section = exec_bench ~quick () in
@@ -980,6 +1061,7 @@ let perf ?(quick = false) ?out () =
                  Json.Obj [ ("name", Json.Str name); ("ns_per_run", Json.Float est) ])
                micro) );
         ("engine", engine);
+        ("family", family);
         ("serve", serve);
         ("chaos", chaos);
         ("exec", exec_section);
@@ -1015,8 +1097,8 @@ let experiments =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [e1..e16 | engine | serve [--transport json|binary] | chaos | \
-     exec | quick | perf [--quick] [--out FILE] | \
+    "usage: main.exe [e1..e16 | engine | family | serve [--transport json|binary] | \
+     chaos | exec | quick | perf [--quick] [--out FILE] | \
      diff OLD NEW [--threshold PCT] [--section NAME]]\n";
   exit 2
 
@@ -1074,11 +1156,12 @@ let () =
         | Some f -> f ()
         | None ->
           if name = "engine" then ignore (engine_bench ())
+          else if name = "family" then ignore (family_bench ())
           else if name = "chaos" then ignore (chaos_bench ())
           else if name = "exec" then ignore (exec_bench ())
           else
             Printf.eprintf
-              "unknown experiment %s (e1..e16, engine, serve, chaos, exec, perf, \
-               diff, quick)\n"
+              "unknown experiment %s (e1..e16, engine, family, serve, chaos, exec, \
+               perf, diff, quick)\n"
               name)
       names

@@ -244,6 +244,162 @@ let analyze_cmd =
        ~doc:"Conflict analysis of a mapping matrix (Theorems 2.2, 3.1, 4.3-4.8)")
     Term.(const run $ matrix $ mu_arg $ deadline_arg $ format_arg $ obs_term)
 
+(* ------------------------------ family ----------------------------- *)
+
+(* JSON and text renderings of the piecewise mu-condition; the grammar
+   and this schema are documented in docs/FAMILIES.md.  Atom constants
+   are emitted as strings — they are exact integers that can exceed a
+   JSON consumer's native range. *)
+let rec json_of_cond = function
+  | Family.True -> Json.Obj [ ("op", Json.Str "true") ]
+  | Family.False -> Json.Obj [ ("op", Json.Str "false") ]
+  | Family.Lt (i, c) ->
+    Json.Obj
+      [ ("op", Json.Str "lt"); ("i", Json.Int i); ("c", Json.Str (Zint.to_string c)) ]
+  | Family.All cs ->
+    Json.Obj [ ("op", Json.Str "all"); ("args", Json.Arr (List.map json_of_cond cs)) ]
+  | Family.Any cs ->
+    Json.Obj [ ("op", Json.Str "any"); ("args", Json.Arr (List.map json_of_cond cs)) ]
+
+let rec cond_to_text = function
+  | Family.True -> "true"
+  | Family.False -> "false"
+  | Family.Lt (i, c) -> Printf.sprintf "mu_%d < %s" i (Zint.to_string c)
+  | Family.All cs -> "(" ^ String.concat " and " (List.map cond_to_text cs) ^ ")"
+  | Family.Any cs -> "(" ^ String.concat " or " (List.map cond_to_text cs) ^ ")"
+
+let json_of_shape = function
+  | Family.Const_free -> Json.Obj [ ("kind", Json.Str "const-free") ]
+  | Family.Always_residual -> Json.Obj [ ("kind", Json.Str "residual") ]
+  | Family.Adjugate gamma ->
+    Json.Obj
+      [
+        ("kind", Json.Str "adjugate");
+        ("gamma", json_of_vec gamma);
+        ("free_iff", json_of_cond (Family.escape_cond gamma));
+      ]
+  | Family.Cascade { kernel; sufficient } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "cascade");
+        ("kernel", Json.Arr (List.map json_of_vec kernel));
+        ( "sufficient",
+          match sufficient with
+          | None -> Json.Null
+          | Some (m, c) ->
+            Json.Obj
+              [
+                ("method", Json.Str (Family.method_name m));
+                ("cond", json_of_cond c);
+              ] );
+      ]
+
+let family_cmd =
+  let matrix =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "m"; "matrix" ] ~docv:"ROWS"
+          ~doc:"Mapping matrix T = [S; Pi], rows separated by ';' (last row is Pi).")
+  in
+  let mu_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mu" ] ~docv:"MU"
+          ~doc:
+            "Optional instance bounds: also evaluate the family verdict at this mu and \
+             report the decided (or residual) outcome.")
+  in
+  let run m mu_s fmt obs =
+    obs_begin obs;
+    let t = parse_matrix m in
+    let fam = Analysis.family t in
+    let mu =
+      Option.map
+        (fun s ->
+          let mu = Array.of_list (parse_vector s) in
+          if Array.length mu <> Intmat.cols t then failwith "mu arity does not match T";
+          mu)
+        mu_s
+    in
+    let evaluation = Option.map (fun mu -> (mu, Family.eval fam ~mu)) mu in
+    (match fmt with
+    | Json_v2 ->
+      Json.print
+        (Json.versioned ~command:"family"
+           (obs_fields obs
+              ([
+                 ("t", json_of_mat t);
+                 ("k", Json.Int fam.Family.k);
+                 ("n", Json.Int fam.Family.n);
+                 ("full_rank", Json.Bool fam.Family.full_rank);
+                 ("shape", Json.Str (Family.shape_name fam));
+                 ("family", Json.Str (Family.to_string fam));
+                 ("condition", json_of_shape fam.Family.shape);
+               ]
+               @
+               match evaluation with
+               | None -> []
+               | Some (mu, ev) ->
+                 [
+                   ("mu", json_of_int_array mu);
+                   ( "eval",
+                     match ev with
+                     | Family.Residual ->
+                       Json.Obj [ ("decided", Json.Bool false) ]
+                     | Family.Decided { conflict_free; method_; witness } ->
+                       Json.Obj
+                         [
+                           ("decided", Json.Bool true);
+                           ("conflict_free", Json.Bool conflict_free);
+                           ("decided_by", Json.Str (Family.method_name method_));
+                           ("witness", Json.option json_of_vec witness);
+                         ] );
+                 ])))
+    | Plain ->
+      Printf.printf "T (%dx%d) =\n%s\nfamily shape: %s   (full rank: %b)\n"
+        fam.Family.k fam.Family.n (Intmat.to_string t) (Family.shape_name fam)
+        fam.Family.full_rank;
+      (match fam.Family.shape with
+      | Family.Const_free -> print_endline "conflict-free for every mu"
+      | Family.Always_residual ->
+        print_endline "no closed form applies; every instance needs concrete analysis"
+      | Family.Adjugate gamma ->
+        Printf.printf "unique conflict vector gamma = %s\nfree iff %s\n"
+          (Intvec.to_string gamma)
+          (cond_to_text (Family.escape_cond gamma))
+      | Family.Cascade { kernel; sufficient } ->
+        print_endline "kernel columns (conflict iff one fits the box):";
+        List.iter (fun w -> Printf.printf "  %s\n" (Intvec.to_string w)) kernel;
+        (match sufficient with
+        | None ->
+          print_endline "sufficient arm: none (subset cap); survivors are residual"
+        | Some (m, c) ->
+          Printf.printf "sufficient (%s): %s\n" (Family.method_name m) (cond_to_text c)));
+      Printf.printf "codec: %s\n" (Family.to_string fam);
+      match evaluation with
+      | None -> ()
+      | Some (mu, ev) -> (
+        Printf.printf "at mu = %s: "
+          (String.concat "," (List.map string_of_int (Array.to_list mu)));
+        match ev with
+        | Family.Residual -> print_endline "residual (falls back to concrete analysis)"
+        | Family.Decided { conflict_free; method_; witness } ->
+          Printf.printf "conflict-free = %b   [decided by %s]\n" conflict_free
+            (Family.method_name method_);
+          Option.iter
+            (fun w -> Printf.printf "witness conflict vector: %s\n" (Intvec.to_string w))
+            witness));
+    obs_end obs fmt
+  in
+  Cmd.v
+    (Cmd.info "family"
+       ~doc:
+         "Symbolic mu-parametric conflict analysis: the piecewise family verdict of a \
+          mapping matrix (docs/FAMILIES.md)")
+    Term.(const run $ matrix $ mu_opt_arg $ format_arg $ obs_term)
+
 (* ------------------------- shared: algorithms ---------------------- *)
 
 (* The resolution lives in [Server.Handlers] so the daemon serves the
@@ -1469,7 +1625,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            hnf_cmd; analyze_cmd; optimize_cmd; simulate_cmd; exec_cmd; parse_cmd;
+            hnf_cmd; analyze_cmd; family_cmd; optimize_cmd; simulate_cmd; exec_cmd;
+            parse_cmd;
             pareto_cmd; search_cmd; stats_cmd; fuzz_cmd; serve_cmd; client_cmd;
             chaos_cmd;
           ]))

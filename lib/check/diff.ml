@@ -5,6 +5,7 @@ type path =
   | Analysis_path
   | Analysis_cached
   | Budget_degraded
+  | Family_path
   | Exec_simulate
 
 let path_name = function
@@ -14,6 +15,7 @@ let path_name = function
   | Analysis_path -> "analysis"
   | Analysis_cached -> "analysis-cached"
   | Budget_degraded -> "budget-degraded"
+  | Family_path -> "family"
   | Exec_simulate -> "exec-simulate"
 
 type disagreement = {
@@ -106,7 +108,37 @@ let check_instance inst =
   | Some w when not (Oracle.valid_witness inst w) ->
     add Budget_degraded (Printf.sprintf "invalid witness %s" (Intvec.to_string w))
   | _ -> ());
-  (* 6. Close the loop on execution: run the instance through the
+  (* 6. The symbolic family tier: whenever the family verdict for this
+     T decides the instance, it must byte-match both the oracle and the
+     concrete verdict v1 — boolean, method, full-rank flag and witness
+     (the soundness contract of docs/FAMILIES.md).  Residual instances
+     carry no obligation here; paths 1-5 already cover them. *)
+  (match Analysis.eval_family (Analysis.family t) ~mu with
+  | None -> ()
+  | Some fv ->
+    if fv.Analysis.conflict_free <> oracle_free then
+      add Family_path
+        (Printf.sprintf "family verdict %b (decided by %s) but oracle says %b"
+           fv.Analysis.conflict_free
+           (Analysis.decided_by_name fv.Analysis.decided_by)
+           oracle_free);
+    if
+      fv.Analysis.conflict_free <> v1.Analysis.conflict_free
+      || fv.Analysis.full_rank <> v1.Analysis.full_rank
+      || fv.Analysis.decided_by <> v1.Analysis.decided_by
+      || not (Option.equal Intvec.equal fv.Analysis.witness v1.Analysis.witness)
+    then
+      add Family_path
+        (Printf.sprintf "family verdict (decided by %s) differs from concrete (%s)"
+           (Analysis.decided_by_name fv.Analysis.decided_by)
+           (Analysis.decided_by_name v1.Analysis.decided_by));
+    if fv.Analysis.exactness <> Analysis.Exact then
+      add Family_path "family verdict reported as bounded";
+    (match fv.Analysis.witness with
+    | Some w when not (Oracle.valid_witness inst w) ->
+      add Family_path (Printf.sprintf "invalid witness %s" (Intvec.to_string w))
+    | _ -> ()));
+  (* 7. Close the loop on execution: run the instance through the
      cycle-accurate simulator.  Conflicts there are pairs of points
      with [T j1 = T j2], i.e. exactly the oracle's notion, so a
      conflict-free verdict must mean a conflict-free (and causal)

@@ -16,6 +16,12 @@
       must be reported with [exactness = Bounded], never as a wrong
       [Exact], and its (lattice-backed) answer must still match the
       oracle;
+    - [Analysis.eval_family] on [Analysis.family] — whenever the
+      symbolic family verdict for the instance's [T] decides at its
+      [mu], the result must byte-match both the oracle and the concrete
+      [Analysis.check] verdict (boolean, method, full-rank flag and
+      witness — the soundness contract of [docs/FAMILIES.md]); residual
+      instances carry no obligation beyond the concrete paths;
     - [Exec.run] — the cycle-accurate simulator executes the instance
       under a synthesized causal dependence (the sign vector of the Pi
       row), and the verdict is cross-checked end to end: conflict-free
@@ -38,6 +44,7 @@ type path =
   | Analysis_path
   | Analysis_cached
   | Budget_degraded
+  | Family_path
   | Exec_simulate
 
 val path_name : path -> string

@@ -140,6 +140,60 @@ let core ~budget ~mu t =
 let verdict_table : (bool * decided_by * Intvec.t option * bool) Engine.Cache.table =
   Engine.Cache.create_table "analysis-verdict"
 
+(* ------------------------- family verdicts ------------------------- *)
+
+(* The symbolic tier: one Family.build per distinct T, then every
+   instance in the family costs an O(atoms) condition evaluation
+   instead of the cascade above.  Soundness rests on Family.eval being
+   byte-identical to [core] whenever it answers Decided (checked by
+   Check.Diff and test_family.ml); Residual instances fall through to
+   [core] unchanged. *)
+
+let family_table : Family.t Engine.Cache.table = Engine.Cache.create_table "family"
+let m_family_hits = Obs.Metrics.counter "family.hits"
+let m_family_misses = Obs.Metrics.counter "family.misses"
+let m_family_residual = Obs.Metrics.counter "family.residual"
+
+let family t =
+  Engine.Cache.memo family_table t (fun () ->
+      Obs.Metrics.incr m_family_misses;
+      let n = Intmat.cols t and k = Intmat.rows t in
+      (* Only thread the memoized factorization through on the branch
+         that reads it; the others would charge an hnf-cache miss for a
+         factorization [Family.build] never looks at. *)
+      if k < n && not (k = n - 1 && Intmat.rank t = n - 1) then
+        Family.build ~hnf:(Engine.Cache.hnf t) t
+      else Family.build t)
+
+let method_of_family = function
+  | Family.Full_rank_square -> Theorems.Full_rank_square
+  | Family.Adjugate_form -> Theorems.Adjugate_form
+  | Family.Column_infeasible -> Theorems.Column_infeasible
+  | Family.Hermite_n_minus_2 -> Theorems.Hermite_n_minus_2
+  | Family.Hermite_n_minus_3 -> Theorems.Hermite_n_minus_3
+  | Family.Gcd_sufficient -> Theorems.Gcd_sufficient
+
+let eval_family fam ~mu =
+  match Family.eval fam ~mu with
+  | Family.Decided { conflict_free; method_; witness } ->
+    Some
+      {
+        conflict_free;
+        full_rank = fam.Family.full_rank;
+        decided_by = Theorem (method_of_family method_);
+        witness;
+        timing = 0.;
+        exactness = Exact;
+      }
+  | Family.Residual -> None
+
+let probe_family ~mu t =
+  if Array.length mu <> Intmat.cols t then
+    invalid_arg "Analysis.probe_family: arity mismatch";
+  match Engine.Cache.find_opt family_table t with
+  | None -> None
+  | Some fam -> eval_family fam ~mu
+
 let check ?(budget = Engine.Budget.unlimited) ~mu t =
   if Array.length mu <> Intmat.cols t then invalid_arg "Analysis.check: arity mismatch";
   Obs.Metrics.incr m_queries;
@@ -170,6 +224,20 @@ let check ?(budget = Engine.Budget.unlimited) ~mu t =
   end
   else
     let key = Intmat.append_row t (Intvec.of_int_array mu) in
-    finish (Engine.Cache.memo verdict_table key (fun () -> core ~budget ~mu t)) Exact
+    finish
+      (Engine.Cache.memo verdict_table key (fun () ->
+           (* Family tier first: a Decided evaluation replays the
+              concrete cascade's verdict without re-running it. *)
+           let fam = family t in
+           match Family.eval fam ~mu with
+           | Family.Decided { conflict_free; method_; witness } ->
+             Obs.Metrics.incr m_family_hits;
+             Obs.Metrics.incr m_closed_form;
+             (conflict_free, Theorem (method_of_family method_), witness,
+              fam.Family.full_rank)
+           | Family.Residual ->
+             Obs.Metrics.incr m_family_residual;
+             core ~budget ~mu t))
+      Exact
 
 let is_conflict_free ?budget ~mu t = (check ?budget ~mu t).conflict_free

@@ -60,3 +60,29 @@ val is_conflict_free : ?budget:Engine.Budget.t -> mu:int array -> Intmat.t -> bo
 
 val decided_by_name : decided_by -> string
 (** Human-readable method name, also used by the JSON reports. *)
+
+(** {1 Family tier}
+
+    The symbolic layer in front of the cascade: {!Family.build} runs
+    once per distinct mapping matrix (memoized in the ["family"] cache
+    table) and {!check} evaluates the stored piecewise condition at
+    each instance's [mu] before falling back to the concrete cascade.
+    Counters: [family.hits] (instance decided symbolically),
+    [family.misses] (a family built), [family.residual] (family known
+    but this [mu] needs concrete analysis).  See [docs/FAMILIES.md]. *)
+
+val family : Intmat.t -> Family.t
+(** The memoized family verdict for [t] (built on first use). *)
+
+val eval_family : Family.t -> mu:int array -> verdict option
+(** Evaluate a family (e.g. one replayed from the persistent store) at
+    concrete bounds: [Some] verdict — byte-identical to {!check}'s,
+    with [timing = 0.] and [exactness = Exact] — when the family
+    decides, [None] when the instance is residual.
+    @raise Invalid_argument on arity mismatch. *)
+
+val probe_family : mu:int array -> Intmat.t -> verdict option
+(** {!eval_family} against the in-process family cache without
+    building anything: [None] when no family is cached for [t] or the
+    instance is residual.
+    @raise Invalid_argument when [mu] and [t] disagree on arity. *)

@@ -128,6 +128,14 @@ module Cache = struct
       Mutex.unlock t.lock;
       v
 
+  (* Probe without counting: callers that fall back to [memo] on [None]
+     would otherwise double-count the miss. *)
+  let find_opt t key =
+    Mutex.lock t.lock;
+    let v = H.find_opt t.tbl key in
+    Mutex.unlock t.lock;
+    v
+
   let stats () =
     Mutex.lock registry_lock;
     let fns = !registry in

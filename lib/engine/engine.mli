@@ -64,6 +64,11 @@ module Cache : sig
   (** [memo tbl key compute] returns the cached value for [key] or runs
       [compute] once and stores the result. *)
 
+  val find_opt : 'v table -> Intmat.t -> 'v option
+  (** Probe without computing — and without touching the hit/miss
+      counters, so callers that fall back to {!memo} on [None] don't
+      double-count. *)
+
   val key_hash : Intmat.t -> int
   (** The content hash the memo tables key on (entry-by-entry over the
       full matrix, in [0 .. max_int]).  Exposed so the persistent

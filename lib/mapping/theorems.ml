@@ -16,10 +16,6 @@ let dims { hnf; mu } =
    is [u i (n-1)]. *)
 let uget inp i j = Intmat.get inp.hnf.Hnf.u i j
 
-let kernel_columns inp =
-  let n, k = dims inp in
-  List.init (n - k) (fun c -> Intmat.col inp.hnf.Hnf.u (k + c))
-
 let necessary_cond2 inp =
   let n, k = dims inp in
   let v = inp.hnf.Hnf.v in
@@ -36,8 +32,14 @@ let necessary_cond2 inp =
   done;
   !all
 
-let necessary_cond3 inp =
-  List.for_all (Conflict.is_feasible ~mu:inp.mu) (kernel_columns inp)
+(* The closed-form predicates below are evaluated through their
+   mu-parametric forms in [Family]: each one builds the symbolic
+   piecewise condition (sign guards folded, mu-dependence reduced to
+   [mu_i < c] atoms) and evaluates it at this input's concrete bounds.
+   One source of truth — [Analysis]'s family cache compiles the same
+   conditions once per matrix and replays them across instances. *)
+
+let necessary_cond3 inp = Family.eval_cond (Family.cond3 inp.hnf) ~mu:inp.mu
 
 (* Theorem 4.5: choose n-k rows of U whose kernel-column restriction is
    nonsingular while each chosen row's gcd over the kernel columns is
@@ -46,35 +48,39 @@ let sufficient_cond4 inp =
   let n, k = dims inp in
   let d = n - k in
   if d = 0 then true
-  else begin
-    let row_gcd i =
-      let g = ref Zint.zero in
-      for c = k to n - 1 do
-        g := Zint.gcd !g (uget inp i c)
-      done;
-      !g
-    in
-    let candidate_rows =
-      List.filter
-        (fun i -> Zint.compare (row_gcd i) (Zint.of_int (inp.mu.(i) + 1)) >= 0)
-        (List.init n (fun i -> i))
-    in
-    (* Search for a size-d subset with nonsingular restriction. *)
-    let rec subsets sz = function
-      | [] -> if sz = 0 then [ [] ] else []
-      | x :: rest ->
-        if sz = 0 then [ [] ]
-        else
-          List.map (fun s -> x :: s) (subsets (sz - 1) rest) @ subsets sz rest
-    in
-    List.exists
-      (fun rows ->
-        let m =
-          Intmat.make d d (fun a b -> uget inp (List.nth rows a) (k + b))
-        in
-        not (Zint.is_zero (Intmat.det m)))
-      (subsets d candidate_rows)
-  end
+  else
+    match Family.cond4 inp.hnf with
+    | Some c -> Family.eval_cond c ~mu:inp.mu
+    | None ->
+      (* Too many subsets for the symbolic form: fall back to the
+         concrete search, where the mu-filter prunes the candidate
+         rows before enumeration. *)
+      let row_gcd i =
+        let g = ref Zint.zero in
+        for c = k to n - 1 do
+          g := Zint.gcd !g (uget inp i c)
+        done;
+        !g
+      in
+      let candidate_rows =
+        List.filter
+          (fun i -> Zint.compare (row_gcd i) (Zint.of_int (inp.mu.(i) + 1)) >= 0)
+          (List.init n (fun i -> i))
+      in
+      let rec subsets sz = function
+        | [] -> if sz = 0 then [ [] ] else []
+        | x :: rest ->
+          if sz = 0 then [ [] ]
+          else
+            List.map (fun s -> x :: s) (subsets (sz - 1) rest) @ subsets sz rest
+      in
+      List.exists
+        (fun rows ->
+          let m =
+            Intmat.make d d (fun a b -> uget inp (List.nth rows a) (k + b))
+          in
+          not (Zint.is_zero (Intmat.det m)))
+        (subsets d candidate_rows)
 
 let require_codim inp d name =
   let n, k = dims inp in
@@ -83,57 +89,13 @@ let require_codim inp d name =
 (* Theorem 4.6 (sufficient, k = n-2). *)
 let sufficient_cond5 inp =
   require_codim inp 2 "Theorems.sufficient_cond5";
-  let n, k = dims inp in
-  let c1 = k and c2 = k + 1 in
-  let cond_at i =
-    let a = uget inp i c1 and b = uget inp i c2 in
-    let g = Zint.gcd a b in
-    if Zint.compare g (Zint.of_int (inp.mu.(i) + 1)) < 0 then false
-    else begin
-      (* The coprime (beta1, beta2) annihilating row i:
-         (b/g, -a/g); check some other row escapes its box. *)
-      let b1 = Zint.divexact b g and b2 = Zint.neg (Zint.divexact a g) in
-      let escapes j =
-        let v = Zint.add (Zint.mul b1 (uget inp j c1)) (Zint.mul b2 (uget inp j c2)) in
-        Zint.compare (Zint.abs v) (Zint.of_int inp.mu.(j)) > 0
-      in
-      let rec any j = j < n && ((j <> i && escapes j) || any (j + 1)) in
-      any 0
-    end
-  in
-  let rec exists i = i < n && (cond_at i || exists (i + 1)) in
-  exists 0
-
-(* Sign compatibility with zero counting as either sign. *)
-let sign_match x s = Zint.sign x * s >= 0
+  Family.eval_cond (Family.cond5 inp.hnf) ~mu:inp.mu
 
 (* Theorem 4.7 (k = n-2): conditions (1) same-sign sum, (2)
    opposite-sign difference, (3) kernel columns feasible. *)
 let nec_suff_n_minus_2 inp =
   require_codim inp 2 "Theorems.nec_suff_n_minus_2";
-  let n, k = dims inp in
-  let c1 = k and c2 = k + 1 in
-  let cond1 =
-    let rec go i =
-      i < n
-      && ((let a = uget inp i c1 and b = uget inp i c2 in
-           Zint.sign (Zint.mul a b) >= 0
-           && Zint.compare (Zint.abs (Zint.add a b)) (Zint.of_int inp.mu.(i)) > 0)
-          || go (i + 1))
-    in
-    go 0
-  in
-  let cond2 =
-    let rec go j =
-      j < n
-      && ((let a = uget inp j c1 and b = uget inp j c2 in
-           Zint.sign (Zint.mul a b) <= 0
-           && Zint.compare (Zint.abs (Zint.sub a b)) (Zint.of_int inp.mu.(j)) > 0)
-          || go (j + 1))
-    in
-    go 0
-  in
-  cond1 && cond2 && necessary_cond3 inp
+  Family.eval_cond (Family.cond_n_minus_2 inp.hnf) ~mu:inp.mu
 
 (* Theorem 4.8 (k = n-3): for each of the four sign patterns of
    (beta_{n-2}, beta_{n-1}, beta_n) up to global negation there must be
@@ -141,50 +103,11 @@ let nec_suff_n_minus_2 inp =
    escapes the box; plus feasibility of the kernel columns. *)
 let nec_suff_n_minus_3 inp =
   require_codim inp 3 "Theorems.nec_suff_n_minus_3";
-  let n, k = dims inp in
-  let patterns = [ [| 1; 1; 1 |]; [| 1; 1; -1 |]; [| 1; -1; 1 |]; [| -1; 1; 1 |] ] in
-  let row_matches i pat =
-    let ok = ref true in
-    let sum = ref Zint.zero in
-    for c = 0 to 2 do
-      let x = uget inp i (k + c) in
-      if not (sign_match x pat.(c)) then ok := false;
-      sum := Zint.add !sum (Zint.mul_int x pat.(c))
-    done;
-    !ok && Zint.compare (Zint.abs !sum) (Zint.of_int inp.mu.(i)) > 0
-  in
-  List.for_all
-    (fun pat ->
-      let rec go i = i < n && (row_matches i pat || go (i + 1)) in
-      go 0)
-    patterns
-  && necessary_cond3 inp
-
-(* Theorem 4.7-style pairwise check on two kernel columns [ca], [cb]:
-   for both relative signs there is a sign-matched row escaping its
-   bound.  Covers all conflict vectors beta_a u_a + beta_b u_b with
-   both coefficients nonzero. *)
-let pair_covered inp ca cb =
-  let n, _ = dims inp in
-  let escape sigma =
-    let rec go i =
-      i < n
-      && ((let a = uget inp i ca and b = Zint.mul_int (uget inp i cb) sigma in
-           Zint.sign (Zint.mul a b) >= 0
-           && Zint.compare (Zint.abs (Zint.add a b)) (Zint.of_int inp.mu.(i)) > 0)
-          || go (i + 1))
-    in
-    go 0
-  in
-  escape 1 && escape (-1)
+  Family.eval_cond (Family.cond_n_minus_3 inp.hnf) ~mu:inp.mu
 
 let corrected_sufficient_n_minus_3 inp =
   require_codim inp 3 "Theorems.corrected_sufficient_n_minus_3";
-  let _, k = dims inp in
-  nec_suff_n_minus_3 inp
-  && pair_covered inp k (k + 1)
-  && pair_covered inp k (k + 2)
-  && pair_covered inp (k + 1) (k + 2)
+  Family.eval_cond (Family.corrected_cond_n_minus_3 inp.hnf) ~mu:inp.mu
 
 type method_used =
   | Full_rank_square

@@ -77,7 +77,16 @@ type conn = {
   mutable closing : bool;  (* loop-thread only: drop after output drains *)
 }
 
-type waiter = { w_conn : conn; w_id : Json.t; w_bin : bool }
+(* Waiters carry their own (mu, T): singleflight groups key on the
+   family (T alone), so members may ask about different instances of
+   the leader's family. *)
+type waiter = {
+  w_conn : conn;
+  w_id : Json.t;
+  w_bin : bool;
+  w_mu : int array;
+  w_tmat : Intmat.t;
+}
 
 type job = {
   rid : int;
@@ -114,6 +123,7 @@ type t = {
   n_batches : int Atomic.t;
   n_batched : int Atomic.t;
   n_fastpath : int Atomic.t;
+  n_family_fastpath : int Atomic.t;
   n_binary : int Atomic.t;
 }
 
@@ -123,6 +133,7 @@ let m_batches = Obs.Metrics.counter "server.batches"
 let m_batched = Obs.Metrics.counter "server.batched"
 let m_conns = Obs.Metrics.counter "server.connections"
 let m_fastpath = Obs.Metrics.counter "server.fastpath"
+let m_family_fastpath = Obs.Metrics.counter "server.family_fastpath"
 let m_coalesced = Obs.Metrics.counter "server.singleflight.coalesced"
 let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
 let h_request_ms = Obs.Metrics.histogram "server.request_ms"
@@ -253,19 +264,43 @@ let serve_job t job =
         (fun () ->
           match (job.sf, job.env.Protocol.req) with
           | Some (hash, key), Protocol.Analyze { mu; tmat; _ } ->
-            (* The leader computes once; the result — and the single
-               store append inside [analyze_wire] — fans out to every
-               waiter coalesced under this key. *)
+            (* The group is keyed on the family (T alone): the leader
+               computes its own instance once — populating the family
+               cache as a side effect — then journals the family
+               verdict and fans out.  Waiters on the same mu reuse the
+               leader's result (and its single store append inside
+               [analyze_wire]); waiters on other instances of the
+               family re-enter [analyze_wire], which now replays the
+               warm family in O(atoms). *)
             let result =
               match Handlers.analyze_wire ~store:t.store_ ~budget:job.budget ~mu tmat with
               | r -> Ok r
               | exception exn -> Error (Printexc.to_string exn)
             in
+            (match result with
+            | Ok _ ->
+              Option.iter
+                (fun s ->
+                  try Store.add_family s tmat (Analysis.family tmat)
+                  with Fault.Injected _ | Sys_error _ | Unix.Unix_error _ -> ())
+                t.store_
+            | Error _ -> ());
             let waiters = Singleflight.complete t.sflight ~hash ~key in
             List.iter
               (fun w ->
                 match result with
-                | Ok r -> send_analyze t w r
+                | Ok r ->
+                  if w.w_mu = mu then send_analyze t w r
+                  else (
+                    match
+                      Handlers.analyze_wire ~store:t.store_ ~budget:job.budget
+                        ~mu:w.w_mu w.w_tmat
+                    with
+                    | r' -> send_analyze t w r'
+                    | exception exn ->
+                      send_doc t w.w_conn
+                        (Protocol.error_reply ~id:w.w_id ~code:"internal"
+                           ~detail:(Printexc.to_string exn)))
                 | Error msg ->
                   send_doc t w.w_conn
                     (Protocol.error_reply ~id:w.w_id ~code:"internal" ~detail:msg))
@@ -312,6 +347,8 @@ let stats_fields t =
       ("batches", Json.Int (Atomic.get t.n_batches));
       ("batched", Json.Int (Atomic.get t.n_batched));
       ("fastpath", Json.Int (Atomic.get t.n_fastpath));
+      ( "family",
+        Json.Obj [ ("fastpath", Json.Int (Atomic.get t.n_family_fastpath)) ] );
       ( "singleflight",
         Json.Obj [ ("groups", Json.Int groups); ("coalesced", Json.Int coalesced) ] );
       ( "transport",
@@ -338,6 +375,9 @@ let stats_fields t =
               ("misses", Json.Int st.Store.misses);
               ("appended", Json.Int st.Store.appended);
               ("loaded", Json.Int st.Store.loaded);
+              ("families", Json.Int st.Store.families);
+              ("f_appended", Json.Int st.Store.f_appended);
+              ("f_loaded", Json.Int st.Store.f_loaded);
               ("dropped_bytes", Json.Int st.Store.dropped_bytes);
               ("quarantined", Json.Int st.Store.quarantined);
               ("healed", Json.Int st.Store.healed);
@@ -358,18 +398,47 @@ let handle_analyze t conn ~bin ~id ~mu ~tmat ~deadline_ms =
     send_doc t conn ~defer:true
       (Protocol.error_reply ~id ~code:"draining" ~detail:"server is draining")
   else
+    let w = { w_conn = conn; w_id = id; w_bin = bin; w_mu = mu; w_tmat = tmat } in
     match Option.bind t.store_ (fun s -> Store.find s ~mu tmat) with
     | Some e ->
       (* Warm fast path: a stored verdict is encoded straight from the
          event loop — no queue, no batcher, no pool handoff. *)
       Atomic.incr t.n_fastpath;
       Obs.Metrics.incr m_fastpath;
-      send_analyze t ~defer:true { w_conn = conn; w_id = id; w_bin = bin }
-        (Protocol.wire_of_entry e, "hit")
+      send_analyze t ~defer:true w (Protocol.wire_of_entry e, "hit")
     | None -> (
-      let hash = Store.key_hash ~mu tmat and key = Store.key_string ~mu tmat in
-      let w = { w_conn = conn; w_id = id; w_bin = bin } in
-      match Singleflight.join t.sflight ~hash ~key w with
+      let family_verdict =
+        match t.store_ with
+        | None -> None
+        | Some s ->
+          Option.bind (Store.find_family s tmat) (fun fam ->
+              match Analysis.eval_family fam ~mu with
+              | v -> Option.map (fun v -> (s, v)) v
+              | exception Invalid_argument _ -> None)
+      in
+      match family_verdict with
+      | Some (s, v) ->
+        (* Family fast path: a journaled family verdict decides this
+           instance in O(atoms) of its piecewise condition, still
+           inline on the event loop.  The concrete entry it implies is
+           appended so the next identical query is a plain hit; as in
+           [Handlers.analyze_wire], a failed append degrades the
+           status, never the verdict. *)
+        let e = Store.entry_of_verdict v in
+        Atomic.incr t.n_family_fastpath;
+        Obs.Metrics.incr m_family_fastpath;
+        let status =
+          match Store.add s ~mu tmat e with
+          | () -> "family"
+          | exception (Fault.Injected _ | Sys_error _ | Unix.Unix_error _) -> "error"
+        in
+        send_analyze t ~defer:true w (Protocol.wire_of_entry e, status)
+      | None -> (
+        (* Singleflight groups key on the family (T alone): one
+           leader's symbolic analysis serves every coalesced
+           instance. *)
+        let hash = Store.family_hash tmat and key = Store.family_key_string tmat in
+        match Singleflight.join t.sflight ~hash ~key w with
       | `Follower -> Obs.Metrics.incr m_coalesced
       | `Leader ->
         let rid = Atomic.fetch_and_add t.next_id 1 in
@@ -404,7 +473,7 @@ let handle_analyze t conn ~bin ~id ~mu ~tmat ~deadline_ms =
                    ~detail:
                      (Printf.sprintf "queue full (%d requests)" t.cfg.queue_capacity)))
             ws
-        end)
+        end))
 
 let handle_envelope t conn ~bin (env : Protocol.envelope) =
   let id = env.Protocol.id in
@@ -592,6 +661,7 @@ let create cfg =
       n_batches = Atomic.make 0;
       n_batched = Atomic.make 0;
       n_fastpath = Atomic.make 0;
+      n_family_fastpath = Atomic.make 0;
       n_binary = Atomic.make 0;
     }
   in

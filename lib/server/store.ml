@@ -12,6 +12,11 @@ type t = {
   (* content hash -> (canonical key, entry) bucket; the hash is the
      journal's record address, the key string resolves collisions. *)
   table : (int, (string * entry) list) Hashtbl.t;
+  (* Same shape for family verdicts ('f' records), keyed on T alone —
+     the "t=..." key strings live in a namespace disjoint from the
+     verdicts' "mu=...;t=..." keys, so the two kinds can share the
+     quarantine table safely. *)
+  families : (int, (string * Family.t) list) Hashtbl.t;
   (* Keys salvaged from quarantined (checksum-corrupt) records: these
      must not be served from memory until a fresh verdict re-verifies
      them — [find] forces a miss, [add] clears the mark. *)
@@ -22,6 +27,8 @@ type t = {
   mutable misses : int;
   mutable appended : int;
   mutable loaded : int;
+  mutable f_appended : int;
+  mutable f_loaded : int;
   mutable dropped_bytes : int;
   mutable quarantined : int;
   mutable healed : int;
@@ -34,6 +41,9 @@ type stats = {
   misses : int;
   appended : int;
   loaded : int;
+  families : int;
+  f_appended : int;
+  f_loaded : int;
   dropped_bytes : int;
   quarantined : int;
   healed : int;
@@ -74,6 +84,12 @@ let key_string ~mu t =
 let key_hash ~mu t =
   Engine.Cache.key_hash (Intmat.append_row t (Intvec.of_int_array mu)) land 0xFFFFFFFF
 
+(* Family records key on T alone: one record serves every mu. *)
+let family_key_string t =
+  Printf.sprintf "t=%s" (String.concat ";" (List.map csv (Intmat.to_ints t)))
+
+let family_hash t = Engine.Cache.key_hash t land 0xFFFFFFFF
+
 let entry_payload e =
   Printf.sprintf "free=%d;rank=%d;by=%s;wit=%s"
     (Bool.to_int e.conflict_free)
@@ -81,40 +97,54 @@ let entry_payload e =
     e.decided_by
     (match e.witness with None -> "-" | Some w -> csv w)
 
-(* One record line: "v <hash-hex> <key> <entry> <crc-hex>".  No token
-   contains a space (keys and entries are csv/semicolon-separated), so
-   the line splits unambiguously. *)
-let record_line hash key e =
-  let body = Printf.sprintf "%08x %s %s" (hash land 0xFFFFFFFF) key (entry_payload e) in
-  Printf.sprintf "v %s %08x" body (fnv1a body)
+(* One record line per kind, same frame: "<tag> <hash-hex> <key>
+   <payload> <crc-hex>" with tag 'v' for per-instance verdicts and 'f'
+   for family verdicts (payload = Family.to_string).  No token contains
+   a space (keys, entries and family strings are csv/semicolon/
+   punctuation-separated), so the line splits unambiguously. *)
+let framed tag hash key payload =
+  let body = Printf.sprintf "%08x %s %s" (hash land 0xFFFFFFFF) key payload in
+  Printf.sprintf "%c %s %08x" tag body (fnv1a body)
+
+let record_line hash key e = framed 'v' hash key (entry_payload e)
+let family_line hash key fam = framed 'f' hash key (Family.to_string fam)
+
+type record =
+  | Verdict of int * string * entry
+  | Fam of int * string * Family.t
 
 let parse_record line =
   match String.split_on_char ' ' line with
-  | [ "v"; hash_hex; key; payload; crc_hex ] ->
+  | [ tag; hash_hex; key; payload; crc_hex ] when tag = "v" || tag = "f" ->
     let body = Printf.sprintf "%s %s %s" hash_hex key payload in
     let crc = int_of_string ("0x" ^ crc_hex) in
     if fnv1a body <> crc then failwith "checksum mismatch";
     let hash = int_of_string ("0x" ^ hash_hex) in
-    let field name s =
-      let prefix = name ^ "=" in
-      let n = String.length prefix in
-      if String.length s >= n && String.sub s 0 n = prefix then
-        String.sub s n (String.length s - n)
-      else failwith ("missing field " ^ name)
-    in
-    let e =
-      match String.split_on_char ';' payload with
-      | [ f; r; b; w ] ->
-        {
-          conflict_free = field "free" f = "1";
-          full_rank = field "rank" r = "1";
-          decided_by = field "by" b;
-          witness =
-            (match field "wit" w with "-" -> None | s -> Some (parse_csv s));
-        }
-      | _ -> failwith "bad entry payload"
-    in
-    (hash, key, e)
+    if tag = "f" then
+      match Family.of_string payload with
+      | Some fam -> Fam (hash, key, fam)
+      | None -> failwith "bad family payload"
+    else
+      let field name s =
+        let prefix = name ^ "=" in
+        let n = String.length prefix in
+        if String.length s >= n && String.sub s 0 n = prefix then
+          String.sub s n (String.length s - n)
+        else failwith ("missing field " ^ name)
+      in
+      let e =
+        match String.split_on_char ';' payload with
+        | [ f; r; b; w ] ->
+          {
+            conflict_free = field "free" f = "1";
+            full_rank = field "rank" r = "1";
+            decided_by = field "by" b;
+            witness =
+              (match field "wit" w with "-" -> None | s -> Some (parse_csv s));
+          }
+        | _ -> failwith "bad entry payload"
+      in
+      Verdict (hash, key, e)
   | _ -> failwith "bad record shape"
 
 (* Best-effort key recovery from a record that failed its checksum, so
@@ -123,7 +153,7 @@ let parse_record line =
    is harmless (the lookup misses anyway). *)
 let salvage_key line =
   match String.split_on_char ' ' line with
-  | "v" :: _hash_hex :: key :: _ -> Some key
+  | ("v" | "f") :: _hash_hex :: key :: _ -> Some key
   | _ -> None
 
 (* ------------------------------ journal ---------------------------- *)
@@ -214,6 +244,7 @@ let open_ ?(fsync_every = 32) path =
       fsync_every;
       oc = None;
       table = Hashtbl.create 1024;
+      families = Hashtbl.create 64;
       quarantined_keys = Hashtbl.create 4;
       lock = Mutex.create ();
       pending = 0;
@@ -221,6 +252,8 @@ let open_ ?(fsync_every = 32) path =
       misses = 0;
       appended = 0;
       loaded = 0;
+      f_appended = 0;
+      f_loaded = 0;
       dropped_bytes = 0;
       quarantined = 0;
       healed = 0;
@@ -254,12 +287,20 @@ let open_ ?(fsync_every = 32) path =
     | None -> failwith (Printf.sprintf "Store.open_: %s is not a store journal" path)
     | Some (records, bad, torn) ->
       List.iter
-        (fun ((hash, key, e), _) ->
-          let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table hash) in
+        (fun (record, _) ->
           (* Last record wins: a healed key appends a fresh record
              after its original, and the fresh one is the truth. *)
-          if not (List.mem_assoc key bucket) then t.loaded <- t.loaded + 1;
-          Hashtbl.replace t.table hash ((key, e) :: List.remove_assoc key bucket))
+          match record with
+          | Verdict (hash, key, e) ->
+            let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table hash) in
+            if not (List.mem_assoc key bucket) then t.loaded <- t.loaded + 1;
+            Hashtbl.replace t.table hash ((key, e) :: List.remove_assoc key bucket)
+          | Fam (hash, key, fam) ->
+            let bucket =
+              Option.value ~default:[] (Hashtbl.find_opt t.families hash)
+            in
+            if not (List.mem_assoc key bucket) then t.f_loaded <- t.f_loaded + 1;
+            Hashtbl.replace t.families hash ((key, fam) :: List.remove_assoc key bucket))
         records;
       List.iter
         (fun line ->
@@ -332,9 +373,9 @@ let find t ~mu tm =
    truncating to the pre-write length, so the journal never dwells in
    a torn state because of an injected fault — the caller sees
    [Fault.Injected] and the entry is simply not persisted yet. *)
-let append_record t hash key e =
+let append_line t line =
   let oc = oc_exn t in
-  let line = record_line hash key e ^ "\n" in
+  let line = line ^ "\n" in
   (match Fault.partial_write "store.write" (String.length line) with
   | Some n ->
     t.io_errors <- t.io_errors + 1;
@@ -351,7 +392,6 @@ let append_record t hash key e =
   | None ->
     output_string oc line;
     flush oc);
-  t.appended <- t.appended + 1;
   t.pending <- t.pending + 1;
   if t.pending >= t.fsync_every then
     if Fault.should_fail "store.fsync" then begin
@@ -364,6 +404,10 @@ let append_record t hash key e =
       fsync_out oc;
       t.pending <- 0
     end
+
+let append_record t hash key e =
+  append_line t (record_line hash key e);
+  t.appended <- t.appended + 1
 
 let heal t key =
   if Hashtbl.mem t.quarantined_keys key then begin
@@ -389,6 +433,29 @@ let add t ~mu tm e =
         Hashtbl.replace t.table hash ((key, e) :: List.remove_assoc key bucket);
         heal t key)
 
+let find_family t tm =
+  let hash = family_hash tm in
+  let key = family_key_string tm in
+  locked t (fun () ->
+      if Hashtbl.mem t.quarantined_keys key then None
+      else Option.bind (Hashtbl.find_opt t.families hash) (List.assoc_opt key))
+
+let add_family t tm fam =
+  let hash = family_hash tm in
+  let key = family_key_string tm in
+  locked t (fun () ->
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt t.families hash) in
+      let quarantined = Hashtbl.mem t.quarantined_keys key in
+      let same f0 = Family.to_string f0 = Family.to_string fam in
+      match List.assoc_opt key bucket with
+      | Some _ when not quarantined -> () (* families are deterministic *)
+      | Some f0 when same f0 -> heal t key
+      | _ ->
+        append_line t (family_line hash key fam);
+        t.f_appended <- t.f_appended + 1;
+        Hashtbl.replace t.families hash ((key, fam) :: List.remove_assoc key bucket);
+        heal t key)
+
 let flush t =
   locked t (fun () ->
       fsync_out (oc_exn t);
@@ -404,12 +471,16 @@ let close t =
 let stats t =
   locked t (fun () ->
       let entries = Hashtbl.fold (fun _ b acc -> acc + List.length b) t.table 0 in
+      let families = Hashtbl.fold (fun _ b acc -> acc + List.length b) t.families 0 in
       {
         entries;
         hits = t.hits;
         misses = t.misses;
         appended = t.appended;
         loaded = t.loaded;
+        families;
+        f_appended = t.f_appended;
+        f_loaded = t.f_loaded;
         dropped_bytes = t.dropped_bytes;
         quarantined = t.quarantined;
         healed = t.healed;

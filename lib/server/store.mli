@@ -77,6 +77,17 @@ val add : t -> mu:int array -> Intmat.t -> entry -> unit
     torn bytes are rolled back and the entry is not recorded — the
     caller may retry or degrade. *)
 
+val find_family : t -> Intmat.t -> Family.t option
+(** Look up the family verdict journaled for the mapping matrix alone
+    ([f] records, one per distinct [T]); does not touch the hit/miss
+    counters, which are reserved for per-instance verdicts.  A
+    quarantined key misses until {!add_family} re-verifies it. *)
+
+val add_family : t -> Intmat.t -> Family.t -> unit
+(** Record a family verdict ([f] record).  Deduplication, quarantine
+    healing and fault injection behave exactly as in {!add}; counted
+    in [f_appended], never in [appended]. *)
+
 val flush : t -> unit
 (** Flush buffered appends and [fsync] the journal. *)
 
@@ -85,11 +96,14 @@ val close : t -> unit
     afterwards. *)
 
 type stats = {
-  entries : int;        (** Keys currently held in memory. *)
+  entries : int;        (** Verdict keys currently held in memory. *)
   hits : int;           (** {!find} successes since {!open_}. *)
   misses : int;         (** {!find} failures since {!open_}. *)
-  appended : int;       (** Records written by this process. *)
-  loaded : int;         (** Records replayed from disk at {!open_}. *)
+  appended : int;       (** Verdict records written by this process. *)
+  loaded : int;         (** Verdict records replayed from disk at {!open_}. *)
+  families : int;       (** Family verdicts currently held in memory. *)
+  f_appended : int;     (** Family records written by this process. *)
+  f_loaded : int;       (** Family records replayed from disk at {!open_}. *)
   dropped_bytes : int;  (** Torn tail truncated away at {!open_}. *)
   quarantined : int;    (** Corrupt records moved to the sidecar at {!open_}. *)
   healed : int;         (** Quarantined keys re-verified by {!add}. *)
@@ -107,6 +121,17 @@ val key_hash : mu:int array -> Intmat.t -> int
 val key_string : mu:int array -> Intmat.t -> string
 (** The canonical key rendering that disambiguates colliding hashes
     ([mu=...;t=...;...]) — byte-identical across processes. *)
+
+val family_hash : Intmat.t -> int
+(** The 32-bit content hash family records are journaled under —
+    {!Engine.Cache.key_hash} of the mapping matrix alone — also the
+    singleflight group key, so every instance of a family coalesces
+    behind one symbolic analysis. *)
+
+val family_key_string : Intmat.t -> string
+(** Canonical family key ([t=...]); disjoint by construction from the
+    [mu=...] verdict keys, so the two kinds share the quarantine
+    namespace safely. *)
 
 val entry_of_verdict : Analysis.verdict -> entry
 (** Project the storable fields ([timing] and [exactness] are not

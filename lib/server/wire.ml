@@ -31,6 +31,7 @@ let status_char = function
   | "bypass" -> 'b'
   | "off" -> 'o'
   | "error" -> 'e'
+  | "family" -> 'f'
   | other -> invalid_arg (Printf.sprintf "Wire.encode: unknown store status %S" other)
 
 let status_of_char = function
@@ -39,6 +40,7 @@ let status_of_char = function
   | 'b' -> Some "bypass"
   | 'o' -> Some "off"
   | 'e' -> Some "error"
+  | 'f' -> Some "family"
   | _ -> None
 
 let fits_i32 v = v >= -0x8000_0000 && v <= 0x7FFF_FFFF

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Check relative markdown cross-links in every tracked *.md file.
+# A [text](target) link must resolve to an existing file or directory
+# relative to the linking document; absolute URLs, mailto: and pure
+# #anchors are skipped, and a #fragment on a file link is ignored.
+# Exits 1 listing every broken link (used by the CI docs job).
+set -u
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp)
+broken=$(mktemp)
+trap 'rm -f "$tmp" "$broken"' EXIT
+
+for f in $(git ls-files '*.md'); do
+  dir=$(dirname "$f")
+  # Strip fenced code blocks first: indexing expressions like
+  # `a[i](j)` inside them are not links.
+  awk '/^ *```/ { fence = !fence; next } !fence' "$f" \
+    | grep -o '](\([^)]*\))' >"$tmp" 2>/dev/null || :
+  while IFS= read -r link; do
+    target=${link#"]("}
+    target=${target%")"}
+    case "$target" in
+    http://* | https://* | mailto:* | '#'* | '') continue ;;
+    esac
+    path=${target%%#*}
+    [ -e "$dir/$path" ] || printf '%s: broken link -> %s\n' "$f" "$target" >>"$broken"
+  done <"$tmp"
+done
+
+if [ -s "$broken" ]; then
+  cat "$broken" >&2
+  echo "FAIL: broken markdown cross-links" >&2
+  exit 1
+fi
+echo "ok: all relative markdown links resolve"

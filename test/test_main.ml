@@ -10,6 +10,7 @@ let () =
       ("uda", Test_uda.suite);
       ("conflict", Test_conflict.suite);
       ("theorems", Test_theorems.suite);
+      ("family", Test_family.suite);
       ("schedule-tmap", Test_mapping.suite);
       ("optimizers", Test_optimizers.suite);
       ("systolic", Test_systolic.suite);
