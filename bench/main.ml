@@ -938,6 +938,152 @@ let exec_bench ?(quick = false) () =
            ])
        cells)
 
+(* Cluster benches: the serving tier of docs/CLUSTER.md.  Two halves:
+
+   - snapshot warm start: a journal of N verdict records opened by
+     full replay vs the same records compacted into a hash-indexed
+     snapshot and opened in O(1) reads.  The section asserts the
+     ISSUE-9 acceptance gate (snapshot open >= 10x faster than
+     replay open at the full record count).
+   - shard scaling: the same verified load driven through an
+     in-process router over 1, 2 and 4 daemon shards; the report
+     carries req/s and p99 per width and `diff --section cluster`
+     gates both.  Correctness stays asserted (zero disagreements,
+     zero errors) — scaling never trades bytes for speed. *)
+
+let cluster_bench ?(quick = false) () =
+  Printf.printf "\n== cluster: snapshot warm start + router shard scaling ==\n";
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sf-bench-cluster-%d%s" (Unix.getpid ()) name)
+  in
+  (* -- snapshot open vs replay open ------------------------------- *)
+  let records = if quick then 20_000 else 100_000 in
+  let journal = tmp ".store" and snap = tmp ".snap" in
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ journal; snap ];
+  let t = Intmat.of_ints [ [ 1; 1; -1 ]; [ 1; 4; 1 ] ] in
+  let entry =
+    { Server.Store.conflict_free = true; full_rank = true;
+      decided_by = "bench"; witness = None }
+  in
+  let s = Server.Store.open_ ~fsync_every:10_000 journal in
+  for i = 1 to records do
+    (* Distinct mu per record: every key is unique, as in a real
+       journal grown by a fresh-instance workload. *)
+    Server.Store.add s ~mu:[| i; (i mod 97) + 1; (i mod 89) + 1 |] t entry
+  done;
+  Server.Store.close s;
+  let replay = Server.Store.open_ ~fsync_every:10_000 journal in
+  let replay_stats = Server.Store.stats replay in
+  assert (replay_stats.Server.Store.loaded = records);
+  let replay_ms = replay_stats.Server.Store.open_ms in
+  ignore (Server.Store.compact_to_snapshot replay ~snapshot:snap);
+  Server.Store.close replay;
+  let warm = Server.Store.open_ ~snapshot:snap journal in
+  let warm_stats = Server.Store.stats warm in
+  assert (warm_stats.Server.Store.provenance = "snapshot+tail");
+  assert (warm_stats.Server.Store.snap_entries = records);
+  let snapshot_ms = warm_stats.Server.Store.open_ms in
+  (* The warm store still serves: spot-check a key through the index. *)
+  assert (Server.Store.find warm ~mu:[| 1; 2; 2 |] t = Some entry);
+  Server.Store.close warm;
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ journal; snap ];
+  let speedup = replay_ms /. Float.max 0.01 snapshot_ms in
+  Printf.printf
+    "snapshot warm start: %d records  replay open %.1f ms  snapshot open %.2f ms  \
+     (%.0fx)\n"
+    records replay_ms snapshot_ms speedup;
+  if speedup < 10. then begin
+    Printf.eprintf "FAIL: snapshot open speedup %.1fx < 10x\n" speedup;
+    exit 1
+  end;
+  (* -- router shard scaling --------------------------------------- *)
+  let requests = if quick then 1_000 else 4_000 in
+  let concurrency = 8 and distinct = 64 in
+  let width_pass shards =
+    let shard_paths =
+      List.init shards (fun i ->
+          (tmp (Printf.sprintf "-s%d.sock" i), tmp (Printf.sprintf "-s%d.store" i)))
+    in
+    let daemons =
+      List.map
+        (fun (sock, store_path) ->
+          if Sys.file_exists store_path then Sys.remove store_path;
+          let cfg =
+            {
+              (Server.Daemon.default_config (Server.Daemon.Unix_sock sock)) with
+              jobs = Some 2;
+              store_path = Some store_path;
+            }
+          in
+          let d = Server.Daemon.create cfg in
+          (d, Thread.create Server.Daemon.run d))
+        shard_paths
+    in
+    let rsock = tmp (Printf.sprintf "-r%d.sock" shards) in
+    let specs =
+      List.map
+        (fun (sock, store_path) ->
+          { Cluster.Router.primary = `Unix sock; follower = None;
+            journal = Some store_path })
+        shard_paths
+    in
+    let router =
+      Cluster.Router.create
+        {
+          (Cluster.Router.default_config (Server.Daemon.Unix_sock rsock) specs) with
+          pool_size = 2;
+          health_interval_ms = 60_000;
+        }
+    in
+    let rth = Thread.create Cluster.Router.run router in
+    let r =
+      Server.Client.load (`Unix rsock)
+        { Server.Client.default_load with requests; concurrency; distinct;
+          transport = Server.Wire.V2; pipeline = 8 }
+    in
+    Cluster.Router.initiate_drain router;
+    Thread.join rth;
+    List.iter
+      (fun (d, th) ->
+        Server.Daemon.initiate_drain d;
+        Thread.join th)
+      daemons;
+    List.iter
+      (fun (sock, store_path) ->
+        List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ sock; store_path ])
+      shard_paths;
+    assert (r.Server.Client.disagreements = 0);
+    assert (r.Server.Client.errors = 0);
+    Printf.printf
+      "%d shard%s  %5d req  p50 %6.2f ms  p99 %6.2f ms  %7.0f req/s  shed %d\n"
+      shards (if shards = 1 then " " else "s") requests r.Server.Client.p50_ms
+      r.Server.Client.p99_ms r.Server.Client.rps r.Server.Client.shed;
+    Json.Obj
+      [
+        ("shards", Json.Int shards);
+        ("p50_ms", Json.Float r.Server.Client.p50_ms);
+        ("p99_ms", Json.Float r.Server.Client.p99_ms);
+        ("requests_per_s", Json.Float r.Server.Client.rps);
+        ( "shed_rate",
+          Json.Float (float_of_int r.Server.Client.shed /. float_of_int requests) );
+      ]
+  in
+  let widths = List.map width_pass [ 1; 2; 4 ] in
+  Json.Obj
+    [
+      ( "snapshot",
+        Json.Obj
+          [
+            ("records", Json.Int records);
+            ("replay_open_ms", Json.Float replay_ms);
+            ("snapshot_open_ms", Json.Float snapshot_ms);
+            ("speedup", Json.Float speedup);
+          ] );
+      ("requests", Json.Int requests);
+      ("widths", Json.Arr widths);
+    ]
+
 (* Family benches: a structurally-repetitive mu-sweep — few distinct
    mapping matrices, many index-set sizes each, every (T, mu) pair
    fresh.  The concrete verdict cache keys on (T, mu) and so never
@@ -1045,6 +1191,7 @@ let perf ?(quick = false) ?out () =
   let serve = serve_bench ~quick () in
   let chaos = chaos_bench ~quick () in
   let exec_section = exec_bench ~quick () in
+  let cluster = cluster_bench ~quick () in
   let rev = git_rev () in
   let path =
     match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" rev
@@ -1065,6 +1212,7 @@ let perf ?(quick = false) ?out () =
         ("serve", serve);
         ("chaos", chaos);
         ("exec", exec_section);
+        ("cluster", cluster);
         ("phases", phases);
       ]
   in
@@ -1098,7 +1246,7 @@ let experiments =
 let usage () =
   Printf.eprintf
     "usage: main.exe [e1..e16 | engine | family | serve [--transport json|binary] | \
-     chaos | exec | quick | perf [--quick] [--out FILE] | \
+     chaos | exec | cluster | quick | perf [--quick] [--out FILE] | \
      diff OLD NEW [--threshold PCT] [--section NAME]]\n";
   exit 2
 
@@ -1159,9 +1307,10 @@ let () =
           else if name = "family" then ignore (family_bench ())
           else if name = "chaos" then ignore (chaos_bench ())
           else if name = "exec" then ignore (exec_bench ())
+          else if name = "cluster" then ignore (cluster_bench ())
           else
             Printf.eprintf
               "unknown experiment %s (e1..e16, engine, family, serve, chaos, exec, \
-               perf, diff, quick)\n"
+               cluster, perf, diff, quick)\n"
               name)
       names

@@ -1317,8 +1317,18 @@ let serve_cmd =
       value & opt int 32
       & info [ "fsync-every" ] ~docv:"N" ~doc:"Records between store fsyncs.")
   in
-  let run socket port jobs max_inflight queue batch store_path fsync_every max_transport
-      fmt obs =
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Hash-indexed store snapshot ($(b,compact) writes it): the store \
+             warm-starts from it and serves memory misses out of its index \
+             (docs/CLUSTER.md).")
+  in
+  let run socket port jobs max_inflight queue batch store_path fsync_every snapshot_path
+      max_transport fmt obs =
     obs_begin obs;
     let listen =
       match port with
@@ -1333,11 +1343,18 @@ let serve_cmd =
         queue_capacity = queue;
         batch_max = batch;
         store_path;
+        snapshot_path;
         fsync_every;
         max_transport;
       }
     in
     let t = Server.Daemon.create cfg in
+    (match Server.Daemon.store t with
+    | Some st ->
+      let s = Server.Store.stats st in
+      Printf.eprintf "store: %d records in %.1f ms (%s)\n%!" s.Server.Store.entries
+        s.Server.Store.open_ms s.Server.Store.provenance
+    | None -> ());
     (* [wake] is the only thing a signal handler may touch: one
        self-pipe write, no locks.  [run] turns it into a graceful
        drain — in-flight budgets cancelled, accepted work flushed. *)
@@ -1369,8 +1386,190 @@ let serve_cmd =
           persistent verdict store (protocol in docs/SERVER.md)")
     Term.(
       const run $ socket_arg $ port_arg $ jobs_arg $ inflight_arg $ queue_cap_arg
-      $ batch_arg $ store_path_arg $ fsync_arg $ serve_transport_arg $ format_arg
-      $ obs_term)
+      $ batch_arg $ store_path_arg $ fsync_arg $ snapshot_arg $ serve_transport_arg
+      $ format_arg $ obs_term)
+
+(* ------------------------------ compact ---------------------------- *)
+
+let compact_cmd =
+  let store_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE" ~doc:"Store journal to compact.")
+  in
+  let snapshot_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:"Snapshot file to write (replaced atomically; also merged in when it \
+                already exists).")
+  in
+  let run store_path snapshot fmt obs =
+    obs_begin obs;
+    let st = Server.Store.open_ ~snapshot store_path in
+    let before = Server.Store.stats st in
+    let records = Server.Store.compact_to_snapshot st ~snapshot in
+    Server.Store.close st;
+    (match fmt with
+    | Json_v2 ->
+      Json.print
+        (Json.versioned ~command:"compact"
+           (obs_fields obs
+              [
+                ("store", Json.Str store_path);
+                ("snapshot", Json.Str snapshot);
+                ("records", Json.Int records);
+                ("open_ms", Json.Float before.Server.Store.open_ms);
+                ("provenance", Json.Str before.Server.Store.provenance);
+              ]))
+    | Plain ->
+      Printf.printf "%d records -> %s (journal truncated; opened from %s in %.1f ms)\n"
+        records snapshot before.Server.Store.provenance before.Server.Store.open_ms);
+    obs_end obs fmt
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Rotate a store journal into a hash-indexed snapshot: every live record moves \
+          into the sorted, CRC-footed snapshot file and the journal is truncated to a \
+          bare header, so the next open is O(1) seeks instead of a full replay \
+          (docs/CLUSTER.md)")
+    Term.(const run $ store_arg $ snapshot_arg $ format_arg $ obs_term)
+
+(* ------------------------------- route ----------------------------- *)
+
+(* Socket specs accepted by [route --shard] and [client --shards]:
+   "tcp:PORT", "tcp:HOST:PORT", or a Unix socket path (optionally
+   "unix:PATH"). *)
+let parse_addr spec : Server.Client.addr =
+  let fail () =
+    raise
+      (Invalid_argument
+         (Printf.sprintf "bad address %S (want tcp:PORT, tcp:HOST:PORT or a socket path)"
+            spec))
+  in
+  match String.split_on_char ':' spec with
+  | [ "tcp"; port ] -> (
+    match int_of_string_opt port with Some p -> `Tcp ("127.0.0.1", p) | None -> fail ())
+  | [ "tcp"; host; port ] -> (
+    match int_of_string_opt port with Some p -> `Tcp (host, p) | None -> fail ())
+  | [ "unix"; path ] -> `Unix path
+  | [ _ ] when spec <> "" -> `Unix spec
+  | _ -> fail ()
+
+let parse_shard_spec spec =
+  match String.split_on_char ',' spec with
+  | primary :: rest ->
+    let follower = ref None and journal = ref None in
+    List.iter
+      (fun field ->
+        match String.index_opt field '=' with
+        | Some i -> (
+          let k = String.sub field 0 i
+          and v = String.sub field (i + 1) (String.length field - i - 1) in
+          match k with
+          | "follower" -> follower := Some (parse_addr v)
+          | "journal" -> journal := Some v
+          | _ -> raise (Invalid_argument ("unknown shard spec key: " ^ k)))
+        | None -> raise (Invalid_argument ("bad shard spec field (want key=value): " ^ field)))
+      rest;
+    { Cluster.Router.primary = parse_addr primary; follower = !follower; journal = !journal }
+  | [] -> raise (Invalid_argument "empty shard spec")
+
+let route_cmd =
+  let shard_arg =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "shard" ] ~docv:"SPEC"
+          ~doc:
+            "One shard (repeatable, ring order): \
+             $(i,ADDR)[,follower=$(i,ADDR)][,journal=$(i,FILE)] where $(i,ADDR) is \
+             $(b,tcp:PORT), $(b,tcp:HOST:PORT) or a Unix socket path.  $(i,journal) \
+             (the primary's store journal) plus $(i,follower) enable replication and \
+             promotion-on-death.")
+  in
+  let pool_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "pool" ] ~docv:"N" ~doc:"Pipelined upstream connections per shard.")
+  in
+  let health_interval_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "health-interval-ms" ] ~docv:"MS"
+          ~doc:"Milliseconds between shard health probes (and shipping pumps).")
+  in
+  let health_threshold_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "health-threshold" ] ~docv:"N"
+          ~doc:"Consecutive probe failures before the follower is promoted.")
+  in
+  let vnodes_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "vnodes" ] ~docv:"N" ~doc:"Consistent-hash ring points per shard.")
+  in
+  let shard_transport_arg =
+    Arg.(
+      value
+      & opt transport_conv Server.Wire.V2
+      & info [ "shard-transport" ] ~docv:"T"
+          ~doc:"Wire dialect towards the shards: $(b,binary) (default) or $(b,json).")
+  in
+  let run socket port shards pool health_interval_ms health_threshold vnodes
+      shard_transport max_transport fmt obs =
+    obs_begin obs;
+    let listen =
+      match port with
+      | Some p -> Server.Daemon.Tcp p
+      | None -> Server.Daemon.Unix_sock socket
+    in
+    let cfg =
+      {
+        Cluster.Router.listen;
+        shards = List.map parse_shard_spec shards;
+        pool_size = pool;
+        shard_transport;
+        max_transport;
+        health_interval_ms;
+        health_threshold;
+        vnodes;
+      }
+    in
+    let t = Cluster.Router.create cfg in
+    let handler = Sys.Signal_handle (fun _ -> Cluster.Router.wake t) in
+    let old_int = Sys.signal Sys.sigint handler in
+    let old_term = Sys.signal Sys.sigterm handler in
+    (match Cluster.Router.port t with
+    | Some p -> Printf.eprintf "routing on 127.0.0.1:%d (%d shards)\n%!" p (List.length shards)
+    | None -> Printf.eprintf "routing on %s (%d shards)\n%!" socket (List.length shards));
+    Cluster.Router.run t;
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigterm old_term;
+    (match fmt with
+    | Json_v2 ->
+      Json.print
+        (Json.versioned ~command:"route" (obs_fields obs (Cluster.Router.stats_fields t)))
+    | Plain ->
+      prerr_endline "drained";
+      List.iter
+        (fun (k, v) -> Printf.printf "%s = %s\n" k (Json.to_string v))
+        (Cluster.Router.stats_fields t));
+    obs_end obs fmt
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the cluster router: consistent-hash analyze requests across daemon \
+          shards, ship each shard's journal to its follower, and promote followers \
+          on shard death (docs/CLUSTER.md)")
+    Term.(
+      const run $ socket_arg $ port_arg $ shard_arg $ pool_arg $ health_interval_arg
+      $ health_threshold_arg $ vnodes_arg $ shard_transport_arg $ serve_transport_arg
+      $ format_arg $ obs_term)
 
 (* ------------------------------- client ----------------------------- *)
 
@@ -1423,11 +1622,26 @@ let client_cmd =
       & info [ "pipeline" ] ~docv:"N"
           ~doc:"Requests kept in flight per connection (replies are matched by id).")
   in
-  let run socket port requests concurrency distinct seed size no_verify deadline_ms
-      transport pipeline expect_no_shed out fmt obs =
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "shards" ] ~docv:"ADDRS"
+          ~doc:
+            "Comma-separated addresses ($(b,tcp:PORT), $(b,tcp:HOST:PORT) or socket \
+             paths) to round-robin the workers over — a router plus direct shard \
+             sockets, or a whole fleet; every reply is still verified byte-for-byte \
+             against local analysis, whichever server produced it.  Overrides \
+             $(b,--socket)/$(b,--port).")
+  in
+  let run socket port shards requests concurrency distinct seed size no_verify
+      deadline_ms transport pipeline expect_no_shed out fmt obs =
     obs_begin obs;
-    let addr =
-      match port with Some p -> `Tcp ("127.0.0.1", p) | None -> `Unix socket
+    let addrs =
+      match shards with
+      | Some specs -> List.map parse_addr specs
+      | None ->
+        [ (match port with Some p -> `Tcp ("127.0.0.1", p) | None -> `Unix socket) ]
     in
     let cfg =
       {
@@ -1442,7 +1656,7 @@ let client_cmd =
         pipeline;
       }
     in
-    let r = Server.Client.load addr cfg in
+    let r = Server.Client.load_any addrs cfg in
     let doc =
       Json.versioned ~command:"client"
         (obs_fields obs
@@ -1477,9 +1691,10 @@ let client_cmd =
          "Load-generate against a running daemon and verify its replies against direct \
           local analysis")
     Term.(
-      const run $ socket_arg $ port_arg $ requests_arg $ concurrency_arg $ distinct_arg
-      $ seed_arg $ size_arg $ no_verify_arg $ deadline_arg $ client_transport_arg
-      $ pipeline_arg $ expect_no_shed_arg $ out_arg $ format_arg $ obs_term)
+      const run $ socket_arg $ port_arg $ shards_arg $ requests_arg $ concurrency_arg
+      $ distinct_arg $ seed_arg $ size_arg $ no_verify_arg $ deadline_arg
+      $ client_transport_arg $ pipeline_arg $ expect_no_shed_arg $ out_arg $ format_arg
+      $ obs_term)
 
 (* ------------------------------- chaos ----------------------------- *)
 
@@ -1550,9 +1765,81 @@ let chaos_cmd =
             "Write the canonical fault log (one $(i,site#seq action) line each) to \
              $(docv); two runs with the same seed must produce identical files.")
   in
-  let run seed requests distinct size classes rate concurrency jobs transport
+  let cluster_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "cluster" ] ~docv:"SHARDS"
+          ~doc:
+            "Run the $(i,cluster) chaos harness instead: boot $(docv) shard daemons \
+             with followers behind an in-process router, kill one shard mid-load \
+             (fault site $(i,shard.kill)), promote its follower, and audit zero lost \
+             acked writes fleet-wide.  With the default $(b,--faults) the armed \
+             classes become just $(i,cluster) — the fleet's background traffic makes \
+             the io/conn sites nondeterministic (docs/CLUSTER.md).")
+  in
+  let write_fault_log fault_log lines =
+    match fault_log with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          List.iter
+            (fun line ->
+              output_string oc line;
+              output_char oc '\n')
+            lines)
+  in
+  let run_cluster ~shards ~seed ~requests ~distinct ~size ~classes ~rate ~transport
+      ~expect_converged ~out ~fault_log fmt obs =
+    let classes =
+      if classes = [ "io"; "worker"; "conn" ] then [ "cluster" ] else classes
+    in
+    let r =
+      Cluster.Chaos_cluster.run
+        { Cluster.Chaos_cluster.seed; requests; distinct; size; shards; classes;
+          rate; transport }
+    in
+    let doc =
+      Json.versioned ~command:"chaos"
+        (obs_fields obs
+           (match Cluster.Chaos_cluster.json_of_report r with
+           | Json.Obj fields -> fields
+           | other -> [ ("report", other) ]))
+    in
+    (match out with None -> () | Some path -> Obs.Export.write_file path doc);
+    write_fault_log fault_log r.Cluster.Chaos_cluster.fault_log;
+    (match fmt with
+    | Json_v2 -> Json.print doc
+    | Plain ->
+      Printf.printf
+        "%d requests over %d shards (%s transport): %d ok, %d errors, %d retried (%d \
+         attempts total)\n\
+         faults injected = %d (fingerprint %s)\n\
+         killed shard %d at request %d (%s), acked = %d, lost writes = %d, \
+         disagreements = %d -> %s\n\
+         p50 = %.2f ms  p95 = %.2f ms  p99 = %.2f ms\n"
+        r.Cluster.Chaos_cluster.requests r.Cluster.Chaos_cluster.shards
+        r.Cluster.Chaos_cluster.transport r.Cluster.Chaos_cluster.ok
+        r.Cluster.Chaos_cluster.errors r.Cluster.Chaos_cluster.retried
+        r.Cluster.Chaos_cluster.attempts r.Cluster.Chaos_cluster.faults
+        r.Cluster.Chaos_cluster.fingerprint r.Cluster.Chaos_cluster.killed_shard
+        r.Cluster.Chaos_cluster.killed_at
+        (if r.Cluster.Chaos_cluster.promoted then "follower promoted"
+         else "no promotion")
+        r.Cluster.Chaos_cluster.acked r.Cluster.Chaos_cluster.lost_writes
+        r.Cluster.Chaos_cluster.disagreements
+        (if r.Cluster.Chaos_cluster.converged then "converged" else "DIVERGED")
+        r.Cluster.Chaos_cluster.p50_ms r.Cluster.Chaos_cluster.p95_ms
+        r.Cluster.Chaos_cluster.p99_ms);
+    obs_end obs fmt;
+    if expect_converged && not r.Cluster.Chaos_cluster.converged then exit 1
+  in
+  let run seed requests distinct size classes rate concurrency jobs transport cluster
       expect_converged out fault_log fmt obs =
     obs_begin obs;
+    if cluster > 0 then
+      run_cluster ~shards:cluster ~seed ~requests ~distinct ~size ~classes ~rate
+        ~transport ~expect_converged ~out ~fault_log fmt obs
+    else begin
     let r =
       Server.Chaos.run
         {
@@ -1576,15 +1863,7 @@ let chaos_cmd =
            | other -> [ ("report", other) ]))
     in
     (match out with None -> () | Some path -> Obs.Export.write_file path doc);
-    (match fault_log with
-    | None -> ()
-    | Some path ->
-      Out_channel.with_open_bin path (fun oc ->
-          List.iter
-            (fun line ->
-              output_string oc line;
-              output_char oc '\n')
-            r.Server.Chaos.fault_log));
+    write_fault_log fault_log r.Server.Chaos.fault_log;
     (match fmt with
     | Json_v2 -> Json.print doc
     | Plain ->
@@ -1605,15 +1884,17 @@ let chaos_cmd =
         r.Server.Chaos.recovery_max_ms);
     obs_end obs fmt;
     if expect_converged && not r.Server.Chaos.converged then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Boot the in-process daemon under a seeded fault plan, drive verified requests \
+         "Boot the in-process daemon (or, with $(b,--cluster), a sharded fleet with \
+          followers and a router) under a seeded fault plan, drive verified requests \
           through the retrying client, and audit convergence (docs/RESILIENCE.md)")
     Term.(
       const run $ seed_arg $ requests_arg $ distinct_arg $ size_arg $ faults_arg
-      $ rate_arg $ concurrency_arg $ jobs_arg $ client_transport_arg
+      $ rate_arg $ concurrency_arg $ jobs_arg $ client_transport_arg $ cluster_arg
       $ expect_converged_arg $ out_arg $ fault_log_arg $ format_arg $ obs_term)
 
 (* ------------------------------- main ------------------------------ *)
@@ -1627,6 +1908,6 @@ let () =
           [
             hnf_cmd; analyze_cmd; family_cmd; optimize_cmd; simulate_cmd; exec_cmd;
             parse_cmd;
-            pareto_cmd; search_cmd; stats_cmd; fuzz_cmd; serve_cmd; client_cmd;
-            chaos_cmd;
+            pareto_cmd; search_cmd; stats_cmd; fuzz_cmd; serve_cmd; compact_cmd;
+            route_cmd; client_cmd; chaos_cmd;
           ]))

@@ -1,0 +1,348 @@
+(* Cluster chaos: boot a whole fleet in-process — N shard daemons, N
+   followers, one router — kill a shard mid-load, promote its
+   follower, and audit that the fleet never disagreed with ground
+   truth and never lost an acked write (docs/CLUSTER.md,
+   docs/RESILIENCE.md).
+
+   Determinism contract, stricter than single-daemon {!Server.Chaos}:
+   only the [cluster] fault class is armed by default.  The fleet's
+   background traffic (health probes, journal shipping, the daemons'
+   own accept/read paths) would consult the io/conn sites in
+   timing-dependent order; with those classes disabled a consult never
+   bumps a site counter ({!Fault}), so the armed sites —
+   [shard.kill], consulted once per request by the single driver
+   thread, and [route.forward], consulted once per forward on the
+   driver's synchronous request path — see a seed-reproducible
+   sequence, and two same-seed runs produce byte-identical fault
+   logs.  The kill -> catch-up -> promote transition itself runs
+   synchronously on the driver thread, between two requests. *)
+
+type config = {
+  seed : int;
+  requests : int;
+  distinct : int;
+  size : int;
+  shards : int;
+  classes : string list;
+  rate : float;
+  transport : Server.Wire.version;
+}
+
+let default_config =
+  {
+    seed = 42;
+    requests = 500;
+    distinct = 32;
+    size = 4;
+    shards = 3;
+    classes = [ "cluster" ];
+    rate = 0.1;
+    transport = Server.Wire.V1;
+  }
+
+type report = {
+  seed : int;
+  requests : int;
+  shards : int;
+  classes : string list;
+  rate : float;
+  transport : string;
+  ok : int;
+  errors : int;
+  retried : int;
+  attempts : int;
+  disagreements : int;
+  acked : int;
+  lost_writes : int;
+  faults : int;
+  site_counts : (string * int) list;
+  killed_shard : int;    (* -1 when the plan never fired shard.kill *)
+  killed_at : int;       (* request index of the kill, -1 when none *)
+  promoted : bool;
+  promotions : int;
+  fingerprint : string;
+  fault_log : string list;
+  converged : bool;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  wall_s : float;
+}
+
+let path_counter = Atomic.make 0
+
+let fresh_path prefix suffix =
+  Printf.sprintf "%s/%s-%d-%d%s"
+    (Filename.get_temp_dir_name ())
+    prefix (Unix.getpid ())
+    (Atomic.fetch_and_add path_counter 1)
+    suffix
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let reply_field reply name =
+  match Json.member name reply with Some (Json.Str s) -> Some s | _ -> None
+
+let shard_daemon ~sock ~journal =
+  Server.Daemon.create
+    {
+      (Server.Daemon.default_config (Server.Daemon.Unix_sock sock)) with
+      jobs = Some 1;
+      store_path = Some journal;
+      (* Small fsync interval, as in single-daemon chaos: acked
+         writes reach the journal file promptly. *)
+      fsync_every = 4;
+    }
+
+let run (cfg : config) =
+  if cfg.requests < 1 then invalid_arg "Chaos_cluster.run: requests must be >= 1";
+  if cfg.distinct < 1 then invalid_arg "Chaos_cluster.run: distinct must be >= 1";
+  if cfg.shards < 1 then invalid_arg "Chaos_cluster.run: shards must be >= 1";
+  let router_sock = fresh_path "cluster" ".sock" in
+  let shard_socks = Array.init cfg.shards (fun i -> fresh_path (Printf.sprintf "shard%d" i) ".sock") in
+  let shard_journals =
+    Array.init cfg.shards (fun i -> fresh_path (Printf.sprintf "shard%d" i) ".journal")
+  in
+  let follower_socks =
+    Array.init cfg.shards (fun i -> fresh_path (Printf.sprintf "follower%d" i) ".sock")
+  in
+  let follower_journals =
+    Array.init cfg.shards (fun i -> fresh_path (Printf.sprintf "follower%d" i) ".journal")
+  in
+  let instances =
+    Array.init cfg.distinct (fun i -> Check.Gen.ith ~seed:cfg.seed ~size:cfg.size i)
+  in
+  (* Ground truth before any plan is armed. *)
+  let expected =
+    Array.map
+      (fun (inst : Check.Instance.t) ->
+        Json.to_string
+          (Server.Protocol.json_of_wire
+             (Server.Protocol.wire_of_verdict
+                (Analysis.check ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat))))
+      instances
+  in
+  let shard_daemons =
+    Array.init cfg.shards (fun i ->
+        shard_daemon ~sock:shard_socks.(i) ~journal:shard_journals.(i))
+  in
+  let follower_daemons =
+    Array.init cfg.shards (fun i ->
+        shard_daemon ~sock:follower_socks.(i) ~journal:follower_journals.(i))
+  in
+  let shard_threads = Array.map (fun d -> Thread.create Server.Daemon.run d) shard_daemons in
+  let follower_threads =
+    Array.map (fun d -> Thread.create Server.Daemon.run d) follower_daemons
+  in
+  let router =
+    Router.create
+      {
+        (Router.default_config (Server.Daemon.Unix_sock router_sock)
+           (Array.to_list
+              (Array.init cfg.shards (fun i ->
+                   {
+                     Router.primary = `Unix shard_socks.(i);
+                     follower = Some (`Unix follower_socks.(i));
+                     journal = Some shard_journals.(i);
+                   }))))
+        with
+        pool_size = 1;
+        shard_transport = cfg.transport;
+        (* Quiet monitor: the driver performs the kill and promotion
+           itself, at a deterministic point in the request stream. *)
+        health_interval_ms = 60_000;
+      }
+  in
+  let router_thread = Thread.create Router.run router in
+  let plan = Fault.Plan.make ~rate:cfg.rate ~seed:cfg.seed ~classes:cfg.classes () in
+  Fault.Plan.arm plan;
+  let session =
+    Server.Client.session
+      ~retry:{ Server.Client.default_retry with retry_seed = cfg.seed }
+      ~transport:cfg.transport (`Unix router_sock)
+  in
+  let kill_target = cfg.seed mod cfg.shards in
+  let killed_at = ref (-1) in
+  let promoted = ref false in
+  let ok = ref 0
+  and errors = ref 0
+  and retried = ref 0
+  and attempts = ref 0
+  and disagreements = ref 0 in
+  let latencies = Array.make cfg.requests nan in
+  let acked = Array.make cfg.distinct false in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to cfg.requests - 1 do
+    (* One kill per run, armed only after a warm-up third of the load:
+       there must be acked writes on the doomed shard for the audit to
+       mean anything. *)
+    if !killed_at < 0 && i >= cfg.requests / 3 && Fault.should_fail "shard.kill" then begin
+      killed_at := i;
+      Server.Daemon.initiate_drain shard_daemons.(kill_target);
+      Thread.join shard_threads.(kill_target);
+      promoted := Router.promote_shard router kill_target
+    end;
+    let idx = i mod cfg.distinct in
+    let inst = instances.(idx) in
+    let req =
+      Server.Protocol.analyze ~id:(Json.Int i) ~mu:inst.Check.Instance.mu
+        inst.Check.Instance.tmat
+    in
+    let r0 = Unix.gettimeofday () in
+    match Server.Client.call session req with
+    | Error _ -> incr errors
+    | Ok (reply, tries) ->
+      latencies.(i) <- 1000. *. (Unix.gettimeofday () -. r0);
+      attempts := !attempts + tries;
+      if tries > 1 then incr retried;
+      if Server.Protocol.reply_ok reply then begin
+        incr ok;
+        (match Json.member "verdict" reply with
+        | Some v when Json.to_string v = expected.(idx) -> ()
+        | _ -> incr disagreements);
+        match reply_field reply "store" with
+        | Some ("hit" | "miss" | "family") -> acked.(idx) <- true
+        | _ -> ()
+      end
+      else incr errors
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Server.Client.close_session session;
+  (* Shutdown is not under test; disarm so the drains run clean and
+     every journal is fully flushed before the audit reopens it. *)
+  Fault.Plan.disarm ();
+  let killed = !killed_at >= 0 in
+  Router.initiate_drain router;
+  Thread.join router_thread;
+  Array.iteri
+    (fun i d ->
+      if not (killed && i = kill_target) then begin
+        Server.Daemon.initiate_drain d;
+        Thread.join shard_threads.(i)
+      end)
+    shard_daemons;
+  Array.iteri
+    (fun i d ->
+      Server.Daemon.initiate_drain d;
+      Thread.join follower_threads.(i))
+    follower_daemons;
+  (* The audit re-derives placement through the same ring and checks
+     every acked write in the journal that must now hold it: the
+     follower's for the killed shard, the primary's otherwise. *)
+  let ring = Router.ring router in
+  let stores = Hashtbl.create cfg.shards in
+  let store_for shard =
+    match Hashtbl.find_opt stores shard with
+    | Some s -> s
+    | None ->
+      let path =
+        if killed && shard = kill_target then follower_journals.(shard)
+        else shard_journals.(shard)
+      in
+      let s = Server.Store.open_ path in
+      Hashtbl.add stores shard s;
+      s
+  in
+  let lost_writes = ref 0 in
+  Array.iteri
+    (fun idx was_acked ->
+      if was_acked then begin
+        let inst = instances.(idx) in
+        let shard = Ring.shard_of ring (Server.Store.family_hash inst.Check.Instance.tmat) in
+        match
+          Server.Store.find (store_for shard) ~mu:inst.Check.Instance.mu
+            inst.Check.Instance.tmat
+        with
+        | Some e
+          when Json.to_string (Server.Protocol.json_of_wire (Server.Protocol.wire_of_entry e))
+               = expected.(idx) -> ()
+        | Some _ | None -> incr lost_writes
+      end)
+    acked;
+  Hashtbl.iter (fun _ s -> Server.Store.close s) stores;
+  let cleanup p = try Sys.remove p with Sys_error _ -> () in
+  cleanup router_sock;
+  Array.iter cleanup shard_socks;
+  Array.iter cleanup follower_socks;
+  Array.iter
+    (fun j ->
+      cleanup j;
+      cleanup (j ^ ".quarantine"))
+    (Array.append shard_journals follower_journals);
+  let events = Fault.Plan.events plan in
+  let site_counts =
+    List.map
+      (fun (site, _) ->
+        (site, List.length (List.filter (fun e -> e.Fault.Plan.site = site) events)))
+      Fault.Plan.site_catalogue
+  in
+  let lat =
+    let xs =
+      Array.of_list
+        (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list latencies))
+    in
+    Array.sort compare xs;
+    xs
+  in
+  {
+    seed = cfg.seed;
+    requests = cfg.requests;
+    shards = cfg.shards;
+    classes = cfg.classes;
+    rate = cfg.rate;
+    transport = Server.Wire.version_name cfg.transport;
+    ok = !ok;
+    errors = !errors;
+    retried = !retried;
+    attempts = !attempts;
+    disagreements = !disagreements;
+    acked = Array.fold_left (fun n b -> if b then n + 1 else n) 0 acked;
+    lost_writes = !lost_writes;
+    faults = Fault.Plan.faults_injected plan;
+    site_counts;
+    killed_shard = (if killed then kill_target else -1);
+    killed_at = !killed_at;
+    promoted = !promoted;
+    promotions = (if !promoted then 1 else 0);
+    fingerprint = Fault.Plan.fingerprint plan;
+    fault_log = Fault.Plan.log_lines plan;
+    converged = !disagreements = 0 && !lost_writes = 0 && !ok > 0 && (not killed || !promoted);
+    p50_ms = percentile lat 0.50;
+    p95_ms = percentile lat 0.95;
+    p99_ms = percentile lat 0.99;
+    wall_s;
+  }
+
+let json_of_report r =
+  Json.Obj
+    [
+      ("seed", Json.Int r.seed);
+      ("requests", Json.Int r.requests);
+      ("shards", Json.Int r.shards);
+      ("classes", Json.Arr (List.map (fun c -> Json.Str c) r.classes));
+      ("rate", Json.Float r.rate);
+      ("transport", Json.Str r.transport);
+      ("ok", Json.Int r.ok);
+      ("errors", Json.Int r.errors);
+      ("retried", Json.Int r.retried);
+      ("attempts", Json.Int r.attempts);
+      ("disagreements", Json.Int r.disagreements);
+      ("acked", Json.Int r.acked);
+      ("lost_writes", Json.Int r.lost_writes);
+      ("faults", Json.Int r.faults);
+      ( "site_counts",
+        Json.Obj (List.map (fun (s, n) -> (s, Json.Int n)) r.site_counts) );
+      ("killed_shard", Json.Int r.killed_shard);
+      ("killed_at", Json.Int r.killed_at);
+      ("promoted", Json.Bool r.promoted);
+      ("promotions", Json.Int r.promotions);
+      ("fingerprint", Json.Str r.fingerprint);
+      ("converged", Json.Bool r.converged);
+      ("p50_ms", Json.Float r.p50_ms);
+      ("p95_ms", Json.Float r.p95_ms);
+      ("p99_ms", Json.Float r.p99_ms);
+      ("wall_s", Json.Float r.wall_s);
+    ]

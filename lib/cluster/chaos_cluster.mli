@@ -1,0 +1,72 @@
+(** Cluster chaos: kill a shard under load, promote its follower, and
+    prove nothing was lost (docs/CLUSTER.md, docs/RESILIENCE.md).
+
+    {!run} boots a whole fleet in-process — [shards] primary daemons,
+    one follower each, one {!Router} — and drives [requests] analyze
+    queries through the router from a single retrying session.  An
+    armed {!Fault.Plan} decides, at the [shard.kill] site, when the
+    doomed shard (index [seed mod shards]) dies; the driver drains it,
+    calls {!Router.promote_shard}, and keeps going.  After the run the
+    audit re-derives placement through the same {!Ring} and reopens
+    the journal that must now hold each acked write — the follower's
+    for the killed shard — and compares byte-for-byte with a
+    fault-free ground truth.
+
+    Determinism: with the default [classes = ["cluster"]] only
+    [shard.kill] and [route.forward] are armed, both consulted on the
+    single driver thread's synchronous request path; the fleet's
+    background traffic consults only {e disabled} sites, which never
+    bump counters — so two same-seed runs produce byte-identical
+    fault logs (the CI cluster-smoke job diffs them). *)
+
+type config = {
+  seed : int;
+  requests : int;
+  distinct : int;
+  size : int;
+  shards : int;
+  classes : string list;
+  rate : float;
+  transport : Server.Wire.version;
+}
+
+val default_config : config
+(** Seed 42, 500 requests, 32 distinct instances, size 4, 3 shards,
+    classes [["cluster"]], rate 0.1, v1 transport. *)
+
+type report = {
+  seed : int;
+  requests : int;
+  shards : int;
+  classes : string list;
+  rate : float;
+  transport : string;
+  ok : int;
+  errors : int;
+  retried : int;
+  attempts : int;
+  disagreements : int;   (** Replies differing from ground truth. *)
+  acked : int;           (** Distinct instances with an acked write. *)
+  lost_writes : int;     (** Acked writes missing from the owning journal. *)
+  faults : int;
+  site_counts : (string * int) list;
+  killed_shard : int;    (** [-1] when the plan never fired [shard.kill]. *)
+  killed_at : int;       (** Request index of the kill, [-1] when none. *)
+  promoted : bool;
+  promotions : int;
+  fingerprint : string;
+  fault_log : string list;
+  converged : bool;
+      (** Zero disagreements, zero lost acked writes, some successes —
+          and, if a kill fired, a successful promotion. *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  wall_s : float;
+}
+
+val run : config -> report
+(** @raise Invalid_argument on a non-positive [requests], [distinct]
+    or [shards]. *)
+
+val json_of_report : report -> Json.t

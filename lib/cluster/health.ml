@@ -1,0 +1,35 @@
+(* Consecutive-failure shard health tracking.  Deliberately tiny: the
+   router's monitor thread feeds it one probe result per interval and
+   acts on the single [`Failed] edge it reports. *)
+
+type verdict = [ `Ok | `Failed ]
+
+type t = {
+  threshold : int;
+  mutable consecutive : int;
+  mutable probes : int;
+  mutable failures : int;
+}
+
+let create ?(threshold = 3) () =
+  if threshold < 1 then invalid_arg "Health.create: threshold must be >= 1";
+  { threshold; consecutive = 0; probes = 0; failures = 0 }
+
+let note t ~ok : verdict =
+  t.probes <- t.probes + 1;
+  if ok then begin
+    t.consecutive <- 0;
+    `Ok
+  end
+  else begin
+    t.failures <- t.failures + 1;
+    t.consecutive <- t.consecutive + 1;
+    (* Report the threshold crossing exactly once; staying down is not
+       news — the router must not re-promote on every later probe. *)
+    if t.consecutive = t.threshold then `Failed else `Ok
+  end
+
+let consecutive t = t.consecutive
+let probes t = t.probes
+let failures t = t.failures
+let threshold t = t.threshold

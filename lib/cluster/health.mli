@@ -1,0 +1,24 @@
+(** Consecutive-failure health tracking for one shard.
+
+    The router's monitor probes each shard with a [ping] every health
+    interval and feeds the result to {!note}; when [threshold]
+    failures arrive in a row, {!note} reports [`Failed] {e once} — the
+    edge on which the router promotes the shard's follower
+    (docs/CLUSTER.md).  Not thread-safe; the monitor thread owns it. *)
+
+type verdict = [ `Ok | `Failed ]
+
+type t
+
+val create : ?threshold:int -> unit -> t
+(** Default threshold 3.
+    @raise Invalid_argument when [threshold < 1]. *)
+
+val note : t -> ok:bool -> verdict
+(** Record one probe.  [`Failed] exactly when this probe is the
+    [threshold]-th consecutive failure; a success resets the streak. *)
+
+val consecutive : t -> int
+val probes : t -> int
+val failures : t -> int
+val threshold : t -> int

@@ -1,0 +1,652 @@
+(* The cluster router: one process that makes N daemon shards look
+   like one daemon (docs/CLUSTER.md).
+
+   Downstream it speaks the same versioned wire protocol as the
+   daemon — v1 JSON lines by default, v2 binary after a [hello] — one
+   thread per accepted client.  Upstream it keeps a small pool of
+   pipelined connections per shard; requests are restamped with a
+   router-unique integer id, the original id parked in the pool
+   connection's pending table, and a per-connection reader thread
+   matches replies back and restamps them on the way out.  [analyze]
+   routes by the matrix-only family hash through the consistent-hash
+   {!Ring} (so the content key and its mu-parametric family stay on
+   one shard); the stateless ops round-robin over live shards;
+   [ping]/[stats]/[drain]/[hello] answer inline; [ship] is rejected —
+   it is the replication channel, shard-direct by contract.
+
+   Failover: a monitor thread pings every shard each health interval
+   and pumps its journal {!Shipper}; when {!Health} reports the
+   threshold crossing, the shard's follower is caught up from the
+   primary's journal and promoted in place.  {!promote_shard} exposes
+   the same transition synchronously for the chaos harness, which
+   needs the kill -> promote sequence at a deterministic point in its
+   request stream.
+
+   Lock order: shard [s_lock] > pool connection [u_plock] > client
+   [c_olock].  Fault sites: [route.forward] (class [cluster]) is
+   consulted once per forwarded request, on the client's thread, so a
+   single-driver chaos run consults it at a seed-reproducible
+   sequence. *)
+
+type shard_spec = {
+  primary : Server.Client.addr;
+  follower : Server.Client.addr option;
+  journal : string option;
+}
+
+type config = {
+  listen : Server.Daemon.listen;
+  shards : shard_spec list;
+  pool_size : int;
+  shard_transport : Server.Wire.version;
+  max_transport : Server.Wire.version;
+  health_interval_ms : int;
+  health_threshold : int;
+  vnodes : int;
+}
+
+let default_config listen shards =
+  {
+    listen;
+    shards;
+    pool_size = 2;
+    shard_transport = Server.Wire.V2;
+    max_transport = Server.Wire.V2;
+    health_interval_ms = 1000;
+    health_threshold = 3;
+    vnodes = 64;
+  }
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_dec : Server.Wire.decoder;
+  c_olock : Mutex.t;
+  mutable c_version : Server.Wire.version;
+  mutable c_closed : bool;
+}
+
+type pending = { p_client : client; p_id : Json.t }
+
+type uconn = {
+  u : Server.Client.conn;
+  u_send : Mutex.t;
+  u_pending : (int, pending) Hashtbl.t;
+  u_plock : Mutex.t;
+  mutable u_dead : bool;
+  mutable u_reader : Thread.t option;
+}
+
+type shard = {
+  idx : int;
+  spec : shard_spec;
+  s_lock : Mutex.t;
+  mutable target : Server.Client.addr;
+  mutable alive : bool;
+  mutable promoted : bool;
+  mutable pool : uconn list;
+  mutable next_conn : int;
+  mutable forwarded : int;
+  mutable shed : int;
+  health : Health.t;
+  shipper : Shipper.t option;
+}
+
+type t = {
+  cfg : config;
+  ring : Ring.t;
+  shards : shard array;
+  listen_fd : Unix.file_descr;
+  sock_path : string option;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  next_rid : int Atomic.t;
+  stopping : bool Atomic.t;
+  rr : int Atomic.t;  (* round-robin cursor for the stateless ops *)
+  lock : Mutex.t;     (* clients list + global counters *)
+  mutable clients : (client * Thread.t) list;
+  mutable accepted : int;
+  mutable promotions : int;
+}
+
+let m_forwarded = Obs.Metrics.counter "router.forwarded"
+let m_shed = Obs.Metrics.counter "router.shed"
+let m_promotions = Obs.Metrics.counter "router.promotions"
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ----------------------------- listening --------------------------- *)
+
+let bind_unix path =
+  if Sys.file_exists path then begin
+    (* Same stale-socket policy as the daemon: probe; unlink only a
+       dead socket; never unlink a non-socket. *)
+    let probe = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    (match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () ->
+      Unix.close probe;
+      failwith (Printf.sprintf "Router.create: %s already has a live listener" path)
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+      Unix.close probe;
+      Unix.unlink path
+    | exception Unix.Unix_error _ -> Unix.close probe (* let bind fail loudly *))
+  end;
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let bind_tcp port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let addr_string : Server.Client.addr -> string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* ------------------------------ create ----------------------------- *)
+
+let create (cfg : config) =
+  if cfg.shards = [] then invalid_arg "Router.create: no shards";
+  if cfg.pool_size < 1 then invalid_arg "Router.create: pool_size must be >= 1";
+  let listen_fd, sock_path =
+    match cfg.listen with
+    | Server.Daemon.Unix_sock path -> (bind_unix path, Some path)
+    | Server.Daemon.Tcp port -> (bind_tcp port, None)
+  in
+  let pipe_r, pipe_w = Unix.pipe () in
+  let shards =
+    Array.of_list
+      (List.mapi
+         (fun idx spec ->
+           {
+             idx;
+             spec;
+             s_lock = Mutex.create ();
+             target = spec.primary;
+             alive = true;
+             promoted = false;
+             pool = [];
+             next_conn = 0;
+             forwarded = 0;
+             shed = 0;
+             health = Health.create ~threshold:cfg.health_threshold ();
+             shipper =
+               (match (spec.journal, spec.follower) with
+               | Some journal, Some follower ->
+                 Some (Shipper.create ~journal ~transport:Server.Wire.V1 ~follower ())
+               | _ -> None);
+           })
+         cfg.shards)
+  in
+  {
+    cfg;
+    ring = Ring.make ~vnodes:cfg.vnodes (Array.length shards);
+    shards;
+    listen_fd;
+    sock_path;
+    pipe_r;
+    pipe_w;
+    next_rid = Atomic.make 1;
+    stopping = Atomic.make false;
+    rr = Atomic.make 0;
+    lock = Mutex.create ();
+    clients = [];
+    accepted = 0;
+    promotions = 0;
+  }
+
+let ring t = t.ring
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> Some p
+  | _ -> None
+
+(* --------------------------- client output ------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+let send_client c reply =
+  locked c.c_olock (fun () ->
+      if not c.c_closed then
+        try write_all c.c_fd (Server.Wire.encode c.c_version (Server.Wire.Text (Json.to_string reply)))
+        with Unix.Unix_error _ | Sys_error _ -> c.c_closed <- true)
+
+let close_client t c =
+  let was_open =
+    locked c.c_olock (fun () ->
+        let was = not c.c_closed in
+        c.c_closed <- true;
+        was)
+  in
+  if was_open then (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+  locked t.lock (fun () ->
+      t.clients <- List.filter (fun (cl, _) -> cl != c) t.clients)
+
+(* --------------------------- upstream pool ------------------------- *)
+
+let take_pending uc rid =
+  locked uc.u_plock (fun () ->
+      match Hashtbl.find_opt uc.u_pending rid with
+      | Some p ->
+        Hashtbl.remove uc.u_pending rid;
+        Some p
+      | None -> None)
+
+let drain_pendings uc =
+  locked uc.u_plock (fun () ->
+      let l = Hashtbl.fold (fun _ p acc -> p :: acc) uc.u_pending [] in
+      Hashtbl.reset uc.u_pending;
+      l)
+
+(* Idempotent: the first caller wins; every parked request completes
+   with a retriable [overloaded] so sessions re-issue elsewhere.  The
+   descriptor is only shut down here — the reader thread, the sole
+   blocked reader, closes it on its way out. *)
+let fail_uconn shard uc =
+  let first =
+    locked shard.s_lock (fun () ->
+        let first = not uc.u_dead in
+        uc.u_dead <- true;
+        if first then shard.pool <- List.filter (fun x -> x != uc) shard.pool;
+        first)
+  in
+  if first then begin
+    Server.Client.shutdown uc.u;
+    List.iter
+      (fun p ->
+        send_client p.p_client
+          (Server.Protocol.error_reply ~id:p.p_id ~code:"overloaded"
+             ~detail:(Printf.sprintf "shard %d connection lost" shard.idx)))
+      (drain_pendings uc)
+  end
+
+let restamp id = function
+  | Json.Obj fields ->
+    Json.Obj (List.map (fun (k, v) -> if k = "id" then (k, id) else (k, v)) fields)
+  | j -> j
+
+let upstream_reader shard uc =
+  let rec loop () =
+    let reply = Server.Client.recv uc.u in
+    (match Server.Protocol.reply_id reply with
+    | Json.Int rid -> (
+      match take_pending uc rid with
+      | Some p -> send_client p.p_client (restamp p.p_id reply)
+      | None -> () (* already failed over; the session re-issued *))
+    | _ -> () (* unroutable reply; drop *));
+    loop ()
+  in
+  (try loop () with Failure _ | Unix.Unix_error _ | Sys_error _ -> ());
+  fail_uconn shard uc;
+  Server.Client.close uc.u
+
+let get_uconn t shard =
+  locked shard.s_lock (fun () ->
+      if not shard.alive then None
+      else begin
+        let live = List.filter (fun uc -> not uc.u_dead) shard.pool in
+        let n = List.length live in
+        if n >= t.cfg.pool_size then begin
+          let uc = List.nth live (shard.next_conn mod n) in
+          shard.next_conn <- shard.next_conn + 1;
+          Some uc
+        end
+        else
+          match Server.Client.connect ~transport:t.cfg.shard_transport shard.target with
+          | u ->
+            let uc =
+              {
+                u;
+                u_send = Mutex.create ();
+                u_pending = Hashtbl.create 16;
+                u_plock = Mutex.create ();
+                u_dead = false;
+                u_reader = None;
+              }
+            in
+            uc.u_reader <- Some (Thread.create (fun () -> upstream_reader shard uc) ());
+            shard.pool <- uc :: shard.pool;
+            shard.next_conn <- shard.next_conn + 1;
+            Some uc
+          | exception (Unix.Unix_error _ | Failure _ | Sys_error _) -> None
+      end)
+
+(* ----------------------------- forwarding -------------------------- *)
+
+let send_upstream uc ~rid (req : Server.Protocol.request) =
+  locked uc.u_send (fun () ->
+      match req with
+      | Server.Protocol.Analyze { mu; tmat; deadline_ms } ->
+        Server.Client.send_analyze uc.u ~id:rid ?deadline_ms ~mu tmat
+      | Server.Protocol.Search { algorithm; mu; s; pareto; array_dim; deadline_ms } ->
+        Server.Client.send uc.u
+          (Server.Protocol.search ~id:(Json.Int rid) ?deadline_ms ?s ~pareto ~array_dim
+             ~algorithm ~mu ())
+      | Server.Protocol.Simulate { algorithm; mu; s; pi } ->
+        Server.Client.send uc.u
+          (Server.Protocol.simulate ~id:(Json.Int rid) ?s ~algorithm ~mu ~pi ())
+      | Server.Protocol.Replay { instance } ->
+        Server.Client.send uc.u (Server.Protocol.replay ~id:(Json.Int rid) instance)
+      | Server.Protocol.Ship _ | Server.Protocol.Ping | Server.Protocol.Stats
+      | Server.Protocol.Drain | Server.Protocol.Hello _ ->
+        invalid_arg "Router.send_upstream: inline op")
+
+let shed shard c ~id detail =
+  locked shard.s_lock (fun () -> shard.shed <- shard.shed + 1);
+  Obs.Metrics.incr m_shed;
+  send_client c (Server.Protocol.error_reply ~id ~code:"overloaded" ~detail)
+
+let forward t c ~id shard req =
+  if Fault.should_fail "route.forward" then
+    shed shard c ~id "fault injected: route.forward"
+  else
+    match get_uconn t shard with
+    | None -> shed shard c ~id (Printf.sprintf "shard %d unavailable" shard.idx)
+    | Some uc -> (
+      let rid = Atomic.fetch_and_add t.next_rid 1 in
+      locked uc.u_plock (fun () ->
+          Hashtbl.replace uc.u_pending rid { p_client = c; p_id = id });
+      match send_upstream uc ~rid req with
+      | () ->
+        locked shard.s_lock (fun () -> shard.forwarded <- shard.forwarded + 1);
+        Obs.Metrics.incr m_forwarded
+      | exception (Unix.Unix_error _ | Sys_error _ | Failure _) ->
+        let mine = take_pending uc rid <> None in
+        fail_uconn shard uc;
+        if mine then shed shard c ~id (Printf.sprintf "shard %d write failed" shard.idx))
+
+(* Round-robin over live shards for the ops that carry no key. *)
+let pick_rr t =
+  let n = Array.length t.shards in
+  let rec go tries =
+    if tries = n then None
+    else
+      let s = t.shards.(Atomic.fetch_and_add t.rr 1 mod n) in
+      if s.alive then Some s else go (tries + 1)
+  in
+  go 0
+
+(* ---------------------------- promotion ---------------------------- *)
+
+let promote_shard t idx =
+  if idx < 0 || idx >= Array.length t.shards then
+    invalid_arg "Router.promote_shard: no such shard";
+  let shard = t.shards.(idx) in
+  let already =
+    locked shard.s_lock (fun () ->
+        if shard.promoted then true
+        else begin
+          shard.alive <- false;
+          false
+        end)
+  in
+  if already then shard.alive
+  else begin
+    let pool = locked shard.s_lock (fun () -> shard.pool) in
+    List.iter (fun uc -> fail_uconn shard uc) pool;
+    match shard.spec.follower with
+    | None -> false (* no replica: the shard stays down *)
+    | Some follower ->
+      (* Catch the follower up from the primary's journal before any
+         request is redirected: every record the dead primary acked
+         (and drain-flushed) must be queryable on the follower first —
+         the zero-lost-acked-writes half of the failover contract. *)
+      (match shard.shipper with
+      | Some sh -> ignore (Shipper.catch_up sh)
+      | None -> ());
+      locked shard.s_lock (fun () ->
+          shard.target <- follower;
+          shard.promoted <- true;
+          shard.alive <- true);
+      locked t.lock (fun () -> t.promotions <- t.promotions + 1);
+      Obs.Metrics.incr m_promotions;
+      true
+  end
+
+(* ------------------------------ monitor ---------------------------- *)
+
+let probe addr =
+  match Server.Client.connect ~transport:Server.Wire.V1 addr with
+  | exception (Unix.Unix_error _ | Failure _ | Sys_error _) -> false
+  | c ->
+    let ok =
+      match Server.Client.request c (Server.Protocol.ping ()) with
+      | reply -> Server.Protocol.reply_ok reply
+      | exception (Unix.Unix_error _ | Failure _ | Sys_error _) -> false
+    in
+    Server.Client.close c;
+    ok
+
+let monitor t =
+  let interval = float_of_int t.cfg.health_interval_ms /. 1000. in
+  let rec sleep left =
+    if left > 0. && not (Atomic.get t.stopping) then begin
+      let d = Float.min left 0.05 in
+      Thread.delay d;
+      sleep (left -. d)
+    end
+  in
+  while not (Atomic.get t.stopping) do
+    sleep interval;
+    if not (Atomic.get t.stopping) then
+      Array.iter
+        (fun shard ->
+          (match shard.shipper with
+          | Some sh when not shard.promoted -> ignore (Shipper.pump sh)
+          | _ -> ());
+          if shard.alive && not shard.promoted then
+            match Health.note shard.health ~ok:(probe shard.target) with
+            | `Failed -> ignore (promote_shard t shard.idx)
+            | `Ok -> ())
+        t.shards
+  done
+
+(* ------------------------- drain and stats ------------------------- *)
+
+let wake t =
+  try ignore (Unix.write t.pipe_w (Bytes.of_string "d") 0 1)
+  with Unix.Unix_error _ -> ()
+
+let initiate_drain t = if not (Atomic.exchange t.stopping true) then wake t
+
+let stats_fields t =
+  let shards =
+    Array.to_list
+      (Array.map
+         (fun s ->
+           locked s.s_lock (fun () ->
+               Json.Obj
+                 [
+                   ("shard", Json.Int s.idx);
+                   ("target", Json.Str (addr_string s.target));
+                   ("alive", Json.Bool s.alive);
+                   ("promoted", Json.Bool s.promoted);
+                   ("pool", Json.Int (List.length s.pool));
+                   ("forwarded", Json.Int s.forwarded);
+                   ("shed", Json.Int s.shed);
+                   ("health_failures", Json.Int (Health.failures s.health));
+                   ( "watermark",
+                     Json.Int
+                       (match s.shipper with Some sh -> Shipper.watermark sh | None -> 0)
+                   );
+                 ]))
+         t.shards)
+  in
+  let accepted, promotions = locked t.lock (fun () -> (t.accepted, t.promotions)) in
+  [
+    ("role", Json.Str "router");
+    ("shards", Json.Arr shards);
+    ("vnodes", Json.Int t.cfg.vnodes);
+    ("accepted", Json.Int accepted);
+    ("promotions", Json.Int promotions);
+    ("draining", Json.Bool (Atomic.get t.stopping));
+    ("max_transport", Json.Str (Server.Wire.version_name t.cfg.max_transport));
+  ]
+
+(* ----------------------------- requests ---------------------------- *)
+
+let version_rank = function Server.Wire.V1 -> 1 | Server.Wire.V2 -> 2
+
+let handle_request t c ~id (req : Server.Protocol.request) =
+  match req with
+  | Server.Protocol.Ping -> send_client c (Server.Protocol.ok_reply ~id ~op:"ping" [])
+  | Server.Protocol.Stats ->
+    send_client c (Server.Protocol.ok_reply ~id ~op:"stats" (stats_fields t))
+  | Server.Protocol.Drain ->
+    send_client c
+      (Server.Protocol.ok_reply ~id ~op:"drain" [ ("draining", Json.Bool true) ]);
+    initiate_drain t
+  | Server.Protocol.Hello { transport } -> (
+    match Server.Wire.version_of_name transport with
+    | Some v when version_rank v <= version_rank t.cfg.max_transport ->
+      (* Ack in the current dialect, then switch both directions —
+         same switch point as the daemon's. *)
+      locked c.c_olock (fun () ->
+          if not c.c_closed then begin
+            (try
+               write_all c.c_fd
+                 (Server.Wire.encode c.c_version
+                    (Server.Wire.Text
+                       (Json.to_string
+                          (Server.Protocol.ok_reply ~id ~op:"hello"
+                             [ ("transport", Json.Str (Server.Wire.version_name v)) ]))))
+             with Unix.Unix_error _ | Sys_error _ -> c.c_closed <- true);
+            c.c_version <- v
+          end);
+      Server.Wire.set_version c.c_dec v
+    | Some _ | None ->
+      send_client c
+        (Server.Protocol.error_reply ~id ~code:"bad_request"
+           ~detail:(Printf.sprintf "unknown or disabled transport %S" transport)))
+  | Server.Protocol.Ship _ ->
+    send_client c
+      (Server.Protocol.error_reply ~id ~code:"bad_request"
+         ~detail:"ship is shard-direct; the router does not replicate")
+  | Server.Protocol.Analyze { tmat; _ } ->
+    let shard = t.shards.(Ring.shard_of t.ring (Server.Store.family_hash tmat)) in
+    forward t c ~id shard req
+  | Server.Protocol.Search _ | Server.Protocol.Simulate _ | Server.Protocol.Replay _
+    -> (
+    match pick_rr t with
+    | Some shard -> forward t c ~id shard req
+    | None ->
+      send_client c
+        (Server.Protocol.error_reply ~id ~code:"overloaded" ~detail:"no live shards"))
+
+(* --------------------------- client serving ------------------------ *)
+
+let handle_frame t c = function
+  | Server.Wire.Text line -> (
+    match Server.Protocol.request_of_line line with
+    | Ok env -> handle_request t c ~id:env.Server.Protocol.id env.Server.Protocol.req
+    | Error msg ->
+      send_client c (Server.Protocol.error_reply ~id:Json.Null ~code:"bad_request" ~detail:msg))
+  | Server.Wire.Bin_analyze { id; deadline_ms; mu; tmat } ->
+    handle_request t c ~id:(Json.Int id)
+      (Server.Protocol.Analyze { mu; tmat; deadline_ms })
+  | Server.Wire.Bin_verdict _ ->
+    send_client c
+      (Server.Protocol.error_reply ~id:Json.Null ~code:"bad_request"
+         ~detail:"unexpected verdict frame from a client")
+
+let rec pull_frames t c =
+  match Server.Wire.next c.c_dec with
+  | Server.Wire.Need_more -> true
+  | Server.Wire.Corrupt msg ->
+    send_client c (Server.Protocol.error_reply ~id:Json.Null ~code:"parse_error" ~detail:msg);
+    false
+  | Server.Wire.Frame f ->
+    handle_frame t c f;
+    pull_frames t c
+
+let serve_client t c =
+  let buf = Bytes.create 8192 in
+  let rec loop () =
+    match Unix.read c.c_fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+      Server.Wire.feed c.c_dec buf 0 n;
+      if pull_frames t c then loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception (Unix.Unix_error _ | Sys_error _) -> ()
+  in
+  (try loop () with _ -> ());
+  close_client t c
+
+(* ------------------------------- run ------------------------------- *)
+
+let run t =
+  let mon = Thread.create monitor t in
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.listen_fd; t.pipe_r ] [] [] (-1.) with
+      | ready, _, _ ->
+        if List.mem t.pipe_r ready then begin
+          (* A wake-up IS a drain request — signal handlers may only
+             write the pipe (same contract as the daemon's loop). *)
+          (let b = Bytes.create 16 in
+           try ignore (Unix.read t.pipe_r b 0 16) with Unix.Unix_error _ -> ());
+          Atomic.set t.stopping true
+        end;
+        if (not (Atomic.get t.stopping)) && List.mem t.listen_fd ready then (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+            let c =
+              {
+                c_fd = fd;
+                c_dec = Server.Wire.decoder Server.Wire.V1;
+                c_olock = Mutex.create ();
+                c_version = Server.Wire.V1;
+                c_closed = false;
+              }
+            in
+            let th = Thread.create (fun () -> serve_client t c) () in
+            locked t.lock (fun () ->
+                t.accepted <- t.accepted + 1;
+                t.clients <- (c, th) :: t.clients)
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Drain: stop listening, hang up on clients (shutdown wakes their
+     blocked reads), push the final journal tail, then dismantle the
+     upstream pools reader-first. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.sock_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ());
+  let clients = locked t.lock (fun () -> t.clients) in
+  List.iter
+    (fun (c, _) -> try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    clients;
+  List.iter (fun (_, th) -> Thread.join th) clients;
+  Thread.join mon;
+  Array.iter
+    (fun shard ->
+      let pool = locked shard.s_lock (fun () -> shard.pool) in
+      List.iter (fun uc -> fail_uconn shard uc) pool;
+      List.iter
+        (fun uc -> match uc.u_reader with Some th -> Thread.join th | None -> ())
+        pool;
+      match shard.shipper with
+      | Some sh ->
+        if not shard.promoted then ignore (Shipper.pump sh);
+        Shipper.close sh
+      | None -> ())
+    t.shards;
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_w with Unix.Unix_error _ -> ())

@@ -1,0 +1,95 @@
+(** The cluster router: one process that presents N daemon shards as a
+    single mapping-query service (docs/CLUSTER.md).
+
+    Downstream it speaks the daemon's versioned wire protocol — v1
+    JSON lines by default, v2 binary after a [hello] — so every
+    existing client works against a router unchanged.  Upstream it
+    keeps a pool of pipelined connections per shard: each forwarded
+    request is restamped with a router-unique integer id, matched back
+    by a per-connection reader thread, and restamped with the client's
+    original id on the way out.
+
+    Placement: [analyze] routes by the {e matrix-only}
+    {!Server.Store.family_hash} through the consistent-hash {!Ring},
+    so a content key and its mu-parametric family records always live
+    on the same shard and the daemon's family fastpath stays
+    shard-local.  [search]/[simulate]/[replay] round-robin over live
+    shards; [ping]/[stats]/[drain]/[hello] answer inline; [ship] is
+    rejected with [bad_request] — replication is shard-direct.
+
+    Failover: a monitor thread pings every shard each
+    [health_interval_ms] and pumps its journal {!Shipper} to the
+    follower; when {!Health} crosses [health_threshold] consecutive
+    failures the shard is promoted — follower caught up from the
+    primary's journal, then installed as the target.  Requests that
+    race a dead shard earn retriable [overloaded] replies, which
+    {!Server.Client.session} re-issues; acked writes never roll back
+    (the chaos harness audits exactly this).
+
+    Fault sites (class [cluster], docs/RESILIENCE.md): [route.forward]
+    is consulted once per forwarded request on the client-serving
+    thread, so a single-driver chaos run replays deterministically. *)
+
+type shard_spec = {
+  primary : Server.Client.addr;
+  follower : Server.Client.addr option;
+      (** Promotion target; a shard without one stays down when its
+          primary dies. *)
+  journal : string option;
+      (** The primary's store journal path — the shipping source.
+          Required for replication (with [follower]); [None] disables
+          shipping for this shard. *)
+}
+
+type config = {
+  listen : Server.Daemon.listen;
+  shards : shard_spec list;
+  pool_size : int;            (** Upstream connections per shard. *)
+  shard_transport : Server.Wire.version;  (** Dialect towards the shards. *)
+  max_transport : Server.Wire.version;    (** Newest dialect clients may negotiate. *)
+  health_interval_ms : int;
+  health_threshold : int;
+  vnodes : int;               (** Ring points per shard ({!Ring.make}). *)
+}
+
+val default_config : Server.Daemon.listen -> shard_spec list -> config
+(** [pool_size = 2], both transports {!Server.Wire.V2}, 1 s health
+    interval, threshold 3, 64 vnodes. *)
+
+type t
+
+val create : config -> t
+(** Bind the listening socket (same stale-socket policy as the
+    daemon); upstream connections are opened lazily on first use.
+    @raise Invalid_argument on an empty shard list,
+    @raise Failure / [Unix.Unix_error] when the socket is unusable. *)
+
+val run : t -> unit
+(** The blocking accept loop; returns once a drain has completed
+    (clients hung up, upstream pools dismantled, final journal tail
+    shipped). *)
+
+val initiate_drain : t -> unit
+val wake : t -> unit
+(** Async-signal-safe drain trigger (one self-pipe write). *)
+
+val port : t -> int option
+(** The bound TCP port ([None] for Unix sockets). *)
+
+val ring : t -> Ring.t
+
+val promote_shard : t -> int -> bool
+(** Promote shard [idx]'s follower in place, synchronously: mark the
+    shard down, fail its pooled connections (parked requests complete
+    with retriable [overloaded]), catch the follower up from the
+    primary's journal, then redirect.  Returns whether the shard is
+    serving afterwards ([false] without a follower).  Idempotent.  The
+    monitor thread uses the same path; the chaos harness calls it
+    directly so the kill → promote transition lands at a deterministic
+    point in its request stream.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val stats_fields : t -> (string * Json.t) list
+(** The payload of a [stats] reply: per-shard target/liveness/
+    promotion/forwarded/shed/watermark plus accepted, promotions and
+    the transport policy. *)

@@ -1,0 +1,89 @@
+(* Journal shipping: replicate a primary's store journal to a follower
+   daemon, line by line, over the [ship] op (docs/CLUSTER.md).
+
+   The shipper reads the journal {e file} — not the daemon — so it
+   works identically whether the primary is alive, draining or dead;
+   the promotion path relies on that to catch the follower up from a
+   killed primary's (drain-flushed) journal.  The watermark is a byte
+   offset: everything before it has been acked by the follower, so a
+   resumed or re-created shipper re-reads only the tail.  Records
+   themselves carry their CRCs, and the follower applies them
+   idempotently (last-wins, same as journal replay), so re-shipping an
+   overlap after a crash is harmless. *)
+
+type t = {
+  journal : string;
+  session : Server.Client.session;
+  mutable offset : int;  (* watermark: journal bytes acked by the follower *)
+  mutable shipped : int;
+  mutable failed : int;
+}
+
+let create ~journal ?retry ?(transport = Server.Wire.V1) ~follower () =
+  {
+    journal;
+    session = Server.Client.session ?retry ~transport follower;
+    offset = 0;
+    shipped = 0;
+    failed = 0;
+  }
+
+let watermark t = t.offset
+let shipped t = t.shipped
+let failed t = t.failed
+let journal t = t.journal
+
+let ship_line t ~seq line =
+  match Server.Client.call t.session (Server.Protocol.ship ~seq ~record:line ()) with
+  | Ok (reply, _) -> Server.Protocol.reply_ok reply
+  | Error _ -> false
+
+(* Ship every complete ('\n'-terminated) line past the watermark; a
+   torn tail stays unshipped until the primary finishes it.  Stops at
+   the first un-acked line — watermark semantics demand a prefix. *)
+let pump t =
+  match open_in_bin t.journal with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let len = in_channel_length ic in
+    (* A shorter file means the journal was rewritten under us
+       (compaction truncates it to a bare header): start over —
+       idempotent application makes the overlap safe. *)
+    if t.offset > len then t.offset <- 0;
+    let base = t.offset in
+    seek_in ic base;
+    let tail =
+      match really_input_string ic (len - base) with
+      | s -> close_in ic; s
+      | exception (End_of_file | Sys_error _) -> close_in ic; ""
+    in
+    let shipped_now = ref 0 in
+    let pos = ref 0 in
+    (try
+       while !pos < String.length tail do
+         match String.index_from_opt tail !pos '\n' with
+         | None -> raise Exit (* torn tail *)
+         | Some nl ->
+           let line = String.sub tail !pos (nl - !pos) in
+           let after = base + nl + 1 in
+           if base + !pos = 0 then
+             (* The journal header line: never shipped, only skipped —
+                the follower has its own header. *)
+             t.offset <- after
+           else if ship_line t ~seq:after line then begin
+             t.offset <- after;
+             t.shipped <- t.shipped + 1;
+             incr shipped_now
+           end
+           else begin
+             t.failed <- t.failed + 1;
+             raise Exit
+           end;
+           pos := nl + 1
+       done
+     with Exit -> ());
+    !shipped_now
+
+let catch_up = pump
+
+let close t = Server.Client.close_session t.session

@@ -1,0 +1,48 @@
+(** Journal shipping: replicates a primary's store journal to a
+    follower daemon over the [ship] op (docs/CLUSTER.md).
+
+    The shipper tails the journal {e file}, not the daemon, so it
+    works identically whether the primary is alive, draining or
+    already dead — promotion relies on that to catch the follower up
+    from a killed primary's drain-flushed journal.  Each complete
+    record line is sent as [ship {seq; record}] where [seq] is the
+    journal byte offset just past the line; an acked line advances the
+    {!watermark} to its [seq].  Records self-validate (their CRC
+    travels inside the line) and the follower applies them
+    idempotently, so overlap after a crash or a journal rewrite is
+    harmless. *)
+
+type t
+
+val create :
+  journal:string ->
+  ?retry:Server.Client.retry ->
+  ?transport:Server.Wire.version ->
+  follower:Server.Client.addr ->
+  unit ->
+  t
+(** Lazy: nothing connects until the first {!pump}.  The watermark
+    starts at 0 — the first pump ships the whole journal (minus the
+    header line, which the follower's own store provides). *)
+
+val pump : t -> int
+(** Ship every complete line past the watermark, in order, stopping at
+    the first un-acked line or a torn tail; returns the number of
+    lines acked this call.  A journal shorter than the watermark
+    (rewritten by compaction) resets the watermark to 0 and re-ships —
+    idempotent application makes the overlap safe.  A missing journal
+    ships nothing. *)
+
+val catch_up : t -> int
+(** [pump] under its promotion-time name: called once more after the
+    primary is known dead, so every record its drain flushed reaches
+    the follower before the router redirects traffic. *)
+
+val watermark : t -> int
+(** Journal byte offset at or below which every record is follower-acked. *)
+
+val shipped : t -> int
+val failed : t -> int
+val journal : t -> string
+
+val close : t -> unit

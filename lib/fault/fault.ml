@@ -20,9 +20,11 @@ module Plan = struct
       ("conn.drop", "conn");
       ("batcher.worker", "worker");
       ("budget.clock", "clock");
+      ("shard.kill", "cluster");
+      ("route.forward", "cluster");
     ]
 
-  let classes = [ "io"; "conn"; "worker"; "clock" ]
+  let classes = [ "io"; "conn"; "worker"; "clock"; "cluster" ]
 
   type site_state = { name : string; enabled : bool; count : int Atomic.t }
 

@@ -11,7 +11,7 @@
     {!partial_write} / {!clock_now}; when no plan is armed every
     consult is a single atomic load returning "no fault".
 
-    Sites are grouped into four {e fault classes}, selected per plan:
+    Sites are grouped into five {e fault classes}, selected per plan:
 
     - [io] — storage faults: torn (partial) journal appends
       ([store.write]) and failed fsyncs ([store.fsync]);
@@ -22,7 +22,16 @@
     - [worker] — batcher worker-thread death ([batcher.worker]);
     - [clock] — budget clock skew ([budget.clock]): a fraction of
       {!clock_now} reads jump forward by the plan's skew, so
-      wall-clock deadlines mispredict.
+      wall-clock deadlines mispredict;
+    - [cluster] — serving-tier faults, consulted only by the sharded
+      tier (lib/cluster): whole-shard death mid-load ([shard.kill],
+      consulted by the cluster chaos driver) and forwarding failures
+      at the router ([route.forward], a shed-and-retry on an otherwise
+      healthy shard).  Both sites are consulted on single-threaded
+      driver/connection paths, so cluster-class fault logs stay
+      byte-identical across same-seed runs even though the tier's
+      timer-driven health and shipping traffic is not itself
+      deterministic (docs/RESILIENCE.md).
 
     Every fired fault is recorded in the plan's log; {!Plan.events}
     returns it in a canonical order (site, then per-site sequence
@@ -56,7 +65,7 @@ module Plan : sig
       list (and docs/RESILIENCE.md). *)
 
   val classes : string list
-  (** [["io"; "conn"; "worker"; "clock"]]. *)
+  (** [["io"; "conn"; "worker"; "clock"; "cluster"]]. *)
 
   val make :
     ?rate:float ->

@@ -9,6 +9,12 @@ type conn = {
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
+(* Wakes a thread blocked in [recv] on this connection (the read
+   returns EOF) without invalidating the descriptor under it — the
+   router shuts a pooled connection down first, joins its reader
+   thread, then [close]s. *)
+let shutdown c = try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
 let send_string c s =
   let bytes = Bytes.of_string s in
   let n = Bytes.length bytes in
@@ -46,6 +52,11 @@ let read_reply c =
 let request c json =
   send_string c (Wire.encode c.version (Wire.Text (Json.to_string json)));
   read_reply c
+
+(* Pipelining halves, for callers (the cluster router) that multiplex
+   many requests over one connection and match replies by id. *)
+let send c json = send_string c (Wire.encode c.version (Wire.Text (Json.to_string json)))
+let recv c = read_reply c
 
 let connect ?(transport = Wire.V1) (addr : addr) =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -296,11 +307,13 @@ let verdict_bytes reply =
   | Some v -> Some (Json.to_string v)
   | None -> None
 
-let load addr cfg =
+let load_any addrs cfg =
+  if addrs = [] then invalid_arg "Client.load: at least one address";
   if cfg.requests < 1 then invalid_arg "Client.load: requests must be >= 1";
   if cfg.concurrency < 1 then invalid_arg "Client.load: concurrency must be >= 1";
   if cfg.distinct < 1 then invalid_arg "Client.load: distinct must be >= 1";
   if cfg.pipeline < 1 then invalid_arg "Client.load: pipeline must be >= 1";
+  let addrs = Array.of_list addrs in
   let instances =
     Array.init cfg.distinct (fun i -> Check.Gen.ith ~seed:cfg.seed ~size:cfg.size i)
   in
@@ -341,8 +354,11 @@ let load addr cfg =
      connection and matches replies back by id — the server answers
      warm requests inline and cold ones from the pool, so replies can
      legitimately overtake each other. *)
-  let worker () =
-    match connect ~transport:cfg.transport addr with
+  (* Workers round-robin over the given addresses, so a shard fleet
+     gets driven — and byte-for-byte verified — evenly; with one
+     address this is the classic single-server load. *)
+  let worker w () =
+    match connect ~transport:cfg.transport addrs.(w mod Array.length addrs) with
     | exception exn ->
       Printf.eprintf "client: connect failed: %s\n%!" (Printexc.to_string exn);
       (* Burn the whole remaining share as transport errors rather
@@ -398,7 +414,7 @@ let load addr cfg =
       close c
   in
   let t0 = Unix.gettimeofday () in
-  let threads = List.init cfg.concurrency (fun _ -> Thread.create worker ()) in
+  let threads = List.init cfg.concurrency (fun w -> Thread.create (worker w) ()) in
   List.iter Thread.join threads;
   let wall_s = Unix.gettimeofday () -. t0 in
   let measured =
@@ -423,6 +439,8 @@ let load addr cfg =
     wall_s;
     rps = (if wall_s > 0. then float_of_int cfg.requests /. wall_s else 0.);
   }
+
+let load addr cfg = load_any [ addr ] cfg
 
 let json_of_load_report r =
   Json.Obj

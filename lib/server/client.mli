@@ -23,7 +23,29 @@ val request : conn -> Json.t -> Json.t
 (** Send one request document, block for the reply.
     @raise Failure on EOF, a corrupt frame or an unparsable reply. *)
 
+val send : conn -> Json.t -> unit
+(** Write one request document without reading anything — the
+    pipelining half for callers (the cluster router) that multiplex
+    many requests over one connection and match replies by id. *)
+
+val recv : conn -> Json.t
+(** Block for the next reply, whatever its id.  A binary ['V'] frame
+    surfaces as the equivalent [ok] analyze reply document.
+    @raise Failure as {!request}. *)
+
+val send_analyze :
+  conn -> id:int -> ?deadline_ms:int -> mu:int array -> Intmat.t -> unit
+(** The transport-polymorphic analyze send: a compact binary ['A']
+    frame once the connection speaks v2, the JSON document
+    otherwise. *)
+
 val close : conn -> unit
+
+val shutdown : conn -> unit
+(** Shut both directions down without closing the descriptor: a thread
+    blocked in {!recv} wakes with an EOF failure, after which {!close}
+    is safe — the shutdown-join-close sequence the router's connection
+    pool uses.  Never raises. *)
 
 (** {1 Retrying session}
 
@@ -117,5 +139,13 @@ type load_report = {
 val load : addr -> load_config -> load_report
 (** Latencies additionally feed the [client.request_ms] histogram of
     {!Obs.Metrics}. *)
+
+val load_any : addr list -> load_config -> load_report
+(** {!load} with workers round-robined over several addresses — the
+    [client --shards] mode: driving a shard fleet (or a router plus
+    direct shard sockets) under the same byte-for-byte verification,
+    since every reply is checked against a local {!Analysis.check}
+    regardless of which server produced it.
+    @raise Invalid_argument on an empty address list. *)
 
 val json_of_load_report : load_report -> Json.t

@@ -7,6 +7,7 @@ type config = {
   queue_capacity : int;
   batch_max : int;
   store_path : string option;
+  snapshot_path : string option;
   fsync_every : int;
   max_transport : Wire.version;
 }
@@ -19,6 +20,7 @@ let default_config listen =
     queue_capacity = 256;
     batch_max = 32;
     store_path = None;
+    snapshot_path = None;
     fsync_every = 32;
     max_transport = Wire.V2;
   }
@@ -382,6 +384,11 @@ let stats_fields t =
               ("quarantined", Json.Int st.Store.quarantined);
               ("healed", Json.Int st.Store.healed);
               ("io_errors", Json.Int st.Store.io_errors);
+              ("snap_entries", Json.Int st.Store.snap_entries);
+              ("snap_hits", Json.Int st.Store.snap_hits);
+              ("snap_corrupt", Json.Int st.Store.snap_corrupt);
+              ("open_ms", Json.Float st.Store.open_ms);
+              ("provenance", Json.Str st.Store.provenance);
             ] );
       ]
 
@@ -481,6 +488,29 @@ let handle_envelope t conn ~bin (env : Protocol.envelope) =
   match env.Protocol.req with
   | Protocol.Analyze { mu; tmat; deadline_ms } ->
     handle_analyze t conn ~bin ~id ~mu ~tmat ~deadline_ms
+  | Protocol.Ship { seq; line } ->
+    (* Answered inline like ping: applying a shipped record is one
+       store call, and keeping it off the pool preserves ship-order
+       per connection (the shipper pipelines on one session). *)
+    let reply =
+      if Atomic.get t.draining then
+        Protocol.error_reply ~id ~code:"draining" ~detail:"server is draining"
+      else
+        match t.store_ with
+        | None -> Protocol.error_reply ~id ~code:"bad_request" ~detail:"no store attached"
+        | Some s -> (
+          match Store.ingest_line s line with
+          | Ok () -> Protocol.ok_reply ~id ~op [ ("watermark", Json.Int seq) ]
+          | Error msg ->
+            Protocol.error_reply ~id ~code:"bad_request"
+              ~detail:("bad ship record: " ^ msg)
+          | exception (Fault.Injected _ | Sys_error _ | Unix.Unix_error _) ->
+            (* The record is not applied; an [internal] reply is not
+               retried by sessions, so surface it as [overloaded] —
+               the shipper re-ships from its watermark. *)
+            Protocol.error_reply ~id ~code:"overloaded" ~detail:"ship append failed")
+    in
+    send_doc t conn ~defer:true reply
   | Protocol.Ping -> send_doc t conn ~defer:true (Protocol.ok_reply ~id ~op [])
   | Protocol.Stats ->
     send_doc t conn ~defer:true (Protocol.ok_reply ~id ~op (stats_fields t))
@@ -614,7 +644,9 @@ let create cfg =
   (* Store before socket: an unusable store path must not leave a
      bound socket (or a just-unlinked stale one) behind. *)
   let store_ =
-    Option.map (fun p -> Store.open_ ~fsync_every:cfg.fsync_every p) cfg.store_path
+    Option.map
+      (fun p -> Store.open_ ~fsync_every:cfg.fsync_every ?snapshot:cfg.snapshot_path p)
+      cfg.store_path
   in
   let listen_fd =
     match cfg.listen with

@@ -7,7 +7,7 @@
     accepts until the listener would block; reads nonblocking chunks
     into each connection's {!Wire.decoder}; and answers inline
     everything that needs no pool dispatch — [ping], [stats], [drain],
-    [hello], and the {e warm fast path}: an [analyze] whose verdict is
+    [hello], [ship], and the {e warm fast path}: an [analyze] whose verdict is
     already in the {!Store} is encoded straight from the loop, no
     queue, no batcher.  Cold [analyze] requests are coalesced in a
     {!Singleflight} table keyed on the 32-bit {!Store.key_hash}
@@ -67,6 +67,11 @@ type config = {
   queue_capacity : int;    (** Admission queue bound; beyond it requests shed. *)
   batch_max : int;         (** Largest batch fanned across the pool. *)
   store_path : string option;
+  snapshot_path : string option;
+      (** Snapshot the store warm-starts from (and that [compact]
+          rotates into): {!Store.open_} consults it on memory misses
+          so a compacted store opens in O(1) reads
+          (docs/CLUSTER.md). *)
   fsync_every : int;
   max_transport : Wire.version;
       (** Newest dialect [hello] may negotiate: {!Wire.V1} pins the
@@ -76,7 +81,7 @@ type config = {
 
 val default_config : listen -> config
 (** [jobs = None], [max_inflight = 2], [queue_capacity = 256],
-    [batch_max = 32], no store, [fsync_every = 32],
+    [batch_max = 32], no store, no snapshot, [fsync_every = 32],
     [max_transport = V2]. *)
 
 type t

@@ -167,5 +167,6 @@ let execute ~pool ~store ~budget = function
     search ~pool ~budget ~algorithm ~mu ~s ~pareto ~array_dim
   | Protocol.Simulate { algorithm; mu; s; pi } -> simulate ~algorithm ~mu ~s ~pi
   | Protocol.Replay { instance } -> replay ~budget instance
-  | Protocol.Ping | Protocol.Stats | Protocol.Drain | Protocol.Hello _ ->
+  | Protocol.Ship _ | Protocol.Ping | Protocol.Stats | Protocol.Drain
+  | Protocol.Hello _ ->
     invalid_arg "Handlers.execute: inline op"

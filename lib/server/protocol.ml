@@ -57,6 +57,7 @@ type request =
     }
   | Simulate of { algorithm : string; mu : int; s : Intmat.t option; pi : Intvec.t }
   | Replay of { instance : Check.Instance.t }
+  | Ship of { seq : int; line : string }
   | Ping
   | Stats
   | Drain
@@ -69,6 +70,7 @@ let op_name = function
   | Search _ -> "search"
   | Simulate _ -> "simulate"
   | Replay _ -> "replay"
+  | Ship _ -> "ship"
   | Ping -> "ping"
   | Stats -> "stats"
   | Drain -> "drain"
@@ -76,11 +78,11 @@ let op_name = function
 
 let queued = function
   | Analyze _ | Search _ | Simulate _ | Replay _ -> true
-  | Ping | Stats | Drain | Hello _ -> false
+  | Ship _ | Ping | Stats | Drain | Hello _ -> false
 
 let deadline_ms = function
   | Analyze { deadline_ms; _ } | Search { deadline_ms; _ } -> deadline_ms
-  | Simulate _ | Replay _ | Ping | Stats | Drain | Hello _ -> None
+  | Simulate _ | Replay _ | Ship _ | Ping | Stats | Drain | Hello _ -> None
 
 let max_line_bytes = 1024 * 1024
 
@@ -178,6 +180,12 @@ let parse_request json =
               | exception Invalid_argument msg -> failf "bad instance: %s" msg)
           in
           Replay { instance }
+        | "ship" ->
+          let seq = to_int "seq" (require "seq" json) in
+          if seq < 0 then failf "field \"seq\" must be >= 0";
+          let line = to_string "record" (require "record" json) in
+          if String.contains line '\n' then failf "field \"record\" must be one line";
+          Ship { seq; line }
         | "ping" -> Ping
         | "stats" -> Stats
         | "drain" -> Drain
@@ -247,6 +255,11 @@ let replay ?id instance =
   Json.Obj
     (with_id id
        [ ("op", Json.Str "replay"); ("case", Json.Str (Check.Instance.to_string instance)) ])
+
+let ship ?id ~seq ~record () =
+  Json.Obj
+    (with_id id
+       [ ("op", Json.Str "ship"); ("seq", Json.Int seq); ("record", Json.Str record) ])
 
 let simple op ?id () = Json.Obj (with_id id [ ("op", Json.Str op) ])
 let ping = simple "ping"

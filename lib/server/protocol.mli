@@ -51,6 +51,15 @@ type request =
   | Replay of { instance : Check.Instance.t }
       (** Differential replay of one corpus-format instance:
           {!Analysis.check} against the brute-force oracle. *)
+  | Ship of { seq : int; line : string }
+      (** Journal replication (docs/CLUSTER.md): apply one raw store
+          record line via {!Store.ingest_line}.  [seq] is the
+          shipper's watermark for this record (the primary-journal
+          byte offset just past it), echoed back in the ack so the
+          shipper can resume; the receiver validates the line itself
+          (its CRC travels inside it) and applies idempotently.
+          Answered inline, shard-direct only — the router rejects
+          it. *)
   | Ping
   | Stats
   | Drain
@@ -67,8 +76,8 @@ val op_name : request -> string
 
 val queued : request -> bool
 (** Whether the request goes through admission control ([analyze],
-    [search], [simulate], [replay]); [ping]/[stats]/[drain] are
-    answered inline by the connection thread. *)
+    [search], [simulate], [replay]); [ship]/[ping]/[stats]/[drain]
+    are answered inline by the connection thread. *)
 
 val deadline_ms : request -> int option
 
@@ -104,6 +113,8 @@ val simulate : ?id:Json.t -> ?s:Intmat.t -> algorithm:string -> mu:int -> pi:Int
 
 val replay : ?id:Json.t -> Check.Instance.t -> Json.t
 (** @deprecated As a wire-level constructor: see {!analyze}. *)
+
+val ship : ?id:Json.t -> seq:int -> record:string -> unit -> Json.t
 
 val ping : ?id:Json.t -> unit -> Json.t
 (** @deprecated As a wire-level constructor: see {!analyze}. *)

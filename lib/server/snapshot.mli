@@ -1,0 +1,59 @@
+(** Compact hash-indexed snapshot of a {!Store} journal
+    ([shangfortes-snap 1]) — the O(1)-open half of the
+    snapshot + journal-tail warm start (docs/CLUSTER.md has the BNF).
+
+    Layout: a text header line; the record lines themselves in
+    journal format, sorted by (kind, hash, key); a fixed-width index
+    (13 bytes per record: kind, 32-bit hash, file offset, line
+    length); and a 24-byte footer carrying the index offset, the
+    record count and an FNV-1a CRC over the index.
+
+    {!open_reader} performs exactly two bounded reads (header +
+    footer) regardless of snapshot size; the index is loaded lazily by
+    the first query and each located line is handed back raw for the
+    caller to re-validate against the record's own CRC — so the index
+    is a locator, never an authority: a bit-flipped entry degrades to
+    a counted miss ({!corrupt_entries}), a truncated or foreign footer
+    fails {!open_reader} and the store falls back to full journal
+    replay.  The reader is thread-safe. *)
+
+val header : string
+(** ["shangfortes-snap 1"]. *)
+
+val write : string -> (char * int * string * string) list -> int
+(** [write path records] writes a snapshot atomically (tmp + rename,
+    file and directory fsynced) from [(kind, hash, key, line)]
+    records, where [line] is the canonical journal record line without
+    its newline; records are sorted here.  Returns the record count.
+    @raise Sys_error when the path is not writable. *)
+
+type t
+
+val open_reader : string -> (t, string) result
+(** Validate header and footer (two reads, O(1) in snapshot size) and
+    return a reader; [Error] on anything structurally wrong — absent
+    file, bad header, truncated/foreign footer, footer geometry that
+    does not match the file size. *)
+
+val find_all : t -> kind:char -> hash:int -> string list
+(** Record lines indexed under [(kind, hash)] — normally zero or one,
+    more only on a 32-bit hash collision.  The caller must parse and
+    CRC-check each line ({!Store} does) and match the key exactly. *)
+
+val iter_lines : t -> (string -> unit) -> unit
+(** Sequential sweep of the data region in file order, for
+    compaction; lines are raw and unvalidated. *)
+
+val entries : t -> int
+(** Record count from the footer. *)
+
+val reads : t -> int
+(** Positioned reads issued so far, the two open-time reads included —
+    the O(1)-open test bounds this before the first query. *)
+
+val corrupt_entries : t -> int
+(** Index entries skipped for impossible geometry or unreadable
+    bytes. *)
+
+val path : t -> string
+val close : t -> unit

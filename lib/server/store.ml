@@ -33,6 +33,17 @@ type t = {
   mutable quarantined : int;
   mutable healed : int;
   mutable io_errors : int;
+  (* Snapshot half of the snapshot + journal-tail warm start: memory
+     (the replayed tail) is consulted first, so a tail record always
+     shadows the snapshot's. *)
+  mutable snap : Snapshot.t option;
+  (* Retained across [close] so the drained stats still report the
+     snapshot the store served from after the reader is dropped. *)
+  mutable snap_entries : int;
+  mutable snap_hits : int;
+  mutable snap_corrupt : int;
+  mutable open_ms : float;
+  mutable provenance : string;
 }
 
 type stats = {
@@ -48,6 +59,11 @@ type stats = {
   quarantined : int;
   healed : int;
   io_errors : int;
+  snap_entries : int;
+  snap_hits : int;
+  snap_corrupt : int;
+  open_ms : float;
+  provenance : string;
 }
 
 let header = "shangfortes-store 1"
@@ -57,6 +73,9 @@ let m_misses = Obs.Metrics.counter "server.store.misses"
 let m_quarantined = Obs.Metrics.counter "server.store.quarantined"
 let m_healed = Obs.Metrics.counter "server.store.healed"
 let m_io_errors = Obs.Metrics.counter "server.store.io_errors"
+let m_snap_hits = Obs.Metrics.counter "server.store.snapshot_hits"
+let m_snap_corrupt = Obs.Metrics.counter "server.store.snapshot_corrupt"
+let h_open_ms = Obs.Metrics.histogram "server.store.open_ms"
 
 (* FNV-1a over the record body: cheap, byte-order-free, and enough to
    detect a torn tail (we are defending against crashes, not
@@ -236,8 +255,9 @@ let compact path records bad =
   Sys.rename tmp path;
   fsync_dir path
 
-let open_ ?(fsync_every = 32) path =
+let open_ ?(fsync_every = 32) ?snapshot path =
   if fsync_every < 1 then invalid_arg "Store.open_: fsync_every must be >= 1";
+  let t0 = Unix.gettimeofday () in
   let t =
     {
       path;
@@ -258,8 +278,29 @@ let open_ ?(fsync_every = 32) path =
       quarantined = 0;
       healed = 0;
       io_errors = 0;
+      snap = None;
+      snap_entries = 0;
+      snap_hits = 0;
+      snap_corrupt = 0;
+      open_ms = 0.;
+      provenance = "created";
     }
   in
+  (* The snapshot opens in O(1) reads; a structurally bad snapshot is
+     a warning and a fall-back to plain journal replay, never a
+     crash — the journal alone is always sufficient. *)
+  (match snapshot with
+  | Some sp when Sys.file_exists sp -> (
+    match Snapshot.open_reader sp with
+    | Ok reader ->
+      t.snap <- Some reader;
+      t.snap_entries <- Snapshot.entries reader
+    | Error msg ->
+      ignore
+        (Obs.Warn.once
+           ("server.store.snapshot:" ^ sp)
+           (Printf.sprintf "store %s: ignoring unusable snapshot: %s" path msg)))
+  | Some _ | None -> ());
   let contents =
     if Sys.file_exists path then In_channel.with_open_bin path In_channel.input_all
     else ""
@@ -280,9 +321,11 @@ let open_ ?(fsync_every = 32) path =
     (* The journal's directory entry must be durable too, or a power
        failure can forget the file the data was synced into. *)
     fsync_dir path;
-    t.oc <- Some oc
+    t.oc <- Some oc;
+    t.provenance <- (if t.snap = None then "created" else "snapshot")
   end
   else begin
+    t.provenance <- (if t.snap = None then "replay" else "snapshot+tail");
     match replay contents with
     | None -> failwith (Printf.sprintf "Store.open_: %s is not a store journal" path)
     | Some (records, bad, torn) ->
@@ -337,6 +380,8 @@ let open_ ?(fsync_every = 32) path =
                 torn));
       t.oc <- Some (open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path)
   end;
+  t.open_ms <- 1000. *. (Unix.gettimeofday () -. t0);
+  Obs.Metrics.observe h_open_ms t.open_ms;
   t
 
 let oc_exn t =
@@ -345,6 +390,30 @@ let oc_exn t =
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Consult the snapshot for [(kind, hash, key)], re-validating every
+   located line against the record's own CRC (the index is only a
+   locator): a line that fails to parse is counted corrupt and
+   skipped, a parsed record with another key is a plain hash
+   collision.  Caller holds the lock. *)
+let snap_record t kind hash key =
+  match t.snap with
+  | None -> None
+  | Some sr ->
+    let rec pick = function
+      | [] -> None
+      | line :: rest -> (
+        match parse_record line with
+        | r -> (
+          match r with
+          | Verdict (h, k, _) | Fam (h, k, _) ->
+            if h = hash && k = key then Some r else pick rest)
+        | exception _ ->
+          t.snap_corrupt <- t.snap_corrupt + 1;
+          Obs.Metrics.incr m_snap_corrupt;
+          pick rest)
+    in
+    pick (Snapshot.find_all sr ~kind ~hash)
 
 let find t ~mu tm =
   let hash = key_hash ~mu tm in
@@ -363,10 +432,23 @@ let find t ~mu tm =
           t.hits <- t.hits + 1;
           Obs.Metrics.incr m_hits;
           Some e
-        | None ->
-          t.misses <- t.misses + 1;
-          Obs.Metrics.incr m_misses;
-          None)
+        | None -> (
+          (* Memory holds the journal tail, so a tail record shadows
+             the snapshot's; only a genuine memory miss reads disk. *)
+          match snap_record t 'v' hash key with
+          | Some (Verdict (_, _, e)) ->
+            t.hits <- t.hits + 1;
+            t.snap_hits <- t.snap_hits + 1;
+            Obs.Metrics.incr m_hits;
+            Obs.Metrics.incr m_snap_hits;
+            (* Promote into memory: the next lookup is a table hit. *)
+            let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table hash) in
+            Hashtbl.replace t.table hash ((key, e) :: bucket);
+            Some e
+          | Some (Fam _) | None ->
+            t.misses <- t.misses + 1;
+            Obs.Metrics.incr m_misses;
+            None))
 
 (* Append one record, honouring the [store.write] (torn append) and
    [store.fsync] injection sites.  A torn append is rolled back by
@@ -438,7 +520,20 @@ let find_family t tm =
   let key = family_key_string tm in
   locked t (fun () ->
       if Hashtbl.mem t.quarantined_keys key then None
-      else Option.bind (Hashtbl.find_opt t.families hash) (List.assoc_opt key))
+      else
+        match Option.bind (Hashtbl.find_opt t.families hash) (List.assoc_opt key) with
+        | Some fam -> Some fam
+        | None -> (
+          match snap_record t 'f' hash key with
+          | Some (Fam (_, _, fam)) ->
+            t.snap_hits <- t.snap_hits + 1;
+            Obs.Metrics.incr m_snap_hits;
+            let bucket =
+              Option.value ~default:[] (Hashtbl.find_opt t.families hash)
+            in
+            Hashtbl.replace t.families hash ((key, fam) :: bucket);
+            Some fam
+          | Some (Verdict _) | None -> None))
 
 let add_family t tm fam =
   let hash = family_hash tm in
@@ -456,6 +551,113 @@ let add_family t tm fam =
         Hashtbl.replace t.families hash ((key, fam) :: List.remove_assoc key bucket);
         heal t key)
 
+(* Apply one raw journal record line shipped from another store
+   (the [ship] op): validate it exactly as replay would, then apply
+   with last-wins semantics and append it to this store's own journal
+   so the follower is self-contained.  Idempotent — a re-shipped
+   record whose entry is already current appends nothing, which makes
+   the shipper's resume-from-watermark safe.  Append faults
+   ([store.write]/[store.fsync]) propagate as usual. *)
+let ingest_line t line =
+  match parse_record line with
+  | exception Failure msg -> Error msg
+  | exception _ -> Error "unparsable record"
+  | Verdict (hash, key, e) ->
+    locked t (fun () ->
+        let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table hash) in
+        (match List.assoc_opt key bucket with
+        | Some e0 when e0 = e -> ()
+        | _ ->
+          append_record t hash key e;
+          Hashtbl.replace t.table hash ((key, e) :: List.remove_assoc key bucket));
+        heal t key;
+        Ok ())
+  | Fam (hash, key, fam) ->
+    locked t (fun () ->
+        let bucket = Option.value ~default:[] (Hashtbl.find_opt t.families hash) in
+        (match List.assoc_opt key bucket with
+        | Some f0 when Family.to_string f0 = Family.to_string fam -> ()
+        | _ ->
+          append_line t (family_line hash key fam);
+          t.f_appended <- t.f_appended + 1;
+          Hashtbl.replace t.families hash ((key, fam) :: List.remove_assoc key bucket));
+        heal t key;
+        Ok ())
+
+(* Everything the store can currently serve, as (kind, hash, key,
+   canonical line) records: the snapshot's records (swept once),
+   overlaid by memory — which holds the journal tail plus everything
+   promoted from the snapshot — minus quarantined keys.  Caller holds
+   the lock. *)
+let all_records t =
+  let acc : (string, char * int * string * string) Hashtbl.t = Hashtbl.create 1024 in
+  (match t.snap with
+  | None -> ()
+  | Some sr ->
+    Snapshot.iter_lines sr (fun line ->
+        match parse_record line with
+        | Verdict (hash, key, _) -> Hashtbl.replace acc key ('v', hash, key, line)
+        | Fam (hash, key, _) -> Hashtbl.replace acc key ('f', hash, key, line)
+        | exception _ -> ()));
+  Hashtbl.iter
+    (fun hash bucket ->
+      List.iter
+        (fun (key, e) -> Hashtbl.replace acc key ('v', hash, key, record_line hash key e))
+        bucket)
+    t.table;
+  Hashtbl.iter
+    (fun hash bucket ->
+      List.iter
+        (fun (key, fam) ->
+          Hashtbl.replace acc key ('f', hash, key, family_line hash key fam))
+        bucket)
+    t.families;
+  Hashtbl.iter (fun key () -> Hashtbl.remove acc key) t.quarantined_keys;
+  Hashtbl.fold (fun _ r rs -> r :: rs) acc []
+
+let write_snapshot t path = locked t (fun () -> Snapshot.write path (all_records t))
+
+(* Snapshot-then-truncate: after this, the store opens as snapshot +
+   empty tail in O(1) reads.  The snapshot is durable (fsynced, tmp +
+   rename) before the journal is reset, so a crash between the two
+   steps leaves a snapshot plus the full journal — records are then
+   merely present twice, and replay's last-wins handles it. *)
+let compact_to_snapshot t ~snapshot =
+  locked t (fun () ->
+      let count = Snapshot.write snapshot (all_records t) in
+      let oc = oc_exn t in
+      fsync_out oc;
+      close_out oc;
+      t.oc <- None;
+      let tmp = t.path ^ ".tmp" in
+      let toc =
+        open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp
+      in
+      output_string toc header;
+      output_char toc '\n';
+      fsync_out toc;
+      close_out toc;
+      Sys.rename tmp t.path;
+      fsync_dir t.path;
+      t.oc <-
+        Some (open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path);
+      t.pending <- 0;
+      Option.iter Snapshot.close t.snap;
+      (match Snapshot.open_reader snapshot with
+      | Ok reader ->
+        t.snap <- Some reader;
+        t.snap_entries <- Snapshot.entries reader;
+        t.provenance <- "snapshot+tail"
+      | Error msg ->
+        t.snap <- None;
+        t.snap_entries <- 0;
+        ignore
+          (Obs.Warn.once
+             ("server.store.snapshot:" ^ snapshot)
+             (Printf.sprintf "store %s: freshly written snapshot unreadable: %s" t.path
+                msg)));
+      count)
+
 let flush t =
   locked t (fun () ->
       fsync_out (oc_exn t);
@@ -466,7 +668,15 @@ let close t =
       let oc = oc_exn t in
       fsync_out oc;
       close_out oc;
-      t.oc <- None)
+      t.oc <- None;
+      (* Fold the reader's corruption tally into the sticky counter so
+         stats queried after close (the daemon's drained report) keep
+         the full picture; snap_entries is already sticky. *)
+      Option.iter
+        (fun sr -> t.snap_corrupt <- t.snap_corrupt + Snapshot.corrupt_entries sr)
+        t.snap;
+      Option.iter Snapshot.close t.snap;
+      t.snap <- None)
 
 let stats t =
   locked t (fun () ->
@@ -485,6 +695,13 @@ let stats t =
         quarantined = t.quarantined;
         healed = t.healed;
         io_errors = t.io_errors;
+        snap_entries = t.snap_entries;
+        snap_hits = t.snap_hits;
+        snap_corrupt =
+          (t.snap_corrupt
+          + match t.snap with Some sr -> Snapshot.corrupt_entries sr | None -> 0);
+        open_ms = t.open_ms;
+        provenance = t.provenance;
       })
 
 let entry_of_verdict (v : Analysis.verdict) =

@@ -53,10 +53,16 @@ type entry = {
 
 type t
 
-val open_ : ?fsync_every:int -> string -> t
+val open_ : ?fsync_every:int -> ?snapshot:string -> string -> t
 (** Open (creating if absent) the journal at the given path and replay
     it.  [fsync_every] (default 32) is the record count between
-    [fsync]s.
+    [fsync]s.  With [snapshot], a {!Snapshot} at that path is opened
+    first (two bounded reads, O(1) in its size) and consulted on
+    memory misses, so a compacted store warm-starts without replaying
+    its history; the replayed journal tail shadows the snapshot
+    (last-wins), and a structurally unusable snapshot is a warning
+    plus a plain replay, never a failure.  The elapsed open time feeds
+    the [server.store.open_ms] histogram and {!stats}.
     @raise Failure when the file exists but is not a store journal
     (wrong header) — the store never clobbers a foreign file.
     @raise Sys_error when the path is not readable/writable. *)
@@ -88,6 +94,34 @@ val add_family : t -> Intmat.t -> Family.t -> unit
     healing and fault injection behave exactly as in {!add}; counted
     in [f_appended], never in [appended]. *)
 
+val ingest_line : t -> string -> (unit, string) result
+(** Apply one raw journal record line shipped from another store (the
+    [ship] op of journal replication, docs/CLUSTER.md): the line is
+    validated exactly as replay would — frame shape, CRC, payload —
+    then applied last-wins and appended to this store's own journal,
+    so a follower's journal is self-contained.  Idempotent: a
+    re-shipped record whose entry is already current appends nothing,
+    which makes resume-from-watermark safe.  [Error] on a malformed
+    line (nothing applied).
+    @raise Fault.Injected as {!add} (the record is then not applied —
+    the shipper re-ships it). *)
+
+val write_snapshot : t -> string -> int
+(** Write everything the store can currently serve — snapshot,
+    journal tail and in-memory additions merged last-wins, quarantined
+    keys excluded — as a {!Snapshot} at the given path (atomic,
+    fsynced).  Returns the record count.  The store keeps running on
+    its current journal; see {!compact_to_snapshot} for the rotation
+    that also resets the tail. *)
+
+val compact_to_snapshot : t -> snapshot:string -> int
+(** {!write_snapshot} to [snapshot], then truncate the journal back to
+    its bare header and switch the store to the fresh snapshot, so the
+    next {!open_} with this snapshot replays an empty tail in O(1)
+    reads.  The snapshot is durable before the journal is reset: a
+    crash between the two steps leaves records present in both, which
+    replay's last-wins absorbs.  Returns the snapshot record count. *)
+
 val flush : t -> unit
 (** Flush buffered appends and [fsync] the journal. *)
 
@@ -108,6 +142,13 @@ type stats = {
   quarantined : int;    (** Corrupt records moved to the sidecar at {!open_}. *)
   healed : int;         (** Quarantined keys re-verified by {!add}. *)
   io_errors : int;      (** Injected/encountered write+fsync failures. *)
+  snap_entries : int;   (** Records in the attached snapshot (0 when none). *)
+  snap_hits : int;      (** Lookups served from the snapshot. *)
+  snap_corrupt : int;   (** Snapshot entries that failed validation. *)
+  open_ms : float;      (** Wall-clock {!open_} time. *)
+  provenance : string;
+      (** How the warm state was built: ["created"], ["replay"],
+          ["snapshot"] or ["snapshot+tail"]. *)
 }
 
 val stats : t -> stats

@@ -27,5 +27,6 @@ let () =
       ("scale", Test_scale.suite);
       ("report", Test_report.suite);
       ("server", Test_server.suite);
+      ("cluster", Test_cluster.suite);
       ("paper-facts", Test_paper.suite);
     ]
