@@ -1084,6 +1084,67 @@ let cluster_bench ?(quick = false) () =
       ("widths", Json.Arr widths);
     ]
 
+(* SLO benches: the gray-failure acceptance gate of docs/RESILIENCE.md,
+   measured.  A three-pass {!Cluster.Chaos_cluster} SLO audit over a
+   two-shard fleet — fault-free baseline, ambient latency faults with
+   hedging, the same faults without — whose report carries the p99 of
+   each pass and the audited bound (3x the baseline p99 with a 25 ms
+   floor).  The section asserts the ISSUE-10 acceptance gate (hedged
+   p99 under the bound while the unhedged pass demonstrably degrades,
+   zero disagreements, zero lost acked writes) and `diff --section
+   slo` gates the latencies (docs/SCHEMA.md). *)
+
+let slo_bench ?(quick = false) () =
+  Printf.printf "\n== slo: hedged vs unhedged p99 under gray latency faults ==\n";
+  let requests = if quick then 300 else 600 in
+  let cfg =
+    {
+      Cluster.Chaos_cluster.default_config with
+      seed = 11;
+      requests;
+      shards = 2;
+      classes = [ "latency" ];
+      rate = 0.03;
+      slo = true;
+    }
+  in
+  let r = Cluster.Chaos_cluster.run cfg in
+  let slo =
+    match r.Cluster.Chaos_cluster.slo with
+    | Some s -> s
+    | None -> failwith "slo bench: chaos report without slo section"
+  in
+  Printf.printf
+    "%d req  baseline p99 %6.2f ms   hedged p50 %6.2f ms  p99 %6.2f ms   \
+     unhedged p99 %7.2f ms\n"
+    requests slo.Cluster.Chaos_cluster.baseline_p99_ms r.Cluster.Chaos_cluster.p50_ms
+    slo.Cluster.Chaos_cluster.hedged_p99_ms slo.Cluster.Chaos_cluster.unhedged_p99_ms;
+  Printf.printf
+    "bound %6.2f ms (3x baseline, 25 ms floor)   hedges %d (%d won)   delays %d\n"
+    slo.Cluster.Chaos_cluster.bound_ms r.Cluster.Chaos_cluster.hedges
+    r.Cluster.Chaos_cluster.hedge_wins r.Cluster.Chaos_cluster.delays;
+  if not r.Cluster.Chaos_cluster.converged then begin
+    Printf.eprintf
+      "FAIL: slo audit did not converge (hedged within bound: %b, unhedged \
+       degraded: %b, disagreements %d, lost %d)\n"
+      slo.Cluster.Chaos_cluster.hedged_within_bound
+      slo.Cluster.Chaos_cluster.unhedged_degraded
+      r.Cluster.Chaos_cluster.disagreements r.Cluster.Chaos_cluster.lost_writes;
+    exit 1
+  end;
+  Json.Obj
+    [
+      ("requests", Json.Int requests);
+      ("baseline_p99_ms", Json.Float slo.Cluster.Chaos_cluster.baseline_p99_ms);
+      ("hedged_p50_ms", Json.Float r.Cluster.Chaos_cluster.p50_ms);
+      ("hedged_p99_ms", Json.Float slo.Cluster.Chaos_cluster.hedged_p99_ms);
+      ("unhedged_p99_ms", Json.Float slo.Cluster.Chaos_cluster.unhedged_p99_ms);
+      ("bound_ms", Json.Float slo.Cluster.Chaos_cluster.bound_ms);
+      ("hedges", Json.Int r.Cluster.Chaos_cluster.hedges);
+      ("hedge_wins", Json.Int r.Cluster.Chaos_cluster.hedge_wins);
+      ("delays", Json.Int r.Cluster.Chaos_cluster.delays);
+    ]
+
 (* Family benches: a structurally-repetitive mu-sweep — few distinct
    mapping matrices, many index-set sizes each, every (T, mu) pair
    fresh.  The concrete verdict cache keys on (T, mu) and so never
@@ -1192,6 +1253,7 @@ let perf ?(quick = false) ?out () =
   let chaos = chaos_bench ~quick () in
   let exec_section = exec_bench ~quick () in
   let cluster = cluster_bench ~quick () in
+  let slo = slo_bench ~quick () in
   let rev = git_rev () in
   let path =
     match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" rev
@@ -1213,6 +1275,7 @@ let perf ?(quick = false) ?out () =
         ("chaos", chaos);
         ("exec", exec_section);
         ("cluster", cluster);
+        ("slo", slo);
         ("phases", phases);
       ]
   in
@@ -1246,7 +1309,7 @@ let experiments =
 let usage () =
   Printf.eprintf
     "usage: main.exe [e1..e16 | engine | family | serve [--transport json|binary] | \
-     chaos | exec | cluster | quick | perf [--quick] [--out FILE] | \
+     chaos | exec | cluster | slo | quick | perf [--quick] [--out FILE] | \
      diff OLD NEW [--threshold PCT] [--section NAME]]\n";
   exit 2
 
@@ -1308,9 +1371,10 @@ let () =
           else if name = "chaos" then ignore (chaos_bench ())
           else if name = "exec" then ignore (exec_bench ())
           else if name = "cluster" then ignore (cluster_bench ())
+          else if name = "slo" then ignore (slo_bench ())
           else
             Printf.eprintf
               "unknown experiment %s (e1..e16, engine, family, serve, chaos, exec, \
-               cluster, perf, diff, quick)\n"
+               cluster, slo, perf, diff, quick)\n"
               name)
       names

@@ -1326,9 +1326,18 @@ let serve_cmd =
             "Hash-indexed store snapshot ($(b,compact) writes it): the store \
              warm-starts from it and serves memory misses out of its index \
              (docs/CLUSTER.md).")
+  in  let admission_target_arg =
+    Arg.(
+      value & opt float 250.
+      & info [ "admission-target-ms" ] ~docv:"MS"
+          ~doc:
+            "Admission-to-completion latency target of the adaptive (AIMD) \
+             concurrency limiter; sustained completions above it shrink the \
+             admission limit (docs/SERVER.md).")
   in
+
   let run socket port jobs max_inflight queue batch store_path fsync_every snapshot_path
-      max_transport fmt obs =
+      max_transport admission_target_ms fmt obs =
     obs_begin obs;
     let listen =
       match port with
@@ -1337,8 +1346,8 @@ let serve_cmd =
     in
     let cfg =
       {
-        Server.Daemon.listen;
-        jobs;
+        (Server.Daemon.default_config listen) with
+        Server.Daemon.jobs;
         max_inflight;
         queue_capacity = queue;
         batch_max = batch;
@@ -1346,6 +1355,7 @@ let serve_cmd =
         snapshot_path;
         fsync_every;
         max_transport;
+        admission_target_ms;
       }
     in
     let t = Server.Daemon.create cfg in
@@ -1387,7 +1397,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ jobs_arg $ inflight_arg $ queue_cap_arg
       $ batch_arg $ store_path_arg $ fsync_arg $ snapshot_arg $ serve_transport_arg
-      $ format_arg $ obs_term)
+      $ admission_target_arg $ format_arg $ obs_term)
 
 (* ------------------------------ compact ---------------------------- *)
 
@@ -1519,13 +1529,43 @@ let route_cmd =
       & info [ "shard-transport" ] ~docv:"T"
           ~doc:"Wire dialect towards the shards: $(b,binary) (default) or $(b,json).")
   in
+  let hedge_delay_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "hedge-delay-ms" ] ~docv:"MS"
+          ~doc:
+            "Hedge analyze requests still unanswered after $(docv) on the shard's \
+             follower: $(b,0) (default) adapts to twice the shard's observed p99, \
+             a positive value fixes the delay, $(b,-1) disables hedging.")
+  in
+  let hedge_budget_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "hedge-budget" ] ~docv:"N"
+          ~doc:"Hedge token-bucket capacity (refills one budget per second); \
+                $(b,0) disables hedging.")
+  in
+  let latency_limit_arg =
+    Arg.(
+      value & opt float 500.
+      & info [ "latency-limit-ms" ] ~docv:"MS"
+          ~doc:
+            "Probe-latency EWMA above which a shard's circuit breaker opens and \
+             its analyze traffic diverts to the follower; $(b,0) disables the \
+             breaker.")
+  in
   let run socket port shards pool health_interval_ms health_threshold vnodes
-      shard_transport max_transport fmt obs =
+      shard_transport max_transport hedge_delay_ms hedge_budget latency_limit_ms fmt obs =
     obs_begin obs;
     let listen =
       match port with
       | Some p -> Server.Daemon.Tcp p
       | None -> Server.Daemon.Unix_sock socket
+    in
+    let hedge =
+      if hedge_delay_ms < 0 then Cluster.Router.No_hedge
+      else if hedge_delay_ms = 0 then Cluster.Router.Adaptive
+      else Cluster.Router.Fixed_ms hedge_delay_ms
     in
     let cfg =
       {
@@ -1537,6 +1577,9 @@ let route_cmd =
         health_interval_ms;
         health_threshold;
         vnodes;
+        hedge;
+        hedge_budget;
+        latency_limit_ms;
       }
     in
     let t = Cluster.Router.create cfg in
@@ -1569,7 +1612,7 @@ let route_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ shard_arg $ pool_arg $ health_interval_arg
       $ health_threshold_arg $ vnodes_arg $ shard_transport_arg $ serve_transport_arg
-      $ format_arg $ obs_term)
+      $ hedge_delay_arg $ hedge_budget_arg $ latency_limit_arg $ format_arg $ obs_term)
 
 (* ------------------------------- client ----------------------------- *)
 
@@ -1721,7 +1764,18 @@ let chaos_cmd =
       value
       & opt (list string) [ "io"; "worker"; "conn" ]
       & info [ "faults" ] ~docv:"CLASSES"
-          ~doc:"Comma-separated fault classes to arm: io, conn, worker, clock.")
+          ~doc:
+            "Comma-separated fault classes to arm: io, conn, worker, clock, \
+             cluster, latency.")
+  in
+  let delay_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "delay-ms" ] ~docv:"MS"
+          ~doc:
+            "Stall applied by fired $(i,latency)-class consults (default 25, or \
+             50 under $(b,--cluster)); ambient — applied, never logged per event.")
   in
   let rate_arg =
     Arg.(
@@ -1765,6 +1819,40 @@ let chaos_cmd =
             "Write the canonical fault log (one $(i,site#seq action) line each) to \
              $(docv); two runs with the same seed must produce identical files.")
   in
+  let kill_arg =
+    Arg.(
+      value
+      & opt (enum [ ("drain", false); ("hard", true) ]) false
+      & info [ "kill" ] ~docv:"MODE"
+          ~doc:
+            "How $(b,--cluster) kills the doomed shard: $(b,drain) (default, \
+             graceful) or $(b,hard) (SIGKILL-grade abort — queued work and \
+             buffered replies discarded; pair with $(b,--fsync-every) 1 to audit \
+             the sync-per-ack durability contract).")
+  in
+  let chaos_fsync_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "fsync-every" ] ~docv:"N"
+          ~doc:"Shard daemons' store sync interval under $(b,--cluster).")
+  in
+  let slo_arg =
+    Arg.(
+      value & flag
+      & info [ "slo" ]
+          ~doc:
+            "Three-pass SLO audit under $(b,--cluster): fault-free baseline, gray \
+             (latency faults) with hedging, gray without; convergence then also \
+             requires hedged p99 within max(3x baseline, 25 ms) while unhedged \
+             degrades past it.  With the default $(b,--faults) the armed classes \
+             become just $(i,latency).")
+  in
+  let no_hedge_arg =
+    Arg.(
+      value & flag
+      & info [ "no-hedge" ]
+          ~doc:"Disable router hedging in the $(b,--cluster) main pass.")
+  in
   let cluster_arg =
     Arg.(
       value & opt int 0
@@ -1789,14 +1877,18 @@ let chaos_cmd =
             lines)
   in
   let run_cluster ~shards ~seed ~requests ~distinct ~size ~classes ~rate ~transport
-      ~expect_converged ~out ~fault_log fmt obs =
+      ~hard_kill ~fsync_every ~slo ~no_hedge ~delay_ms ~expect_converged ~out
+      ~fault_log fmt obs =
     let classes =
-      if classes = [ "io"; "worker"; "conn" ] then [ "cluster" ] else classes
+      if classes = [ "io"; "worker"; "conn" ] then
+        if slo then [ "latency" ] else [ "cluster" ]
+      else classes
     in
     let r =
       Cluster.Chaos_cluster.run
         { Cluster.Chaos_cluster.seed; requests; distinct; size; shards; classes;
-          rate; transport }
+          rate; transport; hedge = not no_hedge; hard_kill; fsync_every; slo;
+          delay_ms = Option.value delay_ms ~default:50 }
     in
     let doc =
       Json.versioned ~command:"chaos"
@@ -1829,16 +1921,33 @@ let chaos_cmd =
         r.Cluster.Chaos_cluster.disagreements
         (if r.Cluster.Chaos_cluster.converged then "converged" else "DIVERGED")
         r.Cluster.Chaos_cluster.p50_ms r.Cluster.Chaos_cluster.p95_ms
-        r.Cluster.Chaos_cluster.p99_ms);
+        r.Cluster.Chaos_cluster.p99_ms;
+      Printf.printf "hedges = %d (%d won), delays = %d\n"
+        r.Cluster.Chaos_cluster.hedges r.Cluster.Chaos_cluster.hedge_wins
+        r.Cluster.Chaos_cluster.delays;
+      match r.Cluster.Chaos_cluster.slo with
+      | None -> ()
+      | Some s ->
+        Printf.printf
+          "slo: baseline p99 = %.2f ms, hedged p99 = %.2f ms (bound %.2f ms, %s), \
+           unhedged p99 = %.2f ms (%s)\n"
+          s.Cluster.Chaos_cluster.baseline_p99_ms
+          s.Cluster.Chaos_cluster.hedged_p99_ms s.Cluster.Chaos_cluster.bound_ms
+          (if s.Cluster.Chaos_cluster.hedged_within_bound then "within" else "OVER")
+          s.Cluster.Chaos_cluster.unhedged_p99_ms
+          (if s.Cluster.Chaos_cluster.unhedged_degraded then "degraded as expected"
+           else "NOT degraded"));
     obs_end obs fmt;
     if expect_converged && not r.Cluster.Chaos_cluster.converged then exit 1
   in
   let run seed requests distinct size classes rate concurrency jobs transport cluster
-      expect_converged out fault_log fmt obs =
+      hard_kill fsync_every slo no_hedge delay_ms expect_converged out fault_log fmt
+      obs =
     obs_begin obs;
     if cluster > 0 then
       run_cluster ~shards:cluster ~seed ~requests ~distinct ~size ~classes ~rate
-        ~transport ~expect_converged ~out ~fault_log fmt obs
+        ~transport ~hard_kill ~fsync_every ~slo ~no_hedge ~delay_ms ~expect_converged
+        ~out ~fault_log fmt obs
     else begin
     let r =
       Server.Chaos.run
@@ -1853,6 +1962,7 @@ let chaos_cmd =
           jobs;
           deadline_ms = None;
           transport;
+          delay_ms = Option.value delay_ms ~default:25;
         }
     in
     let doc =
@@ -1895,6 +2005,7 @@ let chaos_cmd =
     Term.(
       const run $ seed_arg $ requests_arg $ distinct_arg $ size_arg $ faults_arg
       $ rate_arg $ concurrency_arg $ jobs_arg $ client_transport_arg $ cluster_arg
+      $ kill_arg $ chaos_fsync_arg $ slo_arg $ no_hedge_arg $ delay_ms_arg
       $ expect_converged_arg $ out_arg $ fault_log_arg $ format_arg $ obs_term)
 
 (* ------------------------------- main ------------------------------ *)

@@ -5,19 +5,34 @@
     one follower each, one {!Router} — and drives [requests] analyze
     queries through the router from a single retrying session.  An
     armed {!Fault.Plan} decides, at the [shard.kill] site, when the
-    doomed shard (index [seed mod shards]) dies; the driver drains it,
+    doomed shard (index [seed mod shards]) dies; the driver kills it
+    (graceful drain, or {!Server.Daemon.abort} when [hard_kill] — the
+    SIGKILL-grade path the [fsync_every = 1] durability leg uses),
     calls {!Router.promote_shard}, and keeps going.  After the run the
     audit re-derives placement through the same {!Ring} and reopens
-    the journal that must now hold each acked write — the follower's
-    for the killed shard — and compares byte-for-byte with a
-    fault-free ground truth.
+    the journals that may now hold each acked write — the follower's
+    (only) for the killed shard; primary {e or} follower for a live
+    shard, since a hedge that won on the follower acked the write
+    there — and compares byte-for-byte with a fault-free ground truth.
 
     Determinism: with the default [classes = ["cluster"]] only
     [shard.kill] and [route.forward] are armed, both consulted on the
     single driver thread's synchronous request path; the fleet's
     background traffic consults only {e disabled} sites, which never
     bump counters — so two same-seed runs produce byte-identical
-    fault logs (the CI cluster-smoke job diffs them). *)
+    fault logs (the CI cluster-smoke job diffs them).  The [latency]
+    class extends the contract to gray failures: its sites are ambient
+    (stall, never log per event), so the log stays byte-identical even
+    though stalls and hedge races are not schedule-deterministic.
+
+    SLO mode ([slo = true]) runs three passes — fault-free baseline,
+    gray with hedging, gray without — and the report's [slo] field
+    carries the p99 of each plus the audited bound
+    [max (3 * baseline_p99) 25ms]: convergence then additionally
+    requires the hedged pass under the bound and the unhedged pass
+    over it.  Arm it with [classes = ["latency"]] (the CI gray smoke
+    does): kills would remove hedge partners mid-pass and void the
+    bound. *)
 
 type config = {
   seed : int;
@@ -28,11 +43,26 @@ type config = {
   classes : string list;
   rate : float;
   transport : Server.Wire.version;
+  hedge : bool;        (** Router hedging (fixed 5 ms delay) in the main pass. *)
+  hard_kill : bool;    (** Kill via {!Server.Daemon.abort} instead of drain. *)
+  fsync_every : int;   (** Shard daemons' store sync interval. *)
+  slo : bool;          (** Three-pass SLO audit (see above). *)
+  delay_ms : int;      (** Stall applied by fired latency-site consults. *)
 }
 
 val default_config : config
 (** Seed 42, 500 requests, 32 distinct instances, size 4, 3 shards,
-    classes [["cluster"]], rate 0.1, v1 transport. *)
+    classes [["cluster"]], rate 0.1, v1 transport, hedging on,
+    graceful kill, [fsync_every = 4], SLO off, 50 ms gray delay. *)
+
+type slo_report = {
+  baseline_p99_ms : float;
+  hedged_p99_ms : float;
+  unhedged_p99_ms : float;
+  bound_ms : float;             (** [max (3 * baseline_p99) 25ms]. *)
+  hedged_within_bound : bool;
+  unhedged_degraded : bool;     (** Unhedged p99 over the same bound. *)
+}
 
 type report = {
   seed : int;
@@ -47,18 +77,23 @@ type report = {
   attempts : int;
   disagreements : int;   (** Replies differing from ground truth. *)
   acked : int;           (** Distinct instances with an acked write. *)
-  lost_writes : int;     (** Acked writes missing from the owning journal. *)
+  lost_writes : int;     (** Acked writes missing from every owning journal. *)
   faults : int;
+  delays : int;          (** Ambient latency stalls applied ({!Fault.Plan.delays_injected}). *)
   site_counts : (string * int) list;
   killed_shard : int;    (** [-1] when the plan never fired [shard.kill]. *)
   killed_at : int;       (** Request index of the kill, [-1] when none. *)
   promoted : bool;
   promotions : int;
+  hedges : int;          (** Hedge re-issues the router sent. *)
+  hedge_wins : int;      (** Hedges whose reply arrived first. *)
   fingerprint : string;
   fault_log : string list;
   converged : bool;
-      (** Zero disagreements, zero lost acked writes, some successes —
-          and, if a kill fired, a successful promotion. *)
+      (** Zero disagreements, zero lost acked writes, some successes,
+          a successful promotion if a kill fired — and, in SLO mode,
+          the hedged-under-bound / unhedged-over-bound pair. *)
+  slo : slo_report option;
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
@@ -66,7 +101,7 @@ type report = {
 }
 
 val run : config -> report
-(** @raise Invalid_argument on a non-positive [requests], [distinct]
-    or [shards]. *)
+(** @raise Invalid_argument on a non-positive [requests], [distinct],
+    [shards] or [fsync_every]. *)
 
 val json_of_report : report -> Json.t

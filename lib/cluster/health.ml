@@ -1,35 +1,122 @@
-(* Consecutive-failure shard health tracking.  Deliberately tiny: the
-   router's monitor thread feeds it one probe result per interval and
-   acts on the single [`Failed] edge it reports. *)
+(* Latency-aware shard health: a consecutive-failure tracker (the
+   crash-detection edge the router promotes on, unchanged) plus a
+   latency EWMA driving a per-shard circuit breaker, so a shard that
+   is up but *slow* — a gray failure — is demoted off the hot path and
+   probed back in.  The router's monitor thread feeds it one probe
+   result per interval. *)
 
-type verdict = [ `Ok | `Failed ]
+type breaker = Closed | Open | Half_open
+type verdict = [ `Ok | `Failed | `Opened | `Recovered ]
 
 type t = {
   threshold : int;
+  alpha : float;
+  latency_limit_ms : float;
+  cooldown : int;
   mutable consecutive : int;
   mutable probes : int;
   mutable failures : int;
+  mutable ewma : float; (* nan until the first latency sample *)
+  mutable state : breaker;
+  mutable open_since : int; (* probe count when the breaker opened *)
+  mutable opens : int;
 }
 
-let create ?(threshold = 3) () =
+let create ?(threshold = 3) ?(alpha = 0.3) ?(latency_limit_ms = 500.)
+    ?(cooldown = 3) () =
   if threshold < 1 then invalid_arg "Health.create: threshold must be >= 1";
-  { threshold; consecutive = 0; probes = 0; failures = 0 }
+  if not (alpha > 0. && alpha <= 1.) then
+    invalid_arg "Health.create: alpha must be in (0, 1]";
+  if cooldown < 1 then invalid_arg "Health.create: cooldown must be >= 1";
+  {
+    threshold;
+    alpha;
+    latency_limit_ms;
+    cooldown;
+    consecutive = 0;
+    probes = 0;
+    failures = 0;
+    ewma = Float.nan;
+    state = Closed;
+    open_since = 0;
+    opens = 0;
+  }
 
-let note t ~ok : verdict =
+let breaker_enabled t = t.latency_limit_ms > 0.
+
+let open_breaker t =
+  t.state <- Open;
+  t.open_since <- t.probes;
+  t.opens <- t.opens + 1
+
+let note t ?latency_ms ~ok () : verdict =
   t.probes <- t.probes + 1;
-  if ok then begin
-    t.consecutive <- 0;
-    `Ok
-  end
-  else begin
+  if not ok then begin
     t.failures <- t.failures + 1;
     t.consecutive <- t.consecutive + 1;
+    (* A failed probe while half-open slams the breaker shut again
+       (shut = Open: traffic stays off the shard). *)
+    if breaker_enabled t && t.state = Half_open then open_breaker t;
     (* Report the threshold crossing exactly once; staying down is not
        news — the router must not re-promote on every later probe. *)
     if t.consecutive = t.threshold then `Failed else `Ok
   end
+  else begin
+    t.consecutive <- 0;
+    match latency_ms with
+    | None -> `Ok
+    | Some ms ->
+      if not (breaker_enabled t) then begin
+        t.ewma <-
+          (if Float.is_nan t.ewma then ms
+           else (t.alpha *. ms) +. ((1. -. t.alpha) *. t.ewma));
+        `Ok
+      end
+      else begin
+        match t.state with
+        | Closed ->
+          t.ewma <-
+            (if Float.is_nan t.ewma then ms
+             else (t.alpha *. ms) +. ((1. -. t.alpha) *. t.ewma));
+          if t.ewma > t.latency_limit_ms then begin
+            open_breaker t;
+            `Opened
+          end
+          else `Ok
+        | Open ->
+          (* While open the EWMA is frozen — the shard serves no
+             traffic, and the probe stream alone decides when to try
+             it again, after [cooldown] probes. *)
+          if t.probes - t.open_since >= t.cooldown then t.state <- Half_open;
+          `Ok
+        | Half_open ->
+          (* One trial probe decides: fast closes the breaker (and
+             restarts the EWMA from this sample, forgetting the slow
+             episode), slow re-opens it. *)
+          if ms <= t.latency_limit_ms then begin
+            t.state <- Closed;
+            t.ewma <- ms;
+            `Recovered
+          end
+          else begin
+            open_breaker t;
+            `Ok
+          end
+      end
+  end
 
+let state t = t.state
+
+let state_name t =
+  match t.state with
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+let ewma_ms t = if Float.is_nan t.ewma then 0. else t.ewma
+let opens t = t.opens
 let consecutive t = t.consecutive
 let probes t = t.probes
 let failures t = t.failures
 let threshold t = t.threshold
+let latency_limit_ms t = t.latency_limit_ms

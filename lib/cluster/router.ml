@@ -14,6 +14,27 @@
    [ping]/[stats]/[drain]/[hello] answer inline; [ship] is rejected —
    it is the replication channel, shard-direct by contract.
 
+   Gray-failure machinery (docs/RESILIENCE.md):
+
+   - every in-flight request is one [reqstate] shared by however many
+     upstream copies exist; [r_done] is the first-wins latch (atomic
+     exchange), [r_outstanding] counts copies still parked so a lost
+     connection only errors the client when the *last* copy dies;
+   - a hedge thread ticks every millisecond over the table of
+     hedgeable analyze requests; once a request has been in flight
+     longer than the hedge delay (fixed, or adaptive: 2x the shard's
+     observed p99), it re-issues the request on the shard's follower
+     with the *remaining* deadline restamped, guarded by a token
+     bucket so a melting shard cannot double the fleet's load;
+   - the monitor times its pings and feeds latency into {!Health}'s
+     EWMA circuit breaker; while a shard's breaker is [Open] its
+     analyze traffic diverts to the follower, and [pick_rr] prefers
+     shards whose breaker is closed.
+
+   Hedging is byte-safe because verdicts are deterministic: primary
+   and follower produce identical bytes for the same analyze, so
+   taking the first reply never changes an answer.
+
    Failover: a monitor thread pings every shard each health interval
    and pumps its journal {!Shipper}; when {!Health} reports the
    threshold crossing, the shard's follower is caught up from the
@@ -26,13 +47,16 @@
    [c_olock].  Fault sites: [route.forward] (class [cluster]) is
    consulted once per forwarded request, on the client's thread, so a
    single-driver chaos run consults it at a seed-reproducible
-   sequence. *)
+   sequence; hedge re-issues never consult it (they are not part of
+   the seeded request stream). *)
 
 type shard_spec = {
   primary : Server.Client.addr;
   follower : Server.Client.addr option;
   journal : string option;
 }
+
+type hedge_policy = No_hedge | Fixed_ms of int | Adaptive
 
 type config = {
   listen : Server.Daemon.listen;
@@ -43,6 +67,9 @@ type config = {
   health_interval_ms : int;
   health_threshold : int;
   vnodes : int;
+  hedge : hedge_policy;
+  hedge_budget : int;
+  latency_limit_ms : float;
 }
 
 let default_config listen shards =
@@ -55,6 +82,9 @@ let default_config listen shards =
     health_interval_ms = 1000;
     health_threshold = 3;
     vnodes = 64;
+    hedge = Adaptive;
+    hedge_budget = 64;
+    latency_limit_ms = 500.;
   }
 
 type client = {
@@ -65,9 +95,25 @@ type client = {
   mutable c_closed : bool;
 }
 
-type pending = { p_client : client; p_id : Json.t }
+(* One forwarded request; shared by every upstream copy (primary send
+   plus any hedge).  [r_done] is the first-reply-wins latch;
+   [r_outstanding] counts copies still parked in pending tables so a
+   dead connection errors the client only when no copy is left. *)
+type reqstate = {
+  r_client : client;
+  r_id : Json.t;
+  r_req : Server.Protocol.request;
+  r_deadline : float;  (* absolute seconds; nan = no deadline *)
+  r_sent_at : float;
+  r_done : bool Atomic.t;
+  r_hedged : bool Atomic.t;
+  r_outstanding : int Atomic.t;
+  r_shard : shard;
+}
 
-type uconn = {
+and pending = { p_state : reqstate; p_hedge : bool }
+
+and uconn = {
   u : Server.Client.conn;
   u_send : Mutex.t;
   u_pending : (int, pending) Hashtbl.t;
@@ -76,7 +122,7 @@ type uconn = {
   mutable u_reader : Thread.t option;
 }
 
-type shard = {
+and shard = {
   idx : int;
   spec : shard_spec;
   s_lock : Mutex.t;
@@ -84,9 +130,15 @@ type shard = {
   mutable alive : bool;
   mutable promoted : bool;
   mutable pool : uconn list;
+  mutable f_pool : uconn list;  (* follower pool: hedges + breaker diverts *)
   mutable next_conn : int;
+  mutable f_next : int;
   mutable forwarded : int;
   mutable shed : int;
+  mutable hedges : int;
+  mutable hedge_wins : int;
+  lat : float array;  (* ring of recent first-reply latencies, ms *)
+  mutable lat_n : int;
   health : Health.t;
   shipper : Shipper.t option;
 }
@@ -106,15 +158,25 @@ type t = {
   mutable clients : (client * Thread.t) list;
   mutable accepted : int;
   mutable promotions : int;
+  inflight : (int, reqstate) Hashtbl.t;  (* hedgeable requests, by primary rid *)
+  i_lock : Mutex.t;
+  h_lock : Mutex.t;   (* hedge token bucket *)
+  mutable h_tokens : float;
+  mutable h_refill_at : float;
 }
 
 let m_forwarded = Obs.Metrics.counter "router.forwarded"
 let m_shed = Obs.Metrics.counter "router.shed"
 let m_promotions = Obs.Metrics.counter "router.promotions"
+let m_hedges = Obs.Metrics.counter "cluster.hedges"
+let m_hedge_wins = Obs.Metrics.counter "cluster.hedge_wins"
+let g_breaker = Obs.Metrics.gauge "cluster.breaker_state"
 
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let hedging_active t = t.cfg.hedge <> No_hedge && t.cfg.hedge_budget > 0
 
 (* ----------------------------- listening --------------------------- *)
 
@@ -171,10 +233,18 @@ let create (cfg : config) =
              alive = true;
              promoted = false;
              pool = [];
+             f_pool = [];
              next_conn = 0;
+             f_next = 0;
              forwarded = 0;
              shed = 0;
-             health = Health.create ~threshold:cfg.health_threshold ();
+             hedges = 0;
+             hedge_wins = 0;
+             lat = Array.make 64 0.;
+             lat_n = 0;
+             health =
+               Health.create ~threshold:cfg.health_threshold
+                 ~latency_limit_ms:cfg.latency_limit_ms ();
              shipper =
                (match (spec.journal, spec.follower) with
                | Some journal, Some follower ->
@@ -198,6 +268,11 @@ let create (cfg : config) =
     clients = [];
     accepted = 0;
     promotions = 0;
+    inflight = Hashtbl.create 64;
+    i_lock = Mutex.create ();
+    h_lock = Mutex.create ();
+    h_tokens = float_of_int (max 0 cfg.hedge_budget);
+    h_refill_at = Unix.gettimeofday ();
   }
 
 let ring t = t.ring
@@ -234,6 +309,31 @@ let close_client t c =
   locked t.lock (fun () ->
       t.clients <- List.filter (fun (cl, _) -> cl != c) t.clients)
 
+(* --------------------------- latency ring -------------------------- *)
+
+let record_latency shard ms =
+  locked shard.s_lock (fun () ->
+      shard.lat.(shard.lat_n mod Array.length shard.lat) <- ms;
+      shard.lat_n <- shard.lat_n + 1)
+
+(* Caller holds [s_lock]. *)
+let ring_p99_locked shard =
+  let n = min shard.lat_n (Array.length shard.lat) in
+  if n = 0 then 0.
+  else begin
+    let a = Array.sub shard.lat 0 n in
+    Array.sort compare a;
+    a.(min (n - 1) (n * 99 / 100))
+  end
+
+let hedge_delay_ms t shard =
+  match t.cfg.hedge with
+  | No_hedge -> infinity
+  | Fixed_ms n -> float_of_int n
+  | Adaptive ->
+    let p99 = locked shard.s_lock (fun () -> ring_p99_locked shard) in
+    if p99 <= 0. then 10. else Float.max 1. (2. *. p99)
+
 (* --------------------------- upstream pool ------------------------- *)
 
 let take_pending uc rid =
@@ -250,25 +350,32 @@ let drain_pendings uc =
       Hashtbl.reset uc.u_pending;
       l)
 
-(* Idempotent: the first caller wins; every parked request completes
-   with a retriable [overloaded] so sessions re-issue elsewhere.  The
-   descriptor is only shut down here — the reader thread, the sole
-   blocked reader, closes it on its way out. *)
+(* Idempotent: the first caller wins; a parked request completes with
+   a retriable [overloaded] only when the dying copy was its *last*
+   outstanding one — a hedged request whose other copy is still parked
+   elsewhere just loses a redundant leg.  The descriptor is only shut
+   down here — the reader thread, the sole blocked reader, closes it
+   on its way out. *)
 let fail_uconn shard uc =
   let first =
     locked shard.s_lock (fun () ->
         let first = not uc.u_dead in
         uc.u_dead <- true;
-        if first then shard.pool <- List.filter (fun x -> x != uc) shard.pool;
+        if first then begin
+          shard.pool <- List.filter (fun x -> x != uc) shard.pool;
+          shard.f_pool <- List.filter (fun x -> x != uc) shard.f_pool
+        end;
         first)
   in
   if first then begin
     Server.Client.shutdown uc.u;
     List.iter
       (fun p ->
-        send_client p.p_client
-          (Server.Protocol.error_reply ~id:p.p_id ~code:"overloaded"
-             ~detail:(Printf.sprintf "shard %d connection lost" shard.idx)))
+        let left = Atomic.fetch_and_add p.p_state.r_outstanding (-1) - 1 in
+        if left <= 0 && not (Atomic.exchange p.p_state.r_done true) then
+          send_client p.p_state.r_client
+            (Server.Protocol.error_reply ~id:p.p_state.r_id ~code:"overloaded"
+               ~detail:(Printf.sprintf "shard %d connection lost" shard.idx)))
       (drain_pendings uc)
   end
 
@@ -283,7 +390,19 @@ let upstream_reader shard uc =
     (match Server.Protocol.reply_id reply with
     | Json.Int rid -> (
       match take_pending uc rid with
-      | Some p -> send_client p.p_client (restamp p.p_id reply)
+      | Some p ->
+        ignore (Atomic.fetch_and_add p.p_state.r_outstanding (-1));
+        (* First reply wins; the loser (if any) is dropped when its
+           copy surfaces here or its connection dies. *)
+        if not (Atomic.exchange p.p_state.r_done true) then begin
+          send_client p.p_state.r_client (restamp p.p_state.r_id reply);
+          record_latency shard
+            ((Unix.gettimeofday () -. p.p_state.r_sent_at) *. 1000.);
+          if p.p_hedge then begin
+            locked shard.s_lock (fun () -> shard.hedge_wins <- shard.hedge_wins + 1);
+            Obs.Metrics.incr m_hedge_wins
+          end
+        end
       | None -> () (* already failed over; the session re-issued *))
     | _ -> () (* unroutable reply; drop *));
     loop ()
@@ -292,19 +411,33 @@ let upstream_reader shard uc =
   fail_uconn shard uc;
   Server.Client.close uc.u
 
-let get_uconn t shard =
+(* [addr_of]/[pool_of] select the primary pool or the follower pool;
+   both share the reader, the pending table and the failure path. *)
+let get_conn t shard ~follower =
   locked shard.s_lock (fun () ->
-      if not shard.alive then None
-      else begin
-        let live = List.filter (fun uc -> not uc.u_dead) shard.pool in
+      let addr =
+        if follower then shard.spec.follower
+        else if shard.alive then Some shard.target
+        else None
+      in
+      match addr with
+      | None -> None
+      | Some addr ->
+        let pool = if follower then shard.f_pool else shard.pool in
+        let live = List.filter (fun uc -> not uc.u_dead) pool in
         let n = List.length live in
+        let cursor = if follower then shard.f_next else shard.next_conn in
+        let bump () =
+          if follower then shard.f_next <- shard.f_next + 1
+          else shard.next_conn <- shard.next_conn + 1
+        in
         if n >= t.cfg.pool_size then begin
-          let uc = List.nth live (shard.next_conn mod n) in
-          shard.next_conn <- shard.next_conn + 1;
+          let uc = List.nth live (cursor mod n) in
+          bump ();
           Some uc
         end
         else
-          match Server.Client.connect ~transport:t.cfg.shard_transport shard.target with
+          match Server.Client.connect ~transport:t.cfg.shard_transport addr with
           | u ->
             let uc =
               {
@@ -317,23 +450,30 @@ let get_uconn t shard =
               }
             in
             uc.u_reader <- Some (Thread.create (fun () -> upstream_reader shard uc) ());
-            shard.pool <- uc :: shard.pool;
-            shard.next_conn <- shard.next_conn + 1;
+            if follower then shard.f_pool <- uc :: shard.f_pool
+            else shard.pool <- uc :: shard.pool;
+            bump ();
             Some uc
-          | exception (Unix.Unix_error _ | Failure _ | Sys_error _) -> None
-      end)
+          | exception (Unix.Unix_error _ | Failure _ | Sys_error _) -> None)
+
+let get_uconn t shard = get_conn t shard ~follower:false
 
 (* ----------------------------- forwarding -------------------------- *)
 
-let send_upstream uc ~rid (req : Server.Protocol.request) =
+(* [deadline_override], when given, replaces the request's stamped
+   deadline with the *remaining* budget — the hedge path computes it
+   from the absolute deadline so a re-issued request never tells the
+   follower it has the full original allowance. *)
+let send_upstream ?deadline_override uc ~rid (req : Server.Protocol.request) =
+  let dl orig = match deadline_override with Some _ -> deadline_override | None -> orig in
   locked uc.u_send (fun () ->
       match req with
       | Server.Protocol.Analyze { mu; tmat; deadline_ms } ->
-        Server.Client.send_analyze uc.u ~id:rid ?deadline_ms ~mu tmat
+        Server.Client.send_analyze uc.u ~id:rid ?deadline_ms:(dl deadline_ms) ~mu tmat
       | Server.Protocol.Search { algorithm; mu; s; pareto; array_dim; deadline_ms } ->
         Server.Client.send uc.u
-          (Server.Protocol.search ~id:(Json.Int rid) ?deadline_ms ?s ~pareto ~array_dim
-             ~algorithm ~mu ())
+          (Server.Protocol.search ~id:(Json.Int rid) ?deadline_ms:(dl deadline_ms) ?s
+             ~pareto ~array_dim ~algorithm ~mu ())
       | Server.Protocol.Simulate { algorithm; mu; s; pi } ->
         Server.Client.send uc.u
           (Server.Protocol.simulate ~id:(Json.Int rid) ?s ~algorithm ~mu ~pi ())
@@ -348,16 +488,55 @@ let shed shard c ~id detail =
   Obs.Metrics.incr m_shed;
   send_client c (Server.Protocol.error_reply ~id ~code:"overloaded" ~detail)
 
+let request_deadline_ms : Server.Protocol.request -> int option = function
+  | Server.Protocol.Analyze { deadline_ms; _ } -> deadline_ms
+  | Server.Protocol.Search { deadline_ms; _ } -> deadline_ms
+  | _ -> None
+
 let forward t c ~id shard req =
   if Fault.should_fail "route.forward" then
     shed shard c ~id "fault injected: route.forward"
-  else
-    match get_uconn t shard with
+  else begin
+    let is_analyze = match req with Server.Protocol.Analyze _ -> true | _ -> false in
+    let promoted = locked shard.s_lock (fun () -> shard.promoted) in
+    let has_follower = shard.spec.follower <> None && not promoted in
+    (* Breaker open: the shard is up but slow — divert its analyze
+       traffic to the follower (same bytes, deterministic verdicts)
+       while the monitor probes it back in. *)
+    let divert = is_analyze && has_follower && Health.state shard.health = Health.Open in
+    let conn =
+      if divert then
+        match get_conn t shard ~follower:true with
+        | Some uc -> Some uc
+        | None -> get_uconn t shard
+      else get_uconn t shard
+    in
+    match conn with
     | None -> shed shard c ~id (Printf.sprintf "shard %d unavailable" shard.idx)
     | Some uc -> (
       let rid = Atomic.fetch_and_add t.next_rid 1 in
+      let now = Unix.gettimeofday () in
+      let r =
+        {
+          r_client = c;
+          r_id = id;
+          r_req = req;
+          r_deadline =
+            (match request_deadline_ms req with
+            | Some d -> now +. (float_of_int d /. 1000.)
+            | None -> Float.nan);
+          r_sent_at = now;
+          r_done = Atomic.make false;
+          r_hedged = Atomic.make false;
+          r_outstanding = Atomic.make 1;
+          r_shard = shard;
+        }
+      in
+      let hedgeable = is_analyze && has_follower && (not divert) && hedging_active t in
       locked uc.u_plock (fun () ->
-          Hashtbl.replace uc.u_pending rid { p_client = c; p_id = id });
+          Hashtbl.replace uc.u_pending rid { p_state = r; p_hedge = false });
+      if hedgeable then
+        locked t.i_lock (fun () -> Hashtbl.replace t.inflight rid r);
       match send_upstream uc ~rid req with
       | () ->
         locked shard.s_lock (fun () -> shard.forwarded <- shard.forwarded + 1);
@@ -365,18 +544,102 @@ let forward t c ~id shard req =
       | exception (Unix.Unix_error _ | Sys_error _ | Failure _) ->
         let mine = take_pending uc rid <> None in
         fail_uconn shard uc;
-        if mine then shed shard c ~id (Printf.sprintf "shard %d write failed" shard.idx))
+        if mine then begin
+          Atomic.set r.r_done true;
+          ignore (Atomic.fetch_and_add r.r_outstanding (-1));
+          shed shard c ~id (Printf.sprintf "shard %d write failed" shard.idx)
+        end)
+  end
 
-(* Round-robin over live shards for the ops that carry no key. *)
+(* Round-robin over live shards for the ops that carry no key; shards
+   whose breaker is closed are preferred, so a gray shard only sees
+   stateless traffic when every alternative is at least as sick. *)
 let pick_rr t =
   let n = Array.length t.shards in
-  let rec go tries =
-    if tries = n then None
-    else
-      let s = t.shards.(Atomic.fetch_and_add t.rr 1 mod n) in
-      if s.alive then Some s else go (tries + 1)
+  let pick pred =
+    let rec go tries =
+      if tries = n then None
+      else
+        let s = t.shards.(Atomic.fetch_and_add t.rr 1 mod n) in
+        if pred s then Some s else go (tries + 1)
+    in
+    go 0
   in
-  go 0
+  match pick (fun s -> s.alive && Health.state s.health = Health.Closed) with
+  | Some s -> Some s
+  | None -> pick (fun s -> s.alive)
+
+(* ------------------------------ hedging ---------------------------- *)
+
+(* Token bucket: capacity [hedge_budget], refilling a full budget per
+   second — a bound on sustained hedge rate, not a per-request gate.
+   An empty bucket just skips this tick; the entry stays scannable. *)
+let take_hedge_token t =
+  let cap = float_of_int t.cfg.hedge_budget in
+  locked t.h_lock (fun () ->
+      let now = Unix.gettimeofday () in
+      let dt = Float.max 0. (now -. t.h_refill_at) in
+      t.h_refill_at <- now;
+      t.h_tokens <- Float.min cap (t.h_tokens +. (dt *. cap));
+      if t.h_tokens >= 1. then begin
+        t.h_tokens <- t.h_tokens -. 1.;
+        true
+      end
+      else false)
+
+let hedge_tick t =
+  let now = Unix.gettimeofday () in
+  let entries =
+    locked t.i_lock (fun () ->
+        Hashtbl.fold (fun k r acc -> (k, r) :: acc) t.inflight [])
+  in
+  List.iter
+    (fun (k, r) ->
+      let drop () = locked t.i_lock (fun () -> Hashtbl.remove t.inflight k) in
+      if Atomic.get r.r_done || Atomic.get r.r_hedged then drop ()
+      else begin
+        let elapsed_ms = (now -. r.r_sent_at) *. 1000. in
+        if elapsed_ms >= hedge_delay_ms t r.r_shard then begin
+          let shard = r.r_shard in
+          let remaining =
+            if Float.is_nan r.r_deadline then None
+            else Some (int_of_float ((r.r_deadline -. now) *. 1000.))
+          in
+          let eligible =
+            (match remaining with Some ms -> ms > 0 | None -> true)
+            && locked shard.s_lock (fun () -> shard.alive && not shard.promoted)
+            && shard.spec.follower <> None
+          in
+          if not eligible then drop ()
+          else if take_hedge_token t then begin
+            Atomic.set r.r_hedged true;
+            drop ();
+            match get_conn t shard ~follower:true with
+            | None -> () (* follower unreachable: the primary copy stands alone *)
+            | Some uc -> (
+              let rid = Atomic.fetch_and_add t.next_rid 1 in
+              Atomic.incr r.r_outstanding;
+              locked uc.u_plock (fun () ->
+                  Hashtbl.replace uc.u_pending rid { p_state = r; p_hedge = true });
+              match send_upstream ?deadline_override:remaining uc ~rid r.r_req with
+              | () ->
+                locked shard.s_lock (fun () -> shard.hedges <- shard.hedges + 1);
+                Obs.Metrics.incr m_hedges
+              | exception (Unix.Unix_error _ | Sys_error _ | Failure _) ->
+                let mine = take_pending uc rid <> None in
+                fail_uconn shard uc;
+                if mine then ignore (Atomic.fetch_and_add r.r_outstanding (-1)))
+          end
+          (* else: bucket empty — retry next tick *)
+        end
+      end)
+    entries
+
+let hedger t =
+  while not (Atomic.get t.stopping) do
+    Thread.delay 0.001;
+    hedge_tick t
+  done
 
 (* ---------------------------- promotion ---------------------------- *)
 
@@ -394,8 +657,8 @@ let promote_shard t idx =
   in
   if already then shard.alive
   else begin
-    let pool = locked shard.s_lock (fun () -> shard.pool) in
-    List.iter (fun uc -> fail_uconn shard uc) pool;
+    let pools = locked shard.s_lock (fun () -> shard.pool @ shard.f_pool) in
+    List.iter (fun uc -> fail_uconn shard uc) pools;
     match shard.spec.follower with
     | None -> false (* no replica: the shard stays down *)
     | Some follower ->
@@ -440,17 +703,33 @@ let monitor t =
   in
   while not (Atomic.get t.stopping) do
     sleep interval;
-    if not (Atomic.get t.stopping) then
+    if not (Atomic.get t.stopping) then begin
       Array.iter
         (fun shard ->
           (match shard.shipper with
           | Some sh when not shard.promoted -> ignore (Shipper.pump sh)
           | _ -> ());
-          if shard.alive && not shard.promoted then
-            match Health.note shard.health ~ok:(probe shard.target) with
+          if shard.alive && not shard.promoted then begin
+            let t0 = Unix.gettimeofday () in
+            let ok = probe shard.target in
+            let latency_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+            match Health.note shard.health ~latency_ms ~ok () with
             | `Failed -> ignore (promote_shard t shard.idx)
-            | `Ok -> ())
-        t.shards
+            | `Opened ->
+              ignore
+                (Obs.Warn.once "router.breaker_open"
+                   (Printf.sprintf "shard %d breaker opened (ewma %.1f ms)"
+                      shard.idx (Health.ewma_ms shard.health)))
+            | `Recovered | `Ok -> ()
+          end)
+        t.shards;
+      let open_count =
+        Array.fold_left
+          (fun acc s -> if Health.state s.health <> Health.Closed then acc + 1 else acc)
+          0 t.shards
+      in
+      Obs.Metrics.set_gauge g_breaker (float_of_int open_count)
+    end
   done
 
 (* ------------------------- drain and stats ------------------------- *)
@@ -474,8 +753,13 @@ let stats_fields t =
                    ("alive", Json.Bool s.alive);
                    ("promoted", Json.Bool s.promoted);
                    ("pool", Json.Int (List.length s.pool));
+                   ("follower_pool", Json.Int (List.length s.f_pool));
                    ("forwarded", Json.Int s.forwarded);
                    ("shed", Json.Int s.shed);
+                   ("hedges", Json.Int s.hedges);
+                   ("hedge_wins", Json.Int s.hedge_wins);
+                   ("breaker", Json.Str (Health.state_name s.health));
+                   ("ewma_ms", Json.Float (Health.ewma_ms s.health));
                    ("health_failures", Json.Int (Health.failures s.health));
                    ( "watermark",
                      Json.Int
@@ -485,12 +769,19 @@ let stats_fields t =
          t.shards)
   in
   let accepted, promotions = locked t.lock (fun () -> (t.accepted, t.promotions)) in
+  let hedges, hedge_wins =
+    Array.fold_left
+      (fun (h, w) s -> locked s.s_lock (fun () -> (h + s.hedges, w + s.hedge_wins)))
+      (0, 0) t.shards
+  in
   [
     ("role", Json.Str "router");
     ("shards", Json.Arr shards);
     ("vnodes", Json.Int t.cfg.vnodes);
     ("accepted", Json.Int accepted);
     ("promotions", Json.Int promotions);
+    ("hedges", Json.Int hedges);
+    ("hedge_wins", Json.Int hedge_wins);
     ("draining", Json.Bool (Atomic.get t.stopping));
     ("max_transport", Json.Str (Server.Wire.version_name t.cfg.max_transport));
   ]
@@ -589,6 +880,7 @@ let serve_client t c =
 
 let run t =
   let mon = Thread.create monitor t in
+  let hed = if hedging_active t then Some (Thread.create hedger t) else None in
   let rec accept_loop () =
     if not (Atomic.get t.stopping) then begin
       (match Unix.select [ t.listen_fd; t.pipe_r ] [] [] (-1.) with
@@ -635,13 +927,14 @@ let run t =
     clients;
   List.iter (fun (_, th) -> Thread.join th) clients;
   Thread.join mon;
+  Option.iter Thread.join hed;
   Array.iter
     (fun shard ->
-      let pool = locked shard.s_lock (fun () -> shard.pool) in
-      List.iter (fun uc -> fail_uconn shard uc) pool;
+      let pools = locked shard.s_lock (fun () -> shard.pool @ shard.f_pool) in
+      List.iter (fun uc -> fail_uconn shard uc) pools;
       List.iter
         (fun uc -> match uc.u_reader with Some th -> Thread.join th | None -> ())
-        pool;
+        pools;
       match shard.shipper with
       | Some sh ->
         if not shard.promoted then ignore (Shipper.pump sh);

@@ -26,9 +26,24 @@
     {!Server.Client.session} re-issues; acked writes never roll back
     (the chaos harness audits exactly this).
 
+    Gray failures (docs/RESILIENCE.md): the monitor times its pings
+    and feeds latency into {!Health}'s EWMA circuit breaker.  While a
+    shard's breaker is [Open] — up but slow — its [analyze] traffic
+    diverts to the follower, and the stateless round-robin prefers
+    shards whose breaker is closed.  Independently, a hedge thread
+    re-issues any [analyze] still unanswered after the hedge delay
+    ([Fixed_ms], or [Adaptive]: twice the shard's observed p99) on the
+    shard's follower with the {e remaining} deadline restamped; the
+    first reply wins and the loser is dropped — byte-safe because
+    verdicts are deterministic.  Hedging is guarded by a token bucket
+    of [hedge_budget] tokens (refilling one budget per second) so a
+    melting shard cannot double the fleet's load, and skipped for
+    promoted shards, expired deadlines and shards without a follower.
+
     Fault sites (class [cluster], docs/RESILIENCE.md): [route.forward]
     is consulted once per forwarded request on the client-serving
-    thread, so a single-driver chaos run replays deterministically. *)
+    thread, so a single-driver chaos run replays deterministically;
+    hedge re-issues never consult it. *)
 
 type shard_spec = {
   primary : Server.Client.addr;
@@ -41,20 +56,35 @@ type shard_spec = {
           shipping for this shard. *)
 }
 
+type hedge_policy =
+  | No_hedge          (** Never re-issue; one upstream copy per request. *)
+  | Fixed_ms of int   (** Hedge after a fixed delay. *)
+  | Adaptive
+      (** Hedge after twice the shard's observed p99 first-reply
+          latency (64-sample ring; 10 ms before any sample). *)
+
 type config = {
   listen : Server.Daemon.listen;
   shards : shard_spec list;
-  pool_size : int;            (** Upstream connections per shard. *)
+  pool_size : int;            (** Upstream connections per shard (each pool). *)
   shard_transport : Server.Wire.version;  (** Dialect towards the shards. *)
   max_transport : Server.Wire.version;    (** Newest dialect clients may negotiate. *)
   health_interval_ms : int;
   health_threshold : int;
   vnodes : int;               (** Ring points per shard ({!Ring.make}). *)
+  hedge : hedge_policy;
+  hedge_budget : int;
+      (** Hedge token-bucket capacity (and per-second refill);
+          [<= 0] disables hedging like [No_hedge]. *)
+  latency_limit_ms : float;
+      (** {!Health} breaker threshold on the probe-latency EWMA;
+          [<= 0] disables the breaker. *)
 }
 
 val default_config : Server.Daemon.listen -> shard_spec list -> config
 (** [pool_size = 2], both transports {!Server.Wire.V2}, 1 s health
-    interval, threshold 3, 64 vnodes. *)
+    interval, threshold 3, 64 vnodes, [Adaptive] hedging with budget
+    64, breaker limit 500 ms. *)
 
 type t
 
@@ -91,5 +121,6 @@ val promote_shard : t -> int -> bool
 
 val stats_fields : t -> (string * Json.t) list
 (** The payload of a [stats] reply: per-shard target/liveness/
-    promotion/forwarded/shed/watermark plus accepted, promotions and
-    the transport policy. *)
+    promotion/forwarded/shed/hedges/hedge_wins/breaker/ewma_ms/
+    watermark plus accepted, promotions, total hedges and hedge wins,
+    and the transport policy. *)

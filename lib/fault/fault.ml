@@ -22,9 +22,12 @@ module Plan = struct
       ("budget.clock", "clock");
       ("shard.kill", "cluster");
       ("route.forward", "cluster");
+      ("conn.slow", "latency");
+      ("store.fsync_stall", "latency");
+      ("worker.stall", "latency");
     ]
 
-  let classes = [ "io"; "conn"; "worker"; "clock"; "cluster" ]
+  let classes = [ "io"; "conn"; "worker"; "clock"; "cluster"; "latency" ]
 
   type site_state = { name : string; enabled : bool; count : int Atomic.t }
 
@@ -32,16 +35,20 @@ module Plan = struct
     seed : int;
     rate : float;
     clock_skew_s : float;
+    delay_ms : int;
     max_faults : int option;
     sites : site_state array;
     injected : int Atomic.t;
+    delays : int Atomic.t;
     log : event list ref;
     log_lock : Mutex.t;
   }
 
-  let make ?(rate = 0.1) ?(clock_skew_s = 3600.) ?max_faults ~seed ~classes:cls () =
+  let make ?(rate = 0.1) ?(clock_skew_s = 3600.) ?(delay_ms = 25) ?max_faults
+      ~seed ~classes:cls () =
     if not (rate >= 0. && rate <= 1.) then
       invalid_arg "Fault.Plan.make: rate must be in [0, 1]";
+    if delay_ms < 0 then invalid_arg "Fault.Plan.make: delay_ms must be >= 0";
     List.iter
       (fun c ->
         if not (List.mem c classes) then
@@ -51,6 +58,7 @@ module Plan = struct
       seed;
       rate;
       clock_skew_s;
+      delay_ms;
       max_faults;
       sites =
         Array.of_list
@@ -59,6 +67,7 @@ module Plan = struct
                { name; enabled = List.mem klass cls; count = Atomic.make 0 })
              site_catalogue);
       injected = Atomic.make 0;
+      delays = Atomic.make 0;
       log = ref [];
       log_lock = Mutex.create ();
     }
@@ -99,15 +108,27 @@ module Plan = struct
 
   let fingerprint t = Printf.sprintf "%08x" (fnv1a (String.concat "\n" (log_lines t)))
   let faults_injected t = Atomic.get t.injected
+  let delays_injected t = Atomic.get t.delays
 
   let current : t option Atomic.t = Atomic.make None
 
   let arm p =
     Atomic.set current (Some p);
-    match find_site p "budget.clock" with
+    (match find_site p "budget.clock" with
     | Some s when s.enabled ->
       record p "budget.clock" 0 (Printf.sprintf "skew=%gs" p.clock_skew_s)
-    | _ -> ()
+    | _ -> ());
+    (* Latency sites are ambient like the clock: the only logged event
+       is this arm-time record of the stall magnitude, which is a pure
+       function of the plan's configuration. *)
+    List.iter
+      (fun (name, klass) ->
+        if klass = "latency" then
+          match find_site p name with
+          | Some s when s.enabled ->
+            record p name 0 (Printf.sprintf "delay=%dms" p.delay_ms)
+          | _ -> ())
+      site_catalogue
 
   let disarm () = Atomic.set current None
   let armed () = Atomic.get current <> None
@@ -165,3 +186,28 @@ let clock_now () =
       if Plan.decide p "budget.clock" k then Unix.gettimeofday () +. p.Plan.clock_skew_s
       else Unix.gettimeofday ()
     | _ -> Unix.gettimeofday ())
+
+(* Latency faults are ambient for the same reason the clock is: the
+   firing decision stays a pure function of (seed, site, consult#),
+   but firings are neither logged per event nor charged against
+   [max_faults] — hedged re-issues and stalled-loop interleavings make
+   per-site consult attribution scheduling-dependent across daemons,
+   and the log must stay canonical. *)
+let delay_ms name =
+  match Atomic.get Plan.current with
+  | None -> None
+  | Some p -> (
+    match Plan.find_site p name with
+    | Some s when s.Plan.enabled ->
+      let k = Atomic.fetch_and_add s.Plan.count 1 + 1 in
+      if Plan.decide p name k then begin
+        Atomic.incr p.Plan.delays;
+        Some p.Plan.delay_ms
+      end
+      else None
+    | _ -> None)
+
+let stall name =
+  match delay_ms name with
+  | None -> ()
+  | Some ms -> if ms > 0 then Thread.delay (float_of_int ms /. 1000.)

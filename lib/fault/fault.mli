@@ -31,7 +31,19 @@
       driver/connection paths, so cluster-class fault logs stay
       byte-identical across same-seed runs even though the tier's
       timer-driven health and shipping traffic is not itself
-      deterministic (docs/RESILIENCE.md).
+      deterministic (docs/RESILIENCE.md);
+    - [latency] — gray failures: seeded {e delays}, not errors.  A
+      fired consult stalls the caller by the plan's [delay_ms] instead
+      of failing it: the event-loop read path ([conn.slow]), the
+      store's fsync interval ([store.fsync_stall]) and the batcher's
+      per-batch pop ([worker.stall]).  Consults go through
+      {!delay_ms} / {!stall}, which follow the clock site's ambient
+      contract — pure decision, never logged per event, never charged
+      against [max_faults] — so same-seed fault logs stay
+      byte-identical even when hedged re-issues or stalled loops make
+      consult interleavings race across daemons.  The only logged
+      trace is one arm-time event per enabled latency site recording
+      the stall magnitude.
 
     Every fired fault is recorded in the plan's log; {!Plan.events}
     returns it in a canonical order (site, then per-site sequence
@@ -65,11 +77,12 @@ module Plan : sig
       list (and docs/RESILIENCE.md). *)
 
   val classes : string list
-  (** [["io"; "conn"; "worker"; "clock"; "cluster"]]. *)
+  (** [["io"; "conn"; "worker"; "clock"; "cluster"; "latency"]]. *)
 
   val make :
     ?rate:float ->
     ?clock_skew_s:float ->
+    ?delay_ms:int ->
     ?max_faults:int ->
     seed:int ->
     classes:string list ->
@@ -78,11 +91,12 @@ module Plan : sig
   (** A plan firing each enabled site's consults independently with
       probability [rate] (default [0.1]), decided by a hash of
       [(seed, site, consult#)].  [clock_skew_s] (default one hour) is
-      the forward jump applied to faulted clock reads.  [max_faults]
-      caps the total injections (the clock site is exempt — skew is
-      ambient, not budgeted).
-      @raise Invalid_argument on an unknown class or a rate outside
-      [0, 1]. *)
+      the forward jump applied to faulted clock reads; [delay_ms]
+      (default 25) is the stall applied by fired latency consults.
+      [max_faults] caps the total injections (the clock and latency
+      sites are exempt — they are ambient, not budgeted).
+      @raise Invalid_argument on an unknown class, a rate outside
+      [0, 1], or a negative [delay_ms]. *)
 
   val arm : t -> unit
   (** Install the plan process-wide (replacing any armed plan) and log
@@ -105,6 +119,11 @@ module Plan : sig
       fault logs. *)
 
   val faults_injected : t -> int
+
+  val delays_injected : t -> int
+  (** How many latency consults fired (stalls applied).  Ambient
+      bookkeeping only — delays are never logged per event and never
+      count toward [max_faults] or {!faults_injected}. *)
 end
 
 val should_fail : string -> bool
@@ -124,3 +143,17 @@ val clock_now : unit -> float
     class is enabled a [rate]-fraction of reads (same pure decision
     function) jump forward by the plan's [clock_skew_s].
     [Engine.Budget] reads all wall-clock time through this. *)
+
+val delay_ms : string -> int option
+(** Consult a latency site: [Some ms] when the armed plan fires a
+    stall of [ms] milliseconds here (the caller sleeps), [None]
+    otherwise.  Ambient like {!clock_now}: the decision is the same
+    pure function of [(seed, site, consult#)], but firings are neither
+    logged per event nor charged against the fault budget. *)
+
+val stall : string -> unit
+(** [stall site] consults {!delay_ms} and sleeps the fired stall on
+    the calling thread (no-op when nothing fires).  This is what the
+    instrumented sites call: [conn.slow] on the event loop after a
+    received chunk, [store.fsync_stall] when the fsync interval is
+    due, [worker.stall] once per popped batch. *)

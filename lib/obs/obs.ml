@@ -19,8 +19,26 @@ module Trace = struct
   let completed : span list ref = ref []
   let completed_len = ref 0
 
-  (* Per-domain stack of open span ids, innermost first. *)
-  let stack_key : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+  (* Per-thread stack of open span ids, innermost first.  Keyed by
+     thread id, not domain: the daemon's event-loop thread, batcher
+     workers and the main thread all live in the main domain, and a
+     shared per-domain stack would interleave their span trees. *)
+  let stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 64
+  let stacks_lock = Mutex.create ()
+
+  let my_stack () =
+    let tid = Thread.id (Thread.self ()) in
+    Mutex.lock stacks_lock;
+    let s =
+      match Hashtbl.find_opt stacks tid with
+      | Some s -> s
+      | None ->
+        let s = ref [] in
+        Hashtbl.add stacks tid s;
+        s
+    in
+    Mutex.unlock stacks_lock;
+    s
 
   let enabled () = Atomic.get enabled_flag
 
@@ -54,7 +72,7 @@ module Trace = struct
   let with_span ?(args = []) name f =
     if not (Atomic.get enabled_flag) then f ()
     else begin
-      let stack = Domain.DLS.get stack_key in
+      let stack = my_stack () in
       let id = Atomic.fetch_and_add next_id 1 in
       let parent = match !stack with [] -> None | p :: _ -> Some p in
       let t0 = Unix.gettimeofday () in
@@ -85,19 +103,25 @@ module Trace = struct
     end
 
   let current () =
-    match !(Domain.DLS.get stack_key) with [] -> None | p :: _ -> Some p
+    if not (Atomic.get enabled_flag) then None
+    else match !(my_stack ()) with [] -> None | p :: _ -> Some p
 
   let with_parent parent f =
-    let stack = Domain.DLS.get stack_key in
-    let saved = !stack in
-    stack := (match parent with None -> [] | Some p -> [ p ]);
-    match f () with
-    | v ->
-      stack := saved;
-      v
-    | exception e ->
-      stack := saved;
-      raise e
+    (* Skip the stack bookkeeping entirely when tracing is off: this
+       sits on every request's hot path. *)
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let stack = my_stack () in
+      let saved = !stack in
+      stack := (match parent with None -> [] | Some p -> [ p ]);
+      match f () with
+      | v ->
+        stack := saved;
+        v
+      | exception e ->
+        stack := saved;
+        raise e
+    end
 
   let spans () =
     Mutex.lock lock;

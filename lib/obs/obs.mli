@@ -10,10 +10,12 @@
       atomic load plus a closure call while tracing is off, so the hot
       screening paths of [Analysis] and [Procedure51] stay
       instrumented permanently;
-    - {e domain-safety}: span stacks live in domain-local storage, the
-      collector and every metric are safe to touch from any domain,
-      and [Engine.Pool] re-parents worker spans under the span that
-      was open at the [map] call;
+    - {e thread-safety}: span stacks are per {e thread} (not per
+      domain — the daemon runs its event loop and batcher workers as
+      sibling threads of one domain, and a shared stack would
+      interleave their span trees), the collector and every metric are
+      safe to touch from any domain, and [Engine.Pool] re-parents
+      worker spans under the span that was open at the [map] call;
     - {e machine-readable output}: {!Export} renders the same data as
       Chrome [trace_event] JSON (for [chrome://tracing] / Perfetto)
       and as the [spans]/[metrics] fields of the schema-v2 CLI
@@ -24,8 +26,9 @@
     Tracing is globally off until {!Trace.enable}; while off,
     {!Trace.with_span} runs its thunk with no allocation beyond the
     closure.  While on, each [with_span] records one completed {!Trace.span}
-    with its parent (the innermost span open {e on the same domain},
-    or the parent installed by {!Trace.with_parent} for pool workers).
+    with its parent (the innermost span open {e on the same thread},
+    or the parent installed by {!Trace.with_parent} for pool workers
+    and the daemon's loop-inline fastpaths).
     The collector keeps at most {!Trace.capacity} spans per session;
     excess spans are dropped (counted by {!Trace.dropped}) rather than
     growing without bound. *)
@@ -57,18 +60,21 @@ module Trace : sig
   (** [with_span name f] runs [f] and, when tracing is enabled, records
       a span covering its execution — including when [f] raises (the
       exception is re-raised after the span is closed).  Nesting is per
-      domain: spans opened inside [f] on the same domain become its
+      thread: spans opened inside [f] on the same thread become its
       children. *)
 
   val current : unit -> int option
-  (** The id of the innermost open span on the calling domain, if any.
-      Pool implementations capture this before fanning work out. *)
+  (** The id of the innermost open span on the calling thread, if any
+      (always [None] while tracing is disabled).  Pool implementations
+      capture this before fanning work out. *)
 
   val with_parent : int option -> (unit -> 'a) -> 'a
   (** [with_parent p f] runs [f] with the span stack of the calling
-      domain temporarily replaced by [p], so spans opened by [f] become
-      children of [p] even though [p] was opened on another domain.
-      Restores the previous stack afterwards (also on exceptions). *)
+      thread temporarily replaced by [p], so spans opened by [f] become
+      children of [p] even though [p] was opened on another thread —
+      or roots, with [with_parent None].  Restores the previous stack
+      afterwards (also on exceptions).  A no-op while tracing is
+      disabled. *)
 
   val spans : unit -> span list
   (** All completed spans of the session, in completion order.  Spans

@@ -55,5 +55,13 @@ let close t =
       t.is_closed <- true;
       Condition.broadcast t.nonempty)
 
+let abort t =
+  locked t (fun () ->
+      t.is_closed <- true;
+      let dropped = List.of_seq (Queue.to_seq t.q) in
+      Queue.clear t.q;
+      Condition.broadcast t.nonempty;
+      dropped)
+
 let closed t = locked t (fun () -> t.is_closed)
 let length t = locked t (fun () -> Queue.length t.q)

@@ -27,5 +27,11 @@ val close : 'a t -> unit
 (** Reject further pushes and wake all blocked consumers; already
     queued items are still delivered. *)
 
+val abort : 'a t -> 'a list
+(** SIGKILL-grade {!close}: additionally discard everything still
+    queued, returning the dropped items so the caller can release
+    bookkeeping (admission slots, inflight registration).  Consumers
+    see an empty closed queue. *)
+
 val closed : 'a t -> bool
 val length : 'a t -> int

@@ -33,6 +33,11 @@ let rec worker ?carry t () =
   match Admission.pop_batch t.queue ~max:t.batch_max ~compatible:t.compatible with
   | None -> ()
   | Some batch ->
+    (* The gray [worker.stall] site shares the once-per-popped-batch
+       cadence: a fired consult stalls this worker (and its whole
+       batch) by the plan's delay — a GC-pause / saturated-worker
+       brownout.  Ambient: applied, never logged. *)
+    Fault.stall "worker.stall";
     if Fault.should_fail "batcher.worker" then begin
       Obs.Metrics.incr m_deaths;
       Mutex.lock t.lock;

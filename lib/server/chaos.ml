@@ -9,6 +9,7 @@ type config = {
   jobs : int option;
   deadline_ms : int option;
   transport : Wire.version;
+  delay_ms : int;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     jobs = None;
     deadline_ms = None;
     transport = Wire.V1;
+    delay_ms = 25;
   }
 
 type report = {
@@ -43,6 +45,7 @@ type report = {
   acked : int;
   lost_writes : int;
   faults : int;
+  delays : int;
   site_counts : (string * int) list;
   worker_deaths : int;
   store_quarantined : int;
@@ -110,7 +113,8 @@ let run (cfg : config) =
   in
   let run_thread = Thread.create Daemon.run daemon in
   let plan =
-    Fault.Plan.make ~rate:cfg.rate ~seed:cfg.seed ~classes:cfg.classes ()
+    Fault.Plan.make ~rate:cfg.rate ~seed:cfg.seed ~delay_ms:cfg.delay_ms
+      ~classes:cfg.classes ()
   in
   Fault.Plan.arm plan;
   let next = Atomic.make 0 in
@@ -228,6 +232,7 @@ let run (cfg : config) =
     acked = Array.fold_left (fun n b -> if b then n + 1 else n) 0 acked;
     lost_writes = !lost_writes;
     faults = Fault.Plan.faults_injected plan;
+    delays = Fault.Plan.delays_injected plan;
     site_counts;
     worker_deaths;
     store_quarantined = (match store_stats with Some s -> s.Store.quarantined | None -> 0);
@@ -262,6 +267,7 @@ let json_of_report r =
       ("acked", Json.Int r.acked);
       ("lost_writes", Json.Int r.lost_writes);
       ("faults", Json.Int r.faults);
+      ("delays", Json.Int r.delays);
       ( "site_counts",
         Json.Obj (List.map (fun (s, n) -> (s, Json.Int n)) r.site_counts) );
       ("worker_deaths", Json.Int r.worker_deaths);

@@ -30,11 +30,15 @@ type config = {
           twice with the same seed {e and} transport for byte-identical
           fault logs (the [hello] exchange adds consults, so logs are
           comparable per-transport only). *)
+  delay_ms : int;
+      (** Stall applied by fired [latency]-class consults (ambient:
+          applied, never logged per event — docs/RESILIENCE.md). *)
 }
 
 val default_config : config
 (** seed 42, 500 requests, 32 distinct, size 4, classes
-    [io; conn; worker], rate 0.1, concurrency 1, v1 transport. *)
+    [io; conn; worker], rate 0.1, concurrency 1, v1 transport,
+    25 ms gray delay. *)
 
 type report = {
   seed : int;
@@ -50,6 +54,7 @@ type report = {
   acked : int;           (** Distinct instances acknowledged persisted. *)
   lost_writes : int;     (** Acked instances missing/wrong after reopen. *)
   faults : int;          (** {!Fault.Plan.faults_injected}. *)
+  delays : int;          (** Ambient latency stalls applied ({!Fault.Plan.delays_injected}). *)
   site_counts : (string * int) list;
   worker_deaths : int;
   store_quarantined : int;

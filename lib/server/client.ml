@@ -109,6 +109,8 @@ type retry = {
   max_delay_ms : float;
   timeout_ms : float;
   retry_seed : int;
+  retry_budget : int;
+  retry_refill_per_s : float;
 }
 
 let default_retry =
@@ -118,6 +120,8 @@ let default_retry =
     max_delay_ms = 100.;
     timeout_ms = 2000.;
     retry_seed = 0;
+    retry_budget = 128;
+    retry_refill_per_s = 64.;
   }
 
 type session = {
@@ -127,6 +131,13 @@ type session = {
   mutable s_conn : conn option;
   mutable s_rng : int;
   mutable s_next_id : int;
+  (* Retry token bucket: every re-issue (per-attempt backoff aside)
+     spends a token, tokens refill at a steady rate, so a session can
+     never storm a slow or recovering server with an unbounded retry
+     amplification — the bucket caps the burst, the refill caps the
+     sustained rate. *)
+  mutable s_tokens : float;
+  mutable s_refill_at : float;
 }
 
 let session ?(retry = default_retry) ?(transport = Wire.V1) addr =
@@ -139,6 +150,8 @@ let session ?(retry = default_retry) ?(transport = Wire.V1) addr =
     (* [lor 1] keeps a zero seed from pinning the LCG at zero. *)
     s_rng = (retry.retry_seed * 2654435761) lor 1;
     s_next_id = 0;
+    s_tokens = float_of_int (max 0 retry.retry_budget);
+    s_refill_at = Unix.gettimeofday ();
   }
 
 let close_session s =
@@ -199,6 +212,28 @@ let retriable_code reply =
   | Some ("overloaded" | "draining") -> true
   | _ -> false
 
+(* [retry_budget <= 0] means unlimited (the pre-budget behavior);
+   otherwise a retry happens only if a token is available right now.
+   Refill is continuous at [retry_refill_per_s], capped at the bucket
+   size. *)
+let take_retry_token s =
+  let r = s.s_retry in
+  if r.retry_budget <= 0 then true
+  else begin
+    let now = Unix.gettimeofday () in
+    let elapsed = Float.max 0. (now -. s.s_refill_at) in
+    s.s_refill_at <- now;
+    s.s_tokens <-
+      Float.min
+        (float_of_int r.retry_budget)
+        (s.s_tokens +. (elapsed *. r.retry_refill_per_s));
+    if s.s_tokens >= 1. then begin
+      s.s_tokens <- s.s_tokens -. 1.;
+      true
+    end
+    else false
+  end
+
 let call s json =
   (* Stamp a session-unique id when the caller did not: the id is the
      dedupe key that makes re-issue after a lost reply idempotent. *)
@@ -227,7 +262,11 @@ let call s json =
   let rec go attempt =
     match attempt_once () with
     | reply ->
-      if retriable_code reply && attempt < s.s_retry.max_attempts then begin
+      if
+        retriable_code reply
+        && attempt < s.s_retry.max_attempts
+        && take_retry_token s
+      then begin
         Thread.delay (backoff s attempt);
         go (attempt + 1)
       end
@@ -236,7 +275,7 @@ let call s json =
       (* Any transport failure — reset, EOF, receive timeout — voids
          the connection; the next attempt reconnects from scratch. *)
       drop_session_conn s;
-      if attempt < s.s_retry.max_attempts then begin
+      if attempt < s.s_retry.max_attempts && take_retry_token s then begin
         Thread.delay (backoff s attempt);
         go (attempt + 1)
       end
@@ -276,6 +315,7 @@ type load_report = {
   ok : int;
   shed : int;
   draining : int;
+  deadline_exceeded : int;
   errors : int;
   bounded : int;
   disagreements : int;
@@ -333,6 +373,7 @@ let load_any addrs cfg =
   let ok = Atomic.make 0
   and shed = Atomic.make 0
   and draining = Atomic.make 0
+  and deadline_exceeded = Atomic.make 0
   and errors = Atomic.make 0
   and bounded = Atomic.make 0
   and disagreements = Atomic.make 0 in
@@ -348,6 +389,9 @@ let load_any addrs cfg =
       match Protocol.error_code reply with
       | Some "overloaded" -> Atomic.incr shed
       | Some "draining" -> Atomic.incr draining
+      (* An expired deadline is an answer, not a failure: the server
+         honored the budget the caller asked for. *)
+      | Some "deadline_exceeded" -> Atomic.incr deadline_exceeded
       | _ -> Atomic.incr errors
   in
   (* Each worker keeps up to [pipeline] requests in flight on its one
@@ -427,6 +471,7 @@ let load_any addrs cfg =
     ok = Atomic.get ok;
     shed = Atomic.get shed;
     draining = Atomic.get draining;
+    deadline_exceeded = Atomic.get deadline_exceeded;
     errors = Atomic.get errors;
     bounded = Atomic.get bounded;
     disagreements = Atomic.get disagreements;
@@ -449,6 +494,7 @@ let json_of_load_report r =
       ("ok", Json.Int r.ok);
       ("shed", Json.Int r.shed);
       ("draining", Json.Int r.draining);
+      ("deadline_exceeded", Json.Int r.deadline_exceeded);
       ("errors", Json.Int r.errors);
       ("bounded", Json.Int r.bounded);
       ("disagreements", Json.Int r.disagreements);

@@ -67,10 +67,21 @@ type retry = {
   max_delay_ms : float;   (** Backoff ceiling. *)
   timeout_ms : float;     (** Per-read receive timeout (SO_RCVTIMEO). *)
   retry_seed : int;       (** Seeds the jitter LCG. *)
+  retry_budget : int;
+      (** Token-bucket capacity bounding {e re-issues} across the whole
+          session — the retry-storm guard: once the bucket is empty a
+          failed call returns its error instead of hammering a slow
+          server.  [<= 0] disables the bucket (unlimited retries, the
+          pre-bucket behaviour). *)
+  retry_refill_per_s : float;
+      (** Continuous bucket refill rate (tokens per second, capped at
+          [retry_budget]). *)
 }
 
 val default_retry : retry
-(** 8 attempts, 1 ms base, 100 ms ceiling, 2 s read timeout, seed 0. *)
+(** 8 attempts, 1 ms base, 100 ms ceiling, 2 s read timeout, seed 0,
+    retry budget 128 refilling at 64 tokens/s — generous enough that a
+    well-behaved session never notices the bucket. *)
 
 type session
 
@@ -123,6 +134,9 @@ type load_report = {
   ok : int;
   shed : int;           (** [overloaded] replies. *)
   draining : int;
+  deadline_exceeded : int;
+      (** [deadline_exceeded] replies — answers (the budget really was
+          spent), not failures. *)
   errors : int;         (** Transport failures and unexpected replies. *)
   bounded : int;        (** Exact-comparison skips (bounded verdicts). *)
   disagreements : int;

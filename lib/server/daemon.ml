@@ -10,6 +10,8 @@ type config = {
   snapshot_path : string option;
   fsync_every : int;
   max_transport : Wire.version;
+  admission_min : int;
+  admission_target_ms : float;
 }
 
 let default_config listen =
@@ -23,6 +25,8 @@ let default_config listen =
     snapshot_path = None;
     fsync_every = 32;
     max_transport = Wire.V2;
+    admission_min = 4;
+    admission_target_ms = 250.;
   }
 
 (* -------------------------- output buffers -------------------------- *)
@@ -104,8 +108,10 @@ type t = {
   pool : Engine.Pool.t;
   store_ : Store.t option;
   queue : job Admission.t;
+  limiter : Limiter.t;
   mutable batcher : job Batcher.t option;
   draining : bool Atomic.t;
+  aborting : bool Atomic.t;
   workers_done : bool Atomic.t;
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
@@ -127,6 +133,7 @@ type t = {
   n_fastpath : int Atomic.t;
   n_family_fastpath : int Atomic.t;
   n_binary : int Atomic.t;
+  n_deadline_exceeded : int Atomic.t;
 }
 
 let m_accepted = Obs.Metrics.counter "server.accepted"
@@ -137,6 +144,7 @@ let m_conns = Obs.Metrics.counter "server.connections"
 let m_fastpath = Obs.Metrics.counter "server.fastpath"
 let m_family_fastpath = Obs.Metrics.counter "server.family_fastpath"
 let m_coalesced = Obs.Metrics.counter "server.singleflight.coalesced"
+let m_deadline_exceeded = Obs.Metrics.counter "server.deadline_exceeded"
 let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
 let h_request_ms = Obs.Metrics.histogram "server.request_ms"
 
@@ -323,7 +331,30 @@ let serve_job t job =
             in
             send_doc t job.jconn reply));
   unregister t job.rid;
-  Obs.Metrics.observe h_request_ms (1000. *. (Unix.gettimeofday () -. job.enqueued_at))
+  let latency_ms = 1000. *. (Unix.gettimeofday () -. job.enqueued_at) in
+  (* Admission-to-completion latency feeds the AIMD loop: queue wait
+     counts, so a backlog is itself the overload signal. *)
+  Limiter.release t.limiter ~latency_ms;
+  Obs.Metrics.observe h_request_ms latency_ms
+
+(* SIGKILL-grade shutdown: refuse new work, cancel running budgets,
+   discard everything still queued and (in the loop) slam connections
+   without flushing queued replies.  Unlike [initiate_drain] nothing
+   graceful happens — this is how the cluster chaos harness models a
+   hard kill of an in-process shard (docs/CLUSTER.md). *)
+let abort t =
+  if not (Atomic.exchange t.aborting true) then begin
+    Atomic.set t.draining true;
+    locked t.inflight_lock (fun () ->
+        Hashtbl.iter (fun _ b -> Engine.Budget.cancel b) t.inflight);
+    let dropped = Admission.abort t.queue in
+    List.iter
+      (fun j ->
+        unregister t j.rid;
+        Limiter.release t.limiter ~latency_ms:0.)
+      dropped;
+    wake_loop t
+  end
 
 let handle_batch t batch =
   Atomic.incr t.n_batches;
@@ -346,6 +377,15 @@ let stats_fields t =
       ("draining", Json.Bool (Atomic.get t.draining));
       ("accepted", Json.Int (Atomic.get t.n_accepted));
       ("shed", Json.Int (Atomic.get t.n_shed));
+      ("deadline_exceeded", Json.Int (Atomic.get t.n_deadline_exceeded));
+      ( "admission",
+        Json.Obj
+          [
+            ("limit", Json.Int (Limiter.limit t.limiter));
+            ("inflight", Json.Int (Limiter.inflight t.limiter));
+            ("rejected", Json.Int (Limiter.rejected t.limiter));
+            ("decreases", Json.Int (Limiter.decreases t.limiter));
+          ] );
       ("batches", Json.Int (Atomic.get t.n_batches));
       ("batched", Json.Int (Atomic.get t.n_batched));
       ("fastpath", Json.Int (Atomic.get t.n_fastpath));
@@ -400,19 +440,42 @@ let stats_fields t =
    exactly as the per-connection reader threads ordered them before
    the rewrite (docs/RESILIENCE.md). *)
 
+(* Loop-inline work gets its own span root per request: the event-loop
+   thread's span stack is its own (per-thread stacks in [Obs.Trace]),
+   and [with_parent None] roots the request subtree so fastpath spans
+   are never children of whatever the loop happened to have open. *)
+let with_loop_span ~path f =
+  Obs.Trace.with_parent None (fun () ->
+      Obs.Trace.with_span "server.request"
+        ~args:[ ("op", "analyze"); ("path", path) ]
+        f)
+
+let deadline_exceeded_reply t conn ~id =
+  Atomic.incr t.n_deadline_exceeded;
+  Obs.Metrics.incr m_deadline_exceeded;
+  send_doc t conn ~defer:true
+    (Protocol.error_reply ~id ~code:"deadline_exceeded"
+       ~detail:"request deadline already spent")
+
 let handle_analyze t conn ~bin ~id ~mu ~tmat ~deadline_ms =
   if Atomic.get t.draining then
     send_doc t conn ~defer:true
       (Protocol.error_reply ~id ~code:"draining" ~detail:"server is draining")
+  else if match deadline_ms with Some d -> d <= 0 | None -> false then
+    (* The budget was spent before the request arrived (the router
+       stamps the remaining budget on each forwarded frame): answer
+       without touching the store or dispatching any analysis. *)
+    deadline_exceeded_reply t conn ~id
   else
     let w = { w_conn = conn; w_id = id; w_bin = bin; w_mu = mu; w_tmat = tmat } in
     match Option.bind t.store_ (fun s -> Store.find s ~mu tmat) with
     | Some e ->
       (* Warm fast path: a stored verdict is encoded straight from the
          event loop — no queue, no batcher, no pool handoff. *)
-      Atomic.incr t.n_fastpath;
-      Obs.Metrics.incr m_fastpath;
-      send_analyze t ~defer:true w (Protocol.wire_of_entry e, "hit")
+      with_loop_span ~path:"fastpath" (fun () ->
+          Atomic.incr t.n_fastpath;
+          Obs.Metrics.incr m_fastpath;
+          send_analyze t ~defer:true w (Protocol.wire_of_entry e, "hit"))
     | None -> (
       let family_verdict =
         match t.store_ with
@@ -431,15 +494,17 @@ let handle_analyze t conn ~bin ~id ~mu ~tmat ~deadline_ms =
            appended so the next identical query is a plain hit; as in
            [Handlers.analyze_wire], a failed append degrades the
            status, never the verdict. *)
-        let e = Store.entry_of_verdict v in
-        Atomic.incr t.n_family_fastpath;
-        Obs.Metrics.incr m_family_fastpath;
-        let status =
-          match Store.add s ~mu tmat e with
-          | () -> "family"
-          | exception (Fault.Injected _ | Sys_error _ | Unix.Unix_error _) -> "error"
-        in
-        send_analyze t ~defer:true w (Protocol.wire_of_entry e, status)
+        with_loop_span ~path:"family" (fun () ->
+            let e = Store.entry_of_verdict v in
+            Atomic.incr t.n_family_fastpath;
+            Obs.Metrics.incr m_family_fastpath;
+            let status =
+              match Store.add s ~mu tmat e with
+              | () -> "family"
+              | exception (Fault.Injected _ | Sys_error _ | Unix.Unix_error _) ->
+                "error"
+            in
+            send_analyze t ~defer:true w (Protocol.wire_of_entry e, status))
       | None -> (
         (* Singleflight groups key on the family (T alone): one
            leader's symbolic analysis serves every coalesced
@@ -448,26 +513,10 @@ let handle_analyze t conn ~bin ~id ~mu ~tmat ~deadline_ms =
         match Singleflight.join t.sflight ~hash ~key w with
       | `Follower -> Obs.Metrics.incr m_coalesced
       | `Leader ->
-        let rid = Atomic.fetch_and_add t.next_id 1 in
-        let budget = Engine.Budget.make ?deadline_ms () in
-        locked t.inflight_lock (fun () -> Hashtbl.replace t.inflight rid budget);
-        let job =
-          {
-            rid;
-            env = { Protocol.id; req = Protocol.Analyze { mu; tmat; deadline_ms } };
-            budget;
-            jconn = conn;
-            enqueued_at = Unix.gettimeofday ();
-            sf = Some (hash, key);
-          }
-        in
-        if Admission.try_push t.queue job then begin
-          Atomic.incr t.n_accepted;
-          Obs.Metrics.incr m_accepted;
-          Obs.Metrics.set_gauge g_queue_depth (float_of_int (Admission.length t.queue))
-        end
-        else begin
-          unregister t rid;
+        (* Adaptive admission: the AIMD limiter gates queued compute
+           work only — ping/stats/drain/hello/ship are answered inline
+           above and can never shed behind analyze traffic. *)
+        let shed_group detail =
           Atomic.incr t.n_shed;
           Obs.Metrics.incr m_shed;
           (* The whole group sheds: followers joined an admission that
@@ -476,10 +525,40 @@ let handle_analyze t conn ~bin ~id ~mu ~tmat ~deadline_ms =
           List.iter
             (fun w ->
               send_doc t w.w_conn ~defer:true
-                (Protocol.error_reply ~id:w.w_id ~code:"overloaded"
-                   ~detail:
-                     (Printf.sprintf "queue full (%d requests)" t.cfg.queue_capacity)))
+                (Protocol.error_reply ~id:w.w_id ~code:"overloaded" ~detail))
             ws
+        in
+        if not (Limiter.try_admit t.limiter) then
+          shed_group
+            (Printf.sprintf "admission limit reached (%d inflight)"
+               (Limiter.limit t.limiter))
+        else begin
+          let rid = Atomic.fetch_and_add t.next_id 1 in
+          let budget = Engine.Budget.make ?deadline_ms () in
+          locked t.inflight_lock (fun () -> Hashtbl.replace t.inflight rid budget);
+          let job =
+            {
+              rid;
+              env = { Protocol.id; req = Protocol.Analyze { mu; tmat; deadline_ms } };
+              budget;
+              jconn = conn;
+              enqueued_at = Unix.gettimeofday ();
+              sf = Some (hash, key);
+            }
+          in
+          if Admission.try_push t.queue job then begin
+            Atomic.incr t.n_accepted;
+            Obs.Metrics.incr m_accepted;
+            Obs.Metrics.set_gauge g_queue_depth (float_of_int (Admission.length t.queue))
+          end
+          else begin
+            unregister t rid;
+            (* A full queue is itself an overload signal: release with
+               an over-target latency so the limiter backs off. *)
+            Limiter.release t.limiter ~latency_ms:Float.infinity;
+            shed_group
+              (Printf.sprintf "queue full (%d requests)" t.cfg.queue_capacity)
+          end
         end))
 
 let handle_envelope t conn ~bin (env : Protocol.envelope) =
@@ -548,14 +627,24 @@ let handle_envelope t conn ~bin (env : Protocol.envelope) =
       Wire.set_version conn.dec v;
       if v = Wire.V2 then Atomic.incr t.n_binary)
   | Protocol.Search _ | Protocol.Simulate _ | Protocol.Replay _ ->
+    let deadline_ms = Protocol.deadline_ms env.Protocol.req in
     if Atomic.get t.draining then
       send_doc t conn ~defer:true
         (Protocol.error_reply ~id ~code:"draining" ~detail:"server is draining")
+    else if match deadline_ms with Some d -> d <= 0 | None -> false then
+      deadline_exceeded_reply t conn ~id
+    else if not (Limiter.try_admit t.limiter) then begin
+      Atomic.incr t.n_shed;
+      Obs.Metrics.incr m_shed;
+      send_doc t conn ~defer:true
+        (Protocol.error_reply ~id ~code:"overloaded"
+           ~detail:
+             (Printf.sprintf "admission limit reached (%d inflight)"
+                (Limiter.limit t.limiter)))
+    end
     else begin
       let rid = Atomic.fetch_and_add t.next_id 1 in
-      let budget =
-        Engine.Budget.make ?deadline_ms:(Protocol.deadline_ms env.Protocol.req) ()
-      in
+      let budget = Engine.Budget.make ?deadline_ms () in
       locked t.inflight_lock (fun () -> Hashtbl.replace t.inflight rid budget);
       let job =
         { rid; env; budget; jconn = conn; enqueued_at = Unix.gettimeofday (); sf = None }
@@ -567,6 +656,7 @@ let handle_envelope t conn ~bin (env : Protocol.envelope) =
       end
       else begin
         unregister t rid;
+        Limiter.release t.limiter ~latency_ms:Float.infinity;
         Atomic.incr t.n_shed;
         Obs.Metrics.incr m_shed;
         send_doc t conn ~defer:true
@@ -674,8 +764,12 @@ let create cfg =
       pool = Engine.Pool.create ?jobs:cfg.jobs ();
       store_;
       queue = Admission.create ~capacity:cfg.queue_capacity;
+      limiter =
+        Limiter.create ~min_limit:cfg.admission_min
+          ~target_ms:cfg.admission_target_ms ~max_limit:cfg.queue_capacity ();
       batcher = None;
       draining = Atomic.make false;
+      aborting = Atomic.make false;
       workers_done = Atomic.make false;
       pipe_r;
       pipe_w;
@@ -695,6 +789,7 @@ let create cfg =
       n_fastpath = Atomic.make 0;
       n_family_fastpath = Atomic.make 0;
       n_binary = Atomic.make 0;
+      n_deadline_exceeded = Atomic.make 0;
     }
   in
   t.batcher <-
@@ -743,7 +838,11 @@ let service_read t fdmap conn chunk =
        reset while reading a request; [conn.drop] a hang-up between
        requests.  Either way the just-read bytes are discarded and the
        connection is torn down; the peer re-issues on a fresh
-       connection. *)
+       connection.  [conn.slow] first: a gray failure stalls the whole
+       event loop for the plan's delay — the slow-shard scenario the
+       hedging and breaker machinery exists for — without failing
+       anything (ambient, never logged per event). *)
+    Fault.stall "conn.slow";
     if Fault.should_fail "conn.read" then teardown t fdmap conn
     else if Fault.should_fail "conn.drop" then teardown t fdmap conn
     else begin
@@ -819,7 +918,26 @@ let run t =
     | exception Unix.Unix_error _ -> ()
   in
   let conn_pending conn = locked conn.olock (fun () -> Outbuf.length conn.out > 0) in
+  let abort_seen = ref false in
   let rec loop () =
+    if Atomic.get t.aborting && not !abort_seen then begin
+      abort_seen := true;
+      drain_seen := true;
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (match t.cfg.listen with
+      | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+      | Tcp _ -> ());
+      (* Slam every connection: queued replies are dropped unflushed,
+         exactly as a killed process would drop them.  Workers still
+         finishing a batch send into dead connections, which is a
+         no-op. *)
+      Hashtbl.fold (fun _ c acc -> c :: acc) fdmap []
+      |> List.iter (fun c ->
+             locked c.olock (fun () -> Outbuf.clear c.out);
+             teardown t fdmap c);
+      Atomic.set t.workers_done true;
+      flush_deadline := neg_infinity
+    end;
     let draining = Atomic.get t.draining in
     if draining && not !drain_seen then begin
       drain_seen := true;

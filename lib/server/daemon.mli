@@ -54,7 +54,25 @@
     the consults run on the single loop thread (or, for [conn.write],
     at the reply's position in the output stream), they stay ordered
     with the request stream and a seeded plan replays identically —
-    the event-loop rewrite did not change this contract. *)
+    the event-loop rewrite did not change this contract.  The gray
+    [conn.slow] site is consulted at the same loop-ordered point but
+    is {e ambient}: a fired consult stalls the loop by the plan's
+    delay and is never logged per event ({!Fault.stall}).
+
+    Deadlines: an [analyze] / [search] / [simulate] / [replay] whose
+    [deadline_ms] is already [<= 0] on arrival (the router stamps the
+    {e remaining} budget on forwarded frames, both dialects) is
+    answered [deadline_exceeded] before any store lookup or dispatch —
+    counted by [server.deadline_exceeded] and the [stats] field.
+
+    Admission: queued compute work passes an AIMD adaptive concurrency
+    limiter ({!Limiter}, bounds [[admission_min, queue_capacity]],
+    exported as the [admission.limit] gauge) before the bounded queue;
+    inline operations — [ping], [stats], [drain], [hello], [ship] and
+    both fastpaths — are never gated, so control traffic cannot shed
+    behind analyze load.  Loop-inline replies run under their own span
+    root, so per-request trace trees are accurate for fastpath work
+    too (per-thread span stacks in {!Obs.Trace}). *)
 
 type listen =
   | Unix_sock of string  (** Path of a Unix-domain socket. *)
@@ -77,12 +95,18 @@ type config = {
       (** Newest dialect [hello] may negotiate: {!Wire.V1} pins the
           server to JSON lines, {!Wire.V2} (the default) also offers
           the binary framing. *)
+  admission_min : int;
+      (** Floor of the adaptive admission limit ({!Limiter}). *)
+  admission_target_ms : float;
+      (** Admission-to-completion latency above which the AIMD
+          limiter backs off. *)
 }
 
 val default_config : listen -> config
 (** [jobs = None], [max_inflight = 2], [queue_capacity = 256],
     [batch_max = 32], no store, no snapshot, [fsync_every = 32],
-    [max_transport = V2]. *)
+    [max_transport = V2], [admission_min = 4],
+    [admission_target_ms = 250.]. *)
 
 type t
 
@@ -96,6 +120,15 @@ val run : t -> unit
     (store closed, sockets gone). *)
 
 val initiate_drain : t -> unit
+
+val abort : t -> unit
+(** SIGKILL-grade shutdown for in-process chaos: refuse new work,
+    cancel running budgets, {e discard} queued requests and queued
+    reply bytes, and slam every connection without the graceful flush
+    {!initiate_drain} performs.  Peers see EOF; acked writes survive
+    only as far as the store's [fsync_every] contract already put them
+    on disk.  Idempotent and thread-safe. *)
+
 val wake : t -> unit
 (** Async-signal-safe drain trigger: one self-pipe write, nothing
     else — safe to call from a [Sys.signal] handler. *)

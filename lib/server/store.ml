@@ -475,7 +475,11 @@ let append_line t line =
     output_string oc line;
     flush oc);
   t.pending <- t.pending + 1;
-  if t.pending >= t.fsync_every then
+  if t.pending >= t.fsync_every then begin
+    (* Gray failure: a fired [store.fsync_stall] delays the sync (and
+       the caller) by the plan's delay — the classic stalled-fsync
+       brownout — without failing anything.  Ambient, never logged. *)
+    Fault.stall "store.fsync_stall";
     if Fault.should_fail "store.fsync" then begin
       (* Keep [pending] so the next append retries the fsync; the data
          is in the OS already (flushed), only durability is delayed. *)
@@ -486,6 +490,7 @@ let append_line t line =
       fsync_out oc;
       t.pending <- 0
     end
+  end
 
 let append_record t hash key e =
   append_line t (record_line hash key e);

@@ -12,6 +12,7 @@ module Snapshot = Server.Snapshot
 module Ring = Cluster.Ring
 module Router = Cluster.Router
 module Shipper = Cluster.Shipper
+module Health = Cluster.Health
 
 let fresh_path =
   let counter = ref 0 in
@@ -335,7 +336,8 @@ let test_shipper_pump () =
 
 (* ------------------------------- router ----------------------------- *)
 
-let boot_router ?(health_interval_ms = 60_000) ?(health_threshold = 3) specs =
+let boot_router ?(health_interval_ms = 60_000) ?(health_threshold = 3)
+    ?(hedge = Router.No_hedge) specs =
   let sock = fresh_path ".sock" in
   let cfg =
     {
@@ -344,6 +346,7 @@ let boot_router ?(health_interval_ms = 60_000) ?(health_threshold = 3) specs =
       shard_transport = Server.Wire.V1;
       health_interval_ms;
       health_threshold;
+      hedge;
     }
   in
   let r = Router.create cfg in
@@ -468,6 +471,118 @@ let test_router_failover () =
   rm pj;
   rm fj
 
+let test_health_breaker () =
+  (* The latency breaker state machine: Closed opens on an EWMA over
+     the limit, cools down to Half_open on the probe stream, and a
+     fast trial recovers (restarting the EWMA) while a slow one
+     re-opens.  The crash edge — [`Failed] exactly on the threshold-th
+     consecutive failure — is untouched by any of it. *)
+  let h = Health.create ~threshold:3 ~latency_limit_ms:10. ~cooldown:2 () in
+  Alcotest.(check string) "starts closed" "closed" (Health.state_name h);
+  Alcotest.(check bool) "fast probe ok" true (Health.note h ~latency_ms:1. ~ok:true () = `Ok);
+  Alcotest.(check bool) "still ok" true (Health.note h ~latency_ms:2. ~ok:true () = `Ok);
+  Alcotest.(check string) "fast probes keep it closed" "closed" (Health.state_name h);
+  (* One grossly slow probe drags the EWMA (alpha 0.3) over 10 ms. *)
+  Alcotest.(check bool) "slow probe opens" true
+    (Health.note h ~latency_ms:100. ~ok:true () = `Opened);
+  Alcotest.(check string) "open" "open" (Health.state_name h);
+  let frozen = Health.ewma_ms h in
+  (* While open the EWMA is frozen and [cooldown] probes tick it to
+     half-open; the transition itself is not news. *)
+  Alcotest.(check bool) "cooldown 1" true (Health.note h ~latency_ms:100. ~ok:true () = `Ok);
+  Alcotest.(check string) "still open" "open" (Health.state_name h);
+  Alcotest.(check bool) "cooldown 2" true (Health.note h ~latency_ms:100. ~ok:true () = `Ok);
+  Alcotest.(check string) "half-open after cooldown" "half_open" (Health.state_name h);
+  Alcotest.(check (float 0.001)) "ewma frozen while open" frozen (Health.ewma_ms h);
+  (* Slow trial: straight back to open. *)
+  Alcotest.(check bool) "slow trial re-opens" true
+    (Health.note h ~latency_ms:50. ~ok:true () = `Ok);
+  Alcotest.(check string) "re-opened" "open" (Health.state_name h);
+  Alcotest.(check bool) "cooldown again 1" true (Health.note h ~latency_ms:50. ~ok:true () = `Ok);
+  Alcotest.(check bool) "cooldown again 2" true (Health.note h ~latency_ms:50. ~ok:true () = `Ok);
+  Alcotest.(check string) "half-open again" "half_open" (Health.state_name h);
+  (* Fast trial: recovered, EWMA restarted from the trial sample. *)
+  Alcotest.(check bool) "fast trial recovers" true
+    (Health.note h ~latency_ms:3. ~ok:true () = `Recovered);
+  Alcotest.(check string) "closed again" "closed" (Health.state_name h);
+  Alcotest.(check (float 0.001)) "ewma restarted" 3. (Health.ewma_ms h);
+  Alcotest.(check int) "two opens counted" 2 (Health.opens h);
+  (* Crash edge: exactly one [`Failed], on the third failure in a row. *)
+  Alcotest.(check bool) "failure 1" true (Health.note h ~ok:false () = `Ok);
+  Alcotest.(check bool) "failure 2" true (Health.note h ~ok:false () = `Ok);
+  Alcotest.(check bool) "failure 3 crosses" true (Health.note h ~ok:false () = `Failed);
+  Alcotest.(check bool) "staying down is not news" true (Health.note h ~ok:false () = `Ok)
+
+let test_router_hedging () =
+  (* One shard, latency faults at rate 1: the primary cannot answer
+     before the hedge delay, so every analyze re-issues on the
+     follower.  The winning reply must be byte-identical to a local
+     check, and both journals must end up holding the same record —
+     the byte-exactness that makes hedging safe. *)
+  let pj = fresh_path ".store" and fj = fresh_path ".store" in
+  let primary = boot_daemon pj in
+  let follower = boot_daemon fj in
+  let _, _, psock = primary and _, _, fsock = follower in
+  let specs =
+    [
+      {
+        Router.primary = `Unix psock;
+        follower = Some (`Unix fsock);
+        journal = Some pj;
+      };
+    ]
+  in
+  let r = boot_router ~hedge:(Router.Fixed_ms 0) specs in
+  let router, _, rsock = r in
+  let instances = Array.init 6 (fun i -> Check.Gen.ith ~seed:19 ~size:4 i) in
+  let plan = Fault.Plan.make ~rate:1.0 ~seed:5 ~delay_ms:15 ~classes:[ "latency" ] () in
+  Fault.Plan.arm plan;
+  let session = Client.session (`Unix rsock) in
+  Array.iteri
+    (fun i inst ->
+      match
+        Client.call session
+          (Protocol.analyze ~id:(Json.Int i) ~mu:inst.Check.Instance.mu
+             inst.Check.Instance.tmat)
+      with
+      | Ok (reply, _) ->
+        Alcotest.(check bool) "hedged analyze ok" true (Protocol.reply_ok reply);
+        (match Json.member "verdict" reply with
+        | Some v ->
+          Alcotest.(check string) "first reply byte-exact" (direct_verdict inst)
+            (Json.to_string v)
+        | None -> Alcotest.fail "analyze reply without verdict")
+      | Error e -> Alcotest.fail ("hedged analyze failed: " ^ e))
+    instances;
+  Fault.Plan.disarm ();
+  let stats = Router.stats_fields router in
+  (match List.assoc_opt "hedges" stats with
+  | Some (Json.Int n) -> Alcotest.(check bool) "hedges fired" true (n >= 1)
+  | _ -> Alcotest.fail "router stats without hedges");
+  Client.close_session session;
+  stop_router r;
+  stop_daemon primary;
+  stop_daemon follower;
+  (* Both sides computed the same request stream: each journal holds
+     the identical record for every instance. *)
+  let sp = Store.open_ pj and sf = Store.open_ fj in
+  Array.iter
+    (fun (inst : Check.Instance.t) ->
+      let find s =
+        match Store.find s ~mu:inst.Check.Instance.mu inst.Check.Instance.tmat with
+        | Some e -> Json.to_string (Protocol.json_of_wire (Protocol.wire_of_entry e))
+        | None -> Alcotest.fail "hedged instance missing from a journal"
+      in
+      let on_primary = find sp and on_follower = find sf in
+      Alcotest.(check string) "hedged pair byte-identical" on_primary on_follower;
+      Alcotest.(check string) "and equal to ground truth" (direct_verdict inst)
+        on_primary)
+    instances;
+  Store.close sp;
+  Store.close sf;
+  rm pj;
+  rm fj
+
 let suite =
   [
     Alcotest.test_case "ring placement" `Quick test_ring_placement;
@@ -482,4 +597,6 @@ let suite =
     Alcotest.test_case "shipper pump" `Quick test_shipper_pump;
     Alcotest.test_case "router differential" `Quick test_router_differential;
     Alcotest.test_case "router failover" `Quick test_router_failover;
+    Alcotest.test_case "health breaker" `Quick test_health_breaker;
+    Alcotest.test_case "router hedging" `Quick test_router_hedging;
   ]

@@ -1076,6 +1076,168 @@ let test_poll_readiness () =
   Unix.close r;
   ignore (Poll.backend ())
 
+
+(* ------------------------- gray-failure tier ------------------------ *)
+
+let test_deadline_exceeded_no_dispatch () =
+  (* An analyze whose remaining budget is already spent on arrival must
+     be answered [deadline_exceeded] before any dispatch: the
+     [analysis.queries] counter (bumped by every real Analysis.check)
+     must not move. *)
+  let server = boot () in
+  let _, _, sock = server in
+  let conn = Client.connect (`Unix sock) in
+  let inst = Check.Gen.ith ~seed:77 ~size:4 0 in
+  let queries = Obs.Metrics.counter "analysis.queries" in
+  let before = Obs.Metrics.value queries in
+  let reply =
+    Client.request conn
+      (Protocol.analyze ~id:(Json.Int 1) ~deadline_ms:0 ~mu:inst.Check.Instance.mu
+         inst.Check.Instance.tmat)
+  in
+  Alcotest.(check bool) "expired budget rejected" false (Protocol.reply_ok reply);
+  Alcotest.(check (option string)) "deadline_exceeded code"
+    (Some "deadline_exceeded") (Protocol.error_code reply);
+  Alcotest.(check int) "no Analysis.check dispatched" before
+    (Obs.Metrics.value queries);
+  (* A negative stamp (an even staler forward) is equally dead. *)
+  let reply =
+    Client.request conn
+      (Protocol.analyze ~id:(Json.Int 2) ~deadline_ms:(-5) ~mu:inst.Check.Instance.mu
+         inst.Check.Instance.tmat)
+  in
+  Alcotest.(check (option string)) "negative budget too" (Some "deadline_exceeded")
+    (Protocol.error_code reply);
+  Alcotest.(check int) "still no dispatch" before (Obs.Metrics.value queries);
+  (* The same request with headroom goes through and computes. *)
+  let reply =
+    Client.request conn
+      (Protocol.analyze ~id:(Json.Int 3) ~deadline_ms:60_000 ~mu:inst.Check.Instance.mu
+         inst.Check.Instance.tmat)
+  in
+  Alcotest.(check bool) "live budget answers" true (Protocol.reply_ok reply);
+  Alcotest.(check bool) "dispatch counted" true (Obs.Metrics.value queries > before);
+  Client.close conn;
+  shutdown server
+
+let drive_limiter lim ~threads ~per_thread ~latency_ms =
+  let ths =
+    List.init threads (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to per_thread do
+              while not (Server.Limiter.try_admit lim) do
+                Thread.yield ()
+              done;
+              Server.Limiter.release lim ~latency_ms
+            done)
+          ())
+  in
+  List.iter Thread.join ths
+
+let test_limiter_aimd () =
+  (* The AIMD property at 1 and 4 driver threads: sustained
+     over-target completions walk the limit down to the floor;
+     sustained fast completions walk it back to the ceiling.  Windows
+     are counted in completions, not seconds, so the property is
+     schedule-independent. *)
+  List.iter
+    (fun threads ->
+      let lim = Server.Limiter.create ~min_limit:2 ~target_ms:5. ~max_limit:64 () in
+      Alcotest.(check int) "starts wide open" 64 (Server.Limiter.limit lim);
+      drive_limiter lim ~threads ~per_thread:(800 / threads) ~latency_ms:50.;
+      Alcotest.(check bool)
+        (Printf.sprintf "slow completions shrink the limit (threads=%d)" threads)
+        true
+        (Server.Limiter.limit lim <= 8);
+      Alcotest.(check bool) "multiple decreases" true (Server.Limiter.decreases lim > 2);
+      drive_limiter lim ~threads ~per_thread:(4000 / threads) ~latency_ms:0.5;
+      Alcotest.(check int)
+        (Printf.sprintf "fast completions restore the ceiling (threads=%d)" threads)
+        64 (Server.Limiter.limit lim);
+      Alcotest.(check bool) "floor respected" true (Server.Limiter.limit lim >= 2))
+    [ 1; 4 ]
+
+let test_retry_token_bucket () =
+  (* Against a permanently unresponsive server (accepts, never
+     replies) the session's re-issues are capped by the retry token
+     bucket, not by max_attempts: budget 2 with no refill means one
+     initial attempt plus exactly two retries — three accepted
+     connections — before the call gives up. *)
+  let path = fresh_path ".sock" in
+  let listener = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 8;
+  let accepts = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        let held = ref [] in
+        (try
+           while not (Atomic.get stop) do
+             let fd, _ = Unix.accept listener in
+             Atomic.incr accepts;
+             held := fd :: !held
+           done
+         with Unix.Unix_error _ -> ());
+        List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !held)
+      ()
+  in
+  let session =
+    Client.session
+      ~retry:
+        {
+          Client.default_retry with
+          max_attempts = 8;
+          base_delay_ms = 1.;
+          max_delay_ms = 2.;
+          timeout_ms = 40.;
+          retry_budget = 2;
+          retry_refill_per_s = 0.;
+        }
+      (`Unix path)
+  in
+  (match Client.call session (Protocol.ping ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unresponsive server produced a reply");
+  Client.close_session session;
+  Atomic.set stop true;
+  (try Unix.shutdown listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  Thread.join acceptor;
+  Sys.remove path;
+  Alcotest.(check int) "budget caps re-issues" 3 (Atomic.get accepts)
+
+let test_gray_chaos_determinism () =
+  (* Latency faults are ambient: they stall, they count, but they are
+     never logged per event — so arming them alongside a logged class
+     keeps the same-seed fault log byte-identical even though stall
+     timing is not schedule-deterministic. *)
+  let cfg =
+    { Server.Chaos.default_config with
+      seed = 23;
+      requests = 100;
+      rate = 0.1;
+      classes = [ "latency"; "io" ];
+      delay_ms = 5 }
+  in
+  let r1 = Server.Chaos.run cfg in
+  let r2 = Server.Chaos.run cfg in
+  Alcotest.(check string) "same seed, same fingerprint" r1.Server.Chaos.fingerprint
+    r2.Server.Chaos.fingerprint;
+  Alcotest.(check (list string)) "same seed, same fault log" r1.Server.Chaos.fault_log
+    r2.Server.Chaos.fault_log;
+  Alcotest.(check bool) "stalls were applied" true (r1.Server.Chaos.delays > 0);
+  Alcotest.(check bool) "run 1 converged" true r1.Server.Chaos.converged;
+  Alcotest.(check bool) "run 2 converged" true r2.Server.Chaos.converged;
+  (* The arm-time record of each enabled latency site is in the log. *)
+  Alcotest.(check bool) "latency sites recorded at arm" true
+    (List.exists
+       (fun l -> String.length l >= 9 && String.sub l 0 9 = "conn.slow")
+       r1.Server.Chaos.fault_log)
+
+
 let suite =
   [
     Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;
@@ -1107,4 +1269,9 @@ let suite =
     Alcotest.test_case "live transport matrix" `Quick test_live_transport_matrix;
     Alcotest.test_case "chaos binary transport" `Quick test_chaos_binary_transport;
     Alcotest.test_case "poll readiness" `Quick test_poll_readiness;
+    Alcotest.test_case "deadline exceeded no dispatch" `Quick
+      test_deadline_exceeded_no_dispatch;
+    Alcotest.test_case "limiter aimd property" `Quick test_limiter_aimd;
+    Alcotest.test_case "retry token bucket" `Quick test_retry_token_bucket;
+    Alcotest.test_case "gray chaos determinism" `Quick test_gray_chaos_determinism;
   ]
